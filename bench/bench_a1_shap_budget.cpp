@@ -1,0 +1,94 @@
+// A1 (ablation) — KernelSHAP coalition-budget and paired-sampling ablation.
+//
+// On a model small enough for exact enumeration (d = 12 synthetic with
+// interactions, and the NFV forest restricted to instances), measures the
+// max-abs error of KernelSHAP vs the exact Shapley values as a function of
+// the coalition budget, for paired (antithetic) and independent sampling.
+// Expected shape: error decreases with budget and paired sampling sits
+// below unpaired at equal budget.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/exact_shapley.hpp"
+#include "core/kernel_shap.hpp"
+#include "core/sampling_shapley.hpp"
+
+namespace ml = xnfv::ml;
+namespace xai = xnfv::xai;
+using namespace xnfv::bench;
+
+namespace {
+
+double max_abs_diff(std::span<const double> a, std::span<const double> b) {
+    double m = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) m = std::max(m, std::abs(a[i] - b[i]));
+    return m;
+}
+
+}  // namespace
+
+int main() {
+    const std::size_t d = 12;
+    ml::Rng rng(61);
+    xnfv::ml::Matrix bgm(32, d);
+    for (std::size_t r = 0; r < 32; ++r)
+        for (std::size_t c = 0; c < d; ++c) bgm(r, c) = rng.uniform(-1, 1);
+    const xai::BackgroundData background(bgm);
+    // Third-order interactions and saturating nonlinearities: a model whose
+    // Shapley values are NOT pinned down by singleton/complement coalitions,
+    // so small budgets must genuinely approximate.
+    const ml::LambdaModel model(d, [](std::span<const double> x) {
+        double v = std::sin(2.0 * (x[0] + x[5] + x[9]));
+        for (std::size_t i = 0; i + 2 < x.size(); i += 3) v += 2.0 * x[i] * x[i + 1] * x[i + 2];
+        for (std::size_t i = 0; i + 1 < x.size(); i += 2) v += std::tanh(x[i] + x[i + 1]);
+        return v;
+    });
+    const std::vector<double> x(d, 0.45);
+
+    xai::ExactShapley exact(background);
+    const auto truth = exact.explain(model, x);
+
+    print_header("A1", "Shapley-estimator budget ablation vs exact values (d = 12)");
+    std::printf("(sampling-permutation column uses the same number of *model\n"
+                " evaluations* as the kernel columns: perms = budget*|bg|/(2(d+1)))\n");
+    print_rule();
+    std::printf("%10s %16s %16s %16s\n", "budget", "err (paired)", "err (unpaired)",
+                "err (sampling)");
+    print_rule();
+    for (const std::size_t budget : {30u, 60u, 120u, 250u, 500u, 1000u, 2000u, 4000u}) {
+        auto mean_err = [&](bool paired) {
+            double total = 0.0;
+            const int reps = 5;
+            for (int rep = 0; rep < reps; ++rep) {
+                xai::KernelShap ks(background, ml::Rng(100 + rep),
+                                   xai::KernelShap::Config{.max_coalitions = budget,
+                                                           .paired_sampling = paired});
+                total += max_abs_diff(truth.attributions,
+                                      ks.explain(model, x).attributions);
+            }
+            return total / reps;
+        };
+        auto sampling_err = [&]() {
+            const std::size_t evals = budget * 32;
+            const std::size_t perms =
+                std::max<std::size_t>(1, evals / (2 * (d + 1)));
+            double total = 0.0;
+            const int reps = 5;
+            for (int rep = 0; rep < reps; ++rep) {
+                xai::SamplingShapley s(
+                    background, ml::Rng(200 + rep),
+                    xai::SamplingShapley::Config{.num_permutations = perms});
+                total += max_abs_diff(truth.attributions,
+                                      s.explain(model, x).attributions);
+            }
+            return total / reps;
+        };
+        std::printf("%10zu %16.3e %16.3e %16.3e\n", budget, mean_err(true),
+                    mean_err(false), sampling_err());
+    }
+    std::printf("\nexpected shape: error falls with budget for all three estimators;\n"
+                "paired <= unpaired; the regression-based kernel estimators beat the\n"
+                "permutation sampler at equal evaluation budget for moderate d.\n");
+    return 0;
+}

@@ -1,0 +1,112 @@
+// F1 — LIME local fidelity vs neighborhood width and sample budget.
+//
+// Sweeps the LIME kernel width (with locality-matched perturbation scale)
+// and, in a second series, the perturbation budget, reporting the *held out*
+// kernel-weighted R^2 of the local surrogate on the NFV latency models.
+// Expected shapes: for the smooth MLP, fidelity falls as the neighborhood
+// widens; for the piecewise-constant random forest it does the opposite —
+// the operational lesson being that LIME's kernel width must be tuned to
+// the model family.  Fidelity rises with sample budget, while the in-sample
+// fit R^2 is optimistic at small budgets.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include <memory>
+
+#include "core/lime.hpp"
+#include "mlcore/mlp.hpp"
+
+namespace ml = xnfv::ml;
+namespace xai = xnfv::xai;
+using namespace xnfv::bench;
+
+int main() {
+    // Latency regression target: a smooth continuous output keeps the
+    // weighted R^2 well conditioned (the classifier's probability surface is
+    // mostly saturated plateaus, which makes local R^2 degenerate).
+    const auto task = make_sla_task(6000, /*seed=*/88, xnfv::nfv::LabelKind::latency_ms);
+    const auto forest = train_forest(task.train, /*seed=*/8);
+    const xai::BackgroundData background(task.train.x, 96);
+    const std::size_t n_instances = 60;
+
+    print_header("F1", "LIME local fidelity (holdout weighted R^2), latency models");
+
+    // Series A sweeps the *locality*: perturbations are drawn at the kernel's
+    // scale (scale = width) so each width measures how linear the model is
+    // within that neighborhood.  Fidelity is the held-out weighted R^2.
+    //
+    // Two target models on purpose: the MLP is smooth, so the textbook
+    // LIME story holds (tighter neighborhood => more linear => higher
+    // fidelity).  The random forest is piecewise *constant*: in a tiny
+    // neighborhood the surrogate sees either no variation or a bare split
+    // jump, so fidelity is poor at small widths and rises as the kernel
+    // covers enough splits for the ensemble's smooth trend to emerge.  The
+    // paper's operational takeaway: kernel width must be tuned per model
+    // family, not copied from image-domain defaults.
+    std::unique_ptr<ml::Model> mlp;
+    {
+        struct Scaled final : ml::Model {
+            std::unique_ptr<ml::Mlp> inner;
+            ml::Standardizer scaler;
+            [[nodiscard]] double predict(std::span<const double> x) const override {
+                return inner->predict(scaler.transform_row(x));
+            }
+            [[nodiscard]] std::size_t num_features() const override {
+                return inner->num_features();
+            }
+            [[nodiscard]] std::string name() const override { return "mlp"; }
+        };
+        ml::Rng rng(23);
+        auto w = std::make_unique<Scaled>();
+        w->scaler.fit(task.train.x);
+        w->inner = std::make_unique<ml::Mlp>(
+            ml::Mlp::Config{.hidden_layers = {32, 32}, .epochs = 60});
+        w->inner->fit(ml::standardize(task.train, w->scaler), rng);
+        mlp = std::move(w);
+    }
+
+    std::printf("\nseries A: neighborhood width sweep (1000 samples per explanation)\n");
+    print_rule();
+    std::printf("%10s %18s %18s\n", "width", "fidelity (mlp)", "fidelity (forest)");
+    print_rule();
+    for (const double width : {0.2, 0.5, 1.0, 2.0, 4.0, 8.0}) {
+        xai::Lime lime(background, ml::Rng(21),
+                       xai::Lime::Config{.num_samples = 1000, .kernel_width = width,
+                                         .perturbation_scale = width});
+        double fid_mlp = 0.0, fid_rf = 0.0;
+        for (std::size_t i = 0; i < n_instances; ++i) {
+            (void)lime.explain(*mlp, task.test.x.row(i));
+            fid_mlp += std::max(-1.0, lime.last_fit().holdout_r2);
+            (void)lime.explain(forest, task.test.x.row(i));
+            fid_rf += std::max(-1.0, lime.last_fit().holdout_r2);
+        }
+        std::printf("%10.2f %18.4f %18.4f\n", width, fid_mlp / n_instances,
+                    fid_rf / n_instances);
+    }
+
+    std::printf("\nseries B: sample budget sweep (width = 0.75*sqrt(d))\n");
+    print_rule();
+    std::printf("%10s %14s %18s %12s\n", "samples", "fit_r2", "holdout_fidelity",
+                "ms/expl");
+    print_rule();
+    for (const std::size_t budget : {100u, 300u, 1000u, 3000u}) {
+        xai::Lime lime(background, ml::Rng(22),
+                       xai::Lime::Config{.num_samples = budget});
+        double fit = 0.0, fid = 0.0;
+        Stopwatch sw;
+        for (std::size_t i = 0; i < n_instances; ++i) {
+            (void)lime.explain(forest, task.test.x.row(i));
+            fit += std::max(-1.0, lime.last_fit().weighted_r2);
+            fid += std::max(-1.0, lime.last_fit().holdout_r2);
+        }
+        std::printf("%10zu %14.4f %18.4f %12.2f\n", budget, fit / n_instances,
+                    fid / n_instances, sw.ms() / n_instances);
+    }
+    std::printf("\nexpected shape: MLP fidelity falls as the neighborhood widens\n"
+                "(smooth model, locally linear); the forest shows the opposite\n"
+                "(piecewise-constant model needs a wide kernel to expose its trend).\n"
+                "Holdout fidelity rises with budget; in-sample R^2 is optimistic.\n"
+                "(negative R^2 clamped at -1 when averaging)\n");
+    return 0;
+}

@@ -1,0 +1,59 @@
+// F6 — Feature-interaction structure of the latency model (Friedman's H).
+//
+// Attribution says which counters matter; the H statistic says which act
+// *together*.  On the config-only latency regressor, the physically expected
+// couplings are load x capacity (offered_pps x min_cpu_cores — load only
+// hurts an under-provisioned chain) and load x per-packet cost
+// (offered_pps x total_rules).  Printed: the strongest pairs and selected
+// reference pairs.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/interaction.hpp"
+#include "mlcore/metrics.hpp"
+
+namespace ml = xnfv::ml;
+namespace nfv = xnfv::nfv;
+namespace xai = xnfv::xai;
+using namespace xnfv::bench;
+
+int main() {
+    const auto task = make_sla_task(8000, /*seed=*/1111, nfv::LabelKind::latency_ms,
+                                    nfv::FeatureSet::config_only);
+    const auto forest = train_forest(task.train, /*seed=*/11);
+    const xai::BackgroundData background(task.train.x, 256);
+
+    print_header("F6", "pairwise interaction strength (Friedman H^2), config-only latency RF");
+    std::printf("model R^2: %.3f; H over %d evaluation points\n\n",
+                ml::r2_score(task.test.y, forest.predict_batch(task.test.x)), 48);
+
+    const auto h = xai::interaction_matrix(forest, background,
+                                           xai::InteractionOptions{.max_points = 48});
+
+    struct Pair {
+        double h2;
+        std::size_t j, k;
+    };
+    std::vector<Pair> pairs;
+    for (std::size_t j = 0; j < h.size(); ++j)
+        for (std::size_t k = j + 1; k < h.size(); ++k)
+            pairs.push_back({h[j][k], j, k});
+    std::sort(pairs.begin(), pairs.end(),
+              [](const Pair& a, const Pair& b) { return a.h2 > b.h2; });
+
+    print_rule();
+    std::printf("%-38s %10s\n", "pair", "H^2");
+    print_rule();
+    for (std::size_t p = 0; p < 8 && p < pairs.size(); ++p) {
+        const std::string name = task.train.feature_names[pairs[p].j] + " x " +
+                                 task.train.feature_names[pairs[p].k];
+        std::printf("%-38s %10.4f\n", name.c_str(), pairs[p].h2);
+    }
+
+    std::printf("\nexpected shape: load x capacity couplings (offered traffic with\n"
+                "min_cpu_cores / total_rules / byte_heavy_stages) dominate; pairs of\n"
+                "pure demand descriptors interact weakly.\n");
+    return 0;
+}

@@ -1,0 +1,112 @@
+// Micro-benchmarks of the hot paths (google-benchmark).
+//
+// These complement the experiment harnesses: tree prediction and TreeSHAP
+// dominate the aggregation experiments, the WLS solve dominates KernelSHAP
+// and LIME, and simulate_epoch dominates dataset generation.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "core/tree_shap.hpp"
+#include "mlcore/matrix.hpp"
+#include "nfv/placement.hpp"
+#include "nfv/simulator.hpp"
+
+namespace ml = xnfv::ml;
+namespace nfv = xnfv::nfv;
+namespace xai = xnfv::xai;
+
+namespace {
+
+/// Shared state built once (static locals avoid rebuilding per benchmark).
+const xnfv::bench::SlaTask& task() {
+    static const auto t = xnfv::bench::make_sla_task(3000, 999);
+    return t;
+}
+
+const ml::RandomForest& forest() {
+    static const auto f = xnfv::bench::train_forest(task().train, 99, 50);
+    return f;
+}
+
+void BM_TreePredict(benchmark::State& state) {
+    const auto& f = forest();
+    const auto x = task().test.x.row(0);
+    for (auto _ : state) benchmark::DoNotOptimize(f.trees()[0].predict(x));
+}
+BENCHMARK(BM_TreePredict);
+
+void BM_ForestPredict(benchmark::State& state) {
+    const auto& f = forest();
+    const auto x = task().test.x.row(0);
+    for (auto _ : state) benchmark::DoNotOptimize(f.predict(x));
+}
+BENCHMARK(BM_ForestPredict);
+
+void BM_TreeShapSingleTree(benchmark::State& state) {
+    const auto& f = forest();
+    const auto x = task().test.x.row(0);
+    std::vector<double> phi(task().test.num_features());
+    for (auto _ : state) {
+        std::fill(phi.begin(), phi.end(), 0.0);
+        benchmark::DoNotOptimize(xai::tree_shap_single(f.trees()[0], x, phi));
+    }
+}
+BENCHMARK(BM_TreeShapSingleTree);
+
+void BM_TreeShapForest(benchmark::State& state) {
+    const auto& f = forest();
+    const auto x = task().test.x.row(0);
+    xai::TreeShap ts;
+    for (auto _ : state) benchmark::DoNotOptimize(ts.explain(f, x));
+}
+BENCHMARK(BM_TreeShapForest);
+
+void BM_WeightedLeastSquares(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const std::size_t d = 18;
+    ml::Rng rng(7);
+    ml::Matrix x(n, d);
+    std::vector<double> y(n), w(n);
+    for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t c = 0; c < d; ++c) x(r, c) = rng.uniform(-1, 1);
+        y[r] = rng.uniform(-1, 1);
+        w[r] = rng.uniform(0, 1);
+    }
+    for (auto _ : state)
+        benchmark::DoNotOptimize(ml::weighted_least_squares(x, y, w, 1e-6));
+}
+BENCHMARK(BM_WeightedLeastSquares)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_SimulateEpoch(benchmark::State& state) {
+    auto infra = nfv::Infrastructure::homogeneous_pop(4, nfv::Server{});
+    nfv::Deployment dep;
+    for (int c = 0; c < 4; ++c)
+        nfv::make_chain(dep, "c" + std::to_string(c),
+                        {nfv::VnfType::firewall, nfv::VnfType::ids, nfv::VnfType::nat},
+                        2.0);
+    ml::Rng rng(1);
+    nfv::place(dep, infra, nfv::PlacementStrategy::best_fit, rng);
+    const std::vector<nfv::OfferedLoad> loads(
+        4, nfv::OfferedLoad{.pps = 8e4, .active_flows = 1e4});
+    for (auto _ : state)
+        benchmark::DoNotOptimize(nfv::simulate_epoch(dep, infra, loads));
+}
+BENCHMARK(BM_SimulateEpoch);
+
+void BM_DatasetRow(benchmark::State& state) {
+    // End-to-end cost of producing one labelled training row.
+    ml::Rng rng(2);
+    xnfv::wl::BuildOptions opt;
+    opt.num_samples = 32;
+    const auto spec = xnfv::wl::standard_scenarios()[0];
+    for (auto _ : state) {
+        ml::Rng local = rng.split();
+        benchmark::DoNotOptimize(xnfv::wl::build_dataset(spec, opt, local));
+    }
+    state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_DatasetRow);
+
+}  // namespace
+
+BENCHMARK_MAIN();

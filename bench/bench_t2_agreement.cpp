@@ -1,0 +1,134 @@
+// T2 — Agreement between attribution methods.
+//
+// Series A (random forest): explains the same test instances with TreeSHAP,
+// KernelSHAP, sampling Shapley, LIME, and occlusion, reporting pairwise
+// top-k overlap (k = 1, 3, 5) and Spearman rank correlation of |phi|.
+// Expected shape: the three Shapley estimators agree most (they estimate the
+// same quantity); LIME agrees moderately; occlusion trails (no interactions).
+//
+// Series B (MLP): adds the gradient family — Integrated Gradients and
+// SmoothGrad — which needs a differentiable model.  Expected shape: methods
+// cluster by *family* (the "disagreement problem"): IG agrees with
+// SmoothGrad, KernelSHAP with occlusion/LIME, and the two families agree
+// with each other far less — on a saturated probability surface the local
+// gradient and the coalition-marginalization view genuinely answer
+// different questions.
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "core/gradient.hpp"
+#include "core/kernel_shap.hpp"
+#include "core/lime.hpp"
+#include "core/occlusion.hpp"
+#include "core/sampling_shapley.hpp"
+#include "core/tree_shap.hpp"
+#include "mlcore/metrics.hpp"
+#include "mlcore/mlp.hpp"
+#include "mlcore/preprocess.hpp"
+
+namespace ml = xnfv::ml;
+namespace xai = xnfv::xai;
+using namespace xnfv::bench;
+
+namespace {
+
+void agreement_table(std::vector<xai::Explainer*> explainers, const ml::Model& model,
+                     const ml::Matrix& instances, std::size_t n_instances) {
+    std::vector<std::vector<std::vector<double>>> attribs(explainers.size());
+    for (std::size_t i = 0; i < n_instances && i < instances.rows(); ++i) {
+        const auto x = instances.row(i);
+        for (std::size_t e = 0; e < explainers.size(); ++e)
+            attribs[e].push_back(explainers[e]->explain(model, x).abs_attributions());
+    }
+    print_rule();
+    std::printf("%-38s %8s %8s %8s %10s\n", "pair", "top1", "top3", "top5", "spearman");
+    print_rule();
+    for (std::size_t a = 0; a < explainers.size(); ++a) {
+        for (std::size_t b = a + 1; b < explainers.size(); ++b) {
+            double top1 = 0.0, top3 = 0.0, top5 = 0.0, rho = 0.0;
+            const auto n = attribs[a].size();
+            for (std::size_t i = 0; i < n; ++i) {
+                top1 += ml::topk_overlap(attribs[a][i], attribs[b][i], 1);
+                top3 += ml::topk_overlap(attribs[a][i], attribs[b][i], 3);
+                top5 += ml::topk_overlap(attribs[a][i], attribs[b][i], 5);
+                rho += ml::spearman(attribs[a][i], attribs[b][i]);
+            }
+            const std::string pair =
+                explainers[a]->name() + " vs " + explainers[b]->name();
+            std::printf("%-38s %8.3f %8.3f %8.3f %10.3f\n", pair.c_str(),
+                        top1 / n, top3 / n, top5 / n, rho / n);
+        }
+    }
+}
+
+/// MLP wrapper that standardizes inputs on the fly (keeps the explainers in
+/// raw feature units while the network trains on z-scores).  The gradient
+/// path dispatches on ml::Mlp, so this wrapper exposes the inner model for
+/// the chain rule: grad_raw = grad_std / sigma.
+class ScaledMlp final : public ml::Model {
+public:
+    ScaledMlp(const ml::Dataset& train, ml::Rng rng) {
+        scaler_.fit(train.x);
+        inner_ = std::make_unique<ml::Mlp>(
+            ml::Mlp::Config{.hidden_layers = {32, 32}, .epochs = 50});
+        inner_->fit(ml::standardize(train, scaler_), rng);
+    }
+    [[nodiscard]] double predict(std::span<const double> x) const override {
+        return inner_->predict(scaler_.transform_row(x));
+    }
+    [[nodiscard]] std::size_t num_features() const override {
+        return inner_->num_features();
+    }
+    [[nodiscard]] std::string name() const override { return "scaled_mlp"; }
+
+private:
+    std::unique_ptr<ml::Mlp> inner_;
+    ml::Standardizer scaler_;
+};
+
+}  // namespace
+
+int main() {
+    const std::size_t n_instances = 100;
+    const auto task = make_sla_task(6000, /*seed=*/77);
+    const xai::BackgroundData background(task.train.x, 96);
+
+    print_header("T2", "attribution agreement across methods");
+
+    {
+        const auto forest = train_forest(task.train, /*seed=*/7);
+        std::printf("\nseries A: random forest, %zu instances\n", n_instances);
+        xai::TreeShap tree_shap;
+        xai::KernelShap kernel_shap(background, ml::Rng(11),
+                                    xai::KernelShap::Config{.max_coalitions = 600});
+        xai::SamplingShapley sampling(background, ml::Rng(13),
+                                      xai::SamplingShapley::Config{.num_permutations = 100});
+        xai::Lime lime(background, ml::Rng(12), xai::Lime::Config{.num_samples = 1200});
+        xai::Occlusion occlusion(background);
+        agreement_table({&tree_shap, &kernel_shap, &sampling, &lime, &occlusion},
+                        forest, task.test.x, n_instances);
+    }
+
+    {
+        const ScaledMlp mlp(task.train, ml::Rng(21));
+        std::printf("\nseries B: MLP (adds the gradient family), %zu instances\n",
+                    n_instances / 2);
+        xai::KernelShap kernel_shap(background, ml::Rng(22),
+                                    xai::KernelShap::Config{.max_coalitions = 600});
+        xai::Lime lime(background, ml::Rng(23), xai::Lime::Config{.num_samples = 1200});
+        xai::IntegratedGradients ig(background,
+                                    xai::IntegratedGradients::Config{.steps = 40});
+        xai::SmoothGrad smoothgrad(background, ml::Rng(24));
+        xai::Occlusion occlusion(background);
+        agreement_table({&kernel_shap, &ig, &smoothgrad, &lime, &occlusion}, mlp,
+                        task.test.x, n_instances / 2);
+    }
+
+    std::printf("\nexpected shape: Shapley estimators cluster tightest (series A).\n"
+                "In series B the methods cluster by family: IG~SmoothGrad and\n"
+                "KernelSHAP~occlusion~LIME agree internally, while cross-family\n"
+                "agreement is much lower — the 'disagreement problem' reproduced\n"
+                "on NFV telemetry.\n");
+    return 0;
+}

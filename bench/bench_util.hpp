@@ -1,0 +1,84 @@
+// Shared helpers for the experiment harnesses under bench/.
+//
+// Each bench binary regenerates one table or figure from the reconstructed
+// evaluation (see DESIGN.md section 3) and prints it in a fixed text format
+// that EXPERIMENTS.md quotes.  Everything is seeded; rerunning a binary
+// reproduces its numbers bit-for-bit.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/explanation.hpp"
+#include "mlcore/dataset.hpp"
+#include "mlcore/forest.hpp"
+#include "mlcore/gbt.hpp"
+#include "mlcore/linear.hpp"
+#include "mlcore/mlp.hpp"
+#include "mlcore/preprocess.hpp"
+#include "mlcore/rng.hpp"
+#include "workload/dataset_builder.hpp"
+
+namespace xnfv::bench {
+
+/// Wall-clock stopwatch in milliseconds.
+class Stopwatch {
+public:
+    Stopwatch() : start_(clock::now()) {}
+    [[nodiscard]] double ms() const {
+        return std::chrono::duration<double, std::milli>(clock::now() - start_).count();
+    }
+    void reset() { start_ = clock::now(); }
+
+private:
+    using clock = std::chrono::steady_clock;
+    clock::time_point start_;
+};
+
+/// Standard train/test split of the mixed-scenario SLA-violation task used
+/// by several experiments.
+struct SlaTask {
+    xnfv::wl::BuiltDataset built;
+    xnfv::ml::Dataset train, test;
+};
+
+inline SlaTask make_sla_task(std::size_t n, std::uint64_t seed,
+                             xnfv::nfv::LabelKind label =
+                                 xnfv::nfv::LabelKind::sla_violation,
+                             xnfv::nfv::FeatureSet features =
+                                 xnfv::nfv::FeatureSet::full_telemetry) {
+    xnfv::ml::Rng rng(seed);
+    xnfv::wl::BuildOptions opt;
+    opt.num_samples = n;
+    opt.label = label;
+    opt.feature_set = features;
+    SlaTask task;
+    task.built = xnfv::wl::build_mixed_dataset(xnfv::wl::standard_scenarios(), opt, rng);
+    auto split = xnfv::ml::train_test_split(task.built.data, 0.25, rng);
+    task.train = std::move(split.train);
+    task.test = std::move(split.test);
+    return task;
+}
+
+/// Trains the standard random forest used as the explained model.
+inline xnfv::ml::RandomForest train_forest(const xnfv::ml::Dataset& train,
+                                           std::uint64_t seed,
+                                           std::size_t num_trees = 80) {
+    xnfv::ml::Rng rng(seed);
+    xnfv::ml::RandomForest forest(
+        xnfv::ml::RandomForest::Config{.num_trees = num_trees});
+    forest.fit(train, rng);
+    return forest;
+}
+
+inline void print_header(const std::string& id, const std::string& title) {
+    std::printf("\n=== %s: %s ===\n", id.c_str(), title.c_str());
+}
+
+inline void print_rule() {
+    std::printf("--------------------------------------------------------------------------\n");
+}
+
+}  // namespace xnfv::bench

@@ -1,0 +1,77 @@
+#include "core/aggregate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace xnfv::xai {
+
+std::vector<std::size_t> GlobalAttribution::ranking() const {
+    std::vector<std::size_t> idx(mean_abs.size());
+    std::iota(idx.begin(), idx.end(), std::size_t{0});
+    std::sort(idx.begin(), idx.end(),
+              [&](std::size_t a, std::size_t b) { return mean_abs[a] > mean_abs[b]; });
+    return idx;
+}
+
+std::string GlobalAttribution::to_string(std::size_t max_rows) const {
+    std::ostringstream os;
+    os.precision(4);
+    os << "global attribution over " << num_instances << " instances\n";
+    const auto order = ranking();
+    for (std::size_t k = 0; k < std::min(max_rows, order.size()); ++k) {
+        const std::size_t j = order[k];
+        const std::string name =
+            j < feature_names.size() ? feature_names[j] : "f" + std::to_string(j);
+        os << "  " << name << ": mean|phi|=" << mean_abs[j]
+           << " mean(phi)=" << mean_signed[j] << '\n';
+    }
+    return os.str();
+}
+
+GlobalAttribution aggregate_explanations(Explainer& explainer, const xnfv::ml::Model& model,
+                                         const xnfv::ml::Matrix& instances,
+                                         std::span<const std::string> feature_names) {
+    if (instances.rows() == 0)
+        throw std::invalid_argument("aggregate_explanations: no instances");
+    GlobalAttribution g;
+    g.feature_names.assign(feature_names.begin(), feature_names.end());
+    g.mean_abs.assign(instances.cols(), 0.0);
+    g.mean_signed.assign(instances.cols(), 0.0);
+    for (std::size_t r = 0; r < instances.rows(); ++r) {
+        const Explanation e = explainer.explain(model, instances.row(r));
+        for (std::size_t j = 0; j < instances.cols(); ++j) {
+            g.mean_abs[j] += std::abs(e.attributions[j]);
+            g.mean_signed[j] += e.attributions[j];
+        }
+    }
+    const double inv = 1.0 / static_cast<double>(instances.rows());
+    for (std::size_t j = 0; j < instances.cols(); ++j) {
+        g.mean_abs[j] *= inv;
+        g.mean_signed[j] *= inv;
+    }
+    g.num_instances = instances.rows();
+    return g;
+}
+
+std::map<std::string, GlobalAttribution> aggregate_by_group(
+    Explainer& explainer, const xnfv::ml::Model& model, const xnfv::ml::Matrix& instances,
+    std::span<const std::string> groups, std::span<const std::string> feature_names) {
+    if (groups.size() != instances.rows())
+        throw std::invalid_argument("aggregate_by_group: group size mismatch");
+
+    // Partition rows per group, then aggregate each partition.
+    std::map<std::string, std::vector<std::size_t>> partitions;
+    for (std::size_t r = 0; r < groups.size(); ++r) partitions[groups[r]].push_back(r);
+
+    std::map<std::string, GlobalAttribution> out;
+    for (const auto& [key, rows] : partitions) {
+        const xnfv::ml::Matrix sub = instances.take_rows(rows);
+        out.emplace(key, aggregate_explanations(explainer, model, sub, feature_names));
+    }
+    return out;
+}
+
+}  // namespace xnfv::xai

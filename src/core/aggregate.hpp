@@ -1,0 +1,41 @@
+// Global explanations aggregated from local attributions.
+//
+// The NOC view: rather than one chain-epoch at a time, rank the telemetry
+// features by mean |attribution| over a population of instances — optionally
+// split by a group key (e.g. injected root cause), which is how experiment
+// T3 verifies that each fault family's explanations concentrate on the
+// matching counters.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/explanation.hpp"
+#include "mlcore/model.hpp"
+
+namespace xnfv::xai {
+
+struct GlobalAttribution {
+    std::vector<double> mean_abs;      ///< mean |phi_j| over instances
+    std::vector<double> mean_signed;   ///< mean phi_j (direction of influence)
+    std::size_t num_instances = 0;
+    std::vector<std::string> feature_names;
+
+    /// Features sorted by mean_abs, descending.
+    [[nodiscard]] std::vector<std::size_t> ranking() const;
+    [[nodiscard]] std::string to_string(std::size_t max_rows = 10) const;
+};
+
+/// Aggregates local explanations produced by `explainer` over the rows of
+/// `instances`.
+[[nodiscard]] GlobalAttribution aggregate_explanations(
+    Explainer& explainer, const xnfv::ml::Model& model, const xnfv::ml::Matrix& instances,
+    std::span<const std::string> feature_names);
+
+/// Same, but split by a per-row group label; returns one aggregate per group.
+[[nodiscard]] std::map<std::string, GlobalAttribution> aggregate_by_group(
+    Explainer& explainer, const xnfv::ml::Model& model, const xnfv::ml::Matrix& instances,
+    std::span<const std::string> groups, std::span<const std::string> feature_names);
+
+}  // namespace xnfv::xai

@@ -1,0 +1,143 @@
+#include "core/counterfactual.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace xnfv::xai {
+
+namespace {
+
+struct SearchSpace {
+    std::vector<double> lo, hi, sigma;
+};
+
+SearchSpace ranges_of(const BackgroundData& background) {
+    const auto& bg = background.samples();
+    SearchSpace s;
+    s.lo.assign(bg.cols(), std::numeric_limits<double>::infinity());
+    s.hi.assign(bg.cols(), -std::numeric_limits<double>::infinity());
+    s.sigma.assign(bg.cols(), 0.0);
+    const auto& mu = background.means();
+    for (std::size_t r = 0; r < bg.rows(); ++r) {
+        const auto row = bg.row(r);
+        for (std::size_t c = 0; c < bg.cols(); ++c) {
+            s.lo[c] = std::min(s.lo[c], row[c]);
+            s.hi[c] = std::max(s.hi[c], row[c]);
+            s.sigma[c] += (row[c] - mu[c]) * (row[c] - mu[c]);
+        }
+    }
+    for (double& v : s.sigma) {
+        v = std::sqrt(v / static_cast<double>(bg.rows()));
+        if (v == 0.0) v = 1.0;
+    }
+    return s;
+}
+
+}  // namespace
+
+std::optional<Counterfactual> find_counterfactual(const xnfv::ml::Model& model,
+                                                  std::span<const double> x,
+                                                  const BackgroundData& background,
+                                                  xnfv::ml::Rng& rng,
+                                                  const CounterfactualOptions& options) {
+    const std::size_t d = model.num_features();
+    if (x.size() != d) throw std::invalid_argument("find_counterfactual: size mismatch");
+    if (background.empty())
+        throw std::invalid_argument("find_counterfactual: empty background");
+    if (!options.actionable.empty() && options.actionable.size() != d)
+        throw std::invalid_argument("find_counterfactual: actionable mask size mismatch");
+
+    const SearchSpace space = ranges_of(background);
+    const double target = options.target_below ? options.threshold - options.margin
+                                               : options.threshold + options.margin;
+    const auto satisfied = [&](double pred) {
+        return options.target_below ? pred <= target : pred >= target;
+    };
+    const auto is_actionable = [&](std::size_t j) {
+        return options.actionable.empty() || options.actionable[j];
+    };
+
+    std::optional<Counterfactual> best;
+    const auto consider = [&](const std::vector<double>& point,
+                              const std::vector<std::size_t>& changed) {
+        const double pred = model.predict(point);
+        if (!satisfied(pred)) return;
+        double l1 = 0.0;
+        for (std::size_t j : changed) l1 += std::abs(point[j] - x[j]) / space.sigma[j];
+        // Prefer fewer changed features, then smaller distance.
+        if (!best || changed.size() < best->changed.size() ||
+            (changed.size() == best->changed.size() && l1 < best->l1_distance)) {
+            best = Counterfactual{.point = point, .changed = changed, .prediction = pred,
+                                  .l1_distance = l1};
+        }
+    };
+
+    for (std::size_t restart = 0; restart < options.random_restarts; ++restart) {
+        std::vector<double> cur(x.begin(), x.end());
+        std::vector<std::size_t> changed;
+
+        // Random feature order makes restarts explore different subsets.
+        std::vector<std::size_t> order;
+        for (std::size_t j = 0; j < d; ++j)
+            if (is_actionable(j)) order.push_back(j);
+        rng.shuffle(order);
+
+        for (std::size_t j : order) {
+            if (changed.size() >= options.max_changed_features) break;
+
+            // Line search over the feature's background range: pick the value
+            // that moves the prediction furthest toward the target.
+            double best_val = cur[j];
+            double best_pred = model.predict(cur);
+            std::vector<double> probe = cur;
+            for (std::size_t s = 0; s <= options.steps_per_feature; ++s) {
+                const double v = space.lo[j] + (space.hi[j] - space.lo[j]) *
+                                                   static_cast<double>(s) /
+                                                   static_cast<double>(options.steps_per_feature);
+                probe[j] = v;
+                const double pred = model.predict(probe);
+                const bool better = options.target_below ? pred < best_pred
+                                                         : pred > best_pred;
+                if (better) {
+                    best_pred = pred;
+                    best_val = v;
+                }
+            }
+            if (best_val != cur[j]) {
+                cur[j] = best_val;
+                changed.push_back(j);
+                if (satisfied(best_pred)) break;
+            }
+        }
+        if (!changed.empty()) {
+            std::sort(changed.begin(), changed.end());
+            consider(cur, changed);
+        }
+    }
+
+    if (!best) return std::nullopt;
+
+    // Post-process: try to undo each change individually (it may have become
+    // unnecessary once later features moved).
+    bool improved = true;
+    while (improved && best->changed.size() > 1) {
+        improved = false;
+        for (std::size_t k = 0; k < best->changed.size(); ++k) {
+            std::vector<double> trial = best->point;
+            trial[best->changed[k]] = x[best->changed[k]];
+            const double pred = model.predict(trial);
+            if (satisfied(pred)) {
+                std::vector<std::size_t> reduced = best->changed;
+                reduced.erase(reduced.begin() + static_cast<std::ptrdiff_t>(k));
+                consider(trial, reduced);
+                improved = true;
+                break;
+            }
+        }
+    }
+    return best;
+}
+
+}  // namespace xnfv::xai

@@ -1,0 +1,49 @@
+// Counterfactual explanations: "what is the smallest actionable change that
+// flips this prediction?"
+//
+// For an operator staring at a predicted SLA violation this is the most
+// directly useful explanation form: not *why* the model predicts a breach,
+// but *what to do about it* — add a core, shed load, re-place a VNF.  The
+// search is a greedy coordinate descent with random restarts over the
+// actionable features only (an operator cannot change the weather, i.e. the
+// offered traffic, but can change allocations), constrained to the feature
+// ranges observed in the background data.
+#pragma once
+
+#include <optional>
+
+#include "core/explanation.hpp"
+#include "mlcore/model.hpp"
+#include "mlcore/rng.hpp"
+
+namespace xnfv::xai {
+
+struct CounterfactualOptions {
+    /// Per-feature actionability mask; empty = all actionable.
+    std::vector<bool> actionable;
+    /// Decision threshold: we search for prediction on the *other* side.
+    double threshold = 0.5;
+    /// true = flip to below threshold (e.g. violation -> no violation).
+    bool target_below = true;
+    std::size_t max_changed_features = 3;
+    std::size_t random_restarts = 8;
+    std::size_t steps_per_feature = 12;  ///< line-search resolution
+    /// Margin required beyond the threshold for a confident flip.
+    double margin = 0.02;
+};
+
+struct Counterfactual {
+    std::vector<double> point;        ///< the counterfactual input
+    std::vector<std::size_t> changed; ///< features altered
+    double prediction = 0.0;          ///< model output at the counterfactual
+    double l1_distance = 0.0;         ///< standardized L1 distance from x
+};
+
+/// Searches for a counterfactual of model(x).  Returns nullopt if no flip
+/// was found within the budget.
+[[nodiscard]] std::optional<Counterfactual> find_counterfactual(
+    const xnfv::ml::Model& model, std::span<const double> x,
+    const BackgroundData& background, xnfv::ml::Rng& rng,
+    const CounterfactualOptions& options = {});
+
+}  // namespace xnfv::xai

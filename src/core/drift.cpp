@@ -1,0 +1,87 @@
+#include "core/drift.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "mlcore/metrics.hpp"
+
+namespace xnfv::xai {
+
+namespace {
+
+/// mean|phi| normalized to sum 1 (uniform if all-zero).
+std::vector<double> normalized_mass(const GlobalAttribution& g) {
+    std::vector<double> out = g.mean_abs;
+    double total = 0.0;
+    for (double v : out) total += v;
+    if (total <= 0.0) {
+        const double uniform = 1.0 / static_cast<double>(out.size());
+        for (double& v : out) v = uniform;
+    } else {
+        for (double& v : out) v /= total;
+    }
+    return out;
+}
+
+}  // namespace
+
+DriftReport attribution_drift(const GlobalAttribution& reference,
+                              const GlobalAttribution& current,
+                              const DriftThresholds& thresholds) {
+    if (reference.mean_abs.size() != current.mean_abs.size() ||
+        reference.mean_abs.empty())
+        throw std::invalid_argument("attribution_drift: feature sets differ or empty");
+
+    DriftReport report;
+    report.rank_correlation = xnfv::ml::spearman(reference.mean_abs, current.mean_abs);
+
+    const auto ref_top = reference.ranking();
+    const auto cur_top = current.ranking();
+    const std::size_t k = std::min<std::size_t>(3, ref_top.size());
+    const std::set<std::size_t> a(ref_top.begin(), ref_top.begin() + k);
+    std::size_t inter = 0;
+    for (std::size_t i = 0; i < k; ++i) inter += a.count(cur_top[i]);
+    report.top3_jaccard =
+        static_cast<double>(inter) / static_cast<double>(2 * k - inter);
+
+    const auto ref_mass = normalized_mass(reference);
+    const auto cur_mass = normalized_mass(current);
+    std::vector<std::pair<std::size_t, double>> movers;
+    double l1 = 0.0;
+    for (std::size_t j = 0; j < ref_mass.size(); ++j) {
+        const double delta = cur_mass[j] - ref_mass[j];
+        l1 += std::abs(delta);
+        movers.emplace_back(j, delta);
+    }
+    report.mass_shift = l1;
+    std::sort(movers.begin(), movers.end(), [](const auto& x, const auto& y) {
+        return std::abs(x.second) > std::abs(y.second);
+    });
+    movers.resize(std::min<std::size_t>(5, movers.size()));
+    report.top_movers = std::move(movers);
+
+    report.drifted = report.rank_correlation < thresholds.min_rank_correlation ||
+                     report.top3_jaccard < thresholds.min_top3_jaccard ||
+                     report.mass_shift > thresholds.max_mass_shift;
+    return report;
+}
+
+std::string DriftReport::to_string(std::span<const std::string> feature_names) const {
+    std::ostringstream os;
+    os.precision(3);
+    os << "attribution drift: " << (drifted ? "DRIFTED" : "stable")
+       << " (rank corr " << rank_correlation << ", top3 jaccard " << top3_jaccard
+       << ", mass shift " << mass_shift << ")\n";
+    for (const auto& [j, delta] : top_movers) {
+        const std::string name =
+            j < feature_names.size() ? feature_names[j] : "f" + std::to_string(j);
+        os << "  " << name << ": " << (delta >= 0.0 ? "+" : "") << delta * 100.0
+           << "% share\n";
+    }
+    return os.str();
+}
+
+}  // namespace xnfv::xai

@@ -1,0 +1,45 @@
+// Explanation-based model monitoring.
+//
+// Accuracy monitoring needs labels, which in the NFV setting arrive only
+// after an SLA breach has already happened.  Attribution monitoring needs
+// none: if the *reasons* behind the model's predictions shift — the global
+// |SHAP| ranking reorders, mass moves to different counters — either the
+// traffic mix changed (covariate drift) or the deployed pipeline changed
+// under the model (schema/leak drift, cf. experiment A3).  Both warrant a
+// retrain review long before the violation counter moves.
+#pragma once
+
+#include <string>
+
+#include "core/aggregate.hpp"
+
+namespace xnfv::xai {
+
+struct DriftThresholds {
+    double min_rank_correlation = 0.7;  ///< Spearman of mean|phi| vectors
+    double min_top3_jaccard = 0.5;      ///< overlap of the top-3 feature sets
+    double max_mass_shift = 0.3;        ///< L1 distance of normalized mean|phi|
+};
+
+struct DriftReport {
+    double rank_correlation = 1.0;
+    double top3_jaccard = 1.0;
+    double mass_shift = 0.0;  ///< total attribution mass that moved (0..2)
+    bool drifted = false;
+
+    /// The features whose normalized attribution share changed the most,
+    /// signed (positive = gained importance), sorted by |change|.
+    std::vector<std::pair<std::size_t, double>> top_movers;
+
+    [[nodiscard]] std::string to_string(
+        std::span<const std::string> feature_names = {}) const;
+};
+
+/// Compares a current attribution aggregate against a reference window.
+/// Both must cover the same feature set; throws std::invalid_argument
+/// otherwise.
+[[nodiscard]] DriftReport attribution_drift(const GlobalAttribution& reference,
+                                            const GlobalAttribution& current,
+                                            const DriftThresholds& thresholds = {});
+
+}  // namespace xnfv::xai

@@ -1,0 +1,146 @@
+#include "core/evaluate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+
+namespace xnfv::xai {
+
+DeletionCurve deletion_curve(const xnfv::ml::Model& model, std::span<const double> x,
+                             std::span<const std::size_t> ranking,
+                             const BackgroundData& background) {
+    if (background.empty()) throw std::invalid_argument("deletion_curve: empty background");
+    DeletionCurve out;
+    std::vector<double> probe(x.begin(), x.end());
+    const double fx = model.predict(probe);
+    out.curve.push_back(fx);
+    const auto& mu = background.means();
+    double aopc_acc = 0.0;
+    for (std::size_t k = 0; k < ranking.size(); ++k) {
+        const std::size_t j = ranking[k];
+        if (j >= probe.size()) throw std::out_of_range("deletion_curve: bad ranking index");
+        probe[j] = mu[j];
+        const double pred = model.predict(probe);
+        out.curve.push_back(pred);
+        aopc_acc += fx - pred;
+    }
+    out.aopc = ranking.empty() ? 0.0 : aopc_acc / static_cast<double>(ranking.size());
+    return out;
+}
+
+DeletionCurve insertion_curve(const xnfv::ml::Model& model, std::span<const double> x,
+                              std::span<const std::size_t> ranking,
+                              const BackgroundData& background) {
+    if (background.empty()) throw std::invalid_argument("insertion_curve: empty background");
+    DeletionCurve out;
+    const auto& mu = background.means();
+    std::vector<double> probe(mu.begin(), mu.end());
+    const double fx = model.predict(x);
+    out.curve.push_back(model.predict(probe));
+    double aopc_acc = 0.0;
+    for (std::size_t k = 0; k < ranking.size(); ++k) {
+        const std::size_t j = ranking[k];
+        if (j >= probe.size()) throw std::out_of_range("insertion_curve: bad ranking index");
+        probe[j] = x[j];
+        const double pred = model.predict(probe);
+        out.curve.push_back(pred);
+        aopc_acc += fx - pred;
+    }
+    // For insertion, smaller residual gap is better; we report the mean gap
+    // so that *lower* is better (callers compare accordingly).
+    out.aopc = ranking.empty() ? 0.0 : aopc_acc / static_cast<double>(ranking.size());
+    return out;
+}
+
+DeletionCurve random_deletion_curve(const xnfv::ml::Model& model, std::span<const double> x,
+                                    const BackgroundData& background, xnfv::ml::Rng& rng,
+                                    std::size_t repeats) {
+    if (repeats == 0)
+        throw std::invalid_argument("random_deletion_curve: repeats must be > 0");
+    const std::size_t d = x.size();
+    std::vector<std::size_t> ranking(d);
+    DeletionCurve mean_curve;
+    mean_curve.curve.assign(d + 1, 0.0);
+    for (std::size_t rep = 0; rep < repeats; ++rep) {
+        std::iota(ranking.begin(), ranking.end(), std::size_t{0});
+        rng.shuffle(ranking);
+        const DeletionCurve c = deletion_curve(model, x, ranking, background);
+        for (std::size_t k = 0; k < c.curve.size(); ++k) mean_curve.curve[k] += c.curve[k];
+        mean_curve.aopc += c.aopc;
+    }
+    for (double& v : mean_curve.curve) v /= static_cast<double>(repeats);
+    mean_curve.aopc /= static_cast<double>(repeats);
+    return mean_curve;
+}
+
+namespace {
+
+double topk_jaccard(const Explanation& a, const Explanation& b, std::size_t k) {
+    const auto ta = a.top_k(k);
+    const auto tb = b.top_k(k);
+    const std::set<std::size_t> sa(ta.begin(), ta.end());
+    std::size_t inter = 0;
+    for (std::size_t i : tb) inter += sa.count(i);
+    const std::size_t uni = sa.size() + tb.size() - inter;
+    return uni == 0 ? 0.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+}  // namespace
+
+StabilityResult input_stability(const ExplainFn& explain, std::span<const double> x,
+                                const BackgroundData& background, xnfv::ml::Rng& rng,
+                                double eps, std::size_t repeats) {
+    if (repeats == 0) throw std::invalid_argument("input_stability: repeats must be > 0");
+    const std::size_t d = x.size();
+
+    // Per-feature sigma from the background for a scale-aware perturbation.
+    std::vector<double> sigma(d, 0.0);
+    const auto& bg = background.samples();
+    const auto& mu = background.means();
+    for (std::size_t r = 0; r < bg.rows(); ++r) {
+        const auto row = bg.row(r);
+        for (std::size_t c = 0; c < d; ++c) sigma[c] += (row[c] - mu[c]) * (row[c] - mu[c]);
+    }
+    for (double& s : sigma) s = std::sqrt(s / static_cast<double>(bg.rows()));
+
+    const Explanation base = explain(x);
+    StabilityResult result;
+    std::vector<double> xp(d);
+    for (std::size_t rep = 0; rep < repeats; ++rep) {
+        for (std::size_t j = 0; j < d; ++j) xp[j] = x[j] + rng.normal(0.0, eps * sigma[j]);
+        const Explanation pert = explain(xp);
+        double l2 = 0.0;
+        for (std::size_t j = 0; j < d; ++j) {
+            const double diff = base.attributions[j] - pert.attributions[j];
+            l2 += diff * diff;
+        }
+        result.mean_l2_drift += std::sqrt(l2);
+        result.mean_topk_jaccard += topk_jaccard(base, pert, 3);
+    }
+    result.mean_l2_drift /= static_cast<double>(repeats);
+    result.mean_topk_jaccard /= static_cast<double>(repeats);
+    return result;
+}
+
+double rerun_variance(const ExplainFn& explain, std::span<const double> x,
+                      std::size_t repeats) {
+    if (repeats < 2) throw std::invalid_argument("rerun_variance: repeats must be >= 2");
+    std::vector<std::vector<double>> runs;
+    runs.reserve(repeats);
+    for (std::size_t r = 0; r < repeats; ++r) runs.push_back(explain(x).attributions);
+    const std::size_t d = runs.front().size();
+    double total_var = 0.0;
+    for (std::size_t j = 0; j < d; ++j) {
+        double m = 0.0;
+        for (const auto& run : runs) m += run[j];
+        m /= static_cast<double>(repeats);
+        double v = 0.0;
+        for (const auto& run : runs) v += (run[j] - m) * (run[j] - m);
+        total_var += v / static_cast<double>(repeats);
+    }
+    return total_var / static_cast<double>(d);
+}
+
+}  // namespace xnfv::xai

@@ -1,0 +1,72 @@
+// Objective evaluation of explanation quality.
+//
+// Implements the standard perturbation-based protocol (Samek et al., IEEE
+// TNNLS 2017): delete features in order of attributed relevance and measure
+// how fast the prediction collapses toward the background expectation.  A
+// good explanation ranks truly load-bearing features first, so its deletion
+// curve drops steeply (large AOPC).  Also provides the insertion variant,
+// sampling-noise and input-perturbation stability metrics, and top-k
+// agreement between two explanations.
+#pragma once
+
+#include <functional>
+
+#include "core/explanation.hpp"
+#include "mlcore/model.hpp"
+#include "mlcore/rng.hpp"
+
+namespace xnfv::xai {
+
+struct DeletionCurve {
+    /// curve[k] = model output after deleting the k top-ranked features
+    /// (curve[0] = f(x) untouched); deletion = mean-imputation from the
+    /// background.
+    std::vector<double> curve;
+    /// Area over the perturbation curve: mean_k (f(x) - curve[k]), k >= 1.
+    double aopc = 0.0;
+};
+
+/// Deletes features most-relevant-first according to `ranking` (feature
+/// indices, best first; typically explanation.top_k(d)).
+[[nodiscard]] DeletionCurve deletion_curve(const xnfv::ml::Model& model,
+                                           std::span<const double> x,
+                                           std::span<const std::size_t> ranking,
+                                           const BackgroundData& background);
+
+/// Insertion variant: start from the background means and re-insert the
+/// instance's features most-relevant-first; curve[k] after k insertions.
+[[nodiscard]] DeletionCurve insertion_curve(const xnfv::ml::Model& model,
+                                            std::span<const double> x,
+                                            std::span<const std::size_t> ranking,
+                                            const BackgroundData& background);
+
+/// Random-ranking reference for the same instance, averaged over `repeats`
+/// shuffles (the null hypothesis an explainer must beat).
+[[nodiscard]] DeletionCurve random_deletion_curve(const xnfv::ml::Model& model,
+                                                  std::span<const double> x,
+                                                  const BackgroundData& background,
+                                                  xnfv::ml::Rng& rng,
+                                                  std::size_t repeats = 5);
+
+/// An explanation factory: called repeatedly by the stability metrics.
+using ExplainFn = std::function<Explanation(std::span<const double>)>;
+
+struct StabilityResult {
+    double mean_l2_drift = 0.0;  ///< mean ||phi(x) - phi(x+eps)||_2
+    double mean_topk_jaccard = 0.0;  ///< top-3 set overlap under perturbation
+};
+
+/// Input-perturbation stability: perturb x by N(0, (eps*sigma_j)^2) and
+/// compare attributions.  sigma comes from the background.
+[[nodiscard]] StabilityResult input_stability(const ExplainFn& explain,
+                                              std::span<const double> x,
+                                              const BackgroundData& background,
+                                              xnfv::ml::Rng& rng, double eps = 0.05,
+                                              std::size_t repeats = 10);
+
+/// Sampling-noise stability: re-run the (stochastic) explainer on the same x
+/// and measure attribution variance; deterministic explainers score 0.
+[[nodiscard]] double rerun_variance(const ExplainFn& explain, std::span<const double> x,
+                                    std::size_t repeats = 10);
+
+}  // namespace xnfv::xai

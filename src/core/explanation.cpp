@@ -1,0 +1,71 @@
+#include "core/explanation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+namespace xnfv::xai {
+
+std::vector<double> Explanation::abs_attributions() const {
+    std::vector<double> out(attributions.size());
+    for (std::size_t i = 0; i < out.size(); ++i) out[i] = std::abs(attributions[i]);
+    return out;
+}
+
+std::vector<std::size_t> Explanation::top_k(std::size_t k) const {
+    std::vector<std::size_t> idx(attributions.size());
+    std::iota(idx.begin(), idx.end(), std::size_t{0});
+    k = std::min(k, idx.size());
+    std::partial_sort(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(k), idx.end(),
+                      [&](std::size_t a, std::size_t b) {
+                          return std::abs(attributions[a]) > std::abs(attributions[b]);
+                      });
+    idx.resize(k);
+    return idx;
+}
+
+double Explanation::additive_reconstruction() const {
+    double s = base_value;
+    for (double v : attributions) s += v;
+    return s;
+}
+
+std::string Explanation::to_string(std::size_t max_rows) const {
+    std::ostringstream os;
+    os.precision(4);
+    os << method << ": prediction=" << prediction << " base=" << base_value << '\n';
+    const auto order = top_k(std::min(max_rows, attributions.size()));
+    for (std::size_t i : order) {
+        const std::string name =
+            i < feature_names.size() ? feature_names[i] : "f" + std::to_string(i);
+        os << "  " << name << ": " << (attributions[i] >= 0.0 ? "+" : "")
+           << attributions[i] << '\n';
+    }
+    return os.str();
+}
+
+BackgroundData::BackgroundData(const xnfv::ml::Matrix& x, std::size_t max_rows) {
+    if (x.rows() == 0 || max_rows == 0) return;
+    if (x.rows() <= max_rows) {
+        samples_ = x;
+    } else {
+        // Deterministic strided subsample keeps the background reproducible
+        // without threading an RNG through every constructor.
+        const double stride = static_cast<double>(x.rows()) / static_cast<double>(max_rows);
+        samples_ = xnfv::ml::Matrix(max_rows, x.cols());
+        for (std::size_t i = 0; i < max_rows; ++i) {
+            const auto src = x.row(static_cast<std::size_t>(
+                std::min(static_cast<double>(x.rows() - 1), stride * static_cast<double>(i))));
+            std::copy(src.begin(), src.end(), samples_.row(i).begin());
+        }
+    }
+    means_.assign(samples_.cols(), 0.0);
+    for (std::size_t r = 0; r < samples_.rows(); ++r) {
+        const auto row = samples_.row(r);
+        for (std::size_t c = 0; c < means_.size(); ++c) means_[c] += row[c];
+    }
+    for (double& m : means_) m /= static_cast<double>(samples_.rows());
+}
+
+}  // namespace xnfv::xai

@@ -1,0 +1,86 @@
+// Core explanation data types shared by every attribution method.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include <span>
+
+#include "mlcore/dataset.hpp"
+#include "mlcore/matrix.hpp"
+#include "mlcore/model.hpp"
+
+namespace xnfv::xai {
+
+/// A local feature-attribution explanation of one prediction.
+///
+/// Additive semantics (SHAP-style methods):
+///     prediction ≈ base_value + sum(attributions)
+/// LIME reports local linear *effects* in the same slot; its attributions
+/// satisfy the identity only approximately (that gap is exactly what the
+/// fidelity experiments F1/F2 quantify).
+struct Explanation {
+    std::string method;                 ///< producing explainer ("kernel_shap", ...)
+    double prediction = 0.0;            ///< f(x) at the explained point
+    double base_value = 0.0;            ///< E[f] over the background
+    std::vector<double> attributions;   ///< one signed value per feature
+    std::vector<std::string> feature_names;
+
+    /// |attributions| (magnitude ranking used by deletion curves and top-k).
+    [[nodiscard]] std::vector<double> abs_attributions() const;
+
+    /// Indices of the k largest |attribution| features, descending.
+    [[nodiscard]] std::vector<std::size_t> top_k(std::size_t k) const;
+
+    /// base_value + sum(attributions): should equal `prediction` for methods
+    /// satisfying the efficiency axiom.
+    [[nodiscard]] double additive_reconstruction() const;
+
+    /// Operator-readable rendering, features sorted by |attribution|.
+    [[nodiscard]] std::string to_string(std::size_t max_rows = 10) const;
+};
+
+/// Reference (background) data every explainer marginalizes over.
+///
+/// Holds a sample of the training distribution plus cached column means; the
+/// interventional value functions replace "absent" features with background
+/// draws, and mean imputation uses the cached means.
+class BackgroundData {
+public:
+    BackgroundData() = default;
+
+    /// Keeps at most `max_rows` rows of `x` (uniformly strided subsample so
+    /// callers can pass a whole training set).
+    explicit BackgroundData(const xnfv::ml::Matrix& x, std::size_t max_rows = 256);
+
+    [[nodiscard]] const xnfv::ml::Matrix& samples() const noexcept { return samples_; }
+    [[nodiscard]] const std::vector<double>& means() const noexcept { return means_; }
+    [[nodiscard]] std::size_t num_features() const noexcept { return samples_.cols(); }
+    [[nodiscard]] std::size_t size() const noexcept { return samples_.rows(); }
+    [[nodiscard]] bool empty() const noexcept { return samples_.rows() == 0; }
+
+private:
+    xnfv::ml::Matrix samples_;
+    std::vector<double> means_;
+};
+
+/// Abstract local explainer.
+class Explainer {
+public:
+    Explainer() = default;
+    Explainer(const Explainer&) = default;
+    Explainer& operator=(const Explainer&) = default;
+    Explainer(Explainer&&) = default;
+    Explainer& operator=(Explainer&&) = default;
+    virtual ~Explainer() = default;
+
+    /// Explains model's prediction at x.  Non-const because sampling-based
+    /// explainers advance internal RNG state.
+    [[nodiscard]] virtual Explanation explain(const xnfv::ml::Model& model,
+                                              std::span<const double> x) = 0;
+
+    [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace xnfv::xai

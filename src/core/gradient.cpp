@@ -1,0 +1,114 @@
+#include "core/gradient.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "mlcore/mlp.hpp"
+
+namespace xnfv::xai {
+
+std::vector<double> model_gradient(const xnfv::ml::Model& model, std::span<const double> x,
+                                   double fd_eps) {
+    if (x.size() != model.num_features())
+        throw std::invalid_argument("model_gradient: size mismatch");
+    if (const auto* mlp = dynamic_cast<const xnfv::ml::Mlp*>(&model))
+        return mlp->input_gradient(x);
+
+    // Central finite differences with per-feature relative step.
+    std::vector<double> grad(x.size());
+    std::vector<double> probe(x.begin(), x.end());
+    for (std::size_t j = 0; j < x.size(); ++j) {
+        const double h = fd_eps * std::max(1.0, std::abs(x[j]));
+        probe[j] = x[j] + h;
+        const double up = model.predict(probe);
+        probe[j] = x[j] - h;
+        const double down = model.predict(probe);
+        probe[j] = x[j];
+        grad[j] = (up - down) / (2.0 * h);
+    }
+    return grad;
+}
+
+Explanation IntegratedGradients::explain(const xnfv::ml::Model& model,
+                                         std::span<const double> x) {
+    const std::size_t d = model.num_features();
+    if (x.size() != d) throw std::invalid_argument("IntegratedGradients: size mismatch");
+    if (background_.empty())
+        throw std::invalid_argument("IntegratedGradients: empty background");
+    if (config_.steps == 0)
+        throw std::invalid_argument("IntegratedGradients: steps must be > 0");
+
+    const auto& baseline = background_.means();
+    std::vector<double> acc(d, 0.0);
+    std::vector<double> point(d);
+    // Midpoint rule: alpha = (k + 0.5)/steps avoids evaluating the exact
+    // endpoints, where ReLU kinks would bias a left/right rule.
+    for (std::size_t k = 0; k < config_.steps; ++k) {
+        const double alpha =
+            (static_cast<double>(k) + 0.5) / static_cast<double>(config_.steps);
+        for (std::size_t j = 0; j < d; ++j)
+            point[j] = baseline[j] + alpha * (x[j] - baseline[j]);
+        const auto grad = model_gradient(model, point);
+        for (std::size_t j = 0; j < d; ++j) acc[j] += grad[j];
+    }
+
+    Explanation e;
+    e.method = name();
+    e.prediction = model.predict(x);
+    e.base_value = model.predict(baseline);
+    e.attributions.assign(d, 0.0);
+    for (std::size_t j = 0; j < d; ++j)
+        e.attributions[j] =
+            (x[j] - baseline[j]) * acc[j] / static_cast<double>(config_.steps);
+    return e;
+}
+
+SmoothGrad::SmoothGrad(BackgroundData background, xnfv::ml::Rng rng, Config config)
+    : background_(std::move(background)), rng_(rng), config_(config) {
+    if (background_.empty()) throw std::invalid_argument("SmoothGrad: empty background");
+    const auto& bg = background_.samples();
+    const auto& mu = background_.means();
+    sigma_.assign(bg.cols(), 0.0);
+    for (std::size_t r = 0; r < bg.rows(); ++r) {
+        const auto row = bg.row(r);
+        for (std::size_t c = 0; c < sigma_.size(); ++c) {
+            const double d = row[c] - mu[c];
+            sigma_[c] += d * d;
+        }
+    }
+    for (double& s : sigma_) {
+        s = std::sqrt(s / static_cast<double>(bg.rows()));
+        if (s == 0.0) s = 1.0;
+    }
+}
+
+Explanation SmoothGrad::explain(const xnfv::ml::Model& model, std::span<const double> x) {
+    const std::size_t d = model.num_features();
+    if (x.size() != d) throw std::invalid_argument("SmoothGrad: size mismatch");
+    if (config_.samples == 0)
+        throw std::invalid_argument("SmoothGrad: samples must be > 0");
+
+    std::vector<double> acc(d, 0.0);
+    std::vector<double> probe(d);
+    for (std::size_t s = 0; s < config_.samples; ++s) {
+        for (std::size_t j = 0; j < d; ++j)
+            probe[j] = x[j] + rng_.normal(0.0, config_.noise_fraction * sigma_[j]);
+        const auto grad = model_gradient(model, probe);
+        for (std::size_t j = 0; j < d; ++j) acc[j] += grad[j];
+    }
+    for (double& v : acc) v /= static_cast<double>(config_.samples);
+    last_gradient_ = acc;
+
+    Explanation e;
+    e.method = name();
+    e.prediction = model.predict(x);
+    e.base_value = model.predict(background_.means());
+    e.attributions.assign(d, 0.0);
+    const auto& mu = background_.means();
+    // Gradient*input form relative to the baseline: same units as the
+    // additive explainers, but additivity is approximate by construction.
+    for (std::size_t j = 0; j < d; ++j) e.attributions[j] = acc[j] * (x[j] - mu[j]);
+    return e;
+}
+
+}  // namespace xnfv::xai

@@ -1,0 +1,88 @@
+// Gradient-based explanation methods: Integrated Gradients and SmoothGrad.
+//
+// These are the "local perturbation / gradient" family of the XAI taxonomy.
+// They need the model's gradient; model_gradient() dispatches to the MLP's
+// analytic backprop gradient when available and falls back to central finite
+// differences for any other Model (trees are piecewise constant, so their
+// finite-difference gradients are mostly zero — the runtime experiment F3
+// and the agreement experiment T2 discuss why gradient methods are a poor
+// fit for tree ensembles, which is itself one of the paper's points).
+//
+// Integrated Gradients (Sundararajan et al., ICML 2017):
+//     phi_i = (x_i - b_i) * ∫_0^1 d f(b + a (x - b)) / d x_i  da
+// approximated with a midpoint Riemann sum.  IG satisfies *completeness*
+// (sum phi = f(x) - f(b)) in the limit of infinitely many steps; the tests
+// check the discretized identity within tolerance.
+//
+// SmoothGrad (Smilkov et al., 2017) averages gradients over Gaussian
+// perturbations of x; we report it in gradient*input form relative to the
+// baseline so its attributions live in the same additive units as the rest
+// of the explainers (the additivity identity is NOT guaranteed — that is a
+// documented property, not a bug).
+#pragma once
+
+#include "core/explanation.hpp"
+#include "mlcore/model.hpp"
+#include "mlcore/rng.hpp"
+
+namespace xnfv::xai {
+
+/// Gradient of model.predict at x: analytic for Mlp, central finite
+/// differences (step `fd_eps` * max(1,|x_i|)) otherwise.
+[[nodiscard]] std::vector<double> model_gradient(const xnfv::ml::Model& model,
+                                                 std::span<const double> x,
+                                                 double fd_eps = 1e-5);
+
+class IntegratedGradients final : public Explainer {
+public:
+    struct Config {
+        std::size_t steps = 50;  ///< Riemann-sum resolution
+    };
+
+    /// The baseline is the background mean (the conventional tabular choice).
+    explicit IntegratedGradients(BackgroundData background)
+        : IntegratedGradients(std::move(background), Config{}) {}
+    IntegratedGradients(BackgroundData background, Config config)
+        : background_(std::move(background)), config_(config) {}
+
+    [[nodiscard]] Explanation explain(const xnfv::ml::Model& model,
+                                      std::span<const double> x) override;
+
+    [[nodiscard]] std::string name() const override { return "integrated_gradients"; }
+
+private:
+    BackgroundData background_;
+    Config config_{};
+};
+
+class SmoothGrad final : public Explainer {
+public:
+    struct Config {
+        std::size_t samples = 50;
+        /// Noise scale as a fraction of each feature's background stddev.
+        double noise_fraction = 0.1;
+    };
+
+    SmoothGrad(BackgroundData background, xnfv::ml::Rng rng)
+        : SmoothGrad(std::move(background), rng, Config{}) {}
+    SmoothGrad(BackgroundData background, xnfv::ml::Rng rng, Config config);
+
+    [[nodiscard]] Explanation explain(const xnfv::ml::Model& model,
+                                      std::span<const double> x) override;
+
+    [[nodiscard]] std::string name() const override { return "smoothgrad"; }
+
+    /// The smoothed raw gradient from the last explain() call.
+    [[nodiscard]] const std::vector<double>& last_gradient() const noexcept {
+        return last_gradient_;
+    }
+
+private:
+    BackgroundData background_;
+    xnfv::ml::Rng rng_;
+    Config config_{};
+    std::vector<double> sigma_;
+    std::vector<double> last_gradient_;
+};
+
+}  // namespace xnfv::xai

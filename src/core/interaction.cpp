@@ -1,0 +1,117 @@
+#include "core/interaction.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace xnfv::xai {
+
+namespace {
+
+/// Evaluation state shared by the PD computations: the first `n` background
+/// rows double as PD evaluation points and marginalization sample.
+struct PdContext {
+    const xnfv::ml::Model& model;
+    const xnfv::ml::Matrix& bg;
+    std::size_t n;
+
+    /// Centered one-feature PD evaluated at each point's own feature value:
+    /// out[p] = PD_j(bg[p][j]) - mean.
+    [[nodiscard]] std::vector<double> pd_single(std::size_t j) const {
+        std::vector<double> out(n, 0.0);
+        std::vector<double> probe(bg.cols());
+        for (std::size_t p = 0; p < n; ++p) {
+            const double v = bg(p, j);
+            double acc = 0.0;
+            for (std::size_t r = 0; r < n; ++r) {
+                const auto row = bg.row(r);
+                std::copy(row.begin(), row.end(), probe.begin());
+                probe[j] = v;
+                acc += model.predict(probe);
+            }
+            out[p] = acc / static_cast<double>(n);
+        }
+        center(out);
+        return out;
+    }
+
+    /// Centered two-feature PD at each point's own (j, k) values.
+    [[nodiscard]] std::vector<double> pd_pair(std::size_t j, std::size_t k) const {
+        std::vector<double> out(n, 0.0);
+        std::vector<double> probe(bg.cols());
+        for (std::size_t p = 0; p < n; ++p) {
+            const double vj = bg(p, j);
+            const double vk = bg(p, k);
+            double acc = 0.0;
+            for (std::size_t r = 0; r < n; ++r) {
+                const auto row = bg.row(r);
+                std::copy(row.begin(), row.end(), probe.begin());
+                probe[j] = vj;
+                probe[k] = vk;
+                acc += model.predict(probe);
+            }
+            out[p] = acc / static_cast<double>(n);
+        }
+        center(out);
+        return out;
+    }
+
+    static void center(std::vector<double>& v) {
+        double m = 0.0;
+        for (double x : v) m += x;
+        m /= static_cast<double>(v.size());
+        for (double& x : v) x -= m;
+    }
+};
+
+double h2_from_pds(const std::vector<double>& pdj, const std::vector<double>& pdk,
+                   const std::vector<double>& pdjk) {
+    double num = 0.0, den = 0.0;
+    for (std::size_t p = 0; p < pdjk.size(); ++p) {
+        const double resid = pdjk[p] - pdj[p] - pdk[p];
+        num += resid * resid;
+        den += pdjk[p] * pdjk[p];
+    }
+    if (den <= 1e-12) return 0.0;  // the pair has no joint effect at all
+    return std::clamp(num / den, 0.0, 1.0);
+}
+
+}  // namespace
+
+double friedman_h2(const xnfv::ml::Model& model, const BackgroundData& background,
+                   std::size_t j, std::size_t k, const InteractionOptions& options) {
+    if (background.empty()) throw std::invalid_argument("friedman_h2: empty background");
+    const std::size_t d = background.num_features();
+    if (j >= d || k >= d) throw std::invalid_argument("friedman_h2: feature out of range");
+    if (j == k) throw std::invalid_argument("friedman_h2: features must differ");
+
+    const PdContext ctx{.model = model, .bg = background.samples(),
+                        .n = std::min(options.max_points, background.size())};
+    return h2_from_pds(ctx.pd_single(j), ctx.pd_single(k), ctx.pd_pair(j, k));
+}
+
+std::vector<std::vector<double>> interaction_matrix(const xnfv::ml::Model& model,
+                                                    const BackgroundData& background,
+                                                    const InteractionOptions& options) {
+    if (background.empty())
+        throw std::invalid_argument("interaction_matrix: empty background");
+    const std::size_t d = background.num_features();
+    const PdContext ctx{.model = model, .bg = background.samples(),
+                        .n = std::min(options.max_points, background.size())};
+
+    // Single-feature PDs are reused across all pairs.
+    std::vector<std::vector<double>> singles(d);
+    for (std::size_t j = 0; j < d; ++j) singles[j] = ctx.pd_single(j);
+
+    std::vector<std::vector<double>> h(d, std::vector<double>(d, 0.0));
+    for (std::size_t j = 0; j < d; ++j) {
+        for (std::size_t k = j + 1; k < d; ++k) {
+            const double v = h2_from_pds(singles[j], singles[k], ctx.pd_pair(j, k));
+            h[j][k] = v;
+            h[k][j] = v;
+        }
+    }
+    return h;
+}
+
+}  // namespace xnfv::xai

@@ -1,0 +1,44 @@
+// Feature-interaction strength: Friedman's H statistic (Friedman & Popescu,
+// 2008), computed from partial-dependence functions.
+//
+// Single attributions answer "which feature matters"; H answers "do these
+// features matter *together*" — e.g. offered load only hurts when CPU
+// allocation is low, which is exactly the kind of coupling an NFV operator
+// needs surfaced.  For features (j, k):
+//
+//     H^2_jk = sum_b [ PD_jk(x_b) - PD_j(x_b) - PD_k(x_b) ]^2
+//              ------------------------------------------------
+//                        sum_b PD_jk(x_b)^2
+//
+// where the PD functions are centered over the background b.  H^2 = 0 for a
+// model additive in j and k; H^2 -> 1 when the joint effect is pure
+// interaction.
+#pragma once
+
+#include <vector>
+
+#include "core/explanation.hpp"
+#include "mlcore/model.hpp"
+
+namespace xnfv::xai {
+
+struct InteractionOptions {
+    /// Background rows used both as PD evaluation points and marginalization
+    /// sample; capped for cost (PD_jk costs O(points^2) model calls).
+    std::size_t max_points = 64;
+};
+
+/// H^2 statistic for the feature pair (j, k).  Returns a value in [0, 1]
+/// (clamped; sampling noise can push the raw ratio slightly outside).
+[[nodiscard]] double friedman_h2(const xnfv::ml::Model& model,
+                                 const BackgroundData& background, std::size_t j,
+                                 std::size_t k,
+                                 const InteractionOptions& options = {});
+
+/// All pairwise H^2 values; result is a symmetric matrix with zero diagonal,
+/// indexed [j][k].
+[[nodiscard]] std::vector<std::vector<double>> interaction_matrix(
+    const xnfv::ml::Model& model, const BackgroundData& background,
+    const InteractionOptions& options = {});
+
+}  // namespace xnfv::xai

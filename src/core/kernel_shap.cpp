@@ -1,0 +1,159 @@
+#include "core/kernel_shap.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/exact_shapley.hpp"  // shapley_kernel_weight, log_binomial
+
+namespace xnfv::xai {
+
+namespace {
+
+/// A coalition scheduled for evaluation.
+struct Coalition {
+    std::vector<bool> mask;
+    double weight = 0.0;
+};
+
+/// Enumerates all size-s subsets of d features into `out` with weight w.
+void enumerate_size(std::size_t d, std::size_t s, double w, std::vector<Coalition>& out) {
+    std::vector<std::size_t> idx(s);
+    for (std::size_t i = 0; i < s; ++i) idx[i] = i;
+    while (true) {
+        Coalition c;
+        c.mask.assign(d, false);
+        for (std::size_t i : idx) c.mask[i] = true;
+        c.weight = w;
+        out.push_back(std::move(c));
+        // Next combination (lexicographic).
+        std::size_t k = s;
+        while (k > 0 && idx[k - 1] == d - s + (k - 1)) --k;
+        if (k == 0) break;
+        ++idx[k - 1];
+        for (std::size_t j = k; j < s; ++j) idx[j] = idx[j - 1] + 1;
+    }
+}
+
+}  // namespace
+
+double KernelShap::value_of(const xnfv::ml::Model& model, std::span<const double> x,
+                            const std::vector<bool>& mask) const {
+    const auto& bg = background_.samples();
+    std::vector<double> probe(x.size());
+    double acc = 0.0;
+    for (std::size_t b = 0; b < bg.rows(); ++b) {
+        const auto brow = bg.row(b);
+        for (std::size_t j = 0; j < x.size(); ++j) probe[j] = mask[j] ? x[j] : brow[j];
+        acc += model.predict(probe);
+    }
+    return acc / static_cast<double>(bg.rows());
+}
+
+Explanation KernelShap::explain(const xnfv::ml::Model& model, std::span<const double> x) {
+    const std::size_t d = model.num_features();
+    if (x.size() != d) throw std::invalid_argument("KernelShap: input size mismatch");
+    if (background_.empty()) throw std::invalid_argument("KernelShap: empty background");
+    if (d == 0) throw std::invalid_argument("KernelShap: zero features");
+
+    Explanation e;
+    e.method = name();
+    e.prediction = model.predict(x);
+    e.base_value = value_of(model, x, std::vector<bool>(d, false));
+    e.attributions.assign(d, 0.0);
+    const double fx = value_of(model, x, std::vector<bool>(d, true));
+    const double delta = fx - e.base_value;
+
+    if (d == 1) {  // single feature carries everything
+        e.attributions[0] = delta;
+        return e;
+    }
+
+    // --- Phase 1: full enumeration of outermost coalition sizes -----------
+    std::vector<Coalition> coalitions;
+    std::size_t budget = config_.max_coalitions;
+    std::vector<bool> size_enumerated(d, false);  // indexed by coalition size
+
+    for (std::size_t s = 1; s <= d / 2; ++s) {
+        const std::size_t t = d - s;  // paired size
+        const bool self_paired = (s == t);
+        const double count_s = std::exp(log_binomial(d, s));
+        const double total = self_paired ? count_s : 2.0 * count_s;
+        if (total > static_cast<double>(budget)) break;
+        const double w = shapley_kernel_weight(d, s);
+        enumerate_size(d, s, w, coalitions);
+        size_enumerated[s] = true;
+        if (!self_paired) {
+            enumerate_size(d, t, shapley_kernel_weight(d, t), coalitions);
+            size_enumerated[t] = true;
+        }
+        budget -= static_cast<std::size_t>(total);
+    }
+
+    // --- Phase 2: random sampling over the remaining sizes ----------------
+    std::vector<double> residual_mass(d, 0.0);
+    double total_residual = 0.0;
+    for (std::size_t s = 1; s < d; ++s) {
+        if (size_enumerated[s]) continue;
+        residual_mass[s] =
+            shapley_kernel_weight(d, s) * std::exp(log_binomial(d, s));
+        total_residual += residual_mass[s];
+    }
+    if (total_residual > 0.0 && budget > 0) {
+        const std::size_t n_random =
+            config_.paired_sampling ? budget / 2 : budget;
+        // Each random coalition stands for an equal share of the residual
+        // kernel mass.
+        const double w_each =
+            total_residual / std::max<std::size_t>(1, n_random) /
+            (config_.paired_sampling ? 2.0 : 1.0);
+        for (std::size_t k = 0; k < n_random; ++k) {
+            const std::size_t s = rng_.weighted_index(residual_mass);
+            const auto members = rng_.sample_without_replacement(d, s);
+            Coalition c;
+            c.mask.assign(d, false);
+            for (std::size_t m : members) c.mask[m] = true;
+            c.weight = w_each;
+            if (config_.paired_sampling) {
+                Coalition comp;
+                comp.mask.resize(d);
+                for (std::size_t j = 0; j < d; ++j) comp.mask[j] = !c.mask[j];
+                comp.weight = w_each;
+                coalitions.push_back(std::move(comp));
+            }
+            coalitions.push_back(std::move(c));
+        }
+    }
+
+    if (coalitions.empty())
+        throw std::invalid_argument("KernelShap: coalition budget too small");
+
+    // --- Phase 3: constrained weighted least squares -----------------------
+    // Eliminate phi_{d-1} via the efficiency constraint
+    //   sum_i phi_i = delta,
+    // regressing  y = v(S) - v0 - z_{d-1} * delta  on  (z_i - z_{d-1})_{i<d-1}.
+    const std::size_t n = coalitions.size();
+    xnfv::ml::Matrix design(n, d - 1);
+    std::vector<double> y(n), w(n);
+    for (std::size_t r = 0; r < n; ++r) {
+        const Coalition& c = coalitions[r];
+        const double v = value_of(model, x, c.mask);
+        const double z_last = c.mask[d - 1] ? 1.0 : 0.0;
+        y[r] = v - e.base_value - z_last * delta;
+        w[r] = c.weight;
+        auto row = design.row(r);
+        for (std::size_t j = 0; j + 1 < d; ++j)
+            row[j] = (c.mask[j] ? 1.0 : 0.0) - z_last;
+    }
+
+    const auto beta = xnfv::ml::weighted_least_squares(design, y, w, config_.l2);
+    double sum_beta = 0.0;
+    for (std::size_t j = 0; j + 1 < d; ++j) {
+        e.attributions[j] = beta[j];
+        sum_beta += beta[j];
+    }
+    e.attributions[d - 1] = delta - sum_beta;
+    return e;
+}
+
+}  // namespace xnfv::xai

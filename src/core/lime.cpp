@@ -1,0 +1,129 @@
+#include "core/lime.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace xnfv::xai {
+
+Lime::Lime(BackgroundData background, xnfv::ml::Rng rng, Config config)
+    : background_(std::move(background)), rng_(rng), config_(config) {
+    if (background_.empty()) throw std::invalid_argument("Lime: empty background");
+    // Per-feature stddevs define both the perturbation scale and the
+    // standardized distance metric.
+    const auto& bg = background_.samples();
+    sigma_.assign(bg.cols(), 0.0);
+    const auto& mu = background_.means();
+    for (std::size_t r = 0; r < bg.rows(); ++r) {
+        const auto row = bg.row(r);
+        for (std::size_t c = 0; c < sigma_.size(); ++c) {
+            const double d = row[c] - mu[c];
+            sigma_[c] += d * d;
+        }
+    }
+    for (double& s : sigma_) {
+        s = std::sqrt(s / static_cast<double>(bg.rows()));
+        if (s == 0.0) s = 1.0;  // constant feature: unit scale
+    }
+}
+
+Explanation Lime::explain(const xnfv::ml::Model& model, std::span<const double> x) {
+    const std::size_t d = model.num_features();
+    if (x.size() != d) throw std::invalid_argument("Lime: input size mismatch");
+    if (config_.num_samples < d + 2)
+        throw std::invalid_argument("Lime: num_samples too small for the feature count");
+
+    const double width = config_.kernel_width > 0.0
+                             ? config_.kernel_width
+                             : 0.75 * std::sqrt(static_cast<double>(d));
+    const double inv_2w2 = 1.0 / (2.0 * width * width);
+
+    // Perturb, evaluate, kernel-weight.  The design is in *standardized
+    // offset* space (z_j = (x'_j - x_j)/sigma_j) with an intercept column,
+    // which makes the kernel isotropic and the ridge penalty scale-free.
+    const std::size_t n = config_.num_samples;
+    xnfv::ml::Matrix design(n, d + 1);
+    std::vector<double> y(n), w(n), probe(d);
+    for (std::size_t s = 0; s < n; ++s) {
+        auto row = design.row(s);
+        double dist2 = 0.0;
+        row[0] = 1.0;  // intercept
+        for (std::size_t j = 0; j < d; ++j) {
+            const double z = rng_.normal(0.0, config_.perturbation_scale);
+            probe[j] = x[j] + z * sigma_[j];
+            row[j + 1] = z;
+            dist2 += z * z;
+        }
+        y[s] = model.predict(probe);
+        w[s] = std::exp(-dist2 * inv_2w2);
+    }
+
+    const auto beta = xnfv::ml::weighted_least_squares(design, y, w, config_.l2);
+
+    // Weighted R^2 of the surrogate over a sample batch; guards against the
+    // degenerate case where the kernel leaves (almost) no effective weight.
+    const auto weighted_r2 = [&](const xnfv::ml::Matrix& z, std::span<const double> ys,
+                                 std::span<const double> ws) {
+        double w_sum = 0.0, y_mean = 0.0;
+        for (std::size_t s = 0; s < ys.size(); ++s) {
+            w_sum += ws[s];
+            y_mean += ws[s] * ys[s];
+        }
+        if (w_sum <= 1e-12) return 0.0;
+        y_mean /= w_sum;
+        double ss_res = 0.0, ss_tot = 0.0;
+        for (std::size_t s = 0; s < ys.size(); ++s) {
+            const double pred = xnfv::ml::dot(z.row(s), beta);
+            ss_res += ws[s] * (ys[s] - pred) * (ys[s] - pred);
+            ss_tot += ws[s] * (ys[s] - y_mean) * (ys[s] - y_mean);
+        }
+        if (ss_tot <= 1e-12 * w_sum) return 0.0;  // locally constant target
+        return 1.0 - ss_res / ss_tot;
+    };
+    last_fit_.weighted_r2 = weighted_r2(design, y, w);
+
+    // Honest fidelity: fresh neighborhood samples the surrogate never saw.
+    {
+        const std::size_t n_eval = std::max<std::size_t>(100, n / 4);
+        xnfv::ml::Matrix eval_design(n_eval, d + 1);
+        std::vector<double> ye(n_eval), we(n_eval);
+        for (std::size_t s = 0; s < n_eval; ++s) {
+            auto row = eval_design.row(s);
+            row[0] = 1.0;
+            double dist2 = 0.0;
+            for (std::size_t j = 0; j < d; ++j) {
+                const double z = rng_.normal(0.0, config_.perturbation_scale);
+                probe[j] = x[j] + z * sigma_[j];
+                row[j + 1] = z;
+                dist2 += z * z;
+            }
+            ye[s] = model.predict(probe);
+            we[s] = std::exp(-dist2 * inv_2w2);
+        }
+        last_fit_.holdout_r2 = weighted_r2(eval_design, ye, we);
+    }
+
+    last_fit_.intercept = beta[0];
+    last_fit_.coefficients.assign(d, 0.0);
+
+    Explanation e;
+    e.method = name();
+    e.prediction = model.predict(x);
+    e.attributions.assign(d, 0.0);
+    const auto& mu = background_.means();
+    for (std::size_t j = 0; j < d; ++j) {
+        // Convert the standardized slope back to raw units.
+        const double slope = beta[j + 1] / sigma_[j];
+        last_fit_.coefficients[j] = slope;
+        // Local effect relative to the background mean: what this feature's
+        // deviation from "typical" contributes under the local linear model.
+        e.attributions[j] = slope * (x[j] - mu[j]);
+    }
+    double effects = 0.0;
+    for (double a : e.attributions) effects += a;
+    // Base chosen so the additive identity holds for the *surrogate*:
+    // surrogate(x) = intercept (z = 0) => base = surrogate(x) - effects.
+    e.base_value = beta[0] - effects;
+    return e;
+}
+
+}  // namespace xnfv::xai

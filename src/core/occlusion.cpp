@@ -1,0 +1,74 @@
+#include "core/occlusion.hpp"
+
+#include <stdexcept>
+
+#include "mlcore/metrics.hpp"
+
+namespace xnfv::xai {
+
+Explanation Occlusion::explain(const xnfv::ml::Model& model, std::span<const double> x) {
+    const std::size_t d = model.num_features();
+    if (x.size() != d) throw std::invalid_argument("Occlusion: input size mismatch");
+    if (background_.empty()) throw std::invalid_argument("Occlusion: empty background");
+
+    Explanation e;
+    e.method = name();
+    e.prediction = model.predict(x);
+    e.attributions.assign(d, 0.0);
+
+    const auto& bg = background_.samples();
+    std::vector<double> probe(x.begin(), x.end());
+    double base_acc = 0.0;
+    for (std::size_t j = 0; j < d; ++j) {
+        double acc = 0.0;
+        for (std::size_t b = 0; b < bg.rows(); ++b) {
+            probe[j] = bg(b, j);
+            acc += model.predict(probe);
+        }
+        probe[j] = x[j];
+        e.attributions[j] = e.prediction - acc / static_cast<double>(bg.rows());
+    }
+    // Base value: mean prediction over the background (the occlusion
+    // attributions do not sum exactly to prediction - base; the evaluation
+    // experiments quantify that gap).
+    for (std::size_t b = 0; b < bg.rows(); ++b) base_acc += model.predict(bg.row(b));
+    e.base_value = base_acc / static_cast<double>(bg.rows());
+    return e;
+}
+
+PermutationImportanceResult permutation_importance(const xnfv::ml::Model& model,
+                                                   const xnfv::ml::Dataset& data,
+                                                   xnfv::ml::Rng& rng, std::size_t repeats) {
+    if (data.size() == 0)
+        throw std::invalid_argument("permutation_importance: empty dataset");
+    if (repeats == 0)
+        throw std::invalid_argument("permutation_importance: repeats must be > 0");
+
+    const auto error_of = [&](const std::vector<double>& preds) {
+        if (data.task == xnfv::ml::Task::binary_classification)
+            return 1.0 - xnfv::ml::roc_auc(data.y, preds);
+        return xnfv::ml::mse(data.y, preds);
+    };
+
+    PermutationImportanceResult result;
+    result.baseline_error = error_of(model.predict_batch(data.x));
+    result.importance.assign(data.num_features(), 0.0);
+
+    xnfv::ml::Matrix shuffled = data.x;
+    std::vector<double> column(data.size());
+    for (std::size_t f = 0; f < data.num_features(); ++f) {
+        double acc = 0.0;
+        for (std::size_t rep = 0; rep < repeats; ++rep) {
+            for (std::size_t r = 0; r < data.size(); ++r) column[r] = data.x(r, f);
+            rng.shuffle(column);
+            for (std::size_t r = 0; r < data.size(); ++r) shuffled(r, f) = column[r];
+            acc += error_of(model.predict_batch(shuffled));
+        }
+        // Restore the column before moving on.
+        for (std::size_t r = 0; r < data.size(); ++r) shuffled(r, f) = data.x(r, f);
+        result.importance[f] = acc / static_cast<double>(repeats) - result.baseline_error;
+    }
+    return result;
+}
+
+}  // namespace xnfv::xai

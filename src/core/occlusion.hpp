@@ -1,0 +1,45 @@
+// Single-feature occlusion (local) and permutation importance (global).
+//
+// Occlusion is the cheapest local attribution baseline: replace one feature
+// with background draws and measure the prediction drop.  It ignores feature
+// interactions entirely — which is precisely why the agreement experiment T2
+// includes it as the "naive" point of comparison for the Shapley methods.
+//
+// Permutation importance is the standard *global* baseline: the increase in
+// model error when a feature column is shuffled (Breiman 2001).
+#pragma once
+
+#include "core/explanation.hpp"
+#include "mlcore/dataset.hpp"
+#include "mlcore/model.hpp"
+#include "mlcore/rng.hpp"
+
+namespace xnfv::xai {
+
+/// Local occlusion explainer: phi_j = f(x) - E_b[f(x with x_j := b_j)].
+class Occlusion final : public Explainer {
+public:
+    explicit Occlusion(BackgroundData background) : background_(std::move(background)) {}
+
+    [[nodiscard]] Explanation explain(const xnfv::ml::Model& model,
+                                      std::span<const double> x) override;
+
+    [[nodiscard]] std::string name() const override { return "occlusion"; }
+
+private:
+    BackgroundData background_;
+};
+
+/// Global permutation importance.
+struct PermutationImportanceResult {
+    std::vector<double> importance;  ///< error increase per feature
+    double baseline_error = 0.0;     ///< unpermuted error
+};
+
+/// Error metric: MSE for regression datasets, 1 - AUC for classification.
+/// `repeats` shuffles are averaged per feature.
+[[nodiscard]] PermutationImportanceResult permutation_importance(
+    const xnfv::ml::Model& model, const xnfv::ml::Dataset& data, xnfv::ml::Rng& rng,
+    std::size_t repeats = 3);
+
+}  // namespace xnfv::xai

@@ -1,0 +1,58 @@
+#include "core/pdp.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace xnfv::xai {
+
+PdpResult partial_dependence(const xnfv::ml::Model& model, const BackgroundData& background,
+                             std::size_t feature, const PdpOptions& options) {
+    if (background.empty())
+        throw std::invalid_argument("partial_dependence: empty background");
+    if (feature >= background.num_features())
+        throw std::invalid_argument("partial_dependence: feature out of range");
+    if (options.grid_points < 2)
+        throw std::invalid_argument("partial_dependence: need >= 2 grid points");
+
+    const auto& bg = background.samples();
+
+    // Quantile-clipped grid over the feature's background distribution.
+    std::vector<double> values(bg.rows());
+    for (std::size_t r = 0; r < bg.rows(); ++r) values[r] = bg(r, feature);
+    std::sort(values.begin(), values.end());
+    const auto quantile = [&](double q) {
+        const double pos = q * static_cast<double>(values.size() - 1);
+        const auto lo = static_cast<std::size_t>(pos);
+        const std::size_t hi = std::min(lo + 1, values.size() - 1);
+        const double frac = pos - static_cast<double>(lo);
+        return values[lo] * (1.0 - frac) + values[hi] * frac;
+    };
+    const double lo = quantile(options.lo_quantile);
+    const double hi = quantile(options.hi_quantile);
+
+    PdpResult result;
+    result.feature = feature;
+    result.grid.resize(options.grid_points);
+    result.mean.assign(options.grid_points, 0.0);
+    if (options.keep_ice) result.ice.assign(bg.rows(), std::vector<double>(options.grid_points));
+
+    std::vector<double> probe(bg.cols());
+    for (std::size_t g = 0; g < options.grid_points; ++g) {
+        const double v = lo + (hi - lo) * static_cast<double>(g) /
+                                  static_cast<double>(options.grid_points - 1);
+        result.grid[g] = v;
+        double acc = 0.0;
+        for (std::size_t r = 0; r < bg.rows(); ++r) {
+            const auto row = bg.row(r);
+            std::copy(row.begin(), row.end(), probe.begin());
+            probe[feature] = v;
+            const double pred = model.predict(probe);
+            acc += pred;
+            if (options.keep_ice) result.ice[r][g] = pred;
+        }
+        result.mean[g] = acc / static_cast<double>(bg.rows());
+    }
+    return result;
+}
+
+}  // namespace xnfv::xai

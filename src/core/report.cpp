@@ -1,0 +1,55 @@
+#include "core/report.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace xnfv::xai {
+
+std::string incident_report(const xnfv::ml::Model& model, Explainer& explainer,
+                            std::span<const double> x,
+                            std::span<const std::string> feature_names,
+                            const BackgroundData& background, xnfv::ml::Rng& rng,
+                            const ReportOptions& options) {
+    if (x.size() != model.num_features())
+        throw std::invalid_argument("incident_report: size mismatch");
+
+    auto e = explainer.explain(model, x);
+    e.feature_names.assign(feature_names.begin(), feature_names.end());
+
+    const auto name_of = [&](std::size_t j) {
+        return j < feature_names.size() ? feature_names[j] : "f" + std::to_string(j);
+    };
+
+    std::ostringstream os;
+    os.precision(3);
+    const bool alert = e.prediction >= options.alert_threshold;
+    os << "┌ incident report (" << explainer.name() << ")\n";
+    os << "│ status: " << (alert ? "ALERT" : "ok") << "  model output "
+       << e.prediction << " (baseline " << e.base_value << ")\n";
+    os << "│ top drivers:\n";
+    for (const std::size_t j : e.top_k(options.top_features)) {
+        const double phi = e.attributions[j];
+        os << "│   " << (phi >= 0.0 ? "+" : "-") << std::abs(phi) << "  "
+           << name_of(j) << " = " << x[j]
+           << (phi >= 0.0 ? "  (pushes toward alert)" : "  (pushes away)") << '\n';
+    }
+
+    if (options.counterfactual && alert) {
+        const auto cf =
+            find_counterfactual(model, x, background, rng, *options.counterfactual);
+        if (cf) {
+            os << "│ suggested remediation (model output would become "
+               << cf->prediction << "):\n";
+            for (const std::size_t j : cf->changed)
+                os << "│   set " << name_of(j) << ": " << x[j] << " -> "
+                   << cf->point[j] << '\n';
+        } else {
+            os << "│ no actionable remediation found within the search budget\n";
+        }
+    }
+    os << "└\n";
+    return os.str();
+}
+
+}  // namespace xnfv::xai

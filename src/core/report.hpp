@@ -1,0 +1,39 @@
+// Operator-facing incident reports.
+//
+// Renders everything the paper argues an operator should receive for a
+// flagged chain into one block of text: the prediction and its confidence,
+// the top attributed telemetry drivers with direction, and (optionally) the
+// smallest actionable counterfactual fix.  This is the "presentation layer"
+// of the pipeline — examples and the CLI print exactly this.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/counterfactual.hpp"
+#include "core/explanation.hpp"
+#include "mlcore/rng.hpp"
+
+namespace xnfv::xai {
+
+struct ReportOptions {
+    std::size_t top_features = 5;
+    /// Threshold above which the prediction is phrased as a violation alert.
+    double alert_threshold = 0.5;
+    /// When set, a counterfactual search runs and its remediation is
+    /// appended to the report.
+    std::optional<CounterfactualOptions> counterfactual;
+};
+
+/// Builds the report for one instance.  `explainer` produces the
+/// attribution; the counterfactual section (if enabled) uses the same
+/// background.
+[[nodiscard]] std::string incident_report(const xnfv::ml::Model& model,
+                                          Explainer& explainer,
+                                          std::span<const double> x,
+                                          std::span<const std::string> feature_names,
+                                          const BackgroundData& background,
+                                          xnfv::ml::Rng& rng,
+                                          const ReportOptions& options = {});
+
+}  // namespace xnfv::xai

@@ -1,0 +1,60 @@
+#include "core/sampling_shapley.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace xnfv::xai {
+
+Explanation SamplingShapley::explain(const xnfv::ml::Model& model,
+                                     std::span<const double> x) {
+    const std::size_t d = model.num_features();
+    if (x.size() != d) throw std::invalid_argument("SamplingShapley: size mismatch");
+    if (background_.empty())
+        throw std::invalid_argument("SamplingShapley: empty background");
+    if (config_.num_permutations == 0)
+        throw std::invalid_argument("SamplingShapley: num_permutations must be > 0");
+
+    const auto& bg = background_.samples();
+    std::vector<double> phi(d, 0.0);
+    std::vector<std::size_t> order(d);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::vector<double> probe(d);
+    double base_acc = 0.0;
+    std::size_t runs = 0;
+
+    const auto run_permutation = [&](std::span<const std::size_t> pi,
+                                     std::span<const double> b) {
+        std::copy(b.begin(), b.end(), probe.begin());
+        double prev = model.predict(probe);
+        base_acc += prev;
+        for (const std::size_t j : pi) {
+            probe[j] = x[j];
+            const double cur = model.predict(probe);
+            phi[j] += cur - prev;
+            prev = cur;
+        }
+        ++runs;
+    };
+
+    for (std::size_t p = 0; p < config_.num_permutations; ++p) {
+        rng_.shuffle(order);
+        const auto b = bg.row(rng_.uniform_index(bg.rows()));
+        run_permutation(order, b);
+        if (config_.antithetic) {
+            std::reverse(order.begin(), order.end());
+            run_permutation(order, b);
+        }
+    }
+
+    Explanation e;
+    e.method = name();
+    e.prediction = model.predict(x);
+    e.base_value = base_acc / static_cast<double>(runs);
+    e.attributions.assign(d, 0.0);
+    for (std::size_t j = 0; j < d; ++j)
+        e.attributions[j] = phi[j] / static_cast<double>(runs);
+    return e;
+}
+
+}  // namespace xnfv::xai

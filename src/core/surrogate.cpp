@@ -1,0 +1,41 @@
+#include "core/surrogate.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "mlcore/metrics.hpp"
+
+namespace xnfv::xai {
+
+SurrogateResult fit_surrogate(const xnfv::ml::Model& model, const BackgroundData& background,
+                              std::span<const std::string> feature_names, xnfv::ml::Rng& rng,
+                              const SurrogateOptions& options) {
+    if (background.size() < 10)
+        throw std::invalid_argument("fit_surrogate: background too small");
+
+    // Teacher labels over the background.
+    xnfv::ml::Dataset distill;
+    distill.task = xnfv::ml::Task::regression;  // teacher output is continuous
+    distill.feature_names.assign(feature_names.begin(), feature_names.end());
+    distill.x = background.samples();
+    distill.y = model.predict_batch(background.samples());
+
+    auto split = xnfv::ml::train_test_split(distill, options.holdout_fraction, rng);
+
+    SurrogateResult result;
+    xnfv::ml::DecisionTree::Config cfg;
+    cfg.max_depth = options.max_depth;
+    cfg.min_samples_leaf = options.min_samples_leaf;
+    cfg.min_samples_split = 2 * options.min_samples_leaf;
+    result.tree = xnfv::ml::DecisionTree(cfg);
+    result.tree.fit(split.train);
+
+    result.train_fidelity_r2 = xnfv::ml::r2_score(
+        split.train.y, result.tree.predict_batch(split.train.x));
+    result.fidelity_r2 =
+        xnfv::ml::r2_score(split.test.y, result.tree.predict_batch(split.test.x));
+    result.text = result.tree.to_text(feature_names);
+    return result;
+}
+
+}  // namespace xnfv::xai

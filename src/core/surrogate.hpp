@@ -1,0 +1,37 @@
+// Global surrogate: distill a black-box model into a shallow decision tree.
+//
+// The surrogate is trained on the background inputs with the *teacher's*
+// outputs as labels; its R^2 against the teacher on held-out probes is the
+// "global fidelity" reported by ablation A2 (comprehensibility/fidelity
+// trade-off as a function of tree depth).
+#pragma once
+
+#include "core/explanation.hpp"
+#include "mlcore/model.hpp"
+#include "mlcore/rng.hpp"
+#include "mlcore/tree.hpp"
+
+namespace xnfv::xai {
+
+struct SurrogateResult {
+    xnfv::ml::DecisionTree tree;
+    double fidelity_r2 = 0.0;     ///< R^2 of surrogate vs teacher on held-out probes
+    double train_fidelity_r2 = 0.0;
+    std::string text;             ///< rendered tree (operator-facing)
+};
+
+struct SurrogateOptions {
+    int max_depth = 3;
+    std::size_t min_samples_leaf = 10;
+    /// Fraction of background rows held out for fidelity measurement.
+    double holdout_fraction = 0.3;
+};
+
+/// Fits a surrogate tree to `model` over `background`.
+[[nodiscard]] SurrogateResult fit_surrogate(const xnfv::ml::Model& model,
+                                            const BackgroundData& background,
+                                            std::span<const std::string> feature_names,
+                                            xnfv::ml::Rng& rng,
+                                            const SurrogateOptions& options = {});
+
+}  // namespace xnfv::xai

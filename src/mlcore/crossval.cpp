@@ -1,0 +1,49 @@
+#include "mlcore/crossval.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace xnfv::ml {
+
+double CvResult::mean() const {
+    if (fold_scores.empty()) return 0.0;
+    double s = 0.0;
+    for (double v : fold_scores) s += v;
+    return s / static_cast<double>(fold_scores.size());
+}
+
+double CvResult::stddev() const {
+    if (fold_scores.size() < 2) return 0.0;
+    const double m = mean();
+    double s = 0.0;
+    for (double v : fold_scores) s += (v - m) * (v - m);
+    return std::sqrt(s / static_cast<double>(fold_scores.size()));
+}
+
+CvResult k_fold_cv(const Dataset& d, std::size_t k, Rng& rng,
+                   const std::function<std::unique_ptr<Model>(const Dataset&)>& fit,
+                   const std::function<double(const Model&, const Dataset&)>& score) {
+    if (k < 2) throw std::invalid_argument("k_fold_cv: k must be >= 2");
+    if (d.size() < k) throw std::invalid_argument("k_fold_cv: fewer samples than folds");
+
+    std::vector<std::size_t> idx(d.size());
+    std::iota(idx.begin(), idx.end(), std::size_t{0});
+    rng.shuffle(idx);
+
+    CvResult result;
+    result.fold_scores.reserve(k);
+    for (std::size_t fold = 0; fold < k; ++fold) {
+        std::vector<std::size_t> train_idx, test_idx;
+        for (std::size_t i = 0; i < idx.size(); ++i) {
+            (i % k == fold ? test_idx : train_idx).push_back(idx[i]);
+        }
+        const Dataset train = d.subset(train_idx);
+        const Dataset test = d.subset(test_idx);
+        const auto model = fit(train);
+        result.fold_scores.push_back(score(*model, test));
+    }
+    return result;
+}
+
+}  // namespace xnfv::ml

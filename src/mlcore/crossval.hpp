@@ -1,0 +1,31 @@
+// k-fold cross-validation over any trainable model.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "mlcore/dataset.hpp"
+#include "mlcore/model.hpp"
+#include "mlcore/rng.hpp"
+
+namespace xnfv::ml {
+
+/// Result of one cross-validation run: one score per fold.
+struct CvResult {
+    std::vector<double> fold_scores;
+
+    [[nodiscard]] double mean() const;
+    [[nodiscard]] double stddev() const;
+};
+
+/// Trains via `fit` on each training fold and scores via `score` on the held
+/// out fold.  `fit(train)` must return a model ready to predict; `score`
+/// receives (model, test_fold) and returns a scalar (higher = better by
+/// convention of the caller).  Folds are shuffled with `rng`.
+[[nodiscard]] CvResult k_fold_cv(
+    const Dataset& d, std::size_t k, Rng& rng,
+    const std::function<std::unique_ptr<Model>(const Dataset&)>& fit,
+    const std::function<double(const Model&, const Dataset&)>& score);
+
+}  // namespace xnfv::ml

@@ -1,0 +1,171 @@
+#include "mlcore/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace xnfv::ml {
+
+void Dataset::validate() const {
+    if (x.rows() != y.size())
+        throw std::invalid_argument("Dataset: x.rows() != y.size()");
+    if (!feature_names.empty() && feature_names.size() != x.cols())
+        throw std::invalid_argument("Dataset: feature_names size != x.cols()");
+    if (task == Task::binary_classification)
+        for (double v : y)
+            if (v != 0.0 && v != 1.0)
+                throw std::invalid_argument("Dataset: classification labels must be 0/1");
+}
+
+void Dataset::add(std::span<const double> features, double label) {
+    x.push_row(features);
+    y.push_back(label);
+}
+
+std::vector<double> Dataset::feature_means() const {
+    std::vector<double> m(num_features(), 0.0);
+    if (size() == 0) return m;
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+        const auto row = x.row(r);
+        for (std::size_t c = 0; c < m.size(); ++c) m[c] += row[c];
+    }
+    for (double& v : m) v /= static_cast<double>(size());
+    return m;
+}
+
+std::vector<double> Dataset::feature_stddevs() const {
+    std::vector<double> sd(num_features(), 0.0);
+    if (size() < 2) return sd;
+    const auto m = feature_means();
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+        const auto row = x.row(r);
+        for (std::size_t c = 0; c < sd.size(); ++c) {
+            const double dlt = row[c] - m[c];
+            sd[c] += dlt * dlt;
+        }
+    }
+    for (double& v : sd) v = std::sqrt(v / static_cast<double>(size()));
+    return sd;
+}
+
+std::vector<std::pair<double, double>> Dataset::feature_ranges() const {
+    std::vector<std::pair<double, double>> out(
+        num_features(),
+        {std::numeric_limits<double>::infinity(), -std::numeric_limits<double>::infinity()});
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+        const auto row = x.row(r);
+        for (std::size_t c = 0; c < out.size(); ++c) {
+            out[c].first = std::min(out[c].first, row[c]);
+            out[c].second = std::max(out[c].second, row[c]);
+        }
+    }
+    return out;
+}
+
+Dataset Dataset::subset(std::span<const std::size_t> indices) const {
+    Dataset out;
+    out.task = task;
+    out.feature_names = feature_names;
+    out.x = x.take_rows(indices);
+    out.y.reserve(indices.size());
+    for (std::size_t i : indices) out.y.push_back(y.at(i));
+    return out;
+}
+
+double Dataset::positive_rate() const {
+    if (y.empty()) return 0.0;
+    double pos = 0.0;
+    for (double v : y) pos += (v > 0.5) ? 1.0 : 0.0;
+    return pos / static_cast<double>(y.size());
+}
+
+TrainTestSplit train_test_split(const Dataset& d, double test_fraction, Rng& rng) {
+    if (test_fraction <= 0.0 || test_fraction >= 1.0)
+        throw std::invalid_argument("train_test_split: fraction must be in (0,1)");
+    std::vector<std::size_t> idx(d.size());
+    for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+    rng.shuffle(idx);
+    const auto n_test = static_cast<std::size_t>(
+        std::round(test_fraction * static_cast<double>(d.size())));
+    const std::span<const std::size_t> all{idx};
+    return TrainTestSplit{
+        .train = d.subset(all.subspan(n_test)),
+        .test = d.subset(all.first(n_test)),
+    };
+}
+
+void write_csv(const Dataset& d, std::ostream& os) {
+    for (std::size_t c = 0; c < d.num_features(); ++c) {
+        const std::string name =
+            c < d.feature_names.size() ? d.feature_names[c] : "f" + std::to_string(c);
+        os << name << ',';
+    }
+    os << "label\n";
+    os.precision(10);
+    for (std::size_t r = 0; r < d.size(); ++r) {
+        const auto row = d.x.row(r);
+        for (double v : row) os << v << ',';
+        os << d.y[r] << '\n';
+    }
+}
+
+void write_csv_file(const Dataset& d, const std::string& path) {
+    std::ofstream os(path);
+    if (!os) throw std::runtime_error("write_csv_file: cannot open " + path);
+    write_csv(d, os);
+}
+
+Dataset read_csv(std::istream& is, Task task) {
+    Dataset d;
+    d.task = task;
+    std::string line;
+    if (!std::getline(is, line)) throw std::runtime_error("read_csv: empty input");
+
+    // Header row: everything up to the last column is a feature name.
+    {
+        std::stringstream ss(line);
+        std::string cell;
+        std::vector<std::string> names;
+        while (std::getline(ss, cell, ',')) names.push_back(cell);
+        if (names.size() < 2) throw std::runtime_error("read_csv: need >= 2 columns");
+        names.pop_back();  // drop "label"
+        d.feature_names = std::move(names);
+    }
+
+    std::vector<double> row;
+    std::size_t line_no = 1;
+    while (std::getline(is, line)) {
+        ++line_no;
+        if (line.empty()) continue;
+        row.clear();
+        std::stringstream ss(line);
+        std::string cell;
+        while (std::getline(ss, cell, ',')) {
+            try {
+                row.push_back(std::stod(cell));
+            } catch (const std::exception&) {
+                throw std::runtime_error("read_csv: bad number at line " +
+                                         std::to_string(line_no));
+            }
+        }
+        if (row.size() != d.feature_names.size() + 1)
+            throw std::runtime_error("read_csv: wrong column count at line " +
+                                     std::to_string(line_no));
+        const double label = row.back();
+        row.pop_back();
+        d.add(row, label);
+    }
+    d.validate();
+    return d;
+}
+
+Dataset read_csv_file(const std::string& path, Task task) {
+    std::ifstream is(path);
+    if (!is) throw std::runtime_error("read_csv_file: cannot open " + path);
+    return read_csv(is, task);
+}
+
+}  // namespace xnfv::ml

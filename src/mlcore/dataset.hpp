@@ -1,0 +1,70 @@
+// Tabular dataset container shared by the ML substrate, the NFV dataset
+// builder and the XAI engine.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mlcore/matrix.hpp"
+#include "mlcore/rng.hpp"
+
+namespace xnfv::ml {
+
+/// Whether the label column is continuous or a {0,1} class.
+enum class Task { regression, binary_classification };
+
+/// A labelled tabular dataset: feature matrix X (n x d), label vector y (n),
+/// feature names, and the task type.  Invariant: x.rows() == y.size() and
+/// feature_names.size() == x.cols() (enforced by validate()).
+struct Dataset {
+    Matrix x;
+    std::vector<double> y;
+    std::vector<std::string> feature_names;
+    Task task = Task::regression;
+
+    [[nodiscard]] std::size_t size() const noexcept { return y.size(); }
+    [[nodiscard]] std::size_t num_features() const noexcept { return x.cols(); }
+
+    /// Throws std::invalid_argument if the invariants above are broken.
+    void validate() const;
+
+    /// Adds one sample.  `features` must match num_features() (or define it
+    /// on the first call).
+    void add(std::span<const double> features, double label);
+
+    /// Per-feature column means.
+    [[nodiscard]] std::vector<double> feature_means() const;
+
+    /// Per-feature column standard deviations (population).
+    [[nodiscard]] std::vector<double> feature_stddevs() const;
+
+    /// Per-feature (min, max) pairs.
+    [[nodiscard]] std::vector<std::pair<double, double>> feature_ranges() const;
+
+    /// Returns a dataset containing the given row indices (may repeat).
+    [[nodiscard]] Dataset subset(std::span<const std::size_t> indices) const;
+
+    /// Fraction of positive labels (classification convenience).
+    [[nodiscard]] double positive_rate() const;
+};
+
+/// Random (seeded) train/test split. `test_fraction` in (0, 1).
+struct TrainTestSplit {
+    Dataset train;
+    Dataset test;
+};
+[[nodiscard]] TrainTestSplit train_test_split(const Dataset& d, double test_fraction, Rng& rng);
+
+/// Writes the dataset as CSV with a header row (`feature names..., label`).
+void write_csv(const Dataset& d, std::ostream& os);
+void write_csv_file(const Dataset& d, const std::string& path);
+
+/// Reads a dataset from CSV produced by write_csv (last column = label).
+/// Throws std::runtime_error on malformed input.
+[[nodiscard]] Dataset read_csv(std::istream& is, Task task);
+[[nodiscard]] Dataset read_csv_file(const std::string& path, Task task);
+
+}  // namespace xnfv::ml

@@ -1,0 +1,54 @@
+// Random forest: bagged CART trees with per-split feature subsampling.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mlcore/dataset.hpp"
+#include "mlcore/model.hpp"
+#include "mlcore/rng.hpp"
+#include "mlcore/tree.hpp"
+
+namespace xnfv::ml {
+
+/// Random forest over DecisionTree.  For classification the prediction is
+/// the mean of the trees' leaf probabilities (soft voting).
+class RandomForest final : public Model {
+public:
+    struct Config {
+        std::size_t num_trees = 100;
+        DecisionTree::Config tree{};  ///< tree.max_features 0 = sqrt(d) default
+        /// Fraction of rows drawn (with replacement) per tree.
+        double bootstrap_fraction = 1.0;
+    };
+
+    RandomForest() = default;
+    explicit RandomForest(Config config) : config_(config) {}
+
+    void fit(const Dataset& d, Rng& rng);
+
+    [[nodiscard]] double predict(std::span<const double> x) const override;
+    [[nodiscard]] std::size_t num_features() const override { return num_features_; }
+    [[nodiscard]] std::string name() const override { return "random_forest"; }
+
+    [[nodiscard]] const std::vector<DecisionTree>& trees() const noexcept { return trees_; }
+
+    /// Mean of per-tree impurity importances, re-normalized to sum to 1.
+    [[nodiscard]] std::vector<double> feature_importances() const;
+
+    /// Serializes the fitted model as line-based text (see mlcore/serialize.hpp).
+    void save(std::ostream& os) const;
+    /// Restores state written by save(), replacing any current state.
+    /// Throws std::runtime_error on malformed input.
+    void load(std::istream& is);
+
+
+private:
+    Config config_{};
+    std::vector<DecisionTree> trees_;
+    std::size_t num_features_ = 0;
+};
+
+}  // namespace xnfv::ml

@@ -1,0 +1,73 @@
+// Gradient-boosted trees.
+//
+// Regression uses least-squares boosting (each stage fits the residuals);
+// binary classification uses logistic-loss boosting in log-odds space with a
+// single Newton step per leaf, i.e. the classic Friedman GBM / (non-
+// regularized) XGBoost formulation.  The per-tree structure is exposed so
+// the TreeSHAP explainer can attribute boosted ensembles exactly in margin
+// space.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mlcore/dataset.hpp"
+#include "mlcore/model.hpp"
+#include "mlcore/rng.hpp"
+#include "mlcore/tree.hpp"
+
+namespace xnfv::ml {
+
+class GradientBoostedTrees final : public Model {
+public:
+    struct Config {
+        std::size_t num_rounds = 100;
+        double learning_rate = 0.1;
+        DecisionTree::Config tree{.max_depth = 4, .min_samples_leaf = 10,
+                                  .min_samples_split = 20};
+        /// Row subsampling per round (stochastic gradient boosting); 1 = all.
+        double subsample = 1.0;
+    };
+
+    GradientBoostedTrees() = default;
+    explicit GradientBoostedTrees(Config config) : config_(config) {}
+
+    /// Fits on a regression or binary-classification dataset.
+    void fit(const Dataset& d, Rng& rng);
+
+    /// Regression: predicted value.  Classification: positive probability.
+    [[nodiscard]] double predict(std::span<const double> x) const override;
+
+    /// Raw additive score before the logistic link (equals predict() for
+    /// regression).  TreeSHAP operates in this space.
+    [[nodiscard]] double predict_margin(std::span<const double> x) const;
+
+    [[nodiscard]] std::size_t num_features() const override { return num_features_; }
+    [[nodiscard]] std::string name() const override { return "gbt"; }
+
+    [[nodiscard]] const std::vector<DecisionTree>& trees() const noexcept { return trees_; }
+    [[nodiscard]] double base_score() const noexcept { return base_score_; }
+    [[nodiscard]] double learning_rate() const noexcept { return config_.learning_rate; }
+    [[nodiscard]] Task task() const noexcept { return task_; }
+
+    /// Aggregated impurity importances across rounds, normalized.
+    [[nodiscard]] std::vector<double> feature_importances() const;
+
+    /// Serializes the fitted model as line-based text (see mlcore/serialize.hpp).
+    void save(std::ostream& os) const;
+    /// Restores state written by save(), replacing any current state.
+    /// Throws std::runtime_error on malformed input.
+    void load(std::istream& is);
+
+
+private:
+    Config config_{};
+    std::vector<DecisionTree> trees_;
+    double base_score_ = 0.0;
+    std::size_t num_features_ = 0;
+    Task task_ = Task::regression;
+};
+
+}  // namespace xnfv::ml

@@ -1,0 +1,89 @@
+// Linear models: ridge-regularized linear regression (closed form) and
+// logistic regression (gradient descent).  These serve both as baselines in
+// the evaluation (T1) and as the surrogate family used by LIME.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mlcore/dataset.hpp"
+#include "mlcore/model.hpp"
+
+namespace xnfv::ml {
+
+/// y ≈ intercept + x . coefficients, fit by ridge-regularized least squares.
+class LinearRegression final : public Model {
+public:
+    struct Config {
+        double l2 = 1e-6;  ///< ridge strength (applied to coefficients, not intercept)
+    };
+
+    LinearRegression() = default;
+    explicit LinearRegression(Config config) : config_(config) {}
+
+    /// Fits on the dataset (task must be regression-compatible; labels are
+    /// used as-is).  Throws on empty data.
+    void fit(const Dataset& d);
+
+    [[nodiscard]] double predict(std::span<const double> x) const override;
+    [[nodiscard]] std::size_t num_features() const override { return coef_.size(); }
+    [[nodiscard]] std::string name() const override { return "linear_regression"; }
+
+    [[nodiscard]] const std::vector<double>& coefficients() const noexcept { return coef_; }
+    [[nodiscard]] double intercept() const noexcept { return intercept_; }
+
+    /// Serializes the fitted model as line-based text (see mlcore/serialize.hpp).
+    void save(std::ostream& os) const;
+    /// Restores state written by save(), replacing any current state.
+    /// Throws std::runtime_error on malformed input.
+    void load(std::istream& is);
+
+private:
+    Config config_{};
+    std::vector<double> coef_;
+    double intercept_ = 0.0;
+};
+
+/// P(y=1|x) = sigmoid(intercept + x . coefficients), fit by full-batch
+/// gradient descent with L2 regularization.
+class LogisticRegression final : public Model {
+public:
+    struct Config {
+        double learning_rate = 0.1;
+        double l2 = 1e-4;
+        int epochs = 500;
+        double tolerance = 1e-8;  ///< stop when loss improvement falls below this
+    };
+
+    LogisticRegression() = default;
+    explicit LogisticRegression(Config config) : config_(config) {}
+
+    /// Fits on a binary-classification dataset (labels in {0,1}).
+    void fit(const Dataset& d);
+
+    /// Positive-class probability.
+    [[nodiscard]] double predict(std::span<const double> x) const override;
+    [[nodiscard]] std::size_t num_features() const override { return coef_.size(); }
+    [[nodiscard]] std::string name() const override { return "logistic_regression"; }
+
+    [[nodiscard]] const std::vector<double>& coefficients() const noexcept { return coef_; }
+    [[nodiscard]] double intercept() const noexcept { return intercept_; }
+
+    /// Serializes the fitted model as line-based text (see mlcore/serialize.hpp).
+    void save(std::ostream& os) const;
+    /// Restores state written by save(), replacing any current state.
+    /// Throws std::runtime_error on malformed input.
+    void load(std::istream& is);
+
+private:
+    Config config_{};
+    std::vector<double> coef_;
+    double intercept_ = 0.0;
+};
+
+/// Numerically stable logistic sigmoid.
+[[nodiscard]] double sigmoid(double z) noexcept;
+
+}  // namespace xnfv::ml

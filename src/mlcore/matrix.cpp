@@ -1,0 +1,226 @@
+#include "mlcore/matrix.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace xnfv::ml {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix Matrix::from_rows(const std::vector<std::vector<double>>& rows) {
+    Matrix m;
+    for (const auto& r : rows) m.push_row(r);
+    return m;
+}
+
+Matrix Matrix::identity(std::size_t n) {
+    Matrix m(n, n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+    return m;
+}
+
+std::vector<double> Matrix::col(std::size_t c) const {
+    if (c >= cols_) throw std::out_of_range("Matrix::col: index out of range");
+    std::vector<double> out(rows_);
+    for (std::size_t r = 0; r < rows_; ++r) out[r] = (*this)(r, c);
+    return out;
+}
+
+void Matrix::push_row(std::span<const double> values) {
+    if (rows_ == 0 && cols_ == 0) {
+        cols_ = values.size();
+    } else if (values.size() != cols_) {
+        throw std::invalid_argument("Matrix::push_row: row length mismatch");
+    }
+    data_.insert(data_.end(), values.begin(), values.end());
+    ++rows_;
+}
+
+Matrix Matrix::transposed() const {
+    Matrix t(cols_, rows_);
+    for (std::size_t r = 0; r < rows_; ++r)
+        for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+    return t;
+}
+
+Matrix Matrix::matmul(const Matrix& other) const {
+    if (cols_ != other.rows_)
+        throw std::invalid_argument("Matrix::matmul: inner dimensions differ");
+    Matrix out(rows_, other.cols_, 0.0);
+    // i-k-j loop order keeps the inner loop contiguous in both operands.
+    for (std::size_t i = 0; i < rows_; ++i) {
+        for (std::size_t k = 0; k < cols_; ++k) {
+            const double a = (*this)(i, k);
+            if (a == 0.0) continue;
+            const auto rhs = other.row(k);
+            auto dst = out.row(i);
+            for (std::size_t j = 0; j < other.cols_; ++j) dst[j] += a * rhs[j];
+        }
+    }
+    return out;
+}
+
+std::vector<double> Matrix::matvec(std::span<const double> v) const {
+    if (v.size() != cols_)
+        throw std::invalid_argument("Matrix::matvec: size mismatch");
+    std::vector<double> out(rows_, 0.0);
+    for (std::size_t r = 0; r < rows_; ++r) out[r] = dot(row(r), v);
+    return out;
+}
+
+Matrix Matrix::take_rows(std::span<const std::size_t> indices) const {
+    Matrix out(indices.size(), cols_);
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+        if (indices[i] >= rows_)
+            throw std::out_of_range("Matrix::take_rows: index out of range");
+        const auto src = row(indices[i]);
+        auto dst = out.row(i);
+        std::copy(src.begin(), src.end(), dst.begin());
+    }
+    return out;
+}
+
+Matrix Matrix::take_cols(std::span<const std::size_t> indices) const {
+    Matrix out(rows_, indices.size());
+    for (std::size_t c = 0; c < indices.size(); ++c)
+        if (indices[c] >= cols_)
+            throw std::out_of_range("Matrix::take_cols: index out of range");
+    for (std::size_t r = 0; r < rows_; ++r)
+        for (std::size_t c = 0; c < indices.size(); ++c)
+            out(r, c) = (*this)(r, indices[c]);
+    return out;
+}
+
+std::string Matrix::to_string(int precision) const {
+    std::ostringstream os;
+    os.precision(precision);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        os << '[';
+        for (std::size_t c = 0; c < cols_; ++c) {
+            if (c) os << ", ";
+            os << (*this)(r, c);
+        }
+        os << "]\n";
+    }
+    return os.str();
+}
+
+namespace {
+
+/// In-place Cholesky factorization A = L L^T into the lower triangle.
+/// Returns false if a non-positive pivot is encountered.
+bool cholesky_inplace(Matrix& a) {
+    const std::size_t n = a.rows();
+    for (std::size_t j = 0; j < n; ++j) {
+        double d = a(j, j);
+        for (std::size_t k = 0; k < j; ++k) d -= a(j, k) * a(j, k);
+        if (d <= 0.0 || !std::isfinite(d)) return false;
+        const double ljj = std::sqrt(d);
+        a(j, j) = ljj;
+        for (std::size_t i = j + 1; i < n; ++i) {
+            double s = a(i, j);
+            for (std::size_t k = 0; k < j; ++k) s -= a(i, k) * a(j, k);
+            a(i, j) = s / ljj;
+        }
+    }
+    return true;
+}
+
+std::vector<double> cholesky_solve(const Matrix& l, std::span<const double> b) {
+    const std::size_t n = l.rows();
+    std::vector<double> y(n);
+    // Forward substitution L y = b.
+    for (std::size_t i = 0; i < n; ++i) {
+        double s = b[i];
+        for (std::size_t k = 0; k < i; ++k) s -= l(i, k) * y[k];
+        y[i] = s / l(i, i);
+    }
+    // Back substitution L^T x = y.
+    std::vector<double> x(n);
+    for (std::size_t ii = n; ii-- > 0;) {
+        double s = y[ii];
+        for (std::size_t k = ii + 1; k < n; ++k) s -= l(k, ii) * x[k];
+        x[ii] = s / l(ii, ii);
+    }
+    return x;
+}
+
+}  // namespace
+
+std::vector<double> solve_spd(const Matrix& a, std::span<const double> b) {
+    if (a.rows() != a.cols())
+        throw std::invalid_argument("solve_spd: matrix must be square");
+    if (b.size() != a.rows())
+        throw std::invalid_argument("solve_spd: rhs size mismatch");
+
+    // Progressive diagonal jitter handles the semi-definite systems that
+    // arise when LIME/SHAP sampling produces collinear design matrices.
+    double jitter = 0.0;
+    for (int attempt = 0; attempt < 8; ++attempt) {
+        Matrix work = a;
+        if (jitter > 0.0)
+            for (std::size_t i = 0; i < work.rows(); ++i) work(i, i) += jitter;
+        if (cholesky_inplace(work)) return cholesky_solve(work, b);
+        jitter = jitter == 0.0 ? 1e-10 : jitter * 100.0;
+    }
+    throw std::runtime_error("solve_spd: matrix is not positive definite");
+}
+
+std::vector<double> weighted_least_squares(
+    const Matrix& x, std::span<const double> y, std::span<const double> w, double l2) {
+    const std::size_t n = x.rows();
+    const std::size_t d = x.cols();
+    if (y.size() != n || w.size() != n)
+        throw std::invalid_argument("weighted_least_squares: size mismatch");
+
+    // Normal equations: (X^T W X + l2 I) beta = X^T W y.
+    Matrix xtwx(d, d, 0.0);
+    std::vector<double> xtwy(d, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double wi = w[i];
+        if (wi == 0.0) continue;
+        const auto xi = x.row(i);
+        for (std::size_t a = 0; a < d; ++a) {
+            const double wxa = wi * xi[a];
+            xtwy[a] += wxa * y[i];
+            for (std::size_t bcol = a; bcol < d; ++bcol) xtwx(a, bcol) += wxa * xi[bcol];
+        }
+    }
+    for (std::size_t a = 0; a < d; ++a) {
+        xtwx(a, a) += l2;
+        for (std::size_t bcol = a + 1; bcol < d; ++bcol) xtwx(bcol, a) = xtwx(a, bcol);
+    }
+    return solve_spd(xtwx, xtwy);
+}
+
+double dot(std::span<const double> a, std::span<const double> b) {
+    if (a.size() != b.size()) throw std::invalid_argument("dot: size mismatch");
+    double s = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+    return s;
+}
+
+double norm2(std::span<const double> a) {
+    double s = 0.0;
+    for (double v : a) s += v * v;
+    return std::sqrt(s);
+}
+
+double mean(std::span<const double> a) {
+    if (a.empty()) return 0.0;
+    double s = 0.0;
+    for (double v : a) s += v;
+    return s / static_cast<double>(a.size());
+}
+
+double variance(std::span<const double> a) {
+    if (a.size() < 2) return 0.0;
+    const double m = mean(a);
+    double s = 0.0;
+    for (double v : a) s += (v - m) * (v - m);
+    return s / static_cast<double>(a.size());
+}
+
+}  // namespace xnfv::ml

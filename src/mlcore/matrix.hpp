@@ -1,0 +1,109 @@
+// Minimal dense linear algebra used by the ML substrate and the XAI engine.
+//
+// The library needs only a handful of operations: row-major storage with
+// cheap row views, matrix-vector and matrix-matrix products, transpose, and
+// symmetric positive (semi-)definite solves for (weighted) least squares.
+// Shapes are validated with exceptions rather than assertions because bad
+// shapes are programmer-facing errors we want surfaced in Release builds too.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace xnfv::ml {
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+public:
+    Matrix() = default;
+
+    /// rows x cols matrix filled with `fill`.
+    Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+    /// Builds from nested initializer-style data; all rows must be equal length.
+    static Matrix from_rows(const std::vector<std::vector<double>>& rows);
+
+    /// Identity matrix of size n.
+    static Matrix identity(std::size_t n);
+
+    [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+    [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+    [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+    [[nodiscard]] double& operator()(std::size_t r, std::size_t c) noexcept {
+        return data_[r * cols_ + c];
+    }
+    [[nodiscard]] double operator()(std::size_t r, std::size_t c) const noexcept {
+        return data_[r * cols_ + c];
+    }
+
+    /// Mutable / immutable view of one row.
+    [[nodiscard]] std::span<double> row(std::size_t r) noexcept {
+        return {data_.data() + r * cols_, cols_};
+    }
+    [[nodiscard]] std::span<const double> row(std::size_t r) const noexcept {
+        return {data_.data() + r * cols_, cols_};
+    }
+
+    /// Copies one column out.
+    [[nodiscard]] std::vector<double> col(std::size_t c) const;
+
+    /// Appends a row (must match cols(), or sets cols() if empty).
+    void push_row(std::span<const double> values);
+
+    /// Raw storage access (row-major).
+    [[nodiscard]] std::span<const double> data() const noexcept { return data_; }
+    [[nodiscard]] std::span<double> data() noexcept { return data_; }
+
+    /// Matrix transpose.
+    [[nodiscard]] Matrix transposed() const;
+
+    /// this * other. Shapes must agree.
+    [[nodiscard]] Matrix matmul(const Matrix& other) const;
+
+    /// this * v. v.size() must equal cols().
+    [[nodiscard]] std::vector<double> matvec(std::span<const double> v) const;
+
+    /// Selects a subset of rows (indices may repeat; used for bootstrap).
+    [[nodiscard]] Matrix take_rows(std::span<const std::size_t> indices) const;
+
+    /// Selects a subset of columns.
+    [[nodiscard]] Matrix take_cols(std::span<const std::size_t> indices) const;
+
+    /// Human-readable dump (for debugging / small matrices).
+    [[nodiscard]] std::string to_string(int precision = 4) const;
+
+private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+/// Solves A x = b for symmetric positive definite A via Cholesky with a
+/// diagonal jitter fallback (A is modified copies internally, inputs are
+/// untouched).  Throws std::invalid_argument on shape mismatch and
+/// std::runtime_error if A is not SPD even after jitter.
+[[nodiscard]] std::vector<double> solve_spd(const Matrix& a, std::span<const double> b);
+
+/// Solves the ridge-regularized weighted least squares problem
+///     min_beta  sum_i w_i (x_i . beta - y_i)^2 + l2 * |beta|^2
+/// where X is n x d, w and y are length n.  Returns beta of length d.
+/// This is the work-horse of both LIME and KernelSHAP.
+[[nodiscard]] std::vector<double> weighted_least_squares(
+    const Matrix& x, std::span<const double> y, std::span<const double> w, double l2 = 0.0);
+
+/// Dot product; sizes must match.
+[[nodiscard]] double dot(std::span<const double> a, std::span<const double> b);
+
+/// Euclidean norm.
+[[nodiscard]] double norm2(std::span<const double> a);
+
+/// Mean of a vector (0 for empty input).
+[[nodiscard]] double mean(std::span<const double> a);
+
+/// Population variance of a vector (0 for inputs shorter than 2).
+[[nodiscard]] double variance(std::span<const double> a);
+
+}  // namespace xnfv::ml

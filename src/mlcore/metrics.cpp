@@ -1,0 +1,185 @@
+#include "mlcore/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace xnfv::ml {
+
+namespace {
+
+void check_sizes(std::span<const double> a, std::span<const double> b, const char* who) {
+    if (a.size() != b.size() || a.empty())
+        throw std::invalid_argument(std::string(who) + ": size mismatch or empty input");
+}
+
+/// Ranks with average rank for ties; rank 1 = smallest.
+std::vector<double> average_ranks(std::span<const double> v) {
+    const std::size_t n = v.size();
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t i, std::size_t j) { return v[i] < v[j]; });
+    std::vector<double> ranks(n);
+    std::size_t i = 0;
+    while (i < n) {
+        std::size_t j = i;
+        while (j + 1 < n && v[order[j + 1]] == v[order[i]]) ++j;
+        const double avg = 0.5 * static_cast<double>(i + j) + 1.0;
+        for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = avg;
+        i = j + 1;
+    }
+    return ranks;
+}
+
+}  // namespace
+
+double mse(std::span<const double> y_true, std::span<const double> y_pred) {
+    check_sizes(y_true, y_pred, "mse");
+    double s = 0.0;
+    for (std::size_t i = 0; i < y_true.size(); ++i) {
+        const double d = y_true[i] - y_pred[i];
+        s += d * d;
+    }
+    return s / static_cast<double>(y_true.size());
+}
+
+double rmse(std::span<const double> y_true, std::span<const double> y_pred) {
+    return std::sqrt(mse(y_true, y_pred));
+}
+
+double mae(std::span<const double> y_true, std::span<const double> y_pred) {
+    check_sizes(y_true, y_pred, "mae");
+    double s = 0.0;
+    for (std::size_t i = 0; i < y_true.size(); ++i) s += std::abs(y_true[i] - y_pred[i]);
+    return s / static_cast<double>(y_true.size());
+}
+
+double r2_score(std::span<const double> y_true, std::span<const double> y_pred) {
+    check_sizes(y_true, y_pred, "r2_score");
+    double mean = 0.0;
+    for (double v : y_true) mean += v;
+    mean /= static_cast<double>(y_true.size());
+    double ss_res = 0.0, ss_tot = 0.0;
+    for (std::size_t i = 0; i < y_true.size(); ++i) {
+        ss_res += (y_true[i] - y_pred[i]) * (y_true[i] - y_pred[i]);
+        ss_tot += (y_true[i] - mean) * (y_true[i] - mean);
+    }
+    if (ss_tot == 0.0) return 0.0;
+    return 1.0 - ss_res / ss_tot;
+}
+
+double ConfusionMatrix::accuracy() const noexcept {
+    const double total = static_cast<double>(tp + fp + tn + fn);
+    return total == 0.0 ? 0.0 : static_cast<double>(tp + tn) / total;
+}
+
+double ConfusionMatrix::precision() const noexcept {
+    return (tp + fp) == 0 ? 0.0 : static_cast<double>(tp) / static_cast<double>(tp + fp);
+}
+
+double ConfusionMatrix::recall() const noexcept {
+    return (tp + fn) == 0 ? 0.0 : static_cast<double>(tp) / static_cast<double>(tp + fn);
+}
+
+double ConfusionMatrix::f1() const noexcept {
+    const double p = precision();
+    const double r = recall();
+    return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+ConfusionMatrix confusion_matrix(
+    std::span<const double> y_true, std::span<const double> y_prob, double threshold) {
+    check_sizes(y_true, y_prob, "confusion_matrix");
+    ConfusionMatrix cm;
+    for (std::size_t i = 0; i < y_true.size(); ++i) {
+        const bool truth = y_true[i] > 0.5;
+        const bool pred = y_prob[i] >= threshold;
+        if (truth && pred) ++cm.tp;
+        else if (!truth && pred) ++cm.fp;
+        else if (!truth && !pred) ++cm.tn;
+        else ++cm.fn;
+    }
+    return cm;
+}
+
+double accuracy(std::span<const double> y_true, std::span<const double> y_prob,
+                double threshold) {
+    return confusion_matrix(y_true, y_prob, threshold).accuracy();
+}
+
+double roc_auc(std::span<const double> y_true, std::span<const double> y_prob) {
+    check_sizes(y_true, y_prob, "roc_auc");
+    const auto ranks = average_ranks(y_prob);
+    double rank_sum_pos = 0.0;
+    std::size_t n_pos = 0;
+    for (std::size_t i = 0; i < y_true.size(); ++i) {
+        if (y_true[i] > 0.5) {
+            rank_sum_pos += ranks[i];
+            ++n_pos;
+        }
+    }
+    const std::size_t n_neg = y_true.size() - n_pos;
+    if (n_pos == 0 || n_neg == 0) return 0.5;
+    const double np = static_cast<double>(n_pos);
+    const double nn = static_cast<double>(n_neg);
+    return (rank_sum_pos - np * (np + 1.0) / 2.0) / (np * nn);
+}
+
+double log_loss(std::span<const double> y_true, std::span<const double> y_prob, double eps) {
+    check_sizes(y_true, y_prob, "log_loss");
+    double s = 0.0;
+    for (std::size_t i = 0; i < y_true.size(); ++i) {
+        const double p = std::clamp(y_prob[i], eps, 1.0 - eps);
+        s += y_true[i] > 0.5 ? -std::log(p) : -std::log(1.0 - p);
+    }
+    return s / static_cast<double>(y_true.size());
+}
+
+double spearman(std::span<const double> a, std::span<const double> b) {
+    if (a.size() != b.size()) throw std::invalid_argument("spearman: size mismatch");
+    if (a.size() < 2) return 0.0;
+    const auto ra = average_ranks(a);
+    const auto rb = average_ranks(b);
+    // Pearson correlation of the ranks (valid with ties).
+    double ma = 0.0, mb = 0.0;
+    for (std::size_t i = 0; i < ra.size(); ++i) {
+        ma += ra[i];
+        mb += rb[i];
+    }
+    ma /= static_cast<double>(ra.size());
+    mb /= static_cast<double>(rb.size());
+    double num = 0.0, va = 0.0, vb = 0.0;
+    for (std::size_t i = 0; i < ra.size(); ++i) {
+        num += (ra[i] - ma) * (rb[i] - mb);
+        va += (ra[i] - ma) * (ra[i] - ma);
+        vb += (rb[i] - mb) * (rb[i] - mb);
+    }
+    if (va == 0.0 || vb == 0.0) return 0.0;
+    return num / std::sqrt(va * vb);
+}
+
+double topk_overlap(std::span<const double> a, std::span<const double> b, std::size_t k) {
+    if (a.size() != b.size()) throw std::invalid_argument("topk_overlap: size mismatch");
+    if (k == 0 || a.empty()) return 0.0;
+    k = std::min(k, a.size());
+    auto topk = [k](std::span<const double> v) {
+        std::vector<std::size_t> idx(v.size());
+        std::iota(idx.begin(), idx.end(), std::size_t{0});
+        std::partial_sort(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(k), idx.end(),
+                          [&](std::size_t i, std::size_t j) { return v[i] > v[j]; });
+        idx.resize(k);
+        std::sort(idx.begin(), idx.end());
+        return idx;
+    };
+    const auto ta = topk(a);
+    const auto tb = topk(b);
+    std::vector<std::size_t> inter;
+    std::set_intersection(ta.begin(), ta.end(), tb.begin(), tb.end(),
+                          std::back_inserter(inter));
+    return static_cast<double>(inter.size()) / static_cast<double>(k);
+}
+
+}  // namespace xnfv::ml

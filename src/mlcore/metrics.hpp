@@ -1,0 +1,55 @@
+// Evaluation metrics for regression and binary classification.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace xnfv::ml {
+
+// --- Regression ------------------------------------------------------------
+
+[[nodiscard]] double mse(std::span<const double> y_true, std::span<const double> y_pred);
+[[nodiscard]] double rmse(std::span<const double> y_true, std::span<const double> y_pred);
+[[nodiscard]] double mae(std::span<const double> y_true, std::span<const double> y_pred);
+
+/// Coefficient of determination; 1 is perfect, 0 matches predicting the mean,
+/// negative is worse than the mean.  Returns 0 when y_true has no variance.
+[[nodiscard]] double r2_score(std::span<const double> y_true, std::span<const double> y_pred);
+
+// --- Binary classification --------------------------------------------------
+// y_true holds 0/1 labels; y_prob holds positive-class probabilities.
+
+struct ConfusionMatrix {
+    std::size_t tp = 0, fp = 0, tn = 0, fn = 0;
+
+    [[nodiscard]] double accuracy() const noexcept;
+    [[nodiscard]] double precision() const noexcept;  ///< 0 when tp+fp == 0
+    [[nodiscard]] double recall() const noexcept;     ///< 0 when tp+fn == 0
+    [[nodiscard]] double f1() const noexcept;         ///< harmonic mean; 0 if either is 0
+};
+
+[[nodiscard]] ConfusionMatrix confusion_matrix(
+    std::span<const double> y_true, std::span<const double> y_prob, double threshold = 0.5);
+
+[[nodiscard]] double accuracy(
+    std::span<const double> y_true, std::span<const double> y_prob, double threshold = 0.5);
+
+/// Area under the ROC curve via the rank-sum (Mann–Whitney) formulation.
+/// Returns 0.5 when one class is absent.
+[[nodiscard]] double roc_auc(std::span<const double> y_true, std::span<const double> y_prob);
+
+/// Mean negative log likelihood with probability clipping at `eps`.
+[[nodiscard]] double log_loss(
+    std::span<const double> y_true, std::span<const double> y_prob, double eps = 1e-12);
+
+// --- Rank statistics (used for attribution agreement, T2) -------------------
+
+/// Spearman rank correlation between two equally sized score vectors.
+/// Average ranks are used for ties.  Returns 0 for size < 2.
+[[nodiscard]] double spearman(std::span<const double> a, std::span<const double> b);
+
+/// |top-k(a) ∩ top-k(b)| / k where top-k is by descending score.
+[[nodiscard]] double topk_overlap(std::span<const double> a, std::span<const double> b,
+                                  std::size_t k);
+
+}  // namespace xnfv::ml

@@ -1,0 +1,84 @@
+// Multilayer perceptron trained with mini-batch Adam.
+//
+// Scalar output; MSE loss for regression, binary cross-entropy (with a
+// sigmoid output) for classification.  Inputs should be standardized by the
+// caller — the NFV pipelines do this with ml::Standardizer.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mlcore/dataset.hpp"
+#include "mlcore/model.hpp"
+#include "mlcore/rng.hpp"
+
+namespace xnfv::ml {
+
+enum class Activation { relu, tanh };
+
+class Mlp final : public Model {
+public:
+    struct Config {
+        std::vector<std::size_t> hidden_layers{32, 32};
+        Activation activation = Activation::relu;
+        double learning_rate = 1e-3;
+        double l2 = 1e-5;
+        std::size_t batch_size = 32;
+        int epochs = 100;
+        /// Adam moment decay parameters.
+        double beta1 = 0.9;
+        double beta2 = 0.999;
+    };
+
+    Mlp() = default;
+    explicit Mlp(Config config) : config_(std::move(config)) {}
+
+    /// Trains from scratch; any previous weights are discarded.
+    void fit(const Dataset& d, Rng& rng);
+
+    /// Regression: output value.  Classification: sigmoid(output) probability.
+    [[nodiscard]] double predict(std::span<const double> x) const override;
+    [[nodiscard]] std::size_t num_features() const override { return num_inputs_; }
+    [[nodiscard]] std::string name() const override { return "mlp"; }
+
+    /// Analytic gradient of predict() with respect to the inputs (for
+    /// classification this includes the sigmoid derivative, i.e. it is the
+    /// gradient of the *probability*).  Exact up to floating point; the
+    /// gradient-based explainers use this instead of finite differences.
+    [[nodiscard]] std::vector<double> input_gradient(std::span<const double> x) const;
+
+    /// Mean training loss of the final epoch (for convergence tests).
+    [[nodiscard]] double final_train_loss() const noexcept { return final_loss_; }
+
+    /// Serializes the fitted model as line-based text (see mlcore/serialize.hpp).
+    void save(std::ostream& os) const;
+    /// Restores state written by save(), replacing any current state.
+    /// Throws std::runtime_error on malformed input.
+    void load(std::istream& is);
+
+
+private:
+    /// One fully connected layer: weights (out x in), biases (out), plus Adam
+    /// moment accumulators of matching shape.
+    struct Layer {
+        std::size_t in = 0, out = 0;
+        std::vector<double> w, b;
+        std::vector<double> mw, vw, mb, vb;  // Adam first/second moments
+    };
+
+    [[nodiscard]] double forward(std::span<const double> x,
+                                 std::vector<std::vector<double>>* activations) const;
+    [[nodiscard]] double activate(double z) const noexcept;
+    [[nodiscard]] double activate_grad(double a) const noexcept;
+
+    Config config_{};
+    std::vector<Layer> layers_;
+    std::size_t num_inputs_ = 0;
+    Task task_ = Task::regression;
+    double final_loss_ = 0.0;
+    long long adam_step_ = 0;
+};
+
+}  // namespace xnfv::ml

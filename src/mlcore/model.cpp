@@ -1,0 +1,12 @@
+#include "mlcore/model.hpp"
+
+namespace xnfv::ml {
+
+std::vector<double> Model::predict_batch(const Matrix& x) const {
+    std::vector<double> out;
+    out.reserve(x.rows());
+    for (std::size_t r = 0; r < x.rows(); ++r) out.push_back(predict(x.row(r)));
+    return out;
+}
+
+}  // namespace xnfv::ml

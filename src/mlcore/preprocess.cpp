@@ -1,0 +1,117 @@
+#include "mlcore/preprocess.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace xnfv::ml {
+
+void Standardizer::fit(const Matrix& x) {
+    const std::size_t d = x.cols();
+    mean_.assign(d, 0.0);
+    stddev_.assign(d, 0.0);
+    if (x.rows() == 0) return;
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+        const auto row = x.row(r);
+        for (std::size_t c = 0; c < d; ++c) mean_[c] += row[c];
+    }
+    for (double& v : mean_) v /= static_cast<double>(x.rows());
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+        const auto row = x.row(r);
+        for (std::size_t c = 0; c < d; ++c) {
+            const double dlt = row[c] - mean_[c];
+            stddev_[c] += dlt * dlt;
+        }
+    }
+    for (double& v : stddev_) {
+        v = std::sqrt(v / static_cast<double>(x.rows()));
+        if (v == 0.0) v = 1.0;  // constant column: center but don't scale
+    }
+}
+
+Matrix Standardizer::transform(const Matrix& x) const {
+    if (!fitted()) throw std::logic_error("Standardizer::transform before fit");
+    if (x.cols() != mean_.size())
+        throw std::invalid_argument("Standardizer::transform: column mismatch");
+    Matrix out(x.rows(), x.cols());
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+        const auto src = x.row(r);
+        auto dst = out.row(r);
+        for (std::size_t c = 0; c < x.cols(); ++c)
+            dst[c] = (src[c] - mean_[c]) / stddev_[c];
+    }
+    return out;
+}
+
+std::vector<double> Standardizer::transform_row(std::span<const double> x) const {
+    if (!fitted()) throw std::logic_error("Standardizer::transform_row before fit");
+    if (x.size() != mean_.size())
+        throw std::invalid_argument("Standardizer::transform_row: size mismatch");
+    std::vector<double> out(x.size());
+    for (std::size_t c = 0; c < x.size(); ++c) out[c] = (x[c] - mean_[c]) / stddev_[c];
+    return out;
+}
+
+std::vector<double> Standardizer::inverse_row(std::span<const double> z) const {
+    if (!fitted()) throw std::logic_error("Standardizer::inverse_row before fit");
+    if (z.size() != mean_.size())
+        throw std::invalid_argument("Standardizer::inverse_row: size mismatch");
+    std::vector<double> out(z.size());
+    for (std::size_t c = 0; c < z.size(); ++c) out[c] = z[c] * stddev_[c] + mean_[c];
+    return out;
+}
+
+void MinMaxScaler::fit(const Matrix& x) {
+    const std::size_t d = x.cols();
+    lo_.assign(d, std::numeric_limits<double>::infinity());
+    hi_.assign(d, -std::numeric_limits<double>::infinity());
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+        const auto row = x.row(r);
+        for (std::size_t c = 0; c < d; ++c) {
+            lo_[c] = std::min(lo_[c], row[c]);
+            hi_[c] = std::max(hi_[c], row[c]);
+        }
+    }
+}
+
+Matrix MinMaxScaler::transform(const Matrix& x) const {
+    if (!fitted()) throw std::logic_error("MinMaxScaler::transform before fit");
+    Matrix out(x.rows(), x.cols());
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+        const auto t = transform_row(x.row(r));
+        std::copy(t.begin(), t.end(), out.row(r).begin());
+    }
+    return out;
+}
+
+std::vector<double> MinMaxScaler::transform_row(std::span<const double> x) const {
+    if (!fitted()) throw std::logic_error("MinMaxScaler::transform_row before fit");
+    if (x.size() != lo_.size())
+        throw std::invalid_argument("MinMaxScaler::transform_row: size mismatch");
+    std::vector<double> out(x.size());
+    for (std::size_t c = 0; c < x.size(); ++c) {
+        const double range = hi_[c] - lo_[c];
+        out[c] = range == 0.0 ? 0.0 : (x[c] - lo_[c]) / range;
+    }
+    return out;
+}
+
+Matrix one_hot(std::span<const double> column, std::size_t cardinality) {
+    Matrix out(column.size(), cardinality, 0.0);
+    for (std::size_t r = 0; r < column.size(); ++r) {
+        const auto v = static_cast<long long>(column[r]);
+        if (v >= 0 && static_cast<std::size_t>(v) < cardinality)
+            out(r, static_cast<std::size_t>(v)) = 1.0;
+    }
+    return out;
+}
+
+Dataset standardize(const Dataset& d, const Standardizer& s) {
+    Dataset out;
+    out.task = d.task;
+    out.feature_names = d.feature_names;
+    out.y = d.y;
+    out.x = s.transform(d.x);
+    return out;
+}
+
+}  // namespace xnfv::ml

@@ -1,0 +1,56 @@
+// Feature preprocessing: standardization, min-max scaling, one-hot encoding.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "mlcore/dataset.hpp"
+#include "mlcore/matrix.hpp"
+
+namespace xnfv::ml {
+
+/// Z-score standardizer: fit on training data, apply everywhere.
+/// Features with zero variance are passed through unscaled (centered only).
+class Standardizer {
+public:
+    /// Learns per-column mean and stddev from X.
+    void fit(const Matrix& x);
+
+    /// (x - mean) / stddev per column; fit() must have been called.
+    [[nodiscard]] Matrix transform(const Matrix& x) const;
+    [[nodiscard]] std::vector<double> transform_row(std::span<const double> x) const;
+
+    /// Inverse mapping for a transformed row.
+    [[nodiscard]] std::vector<double> inverse_row(std::span<const double> z) const;
+
+    [[nodiscard]] const std::vector<double>& means() const noexcept { return mean_; }
+    [[nodiscard]] const std::vector<double>& stddevs() const noexcept { return stddev_; }
+    [[nodiscard]] bool fitted() const noexcept { return !mean_.empty(); }
+
+private:
+    std::vector<double> mean_;
+    std::vector<double> stddev_;
+};
+
+/// Min-max scaler to [0, 1]; constant features map to 0.
+class MinMaxScaler {
+public:
+    void fit(const Matrix& x);
+    [[nodiscard]] Matrix transform(const Matrix& x) const;
+    [[nodiscard]] std::vector<double> transform_row(std::span<const double> x) const;
+    [[nodiscard]] bool fitted() const noexcept { return !lo_.empty(); }
+
+private:
+    std::vector<double> lo_;
+    std::vector<double> hi_;
+};
+
+/// One-hot encodes an integer-valued column into `cardinality` binary
+/// columns.  Values outside [0, cardinality) map to all-zeros.
+[[nodiscard]] Matrix one_hot(std::span<const double> column, std::size_t cardinality);
+
+/// Applies a standardizer to the feature matrix of a dataset, returning a
+/// new dataset (labels untouched).
+[[nodiscard]] Dataset standardize(const Dataset& d, const Standardizer& s);
+
+}  // namespace xnfv::ml

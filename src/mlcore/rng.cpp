@@ -1,0 +1,159 @@
+#include "mlcore/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace xnfv::ml {
+
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+}
+
+/// SplitMix64 step: used only for seeding.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : s_) word = splitmix64(sm);
+    // All-zero state is the one invalid state for xoshiro; splitmix64 cannot
+    // produce four zero outputs in a row, but be defensive anyway.
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+    has_spare_ = false;
+}
+
+std::uint64_t Rng::next_u64() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double Rng::uniform() noexcept {
+    // 53 random mantissa bits -> uniform in [0, 1).
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+}
+
+namespace {
+// 128-bit multiply for Lemire's multiply-shift range mapping; the GCC/Clang
+// extension is wrapped so -Wpedantic stays clean.
+__extension__ using uint128 = unsigned __int128;
+}  // namespace
+
+std::size_t Rng::uniform_index(std::size_t n) noexcept {
+    // Lemire's multiply-shift rejection-free mapping has negligible bias for
+    // the n values used here; keep the simple multiply-shift form.
+    return static_cast<std::size_t>((static_cast<uint128>(next_u64()) * n) >> 64);
+}
+
+long long Rng::uniform_int(long long lo, long long hi) noexcept {
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<long long>((static_cast<uint128>(next_u64()) * span) >> 64);
+}
+
+double Rng::normal() noexcept {
+    if (has_spare_) {
+        has_spare_ = false;
+        return spare_normal_;
+    }
+    // Box–Muller; u1 is kept away from 0 so log() is finite.
+    double u1 = uniform();
+    if (u1 < 1e-300) u1 = 1e-300;
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * std::numbers::pi * u2;
+    spare_normal_ = r * std::sin(theta);
+    has_spare_ = true;
+    return r * std::cos(theta);
+}
+
+double Rng::normal(double mean, double stddev) noexcept {
+    return mean + stddev * normal();
+}
+
+double Rng::exponential(double lambda) noexcept {
+    double u = uniform();
+    if (u < 1e-300) u = 1e-300;
+    return -std::log(u) / lambda;
+}
+
+double Rng::pareto(double x_m, double alpha) noexcept {
+    double u = uniform();
+    if (u < 1e-300) u = 1e-300;
+    return x_m / std::pow(u, 1.0 / alpha);
+}
+
+double Rng::lognormal(double mu, double sigma) noexcept {
+    return std::exp(normal(mu, sigma));
+}
+
+std::uint64_t Rng::poisson(double mean) noexcept {
+    if (mean <= 0.0) return 0;
+    if (mean > 64.0) {
+        // Normal approximation with continuity correction; adequate for the
+        // traffic-generation use case (counts per interval).
+        const double v = normal(mean, std::sqrt(mean));
+        return v <= 0.0 ? 0 : static_cast<std::uint64_t>(v + 0.5);
+    }
+    const double limit = std::exp(-mean);
+    double prod = uniform();
+    std::uint64_t k = 0;
+    while (prod > limit) {
+        ++k;
+        prod *= uniform();
+    }
+    return k;
+}
+
+bool Rng::bernoulli(double p) noexcept {
+    return uniform() < p;
+}
+
+std::size_t Rng::weighted_index(std::span<const double> weights) noexcept {
+    double total = 0.0;
+    for (double w : weights) total += w > 0.0 ? w : 0.0;
+    if (total <= 0.0) return weights.empty() ? 0 : weights.size() - 1;
+    double target = uniform() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        const double w = weights[i] > 0.0 ? weights[i] : 0.0;
+        if (target < w) return i;
+        target -= w;
+    }
+    return weights.size() - 1;
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n, std::size_t k) {
+    if (k > n) k = n;
+    std::vector<std::size_t> pool(n);
+    for (std::size_t i = 0; i < n; ++i) pool[i] = i;
+    for (std::size_t i = 0; i < k; ++i) {
+        const std::size_t j = i + uniform_index(n - i);
+        std::swap(pool[i], pool[j]);
+    }
+    pool.resize(k);
+    return pool;
+}
+
+Rng Rng::split() noexcept {
+    return Rng{next_u64() ^ 0xd1b54a32d192ed03ULL};
+}
+
+}  // namespace xnfv::ml

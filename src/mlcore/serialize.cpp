@@ -1,0 +1,248 @@
+#include "mlcore/serialize.hpp"
+
+#include <fstream>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+
+#include "mlcore/forest.hpp"
+#include "mlcore/gbt.hpp"
+#include "mlcore/linear.hpp"
+#include "mlcore/mlp.hpp"
+#include "mlcore/tree.hpp"
+
+namespace xnfv::ml {
+
+namespace {
+
+constexpr int kFormatVersion = 1;
+
+void write_doubles(std::ostream& os, std::span<const double> v) {
+    os << v.size();
+    for (double x : v) os << ' ' << x;
+    os << '\n';
+}
+
+std::vector<double> read_doubles(std::istream& is, const char* who) {
+    std::size_t n = 0;
+    if (!(is >> n)) throw std::runtime_error(std::string(who) + ": bad vector length");
+    std::vector<double> v(n);
+    for (double& x : v)
+        if (!(is >> x)) throw std::runtime_error(std::string(who) + ": bad vector value");
+    return v;
+}
+
+void expect_token(std::istream& is, const std::string& expected, const char* who) {
+    std::string token;
+    if (!(is >> token) || token != expected)
+        throw std::runtime_error(std::string(who) + ": expected '" + expected +
+                                 "', got '" + token + "'");
+}
+
+std::ostream& full_precision(std::ostream& os) {
+    os.precision(std::numeric_limits<double>::max_digits10);
+    return os;
+}
+
+}  // namespace
+
+// --- LinearRegression --------------------------------------------------------
+
+void LinearRegression::save(std::ostream& os) const {
+    full_precision(os) << "linreg " << intercept_ << '\n';
+    write_doubles(os, coef_);
+}
+
+void LinearRegression::load(std::istream& is) {
+    expect_token(is, "linreg", "LinearRegression::load");
+    if (!(is >> intercept_))
+        throw std::runtime_error("LinearRegression::load: bad intercept");
+    coef_ = read_doubles(is, "LinearRegression::load");
+}
+
+// --- LogisticRegression -------------------------------------------------------
+
+void LogisticRegression::save(std::ostream& os) const {
+    full_precision(os) << "logreg " << intercept_ << '\n';
+    write_doubles(os, coef_);
+}
+
+void LogisticRegression::load(std::istream& is) {
+    expect_token(is, "logreg", "LogisticRegression::load");
+    if (!(is >> intercept_))
+        throw std::runtime_error("LogisticRegression::load: bad intercept");
+    coef_ = read_doubles(is, "LogisticRegression::load");
+}
+
+// --- DecisionTree -------------------------------------------------------------
+
+void DecisionTree::save(std::ostream& os) const {
+    full_precision(os) << "tree " << num_features_ << ' '
+                       << (task_ == Task::binary_classification ? 1 : 0) << ' '
+                       << nodes_.size() << '\n';
+    for (const TreeNode& n : nodes_)
+        os << n.feature << ' ' << n.threshold << ' ' << n.left << ' ' << n.right << ' '
+           << n.value << ' ' << n.cover << '\n';
+    write_doubles(os, importance_raw_);
+}
+
+void DecisionTree::load(std::istream& is) {
+    expect_token(is, "tree", "DecisionTree::load");
+    std::size_t n_nodes = 0;
+    int clf = 0;
+    if (!(is >> num_features_ >> clf >> n_nodes))
+        throw std::runtime_error("DecisionTree::load: bad header");
+    task_ = clf ? Task::binary_classification : Task::regression;
+    nodes_.assign(n_nodes, TreeNode{});
+    for (TreeNode& n : nodes_) {
+        if (!(is >> n.feature >> n.threshold >> n.left >> n.right >> n.value >> n.cover))
+            throw std::runtime_error("DecisionTree::load: bad node");
+        // Validate child indices to keep predict() crash-free on bad input.
+        const auto check = [&](int child) {
+            if (child >= 0 && static_cast<std::size_t>(child) >= n_nodes)
+                throw std::runtime_error("DecisionTree::load: child index out of range");
+        };
+        if (!n.is_leaf()) {
+            check(n.left);
+            check(n.right);
+            if (n.left < 0 || n.right < 0)
+                throw std::runtime_error("DecisionTree::load: internal node missing child");
+            if (static_cast<std::size_t>(n.feature) >= num_features_)
+                throw std::runtime_error("DecisionTree::load: feature index out of range");
+        }
+    }
+    importance_raw_ = read_doubles(is, "DecisionTree::load");
+    if (importance_raw_.size() != num_features_)
+        throw std::runtime_error("DecisionTree::load: importance size mismatch");
+}
+
+// --- RandomForest --------------------------------------------------------------
+
+void RandomForest::save(std::ostream& os) const {
+    full_precision(os) << "forest " << num_features_ << ' ' << trees_.size() << '\n';
+    for (const DecisionTree& t : trees_) t.save(os);
+}
+
+void RandomForest::load(std::istream& is) {
+    expect_token(is, "forest", "RandomForest::load");
+    std::size_t n_trees = 0;
+    if (!(is >> num_features_ >> n_trees))
+        throw std::runtime_error("RandomForest::load: bad header");
+    trees_.assign(n_trees, DecisionTree{});
+    for (DecisionTree& t : trees_) t.load(is);
+}
+
+// --- GradientBoostedTrees -------------------------------------------------------
+
+void GradientBoostedTrees::save(std::ostream& os) const {
+    full_precision(os) << "gbt " << num_features_ << ' '
+                       << (task_ == Task::binary_classification ? 1 : 0) << ' '
+                       << base_score_ << ' ' << config_.learning_rate << ' '
+                       << trees_.size() << '\n';
+    for (const DecisionTree& t : trees_) t.save(os);
+}
+
+void GradientBoostedTrees::load(std::istream& is) {
+    expect_token(is, "gbt", "GradientBoostedTrees::load");
+    int clf = 0;
+    std::size_t n_trees = 0;
+    if (!(is >> num_features_ >> clf >> base_score_ >> config_.learning_rate >> n_trees))
+        throw std::runtime_error("GradientBoostedTrees::load: bad header");
+    task_ = clf ? Task::binary_classification : Task::regression;
+    trees_.assign(n_trees, DecisionTree{});
+    for (DecisionTree& t : trees_) t.load(is);
+}
+
+// --- Mlp -------------------------------------------------------------------------
+
+void Mlp::save(std::ostream& os) const {
+    full_precision(os) << "mlp " << num_inputs_ << ' '
+                       << (task_ == Task::binary_classification ? 1 : 0) << ' '
+                       << (config_.activation == Activation::relu ? "relu" : "tanh")
+                       << ' ' << layers_.size() << '\n';
+    for (const Layer& layer : layers_) {
+        os << layer.in << ' ' << layer.out << '\n';
+        write_doubles(os, layer.w);
+        write_doubles(os, layer.b);
+    }
+}
+
+void Mlp::load(std::istream& is) {
+    expect_token(is, "mlp", "Mlp::load");
+    int clf = 0;
+    std::string act;
+    std::size_t n_layers = 0;
+    if (!(is >> num_inputs_ >> clf >> act >> n_layers))
+        throw std::runtime_error("Mlp::load: bad header");
+    task_ = clf ? Task::binary_classification : Task::regression;
+    if (act == "relu") config_.activation = Activation::relu;
+    else if (act == "tanh") config_.activation = Activation::tanh;
+    else throw std::runtime_error("Mlp::load: unknown activation '" + act + "'");
+    layers_.assign(n_layers, Layer{});
+    config_.hidden_layers.clear();
+    for (std::size_t li = 0; li < n_layers; ++li) {
+        Layer& layer = layers_[li];
+        if (!(is >> layer.in >> layer.out))
+            throw std::runtime_error("Mlp::load: bad layer header");
+        layer.w = read_doubles(is, "Mlp::load");
+        layer.b = read_doubles(is, "Mlp::load");
+        if (layer.w.size() != layer.in * layer.out || layer.b.size() != layer.out)
+            throw std::runtime_error("Mlp::load: layer shape mismatch");
+        // Optimizer state is not persisted; fresh zeros are fine for predict.
+        layer.mw.assign(layer.w.size(), 0.0);
+        layer.vw.assign(layer.w.size(), 0.0);
+        layer.mb.assign(layer.b.size(), 0.0);
+        layer.vb.assign(layer.b.size(), 0.0);
+        if (li + 1 < n_layers) config_.hidden_layers.push_back(layer.out);
+    }
+    adam_step_ = 0;
+}
+
+// --- Tagged dispatch ---------------------------------------------------------------
+
+void save_model(const Model& model, std::ostream& os) {
+    full_precision(os) << "xnfv-model " << kFormatVersion << ' ' << model.name() << '\n';
+    if (const auto* m = dynamic_cast<const LinearRegression*>(&model)) return m->save(os);
+    if (const auto* m = dynamic_cast<const LogisticRegression*>(&model)) return m->save(os);
+    if (const auto* m = dynamic_cast<const GradientBoostedTrees*>(&model)) return m->save(os);
+    if (const auto* m = dynamic_cast<const RandomForest*>(&model)) return m->save(os);
+    if (const auto* m = dynamic_cast<const DecisionTree*>(&model)) return m->save(os);
+    if (const auto* m = dynamic_cast<const Mlp*>(&model)) return m->save(os);
+    throw std::invalid_argument("save_model: unsupported model type '" + model.name() + "'");
+}
+
+void save_model_file(const Model& model, const std::string& path) {
+    std::ofstream os(path);
+    if (!os) throw std::runtime_error("save_model_file: cannot open " + path);
+    save_model(model, os);
+}
+
+std::unique_ptr<Model> load_model(std::istream& is) {
+    expect_token(is, "xnfv-model", "load_model");
+    int version = 0;
+    std::string tag;
+    if (!(is >> version >> tag)) throw std::runtime_error("load_model: bad header");
+    if (version != kFormatVersion)
+        throw std::runtime_error("load_model: unsupported version " +
+                                 std::to_string(version));
+    const auto finish = [&](auto model) -> std::unique_ptr<Model> {
+        model->load(is);
+        return model;
+    };
+    if (tag == "linear_regression") return finish(std::make_unique<LinearRegression>());
+    if (tag == "logistic_regression") return finish(std::make_unique<LogisticRegression>());
+    if (tag == "decision_tree") return finish(std::make_unique<DecisionTree>());
+    if (tag == "random_forest") return finish(std::make_unique<RandomForest>());
+    if (tag == "gbt") return finish(std::make_unique<GradientBoostedTrees>());
+    if (tag == "mlp") return finish(std::make_unique<Mlp>());
+    throw std::runtime_error("load_model: unknown model tag '" + tag + "'");
+}
+
+std::unique_ptr<Model> load_model_file(const std::string& path) {
+    std::ifstream is(path);
+    if (!is) throw std::runtime_error("load_model_file: cannot open " + path);
+    return load_model(is);
+}
+
+}  // namespace xnfv::ml

@@ -1,0 +1,35 @@
+// Model persistence: line-based, human-inspectable text format.
+//
+// Every trainable model implements save()/load(); these free functions add
+// a type tag so a model can be restored without knowing its concrete type —
+// the "train once, explain later" workflow of the xnfv CLI.
+//
+// Format sketch (whitespace separated, max-precision doubles):
+//     xnfv-model 1 random_forest
+//     <payload written by RandomForest::save>
+//
+// The format stores *inference* state only (weights, trees, link), not
+// optimizer state or training configuration: a loaded model predicts
+// identically but cannot resume training.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "mlcore/model.hpp"
+
+namespace xnfv::ml {
+
+/// Writes `model` with a type tag.  Supported: linear_regression,
+/// logistic_regression, decision_tree, random_forest, gbt, mlp.  Throws
+/// std::invalid_argument for unsupported model types (e.g. LambdaModel).
+void save_model(const Model& model, std::ostream& os);
+void save_model_file(const Model& model, const std::string& path);
+
+/// Restores a model written by save_model.  Throws std::runtime_error on
+/// malformed input or unknown tags.
+[[nodiscard]] std::unique_ptr<Model> load_model(std::istream& is);
+[[nodiscard]] std::unique_ptr<Model> load_model_file(const std::string& path);
+
+}  // namespace xnfv::ml

@@ -1,0 +1,102 @@
+// CART decision trees (regression and binary classification).
+//
+// The tree exposes its full node structure (feature, threshold, children,
+// leaf value, training cover) because the XAI engine's TreeSHAP-style
+// explainer computes conditional expectations by walking it directly.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mlcore/dataset.hpp"
+#include "mlcore/model.hpp"
+#include "mlcore/rng.hpp"
+
+namespace xnfv::ml {
+
+/// One node of a binary decision tree, stored in a flat vector.
+/// Internal nodes route left when x[feature] <= threshold.
+struct TreeNode {
+    int feature = -1;        ///< split feature; -1 marks a leaf
+    double threshold = 0.0;  ///< split threshold (left: x[f] <= threshold)
+    int left = -1;           ///< index of left child in the node vector
+    int right = -1;          ///< index of right child
+    double value = 0.0;      ///< prediction at this node (mean label of cover)
+    double cover = 0.0;      ///< number of training samples that reached the node
+
+    [[nodiscard]] bool is_leaf() const noexcept { return feature < 0; }
+};
+
+/// CART tree.  For binary classification the leaf value is the positive-class
+/// fraction, so predict() returns a probability; splits minimize Gini
+/// impurity, which for binary labels coincides with variance reduction up to
+/// a constant factor but is computed in its own right for clarity.
+class DecisionTree final : public Model {
+public:
+    struct Config {
+        int max_depth = 8;
+        std::size_t min_samples_leaf = 5;
+        std::size_t min_samples_split = 10;
+        /// Number of features considered per split; 0 means all.  Used by
+        /// random forests for decorrelation.
+        std::size_t max_features = 0;
+        /// Minimum impurity decrease required to accept a split.
+        double min_impurity_decrease = 1e-12;
+    };
+
+    DecisionTree() = default;
+    explicit DecisionTree(Config config) : config_(config) {}
+
+    /// Fits the tree.  `rng` is only consulted when max_features > 0.
+    void fit(const Dataset& d, Rng* rng = nullptr);
+
+    /// Fits on an explicit subset of rows (bootstrap support for forests).
+    void fit_rows(const Dataset& d, std::span<const std::size_t> rows, Rng* rng = nullptr);
+
+    [[nodiscard]] double predict(std::span<const double> x) const override;
+    [[nodiscard]] std::size_t num_features() const override { return num_features_; }
+    [[nodiscard]] std::string name() const override { return "decision_tree"; }
+
+    /// Index of the leaf reached by x (for tests / surrogate printing).
+    [[nodiscard]] std::size_t leaf_index(std::span<const double> x) const;
+
+    /// Flat node array; node 0 is the root.  Empty before fit().
+    [[nodiscard]] const std::vector<TreeNode>& nodes() const noexcept { return nodes_; }
+
+    /// Mutable node access.  Exists so gradient boosting can refine leaf
+    /// values with a Newton step after the structure is grown; do not alter
+    /// the topology through this.
+    [[nodiscard]] std::vector<TreeNode>& mutable_nodes() noexcept { return nodes_; }
+
+    [[nodiscard]] int depth() const noexcept;
+    [[nodiscard]] std::size_t num_leaves() const noexcept;
+
+    /// Impurity-decrease feature importances, normalized to sum to 1
+    /// (all-zero if the tree is a stump with no splits).
+    [[nodiscard]] std::vector<double> feature_importances() const;
+
+    /// Renders an indented text form of the tree using `names` (may be empty).
+    [[nodiscard]] std::string to_text(std::span<const std::string> names = {}) const;
+
+    /// Serializes the fitted model as line-based text (see mlcore/serialize.hpp).
+    void save(std::ostream& os) const;
+    /// Restores state written by save(), replacing any current state.
+    /// Throws std::runtime_error on malformed input.
+    void load(std::istream& is);
+
+
+private:
+    struct BuildContext;
+    int build_node(BuildContext& ctx, std::vector<std::size_t>& rows, int depth);
+
+    Config config_{};
+    std::vector<TreeNode> nodes_;
+    std::size_t num_features_ = 0;
+    Task task_ = Task::regression;
+    std::vector<double> importance_raw_;
+};
+
+}  // namespace xnfv::ml

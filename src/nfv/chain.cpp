@@ -1,0 +1,56 @@
+#include "nfv/chain.hpp"
+
+#include <stdexcept>
+
+namespace xnfv::nfv {
+
+std::uint32_t Deployment::add_vnf(VnfInstance v) {
+    v.id = static_cast<std::uint32_t>(vnfs.size());
+    vnfs.push_back(v);
+    return v.id;
+}
+
+std::uint32_t Deployment::add_chain(ServiceChain c) {
+    for (std::uint32_t vid : c.vnf_ids)
+        if (vid >= vnfs.size())
+            throw std::out_of_range("Deployment::add_chain: unknown VNF id " +
+                                    std::to_string(vid));
+    if (c.vnf_ids.empty())
+        throw std::invalid_argument("Deployment::add_chain: empty chain");
+    c.id = static_cast<std::uint32_t>(chains.size());
+    chains.push_back(std::move(c));
+    return chains.back().id;
+}
+
+const VnfInstance& Deployment::vnf(std::uint32_t vnf_id) const {
+    if (vnf_id >= vnfs.size())
+        throw std::out_of_range("Deployment::vnf: unknown id " + std::to_string(vnf_id));
+    return vnfs[vnf_id];
+}
+
+VnfInstance& Deployment::vnf(std::uint32_t vnf_id) {
+    if (vnf_id >= vnfs.size())
+        throw std::out_of_range("Deployment::vnf: unknown id " + std::to_string(vnf_id));
+    return vnfs[vnf_id];
+}
+
+std::uint32_t make_chain(Deployment& dep, std::string name,
+                         const std::vector<VnfType>& types, double cpu_cores, SlaSpec sla,
+                         std::uint32_t rules_for_matchers) {
+    ServiceChain chain;
+    chain.name = std::move(name);
+    chain.sla = sla;
+    for (VnfType t : types) {
+        VnfInstance inst;
+        inst.type = t;
+        inst.cpu_cores = cpu_cores;
+        // Rule-matching VNFs get a default policy size; others have none.
+        inst.num_rules = (t == VnfType::firewall || t == VnfType::ids)
+                             ? rules_for_matchers
+                             : 0;
+        chain.vnf_ids.push_back(dep.add_vnf(inst));
+    }
+    return dep.add_chain(std::move(chain));
+}
+
+}  // namespace xnfv::nfv

@@ -1,0 +1,59 @@
+// Service function chains and their SLA specifications.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nfv/vnf.hpp"
+
+namespace xnfv::nfv {
+
+/// Latency / throughput / loss targets for one chain.
+struct SlaSpec {
+    double max_latency_s = 2e-3;   ///< end-to-end budget (gateway to egress)
+    double min_goodput_frac = 0.99;  ///< carried / offered packet fraction
+};
+
+/// One epoch's offered traffic for a chain.
+struct OfferedLoad {
+    double pps = 0.0;             ///< packets per second
+    double avg_pkt_bytes = 700.0; ///< mean packet size
+    double active_flows = 0.0;    ///< concurrently active flows
+    double burstiness_ca2 = 1.0;  ///< squared CV of inter-arrivals
+
+    [[nodiscard]] double bps() const noexcept { return pps * avg_pkt_bytes * 8.0; }
+};
+
+/// An ordered chain of VNF instances (by id) traffic must traverse.
+struct ServiceChain {
+    std::uint32_t id = 0;
+    std::string name;
+    std::vector<std::uint32_t> vnf_ids;  ///< indices into the deployment's VNF list
+    SlaSpec sla{};
+
+    [[nodiscard]] std::size_t length() const noexcept { return vnf_ids.size(); }
+};
+
+/// A full deployment: infrastructure-independent description of what runs.
+struct Deployment {
+    std::vector<VnfInstance> vnfs;
+    std::vector<ServiceChain> chains;
+
+    /// Adds an instance and returns its id.
+    std::uint32_t add_vnf(VnfInstance v);
+
+    /// Adds a chain over existing VNF ids; validates the ids.
+    std::uint32_t add_chain(ServiceChain c);
+
+    [[nodiscard]] const VnfInstance& vnf(std::uint32_t vnf_id) const;
+    [[nodiscard]] VnfInstance& vnf(std::uint32_t vnf_id);
+};
+
+/// Convenience factory: builds a chain of the given types with `cpu_cores`
+/// per instance, appending the instances and the chain to `dep`.
+std::uint32_t make_chain(Deployment& dep, std::string name,
+                         const std::vector<VnfType>& types, double cpu_cores,
+                         SlaSpec sla = {}, std::uint32_t rules_for_matchers = 500);
+
+}  // namespace xnfv::nfv

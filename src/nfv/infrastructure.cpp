@@ -1,0 +1,51 @@
+#include "nfv/infrastructure.hpp"
+
+#include <stdexcept>
+
+namespace xnfv::nfv {
+
+Infrastructure Infrastructure::homogeneous_pop(std::size_t num_servers, Server prototype,
+                                               double link_bps) {
+    Infrastructure infra;
+    for (std::size_t i = 0; i < num_servers; ++i) {
+        Server s = prototype;
+        s.id = static_cast<std::uint32_t>(i);
+        infra.add_server(s);
+    }
+    // Gateway -> server links plus full mesh of server -> server logical
+    // links (both through the ToR; capacity is the server NIC capacity).
+    for (std::size_t i = 0; i < num_servers; ++i) {
+        infra.add_link(Link{.from = -1, .to = static_cast<std::int32_t>(i),
+                            .capacity_bps = link_bps, .propagation_s = 50e-6});
+    }
+    for (std::size_t i = 0; i < num_servers; ++i) {
+        for (std::size_t j = 0; j < num_servers; ++j) {
+            if (i == j) continue;
+            infra.add_link(Link{.from = static_cast<std::int32_t>(i),
+                                .to = static_cast<std::int32_t>(j),
+                                .capacity_bps = link_bps, .propagation_s = 20e-6});
+        }
+    }
+    return infra;
+}
+
+std::uint32_t Infrastructure::add_server(Server s) {
+    s.id = static_cast<std::uint32_t>(servers_.size());
+    servers_.push_back(s);
+    return s.id;
+}
+
+std::uint32_t Infrastructure::add_link(Link l) {
+    l.id = static_cast<std::uint32_t>(links_.size());
+    links_.push_back(l);
+    return l.id;
+}
+
+std::uint32_t Infrastructure::link_between(std::int32_t a, std::int32_t b) const {
+    for (const Link& l : links_)
+        if (l.from == a && l.to == b) return l.id;
+    throw std::out_of_range("Infrastructure::link_between: no link " + std::to_string(a) +
+                            " -> " + std::to_string(b));
+}
+
+}  // namespace xnfv::nfv

@@ -1,0 +1,67 @@
+// Physical substrate: servers, links, and topology.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xnfv::nfv {
+
+/// A commodity server hosting VNF instances.
+struct Server {
+    std::uint32_t id = 0;
+    double cores = 16.0;
+    double cycles_per_core = 3.0e9;  ///< per second
+    double memory_bytes = 64e9;
+    double llc_bytes = 32e6;         ///< shared last-level cache
+    /// Strength of the cache-interference penalty: effective per-packet cost
+    /// is multiplied by (1 + alpha * max(0, demand/llc - 1)).
+    double cache_penalty_alpha = 0.35;
+
+    [[nodiscard]] double total_cycles() const noexcept { return cores * cycles_per_core; }
+};
+
+/// A directed link between two servers (or server and gateway).
+struct Link {
+    std::uint32_t id = 0;
+    std::int32_t from = -1;  ///< server index; -1 = external gateway
+    std::int32_t to = -1;
+    double capacity_bps = 10e9;
+    double propagation_s = 50e-6;
+};
+
+/// A rack-scale NFV point of presence: a set of servers all reachable from
+/// an external gateway through a top-of-rack switch.  Links exist gateway ->
+/// each server and server -> server (through the ToR, one logical hop).
+class Infrastructure {
+public:
+    Infrastructure() = default;
+
+    /// Builds a homogeneous PoP of `num_servers` identical servers connected
+    /// via `link_bps` links.
+    static Infrastructure homogeneous_pop(std::size_t num_servers, Server prototype,
+                                          double link_bps = 10e9);
+
+    [[nodiscard]] const std::vector<Server>& servers() const noexcept { return servers_; }
+    [[nodiscard]] std::vector<Server>& servers() noexcept { return servers_; }
+    [[nodiscard]] const std::vector<Link>& links() const noexcept { return links_; }
+
+    std::uint32_t add_server(Server s);
+    std::uint32_t add_link(Link l);
+
+    /// The logical link traversed when traffic moves from server `a` to
+    /// server `b` (or from the gateway when a == -1).  Returns the link id;
+    /// throws std::out_of_range if no such link exists.
+    [[nodiscard]] std::uint32_t link_between(std::int32_t a, std::int32_t b) const;
+
+    /// True if the two consecutive chain positions require a network hop.
+    [[nodiscard]] static bool needs_hop(std::int32_t a, std::int32_t b) noexcept {
+        return a != b;
+    }
+
+private:
+    std::vector<Server> servers_;
+    std::vector<Link> links_;
+};
+
+}  // namespace xnfv::nfv

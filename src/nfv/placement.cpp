@@ -1,0 +1,88 @@
+#include "nfv/placement.hpp"
+
+#include <limits>
+
+namespace xnfv::nfv {
+
+const char* to_string(PlacementStrategy s) noexcept {
+    switch (s) {
+        case PlacementStrategy::first_fit: return "first_fit";
+        case PlacementStrategy::best_fit: return "best_fit";
+        case PlacementStrategy::worst_fit: return "worst_fit";
+        case PlacementStrategy::random_fit: return "random_fit";
+    }
+    return "unknown";
+}
+
+std::vector<double> committed_cores(const Deployment& dep, const Infrastructure& infra) {
+    std::vector<double> used(infra.servers().size(), 0.0);
+    for (const VnfInstance& v : dep.vnfs)
+        if (v.server >= 0 && static_cast<std::size_t>(v.server) < used.size())
+            used[static_cast<std::size_t>(v.server)] += v.cpu_cores;
+    return used;
+}
+
+bool place(Deployment& dep, const Infrastructure& infra, PlacementStrategy strategy,
+           xnfv::ml::Rng& rng) {
+    auto used = committed_cores(dep, infra);
+    const auto& servers = infra.servers();
+    bool all_placed = true;
+
+    for (VnfInstance& v : dep.vnfs) {
+        if (v.server >= 0) continue;  // already placed
+
+        std::int32_t chosen = -1;
+        switch (strategy) {
+            case PlacementStrategy::first_fit: {
+                for (std::size_t s = 0; s < servers.size(); ++s) {
+                    if (used[s] + v.cpu_cores <= servers[s].cores) {
+                        chosen = static_cast<std::int32_t>(s);
+                        break;
+                    }
+                }
+                break;
+            }
+            case PlacementStrategy::best_fit: {
+                double best_resid = std::numeric_limits<double>::infinity();
+                for (std::size_t s = 0; s < servers.size(); ++s) {
+                    const double resid = servers[s].cores - used[s] - v.cpu_cores;
+                    if (resid >= 0.0 && resid < best_resid) {
+                        best_resid = resid;
+                        chosen = static_cast<std::int32_t>(s);
+                    }
+                }
+                break;
+            }
+            case PlacementStrategy::worst_fit: {
+                double best_resid = -1.0;
+                for (std::size_t s = 0; s < servers.size(); ++s) {
+                    const double resid = servers[s].cores - used[s] - v.cpu_cores;
+                    if (resid >= 0.0 && resid > best_resid) {
+                        best_resid = resid;
+                        chosen = static_cast<std::int32_t>(s);
+                    }
+                }
+                break;
+            }
+            case PlacementStrategy::random_fit: {
+                std::vector<std::int32_t> feasible;
+                for (std::size_t s = 0; s < servers.size(); ++s)
+                    if (used[s] + v.cpu_cores <= servers[s].cores)
+                        feasible.push_back(static_cast<std::int32_t>(s));
+                if (!feasible.empty())
+                    chosen = feasible[rng.uniform_index(feasible.size())];
+                break;
+            }
+        }
+
+        if (chosen < 0) {
+            all_placed = false;
+            continue;
+        }
+        v.server = chosen;
+        used[static_cast<std::size_t>(chosen)] += v.cpu_cores;
+    }
+    return all_placed;
+}
+
+}  // namespace xnfv::nfv

@@ -1,0 +1,34 @@
+// VNF placement: assigns deployment instances to servers.
+//
+// Placement determines co-location, and co-location drives the CPU and cache
+// contention that the explanations must later surface — so the dataset
+// builder varies the strategy to create diverse contention patterns.
+#pragma once
+
+#include "mlcore/rng.hpp"
+#include "nfv/chain.hpp"
+#include "nfv/infrastructure.hpp"
+
+namespace xnfv::nfv {
+
+enum class PlacementStrategy {
+    first_fit,   ///< first server with enough residual CPU
+    best_fit,    ///< server whose residual CPU is smallest but sufficient (packs)
+    worst_fit,   ///< server with most residual CPU (spreads)
+    random_fit,  ///< uniformly random among servers with enough residual CPU
+};
+
+[[nodiscard]] const char* to_string(PlacementStrategy s) noexcept;
+
+/// Assigns every unplaced VNF in `dep` to a server, tracking per-server CPU
+/// commitments (sum of instance cpu_cores <= server cores).  Returns false
+/// and leaves instances unplaced if capacity runs out; placements done so
+/// far are kept.  `rng` is used only by random_fit.
+bool place(Deployment& dep, const Infrastructure& infra, PlacementStrategy strategy,
+           xnfv::ml::Rng& rng);
+
+/// CPU cores committed per server by the current placement.
+[[nodiscard]] std::vector<double> committed_cores(const Deployment& dep,
+                                                  const Infrastructure& infra);
+
+}  // namespace xnfv::nfv

@@ -1,0 +1,48 @@
+// Queueing approximations used by the flow-level simulator.
+//
+// Each VNF is modelled as a single queueing station.  Mean waiting time uses
+// the Kingman / Allen–Cunneen G/G/1 approximation
+//     W ≈ (rho / (1 - rho)) * ((Ca^2 + Cs^2) / 2) * E[S]
+// which reduces to M/M/1 for Ca^2 = Cs^2 = 1 and correctly captures the two
+// effects the explanations must attribute: utilization (rho) and traffic
+// burstiness (Ca^2).  Overload (rho >= 1) is handled by capping the queue at
+// a configurable depth, returning the capped delay and the implied loss rate.
+#pragma once
+
+namespace xnfv::nfv {
+
+/// Result of evaluating one queueing station for one epoch.
+struct StationResult {
+    double utilization = 0.0;   ///< rho = lambda * E[S], uncapped (can exceed 1)
+    double wait_s = 0.0;        ///< mean queueing delay (excl. service), seconds
+    double service_s = 0.0;     ///< mean service time E[S], seconds
+    double loss_rate = 0.0;     ///< fraction of offered packets dropped
+    [[nodiscard]] double sojourn_s() const noexcept { return wait_s + service_s; }
+};
+
+/// Parameters of a G/G/1 station evaluation.
+struct StationParams {
+    double arrival_pps = 0.0;   ///< offered packet arrival rate
+    double service_pps = 0.0;   ///< service capacity in packets/second (> 0)
+    double ca2 = 1.0;           ///< squared CV of inter-arrival times
+    double cs2 = 1.0;           ///< squared CV of service times
+    /// Maximum sustainable queue length used to cap delay and derive loss in
+    /// overload; a proxy for a finite ring/buffer.
+    double max_queue_pkts = 4096.0;
+};
+
+/// Evaluates the Kingman approximation with overload capping.
+/// Preconditions: service_pps > 0, arrival_pps >= 0; throws otherwise.
+[[nodiscard]] StationResult evaluate_station(const StationParams& params);
+
+/// Mean M/M/1 sojourn time (service + wait); utility for tests/baselines.
+/// Returns +inf when rho >= 1.
+[[nodiscard]] double mm1_sojourn_s(double arrival_pps, double service_pps);
+
+/// Link transmission + queueing delay for a link of `capacity_bps` carrying
+/// `offered_bps`, with mean packet size `pkt_bytes`, modelled as M/M/1 on
+/// packet transmissions, capped like evaluate_station.
+[[nodiscard]] StationResult evaluate_link(double offered_bps, double capacity_bps,
+                                          double pkt_bytes, double ca2 = 1.0);
+
+}  // namespace xnfv::nfv

@@ -1,0 +1,131 @@
+#include "nfv/remediation.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "nfv/placement.hpp"
+#include "nfv/simulator.hpp"
+
+namespace xnfv::nfv {
+
+const char* to_string(ActionKind kind) noexcept {
+    switch (kind) {
+        case ActionKind::none: return "none";
+        case ActionKind::scale_up_cpu: return "scale_up_cpu";
+        case ActionKind::migrate_spread: return "migrate_spread";
+        case ActionKind::migrate_colocate: return "migrate_colocate";
+        case ActionKind::reduce_rules: return "reduce_rules";
+    }
+    return "unknown";
+}
+
+std::string Action::to_string(const Deployment& dep) const {
+    std::ostringstream os;
+    os << nfv::to_string(kind);
+    if (kind != ActionKind::none && target_vnf < dep.vnfs.size()) {
+        os << " on vnf#" << target_vnf << " ("
+           << nfv::to_string(dep.vnf(target_vnf).type) << ")";
+        if (kind == ActionKind::scale_up_cpu || kind == ActionKind::reduce_rules)
+            os << " x" << magnitude;
+    }
+    return os.str();
+}
+
+namespace {
+
+/// Moves `vnf` to server `target` if it fits; returns success.
+bool migrate_to(Deployment& dep, const Infrastructure& infra, VnfInstance& vnf,
+                std::int32_t target) {
+    if (target < 0 || static_cast<std::size_t>(target) >= infra.servers().size())
+        return false;
+    if (vnf.server == target) return false;
+    const auto used = committed_cores(dep, infra);
+    const auto t = static_cast<std::size_t>(target);
+    if (used[t] + vnf.cpu_cores > infra.servers()[t].cores) return false;
+    vnf.server = target;
+    return true;
+}
+
+}  // namespace
+
+bool apply_action(Deployment& dep, const Infrastructure& infra, const Action& action) {
+    if (action.kind == ActionKind::none) return true;
+    if (action.target_vnf >= dep.vnfs.size())
+        throw std::out_of_range("apply_action: unknown VNF id");
+    VnfInstance& vnf = dep.vnf(action.target_vnf);
+
+    switch (action.kind) {
+        case ActionKind::none:
+            return true;
+
+        case ActionKind::scale_up_cpu: {
+            if (action.magnitude <= 0.0)
+                throw std::invalid_argument("apply_action: magnitude must be > 0");
+            const auto used = committed_cores(dep, infra);
+            const auto srv = static_cast<std::size_t>(vnf.server);
+            const double residual = infra.servers()[srv].cores - used[srv];
+            const double want = vnf.cpu_cores * action.magnitude;
+            const double grant = std::min(want, residual);
+            if (grant <= 1e-9) return false;  // server full: scaling impossible
+            vnf.cpu_cores += grant;
+            return true;
+        }
+
+        case ActionKind::migrate_spread: {
+            // Least-committed feasible server other than the current one.
+            const auto used = committed_cores(dep, infra);
+            std::int32_t best = -1;
+            double best_used = std::numeric_limits<double>::infinity();
+            for (std::size_t s = 0; s < infra.servers().size(); ++s) {
+                if (static_cast<std::int32_t>(s) == vnf.server) continue;
+                if (used[s] + vnf.cpu_cores > infra.servers()[s].cores) continue;
+                if (used[s] < best_used) {
+                    best_used = used[s];
+                    best = static_cast<std::int32_t>(s);
+                }
+            }
+            return migrate_to(dep, infra, vnf, best);
+        }
+
+        case ActionKind::migrate_colocate: {
+            // Predecessor in the first chain containing this VNF.
+            for (const ServiceChain& chain : dep.chains) {
+                for (std::size_t k = 1; k < chain.vnf_ids.size(); ++k) {
+                    if (chain.vnf_ids[k] != action.target_vnf) continue;
+                    const std::int32_t target = dep.vnf(chain.vnf_ids[k - 1]).server;
+                    return migrate_to(dep, infra, vnf, target);
+                }
+            }
+            return false;  // chain head or not in any chain: nothing to co-locate with
+        }
+
+        case ActionKind::reduce_rules: {
+            if (action.magnitude <= 0.0 || action.magnitude > 1.0)
+                throw std::invalid_argument("apply_action: rule reduction in (0,1]");
+            if (vnf.num_rules == 0) return false;
+            vnf.num_rules = static_cast<std::uint32_t>(
+                static_cast<double>(vnf.num_rules) * (1.0 - action.magnitude));
+            return true;
+        }
+    }
+    return false;
+}
+
+std::uint32_t bottleneck_vnf(const Deployment& dep, const ServiceChain& chain,
+                             const EpochResult& epoch) {
+    std::uint32_t best = chain.vnf_ids.at(0);
+    double best_util = -1.0;
+    for (const std::uint32_t vid : chain.vnf_ids) {
+        const double util = epoch.vnfs.at(vid).utilization;
+        if (util > best_util) {
+            best_util = util;
+            best = vid;
+        }
+    }
+    (void)dep;
+    return best;
+}
+
+}  // namespace xnfv::nfv

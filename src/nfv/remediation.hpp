@@ -1,0 +1,50 @@
+// Remediation actions: the operator-side verbs a diagnosis leads to.
+//
+// The XAI layer produces *explanations*; an operator turns them into
+// *actions*.  This module provides the primitive actions on a deployment —
+// scale a VNF's CPU allocation, migrate a VNF, shrink a rule table — with
+// capacity checking, so that the closed-loop experiment (bench T5) can apply
+// an explanation-chosen action and re-simulate to verify the violation is
+// actually cured.  This closes the loop a feature-space counterfactual
+// cannot: the simulator, not the model, judges the fix.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "nfv/chain.hpp"
+#include "nfv/infrastructure.hpp"
+
+namespace xnfv::nfv {
+
+enum class ActionKind {
+    none,              ///< explicit no-op (demand-driven violations)
+    scale_up_cpu,      ///< grow a VNF's CPU allocation by `magnitude` (x1+m)
+    migrate_spread,    ///< move a VNF to the least-committed feasible server
+    migrate_colocate,  ///< move a VNF next to its chain predecessor
+    reduce_rules,      ///< shrink a matcher's rule table by `magnitude` (x1-m)
+};
+
+[[nodiscard]] const char* to_string(ActionKind kind) noexcept;
+
+struct Action {
+    ActionKind kind = ActionKind::none;
+    std::uint32_t target_vnf = 0;
+    double magnitude = 0.5;
+
+    [[nodiscard]] std::string to_string(const Deployment& dep) const;
+};
+
+/// Applies the action to `dep` (in place), respecting server CPU capacity.
+/// Returns false — leaving the deployment untouched — when the action is
+/// infeasible (no capacity to grow, no feasible migration target, ...).
+bool apply_action(Deployment& dep, const Infrastructure& infra, const Action& action);
+
+/// The VNF id with the highest station utilization in `chain` according to
+/// the epoch result — the default remediation target.
+[[nodiscard]] std::uint32_t bottleneck_vnf(const Deployment& dep,
+                                           const ServiceChain& chain,
+                                           const struct EpochResult& epoch);
+
+}  // namespace xnfv::nfv

@@ -1,0 +1,209 @@
+#include "nfv/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace xnfv::nfv {
+
+namespace {
+
+/// Per-chain per-stage traffic matrices used by the fixed-point iteration.
+/// pre_link[c][k] is the pps *offered to the hop preceding* stage k (i.e.
+/// after upstream VNF losses but before this hop's own loss) — this is what
+/// the link aggregation must see.  carried[c][k] is the pps entering stage
+/// k's VNF (after the hop); one extra trailing entry holds the egress pps.
+using CarriedMatrix = std::vector<std::vector<double>>;
+
+CarriedMatrix initial_carried(const Deployment& dep, const std::vector<OfferedLoad>& loads) {
+    CarriedMatrix carried(dep.chains.size());
+    for (std::size_t c = 0; c < dep.chains.size(); ++c)
+        carried[c].assign(dep.chains[c].length() + 1, loads[c].pps);
+    return carried;
+}
+
+}  // namespace
+
+EpochResult simulate_epoch(const Deployment& dep, const Infrastructure& infra,
+                           const std::vector<OfferedLoad>& loads,
+                           const SimulatorConfig& config) {
+    if (loads.size() != dep.chains.size())
+        throw std::invalid_argument("simulate_epoch: one OfferedLoad per chain required");
+    for (const ServiceChain& chain : dep.chains)
+        for (std::uint32_t vid : chain.vnf_ids)
+            if (dep.vnf(vid).server < 0)
+                throw std::invalid_argument("simulate_epoch: VNF " + std::to_string(vid) +
+                                            " is unplaced");
+
+    const auto& servers = infra.servers();
+    EpochResult out;
+    out.vnfs.assign(dep.vnfs.size(), VnfEpochStats{});
+    out.servers.assign(servers.size(), ServerEpochStats{});
+    out.links.assign(infra.links().size(), LinkEpochStats{});
+    for (std::size_t v = 0; v < dep.vnfs.size(); ++v)
+        out.vnfs[v].vnf_id = static_cast<std::uint32_t>(v);
+    for (std::size_t s = 0; s < servers.size(); ++s)
+        out.servers[s].server_id = static_cast<std::uint32_t>(s);
+    for (std::size_t l = 0; l < out.links.size(); ++l)
+        out.links[l].link_id = static_cast<std::uint32_t>(l);
+
+    CarriedMatrix carried = initial_carried(dep, loads);
+    CarriedMatrix pre_link = initial_carried(dep, loads);
+
+    // Server-level aggregates recomputed each fixed-point iteration.
+    std::vector<double> srv_cycles(servers.size());
+    std::vector<double> srv_mem(servers.size());
+    std::vector<double> srv_cache(servers.size());
+    std::vector<std::uint32_t> srv_vnfs(servers.size());
+    std::vector<double> link_bps(out.links.size());
+
+    for (int iter = 0; iter < std::max(1, config.contention_iterations); ++iter) {
+        std::fill(srv_cycles.begin(), srv_cycles.end(), 0.0);
+        std::fill(srv_mem.begin(), srv_mem.end(), 0.0);
+        std::fill(srv_cache.begin(), srv_cache.end(), 0.0);
+        std::fill(srv_vnfs.begin(), srv_vnfs.end(), 0u);
+        std::fill(link_bps.begin(), link_bps.end(), 0.0);
+
+        // Pass 1: aggregate demands per server and per link from the current
+        // carried-load estimate.
+        for (std::size_t c = 0; c < dep.chains.size(); ++c) {
+            const ServiceChain& chain = dep.chains[c];
+            const OfferedLoad& load = loads[c];
+            std::int32_t prev_server = -1;  // traffic enters from the gateway
+            for (std::size_t k = 0; k < chain.length(); ++k) {
+                const VnfInstance& vnf = dep.vnf(chain.vnf_ids[k]);
+                const double pps = carried[c][k];
+                const double bps = pps * load.avg_pkt_bytes * 8.0;
+                const auto srv = static_cast<std::size_t>(vnf.server);
+                srv_cycles[srv] += vnf.demand_cycles(pps, bps, load.active_flows);
+                srv_mem[srv] += vnf.demand_memory(load.active_flows);
+                srv_cache[srv] += vnf.demand_cache(load.active_flows);
+                srv_vnfs[srv] += 1;
+                if (Infrastructure::needs_hop(prev_server, vnf.server)) {
+                    // Links see the traffic *offered* to the hop, before the
+                    // hop's own loss — using the post-loss carried value here
+                    // would make the fixed point forget the overload.
+                    link_bps[infra.link_between(prev_server, vnf.server)] +=
+                        pre_link[c][k] * load.avg_pkt_bytes * 8.0;
+                }
+                prev_server = vnf.server;
+            }
+        }
+
+        // Pass 2: server-level contention factors.
+        for (std::size_t s = 0; s < servers.size(); ++s) {
+            const Server& server = servers[s];
+            out.servers[s].cpu_utilization = srv_cycles[s] / server.total_cycles();
+            out.servers[s].mem_utilization = srv_mem[s] / server.memory_bytes;
+            out.servers[s].cache_pressure = srv_cache[s] / server.llc_bytes;
+            out.servers[s].num_vnfs = srv_vnfs[s];
+        }
+
+        // Pass 3: evaluate links on aggregated traffic.
+        for (std::size_t l = 0; l < out.links.size(); ++l) {
+            const Link& link = infra.links()[l];
+            if (link_bps[l] <= 0.0) {
+                out.links[l] = LinkEpochStats{.link_id = static_cast<std::uint32_t>(l)};
+                continue;
+            }
+            // Mean packet size across the epoch; per-chain sizes are close
+            // enough that the aggregate mean is used.
+            double total_pkt_bytes = 0.0, total_pps = 0.0;
+            for (std::size_t c = 0; c < dep.chains.size(); ++c) {
+                total_pkt_bytes += loads[c].avg_pkt_bytes * loads[c].pps;
+                total_pps += loads[c].pps;
+            }
+            const double pkt_bytes = total_pps > 0.0 ? total_pkt_bytes / total_pps : 700.0;
+            const StationResult lr = evaluate_link(link_bps[l], link.capacity_bps, pkt_bytes);
+            out.links[l].utilization = lr.utilization;
+            out.links[l].sojourn_s = lr.sojourn_s();
+            out.links[l].loss_rate = lr.loss_rate;
+        }
+
+        // Pass 4: walk each chain, evaluating VNF stations with the current
+        // contention factors and updating carried loads.
+        for (std::size_t c = 0; c < dep.chains.size(); ++c) {
+            const ServiceChain& chain = dep.chains[c];
+            const OfferedLoad& load = loads[c];
+            std::int32_t prev_server = -1;
+            double pps = loads[c].pps;
+            for (std::size_t k = 0; k < chain.length(); ++k) {
+                const VnfInstance& vnf = dep.vnf(chain.vnf_ids[k]);
+                const auto srv = static_cast<std::size_t>(vnf.server);
+                const Server& server = servers[srv];
+
+                // Link hop first (ingress to this stage).
+                pre_link[c][k] = pps;
+                if (Infrastructure::needs_hop(prev_server, vnf.server)) {
+                    const auto lid = infra.link_between(prev_server, vnf.server);
+                    pps *= 1.0 - out.links[lid].loss_rate;
+                }
+                carried[c][k] = pps;
+
+                // Effective per-packet CPU cost including contention.
+                const double cache_penalty =
+                    1.0 + server.cache_penalty_alpha *
+                              std::max(0.0, out.servers[srv].cache_pressure - 1.0);
+                const double mem_penalty =
+                    1.0 + config.mem_penalty_slope *
+                              std::max(0.0, out.servers[srv].mem_utilization - 1.0);
+                const double bps = pps * load.avg_pkt_bytes * 8.0;
+                const double base_cpp =
+                    pps > 0.0 ? vnf.demand_cycles(pps, bps, load.active_flows) / pps
+                              : vnf_profile(vnf.type).cycles_per_packet;
+                const double eff_cpp = base_cpp * cache_penalty * mem_penalty;
+                const double service_pps =
+                    vnf.cpu_cores * server.cycles_per_core / eff_cpp;
+
+                const StationResult sr = evaluate_station(StationParams{
+                    .arrival_pps = pps,
+                    .service_pps = service_pps,
+                    .ca2 = load.burstiness_ca2,
+                    .cs2 = vnf_profile(vnf.type).service_cv2,
+                });
+
+                VnfEpochStats& vs = out.vnfs[vnf.id];
+                vs.utilization = sr.utilization;
+                vs.sojourn_s = sr.sojourn_s();
+                vs.loss_rate = sr.loss_rate;
+                vs.cache_penalty = cache_penalty;
+                vs.mem_penalty = mem_penalty;
+
+                pps *= 1.0 - sr.loss_rate;
+                prev_server = vnf.server;
+            }
+            carried[c][chain.length()] = pps;
+        }
+    }
+
+    // Final pass: assemble chain results from the converged stats.
+    out.chains.reserve(dep.chains.size());
+    for (std::size_t c = 0; c < dep.chains.size(); ++c) {
+        const ServiceChain& chain = dep.chains[c];
+        ChainEpochResult cr;
+        cr.chain_id = chain.id;
+        std::int32_t prev_server = -1;
+        for (std::size_t k = 0; k < chain.length(); ++k) {
+            const VnfInstance& vnf = dep.vnf(chain.vnf_ids[k]);
+            if (Infrastructure::needs_hop(prev_server, vnf.server)) {
+                const auto lid = infra.link_between(prev_server, vnf.server);
+                cr.latency_s += out.links[lid].sojourn_s + infra.links()[lid].propagation_s;
+                ++cr.hop_count;
+            }
+            const VnfEpochStats& vs = out.vnfs[vnf.id];
+            cr.latency_s += vs.sojourn_s;
+            if (vs.utilization > cr.bottleneck_utilization) {
+                cr.bottleneck_utilization = vs.utilization;
+                cr.bottleneck_vnf = vnf.id;
+            }
+            prev_server = vnf.server;
+        }
+        cr.goodput_frac = loads[c].pps > 0.0 ? carried[c][chain.length()] / loads[c].pps : 1.0;
+        cr.sla_violated = cr.latency_s > chain.sla.max_latency_s ||
+                          cr.goodput_frac < chain.sla.min_goodput_frac;
+        out.chains.push_back(cr);
+    }
+    return out;
+}
+
+}  // namespace xnfv::nfv

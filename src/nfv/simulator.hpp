@@ -1,0 +1,91 @@
+// Flow-level NFV simulator.
+//
+// One call to simulate_epoch() evaluates a placed deployment under one
+// epoch's offered load per chain.  The model is analytic (queueing
+// approximations, see nfv/queueing.hpp) rather than packet-by-packet, which
+// is what makes the dataset-generation sweeps cheap enough to train on —
+// but it retains the causal structure an explanation must recover:
+//
+//   * per-VNF CPU saturation: service rate = allocated cycles / effective
+//     per-packet cost; utilization drives delay convexly (Kingman),
+//   * cache interference: co-located working sets beyond the server LLC
+//     inflate every tenant's per-packet cost,
+//   * memory pressure: overflow beyond server RAM inflates service times,
+//   * link saturation: inter-server hops share finite links,
+//   * burstiness: arrival CV^2 multiplies queueing delay,
+//   * loss propagation: traffic dropped upstream relieves downstream stages.
+//
+// A short fixed-point iteration reconciles contention (which depends on
+// carried load) with carried load (which depends on contention).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nfv/chain.hpp"
+#include "nfv/infrastructure.hpp"
+#include "nfv/queueing.hpp"
+
+namespace xnfv::nfv {
+
+/// Per-VNF observables for one epoch.
+struct VnfEpochStats {
+    std::uint32_t vnf_id = 0;
+    double utilization = 0.0;    ///< rho at this station (uncapped)
+    double sojourn_s = 0.0;      ///< wait + service
+    double loss_rate = 0.0;
+    double cache_penalty = 1.0;  ///< multiplicative per-packet cost inflation
+    double mem_penalty = 1.0;    ///< multiplicative service-time inflation
+};
+
+/// Per-server observables for one epoch.
+struct ServerEpochStats {
+    std::uint32_t server_id = 0;
+    double cpu_utilization = 0.0;   ///< demanded cycles / total cycles (capped at committed shares)
+    double mem_utilization = 0.0;   ///< demanded bytes / memory
+    double cache_pressure = 0.0;    ///< demanded LLC bytes / llc size
+    std::uint32_t num_vnfs = 0;     ///< co-located instances
+};
+
+/// Per-link observables for one epoch.
+struct LinkEpochStats {
+    std::uint32_t link_id = 0;
+    double utilization = 0.0;
+    double sojourn_s = 0.0;
+    double loss_rate = 0.0;
+};
+
+/// Per-chain outcome for one epoch.
+struct ChainEpochResult {
+    std::uint32_t chain_id = 0;
+    double latency_s = 0.0;       ///< mean end-to-end latency of carried packets
+    double goodput_frac = 1.0;    ///< carried / offered packets
+    bool sla_violated = false;
+    std::uint32_t bottleneck_vnf = 0;  ///< id of the highest-utilization stage
+    double bottleneck_utilization = 0.0;
+    std::uint32_t hop_count = 0;  ///< inter-server hops traversed
+};
+
+/// Everything observed in one epoch.
+struct EpochResult {
+    std::vector<ChainEpochResult> chains;
+    std::vector<VnfEpochStats> vnfs;       ///< indexed by vnf id
+    std::vector<ServerEpochStats> servers; ///< indexed by server id
+    std::vector<LinkEpochStats> links;     ///< indexed by link id
+};
+
+struct SimulatorConfig {
+    /// Fixed-point iterations between contention and carried load.
+    int contention_iterations = 2;
+    /// Service-time inflation per unit of memory overflow fraction.
+    double mem_penalty_slope = 2.0;
+};
+
+/// Evaluates one epoch.  `loads` must have one entry per chain, in chain-id
+/// order.  All VNFs referenced by chains must be placed (server >= 0);
+/// throws std::invalid_argument otherwise.
+[[nodiscard]] EpochResult simulate_epoch(const Deployment& dep, const Infrastructure& infra,
+                                         const std::vector<OfferedLoad>& loads,
+                                         const SimulatorConfig& config = {});
+
+}  // namespace xnfv::nfv

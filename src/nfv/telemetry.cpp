@@ -1,0 +1,146 @@
+#include "nfv/telemetry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace xnfv::nfv {
+
+namespace {
+
+const std::vector<std::string> kConfigFeatures{
+    "offered_pps",      // packets per second offered to the chain
+    "offered_mbps",     // megabits per second
+    "avg_pkt_bytes",    // mean packet size
+    "active_flows",     // concurrently active flows
+    "burstiness_ca2",   // squared CV of inter-arrival times
+    "chain_length",     // number of VNFs
+    "min_cpu_cores",    // smallest CPU allocation along the chain
+    "total_cpu_cores",  // total CPU allocated to the chain
+    "total_rules",      // summed rule-table sizes (firewall/IDS)
+    "byte_heavy_stages" // count of per-byte-dominated VNFs (ids/wan/crypto/transcode)
+};
+
+const std::vector<std::string> kRuntimeFeatures{
+    "max_vnf_cpu_util",   // highest per-VNF station utilization in the chain
+    "mean_vnf_cpu_util",  // mean station utilization
+    "max_server_cpu",     // busiest hosting server CPU utilization
+    "max_server_mem",     // busiest hosting server memory utilization
+    "max_cache_pressure", // worst LLC demand/size ratio among hosting servers
+    "max_link_util",      // busiest traversed link
+    "colocated_vnfs",     // max co-located instances on any hosting server
+    "hop_count",          // inter-server hops
+};
+
+bool is_byte_heavy(VnfType t) noexcept {
+    const VnfProfile& p = vnf_profile(t);
+    // "Byte dominated" at a typical 700 B packet: per-byte work exceeds
+    // per-packet work.
+    return p.cycles_per_byte * 700.0 > p.cycles_per_packet;
+}
+
+}  // namespace
+
+std::vector<std::string> feature_names(FeatureSet set) {
+    std::vector<std::string> names = kConfigFeatures;
+    if (set == FeatureSet::full_telemetry)
+        names.insert(names.end(), kRuntimeFeatures.begin(), kRuntimeFeatures.end());
+    return names;
+}
+
+std::size_t feature_index(FeatureSet set, const std::string& name) {
+    const auto names = feature_names(set);
+    const auto it = std::find(names.begin(), names.end(), name);
+    if (it == names.end())
+        throw std::invalid_argument("feature_index: unknown feature '" + name + "'");
+    return static_cast<std::size_t>(it - names.begin());
+}
+
+std::vector<double> extract_features(FeatureSet set, const Deployment& dep,
+                                     const Infrastructure& infra,
+                                     const std::vector<OfferedLoad>& loads,
+                                     const EpochResult& epoch, std::uint32_t chain_id) {
+    if (chain_id >= dep.chains.size())
+        throw std::out_of_range("extract_features: unknown chain");
+    const ServiceChain& chain = dep.chains[chain_id];
+    const OfferedLoad& load = loads.at(chain_id);
+
+    double min_cores = std::numeric_limits<double>::infinity();
+    double total_cores = 0.0;
+    double total_rules = 0.0;
+    double byte_heavy = 0.0;
+    for (std::uint32_t vid : chain.vnf_ids) {
+        const VnfInstance& v = dep.vnf(vid);
+        min_cores = std::min(min_cores, v.cpu_cores);
+        total_cores += v.cpu_cores;
+        total_rules += v.num_rules;
+        byte_heavy += is_byte_heavy(v.type) ? 1.0 : 0.0;
+    }
+
+    std::vector<double> f{
+        load.pps,
+        load.bps() / 1e6,
+        load.avg_pkt_bytes,
+        load.active_flows,
+        load.burstiness_ca2,
+        static_cast<double>(chain.length()),
+        min_cores,
+        total_cores,
+        total_rules,
+        byte_heavy,
+    };
+
+    if (set == FeatureSet::full_telemetry) {
+        double max_util = 0.0, sum_util = 0.0;
+        double max_srv_cpu = 0.0, max_srv_mem = 0.0, max_cache = 0.0;
+        double max_link = 0.0;
+        double colocated = 0.0;
+        std::int32_t prev_server = -1;
+        double hops = 0.0;
+        for (std::uint32_t vid : chain.vnf_ids) {
+            const VnfInstance& v = dep.vnf(vid);
+            const VnfEpochStats& vs = epoch.vnfs.at(vid);
+            max_util = std::max(max_util, vs.utilization);
+            sum_util += vs.utilization;
+            const auto srv = static_cast<std::size_t>(v.server);
+            const ServerEpochStats& ss = epoch.servers.at(srv);
+            max_srv_cpu = std::max(max_srv_cpu, ss.cpu_utilization);
+            max_srv_mem = std::max(max_srv_mem, ss.mem_utilization);
+            max_cache = std::max(max_cache, ss.cache_pressure);
+            colocated = std::max(colocated, static_cast<double>(ss.num_vnfs));
+            if (Infrastructure::needs_hop(prev_server, v.server)) {
+                const auto lid = infra.link_between(prev_server, v.server);
+                max_link = std::max(max_link, epoch.links.at(lid).utilization);
+                hops += 1.0;
+            }
+            prev_server = v.server;
+        }
+        f.insert(f.end(), {
+            max_util,
+            sum_util / static_cast<double>(chain.length()),
+            max_srv_cpu,
+            max_srv_mem,
+            max_cache,
+            max_link,
+            colocated,
+            hops,
+        });
+    }
+    return f;
+}
+
+double extract_label(LabelKind kind, const EpochResult& epoch, std::uint32_t chain_id) {
+    const ChainEpochResult& cr = epoch.chains.at(chain_id);
+    switch (kind) {
+        case LabelKind::latency_ms: return cr.latency_s * 1e3;
+        case LabelKind::sla_violation: return cr.sla_violated ? 1.0 : 0.0;
+    }
+    throw std::invalid_argument("extract_label: unknown kind");
+}
+
+xnfv::ml::Task task_for(LabelKind kind) noexcept {
+    return kind == LabelKind::sla_violation ? xnfv::ml::Task::binary_classification
+                                            : xnfv::ml::Task::regression;
+}
+
+}  // namespace xnfv::nfv

@@ -1,0 +1,51 @@
+// Telemetry: turns one simulated epoch into the feature vector an operator's
+// monitoring stack would export for each service chain.
+//
+// Two feature sets are supported:
+//   * config_only    — what is known *before* deployment (traffic descriptor
+//                      + chain configuration).  Used for admission-control
+//                      style prediction tasks.
+//   * full_telemetry — config features plus the runtime counters (per-VNF
+//                      CPU utilization, server memory/cache pressure, link
+//                      utilization, co-location).  This is the operational
+//                      diagnosis setting the paper targets: the model sees
+//                      what the NOC sees, and the explanation must point at
+//                      the right counter.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mlcore/dataset.hpp"
+#include "nfv/chain.hpp"
+#include "nfv/infrastructure.hpp"
+#include "nfv/simulator.hpp"
+
+namespace xnfv::nfv {
+
+enum class FeatureSet { config_only, full_telemetry };
+
+/// Names of the features produced for a set, in column order.
+[[nodiscard]] std::vector<std::string> feature_names(FeatureSet set);
+
+/// Index of a named feature within a set's columns; throws if absent.
+[[nodiscard]] std::size_t feature_index(FeatureSet set, const std::string& name);
+
+/// Extracts the feature vector for chain `chain_id` in the given epoch.
+[[nodiscard]] std::vector<double> extract_features(
+    FeatureSet set, const Deployment& dep, const Infrastructure& infra,
+    const std::vector<OfferedLoad>& loads, const EpochResult& epoch,
+    std::uint32_t chain_id);
+
+/// What the dataset label is.
+enum class LabelKind {
+    latency_ms,     ///< regression: end-to-end latency in milliseconds
+    sla_violation,  ///< classification: 1 if the chain violated its SLA
+};
+
+[[nodiscard]] double extract_label(LabelKind kind, const EpochResult& epoch,
+                                   std::uint32_t chain_id);
+
+[[nodiscard]] xnfv::ml::Task task_for(LabelKind kind) noexcept;
+
+}  // namespace xnfv::nfv

@@ -1,0 +1,132 @@
+#include "nfv/vnf.hpp"
+
+#include <stdexcept>
+
+namespace xnfv::nfv {
+
+namespace {
+
+// Cost coefficients per VNF type.  Cycle counts are per 3.0 GHz core-second
+// scale (so 1e9-order budgets per core); memory in bytes.  The qualitative
+// structure is the load-bearing part:
+//   - firewall/nat/lb: per-packet dominated, light per-byte
+//   - ids/wan_opt/crypto/transcoder: per-byte dominated
+//   - nat/lb: stateful (per-flow memory), ids/wan_opt: cache hungry
+constexpr std::array<VnfProfile, kNumVnfTypes> kProfiles{{
+    {.type = VnfType::firewall,
+     .cycles_per_packet = 220.0,
+     .cycles_per_byte = 0.4,
+     .cycles_per_rule = 1.6,
+     .mem_bytes_per_flow = 64.0,
+     .mem_bytes_base = 32e6,
+     .cache_bytes_per_kflow = 8e3,
+     .cache_bytes_base = 1e6,
+     .service_cv2 = 0.8},
+    {.type = VnfType::nat,
+     .cycles_per_packet = 180.0,
+     .cycles_per_byte = 0.2,
+     .cycles_per_rule = 0.0,
+     .mem_bytes_per_flow = 256.0,
+     .mem_bytes_base = 64e6,
+     .cache_bytes_per_kflow = 32e3,
+     .cache_bytes_base = 2e6,
+     .service_cv2 = 0.6},
+    {.type = VnfType::ids,
+     .cycles_per_packet = 400.0,
+     .cycles_per_byte = 6.5,
+     .cycles_per_rule = 3.0,
+     .mem_bytes_per_flow = 512.0,
+     .mem_bytes_base = 512e6,
+     .cache_bytes_per_kflow = 128e3,
+     .cache_bytes_base = 8e6,
+     .service_cv2 = 1.6},
+    {.type = VnfType::load_balancer,
+     .cycles_per_packet = 140.0,
+     .cycles_per_byte = 0.1,
+     .cycles_per_rule = 0.0,
+     .mem_bytes_per_flow = 128.0,
+     .mem_bytes_base = 48e6,
+     .cache_bytes_per_kflow = 16e3,
+     .cache_bytes_base = 1e6,
+     .service_cv2 = 0.5},
+    {.type = VnfType::wan_optimizer,
+     .cycles_per_packet = 300.0,
+     .cycles_per_byte = 4.0,
+     .cycles_per_rule = 0.0,
+     .mem_bytes_per_flow = 1024.0,
+     .mem_bytes_base = 1e9,
+     .cache_bytes_per_kflow = 256e3,
+     .cache_bytes_base = 16e6,
+     .service_cv2 = 1.4},
+    {.type = VnfType::transcoder,
+     .cycles_per_packet = 500.0,
+     .cycles_per_byte = 18.0,
+     .cycles_per_rule = 0.0,
+     .mem_bytes_per_flow = 2048.0,
+     .mem_bytes_base = 256e6,
+     .cache_bytes_per_kflow = 64e3,
+     .cache_bytes_base = 24e6,
+     .service_cv2 = 2.0},
+    {.type = VnfType::crypto_gateway,
+     .cycles_per_packet = 260.0,
+     .cycles_per_byte = 9.0,
+     .cycles_per_rule = 0.0,
+     .mem_bytes_per_flow = 384.0,
+     .mem_bytes_base = 96e6,
+     .cache_bytes_per_kflow = 24e3,
+     .cache_bytes_base = 4e6,
+     .service_cv2 = 0.9},
+}};
+
+constexpr std::array<VnfType, kNumVnfTypes> kAllTypes{
+    VnfType::firewall,       VnfType::nat,        VnfType::ids,
+    VnfType::load_balancer,  VnfType::wan_optimizer, VnfType::transcoder,
+    VnfType::crypto_gateway,
+};
+
+}  // namespace
+
+std::span<const VnfType> all_vnf_types() noexcept { return kAllTypes; }
+
+std::string_view to_string(VnfType t) noexcept {
+    switch (t) {
+        case VnfType::firewall: return "firewall";
+        case VnfType::nat: return "nat";
+        case VnfType::ids: return "ids";
+        case VnfType::load_balancer: return "load_balancer";
+        case VnfType::wan_optimizer: return "wan_optimizer";
+        case VnfType::transcoder: return "transcoder";
+        case VnfType::crypto_gateway: return "crypto_gateway";
+    }
+    return "unknown";
+}
+
+VnfType vnf_type_from_string(std::string_view s) {
+    for (VnfType t : kAllTypes)
+        if (to_string(t) == s) return t;
+    throw std::invalid_argument("vnf_type_from_string: unknown type '" + std::string(s) + "'");
+}
+
+const VnfProfile& vnf_profile(VnfType t) noexcept {
+    return kProfiles[static_cast<std::size_t>(t)];
+}
+
+double VnfInstance::demand_cycles(double pps, double bps, double active_flows) const {
+    const VnfProfile& p = vnf_profile(type);
+    (void)active_flows;  // flow count affects cache/memory, not direct cycles
+    const double bytes_per_sec = bps / 8.0;
+    const double per_packet = p.cycles_per_packet + p.cycles_per_rule * num_rules;
+    return pps * per_packet + bytes_per_sec * p.cycles_per_byte;
+}
+
+double VnfInstance::demand_memory(double active_flows) const {
+    const VnfProfile& p = vnf_profile(type);
+    return p.mem_bytes_base + p.mem_bytes_per_flow * active_flows;
+}
+
+double VnfInstance::demand_cache(double active_flows) const {
+    const VnfProfile& p = vnf_profile(type);
+    return p.cache_bytes_base + p.cache_bytes_per_kflow * (active_flows / 1000.0);
+}
+
+}  // namespace xnfv::nfv

@@ -1,0 +1,80 @@
+// Virtual network function types and their resource cost models.
+//
+// Each VNF type is characterized by a per-packet and per-byte CPU cost, a
+// per-flow memory footprint, and a last-level-cache working set.  These
+// coefficients are loosely calibrated to published middlebox measurements
+// (e.g. per-packet costs for stateless forwarding in the hundreds of cycles,
+// DPI and crypto dominated by per-byte work) — the absolute values matter
+// less than the structure: which resource each VNF stresses determines what
+// a correct explanation of its performance must point at.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace xnfv::nfv {
+
+/// Catalog of VNF types modelled by the simulator.
+enum class VnfType : std::uint8_t {
+    firewall,        ///< rule matching: per-packet cost grows with rule count
+    nat,             ///< flow-table lookup + header rewrite: per-packet, stateful
+    ids,             ///< deep packet inspection: dominated by per-byte cost
+    load_balancer,   ///< consistent hashing / connection tracking: light per-packet
+    wan_optimizer,   ///< dedup + compression: per-byte, large cache working set
+    transcoder,      ///< media transcode: very heavy per-byte, CPU bound
+    crypto_gateway,  ///< IPsec/TLS termination: per-byte crypto
+};
+
+inline constexpr std::size_t kNumVnfTypes = 7;
+
+/// All catalog types, in enum order (for iteration in tests and sweeps).
+[[nodiscard]] std::span<const VnfType> all_vnf_types() noexcept;
+
+[[nodiscard]] std::string_view to_string(VnfType t) noexcept;
+
+/// Parses the string produced by to_string; throws std::invalid_argument.
+[[nodiscard]] VnfType vnf_type_from_string(std::string_view s);
+
+/// Static resource cost model of a VNF type.
+struct VnfProfile {
+    VnfType type{};
+    double cycles_per_packet = 0.0;   ///< fixed CPU work per packet
+    double cycles_per_byte = 0.0;     ///< CPU work proportional to payload
+    double cycles_per_rule = 0.0;     ///< extra per-packet work per configured rule
+    double mem_bytes_per_flow = 0.0;  ///< flow-state memory footprint
+    double mem_bytes_base = 0.0;      ///< fixed memory footprint
+    double cache_bytes_per_kflow = 0.0;  ///< LLC working set per 1000 active flows
+    double cache_bytes_base = 0.0;       ///< fixed LLC working set
+    /// Squared coefficient of variation of per-packet service time; feeds the
+    /// Kingman queueing approximation (1 = exponential-like, <1 regular).
+    double service_cv2 = 1.0;
+};
+
+/// Built-in profile for a type.  Values are fixed constants so experiments
+/// are reproducible; see the header comment for calibration rationale.
+[[nodiscard]] const VnfProfile& vnf_profile(VnfType t) noexcept;
+
+/// A deployed VNF instance: a typed box with a CPU allocation and runtime
+/// configuration, assigned to a server by the placement stage.
+struct VnfInstance {
+    std::uint32_t id = 0;
+    VnfType type = VnfType::firewall;
+    double cpu_cores = 1.0;      ///< cores allocated (may be fractional)
+    std::uint32_t num_rules = 0; ///< rule/table size (firewall, ids)
+    std::int32_t server = -1;    ///< index into Infrastructure::servers, -1 = unplaced
+
+    /// CPU cycles needed to process the given traffic in one second,
+    /// including rule-matching overhead, before any contention effects.
+    [[nodiscard]] double demand_cycles(double pps, double bps, double active_flows) const;
+
+    /// Memory demand in bytes for the given number of active flows.
+    [[nodiscard]] double demand_memory(double active_flows) const;
+
+    /// LLC working set in bytes for the given number of active flows.
+    [[nodiscard]] double demand_cache(double active_flows) const;
+};
+
+}  // namespace xnfv::nfv

@@ -1,0 +1,154 @@
+#include "workload/dataset_builder.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "nfv/simulator.hpp"
+
+namespace xnfv::wl {
+
+using xnfv::ml::Rng;
+using xnfv::nfv::Deployment;
+using xnfv::nfv::Infrastructure;
+using xnfv::nfv::OfferedLoad;
+using xnfv::nfv::Server;
+using xnfv::nfv::SlaSpec;
+
+namespace {
+
+/// One randomized deployment instance of a scenario: infrastructure, placed
+/// chains, per-chain traffic generators, and the fault actually injected.
+struct SampledDeployment {
+    Infrastructure infra;
+    Deployment dep;
+    std::vector<TrafficGenerator> traffic;
+    FaultKind injected = FaultKind::none;
+};
+
+SampledDeployment sample_deployment(const ScenarioSpec& spec, Rng& rng) {
+    SampledDeployment s;
+    Server proto;  // defaults: 16 cores @3 GHz, 64 GB, 32 MB LLC
+    s.infra = Infrastructure::homogeneous_pop(spec.num_servers, proto, spec.link_bps);
+
+    const bool inject = spec.fault != FaultKind::none && rng.bernoulli(spec.fault_prob);
+    s.injected = inject ? spec.fault : FaultKind::none;
+
+    // Fault: link saturation shrinks every link before placement.
+    if (s.injected == FaultKind::link_saturation) {
+        Infrastructure squeezed;
+        for (const Server& srv : s.infra.servers()) squeezed.add_server(srv);
+        for (auto link : s.infra.links()) {
+            link.capacity_bps *= rng.uniform(0.04, 0.12);
+            squeezed.add_link(link);
+        }
+        s.infra = std::move(squeezed);
+    }
+
+    // Chains with randomized allocations and SLAs.
+    const std::size_t starved_chain =
+        s.injected == FaultKind::cpu_starvation ? rng.uniform_index(spec.chains.size())
+                                                : spec.chains.size();
+    for (std::size_t c = 0; c < spec.chains.size(); ++c) {
+        double cores = rng.uniform(spec.cpu_cores_lo, spec.cpu_cores_hi);
+        if (c == starved_chain) cores *= rng.uniform(0.10, 0.25);
+        SlaSpec sla;
+        sla.max_latency_s =
+            rng.uniform(spec.sla_latency_ms_lo, spec.sla_latency_ms_hi) * 1e-3;
+        const auto rules = static_cast<std::uint32_t>(
+            rng.uniform_int(spec.rules_lo, spec.rules_hi));
+        xnfv::nfv::make_chain(s.dep, std::string(to_string(spec.chains[c])),
+                              chain_types(spec.chains[c]), cores, sla, rules);
+    }
+
+    if (!xnfv::nfv::place(s.dep, s.infra, spec.placement, rng)) {
+        // Capacity exhausted: place leftovers anywhere (first server) so the
+        // sample is still valid — overload then shows up as contention.
+        for (auto& v : s.dep.vnfs)
+            if (v.server < 0) v.server = 0;
+    }
+
+    // Traffic generators, with fault-specific adjustments.
+    for (std::size_t c = 0; c < spec.chains.size(); ++c) {
+        TrafficSpec traffic;
+        traffic.base_pps = rng.uniform(spec.base_pps_lo, spec.base_pps_hi);
+        traffic.pkt_bytes_mean = rng.uniform(spec.pkt_bytes_lo, spec.pkt_bytes_hi);
+        traffic.burst_ratio = rng.uniform(spec.burst_ratio_lo, spec.burst_ratio_hi);
+        traffic.burst_prob = rng.uniform(0.05, 0.25);
+        traffic.diurnal_amplitude = rng.uniform(0.0, 0.5);
+        traffic.flash_crowd_prob = 0.02;
+
+        switch (s.injected) {
+            case FaultKind::traffic_burst:
+                traffic.burst_ratio = rng.uniform(8.0, 16.0);
+                traffic.burst_prob = rng.uniform(0.15, 0.35);
+                traffic.switch_rate = rng.uniform(0.5, 1.5);  // slow switching => high IDC
+                break;
+            case FaultKind::cache_contention:
+                traffic.flows_per_kpps = rng.uniform(1500.0, 4000.0);
+                break;
+            case FaultKind::memory_pressure:
+                traffic.flows_per_kpps = rng.uniform(20000.0, 60000.0);
+                break;
+            default:
+                break;
+        }
+        s.traffic.emplace_back(traffic, rng.split());
+    }
+    return s;
+}
+
+}  // namespace
+
+BuiltDataset build_dataset(const ScenarioSpec& spec, const BuildOptions& options, Rng& rng) {
+    return build_mixed_dataset({spec}, options, rng);
+}
+
+BuiltDataset build_mixed_dataset(const std::vector<ScenarioSpec>& specs,
+                                 const BuildOptions& options, Rng& rng) {
+    if (specs.empty()) throw std::invalid_argument("build_mixed_dataset: no scenarios");
+    BuiltDataset out;
+    out.data.task = xnfv::nfv::task_for(options.label);
+    out.data.feature_names = xnfv::nfv::feature_names(options.feature_set);
+
+    std::size_t spec_cursor = 0;
+    std::size_t epoch_counter = 0;
+    while (out.data.size() < options.num_samples) {
+        const ScenarioSpec& spec = specs[spec_cursor];
+        spec_cursor = (spec_cursor + 1) % specs.size();
+
+        SampledDeployment sampled = sample_deployment(spec, rng);
+        for (std::size_t e = 0; e < options.epochs_per_deployment; ++e) {
+            std::vector<OfferedLoad> loads;
+            loads.reserve(sampled.traffic.size());
+            for (auto& gen : sampled.traffic) loads.push_back(gen.next_epoch(epoch_counter));
+            ++epoch_counter;
+
+            const auto epoch = xnfv::nfv::simulate_epoch(sampled.dep, sampled.infra, loads);
+            const std::size_t n_config =
+                xnfv::nfv::feature_names(xnfv::nfv::FeatureSet::config_only).size();
+            for (std::size_t c = 0; c < sampled.dep.chains.size(); ++c) {
+                const auto cid = static_cast<std::uint32_t>(c);
+                auto features = xnfv::nfv::extract_features(options.feature_set, sampled.dep,
+                                                            sampled.infra, loads, epoch, cid);
+                if (options.telemetry_noise > 0.0 &&
+                    options.feature_set == xnfv::nfv::FeatureSet::full_telemetry) {
+                    // Counters are sampled, not exact: jitter the runtime block.
+                    for (std::size_t f = n_config; f < features.size(); ++f)
+                        features[f] *= std::exp(rng.normal(0.0, options.telemetry_noise));
+                }
+                out.data.add(features, xnfv::nfv::extract_label(options.label, epoch, cid));
+                out.fault.push_back(sampled.injected);
+                out.chain_kind.push_back(spec.chains[c]);
+                out.latency_ms.push_back(
+                    xnfv::nfv::extract_label(xnfv::nfv::LabelKind::latency_ms, epoch, cid));
+                if (out.data.size() >= options.num_samples) break;
+            }
+            if (out.data.size() >= options.num_samples) break;
+        }
+    }
+    out.data.validate();
+    return out;
+}
+
+}  // namespace xnfv::wl

@@ -1,0 +1,44 @@
+// Sweeps scenarios through the simulator to produce labelled ML datasets.
+#pragma once
+
+#include <vector>
+
+#include "mlcore/dataset.hpp"
+#include "mlcore/rng.hpp"
+#include "nfv/telemetry.hpp"
+#include "workload/scenario.hpp"
+
+namespace xnfv::wl {
+
+struct BuildOptions {
+    std::size_t num_samples = 2000;  ///< rows (chain-epochs) to produce
+    xnfv::nfv::FeatureSet feature_set = xnfv::nfv::FeatureSet::full_telemetry;
+    xnfv::nfv::LabelKind label = xnfv::nfv::LabelKind::sla_violation;
+    /// Epochs simulated per sampled deployment before re-randomizing.
+    std::size_t epochs_per_deployment = 8;
+    /// Multiplicative lognormal measurement noise applied to the *runtime*
+    /// telemetry counters (utilizations, pressures), mimicking sampled SNMP/
+    /// streaming counters.  0 disables.  Config features are exact.
+    double telemetry_noise = 0.05;
+};
+
+/// A dataset plus per-row ground truth the ML pipeline must not see but the
+/// explanation evaluation needs.
+struct BuiltDataset {
+    xnfv::ml::Dataset data;
+    std::vector<FaultKind> fault;            ///< injected root cause per row
+    std::vector<ChainTemplate> chain_kind;   ///< chain template per row
+    std::vector<double> latency_ms;          ///< latency regardless of label kind
+};
+
+/// Samples deployments from `spec`, simulates them, and extracts one row per
+/// chain-epoch until `options.num_samples` rows exist.
+[[nodiscard]] BuiltDataset build_dataset(const ScenarioSpec& spec, const BuildOptions& options,
+                                         xnfv::ml::Rng& rng);
+
+/// Round-robins over `specs` (the standard mixed workload used by T1).
+[[nodiscard]] BuiltDataset build_mixed_dataset(const std::vector<ScenarioSpec>& specs,
+                                               const BuildOptions& options,
+                                               xnfv::ml::Rng& rng);
+
+}  // namespace xnfv::wl

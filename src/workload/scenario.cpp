@@ -1,0 +1,132 @@
+#include "workload/scenario.hpp"
+
+#include <stdexcept>
+
+namespace xnfv::wl {
+
+using xnfv::nfv::VnfType;
+
+const char* to_string(ChainTemplate t) noexcept {
+    switch (t) {
+        case ChainTemplate::web_gateway: return "web_gateway";
+        case ChainTemplate::secure_enterprise: return "secure_enterprise";
+        case ChainTemplate::video_cdn: return "video_cdn";
+        case ChainTemplate::iot_ingest: return "iot_ingest";
+        case ChainTemplate::vpn_tunnel: return "vpn_tunnel";
+    }
+    return "unknown";
+}
+
+std::vector<VnfType> chain_types(ChainTemplate t) {
+    switch (t) {
+        case ChainTemplate::web_gateway:
+            return {VnfType::load_balancer, VnfType::firewall, VnfType::nat};
+        case ChainTemplate::secure_enterprise:
+            return {VnfType::firewall, VnfType::ids, VnfType::nat};
+        case ChainTemplate::video_cdn:
+            return {VnfType::load_balancer, VnfType::transcoder, VnfType::wan_optimizer};
+        case ChainTemplate::iot_ingest:
+            return {VnfType::firewall, VnfType::nat, VnfType::load_balancer};
+        case ChainTemplate::vpn_tunnel:
+            return {VnfType::crypto_gateway, VnfType::firewall};
+    }
+    throw std::invalid_argument("chain_types: unknown template");
+}
+
+const char* to_string(FaultKind f) noexcept {
+    switch (f) {
+        case FaultKind::none: return "none";
+        case FaultKind::cpu_starvation: return "cpu_starvation";
+        case FaultKind::link_saturation: return "link_saturation";
+        case FaultKind::traffic_burst: return "traffic_burst";
+        case FaultKind::cache_contention: return "cache_contention";
+        case FaultKind::memory_pressure: return "memory_pressure";
+    }
+    return "unknown";
+}
+
+std::vector<ScenarioSpec> standard_scenarios() {
+    std::vector<ScenarioSpec> out;
+
+    ScenarioSpec web;
+    web.name = "web_pop";
+    web.chains = {ChainTemplate::web_gateway, ChainTemplate::web_gateway,
+                  ChainTemplate::vpn_tunnel};
+    out.push_back(web);
+
+    ScenarioSpec enterprise;
+    enterprise.name = "enterprise_edge";
+    enterprise.chains = {ChainTemplate::secure_enterprise, ChainTemplate::vpn_tunnel};
+    enterprise.rules_lo = 500;
+    enterprise.rules_hi = 8000;
+    out.push_back(enterprise);
+
+    ScenarioSpec video;
+    video.name = "video_edge";
+    video.chains = {ChainTemplate::video_cdn, ChainTemplate::web_gateway};
+    video.pkt_bytes_lo = 800.0;
+    video.pkt_bytes_hi = 1400.0;
+    video.base_pps_lo = 10e3;
+    video.base_pps_hi = 120e3;
+    out.push_back(video);
+
+    ScenarioSpec iot;
+    iot.name = "iot_aggregation";
+    iot.chains = {ChainTemplate::iot_ingest, ChainTemplate::iot_ingest};
+    iot.pkt_bytes_lo = 80.0;
+    iot.pkt_bytes_hi = 300.0;
+    iot.base_pps_lo = 50e3;
+    iot.base_pps_hi = 400e3;
+    out.push_back(iot);
+
+    ScenarioSpec dense;
+    dense.name = "dense_colocation";
+    dense.chains = {ChainTemplate::secure_enterprise, ChainTemplate::video_cdn,
+                    ChainTemplate::web_gateway, ChainTemplate::vpn_tunnel};
+    dense.num_servers = 3;  // forces co-location => contention
+    dense.placement = xnfv::nfv::PlacementStrategy::best_fit;
+    out.push_back(dense);
+
+    return out;
+}
+
+ScenarioSpec fault_scenario(FaultKind fault) {
+    ScenarioSpec s;
+    s.fault = fault;
+    s.fault_prob = 0.5;
+    switch (fault) {
+        case FaultKind::none:
+            s.name = "fault_none";
+            break;
+        case FaultKind::cpu_starvation:
+            s.name = "fault_cpu";
+            s.chains = {ChainTemplate::secure_enterprise, ChainTemplate::web_gateway};
+            break;
+        case FaultKind::link_saturation:
+            s.name = "fault_link";
+            // Spread placement maximizes inter-server hops so links matter.
+            s.placement = xnfv::nfv::PlacementStrategy::worst_fit;
+            s.chains = {ChainTemplate::video_cdn, ChainTemplate::web_gateway};
+            s.pkt_bytes_lo = 900.0;
+            s.pkt_bytes_hi = 1400.0;
+            break;
+        case FaultKind::traffic_burst:
+            s.name = "fault_burst";
+            s.chains = {ChainTemplate::web_gateway, ChainTemplate::secure_enterprise};
+            break;
+        case FaultKind::cache_contention:
+            s.name = "fault_cache";
+            s.chains = {ChainTemplate::secure_enterprise, ChainTemplate::video_cdn,
+                        ChainTemplate::web_gateway};
+            s.num_servers = 2;  // heavy co-location
+            break;
+        case FaultKind::memory_pressure:
+            s.name = "fault_memory";
+            s.chains = {ChainTemplate::secure_enterprise, ChainTemplate::video_cdn};
+            s.num_servers = 2;
+            break;
+    }
+    return s;
+}
+
+}  // namespace xnfv::wl

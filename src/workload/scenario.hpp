@@ -1,0 +1,72 @@
+// Scenario library: named NFV deployments with randomization ranges and
+// optional fault injection.
+//
+// Fault injection is what makes the explanation evaluation possible at all:
+// because the builder *knows* it starved a chain's CPU or saturated a link,
+// experiment T3 can check that the attribution methods point at the matching
+// telemetry counters.  A real testbed has no such ground truth.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nfv/placement.hpp"
+#include "nfv/vnf.hpp"
+#include "workload/traffic.hpp"
+
+namespace xnfv::wl {
+
+/// Canned service-chain compositions motivated by common NFV deployments.
+enum class ChainTemplate {
+    web_gateway,        ///< lb -> firewall -> nat
+    secure_enterprise,  ///< firewall -> ids -> nat
+    video_cdn,          ///< lb -> transcoder -> wan_optimizer
+    iot_ingest,         ///< firewall -> nat -> load_balancer (tiny packets)
+    vpn_tunnel,         ///< crypto_gateway -> firewall
+};
+
+[[nodiscard]] const char* to_string(ChainTemplate t) noexcept;
+[[nodiscard]] std::vector<xnfv::nfv::VnfType> chain_types(ChainTemplate t);
+
+/// Ground-truth root causes the builder can inject.
+enum class FaultKind {
+    none,
+    cpu_starvation,    ///< one chain's CPU allocations cut to a fraction
+    link_saturation,   ///< link capacity reduced below the offered bits
+    traffic_burst,     ///< extreme MMPP burstiness
+    cache_contention,  ///< flow counts inflated => LLC thrash on shared servers
+    memory_pressure,   ///< flow counts inflated past server RAM
+};
+
+[[nodiscard]] const char* to_string(FaultKind f) noexcept;
+
+/// A family of deployments to sample from.
+struct ScenarioSpec {
+    std::string name = "mixed";
+    std::vector<ChainTemplate> chains{ChainTemplate::web_gateway,
+                                      ChainTemplate::secure_enterprise};
+    std::size_t num_servers = 4;
+    double link_bps = 10e9;
+    xnfv::nfv::PlacementStrategy placement = xnfv::nfv::PlacementStrategy::best_fit;
+
+    // Randomization ranges (uniform per deployment unless noted).
+    double cpu_cores_lo = 0.5, cpu_cores_hi = 3.0;
+    double base_pps_lo = 20e3, base_pps_hi = 260e3;
+    double burst_ratio_lo = 1.0, burst_ratio_hi = 4.0;
+    double pkt_bytes_lo = 200.0, pkt_bytes_hi = 1200.0;
+    std::uint32_t rules_lo = 100, rules_hi = 4000;
+    double sla_latency_ms_lo = 0.6, sla_latency_ms_hi = 3.0;
+
+    /// Probability that a deployment gets `fault` injected (ground truth is
+    /// recorded per row).  Ignored when fault == none.
+    FaultKind fault = FaultKind::none;
+    double fault_prob = 0.5;
+};
+
+/// The five standard scenario families used across the experiments.
+[[nodiscard]] std::vector<ScenarioSpec> standard_scenarios();
+
+/// A scenario dedicated to one root cause, for the T3 diagnosis experiment.
+[[nodiscard]] ScenarioSpec fault_scenario(FaultKind fault);
+
+}  // namespace xnfv::wl

@@ -1,0 +1,81 @@
+#include "workload/traffic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace xnfv::wl {
+
+double mmpp_ca2(const TrafficSpec& spec) {
+    if (spec.burst_ratio < 1.0)
+        throw std::invalid_argument("mmpp_ca2: burst_ratio must be >= 1");
+    if (spec.burst_ratio == 1.0) return 1.0;
+    const double p = std::clamp(spec.burst_prob, 1e-6, 1.0 - 1e-6);
+    // Low/high rates chosen so the time-average rate is 1 (the absolute rate
+    // cancels out of the dispersion ratio).
+    const double low = 1.0 / ((1.0 - p) + p * spec.burst_ratio);
+    const double high = low * spec.burst_ratio;
+    const double mean_rate = (1.0 - p) * low + p * high;
+    const double var_rate = (1.0 - p) * (low - mean_rate) * (low - mean_rate) +
+                            p * (high - mean_rate) * (high - mean_rate);
+    // Asymptotic index of dispersion of counts for a 2-state MMPP:
+    //   IDC = 1 + 2 * var(rate) / (mean_rate * total_switch_rate)
+    // (Heffes & Lucantoni 1986); we take IDC as the effective inter-arrival
+    // CV^2 fed to the Kingman formula.
+    const double total_switch = std::max(spec.switch_rate, 1e-6);
+    return 1.0 + 2.0 * var_rate / (mean_rate * total_switch);
+}
+
+TrafficGenerator::TrafficGenerator(TrafficSpec spec, xnfv::ml::Rng rng)
+    : spec_(spec), rng_(rng) {
+    if (spec_.base_pps <= 0.0)
+        throw std::invalid_argument("TrafficGenerator: base_pps must be > 0");
+    if (spec_.diurnal_amplitude < 0.0 || spec_.diurnal_amplitude >= 1.0)
+        throw std::invalid_argument("TrafficGenerator: diurnal_amplitude in [0,1)");
+    in_burst_state_ = rng_.bernoulli(spec_.burst_prob);
+}
+
+xnfv::nfv::OfferedLoad TrafficGenerator::next_epoch(std::size_t t) {
+    // Diurnal modulation: sinusoid over epochs_per_day.
+    const double phase = 2.0 * std::numbers::pi * static_cast<double>(t % spec_.epochs_per_day) /
+                         static_cast<double>(spec_.epochs_per_day);
+    double rate = spec_.base_pps * (1.0 + spec_.diurnal_amplitude * std::sin(phase));
+
+    // MMPP state evolution: approximate one state-change opportunity per
+    // epoch scaled by switch_rate.
+    const double stay_burst = std::exp(-spec_.switch_rate * (1.0 - spec_.burst_prob));
+    const double stay_calm = std::exp(-spec_.switch_rate * spec_.burst_prob);
+    if (in_burst_state_) {
+        if (!rng_.bernoulli(stay_burst)) in_burst_state_ = false;
+    } else {
+        if (!rng_.bernoulli(stay_calm)) in_burst_state_ = true;
+    }
+    if (spec_.burst_ratio > 1.0) {
+        const double p = std::clamp(spec_.burst_prob, 1e-6, 1.0 - 1e-6);
+        const double low = 1.0 / ((1.0 - p) + p * spec_.burst_ratio);
+        rate *= in_burst_state_ ? low * spec_.burst_ratio : low;
+    }
+
+    if (spec_.flash_crowd_prob > 0.0 && rng_.bernoulli(spec_.flash_crowd_prob))
+        rate *= spec_.flash_crowd_mult;
+
+    // Small multiplicative measurement noise.
+    rate *= std::exp(rng_.normal(0.0, 0.05));
+
+    xnfv::nfv::OfferedLoad load;
+    load.pps = std::max(1.0, rate);
+    load.avg_pkt_bytes = std::clamp(
+        spec_.pkt_bytes_mean * std::exp(rng_.normal(0.0, spec_.pkt_bytes_jitter)), 64.0,
+        1500.0);
+    // Flow counts track rate with Pareto-tail noise (heavy-tailed flow sizes
+    // mean the active-flow count fluctuates far more than the packet rate).
+    const double flow_noise = rng_.pareto(1.0, spec_.flow_pareto_alpha) /
+                              (spec_.flow_pareto_alpha / (spec_.flow_pareto_alpha - 1.0));
+    load.active_flows =
+        std::max(1.0, spec_.flows_per_kpps * (load.pps / 1000.0) * flow_noise);
+    load.burstiness_ca2 = mmpp_ca2(spec_);
+    return load;
+}
+
+}  // namespace xnfv::wl

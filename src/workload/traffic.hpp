@@ -1,0 +1,66 @@
+// Synthetic traffic generation.
+//
+// Substitutes for the production traces the paper's testbed would replay
+// (see DESIGN.md, Substitutions).  The generator reproduces the trace
+// properties that drive NFV performance variance:
+//   * load level      — base rate with diurnal modulation,
+//   * burstiness      — a 2-state MMPP whose index of dispersion feeds the
+//                       arrival CV^2 used by the queueing model (Heffes &
+//                       Lucantoni style moment matching),
+//   * heavy tails     — Pareto flow sizes => lognormal-ish active-flow counts,
+//   * rare events     — flash crowds multiplying the offered rate.
+#pragma once
+
+#include "mlcore/rng.hpp"
+#include "nfv/chain.hpp"
+
+namespace xnfv::wl {
+
+/// Statistical descriptor of one chain's traffic.
+struct TrafficSpec {
+    double base_pps = 50e3;          ///< long-run mean packet rate
+    double diurnal_amplitude = 0.3;  ///< peak-to-mean modulation in [0,1)
+    std::size_t epochs_per_day = 96; ///< diurnal period in epochs (15 min @ 24 h)
+
+    double pkt_bytes_mean = 700.0;
+    double pkt_bytes_jitter = 0.15;  ///< lognormal sigma of per-epoch mean size
+
+    /// Active flows per 1000 pps (scaled with heavy-tailed noise).
+    double flows_per_kpps = 120.0;
+    double flow_pareto_alpha = 1.8;  ///< tail index of flow-size noise (>1)
+
+    // 2-state MMPP burst model: the epoch rate switches between a low and a
+    // high state; `burst_ratio` is high/low rate, `burst_prob` the fraction
+    // of time in the high state, `switch_rate` the state-change rate relative
+    // to the epoch.  These determine the dispersion (=> ca2) analytically.
+    double burst_ratio = 1.0;   ///< 1 = plain Poisson
+    double burst_prob = 0.1;
+    double switch_rate = 4.0;
+
+    double flash_crowd_prob = 0.0;   ///< per-epoch probability
+    double flash_crowd_mult = 3.0;   ///< rate multiplier when it fires
+};
+
+/// Squared coefficient of variation of inter-arrivals implied by the spec's
+/// MMPP parameters (>= 1; equals 1 for burst_ratio == 1).  Uses the
+/// asymptotic index of dispersion of counts of a 2-state MMPP.
+[[nodiscard]] double mmpp_ca2(const TrafficSpec& spec);
+
+/// Generates per-epoch offered loads for one chain.
+class TrafficGenerator {
+public:
+    TrafficGenerator(TrafficSpec spec, xnfv::ml::Rng rng);
+
+    /// Offered load for epoch `t` (epoch indices need not be consecutive,
+    /// but the MMPP state evolves per call, so call once per epoch in order).
+    [[nodiscard]] xnfv::nfv::OfferedLoad next_epoch(std::size_t t);
+
+    [[nodiscard]] const TrafficSpec& spec() const noexcept { return spec_; }
+
+private:
+    TrafficSpec spec_;
+    xnfv::ml::Rng rng_;
+    bool in_burst_state_ = false;
+};
+
+}  // namespace xnfv::wl

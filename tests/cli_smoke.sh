@@ -1,0 +1,31 @@
+#!/bin/sh
+# End-to-end smoke test of the xnfv CLI: generate -> train -> evaluate ->
+# explain -> global, plus error handling for bad inputs.
+set -e
+CLI="$1"
+DIR="$(mktemp -d)"
+trap 'rm -rf "$DIR"' EXIT
+
+"$CLI" generate --samples 400 --out "$DIR/data.csv" --seed 3
+test -s "$DIR/data.csv"
+
+"$CLI" train --data "$DIR/data.csv" --model tree --out "$DIR/model.xnfv"
+test -s "$DIR/model.xnfv"
+
+"$CLI" evaluate --model "$DIR/model.xnfv" --data "$DIR/data.csv" | grep -q auc
+
+"$CLI" explain --model "$DIR/model.xnfv" --data "$DIR/data.csv" --row 1 | grep -q "incident report"
+
+"$CLI" global --model "$DIR/model.xnfv" --data "$DIR/data.csv" --rows 20 | grep -q "global attribution"
+
+# Regression-labelled flow.
+"$CLI" generate --samples 300 --out "$DIR/lat.csv" --label latency --seed 4
+"$CLI" train --data "$DIR/lat.csv" --model linear --task reg --out "$DIR/lat.xnfv"
+"$CLI" evaluate --model "$DIR/lat.xnfv" --data "$DIR/lat.csv" --task reg | grep -q rmse
+
+# Failure paths must fail loudly, not crash.
+if "$CLI" train --data /nonexistent.csv --out "$DIR/x" 2>/dev/null; then exit 1; fi
+if "$CLI" explain --model "$DIR/model.xnfv" --data "$DIR/data.csv" --row 99999 2>/dev/null; then exit 1; fi
+if "$CLI" frobnicate 2>/dev/null; then exit 1; fi
+
+echo "cli smoke ok"

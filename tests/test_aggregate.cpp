@@ -1,0 +1,103 @@
+#include "core/aggregate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/exact_shapley.hpp"
+#include "test_util.hpp"
+
+namespace xai = xnfv::xai;
+namespace ml = xnfv::ml;
+using xnfv::testutil::make_uniform_background;
+
+namespace {
+
+const std::vector<std::string> kNames{"big", "small", "dummy"};
+
+ml::LambdaModel planted_model() {
+    return ml::LambdaModel(3, [](std::span<const double> x) {
+        return 10.0 * x[0] + 1.0 * x[1];  // x2 unused
+    });
+}
+
+}  // namespace
+
+TEST(Aggregate, GlobalRankingMatchesPlantedMagnitudes) {
+    ml::Rng rng(1);
+    const auto bg = make_uniform_background(64, 3, rng);
+    const xai::BackgroundData background(bg);
+    xai::ExactShapley shap(background);
+    const auto model = planted_model();
+    const auto instances = make_uniform_background(40, 3, rng);
+    const auto g = xai::aggregate_explanations(shap, model, instances, kNames);
+
+    EXPECT_EQ(g.num_instances, 40u);
+    const auto order = g.ranking();
+    EXPECT_EQ(order[0], 0u);  // "big" first
+    EXPECT_EQ(order[1], 1u);
+    EXPECT_NEAR(g.mean_abs[2], 0.0, 1e-9);  // dummy gets nothing
+    // Linear symmetric setting: signed means cancel, abs means don't.
+    EXPECT_LT(std::abs(g.mean_signed[0]), g.mean_abs[0]);
+}
+
+TEST(Aggregate, MeanAbsScalesWithCoefficient) {
+    ml::Rng rng(2);
+    const xai::BackgroundData background(make_uniform_background(64, 3, rng));
+    xai::ExactShapley shap(background);
+    const auto model = planted_model();
+    const auto instances = make_uniform_background(60, 3, rng);
+    const auto g = xai::aggregate_explanations(shap, model, instances, kNames);
+    // |phi_big| should be ~10x |phi_small| on average.
+    EXPECT_NEAR(g.mean_abs[0] / g.mean_abs[1], 10.0, 2.0);
+}
+
+TEST(Aggregate, ToStringShowsTopFeature) {
+    ml::Rng rng(3);
+    const xai::BackgroundData background(make_uniform_background(32, 3, rng));
+    xai::ExactShapley shap(background);
+    const auto model = planted_model();
+    const auto instances = make_uniform_background(10, 3, rng);
+    const auto g = xai::aggregate_explanations(shap, model, instances, kNames);
+    EXPECT_NE(g.to_string(2).find("big"), std::string::npos);
+}
+
+TEST(Aggregate, GroupSplitSeparatesRegimes) {
+    // Group "a" instances exercise x0, group "b" instances exercise x1:
+    // the per-group aggregates must rank them differently.
+    ml::Rng rng(4);
+    const xai::BackgroundData background(make_uniform_background(64, 3, rng));
+    xai::ExactShapley shap(background);
+    // Model with regime interaction: big effect of x0 when x2 > 0, else x1.
+    const ml::LambdaModel model(3, [](std::span<const double> x) {
+        return x[2] > 0.0 ? 8.0 * x[0] : 8.0 * x[1];
+    });
+    ml::Matrix instances(20, 3);
+    std::vector<std::string> groups;
+    for (std::size_t r = 0; r < 20; ++r) {
+        const bool first_regime = r < 10;
+        instances(r, 0) = rng.uniform(-1, 1);
+        instances(r, 1) = rng.uniform(-1, 1);
+        instances(r, 2) = first_regime ? 0.9 : -0.9;
+        groups.push_back(first_regime ? "a" : "b");
+    }
+    const auto by_group =
+        xai::aggregate_by_group(shap, model, instances, groups, kNames);
+    ASSERT_EQ(by_group.size(), 2u);
+    EXPECT_EQ(by_group.at("a").ranking()[0], 0u);
+    EXPECT_EQ(by_group.at("b").ranking()[0], 1u);
+    EXPECT_EQ(by_group.at("a").num_instances, 10u);
+}
+
+TEST(Aggregate, RejectsMisuse) {
+    ml::Rng rng(5);
+    const xai::BackgroundData background(make_uniform_background(16, 3, rng));
+    xai::ExactShapley shap(background);
+    const auto model = planted_model();
+    EXPECT_THROW(
+        (void)xai::aggregate_explanations(shap, model, ml::Matrix{}, kNames),
+        std::invalid_argument);
+    const auto instances = make_uniform_background(4, 3, rng);
+    const std::vector<std::string> wrong_groups{"a", "b"};
+    EXPECT_THROW((void)xai::aggregate_by_group(shap, model, instances, wrong_groups,
+                                               kNames),
+                 std::invalid_argument);
+}

@@ -1,0 +1,167 @@
+#include "core/counterfactual.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mlcore/linear.hpp"
+#include "test_util.hpp"
+
+namespace xai = xnfv::xai;
+namespace ml = xnfv::ml;
+using xnfv::testutil::make_uniform_background;
+
+namespace {
+
+/// Probability model: sigmoid(4 x0 + 2 x1).  Threshold 0.5 at 4x0+2x1 = 0.
+ml::LambdaModel logistic_model() {
+    return ml::LambdaModel(2, [](std::span<const double> x) {
+        return ml::sigmoid(4.0 * x[0] + 2.0 * x[1]);
+    });
+}
+
+}  // namespace
+
+TEST(Counterfactual, FlipsPositivePrediction) {
+    ml::Rng rng(1);
+    const xai::BackgroundData background(make_uniform_background(128, 2, rng));
+    const auto model = logistic_model();
+    const std::vector<double> x{0.6, 0.4};  // prediction well above 0.5
+    ASSERT_GT(model.predict(x), 0.5);
+    const auto cf = xai::find_counterfactual(model, x, background, rng);
+    ASSERT_TRUE(cf.has_value());
+    EXPECT_LE(cf->prediction, 0.5);
+    EXPECT_FALSE(cf->changed.empty());
+}
+
+TEST(Counterfactual, TargetAboveWorksToo) {
+    ml::Rng rng(2);
+    const xai::BackgroundData background(make_uniform_background(128, 2, rng));
+    const auto model = logistic_model();
+    const std::vector<double> x{-0.6, -0.4};
+    ASSERT_LT(model.predict(x), 0.5);
+    xai::CounterfactualOptions opt;
+    opt.target_below = false;
+    const auto cf = xai::find_counterfactual(model, x, background, rng, opt);
+    ASSERT_TRUE(cf.has_value());
+    EXPECT_GE(cf->prediction, 0.5);
+}
+
+TEST(Counterfactual, SingleFeatureSufficesWhenDominant) {
+    // x0 has twice the slope: one change to x0 should be enough and the
+    // minimizer should prefer it.
+    ml::Rng rng(3);
+    const xai::BackgroundData background(make_uniform_background(128, 2, rng));
+    const auto model = logistic_model();
+    const std::vector<double> x{0.4, 0.1};
+    const auto cf = xai::find_counterfactual(model, x, background, rng);
+    ASSERT_TRUE(cf.has_value());
+    EXPECT_EQ(cf->changed.size(), 1u);
+}
+
+TEST(Counterfactual, RespectsActionabilityMask) {
+    ml::Rng rng(4);
+    const xai::BackgroundData background(make_uniform_background(128, 2, rng));
+    const auto model = logistic_model();
+    const std::vector<double> x{0.3, 0.3};
+    xai::CounterfactualOptions opt;
+    opt.actionable = {false, true};  // only x1 may change
+    const auto cf = xai::find_counterfactual(model, x, background, rng, opt);
+    ASSERT_TRUE(cf.has_value());
+    for (std::size_t j : cf->changed) EXPECT_EQ(j, 1u);
+    EXPECT_DOUBLE_EQ(cf->point[0], x[0]);
+}
+
+TEST(Counterfactual, StaysWithinBackgroundRanges) {
+    ml::Rng rng(5);
+    const xai::BackgroundData background(make_uniform_background(128, 2, rng));
+    const auto model = logistic_model();
+    const std::vector<double> x{0.9, 0.9};
+    const auto cf = xai::find_counterfactual(model, x, background, rng);
+    ASSERT_TRUE(cf.has_value());
+    for (std::size_t j = 0; j < 2; ++j) {
+        EXPECT_GE(cf->point[j], -1.01);
+        EXPECT_LE(cf->point[j], 1.01);
+    }
+}
+
+TEST(Counterfactual, ReturnsNulloptWhenImpossible) {
+    // Constant model can never flip.
+    ml::Rng rng(6);
+    const xai::BackgroundData background(make_uniform_background(64, 2, rng));
+    const ml::LambdaModel model(2, [](std::span<const double>) { return 0.9; });
+    const auto cf = xai::find_counterfactual(model, std::vector<double>{0.0, 0.0},
+                                             background, rng);
+    EXPECT_FALSE(cf.has_value());
+}
+
+TEST(Counterfactual, ImpossibleUnderRestrictiveMask) {
+    ml::Rng rng(7);
+    const xai::BackgroundData background(make_uniform_background(64, 2, rng));
+    // Only x1 actionable, but the prediction needs a large swing only x0
+    // could provide: sigmoid(4*0.9 + 0.2*x1) stays > 0.5 for x1 in [-1,1].
+    const ml::LambdaModel model(2, [](std::span<const double> x) {
+        return ml::sigmoid(4.0 * x[0] + 0.2 * x[1]);
+    });
+    xai::CounterfactualOptions opt;
+    opt.actionable = {false, true};
+    const auto cf = xai::find_counterfactual(model, std::vector<double>{0.9, 0.0},
+                                             background, rng, opt);
+    EXPECT_FALSE(cf.has_value());
+}
+
+TEST(Counterfactual, L1DistanceIsPositiveAndStandardized) {
+    ml::Rng rng(8);
+    const xai::BackgroundData background(make_uniform_background(128, 2, rng));
+    const auto model = logistic_model();
+    const auto cf = xai::find_counterfactual(model, std::vector<double>{0.5, 0.2},
+                                             background, rng);
+    ASSERT_TRUE(cf.has_value());
+    EXPECT_GT(cf->l1_distance, 0.0);
+}
+
+TEST(Counterfactual, RedundantChangesPruned) {
+    // With max_changed_features = 2 the greedy pass may move both features,
+    // but one suffices; the pruning pass must reduce to one.
+    ml::Rng rng(9);
+    const xai::BackgroundData background(make_uniform_background(128, 2, rng));
+    const ml::LambdaModel model(2, [](std::span<const double> x) {
+        return ml::sigmoid(5.0 * x[0] + 5.0 * x[1]);
+    });
+    const auto cf = xai::find_counterfactual(model, std::vector<double>{0.3, 0.3},
+                                             background, rng);
+    ASSERT_TRUE(cf.has_value());
+    EXPECT_LE(cf->changed.size(), 2u);
+}
+
+TEST(Counterfactual, RejectsMisuse) {
+    ml::Rng rng(10);
+    const auto model = logistic_model();
+    EXPECT_THROW((void)xai::find_counterfactual(model, std::vector<double>{0, 0},
+                                                xai::BackgroundData{}, rng),
+                 std::invalid_argument);
+    const xai::BackgroundData background(make_uniform_background(16, 2, rng));
+    EXPECT_THROW(
+        (void)xai::find_counterfactual(model, std::vector<double>{0}, background, rng),
+        std::invalid_argument);
+    xai::CounterfactualOptions opt;
+    opt.actionable = {true};  // wrong size
+    EXPECT_THROW((void)xai::find_counterfactual(model, std::vector<double>{0, 0},
+                                                background, rng, opt),
+                 std::invalid_argument);
+}
+
+// Sweep: flips succeed from a range of starting margins.
+class CounterfactualMarginSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(CounterfactualMarginSweep, FlipsAcrossStartingPoints) {
+    ml::Rng rng(11);
+    const xai::BackgroundData background(make_uniform_background(128, 2, rng));
+    const auto model = logistic_model();
+    const std::vector<double> x{GetParam(), GetParam() / 2.0};
+    if (model.predict(x) <= 0.52) GTEST_SKIP() << "not a violating instance";
+    const auto cf = xai::find_counterfactual(model, x, background, rng);
+    ASSERT_TRUE(cf.has_value());
+    EXPECT_LE(cf->prediction, 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Margins, CounterfactualMarginSweep,
+                         ::testing::Values(0.2, 0.4, 0.6, 0.8, 0.95));

@@ -1,0 +1,71 @@
+#include "mlcore/crossval.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mlcore/linear.hpp"
+#include "mlcore/metrics.hpp"
+#include "test_util.hpp"
+
+namespace ml = xnfv::ml;
+using xnfv::testutil::make_linear_dataset;
+
+namespace {
+
+std::unique_ptr<ml::Model> fit_linear(const ml::Dataset& train) {
+    auto m = std::make_unique<ml::LinearRegression>();
+    m->fit(train);
+    return m;
+}
+
+double score_r2(const ml::Model& model, const ml::Dataset& test) {
+    return ml::r2_score(test.y, model.predict_batch(test.x));
+}
+
+}  // namespace
+
+TEST(CrossVal, ProducesOneScorePerFold) {
+    ml::Rng rng(1);
+    const auto d = make_linear_dataset(std::vector<double>{2.0}, 0.0, 200, rng, 0.1);
+    const auto cv = ml::k_fold_cv(d, 5, rng, fit_linear, score_r2);
+    EXPECT_EQ(cv.fold_scores.size(), 5u);
+}
+
+TEST(CrossVal, LinearModelScoresHighOnLinearData) {
+    ml::Rng rng(2);
+    const auto d = make_linear_dataset(std::vector<double>{3.0, -1.0}, 0.0, 400, rng, 0.1);
+    const auto cv = ml::k_fold_cv(d, 4, rng, fit_linear, score_r2);
+    EXPECT_GT(cv.mean(), 0.95);
+    EXPECT_LT(cv.stddev(), 0.05);
+}
+
+TEST(CrossVal, FoldsPartitionTheData) {
+    ml::Rng rng(3);
+    const auto d = make_linear_dataset(std::vector<double>{1.0}, 0.0, 100, rng);
+    std::size_t total_test = 0;
+    const auto cv = ml::k_fold_cv(
+        d, 5, rng,
+        [&](const ml::Dataset& train) {
+            total_test += d.size() - train.size();
+            return fit_linear(train);
+        },
+        score_r2);
+    EXPECT_EQ(total_test, d.size());
+}
+
+TEST(CrossVal, RejectsBadK) {
+    ml::Rng rng(4);
+    const auto d = make_linear_dataset(std::vector<double>{1.0}, 0.0, 10, rng);
+    EXPECT_THROW((void)ml::k_fold_cv(d, 1, rng, fit_linear, score_r2), std::invalid_argument);
+    EXPECT_THROW((void)ml::k_fold_cv(d, 11, rng, fit_linear, score_r2),
+                 std::invalid_argument);
+}
+
+TEST(CvResult, MeanAndStddev) {
+    ml::CvResult r;
+    r.fold_scores = {1.0, 2.0, 3.0};
+    EXPECT_DOUBLE_EQ(r.mean(), 2.0);
+    EXPECT_NEAR(r.stddev(), std::sqrt(2.0 / 3.0), 1e-12);
+    ml::CvResult empty;
+    EXPECT_DOUBLE_EQ(empty.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(empty.stddev(), 0.0);
+}

@@ -1,0 +1,159 @@
+#include "mlcore/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "mlcore/rng.hpp"
+
+namespace ml = xnfv::ml;
+
+namespace {
+
+ml::Dataset small_regression() {
+    ml::Dataset d;
+    d.task = ml::Task::regression;
+    d.feature_names = {"a", "b"};
+    d.add(std::vector<double>{1.0, 2.0}, 3.0);
+    d.add(std::vector<double>{2.0, 4.0}, 6.0);
+    d.add(std::vector<double>{3.0, 6.0}, 9.0);
+    return d;
+}
+
+}  // namespace
+
+TEST(Dataset, AddAndSize) {
+    const auto d = small_regression();
+    EXPECT_EQ(d.size(), 3u);
+    EXPECT_EQ(d.num_features(), 2u);
+    EXPECT_NO_THROW(d.validate());
+}
+
+TEST(Dataset, ValidateCatchesNameMismatch) {
+    auto d = small_regression();
+    d.feature_names.push_back("extra");
+    EXPECT_THROW(d.validate(), std::invalid_argument);
+}
+
+TEST(Dataset, ValidateCatchesBadClassificationLabels) {
+    ml::Dataset d;
+    d.task = ml::Task::binary_classification;
+    d.add(std::vector<double>{1.0}, 0.5);
+    EXPECT_THROW(d.validate(), std::invalid_argument);
+}
+
+TEST(Dataset, FeatureMeans) {
+    const auto d = small_regression();
+    const auto m = d.feature_means();
+    EXPECT_DOUBLE_EQ(m[0], 2.0);
+    EXPECT_DOUBLE_EQ(m[1], 4.0);
+}
+
+TEST(Dataset, FeatureStddevs) {
+    const auto d = small_regression();
+    const auto s = d.feature_stddevs();
+    EXPECT_NEAR(s[0], std::sqrt(2.0 / 3.0), 1e-12);
+    EXPECT_NEAR(s[1], 2.0 * std::sqrt(2.0 / 3.0), 1e-12);
+}
+
+TEST(Dataset, FeatureRanges) {
+    const auto d = small_regression();
+    const auto r = d.feature_ranges();
+    EXPECT_DOUBLE_EQ(r[0].first, 1.0);
+    EXPECT_DOUBLE_EQ(r[0].second, 3.0);
+    EXPECT_DOUBLE_EQ(r[1].first, 2.0);
+    EXPECT_DOUBLE_EQ(r[1].second, 6.0);
+}
+
+TEST(Dataset, SubsetPreservesMetadataAndRepeats) {
+    const auto d = small_regression();
+    const std::vector<std::size_t> idx{2, 2, 0};
+    const auto s = d.subset(idx);
+    EXPECT_EQ(s.size(), 3u);
+    EXPECT_EQ(s.feature_names, d.feature_names);
+    EXPECT_DOUBLE_EQ(s.y[0], 9.0);
+    EXPECT_DOUBLE_EQ(s.y[1], 9.0);
+    EXPECT_DOUBLE_EQ(s.y[2], 3.0);
+}
+
+TEST(Dataset, PositiveRate) {
+    ml::Dataset d;
+    d.task = ml::Task::binary_classification;
+    d.add(std::vector<double>{0.0}, 1.0);
+    d.add(std::vector<double>{0.0}, 0.0);
+    d.add(std::vector<double>{0.0}, 1.0);
+    d.add(std::vector<double>{0.0}, 1.0);
+    EXPECT_DOUBLE_EQ(d.positive_rate(), 0.75);
+}
+
+TEST(TrainTestSplit, SizesAndDisjointness) {
+    ml::Rng rng(1);
+    ml::Dataset d;
+    d.task = ml::Task::regression;
+    // Unique labels let us verify the split is a partition.
+    for (int i = 0; i < 100; ++i) d.add(std::vector<double>{double(i)}, double(i));
+    const auto split = ml::train_test_split(d, 0.25, rng);
+    EXPECT_EQ(split.test.size(), 25u);
+    EXPECT_EQ(split.train.size(), 75u);
+    std::vector<double> all;
+    all.insert(all.end(), split.train.y.begin(), split.train.y.end());
+    all.insert(all.end(), split.test.y.begin(), split.test.y.end());
+    std::sort(all.begin(), all.end());
+    for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(all[i], double(i));
+}
+
+TEST(TrainTestSplit, RejectsBadFraction) {
+    ml::Rng rng(1);
+    const auto d = small_regression();
+    EXPECT_THROW((void)ml::train_test_split(d, 0.0, rng), std::invalid_argument);
+    EXPECT_THROW((void)ml::train_test_split(d, 1.0, rng), std::invalid_argument);
+}
+
+TEST(Csv, RoundTripPreservesData) {
+    const auto d = small_regression();
+    std::stringstream ss;
+    ml::write_csv(d, ss);
+    const auto back = ml::read_csv(ss, ml::Task::regression);
+    ASSERT_EQ(back.size(), d.size());
+    ASSERT_EQ(back.feature_names, d.feature_names);
+    for (std::size_t i = 0; i < d.size(); ++i) {
+        EXPECT_DOUBLE_EQ(back.y[i], d.y[i]);
+        for (std::size_t j = 0; j < d.num_features(); ++j)
+            EXPECT_DOUBLE_EQ(back.x(i, j), d.x(i, j));
+    }
+}
+
+TEST(Csv, RejectsMalformedRows) {
+    std::stringstream ss("a,b,label\n1.0,2.0\n");
+    EXPECT_THROW((void)ml::read_csv(ss, ml::Task::regression), std::runtime_error);
+    std::stringstream ss2("a,b,label\n1.0,zzz,3.0\n");
+    EXPECT_THROW((void)ml::read_csv(ss2, ml::Task::regression), std::runtime_error);
+    std::stringstream empty("");
+    EXPECT_THROW((void)ml::read_csv(empty, ml::Task::regression), std::runtime_error);
+}
+
+TEST(Csv, SkipsBlankLines) {
+    std::stringstream ss("a,label\n1.0,2.0\n\n3.0,4.0\n");
+    const auto d = ml::read_csv(ss, ml::Task::regression);
+    EXPECT_EQ(d.size(), 2u);
+}
+
+// Sweep: split fractions produce the expected sizes.
+class SplitFractionSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SplitFractionSweep, SplitSizesMatchFraction) {
+    ml::Rng rng(7);
+    ml::Dataset d;
+    d.task = ml::Task::regression;
+    for (int i = 0; i < 200; ++i) d.add(std::vector<double>{double(i)}, 0.0);
+    const auto split = ml::train_test_split(d, GetParam(), rng);
+    const auto expected =
+        static_cast<std::size_t>(std::round(GetParam() * 200.0));
+    EXPECT_EQ(split.test.size(), expected);
+    EXPECT_EQ(split.train.size(), 200u - expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, SplitFractionSweep,
+                         ::testing::Values(0.1, 0.2, 0.33, 0.5, 0.9));

@@ -1,0 +1,197 @@
+#include "core/evaluate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/exact_shapley.hpp"
+#include "core/kernel_shap.hpp"
+#include "core/lime.hpp"
+#include "test_util.hpp"
+
+namespace xai = xnfv::xai;
+namespace ml = xnfv::ml;
+using xnfv::testutil::make_uniform_background;
+
+namespace {
+
+/// f = 10 x0 + x1 (+0 x2): feature 0 dominates by construction.
+ml::LambdaModel dominated_model() {
+    return ml::LambdaModel(3, [](std::span<const double> x) {
+        return 10.0 * x[0] + x[1];
+    });
+}
+
+}  // namespace
+
+TEST(DeletionCurve, StartsAtPredictionAndHasExpectedLength) {
+    ml::Rng rng(1);
+    const xai::BackgroundData background(make_uniform_background(64, 3, rng));
+    const auto model = dominated_model();
+    const std::vector<double> x{0.9, 0.9, 0.9};
+    const std::vector<std::size_t> ranking{0, 1, 2};
+    const auto curve = xai::deletion_curve(model, x, ranking, background);
+    ASSERT_EQ(curve.curve.size(), 4u);
+    EXPECT_DOUBLE_EQ(curve.curve[0], model.predict(x));
+}
+
+TEST(DeletionCurve, InformedRankingDropsFasterThanReversed) {
+    ml::Rng rng(2);
+    const xai::BackgroundData background(make_uniform_background(64, 3, rng));
+    const auto model = dominated_model();
+    const std::vector<double> x{0.9, 0.9, 0.9};
+    const std::vector<std::size_t> informed{0, 1, 2};
+    const std::vector<std::size_t> reversed{2, 1, 0};
+    const auto good = xai::deletion_curve(model, x, informed, background);
+    const auto bad = xai::deletion_curve(model, x, reversed, background);
+    EXPECT_GT(good.aopc, bad.aopc);
+    // Deleting feature 0 first must collapse the prediction toward base.
+    EXPECT_LT(good.curve[1], good.curve[0] - 5.0);
+}
+
+TEST(DeletionCurve, ShapleyRankingBeatsRandom) {
+    ml::Rng rng(3);
+    const xai::BackgroundData background(make_uniform_background(64, 3, rng));
+    const auto model = dominated_model();
+    const std::vector<double> x{0.8, -0.7, 0.5};
+    xai::ExactShapley shap(background);
+    const auto e = shap.explain(model, x);
+    const auto ranking = e.top_k(3);
+    const auto informed = xai::deletion_curve(model, x, ranking, background);
+    ml::Rng rand_rng(4);
+    const auto random = xai::random_deletion_curve(model, x, background, rand_rng, 20);
+    EXPECT_GE(informed.aopc, random.aopc);
+}
+
+TEST(InsertionCurve, StartsAtBaseAndEndsAtPrediction) {
+    ml::Rng rng(4);
+    const xai::BackgroundData background(make_uniform_background(64, 3, rng));
+    const auto model = dominated_model();
+    const std::vector<double> x{0.5, -0.5, 0.2};
+    std::vector<std::size_t> ranking(3);
+    std::iota(ranking.begin(), ranking.end(), std::size_t{0});
+    const auto curve = xai::insertion_curve(model, x, ranking, background);
+    ASSERT_EQ(curve.curve.size(), 4u);
+    // Linear model: inserting every feature reconstructs the prediction.
+    EXPECT_NEAR(curve.curve.back(), model.predict(x), 1e-9);
+}
+
+TEST(DeletionCurve, RejectsBadRanking) {
+    ml::Rng rng(5);
+    const xai::BackgroundData background(make_uniform_background(16, 2, rng));
+    const ml::LambdaModel model(2, [](std::span<const double> x) { return x[0]; });
+    const std::vector<std::size_t> bad{5};
+    EXPECT_THROW((void)xai::deletion_curve(model, std::vector<double>{0, 0}, bad, background),
+                 std::out_of_range);
+    EXPECT_THROW(
+        (void)xai::deletion_curve(model, std::vector<double>{0, 0}, bad,
+                                  xai::BackgroundData{}),
+        std::invalid_argument);
+}
+
+TEST(InputStability, DeterministicAdditiveExplainerIsStable) {
+    ml::Rng rng(6);
+    const xai::BackgroundData background(make_uniform_background(64, 2, rng));
+    const auto model = ml::LambdaModel(2, [](std::span<const double> x) {
+        return 2.0 * x[0] - x[1];
+    });
+    xai::ExactShapley shap(background);
+    const xai::ExplainFn fn = [&](std::span<const double> x) {
+        return shap.explain(model, x);
+    };
+    ml::Rng pert_rng(7);
+    const std::vector<double> x{0.3, 0.3};
+    const auto result = xai::input_stability(fn, x, background, pert_rng, 0.01, 5);
+    // Linear model + tiny perturbation: attribution drift bounded by the
+    // perturbation scale times the slopes.
+    EXPECT_LT(result.mean_l2_drift, 0.1);
+    EXPECT_GT(result.mean_topk_jaccard, 0.9);
+}
+
+TEST(InputStability, LimeLessStableThanExactShap) {
+    // The F4 claim in miniature: sampling-based LIME drifts more under input
+    // perturbation than the deterministic exact explainer.
+    ml::Rng rng(8);
+    const xai::BackgroundData background(make_uniform_background(64, 2, rng));
+    const auto model = ml::LambdaModel(2, [](std::span<const double> x) {
+        return x[0] * x[1] + x[0];
+    });
+    xai::ExactShapley shap(background);
+    xai::Lime lime(background, ml::Rng(9), xai::Lime::Config{.num_samples = 200});
+    const std::vector<double> x{0.5, -0.5};
+    ml::Rng ra(10), rb(10);
+    const auto s_shap = xai::input_stability(
+        [&](std::span<const double> p) { return shap.explain(model, p); }, x, background,
+        ra, 0.05, 8);
+    const auto s_lime = xai::input_stability(
+        [&](std::span<const double> p) { return lime.explain(model, p); }, x, background,
+        rb, 0.05, 8);
+    EXPECT_LT(s_shap.mean_l2_drift, s_lime.mean_l2_drift);
+}
+
+TEST(RerunVariance, ZeroForDeterministicExplainer) {
+    ml::Rng rng(11);
+    const xai::BackgroundData background(make_uniform_background(32, 2, rng));
+    const auto model = ml::LambdaModel(2, [](std::span<const double> x) {
+        return x[0] + x[1];
+    });
+    xai::ExactShapley shap(background);
+    const double var = xai::rerun_variance(
+        [&](std::span<const double> x) { return shap.explain(model, x); },
+        std::vector<double>{0.2, 0.8}, 5);
+    EXPECT_LT(var, 1e-20);  // identical runs up to floating-point noise
+}
+
+TEST(RerunVariance, PositiveForSamplingExplainer) {
+    ml::Rng rng(12);
+    const xai::BackgroundData background(make_uniform_background(32, 6, rng));
+    const auto model = ml::LambdaModel(6, [](std::span<const double> x) {
+        return x[0] * x[1] + x[2] * x[3] + x[4] - x[5];
+    });
+    // Fresh RNG state per call => run-to-run variation.
+    ml::Rng seeder(13);
+    const double var = xai::rerun_variance(
+        [&](std::span<const double> x) {
+            xai::KernelShap ks(background, seeder.split(),
+                               xai::KernelShap::Config{.max_coalitions = 20});
+            return ks.explain(model, x);
+        },
+        std::vector<double>(6, 0.5), 6);
+    EXPECT_GT(var, 0.0);
+}
+
+TEST(RerunVariance, BudgetShrinksVariance) {
+    ml::Rng rng(14);
+    const xai::BackgroundData background(make_uniform_background(16, 8, rng));
+    const auto model = ml::LambdaModel(8, [](std::span<const double> x) {
+        double v = 0.0;
+        for (std::size_t i = 0; i + 1 < x.size(); ++i) v += x[i] * x[i + 1];
+        return v;
+    });
+    auto variance_at = [&](std::size_t budget) {
+        ml::Rng seeder(15);
+        return xai::rerun_variance(
+            [&](std::span<const double> x) {
+                xai::KernelShap ks(background, seeder.split(),
+                                   xai::KernelShap::Config{.max_coalitions = budget});
+                return ks.explain(model, x);
+            },
+            std::vector<double>(8, 0.4), 6);
+    };
+    EXPECT_LT(variance_at(800), variance_at(30));
+}
+
+TEST(StabilityHelpers, RejectMisuse) {
+    ml::Rng rng(16);
+    const xai::BackgroundData background(make_uniform_background(8, 1, rng));
+    const xai::ExplainFn fn = [](std::span<const double>) { return xai::Explanation{}; };
+    EXPECT_THROW((void)xai::input_stability(fn, std::vector<double>{0}, background, rng,
+                                            0.1, 0),
+                 std::invalid_argument);
+    EXPECT_THROW((void)xai::rerun_variance(fn, std::vector<double>{0}, 1),
+                 std::invalid_argument);
+    const ml::LambdaModel model(1, [](std::span<const double> x) { return x[0]; });
+    EXPECT_THROW((void)xai::random_deletion_curve(model, std::vector<double>{0},
+                                                  background, rng, 0),
+                 std::invalid_argument);
+}

@@ -1,0 +1,149 @@
+#include "core/exact_shapley.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_util.hpp"
+
+namespace xai = xnfv::xai;
+namespace ml = xnfv::ml;
+using xnfv::testutil::make_uniform_background;
+
+namespace {
+
+/// Linear model f(x) = 1 + 2 x0 - 3 x1 + 0 * x2 (x2 is a dummy player).
+ml::LambdaModel linear_model() {
+    return ml::LambdaModel(3, [](std::span<const double> x) {
+        return 1.0 + 2.0 * x[0] - 3.0 * x[1] + 0.0 * x[2];
+    });
+}
+
+}  // namespace
+
+TEST(ShapleyKernel, WeightsMatchClosedForm) {
+    // d = 4, s = 1: (d-1)/(C(4,1)*1*3) = 3/12 = 0.25.
+    EXPECT_NEAR(xai::shapley_kernel_weight(4, 1), 0.25, 1e-12);
+    // d = 4, s = 2: 3/(6*2*2) = 0.125.
+    EXPECT_NEAR(xai::shapley_kernel_weight(4, 2), 0.125, 1e-12);
+    // Symmetry: w(d, s) == w(d, d-s).
+    EXPECT_NEAR(xai::shapley_kernel_weight(10, 3), xai::shapley_kernel_weight(10, 7), 1e-12);
+    // Boundary coalitions get infinite weight (handled as constraints).
+    EXPECT_TRUE(std::isinf(xai::shapley_kernel_weight(5, 0)));
+    EXPECT_TRUE(std::isinf(xai::shapley_kernel_weight(5, 5)));
+}
+
+TEST(LogBinomial, KnownValues) {
+    EXPECT_NEAR(std::exp(xai::log_binomial(5, 2)), 10.0, 1e-9);
+    EXPECT_NEAR(std::exp(xai::log_binomial(10, 0)), 1.0, 1e-9);
+    EXPECT_TRUE(std::isinf(xai::log_binomial(3, 5)));
+}
+
+TEST(ExactShapley, LinearModelClosedForm) {
+    // For linear f and interventional v, phi_i = w_i (x_i - mean(bg_i)).
+    ml::Rng rng(1);
+    const auto bg = make_uniform_background(128, 3, rng);
+    xai::BackgroundData background(bg);
+    xai::ExactShapley explainer(background);
+
+    const auto model = linear_model();
+    const std::vector<double> x{0.7, -0.5, 0.3};
+    const auto e = explainer.explain(model, x);
+
+    EXPECT_NEAR(e.attributions[0], 2.0 * (x[0] - background.means()[0]), 1e-9);
+    EXPECT_NEAR(e.attributions[1], -3.0 * (x[1] - background.means()[1]), 1e-9);
+    EXPECT_NEAR(e.attributions[2], 0.0, 1e-9);
+}
+
+TEST(ExactShapley, EfficiencyAxiom) {
+    ml::Rng rng(2);
+    xai::BackgroundData background(make_uniform_background(64, 3, rng));
+    xai::ExactShapley explainer(background);
+    // Nonlinear model with interactions.
+    const ml::LambdaModel model(3, [](std::span<const double> x) {
+        return x[0] * x[1] + std::sin(x[2]) + 0.5 * x[0];
+    });
+    const std::vector<double> x{0.4, -0.8, 0.9};
+    const auto e = explainer.explain(model, x);
+    EXPECT_NEAR(e.additive_reconstruction(), e.prediction, 1e-9);
+}
+
+TEST(ExactShapley, SymmetryAxiom) {
+    // f symmetric in x0, x1; symmetric background => equal attributions at
+    // symmetric inputs.
+    xnfv::ml::Matrix bg(4, 2);
+    bg(0, 0) = -1.0; bg(0, 1) = -1.0;
+    bg(1, 0) = -1.0; bg(1, 1) = 1.0;
+    bg(2, 0) = 1.0;  bg(2, 1) = -1.0;
+    bg(3, 0) = 1.0;  bg(3, 1) = 1.0;
+    xai::BackgroundData background(bg);
+    xai::ExactShapley explainer(background);
+    const ml::LambdaModel model(2, [](std::span<const double> x) {
+        return x[0] + x[1] + x[0] * x[1];
+    });
+    const std::vector<double> x{0.5, 0.5};
+    const auto e = explainer.explain(model, x);
+    EXPECT_NEAR(e.attributions[0], e.attributions[1], 1e-12);
+}
+
+TEST(ExactShapley, DummyAxiom) {
+    ml::Rng rng(3);
+    xai::BackgroundData background(make_uniform_background(64, 4, rng));
+    xai::ExactShapley explainer(background);
+    // x3 never used by the model.
+    const ml::LambdaModel model(4, [](std::span<const double> x) {
+        return x[0] * x[0] - 2.0 * x[1] * x[2];
+    });
+    const std::vector<double> x{0.3, 0.6, -0.2, 0.9};
+    const auto e = explainer.explain(model, x);
+    EXPECT_NEAR(e.attributions[3], 0.0, 1e-12);
+}
+
+TEST(ExactShapley, InteractionSplitEvenly) {
+    // f = x0 * x1 with a zero-mean symmetric background and x0 == x1: the
+    // product interaction must split evenly.
+    xnfv::ml::Matrix bg(2, 2);
+    bg(0, 0) = -1.0; bg(0, 1) = -1.0;
+    bg(1, 0) = 1.0;  bg(1, 1) = 1.0;
+    xai::BackgroundData background(bg);
+    xai::ExactShapley explainer(background);
+    const ml::LambdaModel model(2,
+                                [](std::span<const double> x) { return x[0] * x[1]; });
+    const std::vector<double> x{1.0, 1.0};
+    const auto e = explainer.explain(model, x);
+    EXPECT_NEAR(e.attributions[0], e.attributions[1], 1e-12);
+    EXPECT_NEAR(e.additive_reconstruction(), 1.0, 1e-12);
+}
+
+TEST(ExactShapley, BaseValueIsBackgroundMeanPrediction) {
+    ml::Rng rng(4);
+    const auto bgm = make_uniform_background(32, 2, rng);
+    xai::BackgroundData background(bgm);
+    xai::ExactShapley explainer(background);
+    const ml::LambdaModel model(2, [](std::span<const double> x) {
+        return 3.0 * x[0] - x[1];
+    });
+    const auto e = explainer.explain(model, std::vector<double>{0.1, 0.2});
+    double mean_pred = 0.0;
+    for (std::size_t r = 0; r < bgm.rows(); ++r) mean_pred += model.predict(bgm.row(r));
+    EXPECT_NEAR(e.base_value, mean_pred / static_cast<double>(bgm.rows()), 1e-9);
+}
+
+TEST(ExactShapley, GuardsAgainstExplosions) {
+    ml::Rng rng(5);
+    xai::BackgroundData background(make_uniform_background(8, 25, rng));
+    xai::ExactShapley explainer(background);
+    const ml::LambdaModel model(25, [](std::span<const double>) { return 0.0; });
+    EXPECT_THROW((void)explainer.explain(model, std::vector<double>(25, 0.0)),
+                 std::invalid_argument);
+}
+
+TEST(ExactShapley, RejectsEmptyBackgroundAndBadSizes) {
+    xai::ExactShapley explainer{xai::BackgroundData{}};
+    const auto model = linear_model();
+    EXPECT_THROW((void)explainer.explain(model, std::vector<double>{0, 0, 0}),
+                 std::invalid_argument);
+    ml::Rng rng(6);
+    xai::ExactShapley ok{xai::BackgroundData(make_uniform_background(8, 3, rng))};
+    EXPECT_THROW((void)ok.explain(model, std::vector<double>{0, 0}), std::invalid_argument);
+}

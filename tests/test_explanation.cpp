@@ -1,0 +1,96 @@
+#include "core/explanation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mlcore/rng.hpp"
+#include "test_util.hpp"
+
+namespace xai = xnfv::xai;
+namespace ml = xnfv::ml;
+
+namespace {
+
+xai::Explanation sample_explanation() {
+    xai::Explanation e;
+    e.method = "test";
+    e.prediction = 10.0;
+    e.base_value = 4.0;
+    e.attributions = {3.0, -1.0, 4.0, 0.0};
+    e.feature_names = {"a", "b", "c", "d"};
+    return e;
+}
+
+}  // namespace
+
+TEST(Explanation, AbsAttributions) {
+    const auto e = sample_explanation();
+    const auto abs = e.abs_attributions();
+    EXPECT_DOUBLE_EQ(abs[1], 1.0);
+    EXPECT_DOUBLE_EQ(abs[2], 4.0);
+}
+
+TEST(Explanation, TopKOrdersByMagnitude) {
+    const auto e = sample_explanation();
+    const auto top = e.top_k(2);
+    ASSERT_EQ(top.size(), 2u);
+    EXPECT_EQ(top[0], 2u);  // |4.0|
+    EXPECT_EQ(top[1], 0u);  // |3.0|
+}
+
+TEST(Explanation, TopKClampsToSize) {
+    const auto e = sample_explanation();
+    EXPECT_EQ(e.top_k(99).size(), 4u);
+    EXPECT_TRUE(e.top_k(0).empty());
+}
+
+TEST(Explanation, AdditiveReconstruction) {
+    const auto e = sample_explanation();
+    EXPECT_DOUBLE_EQ(e.additive_reconstruction(), 4.0 + 3.0 - 1.0 + 4.0 + 0.0);
+}
+
+TEST(Explanation, ToStringContainsTopFeature) {
+    const auto e = sample_explanation();
+    const auto s = e.to_string(2);
+    EXPECT_NE(s.find("c"), std::string::npos);
+    EXPECT_NE(s.find("test"), std::string::npos);
+}
+
+TEST(BackgroundData, KeepsSmallInputVerbatim) {
+    ml::Rng rng(1);
+    const auto x = xnfv::testutil::make_uniform_background(10, 3, rng);
+    const xai::BackgroundData bg(x, 256);
+    EXPECT_EQ(bg.size(), 10u);
+    EXPECT_EQ(bg.num_features(), 3u);
+    EXPECT_DOUBLE_EQ(bg.samples()(4, 2), x(4, 2));
+}
+
+TEST(BackgroundData, SubsamplesLargeInput) {
+    ml::Rng rng(2);
+    const auto x = xnfv::testutil::make_uniform_background(1000, 2, rng);
+    const xai::BackgroundData bg(x, 64);
+    EXPECT_EQ(bg.size(), 64u);
+}
+
+TEST(BackgroundData, MeansMatchSamples) {
+    ml::Rng rng(3);
+    const auto x = xnfv::testutil::make_uniform_background(50, 2, rng);
+    const xai::BackgroundData bg(x, 256);
+    double m0 = 0.0;
+    for (std::size_t r = 0; r < 50; ++r) m0 += x(r, 0);
+    EXPECT_NEAR(bg.means()[0], m0 / 50.0, 1e-12);
+}
+
+TEST(BackgroundData, EmptyByDefault) {
+    const xai::BackgroundData bg;
+    EXPECT_TRUE(bg.empty());
+    EXPECT_EQ(bg.size(), 0u);
+}
+
+TEST(BackgroundData, SubsampleIsDeterministic) {
+    ml::Rng rng(4);
+    const auto x = xnfv::testutil::make_uniform_background(500, 2, rng);
+    const xai::BackgroundData a(x, 32);
+    const xai::BackgroundData b(x, 32);
+    for (std::size_t r = 0; r < 32; ++r)
+        EXPECT_DOUBLE_EQ(a.samples()(r, 0), b.samples()(r, 0));
+}

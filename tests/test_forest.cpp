@@ -1,0 +1,117 @@
+#include "mlcore/forest.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mlcore/metrics.hpp"
+#include "test_util.hpp"
+
+namespace ml = xnfv::ml;
+using xnfv::testutil::make_linear_dataset;
+using xnfv::testutil::make_logistic_dataset;
+using xnfv::testutil::make_xor_dataset;
+
+TEST(RandomForest, FitsXorWell) {
+    ml::Rng rng(1);
+    const auto d = make_xor_dataset(1500, rng);
+    ml::RandomForest forest(ml::RandomForest::Config{.num_trees = 50});
+    forest.fit(d, rng);
+    EXPECT_GT(ml::roc_auc(d.y, forest.predict_batch(d.x)), 0.97);
+}
+
+TEST(RandomForest, PredictionsAreProbabilitiesForClassification) {
+    ml::Rng rng(2);
+    const auto d = make_logistic_dataset(std::vector<double>{2.0, -1.0}, 0.0, 500, rng);
+    ml::RandomForest forest(ml::RandomForest::Config{.num_trees = 20});
+    forest.fit(d, rng);
+    for (std::size_t i = 0; i < d.size(); ++i) {
+        const double p = forest.predict(d.x.row(i));
+        EXPECT_GE(p, 0.0);
+        EXPECT_LE(p, 1.0);
+    }
+}
+
+TEST(RandomForest, DeterministicGivenSeed) {
+    ml::Rng rng_a(42), rng_b(42);
+    ml::Rng data_rng(3);
+    const auto d = make_linear_dataset(std::vector<double>{1.0, 2.0}, 0.0, 400, data_rng, 0.2);
+    ml::RandomForest a(ml::RandomForest::Config{.num_trees = 10});
+    ml::RandomForest b(ml::RandomForest::Config{.num_trees = 10});
+    a.fit(d, rng_a);
+    b.fit(d, rng_b);
+    const std::vector<double> x{0.3, -0.4};
+    EXPECT_DOUBLE_EQ(a.predict(x), b.predict(x));
+}
+
+TEST(RandomForest, EnsembleBeatsSingleTreeOutOfSample) {
+    ml::Rng rng(4);
+    auto full = make_linear_dataset(std::vector<double>{2.0, -1.0, 0.5}, 0.0, 1200, rng,
+                                    /*noise=*/0.6);
+    auto split = ml::train_test_split(full, 0.3, rng);
+
+    ml::DecisionTree::Config tree_cfg{.max_depth = 10, .min_samples_leaf = 2,
+                                      .min_samples_split = 4};
+    ml::DecisionTree single(tree_cfg);
+    single.fit(split.train);
+
+    ml::RandomForest forest(ml::RandomForest::Config{.num_trees = 60, .tree = tree_cfg});
+    forest.fit(split.train, rng);
+
+    const double err_tree = ml::mse(split.test.y, single.predict_batch(split.test.x));
+    const double err_forest = ml::mse(split.test.y, forest.predict_batch(split.test.x));
+    EXPECT_LT(err_forest, err_tree);
+}
+
+TEST(RandomForest, ImportancesFavorInformativeFeatures) {
+    ml::Rng rng(5);
+    // Only feature 1 matters.
+    ml::Dataset d;
+    d.task = ml::Task::regression;
+    for (int i = 0; i < 800; ++i) {
+        const double a = rng.uniform(-1, 1), b = rng.uniform(-1, 1), c = rng.uniform(-1, 1);
+        d.add(std::vector<double>{a, b, c}, 10.0 * b);
+    }
+    ml::RandomForest forest(ml::RandomForest::Config{.num_trees = 30});
+    forest.fit(d, rng);
+    const auto imp = forest.feature_importances();
+    EXPECT_GT(imp[1], imp[0]);
+    EXPECT_GT(imp[1], imp[2]);
+    EXPECT_GT(imp[1], 0.6);
+    EXPECT_NEAR(imp[0] + imp[1] + imp[2], 1.0, 1e-9);
+}
+
+TEST(RandomForest, ThrowsOnMisuse) {
+    ml::Rng rng(6);
+    ml::RandomForest forest;
+    EXPECT_THROW((void)forest.predict(std::vector<double>{1.0}), std::logic_error);
+    EXPECT_THROW(forest.fit(ml::Dataset{}, rng), std::invalid_argument);
+    ml::RandomForest zero(ml::RandomForest::Config{.num_trees = 0});
+    const auto d = make_xor_dataset(50, rng);
+    EXPECT_THROW(zero.fit(d, rng), std::invalid_argument);
+}
+
+TEST(RandomForest, TreeCountMatchesConfig) {
+    ml::Rng rng(7);
+    const auto d = make_xor_dataset(200, rng);
+    ml::RandomForest forest(ml::RandomForest::Config{.num_trees = 17});
+    forest.fit(d, rng);
+    EXPECT_EQ(forest.trees().size(), 17u);
+}
+
+// Sweep: out-of-sample error decreases (weakly) with more trees.
+class ForestSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ForestSizeSweep, MoreTreesNoWorseGeneralization) {
+    ml::Rng rng(8);
+    auto full = make_linear_dataset(std::vector<double>{1.0, -1.0}, 0.0, 800, rng, 0.5);
+    auto split = ml::train_test_split(full, 0.25, rng);
+    ml::RandomForest small(ml::RandomForest::Config{.num_trees = 2});
+    ml::RandomForest big(ml::RandomForest::Config{.num_trees = GetParam()});
+    ml::Rng ra(99), rb(99);
+    small.fit(split.train, ra);
+    big.fit(split.train, rb);
+    const double err_small = ml::mse(split.test.y, small.predict_batch(split.test.x));
+    const double err_big = ml::mse(split.test.y, big.predict_batch(split.test.x));
+    EXPECT_LT(err_big, err_small * 1.1);  // allow small noise margin
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ForestSizeSweep, ::testing::Values(10u, 30u, 80u));

@@ -1,0 +1,130 @@
+#include "mlcore/gbt.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mlcore/linear.hpp"
+#include "mlcore/metrics.hpp"
+#include "test_util.hpp"
+
+namespace ml = xnfv::ml;
+using xnfv::testutil::make_linear_dataset;
+using xnfv::testutil::make_logistic_dataset;
+using xnfv::testutil::make_xor_dataset;
+
+TEST(Gbt, RegressionFitsSmoothFunction) {
+    ml::Rng rng(1);
+    const auto d = make_linear_dataset(std::vector<double>{3.0, -2.0}, 1.0, 1000, rng, 0.1);
+    ml::GradientBoostedTrees gbt(ml::GradientBoostedTrees::Config{.num_rounds = 150,
+                                                                  .learning_rate = 0.1});
+    gbt.fit(d, rng);
+    EXPECT_GT(ml::r2_score(d.y, gbt.predict_batch(d.x)), 0.95);
+}
+
+TEST(Gbt, MoreRoundsReduceTrainError) {
+    ml::Rng rng(2);
+    const auto d = make_linear_dataset(std::vector<double>{2.0}, 0.0, 500, rng);
+    ml::Rng ra(9), rb(9);
+    ml::GradientBoostedTrees few(ml::GradientBoostedTrees::Config{.num_rounds = 5});
+    ml::GradientBoostedTrees many(ml::GradientBoostedTrees::Config{.num_rounds = 100});
+    few.fit(d, ra);
+    many.fit(d, rb);
+    EXPECT_LT(ml::mse(d.y, many.predict_batch(d.x)), ml::mse(d.y, few.predict_batch(d.x)));
+}
+
+TEST(Gbt, BaseScoreIsMeanForRegression) {
+    ml::Rng rng(3);
+    auto d = make_linear_dataset(std::vector<double>{1.0}, 5.0, 200, rng);
+    ml::GradientBoostedTrees gbt(ml::GradientBoostedTrees::Config{.num_rounds = 1});
+    gbt.fit(d, rng);
+    double mean = 0.0;
+    for (double v : d.y) mean += v;
+    mean /= static_cast<double>(d.size());
+    EXPECT_NEAR(gbt.base_score(), mean, 1e-9);
+}
+
+TEST(Gbt, ClassificationSolvesXor) {
+    ml::Rng rng(4);
+    const auto d = make_xor_dataset(1200, rng);
+    ml::GradientBoostedTrees gbt(ml::GradientBoostedTrees::Config{.num_rounds = 80});
+    gbt.fit(d, rng);
+    EXPECT_GT(ml::roc_auc(d.y, gbt.predict_batch(d.x)), 0.97);
+}
+
+TEST(Gbt, ClassificationOutputsProbabilities) {
+    ml::Rng rng(5);
+    const auto d = make_logistic_dataset(std::vector<double>{2.0}, 0.0, 400, rng);
+    ml::GradientBoostedTrees gbt(ml::GradientBoostedTrees::Config{.num_rounds = 30});
+    gbt.fit(d, rng);
+    for (std::size_t i = 0; i < d.size(); ++i) {
+        const double p = gbt.predict(d.x.row(i));
+        EXPECT_GE(p, 0.0);
+        EXPECT_LE(p, 1.0);
+    }
+}
+
+TEST(Gbt, MarginAndProbabilityConsistent) {
+    ml::Rng rng(6);
+    const auto d = make_logistic_dataset(std::vector<double>{2.0, 1.0}, 0.0, 500, rng);
+    ml::GradientBoostedTrees gbt(ml::GradientBoostedTrees::Config{.num_rounds = 20});
+    gbt.fit(d, rng);
+    for (std::size_t i = 0; i < 20; ++i) {
+        const auto x = d.x.row(i);
+        EXPECT_NEAR(gbt.predict(x), ml::sigmoid(gbt.predict_margin(x)), 1e-12);
+    }
+}
+
+TEST(Gbt, MarginEqualsPredictForRegression) {
+    ml::Rng rng(7);
+    const auto d = make_linear_dataset(std::vector<double>{1.0}, 0.0, 200, rng);
+    ml::GradientBoostedTrees gbt(ml::GradientBoostedTrees::Config{.num_rounds = 10});
+    gbt.fit(d, rng);
+    const std::vector<double> x{0.5};
+    EXPECT_DOUBLE_EQ(gbt.predict(x), gbt.predict_margin(x));
+}
+
+TEST(Gbt, SubsamplingStillLearns) {
+    ml::Rng rng(8);
+    const auto d = make_linear_dataset(std::vector<double>{4.0}, 0.0, 800, rng, 0.2);
+    ml::GradientBoostedTrees gbt(ml::GradientBoostedTrees::Config{
+        .num_rounds = 120, .learning_rate = 0.1, .subsample = 0.5});
+    gbt.fit(d, rng);
+    EXPECT_GT(ml::r2_score(d.y, gbt.predict_batch(d.x)), 0.9);
+}
+
+TEST(Gbt, ImportancesNormalizedAndInformative) {
+    ml::Rng rng(9);
+    ml::Dataset d;
+    d.task = ml::Task::regression;
+    for (int i = 0; i < 600; ++i) {
+        const double a = rng.uniform(-1, 1), b = rng.uniform(-1, 1);
+        d.add(std::vector<double>{a, b}, 7.0 * a);
+    }
+    ml::GradientBoostedTrees gbt(ml::GradientBoostedTrees::Config{.num_rounds = 40});
+    gbt.fit(d, rng);
+    const auto imp = gbt.feature_importances();
+    EXPECT_GT(imp[0], 0.8);
+    EXPECT_NEAR(imp[0] + imp[1], 1.0, 1e-9);
+}
+
+TEST(Gbt, ThrowsOnMisuse) {
+    ml::Rng rng(10);
+    ml::GradientBoostedTrees gbt;
+    EXPECT_THROW((void)gbt.predict(std::vector<double>{1.0}), std::logic_error);
+    EXPECT_THROW(gbt.fit(ml::Dataset{}, rng), std::invalid_argument);
+}
+
+// Sweep: learning-rate / rounds trade-off — with rounds scaled inversely to
+// the learning rate, all configurations reach a good fit.
+class GbtLrSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(GbtLrSweep, EquivalentBudgetsFitWell) {
+    const double lr = GetParam();
+    ml::Rng rng(11);
+    const auto d = make_linear_dataset(std::vector<double>{2.0, -1.0}, 0.0, 600, rng, 0.1);
+    ml::GradientBoostedTrees gbt(ml::GradientBoostedTrees::Config{
+        .num_rounds = static_cast<std::size_t>(20.0 / lr), .learning_rate = lr});
+    gbt.fit(d, rng);
+    EXPECT_GT(ml::r2_score(d.y, gbt.predict_batch(d.x)), 0.9);
+}
+
+INSTANTIATE_TEST_SUITE_P(LearningRates, GbtLrSweep, ::testing::Values(0.05, 0.1, 0.2, 0.4));

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "nfv/chain.hpp"
+#include "nfv/infrastructure.hpp"
+#include "nfv/placement.hpp"
+
+namespace nfv = xnfv::nfv;
+namespace ml = xnfv::ml;
+
+namespace {
+
+nfv::Infrastructure small_pop(std::size_t servers = 3) {
+    return nfv::Infrastructure::homogeneous_pop(servers, nfv::Server{});
+}
+
+nfv::Deployment chain_of(std::size_t vnfs, double cores) {
+    nfv::Deployment dep;
+    std::vector<nfv::VnfType> types(vnfs, nfv::VnfType::firewall);
+    nfv::make_chain(dep, "c", types, cores);
+    return dep;
+}
+
+}  // namespace
+
+TEST(Infrastructure, HomogeneousPopTopology) {
+    const auto infra = small_pop(3);
+    EXPECT_EQ(infra.servers().size(), 3u);
+    // 3 gateway links + 3*2 inter-server links.
+    EXPECT_EQ(infra.links().size(), 9u);
+    // Gateway -> each server exists.
+    for (std::int32_t s = 0; s < 3; ++s) EXPECT_NO_THROW((void)infra.link_between(-1, s));
+    // Server -> itself does not exist.
+    EXPECT_THROW((void)infra.link_between(1, 1), std::out_of_range);
+}
+
+TEST(Infrastructure, NeedsHop) {
+    EXPECT_TRUE(nfv::Infrastructure::needs_hop(-1, 0));
+    EXPECT_TRUE(nfv::Infrastructure::needs_hop(0, 1));
+    EXPECT_FALSE(nfv::Infrastructure::needs_hop(2, 2));
+}
+
+TEST(Deployment, AddChainValidatesVnfIds) {
+    nfv::Deployment dep;
+    nfv::ServiceChain c;
+    c.vnf_ids = {99};
+    EXPECT_THROW((void)dep.add_chain(c), std::out_of_range);
+    nfv::ServiceChain empty;
+    EXPECT_THROW((void)dep.add_chain(empty), std::invalid_argument);
+}
+
+TEST(Deployment, MakeChainAssignsRulesToMatchers) {
+    nfv::Deployment dep;
+    nfv::make_chain(dep, "mix",
+                    {nfv::VnfType::firewall, nfv::VnfType::nat, nfv::VnfType::ids}, 1.0,
+                    {}, 777);
+    EXPECT_EQ(dep.vnf(0).num_rules, 777u);  // firewall
+    EXPECT_EQ(dep.vnf(1).num_rules, 0u);    // nat
+    EXPECT_EQ(dep.vnf(2).num_rules, 777u);  // ids
+}
+
+TEST(Placement, FirstFitPacksInOrder) {
+    auto infra = small_pop(3);
+    auto dep = chain_of(4, 8.0);  // 16-core servers: two VNFs per server
+    ml::Rng rng(1);
+    EXPECT_TRUE(nfv::place(dep, infra, nfv::PlacementStrategy::first_fit, rng));
+    EXPECT_EQ(dep.vnf(0).server, 0);
+    EXPECT_EQ(dep.vnf(1).server, 0);
+    EXPECT_EQ(dep.vnf(2).server, 1);
+    EXPECT_EQ(dep.vnf(3).server, 1);
+}
+
+TEST(Placement, WorstFitSpreads) {
+    auto infra = small_pop(3);
+    auto dep = chain_of(3, 1.0);
+    ml::Rng rng(2);
+    EXPECT_TRUE(nfv::place(dep, infra, nfv::PlacementStrategy::worst_fit, rng));
+    // Each VNF should land on a different server.
+    EXPECT_NE(dep.vnf(0).server, dep.vnf(1).server);
+    EXPECT_NE(dep.vnf(1).server, dep.vnf(2).server);
+}
+
+TEST(Placement, CapacityIsRespected) {
+    auto infra = small_pop(2);  // 2 x 16 cores
+    auto dep = chain_of(5, 8.0);  // 40 cores demanded > 32 available
+    ml::Rng rng(3);
+    EXPECT_FALSE(nfv::place(dep, infra, nfv::PlacementStrategy::first_fit, rng));
+    const auto used = nfv::committed_cores(dep, infra);
+    for (std::size_t s = 0; s < used.size(); ++s)
+        EXPECT_LE(used[s], infra.servers()[s].cores + 1e-9);
+    // Exactly one VNF left unplaced.
+    int unplaced = 0;
+    for (const auto& v : dep.vnfs) unplaced += v.server < 0;
+    EXPECT_EQ(unplaced, 1);
+}
+
+TEST(Placement, RandomFitIsFeasible) {
+    auto infra = small_pop(4);
+    auto dep = chain_of(6, 4.0);
+    ml::Rng rng(4);
+    EXPECT_TRUE(nfv::place(dep, infra, nfv::PlacementStrategy::random_fit, rng));
+    const auto used = nfv::committed_cores(dep, infra);
+    for (std::size_t s = 0; s < used.size(); ++s)
+        EXPECT_LE(used[s], infra.servers()[s].cores + 1e-9);
+}
+
+TEST(Placement, AlreadyPlacedVnfsUntouched) {
+    auto infra = small_pop(2);
+    auto dep = chain_of(2, 1.0);
+    dep.vnf(0).server = 1;  // pre-pinned
+    ml::Rng rng(5);
+    EXPECT_TRUE(nfv::place(dep, infra, nfv::PlacementStrategy::first_fit, rng));
+    EXPECT_EQ(dep.vnf(0).server, 1);
+}
+
+TEST(Placement, StrategyNames) {
+    EXPECT_STREQ(nfv::to_string(nfv::PlacementStrategy::first_fit), "first_fit");
+    EXPECT_STREQ(nfv::to_string(nfv::PlacementStrategy::best_fit), "best_fit");
+    EXPECT_STREQ(nfv::to_string(nfv::PlacementStrategy::worst_fit), "worst_fit");
+    EXPECT_STREQ(nfv::to_string(nfv::PlacementStrategy::random_fit), "random_fit");
+}
+
+// Sweep: all strategies produce feasible placements when capacity suffices.
+class PlacementStrategySweep
+    : public ::testing::TestWithParam<nfv::PlacementStrategy> {};
+
+TEST_P(PlacementStrategySweep, FeasibleWhenCapacityIsAmple) {
+    auto infra = small_pop(4);
+    auto dep = chain_of(8, 2.0);
+    ml::Rng rng(6);
+    EXPECT_TRUE(nfv::place(dep, infra, GetParam(), rng));
+    for (const auto& v : dep.vnfs) EXPECT_GE(v.server, 0);
+    const auto used = nfv::committed_cores(dep, infra);
+    for (std::size_t s = 0; s < used.size(); ++s)
+        EXPECT_LE(used[s], infra.servers()[s].cores + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, PlacementStrategySweep,
+                         ::testing::Values(nfv::PlacementStrategy::first_fit,
+                                           nfv::PlacementStrategy::best_fit,
+                                           nfv::PlacementStrategy::worst_fit,
+                                           nfv::PlacementStrategy::random_fit));

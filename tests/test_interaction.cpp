@@ -1,0 +1,106 @@
+#include "core/interaction.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mlcore/forest.hpp"
+#include "test_util.hpp"
+
+namespace xai = xnfv::xai;
+namespace ml = xnfv::ml;
+using xnfv::testutil::make_uniform_background;
+
+TEST(FriedmanH, ZeroForAdditiveModel) {
+    ml::Rng rng(1);
+    const xai::BackgroundData background(make_uniform_background(64, 3, rng));
+    const ml::LambdaModel model(3, [](std::span<const double> x) {
+        return 2.0 * x[0] + std::sin(x[1]) - x[2] * x[2];
+    });
+    EXPECT_NEAR(xai::friedman_h2(model, background, 0, 1), 0.0, 1e-9);
+    EXPECT_NEAR(xai::friedman_h2(model, background, 1, 2), 0.0, 1e-9);
+}
+
+TEST(FriedmanH, OneForPureInteraction) {
+    // f = x0 * x1 over a zero-mean background: PD_j are ~0, the joint PD is
+    // the product surface, so H^2 -> 1.
+    ml::Rng rng(2);
+    const xai::BackgroundData background(make_uniform_background(128, 2, rng));
+    const ml::LambdaModel model(2, [](std::span<const double> x) { return x[0] * x[1]; });
+    EXPECT_GT(xai::friedman_h2(model, background, 0, 1), 0.9);
+}
+
+TEST(FriedmanH, MixedModelIntermediate) {
+    ml::Rng rng(3);
+    const xai::BackgroundData background(make_uniform_background(128, 2, rng));
+    const ml::LambdaModel model(2, [](std::span<const double> x) {
+        return 2.0 * x[0] + 2.0 * x[1] + x[0] * x[1];
+    });
+    const double h2 = xai::friedman_h2(model, background, 0, 1);
+    EXPECT_GT(h2, 0.01);
+    EXPECT_LT(h2, 0.5);
+}
+
+TEST(FriedmanH, SymmetricInArguments) {
+    ml::Rng rng(4);
+    const xai::BackgroundData background(make_uniform_background(64, 3, rng));
+    const ml::LambdaModel model(3, [](std::span<const double> x) {
+        return x[0] * x[1] + x[2];
+    });
+    EXPECT_DOUBLE_EQ(xai::friedman_h2(model, background, 0, 1),
+                     xai::friedman_h2(model, background, 1, 0));
+}
+
+TEST(FriedmanH, ConstantModelGivesZeroNotNan) {
+    ml::Rng rng(5);
+    const xai::BackgroundData background(make_uniform_background(32, 2, rng));
+    const ml::LambdaModel model(2, [](std::span<const double>) { return 7.0; });
+    EXPECT_DOUBLE_EQ(xai::friedman_h2(model, background, 0, 1), 0.0);
+}
+
+TEST(FriedmanH, RejectsMisuse) {
+    ml::Rng rng(6);
+    const ml::LambdaModel model(2, [](std::span<const double>) { return 0.0; });
+    EXPECT_THROW((void)xai::friedman_h2(model, xai::BackgroundData{}, 0, 1),
+                 std::invalid_argument);
+    const xai::BackgroundData background(make_uniform_background(16, 2, rng));
+    EXPECT_THROW((void)xai::friedman_h2(model, background, 0, 0), std::invalid_argument);
+    EXPECT_THROW((void)xai::friedman_h2(model, background, 0, 5), std::invalid_argument);
+}
+
+TEST(InteractionMatrix, FindsThePlantedPair) {
+    ml::Rng rng(7);
+    const xai::BackgroundData background(make_uniform_background(96, 4, rng));
+    // Only (1, 3) interact.
+    const ml::LambdaModel model(4, [](std::span<const double> x) {
+        return x[0] + 2.0 * x[2] + 3.0 * x[1] * x[3];
+    });
+    const auto h = xai::interaction_matrix(model, background,
+                                           xai::InteractionOptions{.max_points = 48});
+    ASSERT_EQ(h.size(), 4u);
+    EXPECT_GT(h[1][3], 0.5);
+    EXPECT_DOUBLE_EQ(h[1][3], h[3][1]);
+    EXPECT_NEAR(h[0][2], 0.0, 1e-6);
+    EXPECT_DOUBLE_EQ(h[0][0], 0.0);  // zero diagonal
+}
+
+TEST(InteractionMatrix, WorksOnTreeEnsembles) {
+    // Forests learn interactions via nested splits; H must detect the XOR
+    // coupling between the two informative features.
+    ml::Rng rng(8);
+    ml::Dataset data;
+    data.task = ml::Task::regression;
+    for (int i = 0; i < 1500; ++i) {
+        const double a = rng.uniform(-1, 1), b = rng.uniform(-1, 1),
+                     c = rng.uniform(-1, 1);
+        data.add(std::vector<double>{a, b, c}, ((a > 0) != (b > 0)) ? 5.0 : -5.0);
+    }
+    ml::RandomForest forest(ml::RandomForest::Config{.num_trees = 40});
+    forest.fit(data, rng);
+    const xai::BackgroundData background(data.x, 64);
+    const auto h = xai::interaction_matrix(forest, background,
+                                           xai::InteractionOptions{.max_points = 32});
+    EXPECT_GT(h[0][1], h[0][2]);
+    EXPECT_GT(h[0][1], h[1][2]);
+    EXPECT_GT(h[0][1], 0.3);
+}

@@ -1,0 +1,188 @@
+#include "core/kernel_shap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/exact_shapley.hpp"
+#include "test_util.hpp"
+
+namespace xai = xnfv::xai;
+namespace ml = xnfv::ml;
+using xnfv::testutil::make_uniform_background;
+using xnfv::testutil::max_abs_diff;
+
+namespace {
+
+ml::LambdaModel interaction_model(std::size_t d = 5) {
+    return ml::LambdaModel(d, [](std::span<const double> x) {
+        double v = 1.0 + 2.0 * x[0] - 1.5 * x[1] + x[2] * x[3];
+        if (x.size() > 4) v += std::sin(2.0 * x[4]);
+        return v;
+    });
+}
+
+}  // namespace
+
+TEST(KernelShap, MatchesExactWhenBudgetEnumeratesEverything) {
+    // d = 5 => 30 interior coalitions; a 64-coalition budget enumerates all,
+    // making KernelSHAP *exactly* the Shapley values (Lundberg-Lee theorem).
+    ml::Rng rng(1);
+    const auto bg = make_uniform_background(64, 5, rng);
+    const xai::BackgroundData background(bg);
+    const auto model = interaction_model();
+    const std::vector<double> x{0.3, -0.7, 0.9, 0.2, -0.4};
+
+    xai::ExactShapley exact(background);
+    const auto truth = exact.explain(model, x);
+
+    xai::KernelShap ks(background, ml::Rng(7),
+                       xai::KernelShap::Config{.max_coalitions = 64});
+    const auto approx = ks.explain(model, x);
+
+    EXPECT_LT(max_abs_diff(truth.attributions, approx.attributions), 1e-6);
+    EXPECT_NEAR(truth.base_value, approx.base_value, 1e-9);
+}
+
+TEST(KernelShap, EfficiencyHoldsExactlyEvenWhenSampling) {
+    // The constraint is eliminated algebraically, so efficiency holds for
+    // any budget, not just full enumeration.
+    ml::Rng rng(2);
+    const xai::BackgroundData background(make_uniform_background(32, 8, rng));
+    const ml::LambdaModel model(8, [](std::span<const double> x) {
+        double v = 0.0;
+        for (std::size_t i = 0; i < x.size(); ++i) v += (i % 2 ? -1.0 : 1.0) * x[i] * x[i];
+        return v;
+    });
+    const std::vector<double> x(8, 0.5);
+    xai::KernelShap ks(background, ml::Rng(3),
+                       xai::KernelShap::Config{.max_coalitions = 40});
+    const auto e = ks.explain(model, x);
+    EXPECT_NEAR(e.additive_reconstruction(), e.prediction, 1e-6);
+}
+
+TEST(KernelShap, LinearModelRecoveredWithSmallBudget) {
+    ml::Rng rng(3);
+    const xai::BackgroundData background(make_uniform_background(64, 4, rng));
+    const ml::LambdaModel model(4, [](std::span<const double> x) {
+        return 4.0 * x[0] - 2.0 * x[1] + x[2] - 0.5 * x[3];
+    });
+    const std::vector<double> x{0.9, -0.9, 0.5, -0.5};
+    xai::KernelShap ks(background, ml::Rng(4),
+                       xai::KernelShap::Config{.max_coalitions = 14});  // full for d=4
+    const auto e = ks.explain(model, x);
+    const auto& mu = background.means();
+    EXPECT_NEAR(e.attributions[0], 4.0 * (x[0] - mu[0]), 1e-6);
+    EXPECT_NEAR(e.attributions[1], -2.0 * (x[1] - mu[1]), 1e-6);
+    EXPECT_NEAR(e.attributions[2], 1.0 * (x[2] - mu[2]), 1e-6);
+    EXPECT_NEAR(e.attributions[3], -0.5 * (x[3] - mu[3]), 1e-6);
+}
+
+TEST(KernelShap, SingleFeatureGetsFullDelta) {
+    ml::Rng rng(4);
+    const xai::BackgroundData background(make_uniform_background(32, 1, rng));
+    const ml::LambdaModel model(1, [](std::span<const double> x) { return 5.0 * x[0]; });
+    xai::KernelShap ks(background, ml::Rng(5));
+    const auto e = ks.explain(model, std::vector<double>{0.8});
+    EXPECT_NEAR(e.attributions[0], e.prediction - e.base_value, 1e-9);
+}
+
+TEST(KernelShap, SamplingConvergesToExactWithBudget) {
+    // d = 12 is too big to fully enumerate with a small budget; error vs the
+    // exact values must shrink as the budget grows.
+    ml::Rng rng(5);
+    const xai::BackgroundData background(make_uniform_background(16, 12, rng));
+    const ml::LambdaModel model(12, [](std::span<const double> x) {
+        double v = 0.0;
+        for (std::size_t i = 0; i + 1 < x.size(); i += 2) v += x[i] * x[i + 1];
+        return v + x[0];
+    });
+    const std::vector<double> x(12, 0.6);
+
+    xai::ExactShapley exact(background);
+    const auto truth = exact.explain(model, x);
+
+    auto error_at = [&](std::size_t budget) {
+        xai::KernelShap ks(background, ml::Rng(99),
+                           xai::KernelShap::Config{.max_coalitions = budget});
+        return max_abs_diff(truth.attributions, ks.explain(model, x).attributions);
+    };
+    const double coarse = error_at(80);
+    const double fine = error_at(2000);
+    EXPECT_LT(fine, coarse);
+    EXPECT_LT(fine, 0.05);
+}
+
+TEST(KernelShap, PairedSamplingReducesError) {
+    ml::Rng rng(6);
+    const xai::BackgroundData background(make_uniform_background(16, 11, rng));
+    const ml::LambdaModel model(11, [](std::span<const double> x) {
+        double v = 0.0;
+        for (std::size_t i = 0; i < x.size(); ++i) v += x[i] * x[(i + 1) % x.size()];
+        return v;
+    });
+    const std::vector<double> x(11, 0.5);
+    xai::ExactShapley exact(background);
+    const auto truth = exact.explain(model, x);
+
+    // Average error over several seeds for a stable comparison.
+    auto mean_error = [&](bool paired) {
+        double total = 0.0;
+        for (std::uint64_t seed = 0; seed < 5; ++seed) {
+            xai::KernelShap ks(background, ml::Rng(seed),
+                               xai::KernelShap::Config{.max_coalitions = 150,
+                                                       .paired_sampling = paired});
+            total += max_abs_diff(truth.attributions, ks.explain(model, x).attributions);
+        }
+        return total / 5.0;
+    };
+    EXPECT_LT(mean_error(true), mean_error(false) * 1.25);  // paired no worse; usually better
+}
+
+TEST(KernelShap, DummyFeatureNearZero) {
+    ml::Rng rng(7);
+    const xai::BackgroundData background(make_uniform_background(32, 6, rng));
+    const ml::LambdaModel model(6, [](std::span<const double> x) {
+        return x[0] * x[1] + 2.0 * x[2];  // x3..x5 unused
+    });
+    const std::vector<double> x{0.5, 0.5, 0.5, 0.5, 0.5, 0.5};
+    xai::KernelShap ks(background, ml::Rng(8),
+                       xai::KernelShap::Config{.max_coalitions = 62});  // full for d=6
+    const auto e = ks.explain(model, x);
+    EXPECT_NEAR(e.attributions[4], 0.0, 1e-6);
+    EXPECT_NEAR(e.attributions[5], 0.0, 1e-6);
+}
+
+TEST(KernelShap, RejectsMisuse) {
+    ml::Rng rng(8);
+    const auto model = interaction_model();
+    xai::KernelShap empty_bg(xai::BackgroundData{}, ml::Rng(1));
+    EXPECT_THROW((void)empty_bg.explain(model, std::vector<double>(5, 0.0)),
+                 std::invalid_argument);
+    xai::KernelShap ok(xai::BackgroundData(make_uniform_background(8, 5, rng)), ml::Rng(1));
+    EXPECT_THROW((void)ok.explain(model, std::vector<double>(4, 0.0)),
+                 std::invalid_argument);
+}
+
+// A1-style sweep: error decreases (weakly) with coalition budget.
+class KernelShapBudgetSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(KernelShapBudgetSweep, ErrorBoundedByBudgetTier) {
+    ml::Rng rng(9);
+    const xai::BackgroundData background(make_uniform_background(16, 10, rng));
+    const ml::LambdaModel model(10, [](std::span<const double> x) {
+        return x[0] * x[1] + x[2] - x[3] * x[4] * x[5];
+    });
+    const std::vector<double> x(10, 0.4);
+    xai::ExactShapley exact(background);
+    const auto truth = exact.explain(model, x);
+    xai::KernelShap ks(background, ml::Rng(11),
+                       xai::KernelShap::Config{.max_coalitions = GetParam()});
+    const auto e = ks.explain(model, x);
+    // Very loose bound — asserts sanity, not tight convergence rates.
+    EXPECT_LT(max_abs_diff(truth.attributions, e.attributions), 0.5);
+    EXPECT_NEAR(e.additive_reconstruction(), e.prediction, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, KernelShapBudgetSweep,
+                         ::testing::Values(64u, 256u, 1024u));

@@ -1,0 +1,160 @@
+#include "core/lime.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mlcore/forest.hpp"
+#include "test_util.hpp"
+
+namespace xai = xnfv::xai;
+namespace ml = xnfv::ml;
+using xnfv::testutil::make_uniform_background;
+
+TEST(Lime, RecoversLinearModelSlopes) {
+    ml::Rng rng(1);
+    const xai::BackgroundData background(make_uniform_background(256, 3, rng));
+    const ml::LambdaModel model(3, [](std::span<const double> x) {
+        return 1.0 + 4.0 * x[0] - 2.0 * x[1] + 0.0 * x[2];
+    });
+    xai::Lime lime(background, ml::Rng(2), xai::Lime::Config{.num_samples = 4000});
+    const std::vector<double> x{0.3, -0.6, 0.5};
+    (void)lime.explain(model, x);
+    const auto& coef = lime.last_fit().coefficients;
+    EXPECT_NEAR(coef[0], 4.0, 0.1);
+    EXPECT_NEAR(coef[1], -2.0, 0.1);
+    EXPECT_NEAR(coef[2], 0.0, 0.1);
+}
+
+TEST(Lime, AttributionsAreEffectsRelativeToMean) {
+    ml::Rng rng(2);
+    const xai::BackgroundData background(make_uniform_background(256, 2, rng));
+    const ml::LambdaModel model(2, [](std::span<const double> x) {
+        return 3.0 * x[0] + x[1];
+    });
+    xai::Lime lime(background, ml::Rng(3), xai::Lime::Config{.num_samples = 4000});
+    const std::vector<double> x{0.8, -0.4};
+    const auto e = lime.explain(model, x);
+    const auto& mu = background.means();
+    EXPECT_NEAR(e.attributions[0], 3.0 * (x[0] - mu[0]), 0.1);
+    EXPECT_NEAR(e.attributions[1], 1.0 * (x[1] - mu[1]), 0.1);
+}
+
+TEST(Lime, HighFidelityOnLinearModels) {
+    ml::Rng rng(3);
+    const xai::BackgroundData background(make_uniform_background(128, 4, rng));
+    const ml::LambdaModel model(4, [](std::span<const double> x) {
+        return x[0] - x[1] + 2.0 * x[2] - 0.5 * x[3];
+    });
+    xai::Lime lime(background, ml::Rng(4));
+    (void)lime.explain(model, std::vector<double>{0.1, 0.2, 0.3, 0.4});
+    EXPECT_GT(lime.last_fit().weighted_r2, 0.999);
+}
+
+TEST(Lime, LowerFidelityOnHighlyNonlinearModels) {
+    ml::Rng rng(4);
+    const xai::BackgroundData background(make_uniform_background(128, 2, rng));
+    const ml::LambdaModel model(2, [](std::span<const double> x) {
+        return std::sin(8.0 * x[0]) * std::cos(8.0 * x[1]);
+    });
+    xai::Lime lime(background, ml::Rng(5),
+                   xai::Lime::Config{.num_samples = 2000, .perturbation_scale = 1.0});
+    (void)lime.explain(model, std::vector<double>{0.0, 0.0});
+    EXPECT_LT(lime.last_fit().weighted_r2, 0.8);
+}
+
+TEST(Lime, NarrowKernelImprovesLocalFidelity) {
+    // F1's central claim: a tighter kernel makes the linear surrogate more
+    // faithful in the neighborhood of x for a smooth nonlinear model.
+    ml::Rng rng(5);
+    const xai::BackgroundData background(make_uniform_background(128, 2, rng));
+    const ml::LambdaModel model(2, [](std::span<const double> x) {
+        return x[0] * x[0] + x[1] * x[1];
+    });
+    xai::Lime wide(background, ml::Rng(6),
+                   xai::Lime::Config{.num_samples = 3000, .kernel_width = 5.0});
+    xai::Lime narrow(background, ml::Rng(6),
+                     xai::Lime::Config{.num_samples = 3000, .kernel_width = 0.3});
+    const std::vector<double> x{0.7, -0.7};
+    (void)wide.explain(model, x);
+    (void)narrow.explain(model, x);
+    EXPECT_GT(narrow.last_fit().weighted_r2, wide.last_fit().weighted_r2);
+}
+
+TEST(Lime, GradientDirectionOnSmoothModel) {
+    // At x = (0.5, -0.5), f = x0^2 + x1^2 has local slopes (1, -1): the LIME
+    // coefficients must match the local gradient, not the global trend.
+    ml::Rng rng(6);
+    const xai::BackgroundData background(make_uniform_background(128, 2, rng));
+    const ml::LambdaModel model(2, [](std::span<const double> x) {
+        return x[0] * x[0] + x[1] * x[1];
+    });
+    xai::Lime lime(background, ml::Rng(7),
+                   xai::Lime::Config{.num_samples = 6000, .kernel_width = 0.2,
+                                     .perturbation_scale = 0.3});
+    (void)lime.explain(model, std::vector<double>{0.5, -0.5});
+    const auto& coef = lime.last_fit().coefficients;
+    EXPECT_NEAR(coef[0], 1.0, 0.25);
+    EXPECT_NEAR(coef[1], -1.0, 0.25);
+}
+
+TEST(Lime, DeterministicGivenSeed) {
+    ml::Rng rng(7);
+    const xai::BackgroundData background(make_uniform_background(64, 2, rng));
+    const ml::LambdaModel model(2, [](std::span<const double> x) { return x[0] * x[1]; });
+    xai::Lime a(background, ml::Rng(11));
+    xai::Lime b(background, ml::Rng(11));
+    const std::vector<double> x{0.2, 0.4};
+    const auto ea = a.explain(model, x);
+    const auto eb = b.explain(model, x);
+    EXPECT_DOUBLE_EQ(ea.attributions[0], eb.attributions[0]);
+}
+
+TEST(Lime, WorksOnTreeModels) {
+    ml::Rng rng(8);
+    ml::Dataset data;
+    data.task = ml::Task::regression;
+    for (int i = 0; i < 600; ++i) {
+        const double a = rng.uniform(-1, 1), b = rng.uniform(-1, 1);
+        data.add(std::vector<double>{a, b}, 5.0 * a + b);
+    }
+    ml::RandomForest forest(ml::RandomForest::Config{.num_trees = 30});
+    forest.fit(data, rng);
+    const xai::BackgroundData background(data.x, 128);
+    xai::Lime lime(background, ml::Rng(9), xai::Lime::Config{.num_samples = 3000});
+    const auto e = lime.explain(forest, std::vector<double>{0.5, 0.5});
+    // Feature 0 has 5x the slope of feature 1.
+    EXPECT_GT(std::abs(e.attributions[0]), std::abs(e.attributions[1]));
+}
+
+TEST(Lime, RejectsMisuse) {
+    ml::Rng rng(9);
+    EXPECT_THROW(xai::Lime(xai::BackgroundData{}, ml::Rng(1)), std::invalid_argument);
+    const xai::BackgroundData background(make_uniform_background(16, 3, rng));
+    xai::Lime lime(background, ml::Rng(1), xai::Lime::Config{.num_samples = 2});
+    const ml::LambdaModel model(3, [](std::span<const double>) { return 0.0; });
+    EXPECT_THROW((void)lime.explain(model, std::vector<double>(3, 0.0)),
+                 std::invalid_argument);
+    xai::Lime ok(background, ml::Rng(1));
+    EXPECT_THROW((void)ok.explain(model, std::vector<double>(2, 0.0)),
+                 std::invalid_argument);
+}
+
+// Sweep: slope recovery is robust across instances.
+class LimeInstanceSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(LimeInstanceSweep, SlopeRecoveredAtVariousPoints) {
+    ml::Rng rng(10);
+    const xai::BackgroundData background(make_uniform_background(128, 2, rng));
+    const ml::LambdaModel model(2, [](std::span<const double> x) {
+        return 2.0 * x[0] - 3.0 * x[1];
+    });
+    xai::Lime lime(background, ml::Rng(12), xai::Lime::Config{.num_samples = 3000});
+    const double t = GetParam();
+    (void)lime.explain(model, std::vector<double>{t, -t});
+    EXPECT_NEAR(lime.last_fit().coefficients[0], 2.0, 0.15);
+    EXPECT_NEAR(lime.last_fit().coefficients[1], -3.0, 0.15);
+}
+
+INSTANTIATE_TEST_SUITE_P(Points, LimeInstanceSweep,
+                         ::testing::Values(-0.8, -0.3, 0.0, 0.3, 0.8));

@@ -1,0 +1,125 @@
+#include "mlcore/linear.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mlcore/metrics.hpp"
+#include "test_util.hpp"
+
+namespace ml = xnfv::ml;
+using xnfv::testutil::make_linear_dataset;
+using xnfv::testutil::make_logistic_dataset;
+
+TEST(Sigmoid, KnownValuesAndStability) {
+    EXPECT_DOUBLE_EQ(ml::sigmoid(0.0), 0.5);
+    EXPECT_NEAR(ml::sigmoid(2.0), 1.0 / (1.0 + std::exp(-2.0)), 1e-15);
+    // No overflow at extremes.
+    EXPECT_NEAR(ml::sigmoid(1000.0), 1.0, 1e-12);
+    EXPECT_NEAR(ml::sigmoid(-1000.0), 0.0, 1e-12);
+    // Symmetry.
+    EXPECT_NEAR(ml::sigmoid(3.0) + ml::sigmoid(-3.0), 1.0, 1e-15);
+}
+
+TEST(LinearRegression, RecoversPlantedModelExactly) {
+    ml::Rng rng(1);
+    const std::vector<double> w{2.0, -3.0, 0.5};
+    const auto d = make_linear_dataset(w, 7.0, 200, rng);
+    ml::LinearRegression lr;
+    lr.fit(d);
+    for (std::size_t j = 0; j < w.size(); ++j)
+        EXPECT_NEAR(lr.coefficients()[j], w[j], 1e-4);
+    EXPECT_NEAR(lr.intercept(), 7.0, 1e-4);
+}
+
+TEST(LinearRegression, PredictMatchesCoefficients) {
+    ml::Rng rng(2);
+    const std::vector<double> w{1.5, -0.5};
+    const auto d = make_linear_dataset(w, 2.0, 100, rng);
+    ml::LinearRegression lr;
+    lr.fit(d);
+    const std::vector<double> x{0.3, -0.7};
+    EXPECT_NEAR(lr.predict(x), 2.0 + 1.5 * 0.3 + 0.5 * 0.7, 1e-3);
+}
+
+TEST(LinearRegression, NoisyFitStillClose) {
+    ml::Rng rng(3);
+    const std::vector<double> w{4.0};
+    const auto d = make_linear_dataset(w, 0.0, 2000, rng, /*noise=*/0.5);
+    ml::LinearRegression lr;
+    lr.fit(d);
+    EXPECT_NEAR(lr.coefficients()[0], 4.0, 0.1);
+}
+
+TEST(LinearRegression, StrongRidgeShrinksCoefficients) {
+    ml::Rng rng(4);
+    const std::vector<double> w{5.0};
+    const auto d = make_linear_dataset(w, 0.0, 100, rng);
+    ml::LinearRegression free(ml::LinearRegression::Config{.l2 = 1e-9});
+    ml::LinearRegression ridged(ml::LinearRegression::Config{.l2 = 1000.0});
+    free.fit(d);
+    ridged.fit(d);
+    EXPECT_LT(std::abs(ridged.coefficients()[0]), std::abs(free.coefficients()[0]));
+}
+
+TEST(LinearRegression, ThrowsOnEmptyAndMismatch) {
+    ml::LinearRegression lr;
+    EXPECT_THROW(lr.fit(ml::Dataset{}), std::invalid_argument);
+    ml::Rng rng(5);
+    lr.fit(make_linear_dataset(std::vector<double>{1.0}, 0.0, 10, rng));
+    EXPECT_THROW((void)lr.predict(std::vector<double>{1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(LogisticRegression, SeparatesLinearlySeparableData) {
+    ml::Rng rng(6);
+    const std::vector<double> w{4.0, -4.0};
+    const auto d = make_logistic_dataset(w, 0.0, 800, rng);
+    ml::LogisticRegression clf;
+    clf.fit(d);
+    const auto probs = clf.predict_batch(d.x);
+    EXPECT_GT(ml::roc_auc(d.y, probs), 0.85);
+}
+
+TEST(LogisticRegression, CoefficientSignsMatchGenerator) {
+    ml::Rng rng(7);
+    const std::vector<double> w{3.0, -2.0};
+    const auto d = make_logistic_dataset(w, 0.5, 1500, rng);
+    ml::LogisticRegression clf;
+    clf.fit(d);
+    EXPECT_GT(clf.coefficients()[0], 0.0);
+    EXPECT_LT(clf.coefficients()[1], 0.0);
+    EXPECT_GT(clf.intercept(), 0.0);
+}
+
+TEST(LogisticRegression, OutputsAreProbabilities) {
+    ml::Rng rng(8);
+    const auto d = make_logistic_dataset(std::vector<double>{1.0}, 0.0, 300, rng);
+    ml::LogisticRegression clf;
+    clf.fit(d);
+    for (std::size_t i = 0; i < d.size(); ++i) {
+        const double p = clf.predict(d.x.row(i));
+        EXPECT_GE(p, 0.0);
+        EXPECT_LE(p, 1.0);
+    }
+}
+
+TEST(LogisticRegression, MonotoneInPositiveFeature) {
+    ml::Rng rng(9);
+    const auto d = make_logistic_dataset(std::vector<double>{2.5}, 0.0, 1000, rng);
+    ml::LogisticRegression clf;
+    clf.fit(d);
+    EXPECT_LT(clf.predict(std::vector<double>{-1.0}), clf.predict(std::vector<double>{1.0}));
+}
+
+// Sweep: the fit improves with sample count (consistency property).
+class LogisticSampleSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LogisticSampleSweep, AucAboveChance) {
+    ml::Rng rng(GetParam());
+    const auto d =
+        make_logistic_dataset(std::vector<double>{3.0, -1.0}, 0.0, GetParam(), rng);
+    ml::LogisticRegression clf;
+    clf.fit(d);
+    EXPECT_GT(ml::roc_auc(d.y, clf.predict_batch(d.x)), 0.7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LogisticSampleSweep,
+                         ::testing::Values(200u, 500u, 1000u, 4000u));

@@ -1,0 +1,201 @@
+#include "mlcore/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "mlcore/rng.hpp"
+
+namespace ml = xnfv::ml;
+
+TEST(Matrix, ConstructionAndFill) {
+    ml::Matrix m(2, 3, 1.5);
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 3u);
+    for (std::size_t r = 0; r < 2; ++r)
+        for (std::size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(m(r, c), 1.5);
+}
+
+TEST(Matrix, FromRowsAndAccess) {
+    const auto m = ml::Matrix::from_rows({{1, 2}, {3, 4}, {5, 6}});
+    EXPECT_EQ(m.rows(), 3u);
+    EXPECT_EQ(m.cols(), 2u);
+    EXPECT_DOUBLE_EQ(m(2, 1), 6.0);
+}
+
+TEST(Matrix, PushRowMismatchThrows) {
+    ml::Matrix m;
+    m.push_row(std::vector<double>{1, 2, 3});
+    EXPECT_THROW(m.push_row(std::vector<double>{1, 2}), std::invalid_argument);
+}
+
+TEST(Matrix, ColExtraction) {
+    const auto m = ml::Matrix::from_rows({{1, 2}, {3, 4}});
+    const auto c = m.col(1);
+    ASSERT_EQ(c.size(), 2u);
+    EXPECT_DOUBLE_EQ(c[0], 2.0);
+    EXPECT_DOUBLE_EQ(c[1], 4.0);
+    EXPECT_THROW(m.col(5), std::out_of_range);
+}
+
+TEST(Matrix, Transpose) {
+    const auto m = ml::Matrix::from_rows({{1, 2, 3}, {4, 5, 6}});
+    const auto t = m.transposed();
+    EXPECT_EQ(t.rows(), 3u);
+    EXPECT_EQ(t.cols(), 2u);
+    for (std::size_t r = 0; r < 2; ++r)
+        for (std::size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(m(r, c), t(c, r));
+}
+
+TEST(Matrix, MatmulIdentity) {
+    const auto m = ml::Matrix::from_rows({{1, 2}, {3, 4}});
+    const auto i = ml::Matrix::identity(2);
+    const auto p = m.matmul(i);
+    for (std::size_t r = 0; r < 2; ++r)
+        for (std::size_t c = 0; c < 2; ++c) EXPECT_DOUBLE_EQ(p(r, c), m(r, c));
+}
+
+TEST(Matrix, MatmulKnownProduct) {
+    const auto a = ml::Matrix::from_rows({{1, 2}, {3, 4}});
+    const auto b = ml::Matrix::from_rows({{5, 6}, {7, 8}});
+    const auto p = a.matmul(b);
+    EXPECT_DOUBLE_EQ(p(0, 0), 19.0);
+    EXPECT_DOUBLE_EQ(p(0, 1), 22.0);
+    EXPECT_DOUBLE_EQ(p(1, 0), 43.0);
+    EXPECT_DOUBLE_EQ(p(1, 1), 50.0);
+}
+
+TEST(Matrix, MatmulShapeMismatchThrows) {
+    const ml::Matrix a(2, 3), b(2, 3);
+    EXPECT_THROW((void)a.matmul(b), std::invalid_argument);
+}
+
+TEST(Matrix, MatvecKnown) {
+    const auto m = ml::Matrix::from_rows({{1, 0, 2}, {0, 3, 0}});
+    const auto v = m.matvec(std::vector<double>{1, 1, 1});
+    ASSERT_EQ(v.size(), 2u);
+    EXPECT_DOUBLE_EQ(v[0], 3.0);
+    EXPECT_DOUBLE_EQ(v[1], 3.0);
+}
+
+TEST(Matrix, TakeRowsWithRepeats) {
+    const auto m = ml::Matrix::from_rows({{1, 1}, {2, 2}, {3, 3}});
+    const std::vector<std::size_t> idx{2, 0, 2};
+    const auto s = m.take_rows(idx);
+    EXPECT_EQ(s.rows(), 3u);
+    EXPECT_DOUBLE_EQ(s(0, 0), 3.0);
+    EXPECT_DOUBLE_EQ(s(1, 0), 1.0);
+    EXPECT_DOUBLE_EQ(s(2, 0), 3.0);
+    const std::vector<std::size_t> bad{7};
+    EXPECT_THROW((void)m.take_rows(bad), std::out_of_range);
+}
+
+TEST(Matrix, TakeCols) {
+    const auto m = ml::Matrix::from_rows({{1, 2, 3}, {4, 5, 6}});
+    const std::vector<std::size_t> idx{2, 0};
+    const auto s = m.take_cols(idx);
+    EXPECT_EQ(s.cols(), 2u);
+    EXPECT_DOUBLE_EQ(s(0, 0), 3.0);
+    EXPECT_DOUBLE_EQ(s(1, 1), 4.0);
+}
+
+TEST(SolveSpd, SolvesKnownSystem) {
+    // A = [[4,1],[1,3]], b = [1,2] -> x = [1/11, 7/11].
+    const auto a = ml::Matrix::from_rows({{4, 1}, {1, 3}});
+    const auto x = ml::solve_spd(a, std::vector<double>{1, 2});
+    ASSERT_EQ(x.size(), 2u);
+    EXPECT_NEAR(x[0], 1.0 / 11.0, 1e-12);
+    EXPECT_NEAR(x[1], 7.0 / 11.0, 1e-12);
+}
+
+TEST(SolveSpd, JitterHandlesSemidefinite) {
+    // Rank-1 PSD matrix; jitter should make it solvable without throwing.
+    const auto a = ml::Matrix::from_rows({{1, 1}, {1, 1}});
+    const auto x = ml::solve_spd(a, std::vector<double>{2, 2});
+    EXPECT_NEAR(x[0] + x[1], 2.0, 1e-3);
+}
+
+TEST(SolveSpd, RejectsNonSquare) {
+    const ml::Matrix a(2, 3);
+    EXPECT_THROW((void)ml::solve_spd(a, std::vector<double>{1, 2}), std::invalid_argument);
+}
+
+TEST(WeightedLeastSquares, RecoversExactCoefficients) {
+    // y = 2 x0 - 3 x1 with no noise: WLS must recover the plane exactly.
+    ml::Rng rng(1);
+    ml::Matrix x(50, 2);
+    std::vector<double> y(50), w(50, 1.0);
+    for (std::size_t i = 0; i < 50; ++i) {
+        x(i, 0) = rng.uniform(-1, 1);
+        x(i, 1) = rng.uniform(-1, 1);
+        y[i] = 2.0 * x(i, 0) - 3.0 * x(i, 1);
+    }
+    const auto beta = ml::weighted_least_squares(x, y, w);
+    EXPECT_NEAR(beta[0], 2.0, 1e-9);
+    EXPECT_NEAR(beta[1], -3.0, 1e-9);
+}
+
+TEST(WeightedLeastSquares, ZeroWeightSamplesIgnored) {
+    // Outlier with zero weight must not affect the fit.
+    ml::Matrix x(3, 1);
+    x(0, 0) = 1.0;
+    x(1, 0) = 2.0;
+    x(2, 0) = 3.0;
+    const std::vector<double> y{2.0, 4.0, 100.0};
+    const std::vector<double> w{1.0, 1.0, 0.0};
+    const auto beta = ml::weighted_least_squares(x, y, w);
+    EXPECT_NEAR(beta[0], 2.0, 1e-9);
+}
+
+TEST(WeightedLeastSquares, RidgeShrinks) {
+    ml::Rng rng(2);
+    ml::Matrix x(30, 1);
+    std::vector<double> y(30), w(30, 1.0);
+    for (std::size_t i = 0; i < 30; ++i) {
+        x(i, 0) = rng.uniform(-1, 1);
+        y[i] = 5.0 * x(i, 0);
+    }
+    const auto free = ml::weighted_least_squares(x, y, w, 0.0);
+    const auto ridged = ml::weighted_least_squares(x, y, w, 100.0);
+    EXPECT_LT(std::abs(ridged[0]), std::abs(free[0]));
+}
+
+TEST(VectorOps, DotAndNorm) {
+    const std::vector<double> a{3, 4}, b{1, 2};
+    EXPECT_DOUBLE_EQ(ml::dot(a, b), 11.0);
+    EXPECT_DOUBLE_EQ(ml::norm2(a), 5.0);
+    const std::vector<double> c{1};
+    EXPECT_THROW((void)ml::dot(a, c), std::invalid_argument);
+}
+
+TEST(VectorOps, MeanAndVariance) {
+    const std::vector<double> v{1, 2, 3, 4};
+    EXPECT_DOUBLE_EQ(ml::mean(v), 2.5);
+    EXPECT_DOUBLE_EQ(ml::variance(v), 1.25);
+    EXPECT_DOUBLE_EQ(ml::mean(std::vector<double>{}), 0.0);
+    EXPECT_DOUBLE_EQ(ml::variance(std::vector<double>{7.0}), 0.0);
+}
+
+// Property sweep: WLS exactness holds across dimensions.
+class WlsDimensionSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(WlsDimensionSweep, RecoversPlantedHyperplane) {
+    const std::size_t d = GetParam();
+    ml::Rng rng(d);
+    ml::Matrix x(20 * d, d);
+    std::vector<double> truth(d), y(20 * d), w(20 * d, 1.0);
+    for (std::size_t j = 0; j < d; ++j) truth[j] = rng.uniform(-5, 5);
+    for (std::size_t i = 0; i < x.rows(); ++i) {
+        double acc = 0.0;
+        for (std::size_t j = 0; j < d; ++j) {
+            x(i, j) = rng.uniform(-1, 1);
+            acc += truth[j] * x(i, j);
+        }
+        y[i] = acc;
+    }
+    const auto beta = ml::weighted_least_squares(x, y, w);
+    for (std::size_t j = 0; j < d; ++j) EXPECT_NEAR(beta[j], truth[j], 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, WlsDimensionSweep, ::testing::Values(1u, 2u, 5u, 10u, 20u));

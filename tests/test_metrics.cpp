@@ -1,0 +1,182 @@
+#include "mlcore/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace ml = xnfv::ml;
+
+TEST(Regression, MseRmseMae) {
+    const std::vector<double> t{1, 2, 3}, p{1, 3, 5};
+    EXPECT_NEAR(ml::mse(t, p), (0.0 + 1.0 + 4.0) / 3.0, 1e-12);
+    EXPECT_NEAR(ml::rmse(t, p), std::sqrt(5.0 / 3.0), 1e-12);
+    EXPECT_NEAR(ml::mae(t, p), 1.0, 1e-12);
+}
+
+TEST(Regression, PerfectPredictionsZeroError) {
+    const std::vector<double> t{1, 2, 3};
+    EXPECT_DOUBLE_EQ(ml::mse(t, t), 0.0);
+    EXPECT_DOUBLE_EQ(ml::r2_score(t, t), 1.0);
+}
+
+TEST(Regression, R2OfMeanPredictionIsZero) {
+    const std::vector<double> t{1, 2, 3}, p{2, 2, 2};
+    EXPECT_NEAR(ml::r2_score(t, p), 0.0, 1e-12);
+}
+
+TEST(Regression, R2WorseThanMeanIsNegative) {
+    const std::vector<double> t{1, 2, 3}, p{3, 2, 1};
+    EXPECT_LT(ml::r2_score(t, p), 0.0);
+}
+
+TEST(Regression, R2ConstantTruthReturnsZero) {
+    const std::vector<double> t{2, 2, 2}, p{1, 2, 3};
+    EXPECT_DOUBLE_EQ(ml::r2_score(t, p), 0.0);
+}
+
+TEST(Regression, EmptyOrMismatchedThrows) {
+    const std::vector<double> a{1.0}, b{};
+    EXPECT_THROW((void)ml::mse(a, b), std::invalid_argument);
+    EXPECT_THROW((void)ml::mse(b, b), std::invalid_argument);
+}
+
+TEST(Classification, ConfusionMatrixCounts) {
+    const std::vector<double> t{1, 1, 0, 0, 1};
+    const std::vector<double> p{0.9, 0.2, 0.8, 0.1, 0.6};
+    const auto cm = ml::confusion_matrix(t, p);
+    EXPECT_EQ(cm.tp, 2u);
+    EXPECT_EQ(cm.fn, 1u);
+    EXPECT_EQ(cm.fp, 1u);
+    EXPECT_EQ(cm.tn, 1u);
+    EXPECT_NEAR(cm.accuracy(), 0.6, 1e-12);
+    EXPECT_NEAR(cm.precision(), 2.0 / 3.0, 1e-12);
+    EXPECT_NEAR(cm.recall(), 2.0 / 3.0, 1e-12);
+    EXPECT_NEAR(cm.f1(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Classification, DegenerateConfusionIsZeroNotNan) {
+    ml::ConfusionMatrix cm;  // all zero
+    EXPECT_DOUBLE_EQ(cm.accuracy(), 0.0);
+    EXPECT_DOUBLE_EQ(cm.precision(), 0.0);
+    EXPECT_DOUBLE_EQ(cm.recall(), 0.0);
+    EXPECT_DOUBLE_EQ(cm.f1(), 0.0);
+}
+
+TEST(Classification, AucPerfectSeparation) {
+    const std::vector<double> t{0, 0, 1, 1};
+    const std::vector<double> p{0.1, 0.2, 0.8, 0.9};
+    EXPECT_DOUBLE_EQ(ml::roc_auc(t, p), 1.0);
+}
+
+TEST(Classification, AucInverseSeparationIsZero) {
+    const std::vector<double> t{0, 0, 1, 1};
+    const std::vector<double> p{0.9, 0.8, 0.2, 0.1};
+    EXPECT_DOUBLE_EQ(ml::roc_auc(t, p), 0.0);
+}
+
+TEST(Classification, AucRandomish) {
+    const std::vector<double> t{0, 1, 0, 1};
+    const std::vector<double> p{0.5, 0.5, 0.5, 0.5};
+    EXPECT_DOUBLE_EQ(ml::roc_auc(t, p), 0.5);  // all tied => 0.5 via avg ranks
+}
+
+TEST(Classification, AucOneClassAbsent) {
+    const std::vector<double> t{1, 1};
+    const std::vector<double> p{0.3, 0.7};
+    EXPECT_DOUBLE_EQ(ml::roc_auc(t, p), 0.5);
+}
+
+TEST(Classification, AucInvariantToMonotoneTransform) {
+    const std::vector<double> t{0, 1, 0, 1, 1, 0};
+    const std::vector<double> p{0.1, 0.7, 0.4, 0.9, 0.6, 0.3};
+    std::vector<double> squashed(p.size());
+    for (std::size_t i = 0; i < p.size(); ++i) squashed[i] = p[i] * p[i];
+    EXPECT_DOUBLE_EQ(ml::roc_auc(t, p), ml::roc_auc(t, squashed));
+}
+
+TEST(Classification, LogLossKnownValue) {
+    const std::vector<double> t{1, 0};
+    const std::vector<double> p{0.8, 0.4};
+    EXPECT_NEAR(ml::log_loss(t, p), -(std::log(0.8) + std::log(0.6)) / 2.0, 1e-12);
+}
+
+TEST(Classification, LogLossClipsExtremes) {
+    const std::vector<double> t{1};
+    const std::vector<double> p{0.0};
+    EXPECT_TRUE(std::isfinite(ml::log_loss(t, p)));
+}
+
+TEST(Rank, SpearmanPerfectAndInverse) {
+    const std::vector<double> a{1, 2, 3, 4};
+    const std::vector<double> up{10, 20, 30, 40};
+    const std::vector<double> down{9, 7, 5, 3};
+    EXPECT_NEAR(ml::spearman(a, up), 1.0, 1e-12);
+    EXPECT_NEAR(ml::spearman(a, down), -1.0, 1e-12);
+}
+
+TEST(Rank, SpearmanMonotoneNonlinearIsOne) {
+    const std::vector<double> a{1, 2, 3, 4, 5};
+    std::vector<double> cubed(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) cubed[i] = a[i] * a[i] * a[i];
+    EXPECT_NEAR(ml::spearman(a, cubed), 1.0, 1e-12);
+}
+
+TEST(Rank, SpearmanHandlesTies) {
+    const std::vector<double> a{1, 1, 2, 2};
+    const std::vector<double> b{1, 1, 2, 2};
+    EXPECT_NEAR(ml::spearman(a, b), 1.0, 1e-12);
+    const std::vector<double> c{5, 5, 5, 5};
+    EXPECT_DOUBLE_EQ(ml::spearman(a, c), 0.0);  // zero variance in ranks
+}
+
+TEST(Rank, SpearmanShortInputIsZero) {
+    const std::vector<double> a{1.0}, b{2.0};
+    EXPECT_DOUBLE_EQ(ml::spearman(a, b), 0.0);
+}
+
+TEST(Rank, TopkOverlapFullAndNone) {
+    const std::vector<double> a{9, 5, 1, 0};
+    const std::vector<double> same{8, 6, 2, 1};
+    EXPECT_DOUBLE_EQ(ml::topk_overlap(a, same, 2), 1.0);
+    const std::vector<double> flipped{0, 1, 5, 9};
+    EXPECT_DOUBLE_EQ(ml::topk_overlap(a, flipped, 2), 0.0);
+}
+
+TEST(Rank, TopkOverlapPartial) {
+    const std::vector<double> a{9, 8, 1, 0};
+    const std::vector<double> b{9, 0, 8, 1};  // top2(a)={0,1}, top2(b)={0,2}
+    EXPECT_DOUBLE_EQ(ml::topk_overlap(a, b, 2), 0.5);
+}
+
+TEST(Rank, TopkClampsK) {
+    const std::vector<double> a{1, 2};
+    EXPECT_DOUBLE_EQ(ml::topk_overlap(a, a, 10), 1.0);
+    EXPECT_DOUBLE_EQ(ml::topk_overlap(a, a, 0), 0.0);
+}
+
+// Sweep: AUC equals the probability interpretation on synthetic data with a
+// controllable separation.
+class AucSeparationSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(AucSeparationSweep, AucIncreasesWithSeparation) {
+    const double sep = GetParam();
+    std::vector<double> t, p;
+    for (int i = 0; i < 200; ++i) {
+        const double noise = std::sin(i * 12.9898) * 0.5;  // deterministic pseudo-noise
+        t.push_back(i % 2 ? 1.0 : 0.0);
+        p.push_back((i % 2 ? sep : -sep) + noise);
+    }
+    const double auc = ml::roc_auc(t, p);
+    if (sep == 0.0) {
+        EXPECT_NEAR(auc, 0.5, 0.1);
+    } else if (sep >= 1.0) {
+        EXPECT_GT(auc, 0.95);
+    } else {
+        EXPECT_GT(auc, 0.5);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Separations, AucSeparationSweep,
+                         ::testing::Values(0.0, 0.25, 0.5, 1.0, 2.0));

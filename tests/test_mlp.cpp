@@ -1,0 +1,112 @@
+#include "mlcore/mlp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mlcore/metrics.hpp"
+#include "mlcore/preprocess.hpp"
+#include "test_util.hpp"
+
+namespace ml = xnfv::ml;
+using xnfv::testutil::make_linear_dataset;
+using xnfv::testutil::make_xor_dataset;
+
+TEST(Mlp, LearnsLinearFunction) {
+    ml::Rng rng(1);
+    const auto d = make_linear_dataset(std::vector<double>{2.0, -1.0}, 0.5, 800, rng);
+    ml::Mlp mlp(ml::Mlp::Config{.hidden_layers = {16}, .epochs = 200});
+    mlp.fit(d, rng);
+    EXPECT_GT(ml::r2_score(d.y, mlp.predict_batch(d.x)), 0.97);
+}
+
+TEST(Mlp, SolvesXorClassification) {
+    ml::Rng rng(2);
+    const auto d = make_xor_dataset(1500, rng);
+    ml::Mlp mlp(ml::Mlp::Config{.hidden_layers = {16, 16}, .learning_rate = 3e-3,
+                                .epochs = 150});
+    mlp.fit(d, rng);
+    EXPECT_GT(ml::roc_auc(d.y, mlp.predict_batch(d.x)), 0.95);
+}
+
+TEST(Mlp, ClassificationOutputsProbabilities) {
+    ml::Rng rng(3);
+    const auto d = make_xor_dataset(300, rng);
+    ml::Mlp mlp(ml::Mlp::Config{.hidden_layers = {8}, .epochs = 30});
+    mlp.fit(d, rng);
+    for (std::size_t i = 0; i < d.size(); ++i) {
+        const double p = mlp.predict(d.x.row(i));
+        EXPECT_GE(p, 0.0);
+        EXPECT_LE(p, 1.0);
+    }
+}
+
+TEST(Mlp, TanhActivationAlsoLearns) {
+    ml::Rng rng(4);
+    const auto d = make_linear_dataset(std::vector<double>{1.5}, 0.0, 600, rng);
+    ml::Mlp mlp(ml::Mlp::Config{.hidden_layers = {16}, .activation = ml::Activation::tanh,
+                                .epochs = 200});
+    mlp.fit(d, rng);
+    EXPECT_GT(ml::r2_score(d.y, mlp.predict_batch(d.x)), 0.95);
+}
+
+TEST(Mlp, MoreEpochsLowerLoss) {
+    ml::Rng rng(5);
+    const auto d = make_linear_dataset(std::vector<double>{2.0, 1.0}, 0.0, 500, rng);
+    ml::Rng ra(7), rb(7);
+    ml::Mlp brief(ml::Mlp::Config{.hidden_layers = {8}, .epochs = 3});
+    ml::Mlp longer(ml::Mlp::Config{.hidden_layers = {8}, .epochs = 100});
+    brief.fit(d, ra);
+    longer.fit(d, rb);
+    EXPECT_LT(longer.final_train_loss(), brief.final_train_loss());
+}
+
+TEST(Mlp, DeterministicGivenSeed) {
+    ml::Rng data_rng(6);
+    const auto d = make_linear_dataset(std::vector<double>{1.0}, 0.0, 200, data_rng);
+    ml::Rng ra(33), rb(33);
+    ml::Mlp a(ml::Mlp::Config{.hidden_layers = {8}, .epochs = 20});
+    ml::Mlp b(ml::Mlp::Config{.hidden_layers = {8}, .epochs = 20});
+    a.fit(d, ra);
+    b.fit(d, rb);
+    EXPECT_DOUBLE_EQ(a.predict(std::vector<double>{0.3}), b.predict(std::vector<double>{0.3}));
+}
+
+TEST(Mlp, RefitDiscardsPreviousModel) {
+    ml::Rng rng(7);
+    const auto pos = make_linear_dataset(std::vector<double>{5.0}, 0.0, 400, rng);
+    const auto neg = make_linear_dataset(std::vector<double>{-5.0}, 0.0, 400, rng);
+    ml::Mlp mlp(ml::Mlp::Config{.hidden_layers = {8}, .epochs = 100});
+    mlp.fit(pos, rng);
+    mlp.fit(neg, rng);
+    // After refit on the negated slope, the prediction direction must flip.
+    EXPECT_LT(mlp.predict(std::vector<double>{1.0}), mlp.predict(std::vector<double>{-1.0}));
+}
+
+TEST(Mlp, ThrowsOnMisuse) {
+    ml::Rng rng(8);
+    ml::Mlp mlp;
+    EXPECT_THROW((void)mlp.predict(std::vector<double>{1.0}), std::logic_error);
+    EXPECT_THROW(mlp.fit(ml::Dataset{}, rng), std::invalid_argument);
+    ml::Mlp zero_width(ml::Mlp::Config{.hidden_layers = {0}});
+    const auto d = make_linear_dataset(std::vector<double>{1.0}, 0.0, 50, rng);
+    EXPECT_THROW(zero_width.fit(d, rng), std::invalid_argument);
+    ml::Mlp ok(ml::Mlp::Config{.hidden_layers = {4}, .epochs = 2});
+    ok.fit(d, rng);
+    EXPECT_THROW((void)ok.predict(std::vector<double>{1.0, 2.0}), std::invalid_argument);
+}
+
+// Sweep: architectures of varying depth/width all learn the linear task.
+class MlpArchSweep : public ::testing::TestWithParam<std::vector<std::size_t>> {};
+
+TEST_P(MlpArchSweep, LearnsAcrossArchitectures) {
+    ml::Rng rng(9);
+    const auto d = make_linear_dataset(std::vector<double>{1.0, -2.0}, 0.0, 600, rng);
+    ml::Mlp mlp(ml::Mlp::Config{.hidden_layers = GetParam(), .epochs = 150});
+    mlp.fit(d, rng);
+    EXPECT_GT(ml::r2_score(d.y, mlp.predict_batch(d.x)), 0.9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Architectures, MlpArchSweep,
+                         ::testing::Values(std::vector<std::size_t>{4},
+                                           std::vector<std::size_t>{32},
+                                           std::vector<std::size_t>{16, 16},
+                                           std::vector<std::size_t>{8, 8, 8}));

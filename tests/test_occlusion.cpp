@@ -1,0 +1,111 @@
+#include "core/occlusion.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/exact_shapley.hpp"
+#include "mlcore/forest.hpp"
+#include "test_util.hpp"
+
+namespace xai = xnfv::xai;
+namespace ml = xnfv::ml;
+using xnfv::testutil::make_uniform_background;
+using xnfv::testutil::max_abs_diff;
+
+TEST(Occlusion, EqualsShapleyForAdditiveModels) {
+    // Without interactions, occlusion and Shapley coincide.
+    ml::Rng rng(1);
+    const xai::BackgroundData background(make_uniform_background(64, 3, rng));
+    const ml::LambdaModel model(3, [](std::span<const double> x) {
+        return 2.0 * x[0] - x[1] + 0.5 * x[2];
+    });
+    const std::vector<double> x{0.5, -0.5, 0.9};
+    xai::Occlusion occ(background);
+    xai::ExactShapley exact(background);
+    const auto eo = occ.explain(model, x);
+    const auto es = exact.explain(model, x);
+    EXPECT_LT(max_abs_diff(eo.attributions, es.attributions), 1e-9);
+}
+
+TEST(Occlusion, DiffersFromShapleyUnderInteractions) {
+    ml::Rng rng(2);
+    const xai::BackgroundData background(make_uniform_background(64, 2, rng));
+    const ml::LambdaModel model(2, [](std::span<const double> x) { return x[0] * x[1]; });
+    const std::vector<double> x{1.0, 1.0};
+    xai::Occlusion occ(background);
+    xai::ExactShapley exact(background);
+    const auto eo = occ.explain(model, x);
+    const auto es = exact.explain(model, x);
+    // Both nonzero, but occlusion double counts the interaction.
+    EXPECT_GT(max_abs_diff(eo.attributions, es.attributions), 1e-3);
+}
+
+TEST(Occlusion, ZeroForUnusedFeature) {
+    ml::Rng rng(3);
+    const xai::BackgroundData background(make_uniform_background(32, 3, rng));
+    const ml::LambdaModel model(3, [](std::span<const double> x) { return x[0] + x[1]; });
+    xai::Occlusion occ(background);
+    const auto e = occ.explain(model, std::vector<double>{0.4, 0.2, 0.7});
+    EXPECT_NEAR(e.attributions[2], 0.0, 1e-12);
+}
+
+TEST(Occlusion, RejectsMisuse) {
+    const ml::LambdaModel model(2, [](std::span<const double>) { return 0.0; });
+    xai::Occlusion empty{xai::BackgroundData{}};
+    EXPECT_THROW((void)empty.explain(model, std::vector<double>{0, 0}),
+                 std::invalid_argument);
+    ml::Rng rng(4);
+    xai::Occlusion ok{xai::BackgroundData(make_uniform_background(8, 2, rng))};
+    EXPECT_THROW((void)ok.explain(model, std::vector<double>{0}), std::invalid_argument);
+}
+
+TEST(PermutationImportance, InformativeFeatureDominates) {
+    ml::Rng rng(5);
+    ml::Dataset data;
+    data.task = ml::Task::regression;
+    for (int i = 0; i < 800; ++i) {
+        const double a = rng.uniform(-1, 1), b = rng.uniform(-1, 1);
+        data.add(std::vector<double>{a, b}, 10.0 * a);
+    }
+    ml::RandomForest forest(ml::RandomForest::Config{.num_trees = 30});
+    forest.fit(data, rng);
+    const auto result = xai::permutation_importance(forest, data, rng);
+    EXPECT_GT(result.importance[0], 10.0 * std::max(result.importance[1], 1e-9));
+    EXPECT_GE(result.baseline_error, 0.0);
+}
+
+TEST(PermutationImportance, ClassificationUsesAucError) {
+    ml::Rng rng(6);
+    const auto data = xnfv::testutil::make_logistic_dataset(
+        std::vector<double>{4.0, 0.0}, 0.0, 800, rng);
+    ml::RandomForest forest(ml::RandomForest::Config{.num_trees = 20});
+    forest.fit(data, rng);
+    const auto result = xai::permutation_importance(forest, data, rng);
+    EXPECT_LT(result.baseline_error, 0.3);  // 1 - AUC small for a good model
+    EXPECT_GT(result.importance[0], result.importance[1]);
+}
+
+TEST(PermutationImportance, LeavesDataUnchanged) {
+    ml::Rng rng(7);
+    ml::Dataset data;
+    data.task = ml::Task::regression;
+    for (int i = 0; i < 100; ++i) {
+        const double a = rng.uniform(-1, 1);
+        data.add(std::vector<double>{a}, a);
+    }
+    const auto copy = data.x;
+    const ml::LambdaModel model(1, [](std::span<const double> x) { return x[0]; });
+    (void)xai::permutation_importance(model, data, rng);
+    for (std::size_t r = 0; r < data.size(); ++r)
+        EXPECT_DOUBLE_EQ(data.x(r, 0), copy(r, 0));
+}
+
+TEST(PermutationImportance, RejectsMisuse) {
+    ml::Rng rng(8);
+    const ml::LambdaModel model(1, [](std::span<const double> x) { return x[0]; });
+    EXPECT_THROW((void)xai::permutation_importance(model, ml::Dataset{}, rng),
+                 std::invalid_argument);
+    ml::Dataset d;
+    d.add(std::vector<double>{1.0}, 1.0);
+    EXPECT_THROW((void)xai::permutation_importance(model, d, rng, 0),
+                 std::invalid_argument);
+}

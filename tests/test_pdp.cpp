@@ -1,0 +1,122 @@
+#include "core/pdp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_util.hpp"
+
+namespace xai = xnfv::xai;
+namespace ml = xnfv::ml;
+using xnfv::testutil::make_uniform_background;
+
+TEST(Pdp, LinearModelGivesLinearCurve) {
+    ml::Rng rng(1);
+    const xai::BackgroundData background(make_uniform_background(200, 2, rng));
+    const ml::LambdaModel model(2, [](std::span<const double> x) {
+        return 3.0 * x[0] + x[1];
+    });
+    const auto pdp = xai::partial_dependence(model, background, 0,
+                                             xai::PdpOptions{.grid_points = 10});
+    ASSERT_EQ(pdp.grid.size(), 10u);
+    ASSERT_EQ(pdp.mean.size(), 10u);
+    // Slope between consecutive grid points must be ~3.
+    for (std::size_t g = 1; g < pdp.grid.size(); ++g) {
+        const double slope =
+            (pdp.mean[g] - pdp.mean[g - 1]) / (pdp.grid[g] - pdp.grid[g - 1]);
+        EXPECT_NEAR(slope, 3.0, 1e-9);
+    }
+}
+
+TEST(Pdp, GridRespectsQuantileClipping) {
+    ml::Rng rng(2);
+    auto bg = make_uniform_background(200, 1, rng);
+    bg(0, 0) = 1000.0;  // extreme outlier
+    const xai::BackgroundData background(bg);
+    const ml::LambdaModel model(1, [](std::span<const double> x) { return x[0]; });
+    const auto pdp = xai::partial_dependence(model, background, 0,
+                                             xai::PdpOptions{.grid_points = 5});
+    EXPECT_LT(pdp.grid.back(), 100.0);  // outlier clipped by the 98% quantile
+}
+
+TEST(Pdp, MarginalizesOverOtherFeatures) {
+    // f = x0 * x1 with symmetric background: PDP of x0 is ~0 everywhere.
+    ml::Rng rng(3);
+    const xai::BackgroundData background(make_uniform_background(500, 2, rng));
+    const ml::LambdaModel model(2, [](std::span<const double> x) { return x[0] * x[1]; });
+    const auto pdp = xai::partial_dependence(model, background, 0);
+    for (double v : pdp.mean) EXPECT_NEAR(v, 0.0, 0.05);
+}
+
+TEST(Pdp, IceCurvesKeptWhenRequested) {
+    ml::Rng rng(4);
+    const xai::BackgroundData background(make_uniform_background(30, 2, rng));
+    const ml::LambdaModel model(2, [](std::span<const double> x) {
+        return x[0] + 2.0 * x[1];
+    });
+    const auto pdp = xai::partial_dependence(
+        model, background, 0, xai::PdpOptions{.grid_points = 5, .keep_ice = true});
+    ASSERT_EQ(pdp.ice.size(), 30u);
+    for (const auto& curve : pdp.ice) ASSERT_EQ(curve.size(), 5u);
+    // Mean of ICE curves equals the PDP.
+    for (std::size_t g = 0; g < 5; ++g) {
+        double mean = 0.0;
+        for (const auto& curve : pdp.ice) mean += curve[g];
+        EXPECT_NEAR(mean / 30.0, pdp.mean[g], 1e-12);
+    }
+}
+
+TEST(Pdp, IceOmittedByDefault) {
+    ml::Rng rng(5);
+    const xai::BackgroundData background(make_uniform_background(20, 1, rng));
+    const ml::LambdaModel model(1, [](std::span<const double> x) { return x[0]; });
+    const auto pdp = xai::partial_dependence(model, background, 0);
+    EXPECT_TRUE(pdp.ice.empty());
+}
+
+TEST(Pdp, ConvexModelGivesConvexCurve) {
+    // The F5 shape check in miniature: f = exp(x0) is convex, so the PDP
+    // increments must increase.
+    ml::Rng rng(6);
+    const xai::BackgroundData background(make_uniform_background(100, 1, rng));
+    const ml::LambdaModel model(1, [](std::span<const double> x) {
+        return std::exp(2.0 * x[0]);
+    });
+    const auto pdp = xai::partial_dependence(model, background, 0,
+                                             xai::PdpOptions{.grid_points = 8});
+    for (std::size_t g = 2; g < pdp.mean.size(); ++g) {
+        const double d1 = pdp.mean[g - 1] - pdp.mean[g - 2];
+        const double d2 = pdp.mean[g] - pdp.mean[g - 1];
+        EXPECT_GT(d2, d1);
+    }
+}
+
+TEST(Pdp, RejectsMisuse) {
+    ml::Rng rng(7);
+    const ml::LambdaModel model(1, [](std::span<const double> x) { return x[0]; });
+    EXPECT_THROW((void)xai::partial_dependence(model, xai::BackgroundData{}, 0),
+                 std::invalid_argument);
+    const xai::BackgroundData background(make_uniform_background(10, 1, rng));
+    EXPECT_THROW((void)xai::partial_dependence(model, background, 5),
+                 std::invalid_argument);
+    EXPECT_THROW((void)xai::partial_dependence(model, background, 0,
+                                               xai::PdpOptions{.grid_points = 1}),
+                 std::invalid_argument);
+}
+
+// Sweep: grid resolution does not change the endpoints' values.
+class PdpGridSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PdpGridSweep, EndpointsStableAcrossResolutions) {
+    ml::Rng rng(8);
+    const xai::BackgroundData background(make_uniform_background(100, 1, rng));
+    const ml::LambdaModel model(1, [](std::span<const double> x) { return 5.0 * x[0]; });
+    const auto coarse = xai::partial_dependence(model, background, 0,
+                                                xai::PdpOptions{.grid_points = 2});
+    const auto fine = xai::partial_dependence(
+        model, background, 0, xai::PdpOptions{.grid_points = GetParam()});
+    EXPECT_NEAR(coarse.mean.front(), fine.mean.front(), 1e-9);
+    EXPECT_NEAR(coarse.mean.back(), fine.mean.back(), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, PdpGridSweep, ::testing::Values(3u, 10u, 50u));

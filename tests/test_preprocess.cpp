@@ -1,0 +1,113 @@
+#include "mlcore/preprocess.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "mlcore/rng.hpp"
+
+namespace ml = xnfv::ml;
+
+TEST(Standardizer, TransformsToZeroMeanUnitVar) {
+    ml::Rng rng(1);
+    ml::Matrix x(500, 3);
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+        x(r, 0) = rng.normal(10.0, 2.0);
+        x(r, 1) = rng.normal(-5.0, 0.5);
+        x(r, 2) = rng.uniform(0.0, 100.0);
+    }
+    ml::Standardizer s;
+    s.fit(x);
+    const auto z = s.transform(x);
+    for (std::size_t c = 0; c < 3; ++c) {
+        double mean = 0.0, var = 0.0;
+        for (std::size_t r = 0; r < z.rows(); ++r) mean += z(r, c);
+        mean /= static_cast<double>(z.rows());
+        for (std::size_t r = 0; r < z.rows(); ++r)
+            var += (z(r, c) - mean) * (z(r, c) - mean);
+        var /= static_cast<double>(z.rows());
+        EXPECT_NEAR(mean, 0.0, 1e-9);
+        EXPECT_NEAR(var, 1.0, 1e-9);
+    }
+}
+
+TEST(Standardizer, RowRoundTrip) {
+    ml::Matrix x = ml::Matrix::from_rows({{1, 10}, {2, 20}, {3, 30}});
+    ml::Standardizer s;
+    s.fit(x);
+    const std::vector<double> row{2.5, 15.0};
+    const auto z = s.transform_row(row);
+    const auto back = s.inverse_row(z);
+    EXPECT_NEAR(back[0], 2.5, 1e-12);
+    EXPECT_NEAR(back[1], 15.0, 1e-12);
+}
+
+TEST(Standardizer, ConstantColumnCenteredNotScaled) {
+    ml::Matrix x = ml::Matrix::from_rows({{5, 1}, {5, 2}, {5, 3}});
+    ml::Standardizer s;
+    s.fit(x);
+    const auto z = s.transform_row(std::vector<double>{5.0, 2.0});
+    EXPECT_DOUBLE_EQ(z[0], 0.0);  // (5-5)/1
+}
+
+TEST(Standardizer, ThrowsBeforeFitAndOnMismatch) {
+    ml::Standardizer s;
+    EXPECT_THROW((void)s.transform_row(std::vector<double>{1.0}), std::logic_error);
+    ml::Matrix x = ml::Matrix::from_rows({{1, 2}});
+    s.fit(x);
+    EXPECT_THROW((void)s.transform_row(std::vector<double>{1.0}), std::invalid_argument);
+}
+
+TEST(MinMaxScaler, MapsToUnitInterval) {
+    ml::Matrix x = ml::Matrix::from_rows({{0, 100}, {5, 200}, {10, 300}});
+    ml::MinMaxScaler s;
+    s.fit(x);
+    const auto z = s.transform(x);
+    EXPECT_DOUBLE_EQ(z(0, 0), 0.0);
+    EXPECT_DOUBLE_EQ(z(2, 0), 1.0);
+    EXPECT_DOUBLE_EQ(z(1, 1), 0.5);
+}
+
+TEST(MinMaxScaler, ConstantColumnMapsToZero) {
+    ml::Matrix x = ml::Matrix::from_rows({{7}, {7}});
+    ml::MinMaxScaler s;
+    s.fit(x);
+    EXPECT_DOUBLE_EQ(s.transform_row(std::vector<double>{7.0})[0], 0.0);
+}
+
+TEST(OneHot, EncodesCategories) {
+    const std::vector<double> col{0, 2, 1, 2};
+    const auto m = ml::one_hot(col, 3);
+    EXPECT_EQ(m.rows(), 4u);
+    EXPECT_EQ(m.cols(), 3u);
+    EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
+    EXPECT_DOUBLE_EQ(m(1, 2), 1.0);
+    EXPECT_DOUBLE_EQ(m(2, 1), 1.0);
+    // Each row sums to 1.
+    for (std::size_t r = 0; r < 4; ++r) {
+        double s = 0.0;
+        for (std::size_t c = 0; c < 3; ++c) s += m(r, c);
+        EXPECT_DOUBLE_EQ(s, 1.0);
+    }
+}
+
+TEST(OneHot, OutOfRangeGivesAllZeros) {
+    const std::vector<double> col{5, -1};
+    const auto m = ml::one_hot(col, 3);
+    for (std::size_t r = 0; r < 2; ++r)
+        for (std::size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(m(r, c), 0.0);
+}
+
+TEST(StandardizeDataset, PreservesLabelsAndNames) {
+    ml::Dataset d;
+    d.task = ml::Task::regression;
+    d.feature_names = {"f"};
+    d.add(std::vector<double>{1.0}, 10.0);
+    d.add(std::vector<double>{3.0}, 30.0);
+    ml::Standardizer s;
+    s.fit(d.x);
+    const auto z = ml::standardize(d, s);
+    EXPECT_EQ(z.y, d.y);
+    EXPECT_EQ(z.feature_names, d.feature_names);
+    EXPECT_NEAR(z.x(0, 0) + z.x(1, 0), 0.0, 1e-12);
+}

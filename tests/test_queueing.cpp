@@ -1,0 +1,124 @@
+#include "nfv/queueing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace nfv = xnfv::nfv;
+
+TEST(Queueing, ZeroArrivalsZeroDelayAndLoss) {
+    const auto r = nfv::evaluate_station({.arrival_pps = 0.0, .service_pps = 1000.0});
+    EXPECT_DOUBLE_EQ(r.utilization, 0.0);
+    EXPECT_DOUBLE_EQ(r.wait_s, 0.0);
+    EXPECT_DOUBLE_EQ(r.loss_rate, 0.0);
+    EXPECT_DOUBLE_EQ(r.service_s, 1e-3);
+}
+
+TEST(Queueing, MatchesMm1AtUnitCvs) {
+    // With ca2 = cs2 = 1 the Kingman formula is exact for M/M/1:
+    // W_total = 1 / (mu - lambda).
+    const double lambda = 600.0, mu = 1000.0;
+    const auto r = nfv::evaluate_station(
+        {.arrival_pps = lambda, .service_pps = mu, .ca2 = 1.0, .cs2 = 1.0});
+    EXPECT_NEAR(r.sojourn_s(), nfv::mm1_sojourn_s(lambda, mu), 1e-12);
+}
+
+TEST(Queueing, DelayMonotoneInUtilization) {
+    double prev = 0.0;
+    for (double lambda : {100.0, 300.0, 500.0, 700.0, 900.0, 990.0}) {
+        const auto r = nfv::evaluate_station({.arrival_pps = lambda, .service_pps = 1000.0});
+        EXPECT_GT(r.sojourn_s(), prev);
+        prev = r.sojourn_s();
+    }
+}
+
+TEST(Queueing, BurstinessInflatesDelay) {
+    const nfv::StationParams smooth{.arrival_pps = 700.0, .service_pps = 1000.0, .ca2 = 1.0};
+    nfv::StationParams bursty = smooth;
+    bursty.ca2 = 8.0;
+    EXPECT_GT(nfv::evaluate_station(bursty).wait_s, nfv::evaluate_station(smooth).wait_s);
+}
+
+TEST(Queueing, ServiceVariabilityInflatesDelay) {
+    const nfv::StationParams regular{.arrival_pps = 700.0, .service_pps = 1000.0,
+                                     .ca2 = 1.0, .cs2 = 0.2};
+    nfv::StationParams variable = regular;
+    variable.cs2 = 3.0;
+    EXPECT_GT(nfv::evaluate_station(variable).wait_s, nfv::evaluate_station(regular).wait_s);
+}
+
+TEST(Queueing, OverloadProducesLossEqualToExcess) {
+    const auto r = nfv::evaluate_station({.arrival_pps = 2000.0, .service_pps = 1000.0});
+    EXPECT_DOUBLE_EQ(r.utilization, 2.0);
+    EXPECT_NEAR(r.loss_rate, 0.5, 1e-12);  // carried = capacity = half the offered
+    EXPECT_GT(r.wait_s, 0.0);
+}
+
+TEST(Queueing, OverloadDelayIsCappedByQueueDepth) {
+    const auto r = nfv::evaluate_station({.arrival_pps = 5000.0, .service_pps = 1000.0,
+                                          .max_queue_pkts = 100.0});
+    EXPECT_NEAR(r.wait_s, 100.0 / 1000.0, 1e-12);
+}
+
+TEST(Queueing, ExtremeBurstBelowSaturationCapsAndLoses) {
+    // rho < 1 but the burst factor pushes the Kingman wait past the cap.
+    const auto r = nfv::evaluate_station({.arrival_pps = 999.0, .service_pps = 1000.0,
+                                          .ca2 = 1e6, .cs2 = 1.0,
+                                          .max_queue_pkts = 10.0});
+    EXPECT_NEAR(r.wait_s, 10.0 / 1000.0, 1e-12);
+    EXPECT_GT(r.loss_rate, 0.0);
+    EXPECT_LT(r.loss_rate, 1.0);
+}
+
+TEST(Queueing, InvalidParamsThrow) {
+    EXPECT_THROW((void)nfv::evaluate_station({.arrival_pps = 1.0, .service_pps = 0.0}),
+                 std::invalid_argument);
+    EXPECT_THROW((void)nfv::evaluate_station({.arrival_pps = -1.0, .service_pps = 10.0}),
+                 std::invalid_argument);
+    EXPECT_THROW((void)nfv::mm1_sojourn_s(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(Queueing, Mm1InfiniteAtSaturation) {
+    EXPECT_TRUE(std::isinf(nfv::mm1_sojourn_s(1000.0, 1000.0)));
+    EXPECT_TRUE(std::isinf(nfv::mm1_sojourn_s(1500.0, 1000.0)));
+}
+
+TEST(QueueingLink, UtilizationMatchesOfferedFraction) {
+    const auto r = nfv::evaluate_link(5e9, 10e9, 1000.0);
+    EXPECT_NEAR(r.utilization, 0.5, 1e-12);
+    EXPECT_DOUBLE_EQ(r.loss_rate, 0.0);
+}
+
+TEST(QueueingLink, SaturatedLinkLoses) {
+    const auto r = nfv::evaluate_link(20e9, 10e9, 1000.0);
+    EXPECT_NEAR(r.loss_rate, 0.5, 1e-12);
+}
+
+TEST(QueueingLink, SmallerPacketsSameBitsSameUtilization) {
+    const auto big = nfv::evaluate_link(5e9, 10e9, 1500.0);
+    const auto small = nfv::evaluate_link(5e9, 10e9, 100.0);
+    EXPECT_NEAR(big.utilization, small.utilization, 1e-12);
+    // But per-packet service time (and hence delay) is smaller for small packets.
+    EXPECT_LT(small.service_s, big.service_s);
+}
+
+TEST(QueueingLink, InvalidParamsThrow) {
+    EXPECT_THROW((void)nfv::evaluate_link(1e9, 0.0, 1000.0), std::invalid_argument);
+    EXPECT_THROW((void)nfv::evaluate_link(1e9, 1e9, 0.0), std::invalid_argument);
+}
+
+// Sweep: the Kingman wait scales linearly with (ca2 + cs2)/2 below saturation.
+class KingmanBurstSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(KingmanBurstSweep, WaitProportionalToBurstFactor) {
+    const double ca2 = GetParam();
+    const auto base = nfv::evaluate_station(
+        {.arrival_pps = 500.0, .service_pps = 1000.0, .ca2 = 1.0, .cs2 = 1.0});
+    const auto bursty = nfv::evaluate_station(
+        {.arrival_pps = 500.0, .service_pps = 1000.0, .ca2 = ca2, .cs2 = 1.0});
+    EXPECT_NEAR(bursty.wait_s / base.wait_s, (ca2 + 1.0) / 2.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Burstiness, KingmanBurstSweep,
+                         ::testing::Values(1.0, 2.0, 4.0, 8.0, 16.0));

@@ -1,0 +1,179 @@
+#include "nfv/remediation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nfv/placement.hpp"
+#include "nfv/simulator.hpp"
+
+namespace nfv = xnfv::nfv;
+namespace ml = xnfv::ml;
+
+namespace {
+
+struct Fixture {
+    nfv::Infrastructure infra;
+    nfv::Deployment dep;
+};
+
+Fixture starved_chain(std::size_t servers = 2) {
+    Fixture f;
+    f.infra = nfv::Infrastructure::homogeneous_pop(servers, nfv::Server{});
+    nfv::make_chain(f.dep, "c",
+                    {nfv::VnfType::firewall, nfv::VnfType::ids, nfv::VnfType::nat}, 2.0);
+    f.dep.vnf(1).cpu_cores = 0.2;  // the IDS is the bottleneck
+    ml::Rng rng(1);
+    nfv::place(f.dep, f.infra, nfv::PlacementStrategy::first_fit, rng);
+    return f;
+}
+
+nfv::OfferedLoad load_of(double pps) {
+    return nfv::OfferedLoad{.pps = pps, .active_flows = 1e4};
+}
+
+}  // namespace
+
+TEST(Remediation, ActionNamesResolve) {
+    for (auto k : {nfv::ActionKind::none, nfv::ActionKind::scale_up_cpu,
+                   nfv::ActionKind::migrate_spread, nfv::ActionKind::migrate_colocate,
+                   nfv::ActionKind::reduce_rules})
+        EXPECT_STRNE(nfv::to_string(k), "unknown");
+}
+
+TEST(Remediation, ScaleUpCpuGrowsAllocationWithinCapacity) {
+    auto f = starved_chain();
+    const double before = f.dep.vnf(1).cpu_cores;
+    EXPECT_TRUE(nfv::apply_action(f.dep, f.infra,
+                                  {.kind = nfv::ActionKind::scale_up_cpu,
+                                   .target_vnf = 1, .magnitude = 1.0}));
+    EXPECT_NEAR(f.dep.vnf(1).cpu_cores, 2.0 * before, 1e-9);
+    // Capacity still respected.
+    const auto used = nfv::committed_cores(f.dep, f.infra);
+    for (std::size_t s = 0; s < used.size(); ++s)
+        EXPECT_LE(used[s], f.infra.servers()[s].cores + 1e-9);
+}
+
+TEST(Remediation, ScaleUpCpuClampedByServerCapacity) {
+    auto f = starved_chain(/*servers=*/1);
+    // Fill the server almost completely with a second chain.
+    nfv::make_chain(f.dep, "filler", {nfv::VnfType::nat}, 11.0);
+    f.dep.vnfs.back().server = 0;
+    const double residual_before =
+        f.infra.servers()[0].cores - nfv::committed_cores(f.dep, f.infra)[0];
+    ASSERT_GT(residual_before, 0.0);
+    EXPECT_TRUE(nfv::apply_action(f.dep, f.infra,
+                                  {.kind = nfv::ActionKind::scale_up_cpu,
+                                   .target_vnf = 1, .magnitude = 100.0}));
+    const auto used = nfv::committed_cores(f.dep, f.infra);
+    EXPECT_NEAR(used[0], f.infra.servers()[0].cores, 1e-9);  // grabbed residual only
+}
+
+TEST(Remediation, ScaleUpFailsOnFullServer) {
+    auto f = starved_chain(/*servers=*/1);
+    nfv::make_chain(f.dep, "filler", {nfv::VnfType::nat}, 11.8);
+    f.dep.vnfs.back().server = 0;
+    EXPECT_FALSE(nfv::apply_action(f.dep, f.infra,
+                                   {.kind = nfv::ActionKind::scale_up_cpu,
+                                    .target_vnf = 1, .magnitude = 1.0}));
+}
+
+TEST(Remediation, MigrateSpreadMovesToEmptiestServer) {
+    auto f = starved_chain(/*servers=*/3);
+    // All VNFs land on server 0 (first fit, small chain).
+    ASSERT_EQ(f.dep.vnf(1).server, 0);
+    EXPECT_TRUE(nfv::apply_action(f.dep, f.infra,
+                                  {.kind = nfv::ActionKind::migrate_spread,
+                                   .target_vnf = 1}));
+    EXPECT_NE(f.dep.vnf(1).server, 0);
+}
+
+TEST(Remediation, MigrateColocatePullsToPredecessor) {
+    auto f = starved_chain(/*servers=*/2);
+    f.dep.vnf(1).server = 1;  // spread out by hand
+    EXPECT_TRUE(nfv::apply_action(f.dep, f.infra,
+                                  {.kind = nfv::ActionKind::migrate_colocate,
+                                   .target_vnf = 1}));
+    EXPECT_EQ(f.dep.vnf(1).server, f.dep.vnf(0).server);
+}
+
+TEST(Remediation, MigrateColocateFailsForChainHead) {
+    auto f = starved_chain();
+    EXPECT_FALSE(nfv::apply_action(f.dep, f.infra,
+                                   {.kind = nfv::ActionKind::migrate_colocate,
+                                    .target_vnf = 0}));
+}
+
+TEST(Remediation, ReduceRulesShrinksTable) {
+    auto f = starved_chain();
+    const auto before = f.dep.vnf(0).num_rules;  // firewall has rules
+    ASSERT_GT(before, 0u);
+    EXPECT_TRUE(nfv::apply_action(f.dep, f.infra,
+                                  {.kind = nfv::ActionKind::reduce_rules,
+                                   .target_vnf = 0, .magnitude = 0.5}));
+    EXPECT_EQ(f.dep.vnf(0).num_rules, before / 2);
+    // NAT has no rules: reduction is a no-op failure.
+    EXPECT_FALSE(nfv::apply_action(f.dep, f.infra,
+                                   {.kind = nfv::ActionKind::reduce_rules,
+                                    .target_vnf = 2, .magnitude = 0.5}));
+}
+
+TEST(Remediation, BottleneckDetectionMatchesSimulator) {
+    auto f = starved_chain();
+    const auto epoch = nfv::simulate_epoch(f.dep, f.infra, {load_of(1e5)});
+    EXPECT_EQ(nfv::bottleneck_vnf(f.dep, f.dep.chains[0], epoch), 1u);
+    EXPECT_EQ(epoch.chains[0].bottleneck_vnf, 1u);
+}
+
+TEST(Remediation, ScalingTheBottleneckCuresTheViolation) {
+    // The closed loop in miniature: starved chain violates; scaling the
+    // bottleneck (and only the bottleneck) brings latency back under SLA.
+    auto f = starved_chain();
+    f.dep.chains[0].sla.max_latency_s = 2e-3;
+    const auto before = nfv::simulate_epoch(f.dep, f.infra, {load_of(1.5e5)});
+    ASSERT_TRUE(before.chains[0].sla_violated);
+
+    auto wrong = f;  // scaling a non-bottleneck VNF should not help much
+    ASSERT_TRUE(nfv::apply_action(wrong.dep, wrong.infra,
+                                  {.kind = nfv::ActionKind::scale_up_cpu,
+                                   .target_vnf = 0, .magnitude = 2.0}));
+    const auto after_wrong = nfv::simulate_epoch(wrong.dep, wrong.infra, {load_of(1.5e5)});
+
+    ASSERT_TRUE(nfv::apply_action(f.dep, f.infra,
+                                  {.kind = nfv::ActionKind::scale_up_cpu,
+                                   .target_vnf = 1, .magnitude = 9.0}));
+    const auto after = nfv::simulate_epoch(f.dep, f.infra, {load_of(1.5e5)});
+    EXPECT_FALSE(after.chains[0].sla_violated);
+    EXPECT_LT(after.chains[0].latency_s, before.chains[0].latency_s);
+    EXPECT_LT(after.chains[0].latency_s, after_wrong.chains[0].latency_s);
+}
+
+TEST(Remediation, NoneActionIsIdentity) {
+    auto f = starved_chain();
+    const auto cores_before = f.dep.vnf(1).cpu_cores;
+    EXPECT_TRUE(nfv::apply_action(f.dep, f.infra, {.kind = nfv::ActionKind::none}));
+    EXPECT_DOUBLE_EQ(f.dep.vnf(1).cpu_cores, cores_before);
+}
+
+TEST(Remediation, RejectsMisuse) {
+    auto f = starved_chain();
+    EXPECT_THROW((void)nfv::apply_action(f.dep, f.infra,
+                                         {.kind = nfv::ActionKind::scale_up_cpu,
+                                          .target_vnf = 99}),
+                 std::out_of_range);
+    EXPECT_THROW((void)nfv::apply_action(f.dep, f.infra,
+                                         {.kind = nfv::ActionKind::scale_up_cpu,
+                                          .target_vnf = 0, .magnitude = -1.0}),
+                 std::invalid_argument);
+    EXPECT_THROW((void)nfv::apply_action(f.dep, f.infra,
+                                         {.kind = nfv::ActionKind::reduce_rules,
+                                          .target_vnf = 0, .magnitude = 2.0}),
+                 std::invalid_argument);
+}
+
+TEST(Remediation, ActionToStringMentionsTarget) {
+    auto f = starved_chain();
+    const nfv::Action a{.kind = nfv::ActionKind::scale_up_cpu, .target_vnf = 1,
+                        .magnitude = 0.5};
+    const auto s = a.to_string(f.dep);
+    EXPECT_NE(s.find("scale_up_cpu"), std::string::npos);
+    EXPECT_NE(s.find("ids"), std::string::npos);
+}

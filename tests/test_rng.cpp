@@ -1,0 +1,237 @@
+#include "mlcore/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace ml = xnfv::ml;
+
+TEST(Rng, SameSeedSameSequence) {
+    ml::Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+    ml::Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) same += a.next_u64() == b.next_u64();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ReseedRestartsSequence) {
+    ml::Rng a(7);
+    const auto first = a.next_u64();
+    (void)a.next_u64();
+    a.reseed(7);
+    EXPECT_EQ(a.next_u64(), first);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+    ml::Rng rng(3);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanAndVariance) {
+    ml::Rng rng(4);
+    const int n = 200000;
+    double sum = 0.0, sum_sq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double u = rng.uniform();
+        sum += u;
+        sum_sq += u * u;
+    }
+    const double mean = sum / n;
+    const double var = sum_sq / n - mean * mean;
+    EXPECT_NEAR(mean, 0.5, 0.01);
+    EXPECT_NEAR(var, 1.0 / 12.0, 0.005);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+    ml::Rng rng(5);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.uniform(-3.0, 7.0);
+        EXPECT_GE(v, -3.0);
+        EXPECT_LT(v, 7.0);
+    }
+}
+
+TEST(Rng, UniformIndexCoversAllValues) {
+    ml::Rng rng(6);
+    std::vector<int> counts(10, 0);
+    for (int i = 0; i < 10000; ++i) ++counts[rng.uniform_index(10)];
+    for (int c : counts) EXPECT_GT(c, 700);  // expected 1000 each
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+    ml::Rng rng(7);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        const long long v = rng.uniform_int(-2, 2);
+        EXPECT_GE(v, -2);
+        EXPECT_LE(v, 2);
+        saw_lo |= v == -2;
+        saw_hi |= v == 2;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMoments) {
+    ml::Rng rng(8);
+    const int n = 200000;
+    double sum = 0.0, sum_sq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double v = rng.normal(2.0, 3.0);
+        sum += v;
+        sum_sq += v * v;
+    }
+    const double mean = sum / n;
+    const double var = sum_sq / n - mean * mean;
+    EXPECT_NEAR(mean, 2.0, 0.05);
+    EXPECT_NEAR(var, 9.0, 0.2);
+}
+
+TEST(Rng, ExponentialMean) {
+    ml::Rng rng(9);
+    const int n = 100000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i) sum += rng.exponential(4.0);
+    EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+TEST(Rng, ParetoExceedsScaleAndHasHeavyTail) {
+    ml::Rng rng(10);
+    const int n = 100000;
+    int tail = 0;
+    for (int i = 0; i < n; ++i) {
+        const double v = rng.pareto(1.0, 2.0);
+        EXPECT_GE(v, 1.0);
+        tail += v > 10.0;
+    }
+    // P(X > 10) = 10^-2 = 1% for alpha = 2.
+    EXPECT_NEAR(static_cast<double>(tail) / n, 0.01, 0.004);
+}
+
+TEST(Rng, LognormalMedian) {
+    ml::Rng rng(11);
+    std::vector<double> v(50001);
+    for (auto& x : v) x = rng.lognormal(1.0, 0.5);
+    std::nth_element(v.begin(), v.begin() + 25000, v.end());
+    EXPECT_NEAR(v[25000], std::exp(1.0), 0.08);
+}
+
+TEST(Rng, PoissonSmallMean) {
+    ml::Rng rng(12);
+    const int n = 100000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(3.5));
+    EXPECT_NEAR(sum / n, 3.5, 0.05);
+}
+
+TEST(Rng, PoissonLargeMeanUsesNormalApprox) {
+    ml::Rng rng(13);
+    const int n = 50000;
+    double sum = 0.0, sum_sq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double v = static_cast<double>(rng.poisson(200.0));
+        sum += v;
+        sum_sq += v * v;
+    }
+    const double mean = sum / n;
+    EXPECT_NEAR(mean, 200.0, 1.0);
+    EXPECT_NEAR(sum_sq / n - mean * mean, 200.0, 15.0);  // Poisson: var == mean
+}
+
+TEST(Rng, PoissonZeroMeanIsZero) {
+    ml::Rng rng(21);
+    EXPECT_EQ(rng.poisson(0.0), 0u);
+    EXPECT_EQ(rng.poisson(-1.0), 0u);
+}
+
+TEST(Rng, BernoulliRate) {
+    ml::Rng rng(14);
+    int hits = 0;
+    for (int i = 0; i < 100000; ++i) hits += rng.bernoulli(0.3);
+    EXPECT_NEAR(hits / 1e5, 0.3, 0.01);
+}
+
+TEST(Rng, WeightedIndexProportions) {
+    ml::Rng rng(15);
+    const std::vector<double> w{1.0, 3.0, 0.0, 6.0};
+    std::vector<int> counts(4, 0);
+    for (int i = 0; i < 100000; ++i) ++counts[rng.weighted_index(w)];
+    EXPECT_EQ(counts[2], 0);
+    EXPECT_NEAR(counts[0] / 1e5, 0.1, 0.01);
+    EXPECT_NEAR(counts[1] / 1e5, 0.3, 0.01);
+    EXPECT_NEAR(counts[3] / 1e5, 0.6, 0.01);
+}
+
+TEST(Rng, WeightedIndexAllZeroFallsBack) {
+    ml::Rng rng(16);
+    const std::vector<double> w{0.0, 0.0, 0.0};
+    EXPECT_EQ(rng.weighted_index(w), 2u);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+    ml::Rng rng(17);
+    std::vector<int> v(100);
+    std::iota(v.begin(), v.end(), 0);
+    auto shuffled = v;
+    rng.shuffle(shuffled);
+    EXPECT_FALSE(std::equal(v.begin(), v.end(), shuffled.begin()));
+    std::sort(shuffled.begin(), shuffled.end());
+    EXPECT_EQ(v, shuffled);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+    ml::Rng rng(18);
+    const auto s = rng.sample_without_replacement(50, 20);
+    EXPECT_EQ(s.size(), 20u);
+    const std::set<std::size_t> uniq(s.begin(), s.end());
+    EXPECT_EQ(uniq.size(), 20u);
+    for (std::size_t i : s) EXPECT_LT(i, 50u);
+}
+
+TEST(Rng, SampleWithoutReplacementClampsK) {
+    ml::Rng rng(19);
+    const auto s = rng.sample_without_replacement(5, 99);
+    EXPECT_EQ(s.size(), 5u);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+    ml::Rng parent(20);
+    ml::Rng child = parent.split();
+    int same = 0;
+    for (int i = 0; i < 100; ++i) same += parent.next_u64() == child.next_u64();
+    EXPECT_LT(same, 3);
+}
+
+// Property sweep: distribution moments hold across seeds, including edge
+// seeds 0 and ~0.
+class RngSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngSeedSweep, UniformMeanStableAcrossSeeds) {
+    ml::Rng rng(GetParam());
+    double sum = 0.0;
+    for (int i = 0; i < 50000; ++i) sum += rng.uniform();
+    EXPECT_NEAR(sum / 50000.0, 0.5, 0.02);
+}
+
+TEST_P(RngSeedSweep, NormalSymmetryAcrossSeeds) {
+    ml::Rng rng(GetParam());
+    int positive = 0;
+    for (int i = 0; i < 50000; ++i) positive += rng.normal() > 0.0;
+    EXPECT_NEAR(positive / 5e4, 0.5, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(1ULL, 42ULL, 1234567ULL, 0ULL,
+                                           0xffffffffffffffffULL));

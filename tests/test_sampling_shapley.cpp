@@ -1,0 +1,135 @@
+#include "core/sampling_shapley.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/exact_shapley.hpp"
+#include "test_util.hpp"
+
+namespace xai = xnfv::xai;
+namespace ml = xnfv::ml;
+using xnfv::testutil::make_uniform_background;
+using xnfv::testutil::max_abs_diff;
+
+TEST(SamplingShapley, ConvergesToExactOnInteractionModel) {
+    ml::Rng rng(1);
+    const xai::BackgroundData background(make_uniform_background(32, 5, rng));
+    const ml::LambdaModel model(5, [](std::span<const double> x) {
+        return x[0] * x[1] + 2.0 * x[2] - x[3] * x[4] * x[0];
+    });
+    const std::vector<double> x{0.5, -0.5, 0.7, 0.2, -0.8};
+
+    xai::ExactShapley exact(background);
+    const auto truth = exact.explain(model, x);
+
+    xai::SamplingShapley sampler(background, ml::Rng(2),
+                                 xai::SamplingShapley::Config{.num_permutations = 4000});
+    const auto approx = sampler.explain(model, x);
+    EXPECT_LT(max_abs_diff(truth.attributions, approx.attributions), 0.03);
+}
+
+TEST(SamplingShapley, ErrorShrinksWithPermutations) {
+    ml::Rng rng(3);
+    const xai::BackgroundData background(make_uniform_background(16, 6, rng));
+    const ml::LambdaModel model(6, [](std::span<const double> x) {
+        double v = 0.0;
+        for (std::size_t i = 0; i + 1 < x.size(); ++i) v += x[i] * x[i + 1];
+        return v;
+    });
+    const std::vector<double> x(6, 0.5);
+    xai::ExactShapley exact(background);
+    const auto truth = exact.explain(model, x);
+
+    auto err_at = [&](std::size_t perms) {
+        double total = 0.0;
+        for (int rep = 0; rep < 3; ++rep) {
+            xai::SamplingShapley s(background, ml::Rng(10 + rep),
+                                   xai::SamplingShapley::Config{.num_permutations = perms});
+            total += max_abs_diff(truth.attributions, s.explain(model, x).attributions);
+        }
+        return total / 3.0;
+    };
+    EXPECT_LT(err_at(2000), err_at(20));
+}
+
+TEST(SamplingShapley, TelescopingEfficiencyHoldsExactly) {
+    // Each permutation's credits telescope to f(x) - f(b), so even a single
+    // permutation satisfies sum(phi) == prediction - base exactly.
+    ml::Rng rng(4);
+    const xai::BackgroundData background(make_uniform_background(8, 4, rng));
+    const ml::LambdaModel model(4, [](std::span<const double> x) {
+        return std::exp(x[0]) * x[1] + x[2] - 3.0 * x[3] * x[3];
+    });
+    const std::vector<double> x{0.3, -0.9, 0.1, 0.7};
+    for (std::size_t perms : {1u, 7u, 50u}) {
+        xai::SamplingShapley s(background, ml::Rng(perms),
+                               xai::SamplingShapley::Config{.num_permutations = perms});
+        const auto e = s.explain(model, x);
+        EXPECT_NEAR(e.additive_reconstruction(), e.prediction, 1e-10);
+    }
+}
+
+TEST(SamplingShapley, LinearModelRecoveredQuickly) {
+    ml::Rng rng(5);
+    const xai::BackgroundData background(make_uniform_background(64, 3, rng));
+    const ml::LambdaModel model(3, [](std::span<const double> x) {
+        return 5.0 * x[0] - 2.0 * x[1];
+    });
+    const std::vector<double> x{0.4, -0.6, 0.9};
+    xai::SamplingShapley s(background, ml::Rng(6),
+                           xai::SamplingShapley::Config{.num_permutations = 800});
+    const auto e = s.explain(model, x);
+    const auto& mu = background.means();
+    // For additive models the only estimator noise is the background draw:
+    // sd(phi_0) ~ |w_0| * sd(b_0) / sqrt(runs) ~ 0.07 here.
+    EXPECT_NEAR(e.attributions[0], 5.0 * (x[0] - mu[0]), 0.25);
+    EXPECT_NEAR(e.attributions[1], -2.0 * (x[1] - mu[1]), 0.12);
+    EXPECT_NEAR(e.attributions[2], 0.0, 0.05);
+}
+
+TEST(SamplingShapley, AntitheticReducesOrderNoise) {
+    // Antithetic replay cancels permutation-*order* noise; it cannot touch
+    // background-draw noise.  Isolate order noise with a one-row background
+    // (no draw variance) and an interaction model (order matters).
+    ml::Rng rng(7);
+    const xai::BackgroundData background(make_uniform_background(1, 6, rng));
+    const ml::LambdaModel model(6, [](std::span<const double> x) {
+        double v = 0.0;
+        for (std::size_t i = 0; i + 1 < x.size(); ++i) v += x[i] * x[i + 1];
+        return v + x[0] * x[3] * x[5];
+    });
+    const std::vector<double> x(6, 0.8);
+    auto variance_of = [&](bool antithetic) {
+        // Equal model-eval budget: antithetic runs half as many base perms.
+        const std::size_t perms = antithetic ? 60 : 120;
+        std::vector<double> firsts;
+        for (int rep = 0; rep < 20; ++rep) {
+            xai::SamplingShapley s(
+                background, ml::Rng(100 + rep),
+                xai::SamplingShapley::Config{.num_permutations = perms,
+                                             .antithetic = antithetic});
+            firsts.push_back(s.explain(model, x).attributions[0]);
+        }
+        double m = 0.0;
+        for (double v : firsts) m += v;
+        m /= static_cast<double>(firsts.size());
+        double var = 0.0;
+        for (double v : firsts) var += (v - m) * (v - m);
+        return var / static_cast<double>(firsts.size());
+    };
+    EXPECT_LE(variance_of(true), variance_of(false) * 1.1);
+}
+
+TEST(SamplingShapley, RejectsMisuse) {
+    const ml::LambdaModel model(2, [](std::span<const double>) { return 0.0; });
+    xai::SamplingShapley empty(xai::BackgroundData{}, ml::Rng(1));
+    EXPECT_THROW((void)empty.explain(model, std::vector<double>{0, 0}),
+                 std::invalid_argument);
+    ml::Rng rng(8);
+    xai::SamplingShapley zero(
+        xai::BackgroundData(make_uniform_background(8, 2, rng)), ml::Rng(1),
+        xai::SamplingShapley::Config{.num_permutations = 0});
+    EXPECT_THROW((void)zero.explain(model, std::vector<double>{0, 0}),
+                 std::invalid_argument);
+}

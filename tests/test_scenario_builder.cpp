@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "workload/dataset_builder.hpp"
+#include "workload/scenario.hpp"
+
+namespace wl = xnfv::wl;
+namespace nfv = xnfv::nfv;
+namespace ml = xnfv::ml;
+
+TEST(Scenario, ChainTemplatesResolve) {
+    for (auto t : {wl::ChainTemplate::web_gateway, wl::ChainTemplate::secure_enterprise,
+                   wl::ChainTemplate::video_cdn, wl::ChainTemplate::iot_ingest,
+                   wl::ChainTemplate::vpn_tunnel}) {
+        const auto types = wl::chain_types(t);
+        EXPECT_GE(types.size(), 2u);
+        EXPECT_LE(types.size(), 3u);
+        EXPECT_STRNE(wl::to_string(t), "unknown");
+    }
+}
+
+TEST(Scenario, StandardLibraryHasFiveFamilies) {
+    const auto specs = wl::standard_scenarios();
+    EXPECT_EQ(specs.size(), 5u);
+    std::set<std::string> names;
+    for (const auto& s : specs) names.insert(s.name);
+    EXPECT_EQ(names.size(), 5u);  // distinct names
+}
+
+TEST(Scenario, FaultScenariosCarryTheirFault) {
+    for (auto f : {wl::FaultKind::cpu_starvation, wl::FaultKind::link_saturation,
+                   wl::FaultKind::traffic_burst, wl::FaultKind::cache_contention,
+                   wl::FaultKind::memory_pressure}) {
+        const auto s = wl::fault_scenario(f);
+        EXPECT_EQ(s.fault, f);
+        EXPECT_GT(s.fault_prob, 0.0);
+        EXPECT_STRNE(wl::to_string(f), "unknown");
+    }
+}
+
+TEST(DatasetBuilder, ProducesRequestedRows) {
+    ml::Rng rng(1);
+    wl::BuildOptions opt;
+    opt.num_samples = 300;
+    const auto built = wl::build_dataset(wl::standard_scenarios()[0], opt, rng);
+    EXPECT_EQ(built.data.size(), 300u);
+    EXPECT_EQ(built.fault.size(), 300u);
+    EXPECT_EQ(built.chain_kind.size(), 300u);
+    EXPECT_EQ(built.latency_ms.size(), 300u);
+    EXPECT_NO_THROW(built.data.validate());
+}
+
+TEST(DatasetBuilder, FeatureNamesMatchTelemetry) {
+    ml::Rng rng(2);
+    wl::BuildOptions opt;
+    opt.num_samples = 50;
+    opt.feature_set = nfv::FeatureSet::full_telemetry;
+    const auto built = wl::build_dataset(wl::standard_scenarios()[1], opt, rng);
+    EXPECT_EQ(built.data.feature_names, nfv::feature_names(nfv::FeatureSet::full_telemetry));
+    EXPECT_EQ(built.data.num_features(), 18u);
+}
+
+TEST(DatasetBuilder, ConfigOnlyFeatureSetIsSmaller) {
+    ml::Rng rng(3);
+    wl::BuildOptions opt;
+    opt.num_samples = 50;
+    opt.feature_set = nfv::FeatureSet::config_only;
+    const auto built = wl::build_dataset(wl::standard_scenarios()[0], opt, rng);
+    EXPECT_EQ(built.data.num_features(), 10u);
+}
+
+TEST(DatasetBuilder, ClassificationLabelsAreBinaryAndMixed) {
+    ml::Rng rng(4);
+    wl::BuildOptions opt;
+    opt.num_samples = 600;
+    opt.label = nfv::LabelKind::sla_violation;
+    const auto built = wl::build_dataset(wl::standard_scenarios()[4], opt, rng);
+    for (double y : built.data.y) EXPECT_TRUE(y == 0.0 || y == 1.0);
+    const double rate = built.data.positive_rate();
+    EXPECT_GT(rate, 0.02);  // some violations happen
+    EXPECT_LT(rate, 0.98);  // but not all the time
+}
+
+TEST(DatasetBuilder, RegressionLabelsArePositiveFiniteLatencies) {
+    ml::Rng rng(5);
+    wl::BuildOptions opt;
+    opt.num_samples = 200;
+    opt.label = nfv::LabelKind::latency_ms;
+    const auto built = wl::build_dataset(wl::standard_scenarios()[2], opt, rng);
+    for (double y : built.data.y) {
+        EXPECT_GT(y, 0.0);
+        EXPECT_TRUE(std::isfinite(y));
+    }
+}
+
+TEST(DatasetBuilder, AllFeaturesFinite) {
+    ml::Rng rng(6);
+    wl::BuildOptions opt;
+    opt.num_samples = 300;
+    const auto built =
+        wl::build_mixed_dataset(wl::standard_scenarios(), opt, rng);
+    for (std::size_t r = 0; r < built.data.size(); ++r)
+        for (double v : built.data.x.row(r)) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(DatasetBuilder, FaultInjectionRateNearProbability) {
+    ml::Rng rng(7);
+    auto spec = wl::fault_scenario(wl::FaultKind::cpu_starvation);
+    spec.fault_prob = 0.5;
+    wl::BuildOptions opt;
+    opt.num_samples = 800;
+    const auto built = wl::build_dataset(spec, opt, rng);
+    double faulted = 0.0;
+    for (auto f : built.fault) faulted += f == wl::FaultKind::cpu_starvation ? 1.0 : 0.0;
+    EXPECT_NEAR(faulted / 800.0, 0.5, 0.12);
+}
+
+TEST(DatasetBuilder, CpuStarvationRaisesViolationRate) {
+    ml::Rng rng(8);
+    auto spec = wl::fault_scenario(wl::FaultKind::cpu_starvation);
+    wl::BuildOptions opt;
+    opt.num_samples = 800;
+    const auto built = wl::build_dataset(spec, opt, rng);
+    double v_faulted = 0.0, n_faulted = 0.0, v_clean = 0.0, n_clean = 0.0;
+    for (std::size_t i = 0; i < built.data.size(); ++i) {
+        if (built.fault[i] == wl::FaultKind::cpu_starvation) {
+            v_faulted += built.data.y[i];
+            n_faulted += 1.0;
+        } else {
+            v_clean += built.data.y[i];
+            n_clean += 1.0;
+        }
+    }
+    ASSERT_GT(n_faulted, 0.0);
+    ASSERT_GT(n_clean, 0.0);
+    EXPECT_GT(v_faulted / n_faulted, v_clean / n_clean);
+}
+
+TEST(DatasetBuilder, MixedDatasetCoversAllTemplates) {
+    ml::Rng rng(9);
+    wl::BuildOptions opt;
+    opt.num_samples = 500;
+    const auto built = wl::build_mixed_dataset(wl::standard_scenarios(), opt, rng);
+    std::set<wl::ChainTemplate> seen(built.chain_kind.begin(), built.chain_kind.end());
+    EXPECT_GE(seen.size(), 4u);
+}
+
+TEST(DatasetBuilder, RejectsEmptyScenarioList) {
+    ml::Rng rng(10);
+    EXPECT_THROW((void)wl::build_mixed_dataset({}, wl::BuildOptions{}, rng),
+                 std::invalid_argument);
+}
+
+TEST(DatasetBuilder, DeterministicGivenSeed) {
+    wl::BuildOptions opt;
+    opt.num_samples = 100;
+    ml::Rng a(77), b(77);
+    const auto da = wl::build_dataset(wl::standard_scenarios()[0], opt, a);
+    const auto db = wl::build_dataset(wl::standard_scenarios()[0], opt, b);
+    for (std::size_t i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(da.data.y[i], db.data.y[i]);
+}
+
+// Sweep: every fault family produces a usable labelled dataset.
+class FaultFamilySweep : public ::testing::TestWithParam<wl::FaultKind> {};
+
+TEST_P(FaultFamilySweep, BuildsMixedLabelDataset) {
+    ml::Rng rng(static_cast<std::uint64_t>(GetParam()) + 100);
+    wl::BuildOptions opt;
+    opt.num_samples = 400;
+    const auto built = wl::build_dataset(wl::fault_scenario(GetParam()), opt, rng);
+    EXPECT_EQ(built.data.size(), 400u);
+    const double rate = built.data.positive_rate();
+    EXPECT_GT(rate, 0.01);
+    EXPECT_LT(rate, 0.99);
+}
+
+INSTANTIATE_TEST_SUITE_P(Faults, FaultFamilySweep,
+                         ::testing::Values(wl::FaultKind::cpu_starvation,
+                                           wl::FaultKind::link_saturation,
+                                           wl::FaultKind::traffic_burst,
+                                           wl::FaultKind::cache_contention,
+                                           wl::FaultKind::memory_pressure));

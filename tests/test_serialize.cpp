@@ -1,0 +1,193 @@
+#include "mlcore/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "mlcore/forest.hpp"
+#include "mlcore/gbt.hpp"
+#include "mlcore/linear.hpp"
+#include "mlcore/mlp.hpp"
+#include "mlcore/tree.hpp"
+#include "test_util.hpp"
+
+namespace ml = xnfv::ml;
+using xnfv::testutil::make_linear_dataset;
+using xnfv::testutil::make_logistic_dataset;
+using xnfv::testutil::make_xor_dataset;
+
+namespace {
+
+/// Round-trips a model through the tagged text format and checks that the
+/// restored model predicts identically on probe points.
+void expect_roundtrip_identical(const ml::Model& model, std::size_t d) {
+    std::stringstream ss;
+    ml::save_model(model, ss);
+    const auto restored = ml::load_model(ss);
+    ASSERT_NE(restored, nullptr);
+    EXPECT_EQ(restored->name(), model.name());
+    EXPECT_EQ(restored->num_features(), model.num_features());
+    ml::Rng rng(777);
+    std::vector<double> x(d);
+    for (int rep = 0; rep < 25; ++rep) {
+        for (auto& v : x) v = rng.uniform(-1.0, 1.0);
+        EXPECT_DOUBLE_EQ(restored->predict(x), model.predict(x));
+    }
+}
+
+}  // namespace
+
+TEST(Serialize, LinearRegressionRoundTrip) {
+    ml::Rng rng(1);
+    const auto d = make_linear_dataset(std::vector<double>{2.0, -1.0}, 0.5, 200, rng);
+    ml::LinearRegression m;
+    m.fit(d);
+    expect_roundtrip_identical(m, 2);
+}
+
+TEST(Serialize, LogisticRegressionRoundTrip) {
+    ml::Rng rng(2);
+    const auto d = make_logistic_dataset(std::vector<double>{3.0, -2.0}, 0.1, 300, rng);
+    ml::LogisticRegression m;
+    m.fit(d);
+    expect_roundtrip_identical(m, 2);
+}
+
+TEST(Serialize, DecisionTreeRoundTrip) {
+    ml::Rng rng(3);
+    const auto d = make_xor_dataset(500, rng);
+    ml::DecisionTree m(ml::DecisionTree::Config{.max_depth = 6});
+    m.fit(d);
+    expect_roundtrip_identical(m, 2);
+}
+
+TEST(Serialize, DecisionTreePreservesStructureAndImportances) {
+    ml::Rng rng(4);
+    const auto d = make_xor_dataset(400, rng);
+    ml::DecisionTree m;
+    m.fit(d);
+    std::stringstream ss;
+    ml::save_model(m, ss);
+    const auto restored = ml::load_model(ss);
+    const auto* tree = dynamic_cast<const ml::DecisionTree*>(restored.get());
+    ASSERT_NE(tree, nullptr);
+    EXPECT_EQ(tree->nodes().size(), m.nodes().size());
+    EXPECT_EQ(tree->num_leaves(), m.num_leaves());
+    const auto ia = m.feature_importances();
+    const auto ib = tree->feature_importances();
+    for (std::size_t j = 0; j < ia.size(); ++j) EXPECT_DOUBLE_EQ(ia[j], ib[j]);
+}
+
+TEST(Serialize, RandomForestRoundTrip) {
+    ml::Rng rng(5);
+    const auto d = make_xor_dataset(600, rng);
+    ml::RandomForest m(ml::RandomForest::Config{.num_trees = 15});
+    m.fit(d, rng);
+    expect_roundtrip_identical(m, 2);
+}
+
+TEST(Serialize, GbtRegressionRoundTrip) {
+    ml::Rng rng(6);
+    const auto d = make_linear_dataset(std::vector<double>{1.0, 2.0, -1.0}, 0.0, 400, rng);
+    ml::GradientBoostedTrees m(ml::GradientBoostedTrees::Config{.num_rounds = 25});
+    m.fit(d, rng);
+    expect_roundtrip_identical(m, 3);
+}
+
+TEST(Serialize, GbtClassifierPreservesLinkAndMargin) {
+    ml::Rng rng(7);
+    const auto d = make_xor_dataset(600, rng);
+    ml::GradientBoostedTrees m(ml::GradientBoostedTrees::Config{.num_rounds = 20});
+    m.fit(d, rng);
+    std::stringstream ss;
+    ml::save_model(m, ss);
+    const auto restored = ml::load_model(ss);
+    const auto* gbt = dynamic_cast<const ml::GradientBoostedTrees*>(restored.get());
+    ASSERT_NE(gbt, nullptr);
+    const std::vector<double> x{0.4, -0.7};
+    EXPECT_DOUBLE_EQ(gbt->predict(x), m.predict(x));
+    EXPECT_DOUBLE_EQ(gbt->predict_margin(x), m.predict_margin(x));
+    EXPECT_DOUBLE_EQ(gbt->base_score(), m.base_score());
+}
+
+TEST(Serialize, MlpRoundTripBothActivations) {
+    for (const auto activation : {ml::Activation::relu, ml::Activation::tanh}) {
+        ml::Rng rng(8);
+        const auto d = make_linear_dataset(std::vector<double>{1.0, -1.0}, 0.3, 300, rng);
+        ml::Mlp m(ml::Mlp::Config{.hidden_layers = {8, 4}, .activation = activation,
+                                  .epochs = 15});
+        m.fit(d, rng);
+        expect_roundtrip_identical(m, 2);
+    }
+}
+
+TEST(Serialize, MlpClassifierKeepsSigmoidLink) {
+    ml::Rng rng(9);
+    const auto d = make_xor_dataset(500, rng);
+    ml::Mlp m(ml::Mlp::Config{.hidden_layers = {8}, .epochs = 20});
+    m.fit(d, rng);
+    std::stringstream ss;
+    ml::save_model(m, ss);
+    const auto restored = ml::load_model(ss);
+    const std::vector<double> x{0.2, -0.3};
+    const double p = restored->predict(x);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    EXPECT_DOUBLE_EQ(p, m.predict(x));
+}
+
+TEST(Serialize, FileRoundTrip) {
+    ml::Rng rng(10);
+    const auto d = make_linear_dataset(std::vector<double>{4.0}, 1.0, 100, rng);
+    ml::LinearRegression m;
+    m.fit(d);
+    const std::string path = "/tmp/xnfv_serialize_test.model";
+    ml::save_model_file(m, path);
+    const auto restored = ml::load_model_file(path);
+    EXPECT_DOUBLE_EQ(restored->predict(std::vector<double>{0.5}),
+                     m.predict(std::vector<double>{0.5}));
+}
+
+TEST(Serialize, RejectsUnsupportedModel) {
+    const ml::LambdaModel lambda(1, [](std::span<const double>) { return 0.0; });
+    std::stringstream ss;
+    EXPECT_THROW(ml::save_model(lambda, ss), std::invalid_argument);
+}
+
+TEST(Serialize, RejectsGarbageInput) {
+    std::stringstream empty;
+    EXPECT_THROW((void)ml::load_model(empty), std::runtime_error);
+    std::stringstream wrong_magic("not-a-model 1 linear_regression\n");
+    EXPECT_THROW((void)ml::load_model(wrong_magic), std::runtime_error);
+    std::stringstream bad_version("xnfv-model 99 linear_regression\n");
+    EXPECT_THROW((void)ml::load_model(bad_version), std::runtime_error);
+    std::stringstream bad_tag("xnfv-model 1 quantum_svm\n");
+    EXPECT_THROW((void)ml::load_model(bad_tag), std::runtime_error);
+    std::stringstream truncated("xnfv-model 1 decision_tree\ntree 2 0 1\n");
+    EXPECT_THROW((void)ml::load_model(truncated), std::runtime_error);
+}
+
+TEST(Serialize, RejectsCorruptTreeIndices) {
+    // An internal node pointing outside the node array must be rejected.
+    std::stringstream evil(
+        "xnfv-model 1 decision_tree\n"
+        "tree 1 0 1\n"
+        "0 0.5 7 8 0 10\n"  // children 7/8 do not exist
+        "1 0\n");
+    EXPECT_THROW((void)ml::load_model(evil), std::runtime_error);
+}
+
+TEST(Serialize, LoadedForestWorksWithTreeShap) {
+    // Serialization must preserve everything TreeSHAP needs (covers!).
+    ml::Rng rng(11);
+    const auto d = make_xor_dataset(600, rng);
+    ml::RandomForest m(ml::RandomForest::Config{.num_trees = 10});
+    m.fit(d, rng);
+    std::stringstream ss;
+    ml::save_model(m, ss);
+    const auto restored = ml::load_model(ss);
+    const auto* forest = dynamic_cast<const ml::RandomForest*>(restored.get());
+    ASSERT_NE(forest, nullptr);
+    for (const auto& tree : forest->trees())
+        for (const auto& node : tree.nodes()) EXPECT_GT(node.cover, 0.0);
+}

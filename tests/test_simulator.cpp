@@ -1,0 +1,219 @@
+#include "nfv/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "nfv/placement.hpp"
+
+namespace nfv = xnfv::nfv;
+namespace ml = xnfv::ml;
+
+namespace {
+
+struct Fixture {
+    nfv::Infrastructure infra;
+    nfv::Deployment dep;
+};
+
+/// One three-stage chain on a small PoP, placed first-fit.
+Fixture one_chain(double cores = 2.0, std::size_t servers = 2) {
+    Fixture f;
+    f.infra = nfv::Infrastructure::homogeneous_pop(servers, nfv::Server{});
+    nfv::make_chain(f.dep, "c",
+                    {nfv::VnfType::firewall, nfv::VnfType::nat, nfv::VnfType::load_balancer},
+                    cores);
+    ml::Rng rng(1);
+    nfv::place(f.dep, f.infra, nfv::PlacementStrategy::first_fit, rng);
+    return f;
+}
+
+nfv::OfferedLoad load_of(double pps, double ca2 = 1.0, double flows = 1e4) {
+    return nfv::OfferedLoad{.pps = pps, .avg_pkt_bytes = 700.0, .active_flows = flows,
+                            .burstiness_ca2 = ca2};
+}
+
+}  // namespace
+
+TEST(Simulator, BasicInvariants) {
+    auto f = one_chain();
+    const auto r = nfv::simulate_epoch(f.dep, f.infra, {load_of(5e4)});
+    ASSERT_EQ(r.chains.size(), 1u);
+    const auto& c = r.chains[0];
+    EXPECT_GT(c.latency_s, 0.0);
+    EXPECT_GT(c.goodput_frac, 0.0);
+    EXPECT_LE(c.goodput_frac, 1.0);
+    EXPECT_EQ(r.vnfs.size(), 3u);
+    EXPECT_EQ(r.servers.size(), 2u);
+    for (const auto& v : r.vnfs) {
+        EXPECT_GE(v.utilization, 0.0);
+        EXPECT_GE(v.sojourn_s, 0.0);
+        EXPECT_GE(v.loss_rate, 0.0);
+        EXPECT_LE(v.loss_rate, 1.0);
+        EXPECT_GE(v.cache_penalty, 1.0);
+        EXPECT_GE(v.mem_penalty, 1.0);
+    }
+}
+
+TEST(Simulator, LatencyMonotoneInOfferedLoad) {
+    auto f = one_chain();
+    double prev = 0.0;
+    for (double pps : {1e4, 5e4, 1e5, 2e5, 4e5}) {
+        const auto r = nfv::simulate_epoch(f.dep, f.infra, {load_of(pps)});
+        EXPECT_GT(r.chains[0].latency_s, prev);
+        prev = r.chains[0].latency_s;
+    }
+}
+
+TEST(Simulator, OverloadViolatesSlaAndLosesTraffic) {
+    auto f = one_chain(/*cores=*/0.25);
+    const auto r = nfv::simulate_epoch(f.dep, f.infra, {load_of(2e6)});
+    EXPECT_TRUE(r.chains[0].sla_violated);
+    EXPECT_LT(r.chains[0].goodput_frac, 0.99);
+}
+
+TEST(Simulator, LightLoadMeetsSla) {
+    auto f = one_chain(/*cores=*/4.0);
+    const auto r = nfv::simulate_epoch(f.dep, f.infra, {load_of(1e4)});
+    EXPECT_FALSE(r.chains[0].sla_violated);
+    EXPECT_NEAR(r.chains[0].goodput_frac, 1.0, 1e-9);
+}
+
+TEST(Simulator, BurstinessRaisesLatency) {
+    auto f = one_chain();
+    const auto smooth = nfv::simulate_epoch(f.dep, f.infra, {load_of(2e5, 1.0)});
+    const auto bursty = nfv::simulate_epoch(f.dep, f.infra, {load_of(2e5, 10.0)});
+    EXPECT_GT(bursty.chains[0].latency_s, smooth.chains[0].latency_s);
+}
+
+TEST(Simulator, BottleneckIsTheStarvedVnf) {
+    Fixture f;
+    f.infra = nfv::Infrastructure::homogeneous_pop(1, nfv::Server{});
+    nfv::make_chain(f.dep, "c", {nfv::VnfType::firewall, nfv::VnfType::nat}, 4.0);
+    f.dep.vnf(1).cpu_cores = 0.2;  // starve the NAT
+    ml::Rng rng(2);
+    nfv::place(f.dep, f.infra, nfv::PlacementStrategy::first_fit, rng);
+    const auto r = nfv::simulate_epoch(f.dep, f.infra, {load_of(2e5)});
+    EXPECT_EQ(r.chains[0].bottleneck_vnf, 1u);
+    EXPECT_GT(r.vnfs[1].utilization, r.vnfs[0].utilization);
+}
+
+TEST(Simulator, HopCountReflectsPlacement) {
+    // Same server: 1 hop (gateway ingress only).  Alternating servers: 3.
+    Fixture colocated;
+    colocated.infra = nfv::Infrastructure::homogeneous_pop(2, nfv::Server{});
+    nfv::make_chain(colocated.dep, "c",
+                    {nfv::VnfType::firewall, nfv::VnfType::nat, nfv::VnfType::load_balancer},
+                    1.0);
+    for (auto& v : colocated.dep.vnfs) v.server = 0;
+    const auto rc = nfv::simulate_epoch(colocated.dep, colocated.infra, {load_of(1e4)});
+    EXPECT_EQ(rc.chains[0].hop_count, 1u);
+
+    Fixture spread = colocated;
+    spread.dep.vnfs[1].server = 1;  // 0 -> 1 -> 0
+    const auto rs = nfv::simulate_epoch(spread.dep, spread.infra, {load_of(1e4)});
+    EXPECT_EQ(rs.chains[0].hop_count, 3u);
+    EXPECT_GT(rs.chains[0].latency_s, rc.chains[0].latency_s);  // extra propagation
+}
+
+TEST(Simulator, CacheContentionCouplesColocatedChains) {
+    // Two chains on one server; inflating chain B's flow count (cache
+    // pressure) must slow chain A even though A's own traffic is unchanged.
+    auto build = [](double flows_b) {
+        Fixture f;
+        f.infra = nfv::Infrastructure::homogeneous_pop(1, nfv::Server{});
+        nfv::make_chain(f.dep, "a", {nfv::VnfType::firewall, nfv::VnfType::nat}, 2.0);
+        nfv::make_chain(f.dep, "b", {nfv::VnfType::ids, nfv::VnfType::wan_optimizer}, 2.0);
+        ml::Rng rng(3);
+        nfv::place(f.dep, f.infra, nfv::PlacementStrategy::first_fit, rng);
+        return nfv::simulate_epoch(
+            f.dep, f.infra, {load_of(1e5, 1.0, 1e4), load_of(5e4, 1.0, flows_b)});
+    };
+    const auto calm = build(1e3);
+    const auto thrash = build(5e6);
+    EXPECT_GT(thrash.servers[0].cache_pressure, 1.0);
+    EXPECT_GT(thrash.chains[0].latency_s, calm.chains[0].latency_s);
+    EXPECT_GT(thrash.vnfs[0].cache_penalty, 1.0);
+}
+
+TEST(Simulator, MemoryPressurePenalizesService) {
+    auto build = [](double flows) {
+        Fixture f;
+        f.infra = nfv::Infrastructure::homogeneous_pop(1, nfv::Server{});
+        nfv::make_chain(f.dep, "a", {nfv::VnfType::wan_optimizer}, 4.0);
+        ml::Rng rng(4);
+        nfv::place(f.dep, f.infra, nfv::PlacementStrategy::first_fit, rng);
+        return nfv::simulate_epoch(f.dep, f.infra, {load_of(5e4, 1.0, flows)});
+    };
+    const auto light = build(1e4);
+    const auto heavy = build(1e8);  // ~100 GB of flow state > 64 GB RAM
+    EXPECT_GT(heavy.servers[0].mem_utilization, 1.0);
+    EXPECT_GT(heavy.vnfs[0].mem_penalty, 1.0);
+    EXPECT_GT(heavy.chains[0].latency_s, light.chains[0].latency_s);
+}
+
+TEST(Simulator, LinkSaturationShowsInStats) {
+    Fixture f;
+    f.infra = nfv::Infrastructure::homogeneous_pop(2, nfv::Server{}, /*link_bps=*/1e8);
+    nfv::make_chain(f.dep, "c", {nfv::VnfType::firewall}, 8.0);
+    f.dep.vnf(0).server = 0;
+    // 1e5 pps * 700 B = 560 Mbps >> 100 Mbps ingress link.
+    const auto r = nfv::simulate_epoch(f.dep, f.infra, {load_of(1e5)});
+    const auto lid = f.infra.link_between(-1, 0);
+    EXPECT_GT(r.links[lid].utilization, 1.0);
+    EXPECT_GT(r.links[lid].loss_rate, 0.0);
+    EXPECT_LT(r.chains[0].goodput_frac, 0.5);
+}
+
+TEST(Simulator, LossRelievesDownstreamStages) {
+    // With a saturated first stage, the second stage sees less traffic than
+    // offered and its utilization reflects the carried (not offered) rate.
+    Fixture f;
+    f.infra = nfv::Infrastructure::homogeneous_pop(1, nfv::Server{});
+    nfv::make_chain(f.dep, "c", {nfv::VnfType::firewall, nfv::VnfType::nat}, 4.0);
+    f.dep.vnf(0).cpu_cores = 0.05;  // chokepoint
+    ml::Rng rng(5);
+    nfv::place(f.dep, f.infra, nfv::PlacementStrategy::first_fit, rng);
+    const auto r = nfv::simulate_epoch(f.dep, f.infra, {load_of(1e6)});
+    EXPECT_GT(r.vnfs[0].loss_rate, 0.5);
+    EXPECT_LT(r.vnfs[1].utilization, 1.0);
+}
+
+TEST(Simulator, RejectsBadInputs) {
+    auto f = one_chain();
+    EXPECT_THROW((void)nfv::simulate_epoch(f.dep, f.infra, {}), std::invalid_argument);
+    f.dep.vnf(0).server = -1;
+    EXPECT_THROW((void)nfv::simulate_epoch(f.dep, f.infra, {load_of(1e4)}),
+                 std::invalid_argument);
+}
+
+TEST(Simulator, MultiChainIndependenceWhenIsolated) {
+    // Two chains on separate servers must not affect each other.
+    Fixture f;
+    f.infra = nfv::Infrastructure::homogeneous_pop(2, nfv::Server{});
+    nfv::make_chain(f.dep, "a", {nfv::VnfType::firewall}, 2.0);
+    nfv::make_chain(f.dep, "b", {nfv::VnfType::firewall}, 2.0);
+    f.dep.vnf(0).server = 0;
+    f.dep.vnf(1).server = 1;
+    const auto quiet = nfv::simulate_epoch(f.dep, f.infra, {load_of(5e4), load_of(1e4)});
+    const auto loud = nfv::simulate_epoch(f.dep, f.infra, {load_of(5e4), load_of(8e5)});
+    EXPECT_NEAR(quiet.chains[0].latency_s, loud.chains[0].latency_s, 1e-12);
+}
+
+// Sweep: the latency-vs-load curve is convex (saturating) — the qualitative
+// shape the PDP experiment F5 must recover.
+class LoadSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(LoadSweep, MarginalLatencyGrowsWithLoad) {
+    auto f = one_chain();
+    const double pps = GetParam();
+    const double delta = 1e4;
+    const auto lo = nfv::simulate_epoch(f.dep, f.infra, {load_of(pps)});
+    const auto mid = nfv::simulate_epoch(f.dep, f.infra, {load_of(pps + delta)});
+    const auto hi = nfv::simulate_epoch(f.dep, f.infra, {load_of(pps + 2 * delta)});
+    const double d1 = mid.chains[0].latency_s - lo.chains[0].latency_s;
+    const double d2 = hi.chains[0].latency_s - mid.chains[0].latency_s;
+    EXPECT_GT(d2, d1 * 0.99);  // convexity (tolerate numeric noise)
+}
+
+INSTANTIATE_TEST_SUITE_P(Loads, LoadSweep, ::testing::Values(2e4, 8e4, 1.6e5, 2.4e5));

@@ -1,0 +1,104 @@
+#include "core/surrogate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mlcore/forest.hpp"
+#include "test_util.hpp"
+
+namespace xai = xnfv::xai;
+namespace ml = xnfv::ml;
+using xnfv::testutil::make_uniform_background;
+
+namespace {
+
+const std::vector<std::string> kNames{"f0", "f1"};
+
+}  // namespace
+
+TEST(Surrogate, PerfectFidelityOnTreeShapedTeacher) {
+    // Teacher is itself an axis-aligned step function: a depth-2 surrogate
+    // can match it exactly.
+    ml::Rng rng(1);
+    const xai::BackgroundData background(make_uniform_background(400, 2, rng));
+    const ml::LambdaModel teacher(2, [](std::span<const double> x) {
+        return (x[0] > 0.0 ? 4.0 : 0.0) + (x[1] > 0.0 ? 1.0 : 0.0);
+    });
+    const auto result = xai::fit_surrogate(teacher, background, kNames, rng,
+                                           xai::SurrogateOptions{.max_depth = 3,
+                                                                 .min_samples_leaf = 2});
+    EXPECT_GT(result.fidelity_r2, 0.99);
+    EXPECT_GT(result.train_fidelity_r2, 0.99);
+}
+
+TEST(Surrogate, DepthImprovesFidelity) {
+    // A2's shape: deeper surrogates are more faithful to a smooth teacher.
+    ml::Rng rng(2);
+    const xai::BackgroundData background(make_uniform_background(600, 2, rng));
+    const ml::LambdaModel teacher(2, [](std::span<const double> x) {
+        return 3.0 * x[0] - 2.0 * x[1];
+    });
+    ml::Rng r1(7), r2(7);
+    const auto shallow = xai::fit_surrogate(teacher, background, kNames, r1,
+                                            xai::SurrogateOptions{.max_depth = 1});
+    const auto deep = xai::fit_surrogate(teacher, background, kNames, r2,
+                                         xai::SurrogateOptions{.max_depth = 6,
+                                                               .min_samples_leaf = 4});
+    EXPECT_GT(deep.fidelity_r2, shallow.fidelity_r2);
+}
+
+TEST(Surrogate, TextRenderingUsesFeatureNames) {
+    ml::Rng rng(3);
+    const xai::BackgroundData background(make_uniform_background(300, 2, rng));
+    const ml::LambdaModel teacher(2, [](std::span<const double> x) {
+        return x[0] > 0.2 ? 1.0 : 0.0;
+    });
+    const auto result = xai::fit_surrogate(teacher, background, kNames, rng);
+    EXPECT_NE(result.text.find("f0"), std::string::npos);
+}
+
+TEST(Surrogate, DistillsBlackBoxForest) {
+    ml::Rng rng(4);
+    ml::Dataset data;
+    data.task = ml::Task::regression;
+    for (int i = 0; i < 800; ++i) {
+        const double a = rng.uniform(-1, 1), b = rng.uniform(-1, 1);
+        data.add(std::vector<double>{a, b}, a > 0 ? 5.0 + b : -5.0);
+    }
+    ml::RandomForest forest(ml::RandomForest::Config{.num_trees = 40});
+    forest.fit(data, rng);
+    const xai::BackgroundData background(data.x, 512);
+    const auto result = xai::fit_surrogate(forest, background, kNames, rng,
+                                           xai::SurrogateOptions{.max_depth = 4,
+                                                                 .min_samples_leaf = 5});
+    // The dominant structure (split on f0) is easy; fidelity should be high.
+    EXPECT_GT(result.fidelity_r2, 0.9);
+    // And the surrogate's own prediction must follow the teacher's step.
+    EXPECT_GT(result.tree.predict(std::vector<double>{0.5, 0.0}),
+              result.tree.predict(std::vector<double>{-0.5, 0.0}));
+}
+
+TEST(Surrogate, RejectsTinyBackground) {
+    ml::Rng rng(5);
+    const xai::BackgroundData background(make_uniform_background(5, 2, rng));
+    const ml::LambdaModel teacher(2, [](std::span<const double>) { return 0.0; });
+    EXPECT_THROW((void)xai::fit_surrogate(teacher, background, kNames, rng),
+                 std::invalid_argument);
+}
+
+// A2 sweep: monotone fidelity in depth for a nonlinear teacher.
+class SurrogateDepthSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SurrogateDepthSweep, FidelityNonTrivialAtEveryDepth) {
+    ml::Rng rng(6);
+    const xai::BackgroundData background(make_uniform_background(500, 2, rng));
+    const ml::LambdaModel teacher(2, [](std::span<const double> x) {
+        return x[0] * x[0] + 0.5 * x[1];
+    });
+    const auto result = xai::fit_surrogate(
+        teacher, background, kNames, rng,
+        xai::SurrogateOptions{.max_depth = GetParam(), .min_samples_leaf = 4});
+    EXPECT_GT(result.fidelity_r2, 0.2);
+    EXPECT_LE(result.tree.depth(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, SurrogateDepthSweep, ::testing::Values(1, 2, 3, 5));

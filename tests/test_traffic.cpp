@@ -1,0 +1,163 @@
+#include "workload/traffic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace wl = xnfv::wl;
+namespace ml = xnfv::ml;
+
+TEST(MmppCa2, PoissonBaselineIsOne) {
+    wl::TrafficSpec spec;
+    spec.burst_ratio = 1.0;
+    EXPECT_DOUBLE_EQ(wl::mmpp_ca2(spec), 1.0);
+}
+
+TEST(MmppCa2, IncreasesWithBurstRatio) {
+    wl::TrafficSpec spec;
+    double prev = 1.0;
+    for (double ratio : {2.0, 4.0, 8.0, 16.0}) {
+        spec.burst_ratio = ratio;
+        const double ca2 = wl::mmpp_ca2(spec);
+        EXPECT_GT(ca2, prev);
+        prev = ca2;
+    }
+}
+
+TEST(MmppCa2, SlowerSwitchingMoreDispersion) {
+    wl::TrafficSpec fast;
+    fast.burst_ratio = 8.0;
+    fast.switch_rate = 10.0;
+    wl::TrafficSpec slow = fast;
+    slow.switch_rate = 0.5;
+    EXPECT_GT(wl::mmpp_ca2(slow), wl::mmpp_ca2(fast));
+}
+
+TEST(MmppCa2, RejectsRatioBelowOne) {
+    wl::TrafficSpec spec;
+    spec.burst_ratio = 0.5;
+    EXPECT_THROW((void)wl::mmpp_ca2(spec), std::invalid_argument);
+}
+
+TEST(TrafficGenerator, MeanRateTracksBase) {
+    wl::TrafficSpec spec;
+    spec.base_pps = 50e3;
+    spec.diurnal_amplitude = 0.0;
+    spec.burst_ratio = 1.0;
+    spec.flash_crowd_prob = 0.0;
+    wl::TrafficGenerator gen(spec, ml::Rng(1));
+    double sum = 0.0;
+    const int n = 2000;
+    for (int t = 0; t < n; ++t) sum += gen.next_epoch(t).pps;
+    EXPECT_NEAR(sum / n, 50e3, 2.5e3);  // 5% tolerance (lognormal noise)
+}
+
+TEST(TrafficGenerator, BurstStateModulatesRate) {
+    wl::TrafficSpec spec;
+    spec.base_pps = 100e3;
+    spec.diurnal_amplitude = 0.0;
+    spec.burst_ratio = 10.0;
+    spec.burst_prob = 0.2;
+    spec.flash_crowd_prob = 0.0;
+    wl::TrafficGenerator gen(spec, ml::Rng(2));
+    double lo = 1e18, hi = 0.0;
+    for (int t = 0; t < 3000; ++t) {
+        const double pps = gen.next_epoch(t).pps;
+        lo = std::min(lo, pps);
+        hi = std::max(hi, pps);
+    }
+    // High state is 10x the low state; observed spread must reflect that.
+    EXPECT_GT(hi / lo, 5.0);
+}
+
+TEST(TrafficGenerator, DiurnalPatternVisible) {
+    wl::TrafficSpec spec;
+    spec.base_pps = 100e3;
+    spec.diurnal_amplitude = 0.5;
+    spec.burst_ratio = 1.0;
+    spec.flash_crowd_prob = 0.0;
+    spec.epochs_per_day = 96;
+    wl::TrafficGenerator gen(spec, ml::Rng(3));
+    // Average the peak-phase and trough-phase epochs over several days.
+    double peak = 0.0, trough = 0.0;
+    int count = 0;
+    for (int day = 0; day < 30; ++day) {
+        peak += gen.next_epoch(day * 96 + 24).pps;    // sin = +1 quarter
+        trough += gen.next_epoch(day * 96 + 72).pps;  // sin = -1 quarter
+        ++count;
+    }
+    EXPECT_GT(peak / count, 1.5 * trough / count);
+}
+
+TEST(TrafficGenerator, FlashCrowdSpikes) {
+    wl::TrafficSpec spec;
+    spec.base_pps = 10e3;
+    spec.diurnal_amplitude = 0.0;
+    spec.burst_ratio = 1.0;
+    spec.flash_crowd_prob = 0.2;
+    spec.flash_crowd_mult = 10.0;
+    wl::TrafficGenerator gen(spec, ml::Rng(4));
+    int spikes = 0;
+    for (int t = 0; t < 1000; ++t) spikes += gen.next_epoch(t).pps > 50e3;
+    EXPECT_GT(spikes, 100);  // ~200 expected
+    EXPECT_LT(spikes, 320);
+}
+
+TEST(TrafficGenerator, PacketSizesWithinEthernetBounds) {
+    wl::TrafficSpec spec;
+    spec.pkt_bytes_mean = 700.0;
+    spec.pkt_bytes_jitter = 1.0;  // extreme jitter still clamps
+    wl::TrafficGenerator gen(spec, ml::Rng(5));
+    for (int t = 0; t < 500; ++t) {
+        const auto load = gen.next_epoch(t);
+        EXPECT_GE(load.avg_pkt_bytes, 64.0);
+        EXPECT_LE(load.avg_pkt_bytes, 1500.0);
+    }
+}
+
+TEST(TrafficGenerator, FlowsScaleWithRate) {
+    wl::TrafficSpec spec;
+    spec.base_pps = 100e3;
+    spec.flows_per_kpps = 100.0;
+    spec.diurnal_amplitude = 0.0;
+    spec.burst_ratio = 1.0;
+    spec.flash_crowd_prob = 0.0;
+    wl::TrafficGenerator gen(spec, ml::Rng(6));
+    double sum = 0.0;
+    const int n = 3000;
+    for (int t = 0; t < n; ++t) sum += gen.next_epoch(t).active_flows;
+    // Pareto noise is normalized to mean 1, so mean flows ~ 10k.
+    EXPECT_NEAR(sum / n, 1e4, 2.5e3);
+}
+
+TEST(TrafficGenerator, Ca2PropagatedToLoads) {
+    wl::TrafficSpec spec;
+    spec.burst_ratio = 6.0;
+    wl::TrafficGenerator gen(spec, ml::Rng(7));
+    const auto load = gen.next_epoch(0);
+    EXPECT_NEAR(load.burstiness_ca2, wl::mmpp_ca2(spec), 1e-12);
+    EXPECT_GT(load.burstiness_ca2, 1.0);
+}
+
+TEST(TrafficGenerator, RejectsBadSpecs) {
+    wl::TrafficSpec bad_rate;
+    bad_rate.base_pps = 0.0;
+    EXPECT_THROW(wl::TrafficGenerator(bad_rate, ml::Rng(8)), std::invalid_argument);
+    wl::TrafficSpec bad_diurnal;
+    bad_diurnal.diurnal_amplitude = 1.5;
+    EXPECT_THROW(wl::TrafficGenerator(bad_diurnal, ml::Rng(9)), std::invalid_argument);
+}
+
+TEST(TrafficGenerator, DeterministicGivenSeed) {
+    wl::TrafficSpec spec;
+    wl::TrafficGenerator a(spec, ml::Rng(42));
+    wl::TrafficGenerator b(spec, ml::Rng(42));
+    for (int t = 0; t < 50; ++t)
+        EXPECT_DOUBLE_EQ(a.next_epoch(t).pps, b.next_epoch(t).pps);
+}
+
+TEST(OfferedLoad, BpsConsistency) {
+    const xnfv::nfv::OfferedLoad load{.pps = 1000.0, .avg_pkt_bytes = 500.0};
+    EXPECT_DOUBLE_EQ(load.bps(), 1000.0 * 500.0 * 8.0);
+}

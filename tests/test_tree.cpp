@@ -1,0 +1,200 @@
+#include "mlcore/tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mlcore/metrics.hpp"
+#include "test_util.hpp"
+
+namespace ml = xnfv::ml;
+using xnfv::testutil::make_linear_dataset;
+using xnfv::testutil::make_xor_dataset;
+
+namespace {
+
+ml::Dataset step_dataset(std::size_t n, ml::Rng& rng) {
+    // y = 1 if x > 0.5 else 0: a single split solves it exactly.
+    ml::Dataset d;
+    d.task = ml::Task::regression;
+    d.feature_names = {"x"};
+    for (std::size_t i = 0; i < n; ++i) {
+        const double x = rng.uniform(0.0, 1.0);
+        d.add(std::vector<double>{x}, x > 0.5 ? 1.0 : 0.0);
+    }
+    return d;
+}
+
+}  // namespace
+
+TEST(DecisionTree, LearnsSingleStepExactly) {
+    ml::Rng rng(1);
+    const auto d = step_dataset(500, rng);
+    ml::DecisionTree tree(ml::DecisionTree::Config{.max_depth = 2, .min_samples_leaf = 1,
+                                                   .min_samples_split = 2});
+    tree.fit(d);
+    EXPECT_DOUBLE_EQ(tree.predict(std::vector<double>{0.1}), 0.0);
+    EXPECT_DOUBLE_EQ(tree.predict(std::vector<double>{0.9}), 1.0);
+    // Threshold should be near 0.5.
+    const auto& root = tree.nodes()[0];
+    ASSERT_FALSE(root.is_leaf());
+    EXPECT_NEAR(root.threshold, 0.5, 0.05);
+}
+
+TEST(DecisionTree, SolvesXorWithDepthTwo) {
+    ml::Rng rng(2);
+    const auto d = make_xor_dataset(1000, rng);
+    ml::DecisionTree tree(ml::DecisionTree::Config{.max_depth = 3, .min_samples_leaf = 5,
+                                                   .min_samples_split = 10});
+    tree.fit(d);
+    const auto probs = tree.predict_batch(d.x);
+    EXPECT_GT(ml::roc_auc(d.y, probs), 0.95);
+}
+
+TEST(DecisionTree, RespectsMaxDepth) {
+    ml::Rng rng(3);
+    const auto d = make_linear_dataset(std::vector<double>{1.0, 1.0}, 0.0, 800, rng, 0.1);
+    for (int depth : {1, 2, 4}) {
+        ml::DecisionTree tree(ml::DecisionTree::Config{
+            .max_depth = depth, .min_samples_leaf = 1, .min_samples_split = 2});
+        tree.fit(d);
+        EXPECT_LE(tree.depth(), depth);
+    }
+}
+
+TEST(DecisionTree, RespectsMinSamplesLeaf) {
+    ml::Rng rng(4);
+    const auto d = step_dataset(200, rng);
+    ml::DecisionTree tree(ml::DecisionTree::Config{.max_depth = 10, .min_samples_leaf = 20,
+                                                   .min_samples_split = 40});
+    tree.fit(d);
+    for (const auto& node : tree.nodes()) {
+        if (node.is_leaf()) {
+            EXPECT_GE(node.cover, 20.0);
+        }
+    }
+}
+
+TEST(DecisionTree, LeafValueIsSubsetMean) {
+    // Two clusters with known means.
+    ml::Dataset d;
+    d.task = ml::Task::regression;
+    for (int i = 0; i < 10; ++i) d.add(std::vector<double>{0.0 + i * 0.01}, 2.0);
+    for (int i = 0; i < 10; ++i) d.add(std::vector<double>{1.0 + i * 0.01}, 8.0);
+    ml::DecisionTree tree(ml::DecisionTree::Config{.max_depth = 1, .min_samples_leaf = 1,
+                                                   .min_samples_split = 2});
+    tree.fit(d);
+    EXPECT_DOUBLE_EQ(tree.predict(std::vector<double>{0.05}), 2.0);
+    EXPECT_DOUBLE_EQ(tree.predict(std::vector<double>{1.05}), 8.0);
+}
+
+TEST(DecisionTree, CoverAccountsAllSamples) {
+    ml::Rng rng(5);
+    const auto d = step_dataset(300, rng);
+    ml::DecisionTree tree;
+    tree.fit(d);
+    EXPECT_DOUBLE_EQ(tree.nodes()[0].cover, 300.0);
+    double leaf_cover = 0.0;
+    for (const auto& node : tree.nodes())
+        if (node.is_leaf()) leaf_cover += node.cover;
+    EXPECT_DOUBLE_EQ(leaf_cover, 300.0);
+}
+
+TEST(DecisionTree, PureNodeDoesNotSplit) {
+    ml::Dataset d;
+    d.task = ml::Task::regression;
+    for (int i = 0; i < 50; ++i) d.add(std::vector<double>{double(i)}, 3.0);
+    ml::DecisionTree tree;
+    tree.fit(d);
+    EXPECT_EQ(tree.num_leaves(), 1u);
+    EXPECT_DOUBLE_EQ(tree.predict(std::vector<double>{25.0}), 3.0);
+}
+
+TEST(DecisionTree, ImportancesConcentrateOnInformativeFeature) {
+    ml::Rng rng(6);
+    // y depends on x0 only; x1 is noise.
+    ml::Dataset d;
+    d.task = ml::Task::regression;
+    for (int i = 0; i < 600; ++i) {
+        const double a = rng.uniform(-1, 1), b = rng.uniform(-1, 1);
+        d.add(std::vector<double>{a, b}, a > 0 ? 5.0 : -5.0);
+    }
+    ml::DecisionTree tree;
+    tree.fit(d);
+    const auto imp = tree.feature_importances();
+    EXPECT_GT(imp[0], 0.9);
+    EXPECT_NEAR(imp[0] + imp[1], 1.0, 1e-9);
+}
+
+TEST(DecisionTree, ClassificationLeavesAreProbabilities) {
+    ml::Rng rng(7);
+    const auto d = make_xor_dataset(400, rng);
+    ml::DecisionTree tree;
+    tree.fit(d);
+    for (const auto& node : tree.nodes()) {
+        if (node.is_leaf()) {
+            EXPECT_GE(node.value, 0.0);
+            EXPECT_LE(node.value, 1.0);
+        }
+    }
+}
+
+TEST(DecisionTree, MaxFeaturesRequiresRng) {
+    ml::Rng rng(8);
+    const auto d = step_dataset(100, rng);
+    ml::DecisionTree tree(ml::DecisionTree::Config{.max_features = 1});
+    EXPECT_THROW(tree.fit(d, nullptr), std::invalid_argument);
+    EXPECT_NO_THROW(tree.fit(d, &rng));
+}
+
+TEST(DecisionTree, PredictBeforeFitThrows) {
+    ml::DecisionTree tree;
+    EXPECT_THROW((void)tree.predict(std::vector<double>{1.0}), std::logic_error);
+}
+
+TEST(DecisionTree, PredictSizeMismatchThrows) {
+    ml::Rng rng(9);
+    ml::DecisionTree tree;
+    tree.fit(step_dataset(100, rng));
+    EXPECT_THROW((void)tree.predict(std::vector<double>{1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(DecisionTree, ToTextMentionsFeatureNames) {
+    ml::Rng rng(10);
+    auto d = step_dataset(200, rng);
+    d.feature_names = {"offered_pps"};
+    ml::DecisionTree tree;
+    tree.fit(d);
+    const auto text = tree.to_text(d.feature_names);
+    EXPECT_NE(text.find("offered_pps"), std::string::npos);
+    EXPECT_NE(text.find("leaf"), std::string::npos);
+}
+
+TEST(DecisionTree, FitRowsUsesOnlyGivenRows) {
+    ml::Dataset d;
+    d.task = ml::Task::regression;
+    d.add(std::vector<double>{0.0}, 1.0);
+    d.add(std::vector<double>{1.0}, 2.0);
+    d.add(std::vector<double>{2.0}, 100.0);  // excluded below
+    const std::vector<std::size_t> rows{0, 1};
+    ml::DecisionTree tree(ml::DecisionTree::Config{.max_depth = 3, .min_samples_leaf = 1,
+                                                   .min_samples_split = 2});
+    tree.fit_rows(d, rows);
+    // Prediction for large x must not reflect the excluded label 100.
+    EXPECT_LE(tree.predict(std::vector<double>{2.0}), 2.0);
+}
+
+// Sweep: deeper trees fit a smooth function monotonically better in-sample.
+class TreeDepthSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TreeDepthSweep, DeeperTreesReduceTrainError) {
+    ml::Rng rng(11);
+    const auto d = make_linear_dataset(std::vector<double>{3.0, -2.0}, 0.0, 1000, rng);
+    ml::DecisionTree shallow(ml::DecisionTree::Config{.max_depth = 1});
+    ml::DecisionTree deep(ml::DecisionTree::Config{.max_depth = GetParam()});
+    shallow.fit(d);
+    deep.fit(d);
+    const double err_shallow = ml::mse(d.y, shallow.predict_batch(d.x));
+    const double err_deep = ml::mse(d.y, deep.predict_batch(d.x));
+    EXPECT_LE(err_deep, err_shallow + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, TreeDepthSweep, ::testing::Values(2, 4, 6, 8));

@@ -1,0 +1,78 @@
+#include "nfv/vnf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace nfv = xnfv::nfv;
+
+TEST(VnfCatalog, AllTypesHaveProfilesAndNames) {
+    EXPECT_EQ(nfv::all_vnf_types().size(), nfv::kNumVnfTypes);
+    for (nfv::VnfType t : nfv::all_vnf_types()) {
+        const auto& p = nfv::vnf_profile(t);
+        EXPECT_EQ(p.type, t);
+        EXPECT_GT(p.cycles_per_packet, 0.0);
+        EXPECT_GE(p.cycles_per_byte, 0.0);
+        EXPECT_GT(p.mem_bytes_base, 0.0);
+        EXPECT_GT(p.service_cv2, 0.0);
+        EXPECT_NE(nfv::to_string(t), "unknown");
+    }
+}
+
+TEST(VnfCatalog, StringRoundTrip) {
+    for (nfv::VnfType t : nfv::all_vnf_types())
+        EXPECT_EQ(nfv::vnf_type_from_string(nfv::to_string(t)), t);
+    EXPECT_THROW((void)nfv::vnf_type_from_string("gpu_miner"), std::invalid_argument);
+}
+
+TEST(VnfCatalog, QualitativeCostStructure) {
+    // The per-byte-dominated middleboxes must out-cost the per-packet ones
+    // per byte, and vice versa; explanations depend on this structure.
+    const auto& ids = nfv::vnf_profile(nfv::VnfType::ids);
+    const auto& fw = nfv::vnf_profile(nfv::VnfType::firewall);
+    const auto& lb = nfv::vnf_profile(nfv::VnfType::load_balancer);
+    const auto& crypto = nfv::vnf_profile(nfv::VnfType::crypto_gateway);
+    EXPECT_GT(ids.cycles_per_byte, fw.cycles_per_byte);
+    EXPECT_GT(crypto.cycles_per_byte, lb.cycles_per_byte);
+    // NAT keeps per-flow state; a stateless-ish LB should be lighter per flow
+    // than the WAN optimizer's dedup store.
+    EXPECT_GT(nfv::vnf_profile(nfv::VnfType::wan_optimizer).mem_bytes_per_flow,
+              lb.mem_bytes_per_flow);
+}
+
+TEST(VnfInstance, CycleDemandScalesWithTraffic) {
+    nfv::VnfInstance v{.type = nfv::VnfType::firewall, .cpu_cores = 2.0, .num_rules = 0};
+    const double base = v.demand_cycles(1e5, 1e8, 1e3);
+    EXPECT_GT(base, 0.0);
+    EXPECT_NEAR(v.demand_cycles(2e5, 2e8, 1e3), 2.0 * base, 1e-6);
+}
+
+TEST(VnfInstance, RulesAddPerPacketCost) {
+    nfv::VnfInstance bare{.type = nfv::VnfType::firewall, .num_rules = 0};
+    nfv::VnfInstance loaded{.type = nfv::VnfType::firewall, .num_rules = 5000};
+    EXPECT_GT(loaded.demand_cycles(1e5, 0.0, 0.0), bare.demand_cycles(1e5, 0.0, 0.0));
+}
+
+TEST(VnfInstance, MemoryDemandGrowsWithFlows) {
+    nfv::VnfInstance v{.type = nfv::VnfType::nat};
+    EXPECT_GT(v.demand_memory(1e6), v.demand_memory(1e3));
+    const auto& p = nfv::vnf_profile(nfv::VnfType::nat);
+    EXPECT_NEAR(v.demand_memory(0.0), p.mem_bytes_base, 1e-9);
+}
+
+TEST(VnfInstance, CacheDemandGrowsWithFlows) {
+    nfv::VnfInstance v{.type = nfv::VnfType::ids};
+    EXPECT_GT(v.demand_cache(1e6), v.demand_cache(1e3));
+}
+
+TEST(VnfInstance, ByteHeavyTypesDominatedByBps) {
+    // For the IDS, doubling bytes at fixed pps should raise demand by more
+    // than doubling pps at fixed bytes (it is per-byte dominated at 700 B).
+    nfv::VnfInstance ids{.type = nfv::VnfType::ids};
+    const double pps = 1e5;
+    const double bps = pps * 700.0 * 8.0;
+    const double base = ids.demand_cycles(pps, bps, 0.0);
+    const double more_bytes = ids.demand_cycles(pps, 2.0 * bps, 0.0);
+    const double more_pkts = ids.demand_cycles(2.0 * pps, bps, 0.0);
+    EXPECT_GT(more_bytes - base, more_pkts - base);
+}

@@ -1,0 +1,267 @@
+// xnfv command-line interface.
+//
+// End-to-end workflow without writing C++:
+//
+//   xnfv_cli generate --samples 5000 --out data.csv            # simulate NFV PoP
+//   xnfv_cli train    --data data.csv --model rf --out m.xnfv  # fit a model
+//   xnfv_cli evaluate --model m.xnfv --data data.csv           # metrics
+//   xnfv_cli explain  --model m.xnfv --data data.csv --row 3   # incident report
+//   xnfv_cli global   --model m.xnfv --data data.csv           # fleet ranking
+//
+// Every command accepts --seed for reproducibility; see `xnfv_cli help`.
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/aggregate.hpp"
+#include "core/kernel_shap.hpp"
+#include "core/lime.hpp"
+#include "core/occlusion.hpp"
+#include "core/report.hpp"
+#include "core/sampling_shapley.hpp"
+#include "core/tree_shap.hpp"
+#include "mlcore/forest.hpp"
+#include "mlcore/gbt.hpp"
+#include "mlcore/linear.hpp"
+#include "mlcore/metrics.hpp"
+#include "mlcore/mlp.hpp"
+#include "mlcore/preprocess.hpp"
+#include "mlcore/serialize.hpp"
+#include "mlcore/tree.hpp"
+#include "workload/dataset_builder.hpp"
+
+namespace ml = xnfv::ml;
+namespace nfv = xnfv::nfv;
+namespace wl = xnfv::wl;
+namespace xai = xnfv::xai;
+
+namespace {
+
+/// Minimal --key value argument map; flags without a value store "true".
+class Args {
+public:
+    Args(int argc, char** argv, int first) {
+        for (int i = first; i < argc; ++i) {
+            std::string key = argv[i];
+            if (key.rfind("--", 0) != 0)
+                throw std::runtime_error("unexpected argument '" + key + "'");
+            key = key.substr(2);
+            if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+                values_[key] = argv[++i];
+            } else {
+                values_[key] = "true";
+            }
+        }
+    }
+
+    [[nodiscard]] std::string get(const std::string& key,
+                                  const std::string& fallback) const {
+        const auto it = values_.find(key);
+        return it == values_.end() ? fallback : it->second;
+    }
+    [[nodiscard]] std::string require(const std::string& key) const {
+        const auto it = values_.find(key);
+        if (it == values_.end()) throw std::runtime_error("missing --" + key);
+        return it->second;
+    }
+    [[nodiscard]] long long get_int(const std::string& key, long long fallback) const {
+        const auto it = values_.find(key);
+        return it == values_.end() ? fallback : std::stoll(it->second);
+    }
+    [[nodiscard]] bool has(const std::string& key) const { return values_.count(key) > 0; }
+
+private:
+    std::map<std::string, std::string> values_;
+};
+
+int usage() {
+    std::printf(
+        "xnfv — explainable AI for NFV (see README.md)\n\n"
+        "usage: xnfv_cli <command> [--key value ...]\n\n"
+        "commands:\n"
+        "  generate  --samples N [--out data.csv] [--scenario mixed|web_pop|\n"
+        "            enterprise_edge|video_edge|iot_aggregation|dense_colocation]\n"
+        "            [--label sla|latency] [--features full|config] [--seed S]\n"
+        "  train     --data data.csv --out model.xnfv [--model rf|gbt|tree|linear|\n"
+        "            logistic|mlp] [--task clf|reg] [--seed S]\n"
+        "  evaluate  --model model.xnfv --data data.csv\n"
+        "  explain   --model model.xnfv --data data.csv --row K\n"
+        "            [--method tree_shap|kernel_shap|sampling|lime|occlusion]\n"
+        "            [--counterfactual]\n"
+        "  global    --model model.xnfv --data data.csv [--rows N]\n"
+        "            [--method tree_shap|kernel_shap|sampling|lime|occlusion]\n"
+        "  help\n");
+    return 2;
+}
+
+ml::Task task_from(const Args& args, const std::string& fallback) {
+    const auto t = args.get("task", fallback);
+    if (t == "clf" || t == "sla") return ml::Task::binary_classification;
+    if (t == "reg" || t == "latency") return ml::Task::regression;
+    throw std::runtime_error("unknown task '" + t + "'");
+}
+
+int cmd_generate(const Args& args) {
+    ml::Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 2020)));
+    wl::BuildOptions opt;
+    opt.num_samples = static_cast<std::size_t>(args.get_int("samples", 5000));
+    opt.label = args.get("label", "sla") == "latency" ? nfv::LabelKind::latency_ms
+                                                      : nfv::LabelKind::sla_violation;
+    opt.feature_set = args.get("features", "full") == "config"
+                          ? nfv::FeatureSet::config_only
+                          : nfv::FeatureSet::full_telemetry;
+
+    const auto scenario = args.get("scenario", "mixed");
+    std::vector<wl::ScenarioSpec> specs;
+    if (scenario == "mixed") {
+        specs = wl::standard_scenarios();
+    } else {
+        for (const auto& s : wl::standard_scenarios())
+            if (s.name == scenario) specs.push_back(s);
+        if (specs.empty()) throw std::runtime_error("unknown scenario '" + scenario + "'");
+    }
+
+    const auto built = wl::build_mixed_dataset(specs, opt, rng);
+    const auto out = args.get("out", "data.csv");
+    ml::write_csv_file(built.data, out);
+    std::printf("wrote %zu rows x %zu features to %s (positive rate %.3f)\n",
+                built.data.size(), built.data.num_features(), out.c_str(),
+                built.data.positive_rate());
+    return 0;
+}
+
+int cmd_train(const Args& args) {
+    ml::Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 7)));
+    const auto kind = args.get("model", "rf");
+    const auto data = ml::read_csv_file(args.require("data"),
+                                        task_from(args, "clf"));
+    std::unique_ptr<ml::Model> model;
+    if (kind == "rf") {
+        auto m = std::make_unique<ml::RandomForest>(
+            ml::RandomForest::Config{.num_trees = 100});
+        m->fit(data, rng);
+        model = std::move(m);
+    } else if (kind == "gbt") {
+        auto m = std::make_unique<ml::GradientBoostedTrees>(
+            ml::GradientBoostedTrees::Config{.num_rounds = 150});
+        m->fit(data, rng);
+        model = std::move(m);
+    } else if (kind == "tree") {
+        auto m = std::make_unique<ml::DecisionTree>(
+            ml::DecisionTree::Config{.max_depth = 8});
+        m->fit(data);
+        model = std::move(m);
+    } else if (kind == "linear") {
+        auto m = std::make_unique<ml::LinearRegression>();
+        m->fit(data);
+        model = std::move(m);
+    } else if (kind == "logistic") {
+        auto m = std::make_unique<ml::LogisticRegression>();
+        m->fit(data);
+        model = std::move(m);
+    } else if (kind == "mlp") {
+        // Note: the CLI MLP trains on raw features; standardize upstream or
+        // prefer tree models for heterogeneous telemetry scales.
+        auto m = std::make_unique<ml::Mlp>(
+            ml::Mlp::Config{.hidden_layers = {32, 32}, .epochs = 60});
+        m->fit(data, rng);
+        model = std::move(m);
+    } else {
+        throw std::runtime_error("unknown model '" + kind + "'");
+    }
+    const auto out = args.get("out", "model.xnfv");
+    ml::save_model_file(*model, out);
+    std::printf("trained %s on %zu rows; saved to %s\n", model->name().c_str(),
+                data.size(), out.c_str());
+    return 0;
+}
+
+std::unique_ptr<xai::Explainer> make_explainer(const std::string& method,
+                                               const xai::BackgroundData& background,
+                                               std::uint64_t seed) {
+    if (method == "tree_shap") return std::make_unique<xai::TreeShap>();
+    if (method == "kernel_shap")
+        return std::make_unique<xai::KernelShap>(background, ml::Rng(seed));
+    if (method == "sampling")
+        return std::make_unique<xai::SamplingShapley>(background, ml::Rng(seed));
+    if (method == "lime") return std::make_unique<xai::Lime>(background, ml::Rng(seed));
+    if (method == "occlusion") return std::make_unique<xai::Occlusion>(background);
+    throw std::runtime_error("unknown method '" + method + "'");
+}
+
+int cmd_evaluate(const Args& args) {
+    const auto model = ml::load_model_file(args.require("model"));
+    const auto data = ml::read_csv_file(args.require("data"), task_from(args, "clf"));
+    const auto preds = model->predict_batch(data.x);
+    if (data.task == ml::Task::binary_classification) {
+        const auto cm = ml::confusion_matrix(data.y, preds);
+        std::printf("%s on %zu rows:\n  accuracy %.4f  f1 %.4f  auc %.4f  logloss %.4f\n",
+                    model->name().c_str(), data.size(), cm.accuracy(), cm.f1(),
+                    ml::roc_auc(data.y, preds), ml::log_loss(data.y, preds));
+    } else {
+        std::printf("%s on %zu rows:\n  mae %.4f  rmse %.4f  r2 %.4f\n",
+                    model->name().c_str(), data.size(), ml::mae(data.y, preds),
+                    ml::rmse(data.y, preds), ml::r2_score(data.y, preds));
+    }
+    return 0;
+}
+
+int cmd_explain(const Args& args) {
+    const auto model = ml::load_model_file(args.require("model"));
+    const auto data = ml::read_csv_file(args.require("data"), task_from(args, "clf"));
+    const auto row = static_cast<std::size_t>(args.get_int("row", 0));
+    if (row >= data.size()) throw std::runtime_error("--row out of range");
+
+    ml::Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 11)));
+    const xai::BackgroundData background(data.x, 128);
+    const auto explainer =
+        make_explainer(args.get("method", "tree_shap"), background, 11);
+
+    xai::ReportOptions options;
+    if (args.has("counterfactual")) options.counterfactual = xai::CounterfactualOptions{};
+    std::printf("%s", xai::incident_report(*model, *explainer, data.x.row(row),
+                                           data.feature_names, background, rng, options)
+                          .c_str());
+    return 0;
+}
+
+int cmd_global(const Args& args) {
+    const auto model = ml::load_model_file(args.require("model"));
+    const auto data = ml::read_csv_file(args.require("data"), task_from(args, "clf"));
+    const auto n = std::min<std::size_t>(
+        data.size(), static_cast<std::size_t>(args.get_int("rows", 100)));
+    const xai::BackgroundData background(data.x, 128);
+    const auto explainer =
+        make_explainer(args.get("method", "tree_shap"), background, 13);
+
+    std::vector<std::size_t> rows(n);
+    for (std::size_t i = 0; i < n; ++i) rows[i] = i;
+    const auto g = xai::aggregate_explanations(*explainer, *model,
+                                               data.x.take_rows(rows),
+                                               data.feature_names);
+    std::printf("%s", g.to_string(12).c_str());
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) return usage();
+    const std::string command = argv[1];
+    try {
+        const Args args(argc, argv, 2);
+        if (command == "generate") return cmd_generate(args);
+        if (command == "train") return cmd_train(args);
+        if (command == "evaluate") return cmd_evaluate(args);
+        if (command == "explain") return cmd_explain(args);
+        if (command == "global") return cmd_global(args);
+        if (command == "help") return usage();
+        std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+        return usage();
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}
