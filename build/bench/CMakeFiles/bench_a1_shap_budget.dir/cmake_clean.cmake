@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a1_shap_budget.dir/bench_a1_shap_budget.cpp.o"
+  "CMakeFiles/bench_a1_shap_budget.dir/bench_a1_shap_budget.cpp.o.d"
+  "bench_a1_shap_budget"
+  "bench_a1_shap_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a1_shap_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

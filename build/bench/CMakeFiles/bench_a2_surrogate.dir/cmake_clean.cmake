@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a2_surrogate.dir/bench_a2_surrogate.cpp.o"
+  "CMakeFiles/bench_a2_surrogate.dir/bench_a2_surrogate.cpp.o.d"
+  "bench_a2_surrogate"
+  "bench_a2_surrogate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a2_surrogate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a3_clever_hans.dir/bench_a3_clever_hans.cpp.o"
+  "CMakeFiles/bench_a3_clever_hans.dir/bench_a3_clever_hans.cpp.o.d"
+  "bench_a3_clever_hans"
+  "bench_a3_clever_hans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a3_clever_hans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

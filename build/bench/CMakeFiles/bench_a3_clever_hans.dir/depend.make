@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_a3_clever_hans.
+# This may be replaced when dependencies are built.

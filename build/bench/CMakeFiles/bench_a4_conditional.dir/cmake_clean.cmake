@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a4_conditional.dir/bench_a4_conditional.cpp.o"
+  "CMakeFiles/bench_a4_conditional.dir/bench_a4_conditional.cpp.o.d"
+  "bench_a4_conditional"
+  "bench_a4_conditional.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a4_conditional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

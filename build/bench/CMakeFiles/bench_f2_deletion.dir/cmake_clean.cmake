@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f2_deletion.dir/bench_f2_deletion.cpp.o"
+  "CMakeFiles/bench_f2_deletion.dir/bench_f2_deletion.cpp.o.d"
+  "bench_f2_deletion"
+  "bench_f2_deletion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f2_deletion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f3_runtime.dir/bench_f3_runtime.cpp.o"
+  "CMakeFiles/bench_f3_runtime.dir/bench_f3_runtime.cpp.o.d"
+  "bench_f3_runtime"
+  "bench_f3_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f3_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f4_stability.dir/bench_f4_stability.cpp.o"
+  "CMakeFiles/bench_f4_stability.dir/bench_f4_stability.cpp.o.d"
+  "bench_f4_stability"
+  "bench_f4_stability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f4_stability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

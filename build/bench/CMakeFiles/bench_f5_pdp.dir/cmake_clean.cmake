@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f5_pdp.dir/bench_f5_pdp.cpp.o"
+  "CMakeFiles/bench_f5_pdp.dir/bench_f5_pdp.cpp.o.d"
+  "bench_f5_pdp"
+  "bench_f5_pdp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f5_pdp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f6_interactions.dir/bench_f6_interactions.cpp.o"
+  "CMakeFiles/bench_f6_interactions.dir/bench_f6_interactions.cpp.o.d"
+  "bench_f6_interactions"
+  "bench_f6_interactions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f6_interactions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

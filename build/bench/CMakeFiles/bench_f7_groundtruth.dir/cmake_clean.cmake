@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f7_groundtruth.dir/bench_f7_groundtruth.cpp.o"
+  "CMakeFiles/bench_f7_groundtruth.dir/bench_f7_groundtruth.cpp.o.d"
+  "bench_f7_groundtruth"
+  "bench_f7_groundtruth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f7_groundtruth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t2_agreement.dir/bench_t2_agreement.cpp.o"
+  "CMakeFiles/bench_t2_agreement.dir/bench_t2_agreement.cpp.o.d"
+  "bench_t2_agreement"
+  "bench_t2_agreement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t2_agreement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t3_global.dir/bench_t3_global.cpp.o"
+  "CMakeFiles/bench_t3_global.dir/bench_t3_global.cpp.o.d"
+  "bench_t3_global"
+  "bench_t3_global.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t3_global.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t4_counterfactual.dir/bench_t4_counterfactual.cpp.o"
+  "CMakeFiles/bench_t4_counterfactual.dir/bench_t4_counterfactual.cpp.o.d"
+  "bench_t4_counterfactual"
+  "bench_t4_counterfactual.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t4_counterfactual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t5_closed_loop.dir/bench_t5_closed_loop.cpp.o"
+  "CMakeFiles/bench_t5_closed_loop.dir/bench_t5_closed_loop.cpp.o.d"
+  "bench_t5_closed_loop"
+  "bench_t5_closed_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t5_closed_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/closed_loop.dir/closed_loop.cpp.o"
+  "CMakeFiles/closed_loop.dir/closed_loop.cpp.o.d"
+  "closed_loop"
+  "closed_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/closed_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sla_violation_diagnosis.dir/sla_violation_diagnosis.cpp.o"
+  "CMakeFiles/sla_violation_diagnosis.dir/sla_violation_diagnosis.cpp.o.d"
+  "sla_violation_diagnosis"
+  "sla_violation_diagnosis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sla_violation_diagnosis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

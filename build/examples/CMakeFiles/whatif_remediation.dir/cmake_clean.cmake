@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whatif_remediation.dir/whatif_remediation.cpp.o"
+  "CMakeFiles/whatif_remediation.dir/whatif_remediation.cpp.o.d"
+  "whatif_remediation"
+  "whatif_remediation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whatif_remediation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/aggregate.cpp" "src/core/CMakeFiles/xnfv_core.dir/aggregate.cpp.o" "gcc" "src/core/CMakeFiles/xnfv_core.dir/aggregate.cpp.o.d"
+  "/root/repo/src/core/counterfactual.cpp" "src/core/CMakeFiles/xnfv_core.dir/counterfactual.cpp.o" "gcc" "src/core/CMakeFiles/xnfv_core.dir/counterfactual.cpp.o.d"
+  "/root/repo/src/core/drift.cpp" "src/core/CMakeFiles/xnfv_core.dir/drift.cpp.o" "gcc" "src/core/CMakeFiles/xnfv_core.dir/drift.cpp.o.d"
+  "/root/repo/src/core/evaluate.cpp" "src/core/CMakeFiles/xnfv_core.dir/evaluate.cpp.o" "gcc" "src/core/CMakeFiles/xnfv_core.dir/evaluate.cpp.o.d"
+  "/root/repo/src/core/exact_shapley.cpp" "src/core/CMakeFiles/xnfv_core.dir/exact_shapley.cpp.o" "gcc" "src/core/CMakeFiles/xnfv_core.dir/exact_shapley.cpp.o.d"
+  "/root/repo/src/core/explanation.cpp" "src/core/CMakeFiles/xnfv_core.dir/explanation.cpp.o" "gcc" "src/core/CMakeFiles/xnfv_core.dir/explanation.cpp.o.d"
+  "/root/repo/src/core/gradient.cpp" "src/core/CMakeFiles/xnfv_core.dir/gradient.cpp.o" "gcc" "src/core/CMakeFiles/xnfv_core.dir/gradient.cpp.o.d"
+  "/root/repo/src/core/interaction.cpp" "src/core/CMakeFiles/xnfv_core.dir/interaction.cpp.o" "gcc" "src/core/CMakeFiles/xnfv_core.dir/interaction.cpp.o.d"
+  "/root/repo/src/core/kernel_shap.cpp" "src/core/CMakeFiles/xnfv_core.dir/kernel_shap.cpp.o" "gcc" "src/core/CMakeFiles/xnfv_core.dir/kernel_shap.cpp.o.d"
+  "/root/repo/src/core/lime.cpp" "src/core/CMakeFiles/xnfv_core.dir/lime.cpp.o" "gcc" "src/core/CMakeFiles/xnfv_core.dir/lime.cpp.o.d"
+  "/root/repo/src/core/occlusion.cpp" "src/core/CMakeFiles/xnfv_core.dir/occlusion.cpp.o" "gcc" "src/core/CMakeFiles/xnfv_core.dir/occlusion.cpp.o.d"
+  "/root/repo/src/core/pdp.cpp" "src/core/CMakeFiles/xnfv_core.dir/pdp.cpp.o" "gcc" "src/core/CMakeFiles/xnfv_core.dir/pdp.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/xnfv_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/xnfv_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/sampling_shapley.cpp" "src/core/CMakeFiles/xnfv_core.dir/sampling_shapley.cpp.o" "gcc" "src/core/CMakeFiles/xnfv_core.dir/sampling_shapley.cpp.o.d"
+  "/root/repo/src/core/surrogate.cpp" "src/core/CMakeFiles/xnfv_core.dir/surrogate.cpp.o" "gcc" "src/core/CMakeFiles/xnfv_core.dir/surrogate.cpp.o.d"
+  "/root/repo/src/core/tree_shap.cpp" "src/core/CMakeFiles/xnfv_core.dir/tree_shap.cpp.o" "gcc" "src/core/CMakeFiles/xnfv_core.dir/tree_shap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mlcore/CMakeFiles/xnfv_mlcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mlcore/crossval.cpp" "src/mlcore/CMakeFiles/xnfv_mlcore.dir/crossval.cpp.o" "gcc" "src/mlcore/CMakeFiles/xnfv_mlcore.dir/crossval.cpp.o.d"
+  "/root/repo/src/mlcore/dataset.cpp" "src/mlcore/CMakeFiles/xnfv_mlcore.dir/dataset.cpp.o" "gcc" "src/mlcore/CMakeFiles/xnfv_mlcore.dir/dataset.cpp.o.d"
+  "/root/repo/src/mlcore/forest.cpp" "src/mlcore/CMakeFiles/xnfv_mlcore.dir/forest.cpp.o" "gcc" "src/mlcore/CMakeFiles/xnfv_mlcore.dir/forest.cpp.o.d"
+  "/root/repo/src/mlcore/gbt.cpp" "src/mlcore/CMakeFiles/xnfv_mlcore.dir/gbt.cpp.o" "gcc" "src/mlcore/CMakeFiles/xnfv_mlcore.dir/gbt.cpp.o.d"
+  "/root/repo/src/mlcore/linear.cpp" "src/mlcore/CMakeFiles/xnfv_mlcore.dir/linear.cpp.o" "gcc" "src/mlcore/CMakeFiles/xnfv_mlcore.dir/linear.cpp.o.d"
+  "/root/repo/src/mlcore/matrix.cpp" "src/mlcore/CMakeFiles/xnfv_mlcore.dir/matrix.cpp.o" "gcc" "src/mlcore/CMakeFiles/xnfv_mlcore.dir/matrix.cpp.o.d"
+  "/root/repo/src/mlcore/metrics.cpp" "src/mlcore/CMakeFiles/xnfv_mlcore.dir/metrics.cpp.o" "gcc" "src/mlcore/CMakeFiles/xnfv_mlcore.dir/metrics.cpp.o.d"
+  "/root/repo/src/mlcore/mlp.cpp" "src/mlcore/CMakeFiles/xnfv_mlcore.dir/mlp.cpp.o" "gcc" "src/mlcore/CMakeFiles/xnfv_mlcore.dir/mlp.cpp.o.d"
+  "/root/repo/src/mlcore/model.cpp" "src/mlcore/CMakeFiles/xnfv_mlcore.dir/model.cpp.o" "gcc" "src/mlcore/CMakeFiles/xnfv_mlcore.dir/model.cpp.o.d"
+  "/root/repo/src/mlcore/preprocess.cpp" "src/mlcore/CMakeFiles/xnfv_mlcore.dir/preprocess.cpp.o" "gcc" "src/mlcore/CMakeFiles/xnfv_mlcore.dir/preprocess.cpp.o.d"
+  "/root/repo/src/mlcore/rng.cpp" "src/mlcore/CMakeFiles/xnfv_mlcore.dir/rng.cpp.o" "gcc" "src/mlcore/CMakeFiles/xnfv_mlcore.dir/rng.cpp.o.d"
+  "/root/repo/src/mlcore/serialize.cpp" "src/mlcore/CMakeFiles/xnfv_mlcore.dir/serialize.cpp.o" "gcc" "src/mlcore/CMakeFiles/xnfv_mlcore.dir/serialize.cpp.o.d"
+  "/root/repo/src/mlcore/tree.cpp" "src/mlcore/CMakeFiles/xnfv_mlcore.dir/tree.cpp.o" "gcc" "src/mlcore/CMakeFiles/xnfv_mlcore.dir/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xnfv_mlcore.dir/crossval.cpp.o"
+  "CMakeFiles/xnfv_mlcore.dir/crossval.cpp.o.d"
+  "CMakeFiles/xnfv_mlcore.dir/dataset.cpp.o"
+  "CMakeFiles/xnfv_mlcore.dir/dataset.cpp.o.d"
+  "CMakeFiles/xnfv_mlcore.dir/forest.cpp.o"
+  "CMakeFiles/xnfv_mlcore.dir/forest.cpp.o.d"
+  "CMakeFiles/xnfv_mlcore.dir/gbt.cpp.o"
+  "CMakeFiles/xnfv_mlcore.dir/gbt.cpp.o.d"
+  "CMakeFiles/xnfv_mlcore.dir/linear.cpp.o"
+  "CMakeFiles/xnfv_mlcore.dir/linear.cpp.o.d"
+  "CMakeFiles/xnfv_mlcore.dir/matrix.cpp.o"
+  "CMakeFiles/xnfv_mlcore.dir/matrix.cpp.o.d"
+  "CMakeFiles/xnfv_mlcore.dir/metrics.cpp.o"
+  "CMakeFiles/xnfv_mlcore.dir/metrics.cpp.o.d"
+  "CMakeFiles/xnfv_mlcore.dir/mlp.cpp.o"
+  "CMakeFiles/xnfv_mlcore.dir/mlp.cpp.o.d"
+  "CMakeFiles/xnfv_mlcore.dir/model.cpp.o"
+  "CMakeFiles/xnfv_mlcore.dir/model.cpp.o.d"
+  "CMakeFiles/xnfv_mlcore.dir/preprocess.cpp.o"
+  "CMakeFiles/xnfv_mlcore.dir/preprocess.cpp.o.d"
+  "CMakeFiles/xnfv_mlcore.dir/rng.cpp.o"
+  "CMakeFiles/xnfv_mlcore.dir/rng.cpp.o.d"
+  "CMakeFiles/xnfv_mlcore.dir/serialize.cpp.o"
+  "CMakeFiles/xnfv_mlcore.dir/serialize.cpp.o.d"
+  "CMakeFiles/xnfv_mlcore.dir/tree.cpp.o"
+  "CMakeFiles/xnfv_mlcore.dir/tree.cpp.o.d"
+  "libxnfv_mlcore.a"
+  "libxnfv_mlcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xnfv_mlcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxnfv_mlcore.a"
+)

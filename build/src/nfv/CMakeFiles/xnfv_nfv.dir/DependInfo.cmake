@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nfv/chain.cpp" "src/nfv/CMakeFiles/xnfv_nfv.dir/chain.cpp.o" "gcc" "src/nfv/CMakeFiles/xnfv_nfv.dir/chain.cpp.o.d"
+  "/root/repo/src/nfv/infrastructure.cpp" "src/nfv/CMakeFiles/xnfv_nfv.dir/infrastructure.cpp.o" "gcc" "src/nfv/CMakeFiles/xnfv_nfv.dir/infrastructure.cpp.o.d"
+  "/root/repo/src/nfv/placement.cpp" "src/nfv/CMakeFiles/xnfv_nfv.dir/placement.cpp.o" "gcc" "src/nfv/CMakeFiles/xnfv_nfv.dir/placement.cpp.o.d"
+  "/root/repo/src/nfv/queueing.cpp" "src/nfv/CMakeFiles/xnfv_nfv.dir/queueing.cpp.o" "gcc" "src/nfv/CMakeFiles/xnfv_nfv.dir/queueing.cpp.o.d"
+  "/root/repo/src/nfv/remediation.cpp" "src/nfv/CMakeFiles/xnfv_nfv.dir/remediation.cpp.o" "gcc" "src/nfv/CMakeFiles/xnfv_nfv.dir/remediation.cpp.o.d"
+  "/root/repo/src/nfv/simulator.cpp" "src/nfv/CMakeFiles/xnfv_nfv.dir/simulator.cpp.o" "gcc" "src/nfv/CMakeFiles/xnfv_nfv.dir/simulator.cpp.o.d"
+  "/root/repo/src/nfv/telemetry.cpp" "src/nfv/CMakeFiles/xnfv_nfv.dir/telemetry.cpp.o" "gcc" "src/nfv/CMakeFiles/xnfv_nfv.dir/telemetry.cpp.o.d"
+  "/root/repo/src/nfv/vnf.cpp" "src/nfv/CMakeFiles/xnfv_nfv.dir/vnf.cpp.o" "gcc" "src/nfv/CMakeFiles/xnfv_nfv.dir/vnf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mlcore/CMakeFiles/xnfv_mlcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xnfv_nfv.dir/chain.cpp.o"
+  "CMakeFiles/xnfv_nfv.dir/chain.cpp.o.d"
+  "CMakeFiles/xnfv_nfv.dir/infrastructure.cpp.o"
+  "CMakeFiles/xnfv_nfv.dir/infrastructure.cpp.o.d"
+  "CMakeFiles/xnfv_nfv.dir/placement.cpp.o"
+  "CMakeFiles/xnfv_nfv.dir/placement.cpp.o.d"
+  "CMakeFiles/xnfv_nfv.dir/queueing.cpp.o"
+  "CMakeFiles/xnfv_nfv.dir/queueing.cpp.o.d"
+  "CMakeFiles/xnfv_nfv.dir/remediation.cpp.o"
+  "CMakeFiles/xnfv_nfv.dir/remediation.cpp.o.d"
+  "CMakeFiles/xnfv_nfv.dir/simulator.cpp.o"
+  "CMakeFiles/xnfv_nfv.dir/simulator.cpp.o.d"
+  "CMakeFiles/xnfv_nfv.dir/telemetry.cpp.o"
+  "CMakeFiles/xnfv_nfv.dir/telemetry.cpp.o.d"
+  "CMakeFiles/xnfv_nfv.dir/vnf.cpp.o"
+  "CMakeFiles/xnfv_nfv.dir/vnf.cpp.o.d"
+  "libxnfv_nfv.a"
+  "libxnfv_nfv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xnfv_nfv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/dataset_builder.cpp" "src/workload/CMakeFiles/xnfv_workload.dir/dataset_builder.cpp.o" "gcc" "src/workload/CMakeFiles/xnfv_workload.dir/dataset_builder.cpp.o.d"
+  "/root/repo/src/workload/scenario.cpp" "src/workload/CMakeFiles/xnfv_workload.dir/scenario.cpp.o" "gcc" "src/workload/CMakeFiles/xnfv_workload.dir/scenario.cpp.o.d"
+  "/root/repo/src/workload/traffic.cpp" "src/workload/CMakeFiles/xnfv_workload.dir/traffic.cpp.o" "gcc" "src/workload/CMakeFiles/xnfv_workload.dir/traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nfv/CMakeFiles/xnfv_nfv.dir/DependInfo.cmake"
+  "/root/repo/build/src/mlcore/CMakeFiles/xnfv_mlcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xnfv_workload.dir/dataset_builder.cpp.o"
+  "CMakeFiles/xnfv_workload.dir/dataset_builder.cpp.o.d"
+  "CMakeFiles/xnfv_workload.dir/scenario.cpp.o"
+  "CMakeFiles/xnfv_workload.dir/scenario.cpp.o.d"
+  "CMakeFiles/xnfv_workload.dir/traffic.cpp.o"
+  "CMakeFiles/xnfv_workload.dir/traffic.cpp.o.d"
+  "libxnfv_workload.a"
+  "libxnfv_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xnfv_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

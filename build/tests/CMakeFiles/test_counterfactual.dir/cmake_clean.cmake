@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_counterfactual.dir/test_counterfactual.cpp.o"
+  "CMakeFiles/test_counterfactual.dir/test_counterfactual.cpp.o.d"
+  "test_counterfactual"
+  "test_counterfactual.pdb"
+  "test_counterfactual[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_counterfactual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crossval.dir/test_crossval.cpp.o"
+  "CMakeFiles/test_crossval.dir/test_crossval.cpp.o.d"
+  "test_crossval"
+  "test_crossval.pdb"
+  "test_crossval[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crossval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_drift_report.dir/test_drift_report.cpp.o"
+  "CMakeFiles/test_drift_report.dir/test_drift_report.cpp.o.d"
+  "test_drift_report"
+  "test_drift_report.pdb"
+  "test_drift_report[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_drift_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exact_shapley.dir/test_exact_shapley.cpp.o"
+  "CMakeFiles/test_exact_shapley.dir/test_exact_shapley.cpp.o.d"
+  "test_exact_shapley"
+  "test_exact_shapley.pdb"
+  "test_exact_shapley[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exact_shapley.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_explanation.dir/test_explanation.cpp.o"
+  "CMakeFiles/test_explanation.dir/test_explanation.cpp.o.d"
+  "test_explanation"
+  "test_explanation.pdb"
+  "test_explanation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_explanation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

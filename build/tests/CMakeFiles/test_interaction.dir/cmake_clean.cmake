@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_interaction.dir/test_interaction.cpp.o"
+  "CMakeFiles/test_interaction.dir/test_interaction.cpp.o.d"
+  "test_interaction"
+  "test_interaction.pdb"
+  "test_interaction[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_interaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernel_shap.dir/test_kernel_shap.cpp.o"
+  "CMakeFiles/test_kernel_shap.dir/test_kernel_shap.cpp.o.d"
+  "test_kernel_shap"
+  "test_kernel_shap.pdb"
+  "test_kernel_shap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernel_shap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_occlusion.dir/test_occlusion.cpp.o"
+  "CMakeFiles/test_occlusion.dir/test_occlusion.cpp.o.d"
+  "test_occlusion"
+  "test_occlusion.pdb"
+  "test_occlusion[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_occlusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pdp.dir/test_pdp.cpp.o"
+  "CMakeFiles/test_pdp.dir/test_pdp.cpp.o.d"
+  "test_pdp"
+  "test_pdp.pdb"
+  "test_pdp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pdp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_remediation.dir/test_remediation.cpp.o"
+  "CMakeFiles/test_remediation.dir/test_remediation.cpp.o.d"
+  "test_remediation"
+  "test_remediation.pdb"
+  "test_remediation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_remediation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sampling_shapley.dir/test_sampling_shapley.cpp.o"
+  "CMakeFiles/test_sampling_shapley.dir/test_sampling_shapley.cpp.o.d"
+  "test_sampling_shapley"
+  "test_sampling_shapley.pdb"
+  "test_sampling_shapley[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sampling_shapley.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scenario_builder.dir/test_scenario_builder.cpp.o"
+  "CMakeFiles/test_scenario_builder.dir/test_scenario_builder.cpp.o.d"
+  "test_scenario_builder"
+  "test_scenario_builder.pdb"
+  "test_scenario_builder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scenario_builder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

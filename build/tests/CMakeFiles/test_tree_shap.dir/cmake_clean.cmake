@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tree_shap.dir/test_tree_shap.cpp.o"
+  "CMakeFiles/test_tree_shap.dir/test_tree_shap.cpp.o.d"
+  "test_tree_shap"
+  "test_tree_shap.pdb"
+  "test_tree_shap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tree_shap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

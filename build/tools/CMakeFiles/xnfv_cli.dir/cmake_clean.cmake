@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xnfv_cli.dir/xnfv_cli.cpp.o"
+  "CMakeFiles/xnfv_cli.dir/xnfv_cli.cpp.o.d"
+  "xnfv_cli"
+  "xnfv_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xnfv_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
