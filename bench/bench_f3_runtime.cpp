@@ -105,8 +105,31 @@ int main() {
         }
         xai::Occlusion occ(background);
         std::printf("%-14s %14.2f\n", "occlusion", time_explainer(occ, forest, x, 3));
+
+        std::printf("\nseries C: Kernel-SHAP batch (16 rows, budget 1024) vs thread count\n");
+        print_rule();
+        std::printf("%8s %14s %10s\n", "threads", "ms/batch", "speedup");
+        print_rule();
+        std::vector<std::size_t> rows(16);
+        for (std::size_t r = 0; r < rows.size(); ++r) rows[r] = r;
+        const ml::Matrix batch_rows = task.test.x.take_rows(rows);
+        double ms_at_1 = 0.0;
+        for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+            xai::KernelShap ks(background, ml::Rng(5),
+                               xai::KernelShap::Config{.max_coalitions = 1024,
+                                                       .threads = threads});
+            (void)ks.explain_batch(forest, batch_rows);  // warm the pool
+            Stopwatch sw;
+            (void)ks.explain_batch(forest, batch_rows);
+            const double ms = sw.ms();
+            if (threads == 1) ms_at_1 = ms;
+            std::printf("%8zu %14.1f %9.2fx\n", threads, ms,
+                        ms > 0.0 ? ms_at_1 / ms : 0.0);
+        }
     }
     std::printf("\nexpected shape: exact explodes exponentially; tree_shap is the\n"
-                "fastest by orders of magnitude; kernel_shap/lime scale with budget.\n");
+                "fastest by orders of magnitude; kernel_shap/lime scale with budget;\n"
+                "series C speedup approaches the physical core count (flat on 1-CPU\n"
+                "machines -- determinism guarantees identical attributions either way).\n");
     return 0;
 }

@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/parallel.cpp" "src/mlcore/CMakeFiles/xnfv_mlcore.dir/__/core/parallel.cpp.o" "gcc" "src/mlcore/CMakeFiles/xnfv_mlcore.dir/__/core/parallel.cpp.o.d"
   "/root/repo/src/mlcore/crossval.cpp" "src/mlcore/CMakeFiles/xnfv_mlcore.dir/crossval.cpp.o" "gcc" "src/mlcore/CMakeFiles/xnfv_mlcore.dir/crossval.cpp.o.d"
   "/root/repo/src/mlcore/dataset.cpp" "src/mlcore/CMakeFiles/xnfv_mlcore.dir/dataset.cpp.o" "gcc" "src/mlcore/CMakeFiles/xnfv_mlcore.dir/dataset.cpp.o.d"
   "/root/repo/src/mlcore/forest.cpp" "src/mlcore/CMakeFiles/xnfv_mlcore.dir/forest.cpp.o" "gcc" "src/mlcore/CMakeFiles/xnfv_mlcore.dir/forest.cpp.o.d"

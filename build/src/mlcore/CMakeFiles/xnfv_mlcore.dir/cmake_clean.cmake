@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/xnfv_mlcore.dir/__/core/parallel.cpp.o"
+  "CMakeFiles/xnfv_mlcore.dir/__/core/parallel.cpp.o.d"
   "CMakeFiles/xnfv_mlcore.dir/crossval.cpp.o"
   "CMakeFiles/xnfv_mlcore.dir/crossval.cpp.o.d"
   "CMakeFiles/xnfv_mlcore.dir/dataset.cpp.o"

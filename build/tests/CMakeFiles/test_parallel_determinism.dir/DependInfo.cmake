@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_parallel_determinism.cpp" "tests/CMakeFiles/test_parallel_determinism.dir/test_parallel_determinism.cpp.o" "gcc" "tests/CMakeFiles/test_parallel_determinism.dir/test_parallel_determinism.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/xnfv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/xnfv_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/nfv/CMakeFiles/xnfv_nfv.dir/DependInfo.cmake"
+  "/root/repo/build/src/mlcore/CMakeFiles/xnfv_mlcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

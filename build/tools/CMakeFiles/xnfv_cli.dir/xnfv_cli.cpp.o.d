@@ -216,9 +216,27 @@ tools/CMakeFiles/xnfv_cli.dir/xnfv_cli.cpp.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
- /root/repo/src/core/kernel_shap.hpp /root/repo/src/core/lime.hpp \
- /root/repo/src/core/occlusion.hpp /root/repo/src/core/report.hpp \
- /usr/include/c++/12/optional /root/repo/src/core/counterfactual.hpp \
+ /root/repo/src/core/kernel_shap.hpp /root/repo/src/core/parallel.hpp \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/future /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/atomic_futex.h /usr/include/c++/12/thread \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/core/lime.hpp /root/repo/src/core/occlusion.hpp \
+ /root/repo/src/core/report.hpp /usr/include/c++/12/optional \
+ /root/repo/src/core/counterfactual.hpp \
  /root/repo/src/core/sampling_shapley.hpp \
  /root/repo/src/core/tree_shap.hpp /root/repo/src/mlcore/forest.hpp \
  /root/repo/src/mlcore/tree.hpp /root/repo/src/mlcore/gbt.hpp \

@@ -40,8 +40,11 @@ GlobalAttribution aggregate_explanations(Explainer& explainer, const xnfv::ml::M
     g.feature_names.assign(feature_names.begin(), feature_names.end());
     g.mean_abs.assign(instances.cols(), 0.0);
     g.mean_signed.assign(instances.cols(), 0.0);
-    for (std::size_t r = 0; r < instances.rows(); ++r) {
-        const Explanation e = explainer.explain(model, instances.row(r));
+    // explain_batch runs the rows in parallel for the explainers that
+    // support it; accumulation stays sequential in row order so the result
+    // is bitwise-stable across thread counts.
+    const std::vector<Explanation> explanations = explainer.explain_batch(model, instances);
+    for (const Explanation& e : explanations) {
         for (std::size_t j = 0; j < instances.cols(); ++j) {
             g.mean_abs[j] += std::abs(e.attributions[j]);
             g.mean_signed[j] += e.attributions[j];

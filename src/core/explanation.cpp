@@ -45,6 +45,15 @@ std::string Explanation::to_string(std::size_t max_rows) const {
     return os.str();
 }
 
+std::vector<Explanation> Explainer::explain_batch(const xnfv::ml::Model& model,
+                                                  const xnfv::ml::Matrix& instances) {
+    std::vector<Explanation> out;
+    out.reserve(instances.rows());
+    for (std::size_t r = 0; r < instances.rows(); ++r)
+        out.push_back(explain(model, instances.row(r)));
+    return out;
+}
+
 BackgroundData::BackgroundData(const xnfv::ml::Matrix& x, std::size_t max_rows) {
     if (x.rows() == 0 || max_rows == 0) return;
     if (x.rows() <= max_rows) {

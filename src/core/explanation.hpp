@@ -80,6 +80,14 @@ public:
     [[nodiscard]] virtual Explanation explain(const xnfv::ml::Model& model,
                                               std::span<const double> x) = 0;
 
+    /// Explains every row of `instances`.  The default is the sequential
+    /// loop over explain(); parallel explainers override it with a
+    /// row-parallel implementation whose per-row results are *identical* to
+    /// the sequential loop for any thread count (each row's RNG stream is
+    /// derived up front, in row order).
+    [[nodiscard]] virtual std::vector<Explanation> explain_batch(
+        const xnfv::ml::Model& model, const xnfv::ml::Matrix& instances);
+
     [[nodiscard]] virtual std::string name() const = 0;
 };
 

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "core/exact_shapley.hpp"  // shapley_kernel_weight, log_binomial
+#include "core/parallel.hpp"
 
 namespace xnfv::xai {
 
@@ -51,6 +52,27 @@ double KernelShap::value_of(const xnfv::ml::Model& model, std::span<const double
 }
 
 Explanation KernelShap::explain(const xnfv::ml::Model& model, std::span<const double> x) {
+    return explain_seeded(model, x, rng_.next_u64());
+}
+
+std::vector<Explanation> KernelShap::explain_batch(const xnfv::ml::Model& model,
+                                                   const xnfv::ml::Matrix& instances) {
+    // Per-row seeds are drawn sequentially so row r sees the same stream the
+    // r-th call of a sequential explain() loop would; the rows themselves
+    // then run in parallel (nested loops inside explain_seeded fall back to
+    // inline execution on pool workers).
+    std::vector<std::uint64_t> seeds(instances.rows());
+    for (auto& s : seeds) s = rng_.next_u64();
+    std::vector<Explanation> out(instances.rows());
+    xnfv::parallel_for(instances.rows(), config_.threads, [&](std::size_t r) {
+        out[r] = explain_seeded(model, instances.row(r), seeds[r]);
+    });
+    return out;
+}
+
+Explanation KernelShap::explain_seeded(const xnfv::ml::Model& model,
+                                       std::span<const double> x,
+                                       std::uint64_t call_seed) const {
     const std::size_t d = model.num_features();
     if (x.size() != d) throw std::invalid_argument("KernelShap: input size mismatch");
     if (background_.empty()) throw std::invalid_argument("KernelShap: empty background");
@@ -107,9 +129,15 @@ Explanation KernelShap::explain(const xnfv::ml::Model& model, std::span<const do
         const double w_each =
             total_residual / std::max<std::size_t>(1, n_random) /
             (config_.paired_sampling ? 2.0 : 1.0);
-        for (std::size_t k = 0; k < n_random; ++k) {
-            const std::size_t s = rng_.weighted_index(residual_mass);
-            const auto members = rng_.sample_without_replacement(d, s);
+        // Draw k's coalition from its own RNG stream and write it into a
+        // fixed slot, so the sampled set is identical for any thread count.
+        const std::size_t per_draw = config_.paired_sampling ? 2 : 1;
+        const std::size_t first = coalitions.size();
+        coalitions.resize(first + n_random * per_draw);
+        xnfv::parallel_for(n_random, config_.threads, [&](std::size_t k) {
+            auto stream = xnfv::ml::Rng::stream(call_seed, k);
+            const std::size_t s = stream.weighted_index(residual_mass);
+            const auto members = stream.sample_without_replacement(d, s);
             Coalition c;
             c.mask.assign(d, false);
             for (std::size_t m : members) c.mask[m] = true;
@@ -119,10 +147,10 @@ Explanation KernelShap::explain(const xnfv::ml::Model& model, std::span<const do
                 comp.mask.resize(d);
                 for (std::size_t j = 0; j < d; ++j) comp.mask[j] = !c.mask[j];
                 comp.weight = w_each;
-                coalitions.push_back(std::move(comp));
+                coalitions[first + k * per_draw] = std::move(comp);
             }
-            coalitions.push_back(std::move(c));
-        }
+            coalitions[first + k * per_draw + per_draw - 1] = std::move(c);
+        });
     }
 
     if (coalitions.empty())
@@ -132,10 +160,13 @@ Explanation KernelShap::explain(const xnfv::ml::Model& model, std::span<const do
     // Eliminate phi_{d-1} via the efficiency constraint
     //   sum_i phi_i = delta,
     // regressing  y = v(S) - v0 - z_{d-1} * delta  on  (z_i - z_{d-1})_{i<d-1}.
+    // Evaluating v(S) dominates the cost (|coalitions| * background model
+    // evaluations) and is parallelized over coalitions; every task writes
+    // only its own design/target slots.
     const std::size_t n = coalitions.size();
     xnfv::ml::Matrix design(n, d - 1);
     std::vector<double> y(n), w(n);
-    for (std::size_t r = 0; r < n; ++r) {
+    xnfv::parallel_for(n, config_.threads, [&](std::size_t r) {
         const Coalition& c = coalitions[r];
         const double v = value_of(model, x, c.mask);
         const double z_last = c.mask[d - 1] ? 1.0 : 0.0;
@@ -144,7 +175,7 @@ Explanation KernelShap::explain(const xnfv::ml::Model& model, std::span<const do
         auto row = design.row(r);
         for (std::size_t j = 0; j + 1 < d; ++j)
             row[j] = (c.mask[j] ? 1.0 : 0.0) - z_last;
-    }
+    });
 
     const auto beta = xnfv::ml::weighted_least_squares(design, y, w, config_.l2);
     double sum_beta = 0.0;

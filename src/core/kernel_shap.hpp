@@ -32,6 +32,10 @@ public:
         /// Tiny ridge term keeps the WLS solvable when sampled coalitions
         /// are collinear; 0 disables.
         double l2 = 1e-8;
+        /// Worker threads for coalition sampling/evaluation and batch rows;
+        /// 0 uses xnfv::default_threads().  Attributions are identical for
+        /// any thread count (per-coalition RNG streams).
+        std::size_t threads = 0;
     };
 
     KernelShap(BackgroundData background, xnfv::ml::Rng rng)
@@ -42,9 +46,19 @@ public:
     [[nodiscard]] Explanation explain(const xnfv::ml::Model& model,
                                       std::span<const double> x) override;
 
+    /// Row-parallel batch explanation; per-row results match a sequential
+    /// explain() loop exactly (per-row seeds are drawn up front, in order).
+    [[nodiscard]] std::vector<Explanation> explain_batch(
+        const xnfv::ml::Model& model, const xnfv::ml::Matrix& instances) override;
+
     [[nodiscard]] std::string name() const override { return "kernel_shap"; }
 
 private:
+    /// The full algorithm for one instance with all randomness derived from
+    /// `call_seed` — thread-count invariant by construction.
+    [[nodiscard]] Explanation explain_seeded(const xnfv::ml::Model& model,
+                                             std::span<const double> x,
+                                             std::uint64_t call_seed) const;
     /// v(S): mean model output with features in `mask` taken from x and the
     /// rest from each background row.
     [[nodiscard]] double value_of(const xnfv::ml::Model& model, std::span<const double> x,

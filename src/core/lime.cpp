@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/parallel.hpp"
+
 namespace xnfv::xai {
 
 Lime::Lime(BackgroundData background, xnfv::ml::Rng rng, Config config)
@@ -27,6 +29,26 @@ Lime::Lime(BackgroundData background, xnfv::ml::Rng rng, Config config)
 }
 
 Explanation Lime::explain(const xnfv::ml::Model& model, std::span<const double> x) {
+    return explain_seeded(model, x, rng_.next_u64(), last_fit_);
+}
+
+std::vector<Explanation> Lime::explain_batch(const xnfv::ml::Model& model,
+                                             const xnfv::ml::Matrix& instances) {
+    std::vector<std::uint64_t> seeds(instances.rows());
+    for (auto& s : seeds) s = rng_.next_u64();
+    std::vector<Explanation> out(instances.rows());
+    std::vector<FitDiagnostics> fits(instances.rows());
+    xnfv::parallel_for(instances.rows(), config_.threads, [&](std::size_t r) {
+        out[r] = explain_seeded(model, instances.row(r), seeds[r], fits[r]);
+    });
+    // Same observable state as the sequential loop: last_fit() describes the
+    // final row explained.
+    if (!fits.empty()) last_fit_ = std::move(fits.back());
+    return out;
+}
+
+Explanation Lime::explain_seeded(const xnfv::ml::Model& model, std::span<const double> x,
+                                 std::uint64_t call_seed, FitDiagnostics& fit) const {
     const std::size_t d = model.num_features();
     if (x.size() != d) throw std::invalid_argument("Lime: input size mismatch");
     if (config_.num_samples < d + 2)
@@ -40,22 +62,33 @@ Explanation Lime::explain(const xnfv::ml::Model& model, std::span<const double> 
     // Perturb, evaluate, kernel-weight.  The design is in *standardized
     // offset* space (z_j = (x'_j - x_j)/sigma_j) with an intercept column,
     // which makes the kernel isotropic and the ridge penalty scale-free.
+    // Sample s draws its offsets from RNG stream (call_seed, s) and writes
+    // only row s, so the neighborhood is identical for any thread count.
     const std::size_t n = config_.num_samples;
     xnfv::ml::Matrix design(n, d + 1);
-    std::vector<double> y(n), w(n), probe(d);
-    for (std::size_t s = 0; s < n; ++s) {
-        auto row = design.row(s);
-        double dist2 = 0.0;
-        row[0] = 1.0;  // intercept
-        for (std::size_t j = 0; j < d; ++j) {
-            const double z = rng_.normal(0.0, config_.perturbation_scale);
-            probe[j] = x[j] + z * sigma_[j];
-            row[j + 1] = z;
-            dist2 += z * z;
-        }
-        y[s] = model.predict(probe);
-        w[s] = std::exp(-dist2 * inv_2w2);
-    }
+    std::vector<double> y(n), w(n);
+    const auto fill_neighborhood = [&](xnfv::ml::Matrix& z, std::span<double> ys,
+                                       std::span<double> ws, std::size_t stream_base) {
+        xnfv::parallel_for_chunks(
+            ys.size(), config_.threads, [&](std::size_t begin, std::size_t end) {
+                std::vector<double> probe(d);
+                for (std::size_t s = begin; s < end; ++s) {
+                    auto stream = xnfv::ml::Rng::stream(call_seed, stream_base + s);
+                    auto row = z.row(s);
+                    double dist2 = 0.0;
+                    row[0] = 1.0;  // intercept
+                    for (std::size_t j = 0; j < d; ++j) {
+                        const double off = stream.normal(0.0, config_.perturbation_scale);
+                        probe[j] = x[j] + off * sigma_[j];
+                        row[j + 1] = off;
+                        dist2 += off * off;
+                    }
+                    ys[s] = model.predict(probe);
+                    ws[s] = std::exp(-dist2 * inv_2w2);
+                }
+            });
+    };
+    fill_neighborhood(design, y, w, 0);
 
     const auto beta = xnfv::ml::weighted_least_squares(design, y, w, config_.l2);
 
@@ -79,31 +112,20 @@ Explanation Lime::explain(const xnfv::ml::Model& model, std::span<const double> 
         if (ss_tot <= 1e-12 * w_sum) return 0.0;  // locally constant target
         return 1.0 - ss_res / ss_tot;
     };
-    last_fit_.weighted_r2 = weighted_r2(design, y, w);
+    fit.weighted_r2 = weighted_r2(design, y, w);
 
-    // Honest fidelity: fresh neighborhood samples the surrogate never saw.
+    // Honest fidelity: fresh neighborhood samples the surrogate never saw
+    // (streams n.. so they don't reuse the training draws).
     {
         const std::size_t n_eval = std::max<std::size_t>(100, n / 4);
         xnfv::ml::Matrix eval_design(n_eval, d + 1);
         std::vector<double> ye(n_eval), we(n_eval);
-        for (std::size_t s = 0; s < n_eval; ++s) {
-            auto row = eval_design.row(s);
-            row[0] = 1.0;
-            double dist2 = 0.0;
-            for (std::size_t j = 0; j < d; ++j) {
-                const double z = rng_.normal(0.0, config_.perturbation_scale);
-                probe[j] = x[j] + z * sigma_[j];
-                row[j + 1] = z;
-                dist2 += z * z;
-            }
-            ye[s] = model.predict(probe);
-            we[s] = std::exp(-dist2 * inv_2w2);
-        }
-        last_fit_.holdout_r2 = weighted_r2(eval_design, ye, we);
+        fill_neighborhood(eval_design, ye, we, n);
+        fit.holdout_r2 = weighted_r2(eval_design, ye, we);
     }
 
-    last_fit_.intercept = beta[0];
-    last_fit_.coefficients.assign(d, 0.0);
+    fit.intercept = beta[0];
+    fit.coefficients.assign(d, 0.0);
 
     Explanation e;
     e.method = name();
@@ -113,7 +135,7 @@ Explanation Lime::explain(const xnfv::ml::Model& model, std::span<const double> 
     for (std::size_t j = 0; j < d; ++j) {
         // Convert the standardized slope back to raw units.
         const double slope = beta[j + 1] / sigma_[j];
-        last_fit_.coefficients[j] = slope;
+        fit.coefficients[j] = slope;
         // Local effect relative to the background mean: what this feature's
         // deviation from "typical" contributes under the local linear model.
         e.attributions[j] = slope * (x[j] - mu[j]);

@@ -27,6 +27,10 @@ public:
         /// Perturbation scale: samples are drawn N(x_j, scale * sigma_j)
         /// around the instance (sigma_j from the background).
         double perturbation_scale = 1.0;
+        /// Worker threads for neighborhood generation/evaluation and batch
+        /// rows; 0 uses xnfv::default_threads().  Attributions are identical
+        /// for any thread count (per-sample RNG streams).
+        std::size_t threads = 0;
     };
 
     Lime(BackgroundData background, xnfv::ml::Rng rng)
@@ -35,6 +39,12 @@ public:
 
     [[nodiscard]] Explanation explain(const xnfv::ml::Model& model,
                                       std::span<const double> x) override;
+
+    /// Row-parallel batch explanation; per-row results match a sequential
+    /// explain() loop exactly (per-row seeds are drawn up front, in order).
+    /// Note: last_fit() afterwards refers to the final row.
+    [[nodiscard]] std::vector<Explanation> explain_batch(
+        const xnfv::ml::Model& model, const xnfv::ml::Matrix& instances) override;
 
     [[nodiscard]] std::string name() const override { return "lime"; }
 
@@ -52,6 +62,14 @@ public:
     [[nodiscard]] const FitDiagnostics& last_fit() const noexcept { return last_fit_; }
 
 private:
+    /// One instance with all randomness derived from `call_seed`; the fit
+    /// diagnostics land in `fit` so parallel batch rows don't contend on
+    /// last_fit_.
+    [[nodiscard]] Explanation explain_seeded(const xnfv::ml::Model& model,
+                                             std::span<const double> x,
+                                             std::uint64_t call_seed,
+                                             FitDiagnostics& fit) const;
+
     BackgroundData background_;
     xnfv::ml::Rng rng_;
     Config config_;

@@ -2,11 +2,26 @@
 
 #include <stdexcept>
 
+#include "core/parallel.hpp"
 #include "mlcore/metrics.hpp"
 
 namespace xnfv::xai {
 
 Explanation Occlusion::explain(const xnfv::ml::Model& model, std::span<const double> x) {
+    return explain_one(model, x);
+}
+
+std::vector<Explanation> Occlusion::explain_batch(const xnfv::ml::Model& model,
+                                                  const xnfv::ml::Matrix& instances) {
+    std::vector<Explanation> out(instances.rows());
+    xnfv::parallel_for(instances.rows(), config_.threads, [&](std::size_t r) {
+        out[r] = explain_one(model, instances.row(r));
+    });
+    return out;
+}
+
+Explanation Occlusion::explain_one(const xnfv::ml::Model& model,
+                                   std::span<const double> x) const {
     const std::size_t d = model.num_features();
     if (x.size() != d) throw std::invalid_argument("Occlusion: input size mismatch");
     if (background_.empty()) throw std::invalid_argument("Occlusion: empty background");
@@ -17,20 +32,23 @@ Explanation Occlusion::explain(const xnfv::ml::Model& model, std::span<const dou
     e.attributions.assign(d, 0.0);
 
     const auto& bg = background_.samples();
-    std::vector<double> probe(x.begin(), x.end());
-    double base_acc = 0.0;
-    for (std::size_t j = 0; j < d; ++j) {
-        double acc = 0.0;
-        for (std::size_t b = 0; b < bg.rows(); ++b) {
-            probe[j] = bg(b, j);
-            acc += model.predict(probe);
+    // Features are occluded independently; each chunk carries its own probe.
+    xnfv::parallel_for_chunks(d, config_.threads, [&](std::size_t begin, std::size_t end) {
+        std::vector<double> probe(x.begin(), x.end());
+        for (std::size_t j = begin; j < end; ++j) {
+            double acc = 0.0;
+            for (std::size_t b = 0; b < bg.rows(); ++b) {
+                probe[j] = bg(b, j);
+                acc += model.predict(probe);
+            }
+            probe[j] = x[j];
+            e.attributions[j] = e.prediction - acc / static_cast<double>(bg.rows());
         }
-        probe[j] = x[j];
-        e.attributions[j] = e.prediction - acc / static_cast<double>(bg.rows());
-    }
+    });
     // Base value: mean prediction over the background (the occlusion
     // attributions do not sum exactly to prediction - base; the evaluation
     // experiments quantify that gap).
+    double base_acc = 0.0;
     for (std::size_t b = 0; b < bg.rows(); ++b) base_acc += model.predict(bg.row(b));
     e.base_value = base_acc / static_cast<double>(bg.rows());
     return e;

@@ -19,15 +19,34 @@ namespace xnfv::xai {
 /// Local occlusion explainer: phi_j = f(x) - E_b[f(x with x_j := b_j)].
 class Occlusion final : public Explainer {
 public:
-    explicit Occlusion(BackgroundData background) : background_(std::move(background)) {}
+    struct Config {
+        /// Worker threads for the per-feature sweep and batch rows; 0 uses
+        /// xnfv::default_threads().  Occlusion draws no randomness, so any
+        /// thread count yields identical attributions.
+        std::size_t threads = 0;
+    };
+
+    explicit Occlusion(BackgroundData background)
+        : Occlusion(std::move(background), Config{}) {}
+    Occlusion(BackgroundData background, Config config)
+        : background_(std::move(background)), config_(config) {}
 
     [[nodiscard]] Explanation explain(const xnfv::ml::Model& model,
                                       std::span<const double> x) override;
 
+    /// Row-parallel batch explanation (occlusion is stateless, so this is
+    /// trivially identical to the sequential loop).
+    [[nodiscard]] std::vector<Explanation> explain_batch(
+        const xnfv::ml::Model& model, const xnfv::ml::Matrix& instances) override;
+
     [[nodiscard]] std::string name() const override { return "occlusion"; }
 
 private:
+    [[nodiscard]] Explanation explain_one(const xnfv::ml::Model& model,
+                                          std::span<const double> x) const;
+
     BackgroundData background_;
+    Config config_{};
 };
 
 /// Global permutation importance.

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/parallel.hpp"
+
 namespace xnfv::xai {
 
 PdpResult partial_dependence(const xnfv::ml::Model& model, const BackgroundData& background,
@@ -36,22 +38,27 @@ PdpResult partial_dependence(const xnfv::ml::Model& model, const BackgroundData&
     result.mean.assign(options.grid_points, 0.0);
     if (options.keep_ice) result.ice.assign(bg.rows(), std::vector<double>(options.grid_points));
 
-    std::vector<double> probe(bg.cols());
-    for (std::size_t g = 0; g < options.grid_points; ++g) {
-        const double v = lo + (hi - lo) * static_cast<double>(g) /
-                                  static_cast<double>(options.grid_points - 1);
-        result.grid[g] = v;
-        double acc = 0.0;
-        for (std::size_t r = 0; r < bg.rows(); ++r) {
-            const auto row = bg.row(r);
-            std::copy(row.begin(), row.end(), probe.begin());
-            probe[feature] = v;
-            const double pred = model.predict(probe);
-            acc += pred;
-            if (options.keep_ice) result.ice[r][g] = pred;
-        }
-        result.mean[g] = acc / static_cast<double>(bg.rows());
-    }
+    // Grid points are independent model sweeps; each task writes only its
+    // own grid/mean slot (and column g of the preallocated ICE curves).
+    xnfv::parallel_for_chunks(
+        options.grid_points, options.threads, [&](std::size_t begin, std::size_t end) {
+            std::vector<double> probe(bg.cols());
+            for (std::size_t g = begin; g < end; ++g) {
+                const double v = lo + (hi - lo) * static_cast<double>(g) /
+                                          static_cast<double>(options.grid_points - 1);
+                result.grid[g] = v;
+                double acc = 0.0;
+                for (std::size_t r = 0; r < bg.rows(); ++r) {
+                    const auto row = bg.row(r);
+                    std::copy(row.begin(), row.end(), probe.begin());
+                    probe[feature] = v;
+                    const double pred = model.predict(probe);
+                    acc += pred;
+                    if (options.keep_ice) result.ice[r][g] = pred;
+                }
+                result.mean[g] = acc / static_cast<double>(bg.rows());
+            }
+        });
     return result;
 }
 

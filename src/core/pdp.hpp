@@ -27,6 +27,10 @@ struct PdpOptions {
     /// Grid endpoints as background quantiles (guards against outliers).
     double lo_quantile = 0.02;
     double hi_quantile = 0.98;
+    /// Worker threads for the grid sweep; 0 uses xnfv::default_threads().
+    /// The sweep is deterministic (no RNG), so any thread count yields the
+    /// same curve.
+    std::size_t threads = 0;
 };
 
 [[nodiscard]] PdpResult partial_dependence(const xnfv::ml::Model& model,

@@ -4,10 +4,29 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "core/parallel.hpp"
+
 namespace xnfv::xai {
 
 Explanation SamplingShapley::explain(const xnfv::ml::Model& model,
                                      std::span<const double> x) {
+    return explain_seeded(model, x, rng_.next_u64());
+}
+
+std::vector<Explanation> SamplingShapley::explain_batch(
+    const xnfv::ml::Model& model, const xnfv::ml::Matrix& instances) {
+    std::vector<std::uint64_t> seeds(instances.rows());
+    for (auto& s : seeds) s = rng_.next_u64();
+    std::vector<Explanation> out(instances.rows());
+    xnfv::parallel_for(instances.rows(), config_.threads, [&](std::size_t r) {
+        out[r] = explain_seeded(model, instances.row(r), seeds[r]);
+    });
+    return out;
+}
+
+Explanation SamplingShapley::explain_seeded(const xnfv::ml::Model& model,
+                                            std::span<const double> x,
+                                            std::uint64_t call_seed) const {
     const std::size_t d = model.num_features();
     if (x.size() != d) throw std::invalid_argument("SamplingShapley: size mismatch");
     if (background_.empty())
@@ -16,35 +35,57 @@ Explanation SamplingShapley::explain(const xnfv::ml::Model& model,
         throw std::invalid_argument("SamplingShapley: num_permutations must be > 0");
 
     const auto& bg = background_.samples();
-    std::vector<double> phi(d, 0.0);
-    std::vector<std::size_t> order(d);
-    std::iota(order.begin(), order.end(), std::size_t{0});
-    std::vector<double> probe(d);
-    double base_acc = 0.0;
-    std::size_t runs = 0;
 
-    const auto run_permutation = [&](std::span<const std::size_t> pi,
-                                     std::span<const double> b) {
-        std::copy(b.begin(), b.end(), probe.begin());
-        double prev = model.predict(probe);
-        base_acc += prev;
-        for (const std::size_t j : pi) {
-            probe[j] = x[j];
-            const double cur = model.predict(probe);
-            phi[j] += cur - prev;
-            prev = cur;
-        }
-        ++runs;
+    /// One permutation's (optionally antithetic) marginal credits.
+    struct Partial {
+        std::vector<double> phi;
+        double base_acc = 0.0;
+        std::size_t runs = 0;
     };
 
-    for (std::size_t p = 0; p < config_.num_permutations; ++p) {
-        rng_.shuffle(order);
-        const auto b = bg.row(rng_.uniform_index(bg.rows()));
-        run_permutation(order, b);
+    // Each permutation p draws its ordering and background row from its own
+    // RNG stream and fills a private Partial; the partials are then merged
+    // sequentially in permutation order, so both the draws and the
+    // floating-point summation tree are independent of the thread count.
+    std::vector<Partial> partials(config_.num_permutations);
+    xnfv::parallel_for(config_.num_permutations, config_.threads, [&](std::size_t p) {
+        auto stream = xnfv::ml::Rng::stream(call_seed, p);
+        Partial& part = partials[p];
+        part.phi.assign(d, 0.0);
+
+        std::vector<std::size_t> order(d);
+        std::iota(order.begin(), order.end(), std::size_t{0});
+        stream.shuffle(order);
+        const auto b = bg.row(stream.uniform_index(bg.rows()));
+
+        std::vector<double> probe(d);
+        const auto run_permutation = [&](std::span<const std::size_t> pi) {
+            std::copy(b.begin(), b.end(), probe.begin());
+            double prev = model.predict(probe);
+            part.base_acc += prev;
+            for (const std::size_t j : pi) {
+                probe[j] = x[j];
+                const double cur = model.predict(probe);
+                part.phi[j] += cur - prev;
+                prev = cur;
+            }
+            ++part.runs;
+        };
+
+        run_permutation(order);
         if (config_.antithetic) {
             std::reverse(order.begin(), order.end());
-            run_permutation(order, b);
+            run_permutation(order);
         }
+    });
+
+    std::vector<double> phi(d, 0.0);
+    double base_acc = 0.0;
+    std::size_t runs = 0;
+    for (const Partial& part : partials) {
+        for (std::size_t j = 0; j < d; ++j) phi[j] += part.phi[j];
+        base_acc += part.base_acc;
+        runs += part.runs;
     }
 
     Explanation e;

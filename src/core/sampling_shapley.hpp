@@ -34,6 +34,10 @@ public:
         /// noise, so for purely additive models it is cost-neutral at equal
         /// evaluation budget.
         bool antithetic = true;
+        /// Worker threads for the permutation sweep and batch rows; 0 uses
+        /// xnfv::default_threads().  Attributions are identical for any
+        /// thread count (per-permutation RNG streams, ordered merge).
+        std::size_t threads = 0;
     };
 
     SamplingShapley(BackgroundData background, xnfv::ml::Rng rng)
@@ -44,9 +48,17 @@ public:
     [[nodiscard]] Explanation explain(const xnfv::ml::Model& model,
                                       std::span<const double> x) override;
 
+    /// Row-parallel batch explanation; per-row results match a sequential
+    /// explain() loop exactly (per-row seeds are drawn up front, in order).
+    [[nodiscard]] std::vector<Explanation> explain_batch(
+        const xnfv::ml::Model& model, const xnfv::ml::Matrix& instances) override;
+
     [[nodiscard]] std::string name() const override { return "sampling_shapley"; }
 
 private:
+    [[nodiscard]] Explanation explain_seeded(const xnfv::ml::Model& model,
+                                             std::span<const double> x,
+                                             std::uint64_t call_seed) const;
     BackgroundData background_;
     xnfv::ml::Rng rng_;
     Config config_{};

@@ -1,11 +1,17 @@
 #include "mlcore/model.hpp"
 
+#include "core/parallel.hpp"
+
 namespace xnfv::ml {
 
 std::vector<double> Model::predict_batch(const Matrix& x) const {
-    std::vector<double> out;
-    out.reserve(x.rows());
-    for (std::size_t r = 0; r < x.rows(); ++r) out.push_back(predict(x.row(r)));
+    // Rows are independent and predict() is const/thread-safe for every
+    // model family, so the default batch path is row-parallel; each task
+    // writes only its own output slot, keeping results identical for any
+    // thread count.  Tiny batches stay inline to avoid pool overhead.
+    std::vector<double> out(x.rows());
+    const std::size_t threads = x.rows() < 64 ? 1 : 0;  // 0 = default_threads()
+    xnfv::parallel_for(x.rows(), threads, [&](std::size_t r) { out[r] = predict(x.row(r)); });
     return out;
 }
 

@@ -156,4 +156,15 @@ Rng Rng::split() noexcept {
     return Rng{next_u64() ^ 0xd1b54a32d192ed03ULL};
 }
 
+Rng Rng::stream(std::uint64_t seed, std::uint64_t stream_index) noexcept {
+    // Two SplitMix64 rounds over the (seed, index) pair decorrelate adjacent
+    // stream indices; the Rng constructor applies further SplitMix rounds on
+    // top, so even stream(0, 0) and stream(0, 1) share no state structure.
+    std::uint64_t state = seed;
+    const std::uint64_t a = splitmix64(state);
+    state ^= (stream_index + 1) * 0x9e3779b97f4a7c15ULL;
+    const std::uint64_t b = splitmix64(state);
+    return Rng{a ^ b};
+}
+
 }  // namespace xnfv::ml

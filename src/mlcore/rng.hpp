@@ -83,6 +83,14 @@ public:
     /// or each experiment repetition its own stream.
     [[nodiscard]] Rng split() noexcept;
 
+    /// Stateless stream derivation keyed by (seed, stream_index): every call
+    /// with the same pair yields an identical generator, independent of any
+    /// Rng instance's state.  This is what the parallel loops use — task i
+    /// draws from stream(call_seed, i), so its randomness does not depend on
+    /// which thread runs it or in what order.
+    [[nodiscard]] static Rng stream(std::uint64_t seed,
+                                    std::uint64_t stream_index) noexcept;
+
 private:
     std::uint64_t s_[4]{};
     double spare_normal_ = std::numeric_limits<double>::quiet_NaN();

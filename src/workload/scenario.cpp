@@ -1,5 +1,6 @@
 #include "workload/scenario.hpp"
 
+#include <ostream>
 #include <stdexcept>
 
 namespace xnfv::wl {
@@ -44,6 +45,9 @@ const char* to_string(FaultKind f) noexcept {
     }
     return "unknown";
 }
+
+std::ostream& operator<<(std::ostream& os, ChainTemplate t) { return os << to_string(t); }
+std::ostream& operator<<(std::ostream& os, FaultKind f) { return os << to_string(f); }
 
 std::vector<ScenarioSpec> standard_scenarios() {
     std::vector<ScenarioSpec> out;

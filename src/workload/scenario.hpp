@@ -7,6 +7,7 @@
 // telemetry counters.  A real testbed has no such ground truth.
 #pragma once
 
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -39,6 +40,11 @@ enum class FaultKind {
 };
 
 [[nodiscard]] const char* to_string(FaultKind f) noexcept;
+
+/// ADL pretty-printers so value-parameterized tests (and any ostream user)
+/// render the enum name instead of "4-byte object <05-00 00-00>".
+std::ostream& operator<<(std::ostream& os, ChainTemplate t);
+std::ostream& operator<<(std::ostream& os, FaultKind f);
 
 /// A family of deployments to sample from.
 struct ScenarioSpec {

@@ -1,0 +1,175 @@
+// Thread-count invariance of the explanation engine.
+//
+// The reproducibility contract: for every explainer, attributions computed
+// with threads=1 and threads=8 are *bitwise identical* on the same fixed-seed
+// NFV scenario data, and explain_batch() matches a sequential explain() loop
+// element for element.  These tests are also the ThreadSanitizer target for
+// the CI race-detection job, so they deliberately push real work through the
+// pool (forest model, full-telemetry feature vectors).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/kernel_shap.hpp"
+#include "core/lime.hpp"
+#include "core/occlusion.hpp"
+#include "core/parallel.hpp"
+#include "core/pdp.hpp"
+#include "core/sampling_shapley.hpp"
+#include "mlcore/forest.hpp"
+#include "workload/dataset_builder.hpp"
+
+namespace ml = xnfv::ml;
+namespace wl = xnfv::wl;
+namespace xai = xnfv::xai;
+
+namespace {
+
+/// Fixed-seed NFV scenario dataset + forest, built once for the whole file.
+struct Scenario {
+    ml::Dataset data;
+    ml::RandomForest forest{ml::RandomForest::Config{.num_trees = 10}};
+    xai::BackgroundData background;
+};
+
+const Scenario& scenario() {
+    static const Scenario s = [] {
+        Scenario out;
+        ml::Rng rng(2020);
+        wl::BuildOptions opt;
+        opt.num_samples = 300;
+        out.data = wl::build_dataset(wl::standard_scenarios()[0], opt, rng).data;
+        out.forest.fit(out.data, rng);
+        out.background = xai::BackgroundData(out.data.x, 48);
+        return out;
+    }();
+    return s;
+}
+
+void expect_identical(const xai::Explanation& a, const xai::Explanation& b) {
+    EXPECT_EQ(a.prediction, b.prediction);
+    EXPECT_EQ(a.base_value, b.base_value);
+    ASSERT_EQ(a.attributions.size(), b.attributions.size());
+    for (std::size_t j = 0; j < a.attributions.size(); ++j)
+        EXPECT_EQ(a.attributions[j], b.attributions[j]) << "feature " << j;
+}
+
+/// Runs `make_explainer(threads)` at 1 and 8 threads over the same rows and
+/// requires bitwise-identical explanations, plus batch/sequential parity.
+template <typename MakeExplainer>
+void check_thread_invariance(MakeExplainer make_explainer) {
+    const auto& s = scenario();
+    std::vector<std::size_t> rows{0, 7, 42, 99};
+    const ml::Matrix instances = s.data.x.take_rows(rows);
+
+    // Sequential explain() calls: both explainers advance their RNG the
+    // same way, so call k must match call k bitwise.
+    auto seq1 = make_explainer(std::size_t{1});
+    auto seq8 = make_explainer(std::size_t{8});
+    for (std::size_t r = 0; r < instances.rows(); ++r) {
+        const auto e1 = seq1->explain(s.forest, instances.row(r));
+        const auto e8 = seq8->explain(s.forest, instances.row(r));
+        expect_identical(e1, e8);
+    }
+
+    // Row-parallel batch vs the sequential loop.
+    auto batch8 = make_explainer(std::size_t{8});
+    auto loop1 = make_explainer(std::size_t{1});
+    const auto batched = batch8->explain_batch(s.forest, instances);
+    ASSERT_EQ(batched.size(), instances.rows());
+    for (std::size_t r = 0; r < instances.rows(); ++r) {
+        const auto expected = loop1->explain(s.forest, instances.row(r));
+        expect_identical(batched[r], expected);
+    }
+}
+
+}  // namespace
+
+TEST(ParallelDeterminism, KernelShapBitwiseIdenticalAcrossThreadCounts) {
+    check_thread_invariance([](std::size_t threads) {
+        return std::make_unique<xai::KernelShap>(
+            scenario().background, ml::Rng(11),
+            xai::KernelShap::Config{.max_coalitions = 128, .threads = threads});
+    });
+}
+
+TEST(ParallelDeterminism, SamplingShapleyBitwiseIdenticalAcrossThreadCounts) {
+    check_thread_invariance([](std::size_t threads) {
+        return std::make_unique<xai::SamplingShapley>(
+            scenario().background, ml::Rng(12),
+            xai::SamplingShapley::Config{.num_permutations = 40, .threads = threads});
+    });
+}
+
+TEST(ParallelDeterminism, LimeBitwiseIdenticalAcrossThreadCounts) {
+    check_thread_invariance([](std::size_t threads) {
+        return std::make_unique<xai::Lime>(
+            scenario().background, ml::Rng(13),
+            xai::Lime::Config{.num_samples = 200, .threads = threads});
+    });
+}
+
+TEST(ParallelDeterminism, LimeFitDiagnosticsMatchSequential) {
+    const auto& s = scenario();
+    std::vector<std::size_t> rows{3, 17};
+    const ml::Matrix instances = s.data.x.take_rows(rows);
+
+    xai::Lime batch(s.background, ml::Rng(14), xai::Lime::Config{.num_samples = 150, .threads = 8});
+    (void)batch.explain_batch(s.forest, instances);
+    xai::Lime seq(s.background, ml::Rng(14), xai::Lime::Config{.num_samples = 150, .threads = 1});
+    for (std::size_t r = 0; r < instances.rows(); ++r) (void)seq.explain(s.forest, instances.row(r));
+
+    // last_fit() reports the final row for both paths.
+    EXPECT_EQ(batch.last_fit().weighted_r2, seq.last_fit().weighted_r2);
+    EXPECT_EQ(batch.last_fit().holdout_r2, seq.last_fit().holdout_r2);
+    EXPECT_EQ(batch.last_fit().intercept, seq.last_fit().intercept);
+    ASSERT_EQ(batch.last_fit().coefficients.size(), seq.last_fit().coefficients.size());
+    for (std::size_t j = 0; j < seq.last_fit().coefficients.size(); ++j)
+        EXPECT_EQ(batch.last_fit().coefficients[j], seq.last_fit().coefficients[j]);
+}
+
+TEST(ParallelDeterminism, OcclusionBitwiseIdenticalAcrossThreadCounts) {
+    check_thread_invariance([](std::size_t threads) {
+        return std::make_unique<xai::Occlusion>(scenario().background,
+                                                xai::Occlusion::Config{.threads = threads});
+    });
+}
+
+TEST(ParallelDeterminism, PdpGridIdenticalAcrossThreadCounts) {
+    const auto& s = scenario();
+    for (const std::size_t feature : {std::size_t{0}, std::size_t{5}}) {
+        xai::PdpOptions opt1;
+        opt1.grid_points = 12;
+        opt1.keep_ice = true;
+        opt1.threads = 1;
+        xai::PdpOptions opt8 = opt1;
+        opt8.threads = 8;
+        const auto p1 = xai::partial_dependence(s.forest, s.background, feature, opt1);
+        const auto p8 = xai::partial_dependence(s.forest, s.background, feature, opt8);
+        ASSERT_EQ(p1.grid.size(), p8.grid.size());
+        for (std::size_t g = 0; g < p1.grid.size(); ++g) {
+            EXPECT_EQ(p1.grid[g], p8.grid[g]);
+            EXPECT_EQ(p1.mean[g], p8.mean[g]);
+        }
+        ASSERT_EQ(p1.ice.size(), p8.ice.size());
+        for (std::size_t r = 0; r < p1.ice.size(); ++r)
+            for (std::size_t g = 0; g < p1.ice[r].size(); ++g)
+                EXPECT_EQ(p1.ice[r][g], p8.ice[r][g]);
+    }
+}
+
+TEST(ParallelDeterminism, PredictBatchMatchesPerRowPredict) {
+    const auto& s = scenario();
+    xnfv::set_default_threads(8);
+    const auto par = s.forest.predict_batch(s.data.x);
+    xnfv::set_default_threads(1);
+    const auto seq = s.forest.predict_batch(s.data.x);
+    xnfv::set_default_threads(0);  // restore hardware default
+    ASSERT_EQ(par.size(), s.data.size());
+    ASSERT_EQ(seq.size(), s.data.size());
+    for (std::size_t r = 0; r < s.data.size(); ++r) {
+        EXPECT_EQ(par[r], seq[r]);
+        EXPECT_EQ(par[r], s.forest.predict(s.data.x.row(r)));
+    }
+}

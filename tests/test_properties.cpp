@@ -11,6 +11,8 @@
 
 #include <cmath>
 #include <memory>
+#include <ostream>
+#include <string>
 
 #include "core/exact_shapley.hpp"
 #include "core/gradient.hpp"
@@ -52,6 +54,10 @@ std::string method_name(Method m) {
     }
     return "?";
 }
+
+/// gtest value printer: ctest's "# GetParam() = ..." annotation shows the
+/// method name instead of "4-byte object <..>".
+void PrintTo(Method m, std::ostream* os) { *os << method_name(m); }
 
 }  // namespace
 
@@ -270,7 +276,10 @@ INSTANTIATE_TEST_SUITE_P(Templates, TemplateSweep,
                                            wl::ChainTemplate::secure_enterprise,
                                            wl::ChainTemplate::video_cdn,
                                            wl::ChainTemplate::iot_ingest,
-                                           wl::ChainTemplate::vpn_tunnel));
+                                           wl::ChainTemplate::vpn_tunnel),
+                         [](const auto& param_info) {
+                             return std::string(wl::to_string(param_info.param));
+                         });
 
 // ---------------------------------------------------------------------------
 // GBT explains identically through TreeShap before/after serialization —

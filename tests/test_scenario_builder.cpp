@@ -181,4 +181,7 @@ INSTANTIATE_TEST_SUITE_P(Faults, FaultFamilySweep,
                                            wl::FaultKind::link_saturation,
                                            wl::FaultKind::traffic_burst,
                                            wl::FaultKind::cache_contention,
-                                           wl::FaultKind::memory_pressure));
+                                           wl::FaultKind::memory_pressure),
+                         [](const auto& param_info) {
+                             return std::string(wl::to_string(param_info.param));
+                         });

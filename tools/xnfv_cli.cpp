@@ -17,6 +17,7 @@
 
 #include "core/aggregate.hpp"
 #include "core/kernel_shap.hpp"
+#include "core/parallel.hpp"
 #include "core/lime.hpp"
 #include "core/occlusion.hpp"
 #include "core/report.hpp"
@@ -92,7 +93,12 @@ int usage() {
         "            [--counterfactual]\n"
         "  global    --model model.xnfv --data data.csv [--rows N]\n"
         "            [--method tree_shap|kernel_shap|sampling|lime|occlusion]\n"
-        "  help\n");
+        "  help\n\n"
+        "common flags:\n"
+        "  --seed S     deterministic RNG seed (per command defaults)\n"
+        "  --threads N  worker threads for explanation/prediction hot paths\n"
+        "               (default: hardware concurrency; results are identical\n"
+        "               for any N)\n");
     return 2;
 }
 
@@ -252,6 +258,9 @@ int main(int argc, char** argv) {
     const std::string command = argv[1];
     try {
         const Args args(argc, argv, 2);
+        const long long threads = args.get_int("threads", 0);
+        if (threads < 0) throw std::runtime_error("--threads must be >= 0");
+        xnfv::set_default_threads(static_cast<std::size_t>(threads));
         if (command == "generate") return cmd_generate(args);
         if (command == "train") return cmd_train(args);
         if (command == "evaluate") return cmd_evaluate(args);
