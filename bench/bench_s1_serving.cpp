@@ -1,0 +1,136 @@
+// S1 — online serving: throughput and tail latency of ExplanationService
+// versus micro-batch size and cache hit ratio, plus the cold-vs-cache-hit
+// speedup that justifies the LRU cache for repetitive NFV telemetry.
+//
+// Output (fixed format, seeded, reproducible):
+//   table 1: req/s and p50/p95/p99 service time for batch in {1, 8, 32} and
+//            target hit ratio in {0, 0.5, 0.9} (tree_shap, the production
+//            default method);
+//   table 2: per-request cold vs cache-hit latency for kernel_shap (the
+//            expensive method the cache exists for) with the >= 10x check;
+//   final:   the ServiceStats::to_string() report of the last sweep cell.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "serve/service.hpp"
+
+namespace bench = xnfv::bench;
+namespace ml = xnfv::ml;
+namespace serve = xnfv::serve;
+namespace xai = xnfv::xai;
+
+namespace {
+
+serve::ExplainRequest request_for_row(const ml::Dataset& data, std::uint64_t id,
+                                      std::size_t row) {
+    serve::ExplainRequest r;
+    r.id = id;
+    const auto x = data.x.row(row);
+    r.features.assign(x.begin(), x.end());
+    return r;
+}
+
+/// Deterministic request stream: a `hit_ratio` fraction of requests revisit
+/// a small hot set of rows (the telemetry-repeat pattern); the rest walk
+/// fresh rows.
+std::vector<std::size_t> make_stream(std::size_t n, double hit_ratio,
+                                     std::size_t hot_rows, std::size_t total_rows,
+                                     std::uint64_t seed) {
+    ml::Rng rng(seed);
+    std::vector<std::size_t> rows;
+    rows.reserve(n);
+    std::size_t next_fresh = hot_rows;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (rng.uniform() < hit_ratio) {
+            rows.push_back(rng.uniform_index(hot_rows));
+        } else {
+            rows.push_back(next_fresh);
+            next_fresh = hot_rows + (next_fresh + 1 - hot_rows) % (total_rows - hot_rows);
+        }
+    }
+    return rows;
+}
+
+}  // namespace
+
+int main() {
+    bench::print_header("S1", "online serving: throughput, tail latency, cache");
+
+    auto task = bench::make_sla_task(4000, 2020);
+    const auto forest =
+        std::make_shared<ml::RandomForest>(bench::train_forest(task.train, 7));
+    const xai::BackgroundData background(task.train.x, 128);
+    const std::size_t requests = 512;
+
+    std::printf("\nmethod=tree_shap  requests=%zu  (req/s, service-time percentiles)\n",
+                requests);
+    std::printf("%-6s %-5s %10s %9s %9s %9s %9s\n", "batch", "hit%", "req/s",
+                "p50us", "p95us", "p99us", "hitrate");
+    bench::print_rule();
+
+    std::string last_report;
+    for (const std::size_t batch : {std::size_t{1}, std::size_t{8}, std::size_t{32}}) {
+        for (const double hit_ratio : {0.0, 0.5, 0.9}) {
+            serve::ServiceConfig cfg;
+            cfg.method = "tree_shap";
+            cfg.queue_depth = requests;
+            cfg.max_batch = batch;
+            cfg.max_wait = std::chrono::microseconds(100);
+            cfg.cache_capacity = 8192;
+            serve::ExplanationService service(forest, background, cfg);
+
+            const auto stream =
+                make_stream(requests, hit_ratio, 16, task.train.size(), 42);
+            bench::Stopwatch watch;
+            std::vector<std::future<serve::ExplainResponse>> futures;
+            futures.reserve(requests);
+            for (std::size_t i = 0; i < stream.size(); ++i) {
+                auto sub = service.submit(request_for_row(task.train, i, stream[i]));
+                if (sub.rejected != serve::RejectReason::none) continue;
+                futures.push_back(std::move(sub.response));
+            }
+            for (auto& f : futures) (void)f.get();
+            const double elapsed_ms = watch.ms();
+
+            const auto stats = service.stats();
+            std::printf("%-6zu %-5.0f %10.0f %9.1f %9.1f %9.1f %9.3f\n", batch,
+                        100.0 * hit_ratio,
+                        1000.0 * static_cast<double>(futures.size()) / elapsed_ms,
+                        stats.service_us_p50, stats.service_us_p95,
+                        stats.service_us_p99, stats.cache_hit_rate());
+            last_report = stats.to_string();
+        }
+    }
+
+    // Cold vs cache-hit, per request, on the method the cache pays for most.
+    std::printf("\ncold vs cache-hit (kernel_shap, per-request explain_sync)\n");
+    bench::print_rule();
+    serve::ServiceConfig cfg;
+    cfg.method = "kernel_shap";
+    cfg.max_batch = 1;
+    cfg.max_wait = std::chrono::microseconds(0);
+    serve::ExplanationService service(forest, background, cfg);
+
+    const std::size_t probes = 24;
+    bench::Stopwatch watch;
+    for (std::size_t i = 0; i < probes; ++i)
+        (void)service.explain_sync(request_for_row(task.train, i, i));  // all unique
+    const double cold_us = 1000.0 * watch.ms() / static_cast<double>(probes);
+
+    (void)service.explain_sync(request_for_row(task.train, 999, 3));  // prime
+    watch.reset();
+    for (std::size_t i = 0; i < probes; ++i)
+        (void)service.explain_sync(request_for_row(task.train, 1000 + i, 3));
+    const double hit_us = 1000.0 * watch.ms() / static_cast<double>(probes);
+
+    const double speedup = hit_us > 0.0 ? cold_us / hit_us : 0.0;
+    std::printf("  cold  %10.1f us/req\n", cold_us);
+    std::printf("  hit   %10.1f us/req\n", hit_us);
+    std::printf("  speedup %8.1fx  [%s] (target >= 10x)\n", speedup,
+                speedup >= 10.0 ? "PASS" : "FAIL");
+
+    std::printf("\nfinal sweep-cell stats report:\n%s", last_report.c_str());
+    return speedup >= 10.0 ? 0 : 1;
+}

@@ -1,0 +1,36 @@
+#include "serve/batcher.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace xnfv::serve {
+
+MicroBatcher::MicroBatcher(BatcherConfig config) : config_(config) {
+    config_.max_batch = std::max<std::size_t>(1, config_.max_batch);
+    pending_.reserve(config_.max_batch);
+}
+
+bool MicroBatcher::add(Job job, TimePoint now) {
+    if (pending_.empty()) oldest_ = now;
+    pending_.push_back(std::move(job));
+    return pending_.size() >= config_.max_batch;
+}
+
+bool MicroBatcher::due(TimePoint now) const noexcept {
+    if (pending_.empty()) return false;
+    return pending_.size() >= config_.max_batch || now - oldest_ >= config_.max_wait;
+}
+
+std::optional<MicroBatcher::TimePoint> MicroBatcher::deadline() const noexcept {
+    if (pending_.empty()) return std::nullopt;
+    return oldest_ + config_.max_wait;
+}
+
+std::vector<Job> MicroBatcher::flush() {
+    std::vector<Job> batch = std::move(pending_);
+    pending_.clear();
+    pending_.reserve(config_.max_batch);
+    return batch;
+}
+
+}  // namespace xnfv::serve

@@ -1,0 +1,67 @@
+// Micro-batching policy: coalesce queued requests into one parallel flush.
+//
+// Per-request explanation cost is dominated by model evaluations; executing
+// requests one at a time leaves the PR-1 thread pool idle between arrivals.
+// The batcher accumulates pending jobs and flushes when either
+//   * max_batch requests are pending (flush-by-size), or
+//   * max_wait has elapsed since the *first* pending request
+//     (flush-by-timeout — bounds the latency a lone request pays for the
+//     chance of being batched).
+//
+// This class is a pure policy object: it never reads the clock or touches a
+// thread.  The caller (ExplanationService's dispatcher, or a test) passes
+// `now` explicitly, which makes flush-by-timeout deterministic under test.
+// Batching never changes results: each job is explained with its own
+// RNG stream derived from its request seed, so attribution bytes are
+// independent of batch composition (see DESIGN.md section 9).
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "serve/request_queue.hpp"
+
+namespace xnfv::serve {
+
+struct BatcherConfig {
+    /// Flush as soon as this many jobs are pending (clamped to >= 1).
+    std::size_t max_batch = 16;
+    /// Flush this long after the oldest pending job arrived.
+    std::chrono::microseconds max_wait{200};
+};
+
+class MicroBatcher {
+public:
+    using TimePoint = std::chrono::steady_clock::time_point;
+
+    explicit MicroBatcher(BatcherConfig config);
+
+    /// Adds a job to the pending batch; `now` starts the wait timer when the
+    /// batch was empty.  Returns true when the batch hit max_batch and must
+    /// be flushed.
+    [[nodiscard]] bool add(Job job, TimePoint now);
+
+    /// True when there is a pending batch whose timer expired at `now` (or
+    /// that is full).  An empty batcher is never due.
+    [[nodiscard]] bool due(TimePoint now) const noexcept;
+
+    /// When the pending batch's timer fires; nullopt when empty.  The
+    /// dispatcher parks on the queue until min(deadline, new arrival).
+    [[nodiscard]] std::optional<TimePoint> deadline() const noexcept;
+
+    /// Hands back the pending batch (possibly fewer than max_batch jobs on a
+    /// timeout flush) and resets.
+    [[nodiscard]] std::vector<Job> flush();
+
+    [[nodiscard]] std::size_t pending() const noexcept { return pending_.size(); }
+    [[nodiscard]] const BatcherConfig& config() const noexcept { return config_; }
+
+private:
+    BatcherConfig config_;
+    std::vector<Job> pending_;
+    TimePoint oldest_{};
+};
+
+}  // namespace xnfv::serve

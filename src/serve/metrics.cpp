@@ -1,0 +1,108 @@
+#include "serve/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace xnfv::serve {
+
+namespace {
+
+/// Bucket index for a sample: 0 holds the value 0, bucket i >= 1 holds
+/// [2^(i-1), 2^i).  bit_width(1)=1 -> bucket 1, bit_width(2..3)=2 -> 2, ...
+[[nodiscard]] std::size_t bucket_of(std::uint64_t sample) noexcept {
+    if (sample == 0) return 0;
+    return std::min<std::size_t>(std::bit_width(sample), Histogram::kBuckets - 1);
+}
+
+/// Inclusive value range covered by bucket i (see bucket_of).
+[[nodiscard]] std::pair<double, double> bucket_range(std::size_t i) noexcept {
+    if (i == 0) return {0.0, 0.0};
+    const double lo = static_cast<double>(std::uint64_t{1} << (i - 1));
+    return {lo, 2.0 * lo - 1.0};
+}
+
+}  // namespace
+
+void Histogram::record(std::uint64_t sample) noexcept {
+    buckets_[bucket_of(sample)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(sample, std::memory_order_relaxed);
+    std::uint64_t seen = min_.load(std::memory_order_relaxed);
+    while (sample < seen &&
+           !min_.compare_exchange_weak(seen, sample, std::memory_order_relaxed)) {
+    }
+    seen = max_.load(std::memory_order_relaxed);
+    while (sample > seen &&
+           !max_.compare_exchange_weak(seen, sample, std::memory_order_relaxed)) {
+    }
+}
+
+double Histogram::mean() const noexcept {
+    const auto n = count();
+    return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+}
+
+std::uint64_t Histogram::min() const noexcept {
+    const auto v = min_.load(std::memory_order_relaxed);
+    return v == UINT64_MAX ? 0 : v;
+}
+
+std::uint64_t Histogram::max() const noexcept {
+    return max_.load(std::memory_order_relaxed);
+}
+
+double Histogram::quantile(double q) const noexcept {
+    const std::uint64_t n = count();
+    if (n == 0) return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    // Rank of the requested quantile among n samples (1-based, ceil).
+    const auto rank = static_cast<std::uint64_t>(q * static_cast<double>(n - 1)) + 1;
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+        const std::uint64_t in_bucket = buckets_[i].load(std::memory_order_relaxed);
+        if (in_bucket == 0) continue;
+        if (seen + in_bucket >= rank) {
+            const auto [lo, hi] = bucket_range(i);
+            const double frac =
+                static_cast<double>(rank - seen) / static_cast<double>(in_bucket);
+            return lo + (hi - lo) * frac;
+        }
+        seen += in_bucket;
+    }
+    return static_cast<double>(max());
+}
+
+double ServiceStats::cache_hit_rate() const noexcept {
+    const std::uint64_t lookups = cache_hits + cache_misses;
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(cache_hits) / static_cast<double>(lookups);
+}
+
+std::string ServiceStats::to_string() const {
+    char buf[1024];
+    std::snprintf(
+        buf, sizeof(buf),
+        "service stats\n"
+        "  requests    accepted %llu  rejected %llu  completed %llu\n"
+        "  queue       depth %llu  max-depth %llu\n"
+        "  batches     %llu  mean-size %.2f  max-size %llu\n"
+        "  cache       hits %llu  misses %llu  hit-rate %.3f  entries %llu  evictions %llu\n"
+        "  latency-us  p50 %.1f  p95 %.1f  p99 %.1f  mean %.1f\n"
+        "  compute-us  mean %.1f (per cache miss)\n",
+        static_cast<unsigned long long>(requests_accepted),
+        static_cast<unsigned long long>(requests_rejected),
+        static_cast<unsigned long long>(requests_completed),
+        static_cast<unsigned long long>(queue_depth),
+        static_cast<unsigned long long>(queue_depth_max),
+        static_cast<unsigned long long>(batches), batch_size_mean,
+        static_cast<unsigned long long>(batch_size_max),
+        static_cast<unsigned long long>(cache_hits),
+        static_cast<unsigned long long>(cache_misses), cache_hit_rate(),
+        static_cast<unsigned long long>(cache_entries),
+        static_cast<unsigned long long>(cache_evictions), service_us_p50,
+        service_us_p95, service_us_p99, service_us_mean, compute_us_mean);
+    return buf;
+}
+
+}  // namespace xnfv::serve

@@ -1,0 +1,127 @@
+// Service metrics: lock-free counters and bucketed latency histograms.
+//
+// The online explanation service records every event on its hot path —
+// enqueue, reject, batch flush, cache hit/miss, completion — so an operator
+// can read queue depth, batch-size distribution, cache hit rate, and
+// p50/p95/p99 service time from one text report.  Everything here is
+// thread-safe: counters are single atomics, histograms are arrays of atomic
+// bucket counts (relaxed ordering; a report is a statistical snapshot, not a
+// linearizable one).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace xnfv::serve {
+
+/// Monotonic event counter.
+class Counter {
+public:
+    void inc(std::uint64_t n = 1) noexcept { value_.fetch_add(n, std::memory_order_relaxed); }
+    [[nodiscard]] std::uint64_t value() const noexcept {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/// Instantaneous level (queue depth) that also tracks its high-water mark.
+class Gauge {
+public:
+    void set(std::uint64_t v) noexcept {
+        value_.store(v, std::memory_order_relaxed);
+        std::uint64_t seen = max_.load(std::memory_order_relaxed);
+        while (v > seen && !max_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+        }
+    }
+    [[nodiscard]] std::uint64_t value() const noexcept {
+        return value_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::uint64_t max() const noexcept {
+        return max_.load(std::memory_order_relaxed);
+    }
+
+private:
+    std::atomic<std::uint64_t> value_{0};
+    std::atomic<std::uint64_t> max_{0};
+};
+
+/// Histogram over non-negative integer samples (microseconds, batch sizes)
+/// with geometric bucket bounds: 1, 2, 4, ... 2^62, plus an underflow bucket
+/// for 0.  Quantiles are estimated by linear interpolation inside the
+/// containing bucket — coarse but monotone, and good enough for a p99 on a
+/// log-scale latency distribution.
+class Histogram {
+public:
+    static constexpr std::size_t kBuckets = 64;
+
+    void record(std::uint64_t sample) noexcept;
+
+    [[nodiscard]] std::uint64_t count() const noexcept {
+        return count_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::uint64_t sum() const noexcept {
+        return sum_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] double mean() const noexcept;
+    [[nodiscard]] std::uint64_t min() const noexcept;
+    [[nodiscard]] std::uint64_t max() const noexcept;
+
+    /// Estimated q-quantile, q in [0, 1].  Returns 0 on an empty histogram.
+    [[nodiscard]] double quantile(double q) const noexcept;
+
+private:
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<std::uint64_t> sum_{0};
+    std::atomic<std::uint64_t> min_{UINT64_MAX};
+    std::atomic<std::uint64_t> max_{0};
+};
+
+/// Everything the service measures, grouped for snapshotting.
+struct ServiceMetrics {
+    Counter requests_accepted;   ///< submissions that entered the queue
+    Counter requests_rejected;   ///< backpressure rejections (queue full)
+    Counter requests_completed;  ///< responses delivered (hit or computed)
+    Counter batches;             ///< micro-batch flushes executed
+    Counter cache_hits;
+    Counter cache_misses;
+    Gauge queue_depth;
+    Histogram batch_size;        ///< requests per flushed batch
+    Histogram service_time_us;   ///< enqueue -> response, per request
+    Histogram compute_time_us;   ///< model/explainer time, per cache miss
+};
+
+/// Immutable snapshot of ServiceMetrics plus cache occupancy, renderable as
+/// the operator-facing text report (and as the `stats` request's payload).
+struct ServiceStats {
+    std::uint64_t requests_accepted = 0;
+    std::uint64_t requests_rejected = 0;
+    std::uint64_t requests_completed = 0;
+    std::uint64_t batches = 0;
+    std::uint64_t cache_hits = 0;
+    std::uint64_t cache_misses = 0;
+    std::uint64_t cache_evictions = 0;
+    std::uint64_t cache_entries = 0;
+    std::uint64_t queue_depth = 0;
+    std::uint64_t queue_depth_max = 0;
+    double batch_size_mean = 0.0;
+    std::uint64_t batch_size_max = 0;
+    double service_us_p50 = 0.0;
+    double service_us_p95 = 0.0;
+    double service_us_p99 = 0.0;
+    double service_us_mean = 0.0;
+    double compute_us_mean = 0.0;
+
+    /// Hit fraction in [0, 1]; 0 when no lookups happened yet.
+    [[nodiscard]] double cache_hit_rate() const noexcept;
+
+    /// Multi-line text report, e.g. for `xnfv_cli serve` op=stats.
+    [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace xnfv::serve

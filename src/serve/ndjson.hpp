@@ -1,0 +1,75 @@
+// Minimal JSON for the newline-delimited request loop of `xnfv_cli serve`.
+//
+// The service speaks one flat JSON object per line in each direction; this
+// header provides just enough of RFC 8259 to parse those requests and render
+// responses with round-trippable doubles — no dependency, no allocator
+// tricks, no streaming.  Numbers are parsed as doubles; response doubles are
+// printed with %.17g so the served bytes decode to the exact binary value
+// the explainer produced (the determinism tests compare these strings).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace xnfv::serve {
+
+/// Parsed JSON value (object keys keep first occurrence; duplicates ignored).
+class JsonValue {
+public:
+    enum class Type : std::uint8_t { null, boolean, number, string, array, object };
+
+    Type type = Type::null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<JsonValue> array;
+    std::map<std::string, JsonValue> object;
+
+    [[nodiscard]] bool is_null() const noexcept { return type == Type::null; }
+
+    /// Object member lookup; nullptr when absent or not an object.
+    [[nodiscard]] const JsonValue* find(const std::string& key) const;
+
+    /// Typed member accessors with defaults (for flat request objects).
+    [[nodiscard]] std::string get_string(const std::string& key,
+                                         const std::string& fallback) const;
+    [[nodiscard]] double get_number(const std::string& key, double fallback) const;
+    [[nodiscard]] bool has(const std::string& key) const { return find(key) != nullptr; }
+};
+
+/// Parses one complete JSON document; throws std::runtime_error with a
+/// position-annotated message on malformed input or trailing garbage.
+[[nodiscard]] JsonValue parse_json(const std::string& text);
+
+/// Escapes a string for embedding inside JSON quotes ("\n" -> "\\n", ...).
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+/// Shortest round-trippable rendering of a double (%.17g; nan/inf -> null,
+/// which JSON cannot represent).
+[[nodiscard]] std::string json_number(double v);
+
+/// Incremental writer for one flat response object:
+///   JsonWriter w; w.field("id", 3.0); ... w.finish() -> {"id":3,...}
+class JsonWriter {
+public:
+    void field(const std::string& key, const std::string& value);
+    void field(const std::string& key, const char* value);
+    void field(const std::string& key, double value);
+    void field(const std::string& key, std::uint64_t value);
+    void field(const std::string& key, bool value);
+    void field_array(const std::string& key, const std::vector<double>& values);
+    /// Inserts pre-rendered JSON (nested object/array) verbatim.
+    void field_raw(const std::string& key, const std::string& json);
+
+    [[nodiscard]] std::string finish() const { return "{" + body_ + "}"; }
+
+private:
+    void key_prefix(const std::string& key);
+    std::string body_;
+};
+
+}  // namespace xnfv::serve

@@ -1,0 +1,66 @@
+#include "serve/request_queue.hpp"
+
+#include <algorithm>
+
+namespace xnfv::serve {
+
+const char* to_string(RejectReason reason) noexcept {
+    switch (reason) {
+        case RejectReason::none: return "none";
+        case RejectReason::queue_full: return "queue_full";
+        case RejectReason::service_stopped: return "service_stopped";
+        case RejectReason::bad_request: return "bad_request";
+    }
+    return "unknown";
+}
+
+RequestQueue::RequestQueue(std::size_t depth) : depth_(std::max<std::size_t>(1, depth)) {}
+
+RejectReason RequestQueue::try_push(Job job) {
+    {
+        std::lock_guard lock(mutex_);
+        if (closed_) return RejectReason::service_stopped;
+        if (jobs_.size() >= depth_) return RejectReason::queue_full;
+        jobs_.push_back(std::move(job));
+    }
+    not_empty_.notify_one();
+    return RejectReason::none;
+}
+
+std::optional<Job> RequestQueue::pop_wait(std::chrono::steady_clock::time_point deadline) {
+    std::unique_lock lock(mutex_);
+    not_empty_.wait_until(lock, deadline,
+                          [this] { return !jobs_.empty() || closed_; });
+    if (jobs_.empty()) return std::nullopt;
+    Job job = std::move(jobs_.front());
+    jobs_.pop_front();
+    return job;
+}
+
+std::optional<Job> RequestQueue::try_pop() {
+    std::lock_guard lock(mutex_);
+    if (jobs_.empty()) return std::nullopt;
+    Job job = std::move(jobs_.front());
+    jobs_.pop_front();
+    return job;
+}
+
+void RequestQueue::close() {
+    {
+        std::lock_guard lock(mutex_);
+        closed_ = true;
+    }
+    not_empty_.notify_all();
+}
+
+bool RequestQueue::closed() const {
+    std::lock_guard lock(mutex_);
+    return closed_;
+}
+
+std::size_t RequestQueue::size() const {
+    std::lock_guard lock(mutex_);
+    return jobs_.size();
+}
+
+}  // namespace xnfv::serve

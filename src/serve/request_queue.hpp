@@ -1,0 +1,106 @@
+// Bounded MPMC request queue with reject-on-full backpressure.
+//
+// The admission edge of the explanation service: producers (CLI front-end,
+// tests, embedding applications) try_push() jobs; the dispatcher thread
+// pop_wait()s them into the micro-batcher.  The queue is bounded because an
+// overload policy of "grow forever" just converts overload into latency and
+// eventually OOM — a full queue instead rejects immediately with a reason the
+// caller can surface (HTTP 429 semantics, in-process).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/explanation.hpp"
+
+namespace xnfv::serve {
+
+/// One explanation request.  `features` is the full telemetry vector of the
+/// instance to explain; `seed` makes the request self-describing so a served
+/// answer is reproducible by a one-shot CLI call with the same seed.
+struct ExplainRequest {
+    std::uint64_t id = 0;
+    std::vector<double> features;
+    /// Explainer method ("tree_shap", "kernel_shap", "sampling", "lime",
+    /// "occlusion"); empty selects the service default.
+    std::string method;
+    /// RNG seed for sampling-based explainers; 0 selects the service default.
+    std::uint64_t seed = 0;
+};
+
+/// Why a submission did not enter the queue.
+enum class RejectReason : std::uint8_t {
+    none = 0,
+    queue_full,       ///< backpressure: depth limit reached
+    service_stopped,  ///< queue closed during shutdown
+    bad_request,      ///< malformed payload (wrong feature count, ...)
+};
+
+[[nodiscard]] const char* to_string(RejectReason reason) noexcept;
+
+/// Completed answer for one request.
+struct ExplainResponse {
+    std::uint64_t id = 0;
+    bool ok = false;
+    bool cache_hit = false;
+    xnfv::xai::Explanation explanation;
+    std::string error;  ///< set when !ok
+};
+
+/// A request travelling through the service with its completion channel and
+/// admission timestamp (for end-to-end service-time accounting).
+struct Job {
+    ExplainRequest request;
+    std::promise<ExplainResponse> promise;
+    std::chrono::steady_clock::time_point enqueued_at;
+};
+
+/// Bounded multi-producer / multi-consumer FIFO of Jobs.
+///
+/// try_push never blocks: a full or closed queue rejects with a reason.
+/// pop_wait blocks up to a deadline so the dispatcher can honor the
+/// micro-batcher's flush timer while parked on an empty queue.
+class RequestQueue {
+public:
+    /// `depth` is the backpressure limit (clamped to at least 1).
+    explicit RequestQueue(std::size_t depth);
+
+    RequestQueue(const RequestQueue&) = delete;
+    RequestQueue& operator=(const RequestQueue&) = delete;
+
+    /// Admits `job` unless the queue is full or closed.
+    [[nodiscard]] RejectReason try_push(Job job);
+
+    /// Pops the oldest job, waiting until one arrives, `deadline` passes, or
+    /// the queue is closed and drained.  nullopt = timed out or drained.
+    [[nodiscard]] std::optional<Job> pop_wait(
+        std::chrono::steady_clock::time_point deadline);
+
+    /// Non-blocking pop (used to drain without waiting).
+    [[nodiscard]] std::optional<Job> try_pop();
+
+    /// Marks the queue closed: future try_push calls reject, and consumers
+    /// waiting on an empty queue wake up.  Already-queued jobs stay poppable.
+    void close();
+
+    [[nodiscard]] bool closed() const;
+    [[nodiscard]] std::size_t size() const;
+    [[nodiscard]] std::size_t depth() const noexcept { return depth_; }
+
+private:
+    const std::size_t depth_;
+    mutable std::mutex mutex_;
+    std::condition_variable not_empty_;
+    std::deque<Job> jobs_;
+    bool closed_ = false;
+};
+
+}  // namespace xnfv::serve

@@ -1,0 +1,295 @@
+#include "serve/service.hpp"
+
+#include <bit>
+#include <chrono>
+#include <exception>
+#include <sstream>
+#include <unordered_map>
+#include <utility>
+
+#include "core/kernel_shap.hpp"
+#include "core/lime.hpp"
+#include "core/occlusion.hpp"
+#include "core/parallel.hpp"
+#include "core/sampling_shapley.hpp"
+#include "core/tree_shap.hpp"
+#include "mlcore/serialize.hpp"
+
+namespace xnfv::serve {
+
+namespace ml = xnfv::ml;
+namespace xai = xnfv::xai;
+
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+[[nodiscard]] std::uint64_t elapsed_us(Clock::time_point from, Clock::time_point to) {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(to - from).count());
+}
+
+[[nodiscard]] std::uint64_t hash_string(const std::string& s, std::uint64_t seed) {
+    return fnv1a({reinterpret_cast<const std::uint8_t*>(s.data()), s.size()}, seed);
+}
+
+/// Fingerprint of the model's inference state: hash of its serialized text,
+/// falling back to name/arity for unserializable models (LambdaModel).
+[[nodiscard]] std::uint64_t model_fingerprint(const ml::Model& model) {
+    try {
+        std::ostringstream os;
+        ml::save_model(model, os);
+        return hash_string(os.str(), 0xcbf29ce484222325ULL);
+    } catch (const std::exception&) {
+        return fnv1a_u64(model.num_features(),
+                         hash_string(model.name(), 0xcbf29ce484222325ULL));
+    }
+}
+
+[[nodiscard]] std::uint64_t background_fingerprint(const xai::BackgroundData& bg) {
+    const auto data = bg.samples().data();
+    std::uint64_t h = fnv1a_u64(bg.samples().cols(), 0xcbf29ce484222325ULL);
+    for (const double v : data)
+        h = fnv1a_u64(std::bit_cast<std::uint64_t>(v), h);
+    return h;
+}
+
+}  // namespace
+
+std::unique_ptr<xai::Explainer> make_explainer(const std::string& method,
+                                               const xai::BackgroundData& background,
+                                               std::uint64_t seed,
+                                               std::size_t threads) {
+    if (method == "tree_shap") return std::make_unique<xai::TreeShap>();
+    if (method == "kernel_shap") {
+        xai::KernelShap::Config cfg;
+        cfg.threads = threads;
+        return std::make_unique<xai::KernelShap>(background, ml::Rng(seed), cfg);
+    }
+    if (method == "sampling") {
+        xai::SamplingShapley::Config cfg;
+        cfg.threads = threads;
+        return std::make_unique<xai::SamplingShapley>(background, ml::Rng(seed), cfg);
+    }
+    if (method == "lime") {
+        xai::Lime::Config cfg;
+        cfg.threads = threads;
+        return std::make_unique<xai::Lime>(background, ml::Rng(seed), cfg);
+    }
+    if (method == "occlusion") {
+        xai::Occlusion::Config cfg;
+        cfg.threads = threads;
+        return std::make_unique<xai::Occlusion>(background, cfg);
+    }
+    throw std::runtime_error("unknown method '" + method + "'");
+}
+
+bool known_method(const std::string& method) noexcept {
+    return method == "tree_shap" || method == "kernel_shap" || method == "sampling" ||
+           method == "lime" || method == "occlusion";
+}
+
+ExplanationService::ExplanationService(std::shared_ptr<const ml::Model> model,
+                                       xai::BackgroundData background,
+                                       ServiceConfig config)
+    : model_(std::move(model)),
+      background_(std::move(background)),
+      config_(std::move(config)),
+      model_fingerprint_(model_fingerprint(*model_)),
+      background_fingerprint_(background_fingerprint(background_)),
+      queue_(config_.queue_depth),
+      batcher_(BatcherConfig{config_.max_batch, config_.max_wait}),
+      cache_(config_.cache_capacity, config_.cache_shards) {
+    if (!known_method(config_.method))
+        throw std::runtime_error("unknown method '" + config_.method + "'");
+    dispatcher_ = std::thread([this] { dispatcher_loop(); });
+}
+
+ExplanationService::~ExplanationService() { stop(); }
+
+void ExplanationService::stop() {
+    std::call_once(stop_once_, [this] {
+        queue_.close();
+        if (dispatcher_.joinable()) dispatcher_.join();
+    });
+}
+
+ExplanationService::Submission ExplanationService::submit(ExplainRequest request) {
+    Submission out;
+    if (request.features.size() != model_->num_features() ||
+        (!request.method.empty() && !known_method(request.method))) {
+        out.rejected = RejectReason::bad_request;
+        metrics_.requests_rejected.inc();
+        return out;
+    }
+    Job job;
+    job.request = std::move(request);
+    job.enqueued_at = Clock::now();
+    out.response = job.promise.get_future();
+    out.rejected = queue_.try_push(std::move(job));
+    if (out.rejected != RejectReason::none) {
+        metrics_.requests_rejected.inc();
+        out.response = {};
+        return out;
+    }
+    metrics_.requests_accepted.inc();
+    metrics_.queue_depth.set(queue_.size());
+    return out;
+}
+
+ExplainResponse ExplanationService::explain_sync(ExplainRequest request) {
+    const std::uint64_t id = request.id;
+    Submission sub = submit(std::move(request));
+    if (sub.rejected != RejectReason::none) {
+        ExplainResponse r;
+        r.id = id;
+        r.ok = false;
+        r.error = std::string("rejected: ") + to_string(sub.rejected);
+        return r;
+    }
+    return sub.response.get();
+}
+
+void ExplanationService::dispatcher_loop() {
+    for (;;) {
+        const auto now = Clock::now();
+        if (batcher_.due(now)) {
+            execute_batch(batcher_.flush());
+            continue;
+        }
+        // Park on the queue until the flush timer fires or (with no pending
+        // batch) a periodic wake-up to notice shutdown.
+        const auto deadline =
+            batcher_.deadline().value_or(now + std::chrono::milliseconds(50));
+        if (auto job = queue_.pop_wait(deadline)) {
+            metrics_.queue_depth.set(queue_.size());
+            if (batcher_.add(std::move(*job), Clock::now()))
+                execute_batch(batcher_.flush());
+        } else if (queue_.closed()) {
+            // Drained: serve the stragglers and exit.
+            if (batcher_.pending() > 0) execute_batch(batcher_.flush());
+            if (queue_.size() == 0) return;
+        }
+    }
+}
+
+CacheKey ExplanationService::key_for(const ExplainRequest& request) const {
+    const std::string& method = request.method.empty() ? config_.method : request.method;
+    const std::uint64_t seed = request.seed == 0 ? config_.seed : request.seed;
+    std::uint64_t context = hash_string(method, model_fingerprint_);
+    context = fnv1a_u64(seed, context);
+    context = fnv1a_u64(std::bit_cast<std::uint64_t>(config_.cache_quantum), context);
+    context = fnv1a_u64(background_fingerprint_, context);
+    return CacheKey(request.features, config_.cache_quantum, context);
+}
+
+ExplainResponse ExplanationService::run_request(const ExplainRequest& request) const {
+    ExplainResponse r;
+    r.id = request.id;
+    const std::string& method = request.method.empty() ? config_.method : request.method;
+    const std::uint64_t seed = request.seed == 0 ? config_.seed : request.seed;
+    try {
+        const auto explainer =
+            make_explainer(method, background_, seed, config_.threads);
+        r.explanation = explainer->explain(*model_, request.features);
+        r.ok = true;
+    } catch (const std::exception& e) {
+        r.ok = false;
+        r.error = e.what();
+    }
+    return r;
+}
+
+void ExplanationService::execute_batch(std::vector<Job> batch) {
+    metrics_.batches.inc();
+    metrics_.batch_size.record(batch.size());
+
+    // Phase 1 — cache probe, in admission order so hit/miss accounting (and
+    // duplicate handling inside one batch) is deterministic.  A key that
+    // misses the cache but equals an earlier miss in the same batch is not
+    // recomputed: it shares the primary's result (a batch-local hit).
+    struct KeyHash {
+        std::size_t operator()(const CacheKey& k) const noexcept {
+            return static_cast<std::size_t>(k.hash());
+        }
+    };
+    std::vector<CacheKey> keys;
+    keys.reserve(batch.size());
+    for (const Job& job : batch) keys.push_back(key_for(job.request));
+
+    std::vector<ExplainResponse> responses(batch.size());
+    std::vector<std::size_t> to_compute;
+    to_compute.reserve(batch.size());
+    std::unordered_map<CacheKey, std::size_t, KeyHash> inflight;
+    std::vector<std::pair<std::size_t, std::size_t>> duplicates;  // (i, primary)
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        responses[i].id = batch[i].request.id;
+        if (auto cached = cache_.lookup(keys[i])) {
+            responses[i].ok = true;
+            responses[i].cache_hit = true;
+            responses[i].explanation = std::move(*cached);
+            metrics_.cache_hits.inc();
+        } else if (const auto it = inflight.find(keys[i]); it != inflight.end()) {
+            duplicates.emplace_back(i, it->second);
+        } else {
+            inflight.emplace(keys[i], i);
+            metrics_.cache_misses.inc();
+            to_compute.push_back(i);
+        }
+    }
+
+    // Phase 2 — compute all misses across the shared pool.  Each request is
+    // keyed by its own seed, so results do not depend on batch composition,
+    // order, or thread count.
+    std::vector<std::uint64_t> compute_us(to_compute.size(), 0);
+    xnfv::parallel_for(to_compute.size(), config_.threads, [&](std::size_t k) {
+        const auto start = Clock::now();
+        responses[to_compute[k]] = run_request(batch[to_compute[k]].request);
+        compute_us[k] = elapsed_us(start, Clock::now());
+    });
+
+    // Phase 3 — resolve duplicates, populate the cache, complete futures.
+    for (const auto& [i, primary] : duplicates) {
+        const std::uint64_t id = responses[i].id;
+        responses[i] = responses[primary];
+        responses[i].id = id;
+        responses[i].cache_hit = responses[i].ok;
+        metrics_.cache_hits.inc();
+    }
+    for (std::size_t k = 0; k < to_compute.size(); ++k) {
+        const std::size_t i = to_compute[k];
+        metrics_.compute_time_us.record(compute_us[k]);
+        if (responses[i].ok) cache_.insert(keys[i], responses[i].explanation);
+    }
+    const auto done = Clock::now();
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        metrics_.service_time_us.record(elapsed_us(batch[i].enqueued_at, done));
+        metrics_.requests_completed.inc();
+        batch[i].promise.set_value(std::move(responses[i]));
+    }
+}
+
+ServiceStats ExplanationService::stats() const {
+    ServiceStats s;
+    s.requests_accepted = metrics_.requests_accepted.value();
+    s.requests_rejected = metrics_.requests_rejected.value();
+    s.requests_completed = metrics_.requests_completed.value();
+    s.batches = metrics_.batches.value();
+    s.cache_hits = metrics_.cache_hits.value();
+    s.cache_misses = metrics_.cache_misses.value();
+    const CacheStats cs = cache_.stats();
+    s.cache_evictions = cs.evictions;
+    s.cache_entries = cs.entries;
+    s.queue_depth = metrics_.queue_depth.value();
+    s.queue_depth_max = metrics_.queue_depth.max();
+    s.batch_size_mean = metrics_.batch_size.mean();
+    s.batch_size_max = metrics_.batch_size.max();
+    s.service_us_p50 = metrics_.service_time_us.quantile(0.50);
+    s.service_us_p95 = metrics_.service_time_us.quantile(0.95);
+    s.service_us_p99 = metrics_.service_time_us.quantile(0.99);
+    s.service_us_mean = metrics_.service_time_us.mean();
+    s.compute_us_mean = metrics_.compute_time_us.mean();
+    return s;
+}
+
+}  // namespace xnfv::serve

@@ -1,0 +1,136 @@
+// Online explanation service: queue -> micro-batcher -> thread pool -> cache.
+//
+// Long-running, in-process front door for explanation traffic.  Producers
+// submit() ExplainRequests; a dispatcher thread coalesces them into
+// micro-batches (serve/batcher.hpp) and executes each batch as one
+// parallel_for over the PR-1 shared pool, consulting the sharded LRU
+// explanation cache first.  Every stage is instrumented (serve/metrics.hpp).
+//
+// Determinism contract (the serving extension of DESIGN.md section 8):
+//
+// > A served explanation is bitwise identical to the one-shot CLI path for
+// > the same (model, method, seed, background), at any batch size, queue
+// > timing, and thread count.
+//
+// This holds because each request is explained by a *fresh* explainer seeded
+// from the request's own seed — one explain() call, exactly what
+// `xnfv_cli explain` performs — never by positional streams of a shared
+// batch explainer (batch composition depends on arrival timing, so
+// positional seeds would leak scheduling into results).  Batching therefore
+// amortizes pool wake-ups, model/background sharing, and cache probes, not
+// randomness.  The cache is consistent by construction: an entry's key pins
+// everything its value depends on, so a hit returns the same bytes a fresh
+// computation would produce.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/explanation.hpp"
+#include "mlcore/model.hpp"
+#include "serve/batcher.hpp"
+#include "serve/explanation_cache.hpp"
+#include "serve/metrics.hpp"
+#include "serve/request_queue.hpp"
+
+namespace xnfv::serve {
+
+/// Builds the explainer a request resolves to; shared with the CLI so the
+/// served path and the one-shot path construct byte-identical explainers.
+/// Supported methods: tree_shap, kernel_shap, sampling, lime, occlusion.
+/// Throws std::runtime_error on an unknown method.
+[[nodiscard]] std::unique_ptr<xnfv::xai::Explainer> make_explainer(
+    const std::string& method, const xnfv::xai::BackgroundData& background,
+    std::uint64_t seed, std::size_t threads = 0);
+
+/// True when `method` names a supported explainer.
+[[nodiscard]] bool known_method(const std::string& method) noexcept;
+
+struct ServiceConfig {
+    /// Default explainer method for requests that leave `method` empty.
+    std::string method = "tree_shap";
+    /// Default RNG seed for requests that leave `seed` == 0 (matches the
+    /// `xnfv_cli explain` default so served == one-shot out of the box).
+    std::uint64_t seed = 11;
+    /// Backpressure bound of the admission queue.
+    std::size_t queue_depth = 256;
+    /// Micro-batch flush thresholds (see serve/batcher.hpp).
+    std::size_t max_batch = 16;
+    std::chrono::microseconds max_wait{200};
+    /// LRU cache geometry.  quantum == 0 keys on exact feature bit patterns
+    /// (lossless: hits only for true repeats); quantum > 0 buckets features
+    /// to that grid, trading bitwise fidelity for hit rate.
+    std::size_t cache_capacity = 4096;
+    std::size_t cache_shards = 8;
+    double cache_quantum = 0.0;
+    /// Worker threads for batch execution (0 = xnfv::default_threads()).
+    std::size_t threads = 0;
+};
+
+/// The in-process serving engine.  Thread-safe: any number of producer
+/// threads may submit() concurrently with each other and with stats().
+class ExplanationService {
+public:
+    /// The service holds shared ownership of the model; `background` is the
+    /// reference distribution every request marginalizes over.
+    ExplanationService(std::shared_ptr<const xnfv::ml::Model> model,
+                       xnfv::xai::BackgroundData background,
+                       ServiceConfig config = {});
+    ~ExplanationService();
+
+    ExplanationService(const ExplanationService&) = delete;
+    ExplanationService& operator=(const ExplanationService&) = delete;
+
+    /// Outcome of a submit(): either `rejected != none` (and `response` is
+    /// invalid), or a future that completes when the request is served.
+    struct Submission {
+        RejectReason rejected = RejectReason::none;
+        std::future<ExplainResponse> response;
+    };
+
+    /// Validates and enqueues; never blocks.  Rejects with `queue_full`
+    /// under backpressure, `bad_request` on wrong feature count or unknown
+    /// method, `service_stopped` after stop().
+    [[nodiscard]] Submission submit(ExplainRequest request);
+
+    /// submit() + wait.  A rejection is returned as an error response.
+    [[nodiscard]] ExplainResponse explain_sync(ExplainRequest request);
+
+    /// Snapshot of all counters/histograms plus cache occupancy.
+    [[nodiscard]] ServiceStats stats() const;
+
+    /// Closes admission, drains and serves everything already queued, and
+    /// joins the dispatcher.  Idempotent; the destructor calls it.
+    void stop();
+
+    [[nodiscard]] const ServiceConfig& config() const noexcept { return config_; }
+    [[nodiscard]] const xnfv::ml::Model& model() const noexcept { return *model_; }
+
+private:
+    void dispatcher_loop();
+    void execute_batch(std::vector<Job> batch);
+    /// Explains one request (fresh explainer, one explain() call).  Any
+    /// exception becomes an error response.
+    [[nodiscard]] ExplainResponse run_request(const ExplainRequest& request) const;
+    [[nodiscard]] CacheKey key_for(const ExplainRequest& request) const;
+
+    std::shared_ptr<const xnfv::ml::Model> model_;
+    xnfv::xai::BackgroundData background_;
+    ServiceConfig config_;
+    std::uint64_t model_fingerprint_;
+    std::uint64_t background_fingerprint_;
+    RequestQueue queue_;
+    MicroBatcher batcher_;
+    ExplanationCache cache_;
+    mutable ServiceMetrics metrics_;
+    std::thread dispatcher_;
+    std::once_flag stop_once_;
+};
+
+}  // namespace xnfv::serve

@@ -23,6 +23,22 @@ test -s "$DIR/model.xnfv"
 "$CLI" train --data "$DIR/lat.csv" --model linear --task reg --out "$DIR/lat.xnfv"
 "$CLI" evaluate --model "$DIR/lat.xnfv" --data "$DIR/lat.csv" --task reg | grep -q rmse
 
+# Serving mode: ND-JSON in, ND-JSON out, repeats hit the cache, and the
+# served attributions line is identical when re-served (determinism).
+printf '%s\n' \
+  '{"op":"explain","row":1}' \
+  '{"op":"explain","row":1}' \
+  '{"op":"stats"}' \
+  '{"op":"quit"}' \
+  | "$CLI" serve --model "$DIR/model.xnfv" --data "$DIR/data.csv" > "$DIR/serve1.out"
+test "$(wc -l < "$DIR/serve1.out")" -eq 3
+grep -q '"attributions"' "$DIR/serve1.out"
+grep -q '"cache_hit":true' "$DIR/serve1.out"
+grep -q '"op":"stats"' "$DIR/serve1.out"
+printf '{"op":"explain","row":1}\n' \
+  | "$CLI" serve --model "$DIR/model.xnfv" --data "$DIR/data.csv" > "$DIR/serve2.out"
+head -n 1 "$DIR/serve1.out" | cmp -s - "$DIR/serve2.out"
+
 # Failure paths must fail loudly, not crash.
 if "$CLI" train --data /nonexistent.csv --out "$DIR/x" 2>/dev/null; then exit 1; fi
 if "$CLI" explain --model "$DIR/model.xnfv" --data "$DIR/data.csv" --row 99999 2>/dev/null; then exit 1; fi

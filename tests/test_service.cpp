@@ -1,0 +1,470 @@
+// Unit tests for the online explanation service building blocks: bounded
+// queue backpressure, micro-batcher flush policies (with an explicit clock,
+// so flush-by-timeout is deterministic), sharded LRU cache accounting,
+// metrics, the ND-JSON codec, and the assembled ExplanationService.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/batcher.hpp"
+#include "serve/explanation_cache.hpp"
+#include "serve/metrics.hpp"
+#include "serve/ndjson.hpp"
+#include "serve/request_queue.hpp"
+#include "serve/service.hpp"
+
+namespace ml = xnfv::ml;
+namespace serve = xnfv::serve;
+namespace xai = xnfv::xai;
+
+using Clock = std::chrono::steady_clock;
+using std::chrono::microseconds;
+
+namespace {
+
+serve::Job make_job(std::uint64_t id) {
+    serve::Job job;
+    job.request.id = id;
+    job.request.features = {1.0, 2.0, 3.0};
+    job.enqueued_at = Clock::now();
+    return job;
+}
+
+serve::CacheKey make_key(std::initializer_list<double> features, double quantum,
+                         std::uint64_t context) {
+    const std::vector<double> v(features);
+    return serve::CacheKey(v, quantum, context);
+}
+
+xai::Explanation make_explanation(double value) {
+    xai::Explanation e;
+    e.method = "test";
+    e.prediction = value;
+    e.base_value = 0.5;
+    e.attributions = {value, -value};
+    return e;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- queue ---
+
+TEST(RequestQueue, RejectsWithQueueFullWhenDepthReached) {
+    serve::RequestQueue queue(2);
+    EXPECT_EQ(queue.try_push(make_job(1)), serve::RejectReason::none);
+    EXPECT_EQ(queue.try_push(make_job(2)), serve::RejectReason::none);
+    EXPECT_EQ(queue.try_push(make_job(3)), serve::RejectReason::queue_full);
+    EXPECT_EQ(queue.size(), 2u);
+
+    // Popping frees a slot.
+    EXPECT_TRUE(queue.try_pop().has_value());
+    EXPECT_EQ(queue.try_push(make_job(3)), serve::RejectReason::none);
+}
+
+TEST(RequestQueue, PopsInFifoOrder) {
+    serve::RequestQueue queue(8);
+    for (std::uint64_t id = 1; id <= 4; ++id)
+        ASSERT_EQ(queue.try_push(make_job(id)), serve::RejectReason::none);
+    for (std::uint64_t id = 1; id <= 4; ++id) {
+        auto job = queue.try_pop();
+        ASSERT_TRUE(job.has_value());
+        EXPECT_EQ(job->request.id, id);
+    }
+    EXPECT_FALSE(queue.try_pop().has_value());
+}
+
+TEST(RequestQueue, CloseRejectsNewButDrainsQueued) {
+    serve::RequestQueue queue(4);
+    ASSERT_EQ(queue.try_push(make_job(1)), serve::RejectReason::none);
+    queue.close();
+    EXPECT_EQ(queue.try_push(make_job(2)), serve::RejectReason::service_stopped);
+    // Already-admitted work survives the close.
+    auto job = queue.pop_wait(Clock::now() + microseconds(100));
+    ASSERT_TRUE(job.has_value());
+    EXPECT_EQ(job->request.id, 1u);
+    // Drained + closed: pop returns immediately with nothing.
+    EXPECT_FALSE(queue.pop_wait(Clock::now() + std::chrono::seconds(5)).has_value());
+}
+
+TEST(RequestQueue, PopWaitTimesOutOnEmptyQueue) {
+    serve::RequestQueue queue(4);
+    const auto start = Clock::now();
+    EXPECT_FALSE(queue.pop_wait(start + std::chrono::milliseconds(20)).has_value());
+    EXPECT_GE(Clock::now() - start, std::chrono::milliseconds(19));
+}
+
+// -------------------------------------------------------------- batcher ---
+
+TEST(MicroBatcher, FlushesBySize) {
+    serve::MicroBatcher batcher({.max_batch = 3, .max_wait = microseconds(1000000)});
+    const auto t0 = Clock::now();
+    EXPECT_FALSE(batcher.add(make_job(1), t0));
+    EXPECT_FALSE(batcher.add(make_job(2), t0));
+    EXPECT_TRUE(batcher.add(make_job(3), t0));  // full -> caller must flush
+    EXPECT_TRUE(batcher.due(t0));               // full batches are due immediately
+
+    const auto batch = batcher.flush();
+    ASSERT_EQ(batch.size(), 3u);
+    EXPECT_EQ(batch[0].request.id, 1u);
+    EXPECT_EQ(batch[2].request.id, 3u);
+    EXPECT_EQ(batcher.pending(), 0u);
+    EXPECT_FALSE(batcher.due(t0 + std::chrono::hours(1)));  // empty is never due
+}
+
+TEST(MicroBatcher, FlushesByTimeoutFromOldestPending) {
+    serve::MicroBatcher batcher({.max_batch = 100, .max_wait = microseconds(200)});
+    const auto t0 = Clock::now();
+    EXPECT_FALSE(batcher.add(make_job(1), t0));
+    // A later add does not restart the timer: deadline stays t0 + 200us.
+    EXPECT_FALSE(batcher.add(make_job(2), t0 + microseconds(150)));
+    ASSERT_TRUE(batcher.deadline().has_value());
+    EXPECT_EQ(*batcher.deadline(), t0 + microseconds(200));
+
+    EXPECT_FALSE(batcher.due(t0 + microseconds(199)));
+    EXPECT_TRUE(batcher.due(t0 + microseconds(200)));
+    EXPECT_EQ(batcher.flush().size(), 2u);
+    EXPECT_FALSE(batcher.deadline().has_value());
+}
+
+// ---------------------------------------------------------------- cache ---
+
+TEST(ExplanationCache, HitMissAndLruEviction) {
+    serve::ExplanationCache cache(2, 1);  // one shard so eviction order is global
+    const serve::CacheKey a = make_key({1.0}, 0.0, 7);
+    const serve::CacheKey b = make_key({2.0}, 0.0, 7);
+    const serve::CacheKey c = make_key({3.0}, 0.0, 7);
+
+    EXPECT_FALSE(cache.lookup(a).has_value());  // miss
+    cache.insert(a, make_explanation(1.0));
+    cache.insert(b, make_explanation(2.0));
+    ASSERT_TRUE(cache.lookup(a).has_value());  // refreshes a -> b is now LRU
+    cache.insert(c, make_explanation(3.0));    // evicts b
+
+    EXPECT_TRUE(cache.lookup(a).has_value());
+    EXPECT_FALSE(cache.lookup(b).has_value());
+    EXPECT_TRUE(cache.lookup(c).has_value());
+
+    const auto stats = cache.stats();
+    EXPECT_EQ(stats.hits, 3u);
+    EXPECT_EQ(stats.misses, 2u);
+    EXPECT_EQ(stats.evictions, 1u);
+    EXPECT_EQ(stats.entries, 2u);
+}
+
+TEST(ExplanationCache, HitReturnsInsertedExplanation) {
+    serve::ExplanationCache cache(8, 4);
+    const serve::CacheKey key = make_key({0.25, -1.5}, 0.0, 42);
+    cache.insert(key, make_explanation(0.75));
+    const auto found = cache.lookup(key);
+    ASSERT_TRUE(found.has_value());
+    EXPECT_EQ(found->prediction, 0.75);
+    EXPECT_EQ(found->attributions, (std::vector<double>{0.75, -0.75}));
+}
+
+TEST(CacheKey, ExactModeDistinguishesBitPatterns) {
+    const serve::CacheKey a = make_key({1.0, 2.0}, 0.0, 1);
+    const serve::CacheKey same = make_key({1.0, 2.0}, 0.0, 1);
+    const serve::CacheKey nudged = make_key({1.0, 2.0 + 1e-12}, 0.0, 1);
+    const serve::CacheKey other_context = make_key({1.0, 2.0}, 0.0, 2);
+    EXPECT_TRUE(a == same);
+    EXPECT_FALSE(a == nudged);
+    EXPECT_FALSE(a == other_context);
+}
+
+TEST(CacheKey, QuantizedModeBucketsNearbyValues) {
+    const serve::CacheKey a = make_key({1.0001, 2.0}, 0.01, 1);
+    const serve::CacheKey b = make_key({0.9999, 2.0049}, 0.01, 1);
+    const serve::CacheKey far = make_key({1.02, 2.0}, 0.01, 1);
+    EXPECT_TRUE(a == b);
+    EXPECT_FALSE(a == far);
+}
+
+TEST(ExplanationCache, ShardsSpreadAndStillEvictPerShard) {
+    serve::ExplanationCache cache(8, 4);
+    EXPECT_EQ(cache.num_shards(), 4u);
+    for (int i = 0; i < 100; ++i)
+        cache.insert(make_key({static_cast<double>(i)}, 0.0, 9),
+                     make_explanation(i));
+    // Each shard holds at most capacity/shards entries.
+    EXPECT_LE(cache.size(), cache.capacity());
+    EXPECT_GT(cache.stats().evictions, 0u);
+}
+
+// -------------------------------------------------------------- metrics ---
+
+TEST(Metrics, HistogramQuantilesAndMean) {
+    serve::Histogram h;
+    for (std::uint64_t v = 1; v <= 100; ++v) h.record(v);
+    EXPECT_EQ(h.count(), 100u);
+    EXPECT_EQ(h.sum(), 5050u);
+    EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+    EXPECT_EQ(h.min(), 1u);
+    EXPECT_EQ(h.max(), 100u);
+    // Geometric buckets: quantiles are approximate but must be ordered and
+    // inside the recorded range.
+    const double p50 = h.quantile(0.50), p95 = h.quantile(0.95), p99 = h.quantile(0.99);
+    EXPECT_GE(p50, 1.0);
+    EXPECT_LE(p50, p95);
+    EXPECT_LE(p95, p99);
+    EXPECT_LE(p99, 127.0);  // top bucket of 100 is [64, 127]
+    EXPECT_EQ(serve::Histogram().quantile(0.99), 0.0);
+}
+
+TEST(Metrics, GaugeTracksHighWaterMark) {
+    serve::Gauge g;
+    g.set(3);
+    g.set(10);
+    g.set(2);
+    EXPECT_EQ(g.value(), 2u);
+    EXPECT_EQ(g.max(), 10u);
+}
+
+TEST(Metrics, StatsReportContainsEveryKeyFigure) {
+    serve::ServiceStats s;
+    s.requests_accepted = 12;
+    s.cache_hits = 9;
+    s.cache_misses = 3;
+    s.service_us_p99 = 1234.5;
+    const std::string report = s.to_string();
+    EXPECT_NE(report.find("accepted 12"), std::string::npos);
+    EXPECT_NE(report.find("hit-rate 0.750"), std::string::npos);
+    EXPECT_NE(report.find("p99 1234.5"), std::string::npos);
+    EXPECT_DOUBLE_EQ(s.cache_hit_rate(), 0.75);
+}
+
+// --------------------------------------------------------------- ndjson ---
+
+TEST(NdJson, ParsesFlatRequestObjects) {
+    const auto v = serve::parse_json(
+        R"({"op":"explain","row":3,"seed":42,"features":[1.5,-2.0e1,0],"deep":{"a":true}})");
+    EXPECT_EQ(v.get_string("op", ""), "explain");
+    EXPECT_EQ(v.get_number("row", -1), 3.0);
+    EXPECT_EQ(v.get_number("seed", 0), 42.0);
+    const auto* features = v.find("features");
+    ASSERT_NE(features, nullptr);
+    ASSERT_EQ(features->array.size(), 3u);
+    EXPECT_EQ(features->array[1].number, -20.0);
+    ASSERT_NE(v.find("deep"), nullptr);
+    EXPECT_TRUE(v.find("deep")->find("a")->boolean);
+    EXPECT_EQ(v.find("nope"), nullptr);
+}
+
+TEST(NdJson, ParsesEscapesAndRejectsGarbage) {
+    EXPECT_EQ(serve::parse_json(R"("a\"b\nA")").string, "a\"b\nA");
+    EXPECT_THROW((void)serve::parse_json("{"), std::runtime_error);
+    EXPECT_THROW((void)serve::parse_json("{} trailing"), std::runtime_error);
+    EXPECT_THROW((void)serve::parse_json("{\"a\":nope}"), std::runtime_error);
+    EXPECT_THROW((void)serve::parse_json(""), std::runtime_error);
+}
+
+TEST(NdJson, NumbersRoundTripBitwise) {
+    for (const double v : {0.0, -0.0, 1.0 / 3.0, 6.02e23, -1.7976931348623157e308,
+                           5e-324, 0.063333333333333339}) {
+        const std::string text = serve::json_number(v);
+        const auto parsed = serve::parse_json(text);
+        EXPECT_EQ(parsed.number, v) << text;
+    }
+    EXPECT_EQ(serve::json_number(std::numeric_limits<double>::quiet_NaN()), "null");
+}
+
+TEST(NdJson, WriterEmitsValidEscapedJson) {
+    serve::JsonWriter w;
+    w.field("ok", true);
+    w.field("id", std::uint64_t{7});
+    w.field("msg", "line1\nline2 \"quoted\"");
+    w.field_array("xs", {1.0, 2.5});
+    const std::string out = w.finish();
+    const auto parsed = serve::parse_json(out);
+    EXPECT_TRUE(parsed.find("ok")->boolean);
+    EXPECT_EQ(parsed.get_number("id", 0), 7.0);
+    EXPECT_EQ(parsed.get_string("msg", ""), "line1\nline2 \"quoted\"");
+    EXPECT_EQ(parsed.find("xs")->array[1].number, 2.5);
+}
+
+// -------------------------------------------------------------- service ---
+
+namespace {
+
+/// Gate every model evaluation can block on — lets tests hold the dispatcher
+/// inside a batch while they fill the queue behind it.
+struct Gate {
+    std::mutex m;
+    std::condition_variable cv;
+    bool open = false;
+    void wait() {
+        std::unique_lock lock(m);
+        cv.wait(lock, [this] { return open; });
+    }
+    void release() {
+        {
+            std::lock_guard lock(m);
+            open = true;
+        }
+        cv.notify_all();
+    }
+};
+
+std::shared_ptr<const ml::Model> sum_model() {
+    return std::make_shared<ml::LambdaModel>(3, [](std::span<const double> x) {
+        return 0.25 * x[0] + 0.5 * x[1] - x[2];
+    });
+}
+
+xai::BackgroundData tiny_background() {
+    return xai::BackgroundData(
+        ml::Matrix::from_rows({{0.0, 0.0, 0.0}, {1.0, 1.0, 1.0}, {2.0, 0.5, -1.0}}));
+}
+
+serve::ExplainRequest request_for(std::uint64_t id, std::vector<double> features) {
+    serve::ExplainRequest r;
+    r.id = id;
+    r.features = std::move(features);
+    return r;
+}
+
+}  // namespace
+
+TEST(ExplanationService, ServesRequestsAndCountsCacheHits) {
+    serve::ServiceConfig cfg;
+    cfg.method = "occlusion";
+    cfg.max_batch = 4;
+    cfg.max_wait = microseconds(100);
+    serve::ExplanationService service(sum_model(), tiny_background(), cfg);
+
+    const auto first = service.explain_sync(request_for(1, {1.0, 2.0, 3.0}));
+    ASSERT_TRUE(first.ok);
+    EXPECT_FALSE(first.cache_hit);
+    EXPECT_EQ(first.explanation.method, "occlusion");
+    EXPECT_EQ(first.explanation.attributions.size(), 3u);
+
+    const auto repeat = service.explain_sync(request_for(2, {1.0, 2.0, 3.0}));
+    ASSERT_TRUE(repeat.ok);
+    EXPECT_TRUE(repeat.cache_hit);
+
+    const auto other = service.explain_sync(request_for(3, {9.0, 2.0, 3.0}));
+    ASSERT_TRUE(other.ok);
+    EXPECT_FALSE(other.cache_hit);
+
+    const auto stats = service.stats();
+    EXPECT_EQ(stats.requests_accepted, 3u);
+    EXPECT_EQ(stats.requests_completed, 3u);
+    EXPECT_EQ(stats.cache_hits, 1u);
+    EXPECT_EQ(stats.cache_misses, 2u);
+    EXPECT_EQ(stats.cache_entries, 2u);
+    EXPECT_GE(stats.batches, 1u);
+}
+
+TEST(ExplanationService, RejectsBadRequestsUpFront) {
+    serve::ServiceConfig cfg;
+    cfg.method = "occlusion";
+    serve::ExplanationService service(sum_model(), tiny_background(), cfg);
+
+    auto wrong_arity = service.submit(request_for(1, {1.0}));
+    EXPECT_EQ(wrong_arity.rejected, serve::RejectReason::bad_request);
+
+    auto bad_method = request_for(2, {1.0, 2.0, 3.0});
+    bad_method.method = "astrology";
+    EXPECT_EQ(service.submit(std::move(bad_method)).rejected,
+              serve::RejectReason::bad_request);
+
+    // The sync wrapper surfaces the reason as an error response.
+    const auto r = service.explain_sync(request_for(3, {1.0}));
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("bad_request"), std::string::npos);
+    EXPECT_EQ(service.stats().requests_rejected, 3u);
+}
+
+TEST(ExplanationService, BackpressureRejectsWhenQueueIsFull) {
+    auto gate = std::make_shared<Gate>();
+    auto model = std::make_shared<ml::LambdaModel>(3, [gate](std::span<const double> x) {
+        gate->wait();
+        return x[0];
+    });
+
+    serve::ServiceConfig cfg;
+    cfg.method = "occlusion";
+    cfg.queue_depth = 2;
+    cfg.max_batch = 1;       // dispatcher commits to a batch per request
+    cfg.max_wait = microseconds(0);
+    cfg.threads = 1;         // compute runs inline on the dispatcher thread
+    serve::ExplanationService service(model, tiny_background(), cfg);
+
+    // First request: wait until the dispatcher has pulled it into a batch
+    // (queue drained) and is blocked on the gate inside the model.
+    auto inflight = service.submit(request_for(1, {1.0, 2.0, 3.0}));
+    ASSERT_EQ(inflight.rejected, serve::RejectReason::none);
+    while (service.stats().queue_depth != 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+    // Fill the queue behind the stuck batch, then overflow it.
+    auto q1 = service.submit(request_for(2, {1.0, 2.0, 3.0}));
+    auto q2 = service.submit(request_for(3, {2.0, 2.0, 3.0}));
+    ASSERT_EQ(q1.rejected, serve::RejectReason::none);
+    ASSERT_EQ(q2.rejected, serve::RejectReason::none);
+    auto overflow = service.submit(request_for(4, {3.0, 2.0, 3.0}));
+    EXPECT_EQ(overflow.rejected, serve::RejectReason::queue_full);
+
+    gate->release();
+    EXPECT_TRUE(inflight.response.get().ok);
+    EXPECT_TRUE(q1.response.get().ok);
+    EXPECT_TRUE(q2.response.get().ok);
+
+    const auto stats = service.stats();
+    EXPECT_EQ(stats.requests_rejected, 1u);
+    EXPECT_EQ(stats.requests_completed, 3u);
+    EXPECT_EQ(stats.queue_depth_max, 2u);
+}
+
+TEST(ExplanationService, StopDrainsQueuedWorkThenRejects) {
+    serve::ServiceConfig cfg;
+    cfg.method = "occlusion";
+    cfg.max_batch = 8;
+    serve::ExplanationService service(sum_model(), tiny_background(), cfg);
+
+    std::vector<std::future<serve::ExplainResponse>> futures;
+    for (std::uint64_t id = 0; id < 8; ++id) {
+        auto sub = service.submit(request_for(id, {static_cast<double>(id), 0.0, 1.0}));
+        ASSERT_EQ(sub.rejected, serve::RejectReason::none);
+        futures.push_back(std::move(sub.response));
+    }
+    service.stop();  // must serve everything already admitted
+    for (auto& f : futures) EXPECT_TRUE(f.get().ok);
+
+    EXPECT_EQ(service.submit(request_for(99, {1.0, 2.0, 3.0})).rejected,
+              serve::RejectReason::service_stopped);
+}
+
+TEST(ExplanationService, DuplicateRequestsWithinOneBatchComputeOnce) {
+    serve::ServiceConfig cfg;
+    cfg.method = "occlusion";
+    cfg.max_batch = 4;
+    cfg.max_wait = std::chrono::microseconds(50000);  // force one batch of 4
+    serve::ExplanationService service(sum_model(), tiny_background(), cfg);
+
+    std::vector<std::future<serve::ExplainResponse>> futures;
+    for (std::uint64_t id = 0; id < 4; ++id) {
+        auto sub = service.submit(request_for(id, {5.0, 6.0, 7.0}));
+        ASSERT_EQ(sub.rejected, serve::RejectReason::none);
+        futures.push_back(std::move(sub.response));
+    }
+    std::vector<serve::ExplainResponse> responses;
+    for (auto& f : futures) responses.push_back(f.get());
+
+    // One computation, three batch-local hits, identical bytes everywhere.
+    const auto stats = service.stats();
+    EXPECT_EQ(stats.cache_misses, 1u);
+    EXPECT_EQ(stats.cache_hits, 3u);
+    for (const auto& r : responses) {
+        ASSERT_TRUE(r.ok);
+        ASSERT_EQ(r.explanation.attributions.size(), 3u);
+        for (std::size_t j = 0; j < 3; ++j)
+            EXPECT_EQ(r.explanation.attributions[j],
+                      responses[0].explanation.attributions[j]);
+    }
+}

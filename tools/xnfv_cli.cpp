@@ -7,9 +7,11 @@
 //   xnfv_cli evaluate --model m.xnfv --data data.csv           # metrics
 //   xnfv_cli explain  --model m.xnfv --data data.csv --row 3   # incident report
 //   xnfv_cli global   --model m.xnfv --data data.csv           # fleet ranking
+//   xnfv_cli serve    --model m.xnfv --data data.csv           # ND-JSON service
 //
 // Every command accepts --seed for reproducibility; see `xnfv_cli help`.
 #include <cstdio>
+#include <iostream>
 #include <map>
 #include <memory>
 #include <string>
@@ -31,10 +33,13 @@
 #include "mlcore/preprocess.hpp"
 #include "mlcore/serialize.hpp"
 #include "mlcore/tree.hpp"
+#include "serve/ndjson.hpp"
+#include "serve/service.hpp"
 #include "workload/dataset_builder.hpp"
 
 namespace ml = xnfv::ml;
 namespace nfv = xnfv::nfv;
+namespace serve = xnfv::serve;
 namespace wl = xnfv::wl;
 namespace xai = xnfv::xai;
 
@@ -93,6 +98,13 @@ int usage() {
         "            [--counterfactual]\n"
         "  global    --model model.xnfv --data data.csv [--rows N]\n"
         "            [--method tree_shap|kernel_shap|sampling|lime|occlusion]\n"
+        "  serve     --model model.xnfv --data data.csv [--method M] [--seed S]\n"
+        "            [--batch N] [--wait-us U] [--queue N] [--cache N]\n"
+        "            [--quantum Q]   ND-JSON requests on stdin, one per line:\n"
+        "              {\"op\":\"explain\",\"row\":3}\n"
+        "              {\"op\":\"explain\",\"features\":[...],\"method\":\"lime\"}\n"
+        "              {\"op\":\"stats\"}   {\"op\":\"quit\"}\n"
+        "            responses are printed in request order\n"
         "  help\n\n"
         "common flags:\n"
         "  --seed S     deterministic RNG seed (per command defaults)\n"
@@ -184,18 +196,9 @@ int cmd_train(const Args& args) {
     return 0;
 }
 
-std::unique_ptr<xai::Explainer> make_explainer(const std::string& method,
-                                               const xai::BackgroundData& background,
-                                               std::uint64_t seed) {
-    if (method == "tree_shap") return std::make_unique<xai::TreeShap>();
-    if (method == "kernel_shap")
-        return std::make_unique<xai::KernelShap>(background, ml::Rng(seed));
-    if (method == "sampling")
-        return std::make_unique<xai::SamplingShapley>(background, ml::Rng(seed));
-    if (method == "lime") return std::make_unique<xai::Lime>(background, ml::Rng(seed));
-    if (method == "occlusion") return std::make_unique<xai::Occlusion>(background);
-    throw std::runtime_error("unknown method '" + method + "'");
-}
+// Explainer construction is shared with the serving subsystem so that the
+// one-shot path here and `serve` produce byte-identical explainers.
+using serve::make_explainer;
 
 int cmd_evaluate(const Args& args) {
     const auto model = ml::load_model_file(args.require("model"));
@@ -251,6 +254,140 @@ int cmd_global(const Args& args) {
     return 0;
 }
 
+/// Renders one served response as a single JSON line.
+std::string render_response(const serve::ExplainResponse& r) {
+    serve::JsonWriter w;
+    w.field("id", r.id);
+    w.field("ok", r.ok);
+    if (r.ok) {
+        w.field("cache_hit", r.cache_hit);
+        w.field("method", r.explanation.method);
+        w.field("prediction", r.explanation.prediction);
+        w.field("base_value", r.explanation.base_value);
+        w.field_array("attributions", r.explanation.attributions);
+    } else {
+        w.field("error", r.error);
+    }
+    return w.finish();
+}
+
+std::string render_stats(const serve::ServiceStats& s) {
+    serve::JsonWriter w;
+    w.field("ok", true);
+    w.field("op", "stats");
+    w.field("requests_accepted", s.requests_accepted);
+    w.field("requests_rejected", s.requests_rejected);
+    w.field("requests_completed", s.requests_completed);
+    w.field("batches", s.batches);
+    w.field("batch_size_mean", s.batch_size_mean);
+    w.field("cache_hits", s.cache_hits);
+    w.field("cache_misses", s.cache_misses);
+    w.field("cache_hit_rate", s.cache_hit_rate());
+    w.field("cache_evictions", s.cache_evictions);
+    w.field("service_us_p50", s.service_us_p50);
+    w.field("service_us_p95", s.service_us_p95);
+    w.field("service_us_p99", s.service_us_p99);
+    w.field("report", s.to_string());
+    return w.finish();
+}
+
+/// Newline-delimited-JSON request loop on stdin/stdout.  Explain requests
+/// are submitted asynchronously (so the micro-batcher can coalesce them) and
+/// answered in request order; `stats`/`quit` first drain everything pending.
+int cmd_serve(const Args& args) {
+    const std::shared_ptr<const ml::Model> model =
+        ml::load_model_file(args.require("model"));
+    const auto data = ml::read_csv_file(args.require("data"), task_from(args, "clf"));
+
+    serve::ServiceConfig cfg;
+    cfg.method = args.get("method", "tree_shap");
+    cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 11));
+    cfg.queue_depth = static_cast<std::size_t>(args.get_int("queue", 256));
+    cfg.max_batch = static_cast<std::size_t>(args.get_int("batch", 16));
+    cfg.max_wait = std::chrono::microseconds(args.get_int("wait-us", 200));
+    cfg.cache_capacity = static_cast<std::size_t>(args.get_int("cache", 4096));
+    cfg.cache_quantum = std::stod(args.get("quantum", "0"));
+    cfg.threads = static_cast<std::size_t>(args.get_int("threads", 0));
+    serve::ExplanationService service(model, xai::BackgroundData(data.x, 128), cfg);
+
+    std::vector<std::future<serve::ExplainResponse>> pending;
+    const auto drain = [&pending] {
+        for (auto& f : pending) std::printf("%s\n", render_response(f.get()).c_str());
+        pending.clear();
+        std::fflush(stdout);
+    };
+    const auto print_error = [&drain](std::uint64_t id, const std::string& message) {
+        drain();  // keep responses in request order
+        serve::ExplainResponse r;
+        r.id = id;
+        r.error = message;
+        std::printf("%s\n", render_response(r).c_str());
+        std::fflush(stdout);
+    };
+
+    std::uint64_t next_id = 1;
+    std::string line;
+    while (std::getline(std::cin, line)) {
+        if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+        serve::JsonValue req;
+        try {
+            req = serve::parse_json(line);
+        } catch (const std::exception& e) {
+            print_error(0, e.what());
+            continue;
+        }
+        const auto op = req.get_string("op", "explain");
+        if (op == "quit") break;
+        if (op == "stats") {
+            drain();  // complete in-flight requests so the snapshot covers them
+            std::printf("%s\n", render_stats(service.stats()).c_str());
+            std::fflush(stdout);
+            continue;
+        }
+        if (op != "explain") {
+            print_error(0, "unknown op '" + op + "'");
+            continue;
+        }
+
+        serve::ExplainRequest er;
+        er.id = static_cast<std::uint64_t>(
+            req.get_number("id", static_cast<double>(next_id)));
+        ++next_id;
+        er.method = req.get_string("method", "");
+        er.seed = static_cast<std::uint64_t>(req.get_number("seed", 0));
+        if (const auto* features = req.find("features");
+            features != nullptr && features->type == serve::JsonValue::Type::array) {
+            er.features.reserve(features->array.size());
+            for (const auto& v : features->array) er.features.push_back(v.number);
+        } else if (req.has("row")) {
+            const auto row = static_cast<std::size_t>(req.get_number("row", 0));
+            if (row >= data.size()) {
+                print_error(er.id, "row out of range");
+                continue;
+            }
+            const auto x = data.x.row(row);
+            er.features.assign(x.begin(), x.end());
+        } else {
+            print_error(er.id, "explain needs \"row\" or \"features\"");
+            continue;
+        }
+
+        const std::uint64_t id = er.id;
+        auto sub = service.submit(std::move(er));
+        if (sub.rejected != serve::RejectReason::none) {
+            print_error(id, std::string("rejected: ") + to_string(sub.rejected));
+            continue;
+        }
+        pending.push_back(std::move(sub.response));
+        // Bounded client window: flush periodically so a socketless pipe
+        // producer cannot outrun the queue.
+        if (pending.size() >= 64) drain();
+    }
+    drain();
+    service.stop();
+    return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -266,6 +403,7 @@ int main(int argc, char** argv) {
         if (command == "evaluate") return cmd_evaluate(args);
         if (command == "explain") return cmd_explain(args);
         if (command == "global") return cmd_global(args);
+        if (command == "serve") return cmd_serve(args);
         if (command == "help") return usage();
         std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
         return usage();
