@@ -88,7 +88,7 @@ int main() {
             futures.reserve(requests);
             for (std::size_t i = 0; i < stream.size(); ++i) {
                 auto sub = service.submit(request_for_row(task.train, i, stream[i]));
-                if (sub.rejected != serve::RejectReason::none) continue;
+                if (sub.rejected != serve::ServeError::none) continue;
                 futures.push_back(std::move(sub.response));
             }
             for (auto& f : futures) (void)f.get();
@@ -130,6 +130,58 @@ int main() {
     std::printf("  hit   %10.1f us/req\n", hit_us);
     std::printf("  speedup %8.1fx  [%s] (target >= 10x)\n", speedup,
                 speedup >= 10.0 ? "PASS" : "FAIL");
+
+    // Degradation ladder: per-request cost of each rung for kernel_shap —
+    // the latency headroom the service buys when it steps overloaded
+    // requests down instead of rejecting them.
+    std::printf("\ndegradation ladder (kernel_shap, per-request explain cost)\n");
+    bench::print_rule();
+    const auto x0 = task.train.x.row(5);
+    const std::vector<double> probe(x0.begin(), x0.end());
+    struct Rung {
+        const char* name;
+        const char* method;
+        double scale;
+    };
+    for (const Rung rung : {Rung{"full", "kernel_shap", 1.0},
+                            Rung{"reduced", "kernel_shap", 0.25},
+                            Rung{"baseline", "occlusion", 1.0}}) {
+        serve::ExplainerLimits limits;
+        limits.budget_scale = rung.scale;
+        watch.reset();
+        for (std::size_t i = 0; i < probes; ++i)
+            (void)serve::make_explainer(rung.method, background, 11, 0, limits)
+                ->explain(*forest, probe);
+        std::printf("  %-9s %10.1f us/req  (budget %llu)\n", rung.name,
+                    1000.0 * watch.ms() / static_cast<double>(probes),
+                    static_cast<unsigned long long>(serve::effective_budget(
+                        rung.method, rung.scale, background)));
+    }
+
+    // Snapshot persistence: cost of writing and reloading a warm cache —
+    // what a restart pays to avoid recomputing its hot set.
+    std::printf("\ncache snapshot write/read (%zu records)\n", probes + 1);
+    bench::print_rule();
+    const std::string snap = "/tmp/xnfv_bench_snapshot.bin";
+    watch.reset();
+    service.stop();  // writes nothing: no snapshot_path configured
+    serve::ServiceConfig snap_cfg = cfg;
+    snap_cfg.snapshot_path = snap;
+    {
+        serve::ExplanationService warm(forest, background, snap_cfg);
+        for (std::size_t i = 0; i < probes; ++i)
+            (void)warm.explain_sync(request_for_row(task.train, i, i));
+        watch.reset();
+        warm.stop();
+        std::printf("  write %10.1f us\n", 1000.0 * watch.ms());
+    }
+    watch.reset();
+    serve::ExplanationService restored(forest, background, snap_cfg);
+    const double load_us = 1000.0 * watch.ms();
+    std::printf("  load  %10.1f us  (records %llu)\n", load_us,
+                static_cast<unsigned long long>(
+                    restored.stats().snapshot_records_loaded));
+    std::remove(snap.c_str());
 
     std::printf("\nfinal sweep-cell stats report:\n%s", last_report.c_str());
     return speedup >= 10.0 ? 0 : 1;

@@ -1,0 +1,77 @@
+// Cooperative cancellation / compute-budget token for explainers.
+//
+// Sampling-based attribution is explicitly budget-tunable: fewer coalitions
+// or permutations give a coarser but still well-defined answer, and a
+// request whose deadline has passed is worth nothing at all.  A CancelToken
+// lets the caller (the serving layer, a CLI timeout, a test) stop an
+// in-flight explanation between its natural work units — one coalition, one
+// permutation, one neighborhood sample — without preemption and without
+// threading a clock through every config struct.
+//
+// Polling contract: explainers call check() at block granularity (never per
+// model evaluation), so the cost is one relaxed atomic load plus, when a
+// deadline is armed, one steady_clock read per block.  A fired token throws
+// BudgetExceeded, which unwinds through parallel_for (the pool rethrows the
+// lowest-index chunk's exception) and is translated by the service into a
+// deadline_exceeded response.  Cancellation never corrupts state: explainers
+// are pure functions of (seed, config), so an aborted call simply has no
+// result.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+
+namespace xnfv::xai {
+
+/// Thrown by CancelToken::check() when the budget is exhausted.
+class BudgetExceeded : public std::runtime_error {
+public:
+    BudgetExceeded() : std::runtime_error("explanation budget exceeded") {}
+};
+
+/// Shared stop signal: manual cancel(), an absolute deadline, or both.
+/// Thread-safe; a default-constructed token never fires.
+class CancelToken {
+public:
+    using Clock = std::chrono::steady_clock;
+
+    CancelToken() = default;
+
+    /// Arms an absolute wall-in (steady) deadline; expired() turns true once
+    /// the clock passes it.
+    void set_deadline(Clock::time_point deadline) noexcept {
+        deadline_ns_.store(deadline.time_since_epoch().count(),
+                           std::memory_order_relaxed);
+        armed_.store(true, std::memory_order_release);
+    }
+
+    /// Manual stop: expired() is true from now on.
+    void cancel() noexcept { cancelled_.store(true, std::memory_order_release); }
+
+    [[nodiscard]] bool expired() const noexcept {
+        if (cancelled_.load(std::memory_order_acquire)) return true;
+        if (!armed_.load(std::memory_order_acquire)) return false;
+        return Clock::now().time_since_epoch().count() >=
+               deadline_ns_.load(std::memory_order_relaxed);
+    }
+
+    /// Poll point for explainers: throws BudgetExceeded once fired.
+    void check() const {
+        if (expired()) throw BudgetExceeded();
+    }
+
+private:
+    std::atomic<bool> cancelled_{false};
+    std::atomic<bool> armed_{false};
+    std::atomic<Clock::rep> deadline_ns_{0};
+};
+
+/// Poll helper for the `const CancelToken* cancel` config convention: null
+/// means "never cancelled" and costs nothing.
+inline void check_budget(const CancelToken* cancel) {
+    if (cancel != nullptr) cancel->check();
+}
+
+}  // namespace xnfv::xai

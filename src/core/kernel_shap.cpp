@@ -80,6 +80,7 @@ Explanation KernelShap::explain_seeded(const xnfv::ml::Model& model,
 
     Explanation e;
     e.method = name();
+    check_budget(config_.cancel);
     e.prediction = model.predict(x);
     e.base_value = value_of(model, x, std::vector<bool>(d, false));
     e.attributions.assign(d, 0.0);
@@ -135,6 +136,7 @@ Explanation KernelShap::explain_seeded(const xnfv::ml::Model& model,
         const std::size_t first = coalitions.size();
         coalitions.resize(first + n_random * per_draw);
         xnfv::parallel_for(n_random, config_.threads, [&](std::size_t k) {
+            check_budget(config_.cancel);
             auto stream = xnfv::ml::Rng::stream(call_seed, k);
             const std::size_t s = stream.weighted_index(residual_mass);
             const auto members = stream.sample_without_replacement(d, s);
@@ -167,6 +169,7 @@ Explanation KernelShap::explain_seeded(const xnfv::ml::Model& model,
     xnfv::ml::Matrix design(n, d - 1);
     std::vector<double> y(n), w(n);
     xnfv::parallel_for(n, config_.threads, [&](std::size_t r) {
+        check_budget(config_.cancel);
         const Coalition& c = coalitions[r];
         const double v = value_of(model, x, c.mask);
         const double z_last = c.mask[d - 1] ? 1.0 : 0.0;

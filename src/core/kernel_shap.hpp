@@ -17,6 +17,7 @@
 //    eliminating one coefficient before the solve, not by soft penalty.
 #pragma once
 
+#include "core/budget.hpp"
 #include "core/explanation.hpp"
 #include "mlcore/model.hpp"
 #include "mlcore/rng.hpp"
@@ -36,6 +37,10 @@ public:
         /// 0 uses xnfv::default_threads().  Attributions are identical for
         /// any thread count (per-coalition RNG streams).
         std::size_t threads = 0;
+        /// Optional cooperative stop signal, polled once per coalition
+        /// evaluation; a fired token aborts explain() with BudgetExceeded.
+        /// The token must outlive the call.  Null = never cancelled.
+        const CancelToken* cancel = nullptr;
     };
 
     KernelShap(BackgroundData background, xnfv::ml::Rng rng)

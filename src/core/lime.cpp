@@ -73,6 +73,7 @@ Explanation Lime::explain_seeded(const xnfv::ml::Model& model, std::span<const d
             ys.size(), config_.threads, [&](std::size_t begin, std::size_t end) {
                 std::vector<double> probe(d);
                 for (std::size_t s = begin; s < end; ++s) {
+                    check_budget(config_.cancel);
                     auto stream = xnfv::ml::Rng::stream(call_seed, stream_base + s);
                     auto row = z.row(s);
                     double dist2 = 0.0;

@@ -10,6 +10,7 @@
 // exposed for the fidelity experiment.
 #pragma once
 
+#include "core/budget.hpp"
 #include "core/explanation.hpp"
 #include "mlcore/model.hpp"
 #include "mlcore/rng.hpp"
@@ -31,6 +32,10 @@ public:
         /// rows; 0 uses xnfv::default_threads().  Attributions are identical
         /// for any thread count (per-sample RNG streams).
         std::size_t threads = 0;
+        /// Optional cooperative stop signal, polled once per neighborhood
+        /// sample; fired = explain() aborts with BudgetExceeded.  Must
+        /// outlive the call.  Null = never cancelled.
+        const CancelToken* cancel = nullptr;
     };
 
     Lime(BackgroundData background, xnfv::ml::Rng rng)

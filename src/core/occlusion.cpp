@@ -36,6 +36,7 @@ Explanation Occlusion::explain_one(const xnfv::ml::Model& model,
     xnfv::parallel_for_chunks(d, config_.threads, [&](std::size_t begin, std::size_t end) {
         std::vector<double> probe(x.begin(), x.end());
         for (std::size_t j = begin; j < end; ++j) {
+            check_budget(config_.cancel);
             double acc = 0.0;
             for (std::size_t b = 0; b < bg.rows(); ++b) {
                 probe[j] = bg(b, j);

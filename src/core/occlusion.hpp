@@ -9,6 +9,7 @@
 // model error when a feature column is shuffled (Breiman 2001).
 #pragma once
 
+#include "core/budget.hpp"
 #include "core/explanation.hpp"
 #include "mlcore/dataset.hpp"
 #include "mlcore/model.hpp"
@@ -24,6 +25,10 @@ public:
         /// xnfv::default_threads().  Occlusion draws no randomness, so any
         /// thread count yields identical attributions.
         std::size_t threads = 0;
+        /// Optional cooperative stop signal, polled once per occluded
+        /// feature; fired = explain() aborts with BudgetExceeded.  Must
+        /// outlive the call.  Null = never cancelled.
+        const CancelToken* cancel = nullptr;
     };
 
     explicit Occlusion(BackgroundData background)

@@ -49,6 +49,7 @@ Explanation SamplingShapley::explain_seeded(const xnfv::ml::Model& model,
     // floating-point summation tree are independent of the thread count.
     std::vector<Partial> partials(config_.num_permutations);
     xnfv::parallel_for(config_.num_permutations, config_.threads, [&](std::size_t p) {
+        check_budget(config_.cancel);
         auto stream = xnfv::ml::Rng::stream(call_seed, p);
         Partial& part = partials[p];
         part.phi.assign(d, 0.0);

@@ -18,6 +18,7 @@
 // per model call for small d; the A1 ablation bench compares all three.
 #pragma once
 
+#include "core/budget.hpp"
 #include "core/explanation.hpp"
 #include "mlcore/model.hpp"
 #include "mlcore/rng.hpp"
@@ -38,6 +39,10 @@ public:
         /// xnfv::default_threads().  Attributions are identical for any
         /// thread count (per-permutation RNG streams, ordered merge).
         std::size_t threads = 0;
+        /// Optional cooperative stop signal, polled once per permutation;
+        /// fired = explain() aborts with BudgetExceeded.  Must outlive the
+        /// call.  Null = never cancelled.
+        const CancelToken* cancel = nullptr;
     };
 
     SamplingShapley(BackgroundData background, xnfv::ml::Rng rng)

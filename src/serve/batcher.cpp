@@ -12,24 +12,27 @@ MicroBatcher::MicroBatcher(BatcherConfig config) : config_(config) {
 
 bool MicroBatcher::add(Job job, TimePoint now) {
     if (pending_.empty()) oldest_ = now;
+    earliest_deadline_ = std::min(earliest_deadline_, job.deadline);
     pending_.push_back(std::move(job));
     return pending_.size() >= config_.max_batch;
 }
 
 bool MicroBatcher::due(TimePoint now) const noexcept {
     if (pending_.empty()) return false;
-    return pending_.size() >= config_.max_batch || now - oldest_ >= config_.max_wait;
+    return pending_.size() >= config_.max_batch || now - oldest_ >= config_.max_wait ||
+           now >= earliest_deadline_;
 }
 
 std::optional<MicroBatcher::TimePoint> MicroBatcher::deadline() const noexcept {
     if (pending_.empty()) return std::nullopt;
-    return oldest_ + config_.max_wait;
+    return std::min(oldest_ + config_.max_wait, earliest_deadline_);
 }
 
 std::vector<Job> MicroBatcher::flush() {
     std::vector<Job> batch = std::move(pending_);
     pending_.clear();
     pending_.reserve(config_.max_batch);
+    earliest_deadline_ = TimePoint::max();
     return batch;
 }
 

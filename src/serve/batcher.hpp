@@ -44,11 +44,16 @@ public:
     [[nodiscard]] bool add(Job job, TimePoint now);
 
     /// True when there is a pending batch whose timer expired at `now` (or
-    /// that is full).  An empty batcher is never due.
+    /// that is full, or that holds a request whose own deadline has passed —
+    /// expired requests must be answered with deadline_exceeded promptly,
+    /// not parked until the wait timer fires).  An empty batcher is never
+    /// due.
     [[nodiscard]] bool due(TimePoint now) const noexcept;
 
-    /// When the pending batch's timer fires; nullopt when empty.  The
-    /// dispatcher parks on the queue until min(deadline, new arrival).
+    /// When the pending batch must next be looked at: the flush timer or the
+    /// earliest per-request deadline, whichever comes first; nullopt when
+    /// empty.  The dispatcher parks on the queue until min(deadline, new
+    /// arrival).
     [[nodiscard]] std::optional<TimePoint> deadline() const noexcept;
 
     /// Hands back the pending batch (possibly fewer than max_batch jobs on a
@@ -62,6 +67,8 @@ private:
     BatcherConfig config_;
     std::vector<Job> pending_;
     TimePoint oldest_{};
+    /// Earliest per-request deadline among pending jobs (max() = none).
+    TimePoint earliest_deadline_{TimePoint::max()};
 };
 
 }  // namespace xnfv::serve

@@ -1,0 +1,32 @@
+#include "serve/degradation.hpp"
+
+#include <algorithm>
+
+namespace xnfv::serve {
+
+DegradationPolicy::DegradationPolicy(DegradationConfig config) : config_(config) {
+    config_.reduced_budget_scale = std::clamp(config_.reduced_budget_scale, 1e-3, 1.0);
+    // A lone reduced threshold still defines a ladder; a baseline threshold
+    // below the reduced one would make `reduced` unreachable, so order them.
+    if (config_.reduced_queue_depth != 0 && config_.baseline_queue_depth != 0)
+        config_.baseline_queue_depth =
+            std::max(config_.baseline_queue_depth, config_.reduced_queue_depth);
+    if (config_.reduced_p99_us > 0.0 && config_.baseline_p99_us > 0.0)
+        config_.baseline_p99_us = std::max(config_.baseline_p99_us, config_.reduced_p99_us);
+}
+
+DegradeLevel DegradationPolicy::classify(const Load& load) const noexcept {
+    const auto crossed = [](double value, double threshold) {
+        return threshold > 0.0 && value >= threshold;
+    };
+    const auto depth = static_cast<double>(load.queue_depth);
+    if (crossed(depth, static_cast<double>(config_.baseline_queue_depth)) ||
+        crossed(load.service_p99_us, config_.baseline_p99_us))
+        return DegradeLevel::baseline;
+    if (crossed(depth, static_cast<double>(config_.reduced_queue_depth)) ||
+        crossed(load.service_p99_us, config_.reduced_p99_us))
+        return DegradeLevel::reduced;
+    return DegradeLevel::full;
+}
+
+}  // namespace xnfv::serve

@@ -1,0 +1,46 @@
+// The single error taxonomy of the serving layer.
+//
+// Every way a request can fail — at admission (rejection before entering
+// the queue) or after acceptance (an error response) — is one enumerator
+// here, with a stable wire string.  The service counts occurrences
+// per-reason (ServiceStats::errors_by_reason), so an operator can tell a
+// backpressure storm (queue_full) from a client bug (bad_request /
+// bad_features) from an SLO miss (deadline_exceeded) at a glance, instead
+// of grepping free-form message strings.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace xnfv::serve {
+
+/// Why a request failed.  `none` means success.
+enum class ServeError : std::uint8_t {
+    none = 0,
+    queue_full,          ///< backpressure: admission-queue depth limit reached
+    service_stopped,     ///< queue closed during shutdown
+    bad_request,         ///< malformed payload (wrong arity, unknown method/op)
+    bad_features,        ///< non-finite (NaN/Inf) or non-numeric feature values
+    deadline_exceeded,   ///< request deadline passed before or during compute
+    internal_error,      ///< explainer or model threw during computation
+    fault_injected,      ///< failure produced by the chaos-testing injector
+};
+
+/// Number of enumerators (for per-reason counter arrays).
+inline constexpr std::size_t kNumServeErrors = 8;
+
+[[nodiscard]] constexpr const char* to_string(ServeError error) noexcept {
+    switch (error) {
+        case ServeError::none: return "none";
+        case ServeError::queue_full: return "queue_full";
+        case ServeError::service_stopped: return "service_stopped";
+        case ServeError::bad_request: return "bad_request";
+        case ServeError::bad_features: return "bad_features";
+        case ServeError::deadline_exceeded: return "deadline_exceeded";
+        case ServeError::internal_error: return "internal_error";
+        case ServeError::fault_injected: return "fault_injected";
+    }
+    return "unknown";
+}
+
+}  // namespace xnfv::serve

@@ -35,6 +35,15 @@ CacheKey::CacheKey(std::span<const double> features, double quantum,
             words_.push_back(std::bit_cast<std::uint64_t>(v));
         }
     }
+    rehash();
+}
+
+CacheKey::CacheKey(std::vector<std::uint64_t> words, std::uint64_t context)
+    : words_(std::move(words)), context_(context) {
+    rehash();
+}
+
+void CacheKey::rehash() noexcept {
     std::uint64_t h = fnv1a_u64(context_, 0xcbf29ce484222325ULL);
     for (const std::uint64_t w : words_) h = fnv1a_u64(w, h);
     hash_ = h;
@@ -77,6 +86,19 @@ void ExplanationCache::insert(const CacheKey& key, xnfv::xai::Explanation explan
     }
     shard.lru.push_front(Entry{key, std::move(explanation)});
     shard.index.emplace(key, shard.lru.begin());
+}
+
+std::vector<std::pair<CacheKey, xnfv::xai::Explanation>>
+ExplanationCache::export_lru_oldest_first() const {
+    std::vector<std::pair<CacheKey, xnfv::xai::Explanation>> out;
+    out.reserve(size());
+    for (const Shard& shard : shards_) {
+        std::lock_guard lock(shard.mutex);
+        // front = most recent, so walk back-to-front for oldest-first.
+        for (auto it = shard.lru.rbegin(); it != shard.lru.rend(); ++it)
+            out.emplace_back(it->key, it->explanation);
+    }
+    return out;
 }
 
 CacheStats ExplanationCache::stats() const {

@@ -21,6 +21,7 @@
 #include <optional>
 #include <span>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/explanation.hpp"
@@ -36,13 +37,24 @@ public:
     /// patterns) and mixes in `context` (model fingerprint ^ config hash).
     CacheKey(std::span<const double> features, double quantum, std::uint64_t context);
 
+    /// Rehydrates a key from its persisted representation (serve/snapshot):
+    /// the already-quantized words plus the context, hash recomputed.  A key
+    /// rebuilt this way compares equal to the original.
+    CacheKey(std::vector<std::uint64_t> words, std::uint64_t context);
+
     [[nodiscard]] std::uint64_t hash() const noexcept { return hash_; }
+    [[nodiscard]] const std::vector<std::uint64_t>& words() const noexcept {
+        return words_;
+    }
+    [[nodiscard]] std::uint64_t context() const noexcept { return context_; }
     [[nodiscard]] bool operator==(const CacheKey& other) const noexcept {
         return hash_ == other.hash_ && context_ == other.context_ &&
                words_ == other.words_;
     }
 
 private:
+    void rehash() noexcept;
+
     std::vector<std::uint64_t> words_;
     std::uint64_t context_;
     std::uint64_t hash_;
@@ -73,6 +85,13 @@ public:
     /// Inserts (or refreshes) an entry, evicting the shard's LRU tail when
     /// the shard is at capacity.
     void insert(const CacheKey& key, xnfv::xai::Explanation explanation);
+
+    /// Copies every entry out, least-recently-used first (per shard, shards
+    /// concatenated).  Re-inserting the result in order reproduces each
+    /// shard's recency order exactly — the snapshot writer uses this so a
+    /// restored cache evicts in the same order the live one would have.
+    [[nodiscard]] std::vector<std::pair<CacheKey, xnfv::xai::Explanation>>
+    export_lru_oldest_first() const;
 
     [[nodiscard]] CacheStats stats() const;
     [[nodiscard]] std::size_t size() const;

@@ -84,7 +84,7 @@ std::string ServiceStats::to_string() const {
     std::snprintf(
         buf, sizeof(buf),
         "service stats\n"
-        "  requests    accepted %llu  rejected %llu  completed %llu\n"
+        "  requests    accepted %llu  rejected %llu  completed %llu  degraded %llu\n"
         "  queue       depth %llu  max-depth %llu\n"
         "  batches     %llu  mean-size %.2f  max-size %llu\n"
         "  cache       hits %llu  misses %llu  hit-rate %.3f  entries %llu  evictions %llu\n"
@@ -93,6 +93,7 @@ std::string ServiceStats::to_string() const {
         static_cast<unsigned long long>(requests_accepted),
         static_cast<unsigned long long>(requests_rejected),
         static_cast<unsigned long long>(requests_completed),
+        static_cast<unsigned long long>(requests_degraded),
         static_cast<unsigned long long>(queue_depth),
         static_cast<unsigned long long>(queue_depth_max),
         static_cast<unsigned long long>(batches), batch_size_mean,
@@ -102,7 +103,38 @@ std::string ServiceStats::to_string() const {
         static_cast<unsigned long long>(cache_entries),
         static_cast<unsigned long long>(cache_evictions), service_us_p50,
         service_us_p95, service_us_p99, service_us_mean, compute_us_mean);
-    return buf;
+    std::string out = buf;
+    // Per-reason failure tally, only the reasons that actually occurred.
+    std::string errors;
+    for (std::size_t i = 1; i < kNumServeErrors; ++i) {
+        if (errors_by_reason[i] == 0) continue;
+        char item[64];
+        std::snprintf(item, sizeof(item), "  %s %llu",
+                      xnfv::serve::to_string(static_cast<ServeError>(i)),
+                      static_cast<unsigned long long>(errors_by_reason[i]));
+        errors += item;
+    }
+    if (!errors.empty()) out += "  errors    " + errors + "\n";
+    if (worker_respawns != 0 || worker_stalls != 0 || faults_injected != 0) {
+        std::snprintf(buf, sizeof(buf),
+                      "  faults      injected %llu  worker-respawns %llu  "
+                      "worker-stalls %llu\n",
+                      static_cast<unsigned long long>(faults_injected),
+                      static_cast<unsigned long long>(worker_respawns),
+                      static_cast<unsigned long long>(worker_stalls));
+        out += buf;
+    }
+    if (snapshot_writes != 0 || snapshot_records_loaded != 0 ||
+        snapshot_records_skipped != 0) {
+        std::snprintf(buf, sizeof(buf),
+                      "  snapshot    writes %llu  records-loaded %llu  "
+                      "records-skipped %llu\n",
+                      static_cast<unsigned long long>(snapshot_writes),
+                      static_cast<unsigned long long>(snapshot_records_loaded),
+                      static_cast<unsigned long long>(snapshot_records_skipped));
+        out += buf;
+    }
+    return out;
 }
 
 }  // namespace xnfv::serve

@@ -15,6 +15,8 @@
 #include <cstdint>
 #include <string>
 
+#include "serve/errors.hpp"
+
 namespace xnfv::serve {
 
 /// Monotonic event counter.
@@ -85,15 +87,30 @@ private:
 /// Everything the service measures, grouped for snapshotting.
 struct ServiceMetrics {
     Counter requests_accepted;   ///< submissions that entered the queue
-    Counter requests_rejected;   ///< backpressure rejections (queue full)
+    Counter requests_rejected;   ///< submissions refused at the door
     Counter requests_completed;  ///< responses delivered (hit or computed)
+    Counter requests_degraded;   ///< responses served below full fidelity
     Counter batches;             ///< micro-batch flushes executed
     Counter cache_hits;
     Counter cache_misses;
+    /// Per-ServeError failure tally, indexed by the enum value: submit-time
+    /// rejections and error responses alike land here, so one array answers
+    /// "what is failing and why".
+    std::array<Counter, kNumServeErrors> errors_by_reason;
+    Counter worker_respawns;     ///< dead dispatcher threads restarted
+    Counter worker_stalls;       ///< watchdog heartbeat-staleness episodes
+    Counter snapshot_writes;     ///< cache snapshots persisted
+    Counter snapshot_records_loaded;
+    Counter snapshot_records_skipped;  ///< corrupt/truncated records dropped
     Gauge queue_depth;
     Histogram batch_size;        ///< requests per flushed batch
     Histogram service_time_us;   ///< enqueue -> response, per request
     Histogram compute_time_us;   ///< model/explainer time, per cache miss
+
+    void count_error(ServeError error) noexcept {
+        const auto i = static_cast<std::size_t>(error);
+        if (i != 0 && i < kNumServeErrors) errors_by_reason[i].inc();
+    }
 };
 
 /// Immutable snapshot of ServiceMetrics plus cache occupancy, renderable as
@@ -102,11 +119,19 @@ struct ServiceStats {
     std::uint64_t requests_accepted = 0;
     std::uint64_t requests_rejected = 0;
     std::uint64_t requests_completed = 0;
+    std::uint64_t requests_degraded = 0;
     std::uint64_t batches = 0;
     std::uint64_t cache_hits = 0;
     std::uint64_t cache_misses = 0;
     std::uint64_t cache_evictions = 0;
     std::uint64_t cache_entries = 0;
+    std::array<std::uint64_t, kNumServeErrors> errors_by_reason{};
+    std::uint64_t worker_respawns = 0;
+    std::uint64_t worker_stalls = 0;
+    std::uint64_t faults_injected = 0;
+    std::uint64_t snapshot_writes = 0;
+    std::uint64_t snapshot_records_loaded = 0;
+    std::uint64_t snapshot_records_skipped = 0;
     std::uint64_t queue_depth = 0;
     std::uint64_t queue_depth_max = 0;
     double batch_size_mean = 0.0;

@@ -225,6 +225,35 @@ JsonValue parse_json(const std::string& text) {
     return Parser(text).parse_document();
 }
 
+FeatureExtraction extract_features(const JsonValue& request, std::size_t expected_dim) {
+    FeatureExtraction out;
+    const auto reject = [&out](ServeError error, std::string message) {
+        out.features.clear();
+        out.error = error;
+        out.message = std::move(message);
+        return out;
+    };
+    const JsonValue* member = request.find("features");
+    if (member == nullptr || member->type != JsonValue::Type::array)
+        return reject(ServeError::bad_request, "'features' must be an array");
+    if (member->array.size() != expected_dim)
+        return reject(ServeError::bad_request,
+                      "'features' has " + std::to_string(member->array.size()) +
+                          " elements, model expects " + std::to_string(expected_dim));
+    out.features.reserve(expected_dim);
+    for (std::size_t i = 0; i < member->array.size(); ++i) {
+        const JsonValue& v = member->array[i];
+        if (v.type != JsonValue::Type::number)
+            return reject(ServeError::bad_request,
+                          "'features[" + std::to_string(i) + "]' is not a number");
+        if (!std::isfinite(v.number))
+            return reject(ServeError::bad_features,
+                          "'features[" + std::to_string(i) + "]' is not finite");
+        out.features.push_back(v.number);
+    }
+    return out;
+}
+
 std::string json_escape(const std::string& s) {
     std::string out;
     out.reserve(s.size());

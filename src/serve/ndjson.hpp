@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "serve/errors.hpp"
+
 namespace xnfv::serve {
 
 /// Parsed JSON value (object keys keep first occurrence; duplicates ignored).
@@ -44,6 +46,23 @@ public:
 /// Parses one complete JSON document; throws std::runtime_error with a
 /// position-annotated message on malformed input or trailing garbage.
 [[nodiscard]] JsonValue parse_json(const std::string& text);
+
+/// Outcome of validating a request's `features` member.  On failure `error`
+/// names the taxonomy entry (serve/errors.hpp) and `message` the detail;
+/// `features` is then empty.
+struct FeatureExtraction {
+    std::vector<double> features;
+    ServeError error = ServeError::none;
+    std::string message;
+};
+
+/// Extracts and validates `request["features"]`: it must be an array of
+/// exactly `expected_dim` numbers, all finite.  A missing/non-array member,
+/// wrong dimensionality, or a non-number element is `bad_request`; a NaN or
+/// +-Inf value is `bad_features` (reachable from the wire: strtod parses
+/// `1e999` to Inf).  Never throws.
+[[nodiscard]] FeatureExtraction extract_features(const JsonValue& request,
+                                                 std::size_t expected_dim);
 
 /// Escapes a string for embedding inside JSON quotes ("\n" -> "\\n", ...).
 [[nodiscard]] std::string json_escape(const std::string& s);

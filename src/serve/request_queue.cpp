@@ -4,27 +4,18 @@
 
 namespace xnfv::serve {
 
-const char* to_string(RejectReason reason) noexcept {
-    switch (reason) {
-        case RejectReason::none: return "none";
-        case RejectReason::queue_full: return "queue_full";
-        case RejectReason::service_stopped: return "service_stopped";
-        case RejectReason::bad_request: return "bad_request";
-    }
-    return "unknown";
-}
-
 RequestQueue::RequestQueue(std::size_t depth) : depth_(std::max<std::size_t>(1, depth)) {}
 
-RejectReason RequestQueue::try_push(Job job) {
+ServeError RequestQueue::try_push(Job job) {
     {
         std::lock_guard lock(mutex_);
-        if (closed_) return RejectReason::service_stopped;
-        if (jobs_.size() >= depth_) return RejectReason::queue_full;
+        if (closed_) return ServeError::service_stopped;
+        if (jobs_.size() >= depth_) return ServeError::queue_full;
+        job.depth_at_enqueue = jobs_.size() + 1;
         jobs_.push_back(std::move(job));
     }
     not_empty_.notify_one();
-    return RejectReason::none;
+    return ServeError::none;
 }
 
 std::optional<Job> RequestQueue::pop_wait(std::chrono::steady_clock::time_point deadline) {

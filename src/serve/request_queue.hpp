@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "core/explanation.hpp"
+#include "serve/errors.hpp"
 
 namespace xnfv::serve {
 
@@ -34,25 +35,30 @@ struct ExplainRequest {
     std::string method;
     /// RNG seed for sampling-based explainers; 0 selects the service default.
     std::uint64_t seed = 0;
+    /// Relative deadline in milliseconds from submission; -1 = none.  0 is
+    /// rejected at submit() with deadline_exceeded (an already-dead request
+    /// must never trigger a silent full computation); > 0 arms both an
+    /// expiry check at batch execution and a cooperative cancellation token
+    /// inside the explainer.
+    std::int64_t deadline_ms = -1;
 };
-
-/// Why a submission did not enter the queue.
-enum class RejectReason : std::uint8_t {
-    none = 0,
-    queue_full,       ///< backpressure: depth limit reached
-    service_stopped,  ///< queue closed during shutdown
-    bad_request,      ///< malformed payload (wrong feature count, ...)
-};
-
-[[nodiscard]] const char* to_string(RejectReason reason) noexcept;
 
 /// Completed answer for one request.
 struct ExplainResponse {
     std::uint64_t id = 0;
     bool ok = false;
     bool cache_hit = false;
+    /// True when overload stepped this result down the degradation ladder
+    /// (reduced sample budget or the occlusion baseline); `budget_used` then
+    /// records the effective sample budget.  Degraded results are
+    /// deterministic for a fixed (seed, level) but are never cached.
+    bool degraded = false;
+    /// Sample budget the explainer actually ran with (coalitions,
+    /// permutations, or neighborhood samples; 0 for non-sampling methods).
+    std::uint64_t budget_used = 0;
     xnfv::xai::Explanation explanation;
-    std::string error;  ///< set when !ok
+    ServeError error_code = ServeError::none;  ///< reason when !ok
+    std::string error;                         ///< human-readable detail when !ok
 };
 
 /// A request travelling through the service with its completion channel and
@@ -61,6 +67,14 @@ struct Job {
     ExplainRequest request;
     std::promise<ExplainResponse> promise;
     std::chrono::steady_clock::time_point enqueued_at;
+    /// Absolute expiry derived from request.deadline_ms at admission;
+    /// time_point::max() = no deadline.
+    std::chrono::steady_clock::time_point deadline =
+        std::chrono::steady_clock::time_point::max();
+    /// Queue depth observed at admission — the load signal the degradation
+    /// policy classifies on (deterministically testable, unlike the depth at
+    /// batch-execution time).
+    std::size_t depth_at_enqueue = 0;
 };
 
 /// Bounded multi-producer / multi-consumer FIFO of Jobs.
@@ -76,8 +90,9 @@ public:
     RequestQueue(const RequestQueue&) = delete;
     RequestQueue& operator=(const RequestQueue&) = delete;
 
-    /// Admits `job` unless the queue is full or closed.
-    [[nodiscard]] RejectReason try_push(Job job);
+    /// Admits `job` unless the queue is full or closed.  On admission the
+    /// job's depth_at_enqueue is stamped with the resulting queue depth.
+    [[nodiscard]] ServeError try_push(Job job);
 
     /// Pops the oldest job, waiting until one arrives, `deadline` passes, or
     /// the queue is closed and drained.  nullopt = timed out or drained.

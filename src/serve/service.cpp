@@ -1,7 +1,11 @@
 #include "serve/service.hpp"
 
+#include <algorithm>
+#include <array>
 #include <bit>
 #include <chrono>
+#include <cmath>
+#include <cstdio>
 #include <exception>
 #include <sstream>
 #include <unordered_map>
@@ -14,6 +18,7 @@
 #include "core/sampling_shapley.hpp"
 #include "core/tree_shap.hpp"
 #include "mlcore/serialize.hpp"
+#include "serve/snapshot.hpp"
 
 namespace xnfv::serve {
 
@@ -54,31 +59,67 @@ namespace {
     return h;
 }
 
+[[nodiscard]] double clamp_scale(double scale) noexcept {
+    return std::clamp(scale, 0.001, 1.0);
+}
+
+/// base * scale, rounded, but never below `floor` (a degraded sampling
+/// explainer must still be a well-posed estimator).
+[[nodiscard]] std::size_t scaled_budget(std::size_t base, double scale,
+                                        std::size_t floor) noexcept {
+    const auto want = static_cast<std::size_t>(
+        std::llround(scale * static_cast<double>(base)));
+    return std::max(floor, want);
+}
+
 }  // namespace
+
+std::uint64_t effective_budget(const std::string& method, double budget_scale,
+                               const xai::BackgroundData& background) {
+    const double scale = clamp_scale(budget_scale);
+    if (method == "kernel_shap")
+        return scaled_budget(xai::KernelShap::Config{}.max_coalitions, scale, 16);
+    if (method == "sampling")
+        return scaled_budget(xai::SamplingShapley::Config{}.num_permutations, scale, 8);
+    if (method == "lime")
+        return scaled_budget(xai::Lime::Config{}.num_samples, scale,
+                             background.num_features() + 2);
+    if (method == "occlusion") return background.num_features();
+    return 0;  // tree_shap: exact, no sample budget
+}
 
 std::unique_ptr<xai::Explainer> make_explainer(const std::string& method,
                                                const xai::BackgroundData& background,
-                                               std::uint64_t seed,
-                                               std::size_t threads) {
+                                               std::uint64_t seed, std::size_t threads,
+                                               const ExplainerLimits& limits) {
+    const double scale = clamp_scale(limits.budget_scale);
     if (method == "tree_shap") return std::make_unique<xai::TreeShap>();
     if (method == "kernel_shap") {
         xai::KernelShap::Config cfg;
+        cfg.max_coalitions = scaled_budget(cfg.max_coalitions, scale, 16);
         cfg.threads = threads;
+        cfg.cancel = limits.cancel;
         return std::make_unique<xai::KernelShap>(background, ml::Rng(seed), cfg);
     }
     if (method == "sampling") {
         xai::SamplingShapley::Config cfg;
+        cfg.num_permutations = scaled_budget(cfg.num_permutations, scale, 8);
         cfg.threads = threads;
+        cfg.cancel = limits.cancel;
         return std::make_unique<xai::SamplingShapley>(background, ml::Rng(seed), cfg);
     }
     if (method == "lime") {
         xai::Lime::Config cfg;
+        cfg.num_samples =
+            scaled_budget(cfg.num_samples, scale, background.num_features() + 2);
         cfg.threads = threads;
+        cfg.cancel = limits.cancel;
         return std::make_unique<xai::Lime>(background, ml::Rng(seed), cfg);
     }
     if (method == "occlusion") {
         xai::Occlusion::Config cfg;
         cfg.threads = threads;
+        cfg.cancel = limits.cancel;
         return std::make_unique<xai::Occlusion>(background, cfg);
     }
     throw std::runtime_error("unknown method '" + method + "'");
@@ -97,38 +138,84 @@ ExplanationService::ExplanationService(std::shared_ptr<const ml::Model> model,
       config_(std::move(config)),
       model_fingerprint_(model_fingerprint(*model_)),
       background_fingerprint_(background_fingerprint(background_)),
+      serving_model_(model_),
       queue_(config_.queue_depth),
       batcher_(BatcherConfig{config_.max_batch, config_.max_wait}),
-      cache_(config_.cache_capacity, config_.cache_shards) {
+      cache_(config_.cache_capacity, config_.cache_shards),
+      degrade_(config_.degradation) {
     if (!known_method(config_.method))
         throw std::runtime_error("unknown method '" + config_.method + "'");
+    // Wrap the model in the predict_throw proxy only after fingerprinting,
+    // so cache keys (and thus non-faulted results) are fault-invariant.
+    if (config_.fault_injector &&
+        config_.fault_injector->config()
+                .rate[static_cast<std::size_t>(FaultPoint::predict_throw)] > 0.0) {
+        serving_model_ = std::make_shared<FaultInjectingModel>(model_,
+                                                               config_.fault_injector);
+    }
+    if (!config_.snapshot_path.empty()) load_snapshot();
+    heartbeat();
     dispatcher_ = std::thread([this] { dispatcher_loop(); });
+    watchdog_ = std::thread([this] { watchdog_loop(); });
 }
 
 ExplanationService::~ExplanationService() { stop(); }
 
 void ExplanationService::stop() {
     std::call_once(stop_once_, [this] {
+        stopping_.store(true, std::memory_order_release);
+        stop_wait_cv_.notify_all();
         queue_.close();
-        if (dispatcher_.joinable()) dispatcher_.join();
+        // Join the watchdog first so it cannot respawn a dispatcher we are
+        // about to join.
+        if (watchdog_.joinable()) watchdog_.join();
+        {
+            std::lock_guard lock(dispatcher_mutex_);
+            if (dispatcher_.joinable()) dispatcher_.join();
+        }
+        // If the dispatcher died to a fault with work still queued, serve
+        // the stragglers on this thread — stop() never drops a promise.
+        drain_inline();
+        if (!config_.snapshot_path.empty()) save_snapshot();
     });
+}
+
+void ExplanationService::heartbeat() noexcept {
+    heartbeat_ns_.store(Clock::now().time_since_epoch().count(),
+                        std::memory_order_relaxed);
 }
 
 ExplanationService::Submission ExplanationService::submit(ExplainRequest request) {
     Submission out;
+    ServeError reject = ServeError::none;
     if (request.features.size() != model_->num_features() ||
         (!request.method.empty() && !known_method(request.method))) {
-        out.rejected = RejectReason::bad_request;
+        reject = ServeError::bad_request;
+    } else if (std::any_of(request.features.begin(), request.features.end(),
+                           [](double v) { return !std::isfinite(v); })) {
+        reject = ServeError::bad_features;
+    } else if (request.deadline_ms == 0) {
+        // Already expired at the door; a silent full computation would be a
+        // worse bug than the rejection.
+        reject = ServeError::deadline_exceeded;
+    }
+    if (reject != ServeError::none) {
+        out.rejected = reject;
         metrics_.requests_rejected.inc();
+        metrics_.count_error(reject);
         return out;
     }
     Job job;
     job.request = std::move(request);
     job.enqueued_at = Clock::now();
+    if (job.request.deadline_ms > 0)
+        job.deadline =
+            job.enqueued_at + std::chrono::milliseconds(job.request.deadline_ms);
     out.response = job.promise.get_future();
     out.rejected = queue_.try_push(std::move(job));
-    if (out.rejected != RejectReason::none) {
+    if (out.rejected != ServeError::none) {
         metrics_.requests_rejected.inc();
+        metrics_.count_error(out.rejected);
         out.response = {};
         return out;
     }
@@ -140,10 +227,11 @@ ExplanationService::Submission ExplanationService::submit(ExplainRequest request
 ExplainResponse ExplanationService::explain_sync(ExplainRequest request) {
     const std::uint64_t id = request.id;
     Submission sub = submit(std::move(request));
-    if (sub.rejected != RejectReason::none) {
+    if (sub.rejected != ServeError::none) {
         ExplainResponse r;
         r.id = id;
         r.ok = false;
+        r.error_code = sub.rejected;
         r.error = std::string("rejected: ") + to_string(sub.rejected);
         return r;
     }
@@ -151,7 +239,17 @@ ExplainResponse ExplanationService::explain_sync(ExplainRequest request) {
 }
 
 void ExplanationService::dispatcher_loop() {
+    FaultInjector* const inj = config_.fault_injector.get();
     for (;;) {
+        heartbeat();
+        if (fault_fires(inj, FaultPoint::worker_death)) {
+            // Simulated crash: exit without draining.  The watchdog notices
+            // and respawns; queued jobs survive in the queue/batcher.
+            dispatcher_exited_.store(true, std::memory_order_release);
+            return;
+        }
+        if (fault_fires(inj, FaultPoint::queue_stall))
+            std::this_thread::sleep_for(config_.fault_stall);
         const auto now = Clock::now();
         if (batcher_.due(now)) {
             execute_batch(batcher_.flush());
@@ -173,6 +271,54 @@ void ExplanationService::dispatcher_loop() {
     }
 }
 
+void ExplanationService::watchdog_loop() {
+    bool stalled = false;
+    auto last_snapshot = Clock::now();
+    for (;;) {
+        {
+            std::unique_lock lock(stop_wait_mutex_);
+            stop_wait_cv_.wait_for(lock, config_.watchdog_interval, [this] {
+                return stopping_.load(std::memory_order_acquire);
+            });
+        }
+        if (stopping_.load(std::memory_order_acquire)) return;
+
+        // Respawn a dispatcher the worker_death fault killed.
+        if (dispatcher_exited_.load(std::memory_order_acquire)) {
+            std::lock_guard lock(dispatcher_mutex_);
+            if (dispatcher_.joinable()) dispatcher_.join();
+            dispatcher_exited_.store(false, std::memory_order_release);
+            heartbeat();
+            dispatcher_ = std::thread([this] { dispatcher_loop(); });
+            metrics_.worker_respawns.inc();
+        }
+
+        // Stall detection: a stale heartbeat while work is waiting.  A stuck
+        // thread cannot be safely killed, so stalls are counted (one per
+        // episode) for the operator, not "fixed".
+        const auto hb = Clock::time_point(
+            Clock::duration(heartbeat_ns_.load(std::memory_order_relaxed)));
+        const bool stale =
+            queue_.size() > 0 && Clock::now() - hb > config_.watchdog_stall_threshold;
+        if (stale && !stalled) metrics_.worker_stalls.inc();
+        stalled = stale;
+
+        if (!config_.snapshot_path.empty() && config_.snapshot_interval.count() > 0 &&
+            Clock::now() - last_snapshot >= config_.snapshot_interval) {
+            save_snapshot();
+            last_snapshot = Clock::now();
+        }
+    }
+}
+
+void ExplanationService::drain_inline() {
+    while (auto job = queue_.try_pop()) {
+        if (batcher_.add(std::move(*job), Clock::now()))
+            execute_batch(batcher_.flush());
+    }
+    if (batcher_.pending() > 0) execute_batch(batcher_.flush());
+}
+
 CacheKey ExplanationService::key_for(const ExplainRequest& request) const {
     const std::string& method = request.method.empty() ? config_.method : request.method;
     const std::uint64_t seed = request.seed == 0 ? config_.seed : request.seed;
@@ -183,18 +329,43 @@ CacheKey ExplanationService::key_for(const ExplainRequest& request) const {
     return CacheKey(request.features, config_.cache_quantum, context);
 }
 
-ExplainResponse ExplanationService::run_request(const ExplainRequest& request) const {
+ExplainResponse ExplanationService::run_request(const ExplainRequest& request,
+                                               DegradeLevel level,
+                                               Clock::time_point deadline) const {
     ExplainResponse r;
     r.id = request.id;
-    const std::string& method = request.method.empty() ? config_.method : request.method;
+    std::string method = request.method.empty() ? config_.method : request.method;
     const std::uint64_t seed = request.seed == 0 ? config_.seed : request.seed;
+    double scale = 1.0;
+    if (level == DegradeLevel::reduced)
+        scale = config_.degradation.reduced_budget_scale;
+    else if (level == DegradeLevel::baseline)
+        method = "occlusion";  // cheapest rung: one evaluation per feature
+    xai::CancelToken token;
+    ExplainerLimits limits;
+    limits.budget_scale = scale;
+    if (deadline != Clock::time_point::max()) {
+        token.set_deadline(deadline);
+        limits.cancel = &token;
+    }
     try {
         const auto explainer =
-            make_explainer(method, background_, seed, config_.threads);
-        r.explanation = explainer->explain(*model_, request.features);
+            make_explainer(method, background_, seed, config_.threads, limits);
+        r.explanation = explainer->explain(*serving_model_, request.features);
         r.ok = true;
+        r.degraded = level != DegradeLevel::full;
+        r.budget_used = effective_budget(method, scale, background_);
+    } catch (const xai::BudgetExceeded&) {
+        r.ok = false;
+        r.error_code = ServeError::deadline_exceeded;
+        r.error = "deadline exceeded during computation";
+    } catch (const InjectedFault& e) {
+        r.ok = false;
+        r.error_code = ServeError::fault_injected;
+        r.error = e.what();
     } catch (const std::exception& e) {
         r.ok = false;
+        r.error_code = ServeError::internal_error;
         r.error = e.what();
     }
     return r;
@@ -204,10 +375,20 @@ void ExplanationService::execute_batch(std::vector<Job> batch) {
     metrics_.batches.inc();
     metrics_.batch_size.record(batch.size());
 
-    // Phase 1 — cache probe, in admission order so hit/miss accounting (and
-    // duplicate handling inside one batch) is deterministic.  A key that
-    // misses the cache but equals an earlier miss in the same batch is not
-    // recomputed: it shares the primary's result (a batch-local hit).
+    // One clock read per batch; the clock_skew fault jumps it forward, which
+    // can only expire deadlines early — never extend them.
+    Clock::time_point batch_now = Clock::now();
+    if (fault_fires(config_.fault_injector.get(), FaultPoint::clock_skew))
+        batch_now += config_.fault_clock_skew;
+    const double p99 = metrics_.service_time_us.quantile(0.99);
+
+    // Phase 1 — deadline triage, degradation classification, and the cache
+    // probe, in admission order so hit/miss accounting (and duplicate
+    // handling inside one batch) is deterministic.  A key that misses the
+    // cache but equals an earlier miss *at the same degradation level* is
+    // not recomputed: it shares the primary's result (a batch-local hit).
+    // A cache hit is always served at full fidelity — a stored answer beats
+    // a degraded recomputation.
     struct KeyHash {
         std::size_t operator()(const CacheKey& k) const noexcept {
             return static_cast<std::size_t>(k.hash());
@@ -218,21 +399,32 @@ void ExplanationService::execute_batch(std::vector<Job> batch) {
     for (const Job& job : batch) keys.push_back(key_for(job.request));
 
     std::vector<ExplainResponse> responses(batch.size());
+    std::vector<DegradeLevel> levels(batch.size(), DegradeLevel::full);
     std::vector<std::size_t> to_compute;
     to_compute.reserve(batch.size());
-    std::unordered_map<CacheKey, std::size_t, KeyHash> inflight;
+    std::array<std::unordered_map<CacheKey, std::size_t, KeyHash>, 3> inflight;
     std::vector<std::pair<std::size_t, std::size_t>> duplicates;  // (i, primary)
     for (std::size_t i = 0; i < batch.size(); ++i) {
         responses[i].id = batch[i].request.id;
+        if (batch_now >= batch[i].deadline) {
+            responses[i].ok = false;
+            responses[i].error_code = ServeError::deadline_exceeded;
+            responses[i].error = "deadline expired before execution";
+            continue;
+        }
+        if (degrade_.enabled())
+            levels[i] = degrade_.classify({batch[i].depth_at_enqueue, p99});
+        auto& level_inflight = inflight[static_cast<std::size_t>(levels[i])];
         if (auto cached = cache_.lookup(keys[i])) {
             responses[i].ok = true;
             responses[i].cache_hit = true;
             responses[i].explanation = std::move(*cached);
             metrics_.cache_hits.inc();
-        } else if (const auto it = inflight.find(keys[i]); it != inflight.end()) {
+        } else if (const auto it = level_inflight.find(keys[i]);
+                   it != level_inflight.end()) {
             duplicates.emplace_back(i, it->second);
         } else {
-            inflight.emplace(keys[i], i);
+            level_inflight.emplace(keys[i], i);
             metrics_.cache_misses.inc();
             to_compute.push_back(i);
         }
@@ -243,12 +435,15 @@ void ExplanationService::execute_batch(std::vector<Job> batch) {
     // order, or thread count.
     std::vector<std::uint64_t> compute_us(to_compute.size(), 0);
     xnfv::parallel_for(to_compute.size(), config_.threads, [&](std::size_t k) {
+        const std::size_t i = to_compute[k];
         const auto start = Clock::now();
-        responses[to_compute[k]] = run_request(batch[to_compute[k]].request);
+        responses[i] = run_request(batch[i].request, levels[i], batch[i].deadline);
         compute_us[k] = elapsed_us(start, Clock::now());
     });
 
     // Phase 3 — resolve duplicates, populate the cache, complete futures.
+    // Only full-fidelity results enter the cache: a transient overload must
+    // never pin degraded answers into it.
     for (const auto& [i, primary] : duplicates) {
         const std::uint64_t id = responses[i].id;
         responses[i] = responses[primary];
@@ -259,13 +454,61 @@ void ExplanationService::execute_batch(std::vector<Job> batch) {
     for (std::size_t k = 0; k < to_compute.size(); ++k) {
         const std::size_t i = to_compute[k];
         metrics_.compute_time_us.record(compute_us[k]);
-        if (responses[i].ok) cache_.insert(keys[i], responses[i].explanation);
+        if (responses[i].ok && levels[i] == DegradeLevel::full)
+            cache_.insert(keys[i], responses[i].explanation);
     }
     const auto done = Clock::now();
     for (std::size_t i = 0; i < batch.size(); ++i) {
         metrics_.service_time_us.record(elapsed_us(batch[i].enqueued_at, done));
         metrics_.requests_completed.inc();
+        if (responses[i].ok) {
+            if (responses[i].degraded) metrics_.requests_degraded.inc();
+        } else {
+            metrics_.count_error(responses[i].error_code);
+        }
         batch[i].promise.set_value(std::move(responses[i]));
+    }
+}
+
+void ExplanationService::load_snapshot() {
+    const SnapshotHeader expect{model_fingerprint_, background_fingerprint_,
+                                config_.cache_quantum};
+    SnapshotLoadResult result = read_snapshot(config_.snapshot_path, expect);
+    if (!result.loaded) return;
+    for (SnapshotRecord& rec : result.records)
+        cache_.insert(CacheKey(std::move(rec.key_words), rec.key_context),
+                      std::move(rec.explanation));
+    metrics_.snapshot_records_loaded.inc(result.records.size());
+    metrics_.snapshot_records_skipped.inc(result.skipped);
+}
+
+void ExplanationService::save_snapshot() {
+    auto entries = cache_.export_lru_oldest_first();
+    std::vector<SnapshotRecord> records;
+    records.reserve(entries.size());
+    for (auto& [key, explanation] : entries)
+        records.push_back(
+            SnapshotRecord{key.words(), key.context(), std::move(explanation)});
+    const SnapshotHeader header{model_fingerprint_, background_fingerprint_,
+                                config_.cache_quantum};
+    if (!write_snapshot(config_.snapshot_path, header, records)) return;
+    metrics_.snapshot_writes.inc();
+    // cache_corrupt fault: flip one byte mid-file, so the next startup must
+    // exercise the reader's skip-and-resync path for real.
+    if (fault_fires(config_.fault_injector.get(), FaultPoint::cache_corrupt)) {
+        if (std::FILE* f = std::fopen(config_.snapshot_path.c_str(), "r+b")) {
+            std::fseek(f, 0, SEEK_END);
+            const long size = std::ftell(f);
+            if (size > 0) {
+                std::fseek(f, size / 2, SEEK_SET);
+                const int c = std::fgetc(f);
+                if (c != EOF) {
+                    std::fseek(f, size / 2, SEEK_SET);
+                    std::fputc(c ^ 0xFF, f);
+                }
+            }
+            std::fclose(f);
+        }
     }
 }
 
@@ -274,12 +517,22 @@ ServiceStats ExplanationService::stats() const {
     s.requests_accepted = metrics_.requests_accepted.value();
     s.requests_rejected = metrics_.requests_rejected.value();
     s.requests_completed = metrics_.requests_completed.value();
+    s.requests_degraded = metrics_.requests_degraded.value();
     s.batches = metrics_.batches.value();
     s.cache_hits = metrics_.cache_hits.value();
     s.cache_misses = metrics_.cache_misses.value();
     const CacheStats cs = cache_.stats();
     s.cache_evictions = cs.evictions;
     s.cache_entries = cs.entries;
+    for (std::size_t i = 0; i < kNumServeErrors; ++i)
+        s.errors_by_reason[i] = metrics_.errors_by_reason[i].value();
+    s.worker_respawns = metrics_.worker_respawns.value();
+    s.worker_stalls = metrics_.worker_stalls.value();
+    s.faults_injected =
+        config_.fault_injector ? config_.fault_injector->total_fired() : 0;
+    s.snapshot_writes = metrics_.snapshot_writes.value();
+    s.snapshot_records_loaded = metrics_.snapshot_records_loaded.value();
+    s.snapshot_records_skipped = metrics_.snapshot_records_skipped.value();
     s.queue_depth = metrics_.queue_depth.value();
     s.queue_depth_max = metrics_.queue_depth.max();
     s.batch_size_mean = metrics_.batch_size.mean();

@@ -21,9 +21,21 @@
 // randomness.  The cache is consistent by construction: an entry's key pins
 // everything its value depends on, so a hit returns the same bytes a fresh
 // computation would produce.
+//
+// Fault tolerance (DESIGN.md section 10): every request may carry a
+// deadline (expired requests are answered deadline_exceeded, with a
+// cooperative CancelToken aborting in-flight compute); overload steps
+// requests down a degradation ladder instead of rejecting them
+// (serve/degradation.hpp); a watchdog thread respawns a dead dispatcher and
+// periodically persists the cache to a crash-safe snapshot
+// (serve/snapshot.hpp); and a deterministic FaultInjector
+// (serve/fault_injector.hpp) can be wired in to chaos-test all of the
+// above.
 #pragma once
 
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <future>
 #include <memory>
@@ -32,14 +44,30 @@
 #include <thread>
 #include <vector>
 
+#include "core/budget.hpp"
 #include "core/explanation.hpp"
 #include "mlcore/model.hpp"
 #include "serve/batcher.hpp"
+#include "serve/degradation.hpp"
+#include "serve/errors.hpp"
 #include "serve/explanation_cache.hpp"
+#include "serve/fault_injector.hpp"
 #include "serve/metrics.hpp"
 #include "serve/request_queue.hpp"
 
 namespace xnfv::serve {
+
+/// Caps applied when constructing an explainer: a sample-budget multiplier
+/// (degradation) and an optional cooperative stop signal (deadlines).  The
+/// defaults reproduce the unconstrained explainer exactly.
+struct ExplainerLimits {
+    /// Multiplier on the method's default sample budget, clamped to
+    /// [0.001, 1].  1.0 = the method default (bitwise-identical explainer).
+    double budget_scale = 1.0;
+    /// Optional cancellation token wired into the explainer config; must
+    /// outlive the explain() call.  Null = never cancelled.
+    const xnfv::xai::CancelToken* cancel = nullptr;
+};
 
 /// Builds the explainer a request resolves to; shared with the CLI so the
 /// served path and the one-shot path construct byte-identical explainers.
@@ -47,7 +75,14 @@ namespace xnfv::serve {
 /// Throws std::runtime_error on an unknown method.
 [[nodiscard]] std::unique_ptr<xnfv::xai::Explainer> make_explainer(
     const std::string& method, const xnfv::xai::BackgroundData& background,
-    std::uint64_t seed, std::size_t threads = 0);
+    std::uint64_t seed, std::size_t threads = 0, const ExplainerLimits& limits = {});
+
+/// The sample budget make_explainer gives `method` at `budget_scale`
+/// (coalitions, permutations, or neighborhood samples, with the same floors
+/// make_explainer applies).  0 for non-sampling methods.
+[[nodiscard]] std::uint64_t effective_budget(const std::string& method,
+                                             double budget_scale,
+                                             const xnfv::xai::BackgroundData& background);
 
 /// True when `method` names a supported explainer.
 [[nodiscard]] bool known_method(const std::string& method) noexcept;
@@ -71,6 +106,29 @@ struct ServiceConfig {
     double cache_quantum = 0.0;
     /// Worker threads for batch execution (0 = xnfv::default_threads()).
     std::size_t threads = 0;
+
+    /// Overload ladder thresholds; all-zero (the default) disables
+    /// degradation entirely.
+    DegradationConfig degradation;
+
+    /// Chaos-testing seam: null (the default) injects nothing and costs one
+    /// pointer check per poll point.
+    std::shared_ptr<FaultInjector> fault_injector;
+    /// How far the dispatcher clock jumps when clock_skew fires.
+    std::chrono::milliseconds fault_clock_skew{50};
+    /// How long the dispatcher pauses when queue_stall fires.
+    std::chrono::milliseconds fault_stall{20};
+
+    /// Cache snapshot file; empty disables persistence.  When set, the cache
+    /// is restored from it at startup (if compatible) and written to it at
+    /// stop() — plus every snapshot_interval if nonzero.
+    std::string snapshot_path;
+    std::chrono::milliseconds snapshot_interval{0};
+
+    /// Watchdog poll period, and the heartbeat staleness beyond which the
+    /// dispatcher counts as stalled.
+    std::chrono::milliseconds watchdog_interval{20};
+    std::chrono::milliseconds watchdog_stall_threshold{1000};
 };
 
 /// The in-process serving engine.  Thread-safe: any number of producer
@@ -90,13 +148,14 @@ public:
     /// Outcome of a submit(): either `rejected != none` (and `response` is
     /// invalid), or a future that completes when the request is served.
     struct Submission {
-        RejectReason rejected = RejectReason::none;
+        ServeError rejected = ServeError::none;
         std::future<ExplainResponse> response;
     };
 
     /// Validates and enqueues; never blocks.  Rejects with `queue_full`
     /// under backpressure, `bad_request` on wrong feature count or unknown
-    /// method, `service_stopped` after stop().
+    /// method, `bad_features` on NaN/Inf inputs, `deadline_exceeded` on an
+    /// already-expired (0 ms) deadline, `service_stopped` after stop().
     [[nodiscard]] Submission submit(ExplainRequest request);
 
     /// submit() + wait.  A rejection is returned as an error response.
@@ -105,8 +164,9 @@ public:
     /// Snapshot of all counters/histograms plus cache occupancy.
     [[nodiscard]] ServiceStats stats() const;
 
-    /// Closes admission, drains and serves everything already queued, and
-    /// joins the dispatcher.  Idempotent; the destructor calls it.
+    /// Closes admission, drains and serves everything already queued, joins
+    /// the watchdog and dispatcher, and writes a final cache snapshot when
+    /// persistence is configured.  Idempotent; the destructor calls it.
     void stop();
 
     [[nodiscard]] const ServiceConfig& config() const noexcept { return config_; }
@@ -114,22 +174,50 @@ public:
 
 private:
     void dispatcher_loop();
+    void watchdog_loop();
     void execute_batch(std::vector<Job> batch);
-    /// Explains one request (fresh explainer, one explain() call).  Any
-    /// exception becomes an error response.
-    [[nodiscard]] ExplainResponse run_request(const ExplainRequest& request) const;
+    /// Drains whatever is left in the queue/batcher on the calling thread —
+    /// the shutdown path after both worker threads have been joined.
+    void drain_inline();
+    /// Explains one request at the given degradation rung (fresh explainer,
+    /// one explain() call).  Any exception becomes an error response; the
+    /// deadline, if armed, aborts compute via a CancelToken.
+    [[nodiscard]] ExplainResponse run_request(
+        const ExplainRequest& request, DegradeLevel level,
+        std::chrono::steady_clock::time_point deadline) const;
     [[nodiscard]] CacheKey key_for(const ExplainRequest& request) const;
+    /// Exports the cache to config_.snapshot_path (atomic write).
+    void save_snapshot();
+    /// Restores the cache from config_.snapshot_path if present/compatible.
+    void load_snapshot();
+    /// Stamps the dispatcher heartbeat with the current time.
+    void heartbeat() noexcept;
 
     std::shared_ptr<const xnfv::ml::Model> model_;
     xnfv::xai::BackgroundData background_;
     ServiceConfig config_;
     std::uint64_t model_fingerprint_;
     std::uint64_t background_fingerprint_;
+    /// The model explainers actually call: `model_`, possibly wrapped in the
+    /// predict_throw fault proxy (wrapped *after* fingerprinting so cache
+    /// keys and non-faulted results are unaffected).
+    std::shared_ptr<const xnfv::ml::Model> serving_model_;
     RequestQueue queue_;
     MicroBatcher batcher_;
     ExplanationCache cache_;
+    DegradationPolicy degrade_;
     mutable ServiceMetrics metrics_;
+
     std::thread dispatcher_;
+    std::thread watchdog_;
+    /// Guards dispatcher_ (the watchdog joins/respawns it while stop() may
+    /// also want to join it).
+    std::mutex dispatcher_mutex_;
+    std::atomic<bool> dispatcher_exited_{false};  ///< set only by worker_death
+    std::atomic<std::chrono::steady_clock::rep> heartbeat_ns_{0};
+    std::atomic<bool> stopping_{false};
+    std::mutex stop_wait_mutex_;
+    std::condition_variable stop_wait_cv_;  ///< wakes the watchdog at stop()
     std::once_flag stop_once_;
 };
 

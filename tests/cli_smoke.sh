@@ -39,6 +39,39 @@ printf '{"op":"explain","row":1}\n' \
   | "$CLI" serve --model "$DIR/model.xnfv" --data "$DIR/data.csv" > "$DIR/serve2.out"
 head -n 1 "$DIR/serve1.out" | cmp -s - "$DIR/serve2.out"
 
+# Malformed ND-JSON must get structured error lines, and the service must
+# survive them and keep answering valid requests on the same connection.
+NFEAT=$(head -n 1 "$DIR/data.csv" | awk -F',' '{print NF-1}')
+BADFEATS=$(awk -v n="$NFEAT" 'BEGIN{for(i=1;i<=n;i++)printf "%s%s",(i>1?",":""),(i==2?"1e999":"0.5")}')
+printf '%s\n' \
+  '{"op":"explain","row":1' \
+  '{"op":"frobnicate"}' \
+  '{"op":"explain","features":[1,2]}' \
+  "{\"op\":\"explain\",\"features\":[$BADFEATS]}" \
+  '{"op":"explain","row":2,"deadline_ms":0}' \
+  '{"op":"explain","row":2}' \
+  '{"op":"quit"}' \
+  | "$CLI" serve --model "$DIR/model.xnfv" --data "$DIR/data.csv" > "$DIR/serve3.out"
+test "$(wc -l < "$DIR/serve3.out")" -eq 6
+test "$(grep -c '"error_code":"bad_request"' "$DIR/serve3.out")" -eq 3
+grep -q '"error_code":"bad_features"' "$DIR/serve3.out"
+grep -q '"error_code":"deadline_exceeded"' "$DIR/serve3.out"
+tail -n 1 "$DIR/serve3.out" | grep -q '"attributions"'
+
+# Crash-safe snapshot round-trip: a restarted service serves warm,
+# byte-identical cache hits from the snapshot written at shutdown.
+printf '{"op":"explain","row":1}\n{"op":"quit"}\n' \
+  | "$CLI" serve --model "$DIR/model.xnfv" --data "$DIR/data.csv" \
+      --snapshot "$DIR/snap.bin" > "$DIR/serve4.out"
+test -s "$DIR/snap.bin"
+printf '{"op":"explain","row":1}\n{"op":"quit"}\n' \
+  | "$CLI" serve --model "$DIR/model.xnfv" --data "$DIR/data.csv" \
+      --snapshot "$DIR/snap.bin" > "$DIR/serve5.out"
+grep -q '"cache_hit":true' "$DIR/serve5.out"
+sed 's/"cache_hit":[a-z]*/"cache_hit":_/' "$DIR/serve4.out" > "$DIR/serve4.norm"
+sed 's/"cache_hit":[a-z]*/"cache_hit":_/' "$DIR/serve5.out" > "$DIR/serve5.norm"
+cmp -s "$DIR/serve4.norm" "$DIR/serve5.norm"
+
 # Failure paths must fail loudly, not crash.
 if "$CLI" train --data /nonexistent.csv --out "$DIR/x" 2>/dev/null; then exit 1; fi
 if "$CLI" explain --model "$DIR/model.xnfv" --data "$DIR/data.csv" --row 99999 2>/dev/null; then exit 1; fi

@@ -57,20 +57,20 @@ xai::Explanation make_explanation(double value) {
 
 TEST(RequestQueue, RejectsWithQueueFullWhenDepthReached) {
     serve::RequestQueue queue(2);
-    EXPECT_EQ(queue.try_push(make_job(1)), serve::RejectReason::none);
-    EXPECT_EQ(queue.try_push(make_job(2)), serve::RejectReason::none);
-    EXPECT_EQ(queue.try_push(make_job(3)), serve::RejectReason::queue_full);
+    EXPECT_EQ(queue.try_push(make_job(1)), serve::ServeError::none);
+    EXPECT_EQ(queue.try_push(make_job(2)), serve::ServeError::none);
+    EXPECT_EQ(queue.try_push(make_job(3)), serve::ServeError::queue_full);
     EXPECT_EQ(queue.size(), 2u);
 
     // Popping frees a slot.
     EXPECT_TRUE(queue.try_pop().has_value());
-    EXPECT_EQ(queue.try_push(make_job(3)), serve::RejectReason::none);
+    EXPECT_EQ(queue.try_push(make_job(3)), serve::ServeError::none);
 }
 
 TEST(RequestQueue, PopsInFifoOrder) {
     serve::RequestQueue queue(8);
     for (std::uint64_t id = 1; id <= 4; ++id)
-        ASSERT_EQ(queue.try_push(make_job(id)), serve::RejectReason::none);
+        ASSERT_EQ(queue.try_push(make_job(id)), serve::ServeError::none);
     for (std::uint64_t id = 1; id <= 4; ++id) {
         auto job = queue.try_pop();
         ASSERT_TRUE(job.has_value());
@@ -81,9 +81,9 @@ TEST(RequestQueue, PopsInFifoOrder) {
 
 TEST(RequestQueue, CloseRejectsNewButDrainsQueued) {
     serve::RequestQueue queue(4);
-    ASSERT_EQ(queue.try_push(make_job(1)), serve::RejectReason::none);
+    ASSERT_EQ(queue.try_push(make_job(1)), serve::ServeError::none);
     queue.close();
-    EXPECT_EQ(queue.try_push(make_job(2)), serve::RejectReason::service_stopped);
+    EXPECT_EQ(queue.try_push(make_job(2)), serve::ServeError::service_stopped);
     // Already-admitted work survives the close.
     auto job = queue.pop_wait(Clock::now() + microseconds(100));
     ASSERT_TRUE(job.has_value());
@@ -366,12 +366,12 @@ TEST(ExplanationService, RejectsBadRequestsUpFront) {
     serve::ExplanationService service(sum_model(), tiny_background(), cfg);
 
     auto wrong_arity = service.submit(request_for(1, {1.0}));
-    EXPECT_EQ(wrong_arity.rejected, serve::RejectReason::bad_request);
+    EXPECT_EQ(wrong_arity.rejected, serve::ServeError::bad_request);
 
     auto bad_method = request_for(2, {1.0, 2.0, 3.0});
     bad_method.method = "astrology";
     EXPECT_EQ(service.submit(std::move(bad_method)).rejected,
-              serve::RejectReason::bad_request);
+              serve::ServeError::bad_request);
 
     // The sync wrapper surfaces the reason as an error response.
     const auto r = service.explain_sync(request_for(3, {1.0}));
@@ -398,17 +398,17 @@ TEST(ExplanationService, BackpressureRejectsWhenQueueIsFull) {
     // First request: wait until the dispatcher has pulled it into a batch
     // (queue drained) and is blocked on the gate inside the model.
     auto inflight = service.submit(request_for(1, {1.0, 2.0, 3.0}));
-    ASSERT_EQ(inflight.rejected, serve::RejectReason::none);
+    ASSERT_EQ(inflight.rejected, serve::ServeError::none);
     while (service.stats().queue_depth != 0)
         std::this_thread::sleep_for(std::chrono::milliseconds(1));
 
     // Fill the queue behind the stuck batch, then overflow it.
     auto q1 = service.submit(request_for(2, {1.0, 2.0, 3.0}));
     auto q2 = service.submit(request_for(3, {2.0, 2.0, 3.0}));
-    ASSERT_EQ(q1.rejected, serve::RejectReason::none);
-    ASSERT_EQ(q2.rejected, serve::RejectReason::none);
+    ASSERT_EQ(q1.rejected, serve::ServeError::none);
+    ASSERT_EQ(q2.rejected, serve::ServeError::none);
     auto overflow = service.submit(request_for(4, {3.0, 2.0, 3.0}));
-    EXPECT_EQ(overflow.rejected, serve::RejectReason::queue_full);
+    EXPECT_EQ(overflow.rejected, serve::ServeError::queue_full);
 
     gate->release();
     EXPECT_TRUE(inflight.response.get().ok);
@@ -430,14 +430,14 @@ TEST(ExplanationService, StopDrainsQueuedWorkThenRejects) {
     std::vector<std::future<serve::ExplainResponse>> futures;
     for (std::uint64_t id = 0; id < 8; ++id) {
         auto sub = service.submit(request_for(id, {static_cast<double>(id), 0.0, 1.0}));
-        ASSERT_EQ(sub.rejected, serve::RejectReason::none);
+        ASSERT_EQ(sub.rejected, serve::ServeError::none);
         futures.push_back(std::move(sub.response));
     }
     service.stop();  // must serve everything already admitted
     for (auto& f : futures) EXPECT_TRUE(f.get().ok);
 
     EXPECT_EQ(service.submit(request_for(99, {1.0, 2.0, 3.0})).rejected,
-              serve::RejectReason::service_stopped);
+              serve::ServeError::service_stopped);
 }
 
 TEST(ExplanationService, DuplicateRequestsWithinOneBatchComputeOnce) {
@@ -450,7 +450,7 @@ TEST(ExplanationService, DuplicateRequestsWithinOneBatchComputeOnce) {
     std::vector<std::future<serve::ExplainResponse>> futures;
     for (std::uint64_t id = 0; id < 4; ++id) {
         auto sub = service.submit(request_for(id, {5.0, 6.0, 7.0}));
-        ASSERT_EQ(sub.rejected, serve::RejectReason::none);
+        ASSERT_EQ(sub.rejected, serve::ServeError::none);
         futures.push_back(std::move(sub.response));
     }
     std::vector<serve::ExplainResponse> responses;

@@ -92,7 +92,7 @@ void check_service_matches_one_shot(const std::string& method,
     std::vector<std::future<serve::ExplainResponse>> futures;
     for (std::size_t k = 0; k < test_rows().size(); ++k) {
         auto sub = service.submit(request_for_row(k, test_rows()[k]));
-        ASSERT_EQ(sub.rejected, serve::RejectReason::none);
+        ASSERT_EQ(sub.rejected, serve::ServeError::none);
         futures.push_back(std::move(sub.response));
     }
     for (std::size_t k = 0; k < futures.size(); ++k) {
@@ -212,7 +212,7 @@ TEST(ServiceDeterminism, RepeatedRowsInOneBatchMatchOneShot) {
     std::vector<std::future<serve::ExplainResponse>> futures;
     for (std::size_t k = 0; k < test_rows().size(); ++k) {
         auto sub = service.submit(request_for_row(k, test_rows()[k]));
-        ASSERT_EQ(sub.rejected, serve::RejectReason::none);
+        ASSERT_EQ(sub.rejected, serve::ServeError::none);
         futures.push_back(std::move(sub.response));
     }
     for (std::size_t k = 0; k < futures.size(); ++k) {

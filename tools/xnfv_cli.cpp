@@ -100,9 +100,18 @@ int usage() {
         "            [--method tree_shap|kernel_shap|sampling|lime|occlusion]\n"
         "  serve     --model model.xnfv --data data.csv [--method M] [--seed S]\n"
         "            [--batch N] [--wait-us U] [--queue N] [--cache N]\n"
-        "            [--quantum Q]   ND-JSON requests on stdin, one per line:\n"
+        "            [--quantum Q]\n"
+        "            [--degrade N] [--degrade-scale S]   overload ladder: at\n"
+        "            admission depth N serve reduced budget, at 2N occlusion\n"
+        "            [--snapshot FILE] [--snapshot-interval-ms M]   crash-safe\n"
+        "            cache persistence (restored on startup, written on stop)\n"
+        "            [--fault-seed S] [--fault-predict-rate R]\n"
+        "            [--fault-stall-rate R] [--fault-worker-kill N]\n"
+        "            deterministic chaos injection for fault-tolerance tests\n"
+        "            ND-JSON requests on stdin, one per line:\n"
         "              {\"op\":\"explain\",\"row\":3}\n"
         "              {\"op\":\"explain\",\"features\":[...],\"method\":\"lime\"}\n"
+        "              {\"op\":\"explain\",\"row\":3,\"deadline_ms\":50}\n"
         "              {\"op\":\"stats\"}   {\"op\":\"quit\"}\n"
         "            responses are printed in request order\n"
         "  help\n\n"
@@ -261,11 +270,14 @@ std::string render_response(const serve::ExplainResponse& r) {
     w.field("ok", r.ok);
     if (r.ok) {
         w.field("cache_hit", r.cache_hit);
+        w.field("degraded", r.degraded);
+        if (r.degraded) w.field("budget_used", r.budget_used);
         w.field("method", r.explanation.method);
         w.field("prediction", r.explanation.prediction);
         w.field("base_value", r.explanation.base_value);
         w.field_array("attributions", r.explanation.attributions);
     } else {
+        w.field("error_code", to_string(r.error_code));
         w.field("error", r.error);
     }
     return w.finish();
@@ -278,6 +290,7 @@ std::string render_stats(const serve::ServiceStats& s) {
     w.field("requests_accepted", s.requests_accepted);
     w.field("requests_rejected", s.requests_rejected);
     w.field("requests_completed", s.requests_completed);
+    w.field("requests_degraded", s.requests_degraded);
     w.field("batches", s.batches);
     w.field("batch_size_mean", s.batch_size_mean);
     w.field("cache_hits", s.cache_hits);
@@ -287,6 +300,25 @@ std::string render_stats(const serve::ServiceStats& s) {
     w.field("service_us_p50", s.service_us_p50);
     w.field("service_us_p95", s.service_us_p95);
     w.field("service_us_p99", s.service_us_p99);
+    w.field("worker_respawns", s.worker_respawns);
+    w.field("worker_stalls", s.worker_stalls);
+    w.field("faults_injected", s.faults_injected);
+    w.field("snapshot_writes", s.snapshot_writes);
+    w.field("snapshot_records_loaded", s.snapshot_records_loaded);
+    w.field("snapshot_records_skipped", s.snapshot_records_skipped);
+    {
+        // {"queue_full":2,...} — only reasons that occurred.
+        std::string by_reason = "{";
+        for (std::size_t i = 1; i < serve::kNumServeErrors; ++i) {
+            if (s.errors_by_reason[i] == 0) continue;
+            if (by_reason.size() > 1) by_reason += ',';
+            by_reason += '"';
+            by_reason += to_string(static_cast<serve::ServeError>(i));
+            by_reason += "\":" + std::to_string(s.errors_by_reason[i]);
+        }
+        by_reason += '}';
+        w.field_raw("errors_by_reason", by_reason);
+    }
     w.field("report", s.to_string());
     return w.finish();
 }
@@ -308,6 +340,38 @@ int cmd_serve(const Args& args) {
     cfg.cache_capacity = static_cast<std::size_t>(args.get_int("cache", 4096));
     cfg.cache_quantum = std::stod(args.get("quantum", "0"));
     cfg.threads = static_cast<std::size_t>(args.get_int("threads", 0));
+
+    // Degradation ladder: --degrade N arms the reduced rung at admission
+    // depth N and the baseline rung at 2N.
+    if (const auto degrade = args.get_int("degrade", 0); degrade > 0) {
+        cfg.degradation.reduced_queue_depth = static_cast<std::size_t>(degrade);
+        cfg.degradation.baseline_queue_depth = static_cast<std::size_t>(2 * degrade);
+    }
+    cfg.degradation.reduced_budget_scale = std::stod(args.get("degrade-scale", "0.25"));
+
+    // Crash-safe cache snapshots.
+    cfg.snapshot_path = args.get("snapshot", "");
+    cfg.snapshot_interval =
+        std::chrono::milliseconds(args.get_int("snapshot-interval-ms", 0));
+
+    // Deterministic chaos: any nonzero rate wires in a seeded injector.
+    const double fault_predict = std::stod(args.get("fault-predict-rate", "0"));
+    const double fault_stall = std::stod(args.get("fault-stall-rate", "0"));
+    const auto fault_kill = args.get_int("fault-worker-kill", 0);
+    if (fault_predict > 0.0 || fault_stall > 0.0 || fault_kill > 0) {
+        serve::FaultInjector::Config fi;
+        fi.seed = static_cast<std::uint64_t>(args.get_int("fault-seed", 1));
+        const auto point = [](serve::FaultPoint p) { return static_cast<std::size_t>(p); };
+        fi.rate[point(serve::FaultPoint::predict_throw)] = fault_predict;
+        fi.rate[point(serve::FaultPoint::queue_stall)] = fault_stall;
+        if (fault_kill > 0) {
+            fi.rate[point(serve::FaultPoint::worker_death)] = 1.0;
+            fi.max_fires[point(serve::FaultPoint::worker_death)] =
+                static_cast<std::uint64_t>(fault_kill);
+        }
+        cfg.fault_injector = std::make_shared<serve::FaultInjector>(fi);
+    }
+
     serve::ExplanationService service(model, xai::BackgroundData(data.x, 128), cfg);
 
     std::vector<std::future<serve::ExplainResponse>> pending;
@@ -316,10 +380,12 @@ int cmd_serve(const Args& args) {
         pending.clear();
         std::fflush(stdout);
     };
-    const auto print_error = [&drain](std::uint64_t id, const std::string& message) {
+    const auto print_error = [&drain](std::uint64_t id, serve::ServeError code,
+                                      const std::string& message) {
         drain();  // keep responses in request order
         serve::ExplainResponse r;
         r.id = id;
+        r.error_code = code;
         r.error = message;
         std::printf("%s\n", render_response(r).c_str());
         std::fflush(stdout);
@@ -333,7 +399,7 @@ int cmd_serve(const Args& args) {
         try {
             req = serve::parse_json(line);
         } catch (const std::exception& e) {
-            print_error(0, e.what());
+            print_error(0, serve::ServeError::bad_request, e.what());
             continue;
         }
         const auto op = req.get_string("op", "explain");
@@ -345,7 +411,7 @@ int cmd_serve(const Args& args) {
             continue;
         }
         if (op != "explain") {
-            print_error(0, "unknown op '" + op + "'");
+            print_error(0, serve::ServeError::bad_request, "unknown op '" + op + "'");
             continue;
         }
 
@@ -355,27 +421,34 @@ int cmd_serve(const Args& args) {
         ++next_id;
         er.method = req.get_string("method", "");
         er.seed = static_cast<std::uint64_t>(req.get_number("seed", 0));
-        if (const auto* features = req.find("features");
-            features != nullptr && features->type == serve::JsonValue::Type::array) {
-            er.features.reserve(features->array.size());
-            for (const auto& v : features->array) er.features.push_back(v.number);
+        er.deadline_ms = static_cast<std::int64_t>(req.get_number("deadline_ms", -1));
+        if (req.has("features")) {
+            auto extracted =
+                serve::extract_features(req, model->num_features());
+            if (extracted.error != serve::ServeError::none) {
+                print_error(er.id, extracted.error, extracted.message);
+                continue;
+            }
+            er.features = std::move(extracted.features);
         } else if (req.has("row")) {
             const auto row = static_cast<std::size_t>(req.get_number("row", 0));
             if (row >= data.size()) {
-                print_error(er.id, "row out of range");
+                print_error(er.id, serve::ServeError::bad_request, "row out of range");
                 continue;
             }
             const auto x = data.x.row(row);
             er.features.assign(x.begin(), x.end());
         } else {
-            print_error(er.id, "explain needs \"row\" or \"features\"");
+            print_error(er.id, serve::ServeError::bad_request,
+                        "explain needs \"row\" or \"features\"");
             continue;
         }
 
         const std::uint64_t id = er.id;
         auto sub = service.submit(std::move(er));
-        if (sub.rejected != serve::RejectReason::none) {
-            print_error(id, std::string("rejected: ") + to_string(sub.rejected));
+        if (sub.rejected != serve::ServeError::none) {
+            print_error(id, sub.rejected,
+                        std::string("rejected: ") + to_string(sub.rejected));
             continue;
         }
         pending.push_back(std::move(sub.response));
