@@ -73,6 +73,32 @@ inline xnfv::ml::RandomForest train_forest(const xnfv::ml::Dataset& train,
     return forest;
 }
 
+/// Machine-readable benchmark artifact: a flat JSON document of the form
+/// {"benchmark": <name>, "results": [<object>, ...]} where each object is a
+/// pre-rendered fragment.  No JSON dependency; just enough structure for CI
+/// to archive and diff benchmark numbers across runs.
+class JsonArtifact {
+public:
+    explicit JsonArtifact(std::string name) : name_(std::move(name)) {}
+
+    void add_object(std::string fragment) { objects_.push_back(std::move(fragment)); }
+
+    [[nodiscard]] bool write(const std::string& path) const {
+        std::FILE* f = std::fopen(path.c_str(), "w");
+        if (!f) return false;
+        std::fprintf(f, "{\n  \"benchmark\": \"%s\",\n  \"results\": [\n", name_.c_str());
+        for (std::size_t i = 0; i < objects_.size(); ++i)
+            std::fprintf(f, "    %s%s\n", objects_[i].c_str(),
+                         i + 1 < objects_.size() ? "," : "");
+        std::fprintf(f, "  ]\n}\n");
+        return std::fclose(f) == 0;
+    }
+
+private:
+    std::string name_;
+    std::vector<std::string> objects_;
+};
+
 inline void print_header(const std::string& id, const std::string& title) {
     std::printf("\n=== %s: %s ===\n", id.c_str(), title.c_str());
 }

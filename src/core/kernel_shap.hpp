@@ -19,6 +19,7 @@
 
 #include "core/budget.hpp"
 #include "core/explanation.hpp"
+#include "core/probe.hpp"
 #include "mlcore/model.hpp"
 #include "mlcore/rng.hpp"
 
@@ -37,9 +38,10 @@ public:
         /// 0 uses xnfv::default_threads().  Attributions are identical for
         /// any thread count (per-coalition RNG streams).
         std::size_t threads = 0;
-        /// Optional cooperative stop signal, polled once per coalition
-        /// evaluation; a fired token aborts explain() with BudgetExceeded.
-        /// The token must outlive the call.  Null = never cancelled.
+        /// Optional cooperative stop signal, polled once per evaluation
+        /// block (~kProbeBlockRows probe rows); a fired token aborts
+        /// explain() with BudgetExceeded.  The token must outlive the call.
+        /// Null = never cancelled.
         const CancelToken* cancel = nullptr;
     };
 
@@ -60,18 +62,18 @@ public:
 
 private:
     /// The full algorithm for one instance with all randomness derived from
-    /// `call_seed` — thread-count invariant by construction.
+    /// `call_seed` — thread-count invariant by construction.  `base_value`
+    /// is E_b[f(b)] (the all-false-mask coalition value), hoisted out so
+    /// explain_batch computes it once per model instead of once per row.
     [[nodiscard]] Explanation explain_seeded(const xnfv::ml::Model& model,
                                              std::span<const double> x,
-                                             std::uint64_t call_seed) const;
-    /// v(S): mean model output with features in `mask` taken from x and the
-    /// rest from each background row.
-    [[nodiscard]] double value_of(const xnfv::ml::Model& model, std::span<const double> x,
-                                  const std::vector<bool>& mask) const;
+                                             std::uint64_t call_seed,
+                                             double base_value) const;
 
     BackgroundData background_;
     xnfv::ml::Rng rng_;
     Config config_;
+    BaseValueCache base_cache_;  ///< consulted only in serial explain entry points
 };
 
 }  // namespace xnfv::xai

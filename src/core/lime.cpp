@@ -1,9 +1,11 @@
 #include "core/lime.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
 #include "core/parallel.hpp"
+#include "core/probe.hpp"
 
 namespace xnfv::xai {
 
@@ -67,25 +69,37 @@ Explanation Lime::explain_seeded(const xnfv::ml::Model& model, std::span<const d
     const std::size_t n = config_.num_samples;
     xnfv::ml::Matrix design(n, d + 1);
     std::vector<double> y(n), w(n);
+    // Probe rows for a block of samples are materialized into a reused
+    // scratch matrix and evaluated with one predict_batch per block; each
+    // sample still draws from its own stream and writes only its own slots,
+    // so the neighborhood is unchanged for any thread count or block size.
     const auto fill_neighborhood = [&](xnfv::ml::Matrix& z, std::span<double> ys,
                                        std::span<double> ws, std::size_t stream_base) {
+        const std::size_t block = kProbeBlockRows;  // one probe row per sample
         xnfv::parallel_for_chunks(
             ys.size(), config_.threads, [&](std::size_t begin, std::size_t end) {
-                std::vector<double> probe(d);
-                for (std::size_t s = begin; s < end; ++s) {
+                ProbeScratch scratch;
+                for (std::size_t s0 = begin; s0 < end; s0 += block) {
                     check_budget(config_.cancel);
-                    auto stream = xnfv::ml::Rng::stream(call_seed, stream_base + s);
-                    auto row = z.row(s);
-                    double dist2 = 0.0;
-                    row[0] = 1.0;  // intercept
-                    for (std::size_t j = 0; j < d; ++j) {
-                        const double off = stream.normal(0.0, config_.perturbation_scale);
-                        probe[j] = x[j] + off * sigma_[j];
-                        row[j + 1] = off;
-                        dist2 += off * off;
+                    const std::size_t s1 = std::min(s0 + block, end);
+                    scratch.ensure(s1 - s0, d);
+                    for (std::size_t s = s0; s < s1; ++s) {
+                        auto stream = xnfv::ml::Rng::stream(call_seed, stream_base + s);
+                        auto row = z.row(s);
+                        auto probe = scratch.rows.row(s - s0);
+                        double dist2 = 0.0;
+                        row[0] = 1.0;  // intercept
+                        for (std::size_t j = 0; j < d; ++j) {
+                            const double off = stream.normal(0.0, config_.perturbation_scale);
+                            probe[j] = x[j] + off * sigma_[j];
+                            row[j + 1] = off;
+                            dist2 += off * off;
+                        }
+                        ws[s] = std::exp(-dist2 * inv_2w2);
                     }
-                    ys[s] = model.predict(probe);
-                    ws[s] = std::exp(-dist2 * inv_2w2);
+                    const auto preds = scratch.preds_span(s1 - s0);
+                    model.predict_batch(scratch.rows, preds);
+                    for (std::size_t s = s0; s < s1; ++s) ys[s] = preds[s - s0];
                 }
             });
     };

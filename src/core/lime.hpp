@@ -33,8 +33,9 @@ public:
         /// for any thread count (per-sample RNG streams).
         std::size_t threads = 0;
         /// Optional cooperative stop signal, polled once per neighborhood
-        /// sample; fired = explain() aborts with BudgetExceeded.  Must
-        /// outlive the call.  Null = never cancelled.
+        /// evaluation block (~kProbeBlockRows samples); fired = explain()
+        /// aborts with BudgetExceeded.  Must outlive the call.  Null =
+        /// never cancelled.
         const CancelToken* cancel = nullptr;
     };
 

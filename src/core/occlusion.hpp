@@ -11,6 +11,7 @@
 
 #include "core/budget.hpp"
 #include "core/explanation.hpp"
+#include "core/probe.hpp"
 #include "mlcore/dataset.hpp"
 #include "mlcore/model.hpp"
 #include "mlcore/rng.hpp"
@@ -47,11 +48,15 @@ public:
     [[nodiscard]] std::string name() const override { return "occlusion"; }
 
 private:
+    /// `base_value` is E_b[f(b)], hoisted out of the per-instance path so
+    /// batch explains compute it once per model (BaseValueCache).
     [[nodiscard]] Explanation explain_one(const xnfv::ml::Model& model,
-                                          std::span<const double> x) const;
+                                          std::span<const double> x,
+                                          double base_value) const;
 
     BackgroundData background_;
     Config config_{};
+    BaseValueCache base_cache_;  ///< consulted only in serial explain entry points
 };
 
 /// Global permutation importance.

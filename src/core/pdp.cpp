@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/parallel.hpp"
+#include "core/probe.hpp"
 
 namespace xnfv::xai {
 
@@ -40,23 +41,32 @@ PdpResult partial_dependence(const xnfv::ml::Model& model, const BackgroundData&
 
     // Grid points are independent model sweeps; each task writes only its
     // own grid/mean slot (and column g of the preallocated ICE curves).
+    // Each chunk copies the background once into a reusable probe matrix,
+    // then per grid point only rewrites the swept column and issues one
+    // predict_batch; the per-point mean stays in background-row order, so
+    // the curve is bitwise identical to the per-probe predict() loop.
     xnfv::parallel_for_chunks(
         options.grid_points, options.threads, [&](std::size_t begin, std::size_t end) {
-            std::vector<double> probe(bg.cols());
+            ProbeScratch scratch;
+            const std::size_t n = bg.rows();
+            scratch.ensure(n, bg.cols());
+            for (std::size_t r = 0; r < n; ++r) {
+                const auto row = bg.row(r);
+                std::copy(row.begin(), row.end(), scratch.rows.row(r).begin());
+            }
+            const auto preds = scratch.preds_span(n);
             for (std::size_t g = begin; g < end; ++g) {
                 const double v = lo + (hi - lo) * static_cast<double>(g) /
                                           static_cast<double>(options.grid_points - 1);
                 result.grid[g] = v;
+                for (std::size_t r = 0; r < n; ++r) scratch.rows(r, feature) = v;
+                model.predict_batch(scratch.rows, preds);
                 double acc = 0.0;
-                for (std::size_t r = 0; r < bg.rows(); ++r) {
-                    const auto row = bg.row(r);
-                    std::copy(row.begin(), row.end(), probe.begin());
-                    probe[feature] = v;
-                    const double pred = model.predict(probe);
-                    acc += pred;
-                    if (options.keep_ice) result.ice[r][g] = pred;
+                for (std::size_t r = 0; r < n; ++r) {
+                    acc += preds[r];
+                    if (options.keep_ice) result.ice[r][g] = preds[r];
                 }
-                result.mean[g] = acc / static_cast<double>(bg.rows());
+                result.mean[g] = acc / static_cast<double>(n);
             }
         });
     return result;

@@ -1,0 +1,34 @@
+#include "core/probe.hpp"
+
+namespace xnfv::xai {
+
+double masked_value(const xnfv::ml::Model& model, std::span<const double> x,
+                    const xnfv::ml::Matrix& bg, std::span<const std::uint64_t> mask,
+                    ProbeScratch& scratch) {
+    const std::size_t n = bg.rows();
+    scratch.ensure(n, x.size());
+    for (std::size_t b = 0; b < n; ++b)
+        fill_masked_row(scratch.rows.row(b), x, bg.row(b), mask);
+    const auto preds = scratch.preds_span(n);
+    model.predict_batch(scratch.rows, preds);
+    double acc = 0.0;
+    for (std::size_t b = 0; b < n; ++b) acc += preds[b];
+    return acc / static_cast<double>(n);
+}
+
+double BaseValueCache::get(const xnfv::ml::Model& model, const BackgroundData& background) {
+    if (model_ == &model && arity_ == model.num_features() && name_ == model.name())
+        return value_;
+    const auto& bg = background.samples();
+    std::vector<double> preds(bg.rows());
+    model.predict_batch(bg, preds);
+    double acc = 0.0;
+    for (double p : preds) acc += p;  // background-row order, as the old loops
+    model_ = &model;
+    name_ = model.name();
+    arity_ = model.num_features();
+    value_ = acc / static_cast<double>(bg.rows());
+    return value_;
+}
+
+}  // namespace xnfv::xai

@@ -1,0 +1,145 @@
+// Shared machinery for blocked masked-probe inference.
+//
+// Every perturbation explainer bottoms out in the same pattern: synthesize
+// probe rows that mix the explained instance with background draws, run the
+// model on them, and fold the predictions back into attributions.  This
+// header centralizes the three pieces that make that path fast without
+// changing a single output bit (DESIGN.md §11):
+//
+//   * MaskSet — coalition masks packed into uint64_t words (one contiguous
+//     allocation for all coalitions, no per-coalition std::vector<bool>),
+//   * ProbeScratch — a reusable probe Matrix + prediction buffer so inner
+//     loops allocate nothing once warm,
+//   * BaseValueCache — memoizes E_b[f(b)], the all-false-mask value that is
+//     constant per (model, background) yet was recomputed per instance.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/explanation.hpp"
+#include "mlcore/matrix.hpp"
+#include "mlcore/model.hpp"
+
+namespace xnfv::xai {
+
+/// Fixed-size set of packed bitmasks over `d` features; mask i occupies
+/// words [i*words_per_mask, (i+1)*words_per_mask) with bit j of word j/64
+/// marking feature j as "taken from the instance".
+class MaskSet {
+public:
+    MaskSet() = default;
+
+    /// Re-shapes to `count` all-zero masks over `d` features, reusing
+    /// storage capacity.
+    void assign(std::size_t count, std::size_t d) {
+        d_ = d;
+        words_per_ = (d + 63) / 64;
+        words_.assign(count * words_per_, 0);
+        count_ = count;
+    }
+
+    [[nodiscard]] std::size_t count() const noexcept { return count_; }
+    [[nodiscard]] std::size_t dims() const noexcept { return d_; }
+    [[nodiscard]] std::size_t words_per_mask() const noexcept { return words_per_; }
+
+    [[nodiscard]] std::span<std::uint64_t> mask(std::size_t i) noexcept {
+        return {words_.data() + i * words_per_, words_per_};
+    }
+    [[nodiscard]] std::span<const std::uint64_t> mask(std::size_t i) const noexcept {
+        return {words_.data() + i * words_per_, words_per_};
+    }
+
+    static void set(std::span<std::uint64_t> m, std::size_t j) noexcept {
+        m[j >> 6] |= std::uint64_t{1} << (j & 63);
+    }
+    [[nodiscard]] static bool test(std::span<const std::uint64_t> m, std::size_t j) noexcept {
+        return (m[j >> 6] >> (j & 63)) & 1;
+    }
+
+    /// Fills every bit j < d of `m` (tail bits stay clear).
+    static void set_all(std::span<std::uint64_t> m, std::size_t d) noexcept {
+        for (std::size_t j = 0; j < d; ++j) set(m, j);
+    }
+
+    /// dst = ~src restricted to the low d bits.
+    static void complement(std::span<const std::uint64_t> src, std::span<std::uint64_t> dst,
+                           std::size_t d) noexcept {
+        for (std::size_t w = 0; w < src.size(); ++w) dst[w] = ~src[w];
+        const std::size_t tail = d & 63;
+        if (tail != 0) dst[dst.size() - 1] &= (std::uint64_t{1} << tail) - 1;
+    }
+
+private:
+    std::size_t d_ = 0;
+    std::size_t words_per_ = 0;
+    std::size_t count_ = 0;
+    std::vector<std::uint64_t> words_;
+};
+
+/// Per-task reusable probe buffers: one Matrix of synthesized rows plus the
+/// matching prediction vector.  ensure() only ever grows the underlying
+/// storage, so a warm scratch makes the evaluation loop allocation-free
+/// (verified by test_probe_alloc).
+struct ProbeScratch {
+    xnfv::ml::Matrix rows;
+    std::vector<double> preds;
+
+    void ensure(std::size_t n, std::size_t d) {
+        rows.resize(n, d);
+        if (preds.size() < n) preds.resize(n);
+    }
+
+    [[nodiscard]] std::span<double> preds_span(std::size_t n) noexcept {
+        return {preds.data(), n};
+    }
+};
+
+/// Target number of probe rows per predict_batch call.  Large enough to
+/// amortize the batch-kernel setup and keep the flattened tree arrays hot,
+/// small enough (4096 rows × d doubles) to stay cache-resident and to bound
+/// the latency between CancelToken polls.  See DESIGN.md §11.
+inline constexpr std::size_t kProbeBlockRows = 4096;
+
+/// dst[j] = mask bit j ? x[j] : b[j] — one interventional probe row.
+inline void fill_masked_row(std::span<double> dst, std::span<const double> x,
+                            std::span<const double> b,
+                            std::span<const std::uint64_t> mask) noexcept {
+    for (std::size_t j = 0; j < dst.size(); ++j)
+        dst[j] = MaskSet::test(mask, j) ? x[j] : b[j];
+}
+
+/// v(S) = mean over background rows of f(x_S, b_!S), evaluated with one
+/// predict_batch over the materialized probes.  The accumulation runs in
+/// background-row order, so the result is bitwise identical to the legacy
+/// per-row predict() loop.
+[[nodiscard]] double masked_value(const xnfv::ml::Model& model, std::span<const double> x,
+                                  const xnfv::ml::Matrix& bg,
+                                  std::span<const std::uint64_t> mask,
+                                  ProbeScratch& scratch);
+
+/// Memoizes E_b[f(b)] — the mean model output over the background, i.e. the
+/// SHAP base value / all-false-mask coalition value.  It depends only on
+/// (model, background), yet the explainers used to recompute it per
+/// explained instance: rows × background wasted evaluations per batch.
+///
+/// The key is the model's address plus (name, num_features) as a cheap
+/// tripwire against address reuse.  This assumes the caller does not mutate
+/// a model in place between explain calls on one explainer — nothing in the
+/// codebase does (the service builds a fresh explainer per request).  Not
+/// thread-safe: consult it only from the serial section of
+/// explain()/explain_batch(), never inside a parallel region.
+class BaseValueCache {
+public:
+    [[nodiscard]] double get(const xnfv::ml::Model& model, const BackgroundData& background);
+
+private:
+    const xnfv::ml::Model* model_ = nullptr;
+    std::string name_;
+    std::size_t arity_ = 0;
+    double value_ = 0.0;
+};
+
+}  // namespace xnfv::xai

@@ -1,7 +1,10 @@
 #include "mlcore/forest.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
+
+#include "core/parallel.hpp"
 
 namespace xnfv::ml {
 
@@ -32,6 +35,15 @@ void RandomForest::fit(const Dataset& d, Rng& rng) {
         tree.fit_rows(d, rows, &tree_rng);
         trees_.push_back(std::move(tree));
     }
+    rebuild_flat();
+}
+
+void RandomForest::rebuild_flat() {
+    flat_.clear();
+    std::size_t total_nodes = 0;
+    for (const auto& t : trees_) total_nodes += t.nodes().size();
+    flat_.reserve(trees_.size(), total_nodes);
+    for (const auto& t : trees_) flat_.add_tree(t.nodes());
 }
 
 double RandomForest::predict(std::span<const double> x) const {
@@ -39,6 +51,25 @@ double RandomForest::predict(std::span<const double> x) const {
     double sum = 0.0;
     for (const auto& t : trees_) sum += t.predict(x);
     return sum / static_cast<double>(trees_.size());
+}
+
+void RandomForest::predict_batch(const Matrix& x, std::span<double> out) const {
+    if (x.rows() == 0) return;
+    if (out.size() != x.rows())
+        throw std::invalid_argument("RandomForest::predict_batch: output size mismatch");
+    if (trees_.empty()) throw std::logic_error("RandomForest::predict before fit");
+    if (x.cols() != num_features_)
+        throw std::invalid_argument("DecisionTree::predict: size mismatch");
+    const double n_trees = static_cast<double>(trees_.size());
+    const std::size_t threads = x.rows() < 64 ? 1 : 0;
+    xnfv::parallel_for_chunks(x.rows(), threads, [&](std::size_t begin, std::size_t end) {
+        auto slice = out.subspan(begin, end - begin);
+        std::fill(slice.begin(), slice.end(), 0.0);
+        flat_.accumulate(x, begin, end, 1.0, slice);
+        // Same final division the scalar loop performs (sum / T, not
+        // sum * (1/T)) so the rounding is identical.
+        for (double& v : slice) v /= n_trees;
+    });
 }
 
 std::vector<double> RandomForest::feature_importances() const {

@@ -30,6 +30,10 @@ public:
     void fit(const Dataset& d, Rng& rng);
 
     [[nodiscard]] double predict(std::span<const double> x) const override;
+    /// Blocked inference over one flattened SoA copy of all trees; bitwise
+    /// identical to the per-row predict() loop (see flat_tree.hpp).
+    void predict_batch(const Matrix& x, std::span<double> out) const override;
+    using Model::predict_batch;
     [[nodiscard]] std::size_t num_features() const override { return num_features_; }
     [[nodiscard]] std::string name() const override { return "random_forest"; }
 
@@ -46,8 +50,11 @@ public:
 
 
 private:
+    void rebuild_flat();
+
     Config config_{};
     std::vector<DecisionTree> trees_;
+    FlatEnsemble flat_;  ///< all trees concatenated, rebuilt by fit()/load()
     std::size_t num_features_ = 0;
 };
 

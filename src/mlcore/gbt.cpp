@@ -1,9 +1,11 @@
 #include "mlcore/gbt.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <numeric>
 #include <stdexcept>
 
+#include "core/parallel.hpp"
 #include "mlcore/linear.hpp"  // sigmoid
 
 namespace xnfv::ml {
@@ -87,6 +89,15 @@ void GradientBoostedTrees::fit(const Dataset& d, Rng& rng) {
             margin[i] += config_.learning_rate * tree.predict(d.x.row(i));
         trees_.push_back(std::move(tree));
     }
+    rebuild_flat();
+}
+
+void GradientBoostedTrees::rebuild_flat() {
+    flat_.clear();
+    std::size_t total_nodes = 0;
+    for (const auto& t : trees_) total_nodes += t.nodes().size();
+    flat_.reserve(trees_.size(), total_nodes);
+    for (const auto& t : trees_) flat_.add_tree(t.nodes());
 }
 
 double GradientBoostedTrees::predict_margin(std::span<const double> x) const {
@@ -99,6 +110,25 @@ double GradientBoostedTrees::predict_margin(std::span<const double> x) const {
 double GradientBoostedTrees::predict(std::span<const double> x) const {
     const double m = predict_margin(x);
     return task_ == Task::binary_classification ? sigmoid(m) : m;
+}
+
+void GradientBoostedTrees::predict_batch(const Matrix& x, std::span<double> out) const {
+    if (x.rows() == 0) return;
+    if (out.size() != x.rows())
+        throw std::invalid_argument("GBT::predict_batch: output size mismatch");
+    if (trees_.empty()) throw std::logic_error("GBT::predict before fit");
+    if (x.cols() != num_features_)
+        throw std::invalid_argument("DecisionTree::predict: size mismatch");
+    const std::size_t threads = x.rows() < 64 ? 1 : 0;
+    xnfv::parallel_for_chunks(x.rows(), threads, [&](std::size_t begin, std::size_t end) {
+        auto slice = out.subspan(begin, end - begin);
+        std::fill(slice.begin(), slice.end(), base_score_);
+        // acc += learning_rate * leaf, tree by tree — the same expression
+        // and order as the scalar predict_margin() loop.
+        flat_.accumulate(x, begin, end, config_.learning_rate, slice);
+        if (task_ == Task::binary_classification)
+            for (double& v : slice) v = sigmoid(v);
+    });
 }
 
 std::vector<double> GradientBoostedTrees::feature_importances() const {

@@ -40,6 +40,11 @@ public:
     /// Regression: predicted value.  Classification: positive probability.
     [[nodiscard]] double predict(std::span<const double> x) const override;
 
+    /// Blocked inference over one flattened SoA copy of all rounds; bitwise
+    /// identical to the per-row predict() loop (see flat_tree.hpp).
+    void predict_batch(const Matrix& x, std::span<double> out) const override;
+    using Model::predict_batch;
+
     /// Raw additive score before the logistic link (equals predict() for
     /// regression).  TreeSHAP operates in this space.
     [[nodiscard]] double predict_margin(std::span<const double> x) const;
@@ -63,8 +68,11 @@ public:
 
 
 private:
+    void rebuild_flat();
+
     Config config_{};
     std::vector<DecisionTree> trees_;
+    FlatEnsemble flat_;  ///< all rounds concatenated, rebuilt by fit()/load()
     double base_score_ = 0.0;
     std::size_t num_features_ = 0;
     Task task_ = Task::regression;

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/parallel.hpp"
 #include "mlcore/matrix.hpp"
 
 namespace xnfv::ml {
@@ -48,6 +49,19 @@ double LinearRegression::predict(std::span<const double> x) const {
     return intercept_ + dot(coef_, x);
 }
 
+void LinearRegression::predict_batch(const Matrix& x, std::span<double> out) const {
+    if (x.rows() == 0) return;
+    if (out.size() != x.rows())
+        throw std::invalid_argument("LinearRegression::predict_batch: output size mismatch");
+    if (x.cols() != coef_.size())
+        throw std::invalid_argument("LinearRegression::predict: size mismatch");
+    const std::size_t threads = x.rows() < 64 ? 1 : 0;
+    xnfv::parallel_for_chunks(x.rows(), threads, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t r = begin; r < end; ++r)
+            out[r] = intercept_ + dot(coef_, x.row(r));
+    });
+}
+
 void LogisticRegression::fit(const Dataset& d) {
     if (d.size() == 0) throw std::invalid_argument("LogisticRegression::fit: empty dataset");
     const std::size_t n = d.size();
@@ -87,6 +101,19 @@ double LogisticRegression::predict(std::span<const double> x) const {
     if (x.size() != coef_.size())
         throw std::invalid_argument("LogisticRegression::predict: size mismatch");
     return sigmoid(intercept_ + dot(coef_, x));
+}
+
+void LogisticRegression::predict_batch(const Matrix& x, std::span<double> out) const {
+    if (x.rows() == 0) return;
+    if (out.size() != x.rows())
+        throw std::invalid_argument("LogisticRegression::predict_batch: output size mismatch");
+    if (x.cols() != coef_.size())
+        throw std::invalid_argument("LogisticRegression::predict: size mismatch");
+    const std::size_t threads = x.rows() < 64 ? 1 : 0;
+    xnfv::parallel_for_chunks(x.rows(), threads, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t r = begin; r < end; ++r)
+            out[r] = sigmoid(intercept_ + dot(coef_, x.row(r)));
+    });
 }
 
 }  // namespace xnfv::ml

@@ -28,6 +28,10 @@ public:
     void fit(const Dataset& d);
 
     [[nodiscard]] double predict(std::span<const double> x) const override;
+    /// Matrix-level kernel: avoids one virtual call and one shape check per
+    /// row; arithmetic identical to predict().
+    void predict_batch(const Matrix& x, std::span<double> out) const override;
+    using Model::predict_batch;
     [[nodiscard]] std::size_t num_features() const override { return coef_.size(); }
     [[nodiscard]] std::string name() const override { return "linear_regression"; }
 
@@ -65,6 +69,9 @@ public:
 
     /// Positive-class probability.
     [[nodiscard]] double predict(std::span<const double> x) const override;
+    /// Matrix-level kernel; arithmetic identical to predict().
+    void predict_batch(const Matrix& x, std::span<double> out) const override;
+    using Model::predict_batch;
     [[nodiscard]] std::size_t num_features() const override { return coef_.size(); }
     [[nodiscard]] std::string name() const override { return "logistic_regression"; }
 

@@ -53,6 +53,16 @@ public:
     /// Appends a row (must match cols(), or sets cols() if empty).
     void push_row(std::span<const double> values);
 
+    /// Reshapes to rows x cols reusing existing capacity (shrinking never
+    /// frees).  Element values are unspecified afterwards — this is the
+    /// scratch-buffer primitive the explainers use to recycle probe
+    /// matrices across coalition blocks without reallocating.
+    void resize(std::size_t rows, std::size_t cols) {
+        rows_ = rows;
+        cols_ = cols;
+        data_.resize(rows * cols);
+    }
+
     /// Raw storage access (row-major).
     [[nodiscard]] std::span<const double> data() const noexcept { return data_; }
     [[nodiscard]] std::span<double> data() noexcept { return data_; }

@@ -4,6 +4,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "core/parallel.hpp"
 #include "mlcore/linear.hpp"  // sigmoid
 
 namespace xnfv::ml {
@@ -182,6 +183,25 @@ double Mlp::forward(std::span<const double> x,
     return cur[0];
 }
 
+double Mlp::forward_reuse(std::span<const double> x, std::vector<double>& cur,
+                          std::vector<double>& nxt) const {
+    // Mirrors forward(..., nullptr) expression-for-expression so the result
+    // is bitwise identical; the only difference is buffer reuse.
+    cur.assign(x.begin(), x.end());
+    for (std::size_t li = 0; li < layers_.size(); ++li) {
+        const Layer& layer = layers_[li];
+        nxt.assign(layer.out, 0.0);
+        for (std::size_t o = 0; o < layer.out; ++o) {
+            double z = layer.b[o];
+            const double* wrow = layer.w.data() + o * layer.in;
+            for (std::size_t i = 0; i < layer.in; ++i) z += wrow[i] * cur[i];
+            nxt[o] = (li + 1 == layers_.size()) ? z : activate(z);
+        }
+        cur.swap(nxt);
+    }
+    return cur[0];
+}
+
 std::vector<double> Mlp::input_gradient(std::span<const double> x) const {
     if (layers_.empty()) throw std::logic_error("Mlp::input_gradient before fit");
     if (x.size() != num_inputs_)
@@ -222,6 +242,23 @@ double Mlp::predict(std::span<const double> x) const {
         throw std::invalid_argument("Mlp::predict: size mismatch");
     const double out = forward(x, nullptr);
     return task_ == Task::binary_classification ? sigmoid(out) : out;
+}
+
+void Mlp::predict_batch(const Matrix& x, std::span<double> out) const {
+    if (x.rows() == 0) return;
+    if (out.size() != x.rows())
+        throw std::invalid_argument("Mlp::predict_batch: output size mismatch");
+    if (layers_.empty()) throw std::logic_error("Mlp::predict before fit");
+    if (x.cols() != num_inputs_)
+        throw std::invalid_argument("Mlp::predict: size mismatch");
+    const std::size_t threads = x.rows() < 64 ? 1 : 0;
+    xnfv::parallel_for_chunks(x.rows(), threads, [&](std::size_t begin, std::size_t end) {
+        std::vector<double> cur, nxt;
+        for (std::size_t r = begin; r < end; ++r) {
+            const double o = forward_reuse(x.row(r), cur, nxt);
+            out[r] = task_ == Task::binary_classification ? sigmoid(o) : o;
+        }
+    });
 }
 
 }  // namespace xnfv::ml

@@ -40,6 +40,10 @@ public:
 
     /// Regression: output value.  Classification: sigmoid(output) probability.
     [[nodiscard]] double predict(std::span<const double> x) const override;
+    /// Matrix-level forward pass reusing per-chunk activation scratch; the
+    /// per-row arithmetic is identical to predict().
+    void predict_batch(const Matrix& x, std::span<double> out) const override;
+    using Model::predict_batch;
     [[nodiscard]] std::size_t num_features() const override { return num_inputs_; }
     [[nodiscard]] std::string name() const override { return "mlp"; }
 
@@ -70,6 +74,10 @@ private:
 
     [[nodiscard]] double forward(std::span<const double> x,
                                  std::vector<std::vector<double>>* activations) const;
+    /// forward() without activation recording, reusing caller-owned buffers
+    /// (predict_batch's inner loop); same arithmetic as forward().
+    [[nodiscard]] double forward_reuse(std::span<const double> x, std::vector<double>& cur,
+                                       std::vector<double>& nxt) const;
     [[nodiscard]] double activate(double z) const noexcept;
     [[nodiscard]] double activate_grad(double a) const noexcept;
 

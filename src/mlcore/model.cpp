@@ -1,17 +1,26 @@
 #include "mlcore/model.hpp"
 
+#include <stdexcept>
+
 #include "core/parallel.hpp"
 
 namespace xnfv::ml {
 
-std::vector<double> Model::predict_batch(const Matrix& x) const {
+void Model::predict_batch(const Matrix& x, std::span<double> out) const {
     // Rows are independent and predict() is const/thread-safe for every
     // model family, so the default batch path is row-parallel; each task
     // writes only its own output slot, keeping results identical for any
     // thread count.  Tiny batches stay inline to avoid pool overhead.
-    std::vector<double> out(x.rows());
+    if (x.rows() == 0) return;
+    if (out.size() != x.rows())
+        throw std::invalid_argument("Model::predict_batch: output size mismatch");
     const std::size_t threads = x.rows() < 64 ? 1 : 0;  // 0 = default_threads()
     xnfv::parallel_for(x.rows(), threads, [&](std::size_t r) { out[r] = predict(x.row(r)); });
+}
+
+std::vector<double> Model::predict_batch(const Matrix& x) const {
+    std::vector<double> out(x.rows());
+    predict_batch(x, std::span<double>(out));
     return out;
 }
 

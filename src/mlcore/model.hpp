@@ -31,8 +31,16 @@ public:
     /// (classification) for a single feature vector of length num_features().
     [[nodiscard]] virtual double predict(std::span<const double> x) const = 0;
 
-    /// Batch prediction; the default loops over predict().
-    [[nodiscard]] virtual std::vector<double> predict_batch(const Matrix& x) const;
+    /// Batch prediction into a caller-provided buffer; out.size() must equal
+    /// x.rows().  The default loops over predict() row-parallel; model
+    /// families with cache-friendly batch kernels override it.  Overrides
+    /// must produce bitwise-identical values to the per-row predict() loop —
+    /// every explainer relies on this to keep attributions independent of
+    /// how probe rows are blocked (enforced by test_predict_batch).
+    virtual void predict_batch(const Matrix& x, std::span<double> out) const;
+
+    /// Convenience wrapper allocating a fresh result vector.
+    [[nodiscard]] std::vector<double> predict_batch(const Matrix& x) const;
 
     /// Number of input features the model was trained on.
     [[nodiscard]] virtual std::size_t num_features() const = 0;

@@ -141,15 +141,21 @@ std::size_t Rng::weighted_index(std::span<const double> weights) noexcept {
 }
 
 std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n, std::size_t k) {
+    std::vector<std::size_t> pool;
+    sample_without_replacement(n, k, pool);
+    return pool;
+}
+
+void Rng::sample_without_replacement(std::size_t n, std::size_t k,
+                                     std::vector<std::size_t>& out) {
     if (k > n) k = n;
-    std::vector<std::size_t> pool(n);
-    for (std::size_t i = 0; i < n; ++i) pool[i] = i;
+    out.resize(n);  // the full pool doubles as scratch for the partial shuffle
+    for (std::size_t i = 0; i < n; ++i) out[i] = i;
     for (std::size_t i = 0; i < k; ++i) {
         const std::size_t j = i + uniform_index(n - i);
-        std::swap(pool[i], pool[j]);
+        std::swap(out[i], out[j]);
     }
-    pool.resize(k);
-    return pool;
+    out.resize(k);
 }
 
 Rng Rng::split() noexcept {

@@ -79,6 +79,10 @@ public:
     /// k distinct indices drawn uniformly from [0, n) (partial Fisher–Yates).
     [[nodiscard]] std::vector<std::size_t> sample_without_replacement(std::size_t n, std::size_t k);
 
+    /// Same draw sequence as above but refills `out` in place, reusing its
+    /// capacity — for hot loops that sample every iteration.
+    void sample_without_replacement(std::size_t n, std::size_t k, std::vector<std::size_t>& out);
+
     /// Derives an independent child generator; useful for giving each worker
     /// or each experiment repetition its own stream.
     [[nodiscard]] Rng split() noexcept;

@@ -115,6 +115,7 @@ void DecisionTree::load(std::istream& is) {
     importance_raw_ = read_doubles(is, "DecisionTree::load");
     if (importance_raw_.size() != num_features_)
         throw std::runtime_error("DecisionTree::load: importance size mismatch");
+    rebuild_flat();
 }
 
 // --- RandomForest --------------------------------------------------------------
@@ -131,6 +132,7 @@ void RandomForest::load(std::istream& is) {
         throw std::runtime_error("RandomForest::load: bad header");
     trees_.assign(n_trees, DecisionTree{});
     for (DecisionTree& t : trees_) t.load(is);
+    rebuild_flat();
 }
 
 // --- GradientBoostedTrees -------------------------------------------------------
@@ -152,6 +154,7 @@ void GradientBoostedTrees::load(std::istream& is) {
     task_ = clf ? Task::binary_classification : Task::regression;
     trees_.assign(n_trees, DecisionTree{});
     for (DecisionTree& t : trees_) t.load(is);
+    rebuild_flat();
 }
 
 // --- Mlp -------------------------------------------------------------------------

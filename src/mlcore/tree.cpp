@@ -6,6 +6,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/parallel.hpp"
+
 namespace xnfv::ml {
 
 namespace {
@@ -50,6 +52,15 @@ void DecisionTree::fit_rows(const Dataset& d, std::span<const std::size_t> rows,
     BuildContext ctx{.d = d, .rng = rng, .scratch = {}};
     std::vector<std::size_t> mutable_rows(rows.begin(), rows.end());
     build_node(ctx, mutable_rows, 0);
+    rebuild_flat();
+}
+
+void DecisionTree::rebuild_flat() {
+    flat_.clear();
+    if (!nodes_.empty()) {
+        flat_.reserve(1, nodes_.size());
+        flat_.add_tree(nodes_);
+    }
 }
 
 int DecisionTree::build_node(BuildContext& ctx, std::vector<std::size_t>& rows, int depth) {
@@ -150,6 +161,25 @@ int DecisionTree::build_node(BuildContext& ctx, std::vector<std::size_t>& rows, 
 
 double DecisionTree::predict(std::span<const double> x) const {
     return nodes_[leaf_index(x)].value;
+}
+
+void DecisionTree::predict_batch(const Matrix& x, std::span<double> out) const {
+    if (x.rows() == 0) return;
+    if (out.size() != x.rows())
+        throw std::invalid_argument("DecisionTree::predict_batch: output size mismatch");
+    if (nodes_.empty()) throw std::logic_error("DecisionTree::predict before fit");
+    if (x.cols() != num_features_)
+        throw std::invalid_argument("DecisionTree::predict: size mismatch");
+    if (flat_.empty()) {  // stale after mutable_nodes(); scalar path is still correct
+        Model::predict_batch(x, out);
+        return;
+    }
+    const std::size_t threads = x.rows() < 64 ? 1 : 0;
+    xnfv::parallel_for_chunks(x.rows(), threads, [&](std::size_t begin, std::size_t end) {
+        auto slice = out.subspan(begin, end - begin);
+        std::fill(slice.begin(), slice.end(), 0.0);
+        flat_.accumulate(x, begin, end, 1.0, slice);
+    });
 }
 
 std::size_t DecisionTree::leaf_index(std::span<const double> x) const {

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "mlcore/dataset.hpp"
+#include "mlcore/flat_tree.hpp"
 #include "mlcore/model.hpp"
 #include "mlcore/rng.hpp"
 
@@ -57,6 +58,10 @@ public:
     void fit_rows(const Dataset& d, std::span<const std::size_t> rows, Rng* rng = nullptr);
 
     [[nodiscard]] double predict(std::span<const double> x) const override;
+    /// Blocked inference over the flattened node arrays (see flat_tree.hpp);
+    /// bitwise identical to the per-row predict() loop.
+    void predict_batch(const Matrix& x, std::span<double> out) const override;
+    using Model::predict_batch;
     [[nodiscard]] std::size_t num_features() const override { return num_features_; }
     [[nodiscard]] std::string name() const override { return "decision_tree"; }
 
@@ -68,8 +73,18 @@ public:
 
     /// Mutable node access.  Exists so gradient boosting can refine leaf
     /// values with a Newton step after the structure is grown; do not alter
-    /// the topology through this.
-    [[nodiscard]] std::vector<TreeNode>& mutable_nodes() noexcept { return nodes_; }
+    /// the topology through this.  Invalidates the flattened inference cache
+    /// (predict_batch falls back to the scalar loop until the next
+    /// fit()/load()); callers owning the tree may call rebuild_flat() after
+    /// their edits to restore the fast path.
+    [[nodiscard]] std::vector<TreeNode>& mutable_nodes() noexcept {
+        flat_.clear();
+        return nodes_;
+    }
+
+    /// Re-derives the flattened SoA arrays from nodes().  Called internally
+    /// by fit()/load(); public only for callers that edited mutable_nodes().
+    void rebuild_flat();
 
     [[nodiscard]] int depth() const noexcept;
     [[nodiscard]] std::size_t num_leaves() const noexcept;
@@ -94,6 +109,7 @@ private:
 
     Config config_{};
     std::vector<TreeNode> nodes_;
+    FlatEnsemble flat_;  ///< SoA mirror of nodes_ for blocked inference
     std::size_t num_features_ = 0;
     Task task_ = Task::regression;
     std::vector<double> importance_raw_;

@@ -102,10 +102,12 @@ public:
         : inner_(std::move(inner)), injector_(std::move(injector)) {}
 
     [[nodiscard]] double predict(std::span<const double> x) const override;
-    [[nodiscard]] std::vector<double> predict_batch(
-        const xnfv::ml::Matrix& x) const override {
-        return inner_->predict_batch(x);
-    }
+    /// Batched probes stay one fault poll per model evaluation: the blocked
+    /// explainer path must present the same (seed, point, k) schedule as the
+    /// scalar path, so each row is polled and evaluated individually.  The
+    /// throughput cost only exists under an active injector (chaos tests).
+    void predict_batch(const xnfv::ml::Matrix& x, std::span<double> out) const override;
+    using xnfv::ml::Model::predict_batch;
     [[nodiscard]] std::size_t num_features() const override {
         return inner_->num_features();
     }

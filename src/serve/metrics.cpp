@@ -115,6 +115,14 @@ std::string ServiceStats::to_string() const {
         errors += item;
     }
     if (!errors.empty()) out += "  errors    " + errors + "\n";
+    if (model_evals != 0) {
+        std::snprintf(buf, sizeof(buf),
+                      "  probes      model-evals %llu  rows/explanation p50 %.1f  "
+                      "mean %.1f  max %llu\n",
+                      static_cast<unsigned long long>(model_evals), probe_rows_p50,
+                      probe_rows_mean, static_cast<unsigned long long>(probe_rows_max));
+        out += buf;
+    }
     if (worker_respawns != 0 || worker_stalls != 0 || faults_injected != 0) {
         std::snprintf(buf, sizeof(buf),
                       "  faults      injected %llu  worker-respawns %llu  "

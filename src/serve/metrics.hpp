@@ -102,10 +102,12 @@ struct ServiceMetrics {
     Counter snapshot_writes;     ///< cache snapshots persisted
     Counter snapshot_records_loaded;
     Counter snapshot_records_skipped;  ///< corrupt/truncated records dropped
+    Counter model_evals;         ///< model rows evaluated across all explainers
     Gauge queue_depth;
     Histogram batch_size;        ///< requests per flushed batch
     Histogram service_time_us;   ///< enqueue -> response, per request
     Histogram compute_time_us;   ///< model/explainer time, per cache miss
+    Histogram probe_rows;        ///< model rows evaluated, per computed explanation
 
     void count_error(ServeError error) noexcept {
         const auto i = static_cast<std::size_t>(error);
@@ -141,6 +143,13 @@ struct ServiceStats {
     double service_us_p99 = 0.0;
     double service_us_mean = 0.0;
     double compute_us_mean = 0.0;
+    /// Total model rows evaluated by explainers (probe volume), and its
+    /// per-computed-explanation distribution — the cost side of the
+    /// batched-inference path.
+    std::uint64_t model_evals = 0;
+    double probe_rows_p50 = 0.0;
+    double probe_rows_mean = 0.0;
+    std::uint64_t probe_rows_max = 0;
 
     /// Hit fraction in [0, 1]; 0 when no lookups happened yet.
     [[nodiscard]] double cache_hit_rate() const noexcept;

@@ -63,6 +63,37 @@ namespace {
     return std::clamp(scale, 0.001, 1.0);
 }
 
+/// Counts model evaluations (probe rows) flowing out of an explainer so the
+/// service can report per-explanation probe volume.  Batches are forwarded
+/// to the inner model wholesale, so the flattened batch kernels stay
+/// engaged; the count is rows, making scalar and batched probes comparable.
+class EvalCountingModel final : public ml::Model {
+public:
+    explicit EvalCountingModel(const ml::Model& inner) : inner_(inner) {}
+
+    [[nodiscard]] double predict(std::span<const double> x) const override {
+        evals_.fetch_add(1, std::memory_order_relaxed);
+        return inner_.predict(x);
+    }
+    void predict_batch(const ml::Matrix& x, std::span<double> out) const override {
+        evals_.fetch_add(x.rows(), std::memory_order_relaxed);
+        inner_.predict_batch(x, out);
+    }
+    using ml::Model::predict_batch;
+    [[nodiscard]] std::size_t num_features() const override {
+        return inner_.num_features();
+    }
+    [[nodiscard]] std::string name() const override { return inner_.name(); }
+
+    [[nodiscard]] std::uint64_t evals() const noexcept {
+        return evals_.load(std::memory_order_relaxed);
+    }
+
+private:
+    const ml::Model& inner_;
+    mutable std::atomic<std::uint64_t> evals_{0};
+};
+
 /// base * scale, rounded, but never below `floor` (a degraded sampling
 /// explainer must still be a well-posed estimator).
 [[nodiscard]] std::size_t scaled_budget(std::size_t base, double scale,
@@ -331,7 +362,8 @@ CacheKey ExplanationService::key_for(const ExplainRequest& request) const {
 
 ExplainResponse ExplanationService::run_request(const ExplainRequest& request,
                                                DegradeLevel level,
-                                               Clock::time_point deadline) const {
+                                               Clock::time_point deadline,
+                                               std::uint64_t& probe_rows) const {
     ExplainResponse r;
     r.id = request.id;
     std::string method = request.method.empty() ? config_.method : request.method;
@@ -348,10 +380,17 @@ ExplainResponse ExplanationService::run_request(const ExplainRequest& request,
         token.set_deadline(deadline);
         limits.cancel = &token;
     }
+    // TreeShap downcasts the model to walk its trees, so it must see the
+    // real serving model; every other method probes through the counting
+    // proxy (which forwards batches wholesale — results are unaffected).
+    const EvalCountingModel counting(*serving_model_);
+    const ml::Model& probed =
+        method == "tree_shap" ? *serving_model_
+                              : static_cast<const ml::Model&>(counting);
     try {
         const auto explainer =
             make_explainer(method, background_, seed, config_.threads, limits);
-        r.explanation = explainer->explain(*serving_model_, request.features);
+        r.explanation = explainer->explain(probed, request.features);
         r.ok = true;
         r.degraded = level != DegradeLevel::full;
         r.budget_used = effective_budget(method, scale, background_);
@@ -368,6 +407,7 @@ ExplainResponse ExplanationService::run_request(const ExplainRequest& request,
         r.error_code = ServeError::internal_error;
         r.error = e.what();
     }
+    probe_rows = counting.evals();
     return r;
 }
 
@@ -434,10 +474,12 @@ void ExplanationService::execute_batch(std::vector<Job> batch) {
     // keyed by its own seed, so results do not depend on batch composition,
     // order, or thread count.
     std::vector<std::uint64_t> compute_us(to_compute.size(), 0);
+    std::vector<std::uint64_t> probe_rows(to_compute.size(), 0);
     xnfv::parallel_for(to_compute.size(), config_.threads, [&](std::size_t k) {
         const std::size_t i = to_compute[k];
         const auto start = Clock::now();
-        responses[i] = run_request(batch[i].request, levels[i], batch[i].deadline);
+        responses[i] =
+            run_request(batch[i].request, levels[i], batch[i].deadline, probe_rows[k]);
         compute_us[k] = elapsed_us(start, Clock::now());
     });
 
@@ -454,6 +496,8 @@ void ExplanationService::execute_batch(std::vector<Job> batch) {
     for (std::size_t k = 0; k < to_compute.size(); ++k) {
         const std::size_t i = to_compute[k];
         metrics_.compute_time_us.record(compute_us[k]);
+        metrics_.model_evals.inc(probe_rows[k]);
+        if (responses[i].ok) metrics_.probe_rows.record(probe_rows[k]);
         if (responses[i].ok && levels[i] == DegradeLevel::full)
             cache_.insert(keys[i], responses[i].explanation);
     }
@@ -542,6 +586,10 @@ ServiceStats ExplanationService::stats() const {
     s.service_us_p99 = metrics_.service_time_us.quantile(0.99);
     s.service_us_mean = metrics_.service_time_us.mean();
     s.compute_us_mean = metrics_.compute_time_us.mean();
+    s.model_evals = metrics_.model_evals.value();
+    s.probe_rows_p50 = metrics_.probe_rows.quantile(0.50);
+    s.probe_rows_mean = metrics_.probe_rows.mean();
+    s.probe_rows_max = metrics_.probe_rows.max();
     return s;
 }
 

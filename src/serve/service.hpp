@@ -181,10 +181,13 @@ private:
     void drain_inline();
     /// Explains one request at the given degradation rung (fresh explainer,
     /// one explain() call).  Any exception becomes an error response; the
-    /// deadline, if armed, aborts compute via a CancelToken.
+    /// deadline, if armed, aborts compute via a CancelToken.  `probe_rows`
+    /// receives the number of model rows the explainer evaluated (0 for
+    /// tree_shap, which walks the trees directly).
     [[nodiscard]] ExplainResponse run_request(
         const ExplainRequest& request, DegradeLevel level,
-        std::chrono::steady_clock::time_point deadline) const;
+        std::chrono::steady_clock::time_point deadline,
+        std::uint64_t& probe_rows) const;
     [[nodiscard]] CacheKey key_for(const ExplainRequest& request) const;
     /// Exports the cache to config_.snapshot_path (atomic write).
     void save_snapshot();

@@ -1,0 +1,55 @@
+// Shared fixture for the blocked-path golden tests (test_predict_batch.cpp).
+//
+// The hex-float golden values embedded in those tests were captured from the
+// pre-flattening scalar implementation (per-row Model::predict inside every
+// explainer loop).  Everything here must stay byte-for-byte stable: the
+// dataset draws, the model configs and the seeds together define the models
+// whose attributions the blocked kernels are pinned to.
+#pragma once
+
+#include <vector>
+
+#include "core/explanation.hpp"
+#include "mlcore/dataset.hpp"
+#include "mlcore/forest.hpp"
+#include "mlcore/gbt.hpp"
+#include "mlcore/rng.hpp"
+
+namespace xnfv::golden {
+
+inline xnfv::ml::Dataset make_dataset() {
+    xnfv::ml::Rng rng(1234);
+    xnfv::ml::Dataset d;
+    d.task = xnfv::ml::Task::regression;
+    std::vector<double> f(6);
+    for (int i = 0; i < 160; ++i) {
+        for (auto& v : f) v = rng.uniform(-2.0, 2.0);
+        const double label = 2.0 * f[0] - 1.5 * f[1] + f[2] * f[3] +
+                             0.5 * f[4] * f[4] + 0.1 * rng.normal();
+        d.add(f, label);
+    }
+    return d;
+}
+
+inline xnfv::ml::RandomForest make_forest(const xnfv::ml::Dataset& d) {
+    xnfv::ml::Rng rng(99);
+    xnfv::ml::RandomForest forest(xnfv::ml::RandomForest::Config{
+        .num_trees = 12, .tree = {.max_depth = 6, .min_samples_leaf = 3,
+                                  .min_samples_split = 6}});
+    forest.fit(d, rng);
+    return forest;
+}
+
+inline xnfv::ml::GradientBoostedTrees make_gbt(const xnfv::ml::Dataset& d) {
+    xnfv::ml::Rng rng(77);
+    xnfv::ml::GradientBoostedTrees gbt(
+        xnfv::ml::GradientBoostedTrees::Config{.num_rounds = 25});
+    gbt.fit(d, rng);
+    return gbt;
+}
+
+inline xnfv::xai::BackgroundData make_background(const xnfv::ml::Dataset& d) {
+    return xnfv::xai::BackgroundData(d.x, 32);
+}
+
+}  // namespace xnfv::golden

@@ -159,6 +159,38 @@ TEST(ParallelDeterminism, PdpGridIdenticalAcrossThreadCounts) {
     }
 }
 
+TEST(ParallelDeterminism, BlockedProbePathMatchesScalarModelProxy) {
+    // The blocked explainers send probe rows through predict_batch.  A
+    // LambdaModel proxy forwarding to the forest's scalar predict() strips
+    // the flattened kernels away, so any divergence between the blocked and
+    // scalar inference paths would show up as differing attributions here.
+    const auto& s = scenario();
+    const ml::LambdaModel scalar_proxy(
+        s.forest.num_features(),
+        [&](std::span<const double> x) { return s.forest.predict(x); },
+        s.forest.name());
+    const auto x = s.data.x.row(7);
+    {
+        xai::KernelShap blocked(s.background, ml::Rng(21),
+                                xai::KernelShap::Config{.max_coalitions = 96});
+        xai::KernelShap scalar(s.background, ml::Rng(21),
+                               xai::KernelShap::Config{.max_coalitions = 96});
+        expect_identical(blocked.explain(s.forest, x), scalar.explain(scalar_proxy, x));
+    }
+    {
+        xai::SamplingShapley blocked(s.background, ml::Rng(22),
+                                     xai::SamplingShapley::Config{.num_permutations = 24});
+        xai::SamplingShapley scalar(s.background, ml::Rng(22),
+                                    xai::SamplingShapley::Config{.num_permutations = 24});
+        expect_identical(blocked.explain(s.forest, x), scalar.explain(scalar_proxy, x));
+    }
+    {
+        xai::Occlusion blocked(s.background, xai::Occlusion::Config{});
+        xai::Occlusion scalar(s.background, xai::Occlusion::Config{});
+        expect_identical(blocked.explain(s.forest, x), scalar.explain(scalar_proxy, x));
+    }
+}
+
 TEST(ParallelDeterminism, PredictBatchMatchesPerRowPredict) {
     const auto& s = scenario();
     xnfv::set_default_threads(8);

@@ -1,0 +1,331 @@
+// Bitwise contract of the flattened batch kernels (mlcore/flat_tree.hpp and
+// the per-family predict_batch overrides).
+//
+// Every Model::predict_batch override must produce values bitwise identical
+// to a per-row predict() loop: the blocked explainer rewrites (core/probe.hpp)
+// rely on this to keep attributions independent of how probe rows are
+// batched.  The golden tests at the bottom pin whole explanations to
+// hex-float values captured from the pre-flattening scalar implementation —
+// if a kernel drifts by even one ulp, they fail.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "core/kernel_shap.hpp"
+#include "core/lime.hpp"
+#include "core/occlusion.hpp"
+#include "core/pdp.hpp"
+#include "core/sampling_shapley.hpp"
+#include "golden_scenario.hpp"
+#include "mlcore/forest.hpp"
+#include "mlcore/gbt.hpp"
+#include "mlcore/linear.hpp"
+#include "mlcore/mlp.hpp"
+#include "mlcore/model.hpp"
+#include "mlcore/rng.hpp"
+#include "mlcore/serialize.hpp"
+#include "mlcore/tree.hpp"
+
+namespace ml = xnfv::ml;
+namespace xai = xnfv::xai;
+
+namespace {
+
+ml::Matrix random_matrix(std::size_t rows, std::size_t cols, ml::Rng& rng) {
+    ml::Matrix m(rows, cols);
+    for (std::size_t r = 0; r < rows; ++r)
+        for (std::size_t c = 0; c < cols; ++c) m(r, c) = rng.uniform(-3.0, 3.0);
+    return m;
+}
+
+/// Both predict_batch overloads against the per-row scalar loop, bitwise.
+void expect_batch_bitwise(const ml::Model& model, const ml::Matrix& x) {
+    std::vector<double> out(x.rows(), -1.0);
+    model.predict_batch(x, out);
+    const auto vec = model.predict_batch(x);
+    ASSERT_EQ(vec.size(), x.rows());
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+        EXPECT_EQ(out[r], model.predict(x.row(r))) << "row " << r;
+        EXPECT_EQ(vec[r], out[r]) << "row " << r;
+    }
+}
+
+/// Fuzzes matrix shapes around the batching edges: empty, single row, the
+/// parallel cutoff, and sizes straddling the kRowBlock=128 tree block.
+void check_model_shapes(const ml::Model& model, std::size_t d) {
+    ml::Rng rng(4242);
+    for (const std::size_t rows : {std::size_t{0}, std::size_t{1}, std::size_t{2},
+                                   std::size_t{7}, std::size_t{63}, std::size_t{128},
+                                   std::size_t{129}, std::size_t{300}}) {
+        SCOPED_TRACE("rows=" + std::to_string(rows));
+        expect_batch_bitwise(model, random_matrix(rows, d, rng));
+    }
+}
+
+ml::Dataset make_classification() {
+    ml::Rng rng(555);
+    ml::Dataset d;
+    d.task = ml::Task::binary_classification;
+    std::vector<double> f(5);
+    for (int i = 0; i < 200; ++i) {
+        for (auto& v : f) v = rng.uniform(-2.0, 2.0);
+        const double score = f[0] - 0.5 * f[1] + 0.3 * f[2] * f[3];
+        d.add(f, score > 0.0 ? 1.0 : 0.0);
+    }
+    return d;
+}
+
+}  // namespace
+
+TEST(PredictBatch, DecisionTreeMatchesScalarBitwise) {
+    const auto data = xnfv::golden::make_dataset();
+    ml::DecisionTree tree(ml::DecisionTree::Config{.max_depth = 7});
+    tree.fit(data);
+    check_model_shapes(tree, data.num_features());
+}
+
+TEST(PredictBatch, RandomForestMatchesScalarBitwise) {
+    const auto data = xnfv::golden::make_dataset();
+    const auto forest = xnfv::golden::make_forest(data);
+    check_model_shapes(forest, data.num_features());
+}
+
+TEST(PredictBatch, GbtRegressionMatchesScalarBitwise) {
+    const auto data = xnfv::golden::make_dataset();
+    const auto gbt = xnfv::golden::make_gbt(data);
+    check_model_shapes(gbt, data.num_features());
+}
+
+TEST(PredictBatch, GbtClassificationMatchesScalarBitwise) {
+    const auto data = make_classification();
+    ml::Rng rng(31);
+    ml::GradientBoostedTrees gbt(ml::GradientBoostedTrees::Config{.num_rounds = 15});
+    gbt.fit(data, rng);
+    check_model_shapes(gbt, data.num_features());
+}
+
+TEST(PredictBatch, LinearModelsMatchScalarBitwise) {
+    const auto reg_data = xnfv::golden::make_dataset();
+    ml::LinearRegression lin;
+    lin.fit(reg_data);
+    check_model_shapes(lin, reg_data.num_features());
+
+    const auto cls_data = make_classification();
+    ml::LogisticRegression logit;
+    logit.fit(cls_data);
+    check_model_shapes(logit, cls_data.num_features());
+}
+
+TEST(PredictBatch, MlpMatchesScalarBitwise) {
+    const auto data = xnfv::golden::make_dataset();
+    ml::Rng rng(17);
+    ml::Mlp mlp(ml::Mlp::Config{.hidden_layers = {16, 8}, .epochs = 20});
+    mlp.fit(data, rng);
+    check_model_shapes(mlp, data.num_features());
+}
+
+TEST(PredictBatch, LambdaModelUsesDefaultLoop) {
+    // No override: exercises Model::predict_batch's row-parallel default.
+    const ml::LambdaModel model(4, [](std::span<const double> x) {
+        return x[0] * x[1] - x[2] + 0.5 * x[3];
+    });
+    check_model_shapes(model, 4);
+}
+
+TEST(PredictBatch, OutputSizeMismatchThrows) {
+    const auto data = xnfv::golden::make_dataset();
+    const auto forest = xnfv::golden::make_forest(data);
+    ml::Rng rng(4242);
+    const auto x = random_matrix(5, data.num_features(), rng);
+    std::vector<double> wrong(4);
+    EXPECT_THROW(forest.predict_batch(x, wrong), std::invalid_argument);
+    const ml::LambdaModel lambda(data.num_features(),
+                                 [](std::span<const double>) { return 0.0; });
+    EXPECT_THROW(lambda.predict_batch(x, wrong), std::invalid_argument);
+}
+
+TEST(PredictBatch, ReloadedModelsRebuildFlatKernels) {
+    // load() must leave the deserialized ensemble with the same flattened
+    // fast path fit() builds; the reloaded kernels must match the originals
+    // bit for bit.
+    const auto data = xnfv::golden::make_dataset();
+    const auto forest = xnfv::golden::make_forest(data);
+    const auto gbt = xnfv::golden::make_gbt(data);
+    ml::Rng rng(909);
+    const auto x = random_matrix(200, data.num_features(), rng);
+    for (const ml::Model* model : {static_cast<const ml::Model*>(&forest),
+                                   static_cast<const ml::Model*>(&gbt)}) {
+        std::stringstream ss;
+        ml::save_model(*model, ss);
+        const auto reloaded = ml::load_model(ss);
+        expect_batch_bitwise(*reloaded, x);
+        const auto a = model->predict_batch(x);
+        const auto b = reloaded->predict_batch(x);
+        for (std::size_t r = 0; r < x.rows(); ++r) EXPECT_EQ(a[r], b[r]);
+    }
+}
+
+TEST(PredictBatch, MutatedTreeFallsBackToScalarLoop) {
+    // mutable_nodes() invalidates the flat cache; predict_batch must then
+    // agree with predict() via the default loop, and rebuild_flat() restores
+    // the fast path with identical values.
+    const auto data = xnfv::golden::make_dataset();
+    ml::DecisionTree tree(ml::DecisionTree::Config{.max_depth = 5});
+    tree.fit(data);
+    auto& nodes = tree.mutable_nodes();  // clears the flat kernel
+    for (auto& n : nodes)
+        if (n.is_leaf()) n.value += 0.25;
+    ml::Rng rng(2718);
+    const auto x = random_matrix(150, data.num_features(), rng);
+    expect_batch_bitwise(tree, x);
+    const auto before = tree.predict_batch(x);
+    tree.rebuild_flat();
+    expect_batch_bitwise(tree, x);
+    const auto after = tree.predict_batch(x);
+    for (std::size_t r = 0; r < x.rows(); ++r) EXPECT_EQ(before[r], after[r]);
+}
+
+// ---------------------------------------------------------------------------
+// Golden pins: whole explanations captured from the pre-flattening scalar
+// implementation (commit before the blocked rewrite), as hex-float literals.
+// The blocked path must reproduce them exactly at any thread count.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct GoldenExplanation {
+    double prediction;
+    double base_value;
+    std::vector<double> attributions;
+};
+
+void expect_matches_golden(const xai::Explanation& e, const GoldenExplanation& g) {
+    EXPECT_EQ(e.prediction, g.prediction);
+    EXPECT_EQ(e.base_value, g.base_value);
+    ASSERT_EQ(e.attributions.size(), g.attributions.size());
+    for (std::size_t j = 0; j < g.attributions.size(); ++j)
+        EXPECT_EQ(e.attributions[j], g.attributions[j]) << "feature " << j;
+}
+
+/// Runs `make(threads)->explain` at 1 and 4 threads against the pin.
+template <typename MakeExplainer>
+void check_golden(MakeExplainer make, const ml::Model& model,
+                  std::span<const double> x, const GoldenExplanation& g) {
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        expect_matches_golden(make(threads)->explain(model, x), g);
+    }
+}
+
+}  // namespace
+
+TEST(PredictBatchGolden, KernelShapPinnedToScalarImplementation) {
+    const auto data = xnfv::golden::make_dataset();
+    const auto forest = xnfv::golden::make_forest(data);
+    const auto gbt = xnfv::golden::make_gbt(data);
+    const auto bg = xnfv::golden::make_background(data);
+    const auto x = data.x.row(3);
+    const auto make = [&](std::size_t threads) {
+        return std::make_unique<xai::KernelShap>(
+            bg, ml::Rng(7),
+            xai::KernelShap::Config{.max_coalitions = 96, .threads = threads});
+    };
+    check_golden(make, forest, x,
+                 {0x1.5c8b1db671ae4p+0, 0x1.2ebe783c7ce06p+0,
+                  {-0x1.4dad73a53b03p-1, 0x1.3e8c3ae88c812p+0, -0x1.e82976bb8d0e3p-3,
+                   -0x1.0ad3dd9988014p-3, -0x1.69db7a870105dp-3, 0x1.0d91f1fc4485dp-3}});
+    check_golden(make, gbt, x,
+                 {0x1.7f17351b36a4ap+0, 0x1.52d3a0835b10fp+0,
+                  {-0x1.8dfb0d95230f8p-1, 0x1.b2e78aaebbe19p+0, -0x1.4c20be959273p-2,
+                   -0x1.089483790fef9p-4, -0x1.5b67ee4675ad5p-3, -0x1.853fcd3453a7p-3}});
+}
+
+TEST(PredictBatchGolden, SamplingShapleyPinnedToScalarImplementation) {
+    const auto data = xnfv::golden::make_dataset();
+    const auto forest = xnfv::golden::make_forest(data);
+    const auto gbt = xnfv::golden::make_gbt(data);
+    const auto bg = xnfv::golden::make_background(data);
+    const auto x = data.x.row(3);
+    const auto make = [&](std::size_t threads) {
+        return std::make_unique<xai::SamplingShapley>(
+            bg, ml::Rng(8),
+            xai::SamplingShapley::Config{.num_permutations = 24, .threads = threads});
+    };
+    check_golden(make, forest, x,
+                 {0x1.5c8b1db671ae4p+0, 0x1.ca0eb6cc032e8p-1,
+                  {-0x1.c7864f5d111bdp-2, 0x1.13b9e7195db5cp+0, -0x1.4cc8f089f480ep-3,
+                   -0x1.c2ba0182d3761p-4, -0x1.a542a5df58838p-4, 0x1.ae22bcadbfc03p-3}});
+    check_golden(make, gbt, x,
+                 {0x1.7f17351b36a4ap+0, 0x1.98e21d06fb7c3p-1,
+                  {-0x1.4026fb7064b9cp-2, 0x1.97d83d6ba5abdp+0, -0x1.1170c6337411fp-2,
+                   -0x1.1d16211573453p-4, -0x1.2947b58cdbdp-4, -0x1.633248068d093p-3}});
+}
+
+TEST(PredictBatchGolden, LimePinnedToScalarImplementation) {
+    const auto data = xnfv::golden::make_dataset();
+    const auto forest = xnfv::golden::make_forest(data);
+    const auto gbt = xnfv::golden::make_gbt(data);
+    const auto bg = xnfv::golden::make_background(data);
+    const auto x = data.x.row(3);
+    const auto make = [&](std::size_t threads) {
+        return std::make_unique<xai::Lime>(
+            bg, ml::Rng(9), xai::Lime::Config{.num_samples = 150, .threads = threads});
+    };
+    check_golden(make, forest, x,
+                 {0x1.5c8b1db671ae4p+0, 0x1.cb5509a2d637ep+0,
+                  {-0x1.aa19ffb73febp-2, 0x1.19981e1cf6b53p-2, -0x1.01dfd18cad5ep-2,
+                   -0x1.c03ef560d7284p-2, 0x1.b1eec86b4074ap-4, -0x1.9ce9e0771697ap-5}});
+    check_golden(make, gbt, x,
+                 {0x1.7f17351b36a4ap+0, 0x1.84ada8dec08eep+0,
+                  {-0x1.4ff9190a2cbdcp-1, 0x1.3e23e14fff93ap-1, -0x1.5735c264531c3p-3,
+                   0x1.bc3304ac4784ep-5, 0x1.b1bcaa359a33cp-3, -0x1.3436bfa5ab868p-3}});
+}
+
+TEST(PredictBatchGolden, OcclusionPinnedToScalarImplementation) {
+    const auto data = xnfv::golden::make_dataset();
+    const auto forest = xnfv::golden::make_forest(data);
+    const auto gbt = xnfv::golden::make_gbt(data);
+    const auto bg = xnfv::golden::make_background(data);
+    const auto x = data.x.row(3);
+    const auto make = [&](std::size_t threads) {
+        return std::make_unique<xai::Occlusion>(bg,
+                                                xai::Occlusion::Config{.threads = threads});
+    };
+    check_golden(make, forest, x,
+                 {0x1.5c8b1db671ae4p+0, 0x1.2ebe783c7ce06p+0,
+                  {-0x1.b73f1ce45e9d4p-2, 0x1.4927a54cfdf53p+0, -0x1.0b2be33f208f4p-2,
+                   -0x1.fe46d2d566738p-3, -0x1.0ae51d6fc5bp-5, 0x1.56ca8f1885344p-2}});
+    check_golden(make, gbt, x,
+                 {0x1.7f17351b36a4ap+0, 0x1.52d3a0835b10fp+0,
+                  {-0x1.a56f220d44accp-1, 0x1.c822ce62cd6f9p+0, -0x1.a454d4fc355e8p-2,
+                   -0x1.8886455c07fp-4, -0x1.52b47b9137b58p-3, -0x1.22f30906f14c4p-2}});
+}
+
+TEST(PredictBatchGolden, PdpPinnedToScalarImplementation) {
+    const auto data = xnfv::golden::make_dataset();
+    const auto forest = xnfv::golden::make_forest(data);
+    const auto bg = xnfv::golden::make_background(data);
+    const std::vector<double> golden_mean{
+        -0x1.8202f779bb1bfp-1, -0x1.a90b197336802p-1, -0x1.6e2f2d07cb06p-2,
+        0x1.1455a3737ddc2p-1,  0x1.252ea9df4f331p+0, 0x1.3a12d6c98bb68p+1,
+        0x1.79da2eea4f38bp+1,  0x1.8e80c7774e16fp+1};
+    const std::vector<double> golden_grid{
+        -0x1.d97ec082bf6cep+0, -0x1.4fbcba3693552p+0, -0x1.8bf567d4ce7acp-1,
+        -0x1.e1c56cf1d92c8p-3, 0x1.362562b7c3c88p-2,  0x1.ae96bdf43a13cp-1,
+        0x1.610d65464921cp+0,  0x1.eacf6b9275396p+0};
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        xai::PdpOptions opt;
+        opt.grid_points = 8;
+        opt.threads = threads;
+        const auto p = xai::partial_dependence(forest, bg, 0, opt);
+        ASSERT_EQ(p.mean.size(), golden_mean.size());
+        for (std::size_t g = 0; g < golden_mean.size(); ++g) {
+            EXPECT_EQ(p.grid[g], golden_grid[g]) << "grid " << g;
+            EXPECT_EQ(p.mean[g], golden_mean[g]) << "mean " << g;
+        }
+    }
+}

@@ -300,6 +300,10 @@ std::string render_stats(const serve::ServiceStats& s) {
     w.field("service_us_p50", s.service_us_p50);
     w.field("service_us_p95", s.service_us_p95);
     w.field("service_us_p99", s.service_us_p99);
+    w.field("model_evals", s.model_evals);
+    w.field("probe_rows_p50", s.probe_rows_p50);
+    w.field("probe_rows_mean", s.probe_rows_mean);
+    w.field("probe_rows_max", s.probe_rows_max);
     w.field("worker_respawns", s.worker_respawns);
     w.field("worker_stalls", s.worker_stalls);
     w.field("faults_injected", s.faults_injected);
