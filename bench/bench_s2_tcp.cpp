@@ -1,0 +1,237 @@
+// S2 — TCP serving: throughput and tail latency of the epoll front-end
+// (src/net/) versus connection count and micro-batch size.
+//
+// Each cell starts a fresh ExplanationService + ExplanationServer on an
+// ephemeral loopback port, primes the cache with the hot row set, then
+// drives it with one blocking net::Client per connection, each pipelining a
+// window of requests so the wire stays full.  Requests revisit the hot rows,
+// so the sweep measures the cached-hit serving path — the steady state for
+// repetitive NFV telemetry — end to end through accept, frame decode, slot
+// pipeline, and write-back.
+//
+// Output: a fixed-format table (req/s, p50/p95/p99 round-trip) and a JSON
+// artifact (default BENCH_s2_tcp.json, overridable via argv[1]) for CI to
+// archive.  Sizes are overridable through XNFV_TCP_REQUESTS (per
+// connection) and XNFV_TCP_WINDOW for a quick smoke run.  Exit status
+// checks the acceptance floor: >= 5000 req/s cached-hit at 8 connections.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "serve/ndjson.hpp"
+#include "serve/service.hpp"
+
+namespace bench = xnfv::bench;
+namespace ml = xnfv::ml;
+namespace net = xnfv::net;
+namespace serve = xnfv::serve;
+namespace xai = xnfv::xai;
+
+namespace {
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+    const char* raw = std::getenv(name);
+    if (!raw || !*raw) return fallback;
+    const long value = std::atol(raw);
+    return value > 0 ? static_cast<std::size_t>(value) : fallback;
+}
+
+std::string request_line(std::uint64_t id, std::size_t row) {
+    serve::JsonWriter w;
+    w.field("op", "explain");
+    w.field("id", id);
+    w.field("row", static_cast<std::uint64_t>(row));
+    return w.finish();
+}
+
+double percentile(const std::vector<double>& sorted, double q) {
+    if (sorted.empty()) return 0.0;
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(sorted.size() - 1) + 0.5);
+    return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+struct CellResult {
+    double req_per_sec = 0.0;
+    double p50_us = 0.0;
+    double p95_us = 0.0;
+    double p99_us = 0.0;
+    double hit_rate = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    bench::print_header("S2", "TCP serving: throughput and tail latency over loopback");
+
+    const std::size_t per_conn = env_size("XNFV_TCP_REQUESTS", 2000);
+    const std::size_t window = env_size("XNFV_TCP_WINDOW", 32);
+    const std::size_t hot_rows = 16;
+    const std::string json_path = argc > 1 ? argv[1] : "BENCH_s2_tcp.json";
+
+    auto task = bench::make_sla_task(1000, 2020);
+    const auto forest =
+        std::make_shared<ml::RandomForest>(bench::train_forest(task.train, 7));
+    const xai::BackgroundData background(task.train.x, 128);
+
+    std::printf("\nmethod=tree_shap  requests/conn=%zu  window=%zu  (round-trip us)\n",
+                per_conn, window);
+    std::printf("%-6s %-6s %10s %9s %9s %9s %9s\n", "conns", "batch", "req/s",
+                "p50us", "p95us", "p99us", "hitrate");
+    bench::print_rule();
+
+    bench::JsonArtifact artifact("tcp_serving");
+    double best_at_8 = 0.0;
+
+    for (const std::size_t batch : {std::size_t{1}, std::size_t{16}}) {
+        for (const std::size_t conns :
+             {std::size_t{1}, std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+            serve::ServiceConfig cfg;
+            cfg.method = "tree_shap";
+            cfg.queue_depth = 1024;
+            cfg.max_batch = batch;
+            cfg.max_wait = std::chrono::microseconds(100);
+            cfg.cache_capacity = 8192;
+            serve::ExplanationService service(forest, background, cfg);
+
+            net::ServerConfig server_cfg;
+            server_cfg.max_connections = 64;
+            net::ExplanationServer server(service, server_cfg);
+            server.set_row_lookup(
+                [&task](std::size_t row, std::vector<double>& features) {
+                    if (row >= task.train.size()) return false;
+                    const auto x = task.train.x.row(row);
+                    features.assign(x.begin(), x.end());
+                    return true;
+                });
+            std::string error;
+            if (!server.start(&error)) {
+                std::fprintf(stderr, "listen failed: %s\n", error.c_str());
+                return 1;
+            }
+            std::thread loop([&server] { server.run(); });
+            const std::uint16_t port = server.port();
+
+            {
+                // Prime the cache so the sweep measures the cached-hit path.
+                net::Client primer;
+                if (!primer.connect("127.0.0.1", port, &error)) {
+                    std::fprintf(stderr, "connect failed: %s\n", error.c_str());
+                    return 1;
+                }
+                std::string line;
+                for (std::size_t row = 0; row < hot_rows; ++row) {
+                    if (!primer.send_line(request_line(row + 1, row)) ||
+                        !primer.recv_line(line, std::chrono::milliseconds(30000))) {
+                        std::fprintf(stderr, "prime round-trip failed\n");
+                        return 1;
+                    }
+                }
+            }
+
+            std::vector<std::vector<double>> latencies(conns);
+            bool io_failed = false;
+            bench::Stopwatch watch;
+            std::vector<std::thread> clients;
+            clients.reserve(conns);
+            for (std::size_t c = 0; c < conns; ++c) {
+                clients.emplace_back([&, c] {
+                    net::Client client;
+                    if (!client.connect("127.0.0.1", port)) {
+                        io_failed = true;
+                        return;
+                    }
+                    auto& lat = latencies[c];
+                    lat.reserve(per_conn);
+                    std::deque<std::chrono::steady_clock::time_point> sent_at;
+                    std::string line;
+                    std::size_t sent = 0;
+                    std::size_t received = 0;
+                    while (received < per_conn) {
+                        while (sent < per_conn && sent - received < window) {
+                            if (!client.send_line(request_line(
+                                    sent + 1, (c + sent) % hot_rows))) {
+                                io_failed = true;
+                                return;
+                            }
+                            sent_at.push_back(std::chrono::steady_clock::now());
+                            ++sent;
+                        }
+                        if (!client.recv_line(line,
+                                              std::chrono::milliseconds(30000))) {
+                            io_failed = true;
+                            return;
+                        }
+                        const auto now = std::chrono::steady_clock::now();
+                        lat.push_back(
+                            std::chrono::duration<double, std::micro>(
+                                now - sent_at.front())
+                                .count());
+                        sent_at.pop_front();
+                        ++received;
+                    }
+                });
+            }
+            for (auto& t : clients) t.join();
+            const double elapsed_ms = watch.ms();
+
+            const auto stats = server.stats();
+            server.request_drain();
+            loop.join();
+            service.stop();
+
+            if (io_failed) {
+                std::fprintf(stderr, "client I/O failed in %zu-conn cell\n", conns);
+                return 1;
+            }
+
+            std::vector<double> merged;
+            merged.reserve(conns * per_conn);
+            for (const auto& lat : latencies)
+                merged.insert(merged.end(), lat.begin(), lat.end());
+            std::sort(merged.begin(), merged.end());
+
+            CellResult cell;
+            const auto total = static_cast<double>(conns) *
+                               static_cast<double>(per_conn);
+            cell.req_per_sec = elapsed_ms > 0.0 ? 1000.0 * total / elapsed_ms : 0.0;
+            cell.p50_us = percentile(merged, 0.50);
+            cell.p95_us = percentile(merged, 0.95);
+            cell.p99_us = percentile(merged, 0.99);
+            cell.hit_rate = stats.cache_hit_rate();
+            if (conns == 8) best_at_8 = std::max(best_at_8, cell.req_per_sec);
+
+            std::printf("%-6zu %-6zu %10.0f %9.1f %9.1f %9.1f %9.3f\n", conns,
+                        batch, cell.req_per_sec, cell.p50_us, cell.p95_us,
+                        cell.p99_us, cell.hit_rate);
+            char obj[320];
+            std::snprintf(
+                obj, sizeof(obj),
+                "{\"connections\": %zu, \"max_batch\": %zu, \"requests\": %zu, "
+                "\"req_per_sec\": %.1f, \"p50_us\": %.1f, \"p95_us\": %.1f, "
+                "\"p99_us\": %.1f, \"cache_hit_rate\": %.4f}",
+                conns, batch, conns * per_conn, cell.req_per_sec, cell.p50_us,
+                cell.p95_us, cell.p99_us, cell.hit_rate);
+            artifact.add_object(obj);
+        }
+    }
+
+    if (artifact.write(json_path))
+        std::printf("\nwrote %s\n", json_path.c_str());
+    else
+        std::printf("\nFAILED to write %s\n", json_path.c_str());
+
+    std::printf("cached-hit throughput at 8 connections: %.0f req/s  [%s] "
+                "(target >= 5000)\n",
+                best_at_8, best_at_8 >= 5000.0 ? "PASS" : "FAIL");
+    return best_at_8 >= 5000.0 ? 0 : 1;
+}

@@ -1,0 +1,114 @@
+#include "net/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+
+namespace xnfv::net {
+
+Client::~Client() { close(); }
+
+void Client::close() noexcept {
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    buffer_.clear();
+}
+
+void Client::shutdown_write() noexcept {
+    if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+bool Client::connect(const std::string& host, std::uint16_t port,
+                     std::string* error) {
+    close();
+    sockaddr_storage addr{};
+    socklen_t addr_len = 0;
+    if (auto* v4 = reinterpret_cast<sockaddr_in*>(&addr);
+        ::inet_pton(AF_INET, host.c_str(), &v4->sin_addr) == 1) {
+        v4->sin_family = AF_INET;
+        v4->sin_port = htons(port);
+        addr_len = sizeof(sockaddr_in);
+    } else if (auto* v6 = reinterpret_cast<sockaddr_in6*>(&addr);
+               ::inet_pton(AF_INET6, host.c_str(), &v6->sin6_addr) == 1) {
+        v6->sin6_family = AF_INET6;
+        v6->sin6_port = htons(port);
+        addr_len = sizeof(sockaddr_in6);
+    } else {
+        if (error) *error = "not a numeric address: '" + host + "'";
+        return false;
+    }
+    fd_ = ::socket(addr.ss_family, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+        if (error) *error = std::string("socket: ") + std::strerror(errno);
+        return false;
+    }
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), addr_len) != 0) {
+        if (error) *error = std::string("connect: ") + std::strerror(errno);
+        close();
+        return false;
+    }
+    int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return true;
+}
+
+bool Client::send_line(const std::string& line) {
+    if (fd_ < 0) return false;
+    std::string out = line;
+    out.push_back('\n');
+    std::size_t off = 0;
+    while (off < out.size()) {
+        const auto n = ::send(fd_, out.data() + off, out.size() - off, MSG_NOSIGNAL);
+        if (n > 0) {
+            off += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (errno == EINTR) continue;
+        return false;
+    }
+    return true;
+}
+
+bool Client::recv_line(std::string& line, std::chrono::milliseconds timeout) {
+    if (fd_ < 0) return false;
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    for (;;) {
+        if (const auto nl = buffer_.find('\n'); nl != std::string::npos) {
+            line.assign(buffer_, 0, nl);
+            if (!line.empty() && line.back() == '\r') line.pop_back();
+            buffer_.erase(0, nl + 1);
+            return true;
+        }
+        if (timeout.count() > 0) {
+            const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                deadline - std::chrono::steady_clock::now());
+            if (left.count() <= 0) return false;
+            pollfd pfd{fd_, POLLIN, 0};
+            const int ready = ::poll(&pfd, 1, static_cast<int>(left.count()));
+            if (ready == 0) return false;
+            if (ready < 0) {
+                if (errno == EINTR) continue;
+                return false;
+            }
+        }
+        std::array<char, 16 * 1024> chunk;
+        const auto n = ::recv(fd_, chunk.data(), chunk.size(), 0);
+        if (n > 0) {
+            buffer_.append(chunk.data(), static_cast<std::size_t>(n));
+            continue;
+        }
+        if (n < 0 && errno == EINTR) continue;
+        return false;  // EOF or hard error with no complete line buffered
+    }
+}
+
+}  // namespace xnfv::net

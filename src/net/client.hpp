@@ -1,0 +1,65 @@
+// Blocking ND-JSON client for the explanation server.
+//
+// The counterpart of `xnfv_cli serve --listen`: connect, send one JSON
+// request per line, read one JSON response per line.  Blocking by design —
+// this is the convenience path for tests, the TCP benchmark, and the
+// `netprobe` CLI subcommand; a latency-critical embedder would speak the
+// (trivial) wire protocol over its own event loop instead.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace xnfv::net {
+
+class Client {
+public:
+    Client() = default;
+    ~Client();
+
+    Client(const Client&) = delete;
+    Client& operator=(const Client&) = delete;
+    Client(Client&& other) noexcept
+        : fd_(other.fd_), buffer_(std::move(other.buffer_)) {
+        other.fd_ = -1;
+    }
+    Client& operator=(Client&& other) noexcept {
+        if (this != &other) {
+            close();
+            fd_ = other.fd_;
+            buffer_ = std::move(other.buffer_);
+            other.fd_ = -1;
+        }
+        return *this;
+    }
+
+    /// Connects to a numeric `host:port`.  On failure returns false and, when
+    /// `error` is non-null, stores why.
+    [[nodiscard]] bool connect(const std::string& host, std::uint16_t port,
+                               std::string* error = nullptr);
+
+    /// Sends `line` plus a newline; blocks until fully written.
+    [[nodiscard]] bool send_line(const std::string& line);
+
+    /// Reads the next newline-terminated line into `line` (newline and any
+    /// trailing CR stripped).  Blocks up to `timeout` (0 = forever).
+    /// Returns false on timeout, EOF with no buffered line, or socket error.
+    [[nodiscard]] bool recv_line(std::string& line,
+                                 std::chrono::milliseconds timeout =
+                                     std::chrono::milliseconds{0});
+
+    /// Half-closes the write side (sends FIN); the server finishes whatever
+    /// is in flight and then drops the connection.
+    void shutdown_write() noexcept;
+
+    void close() noexcept;
+    [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+    [[nodiscard]] int fd() const noexcept { return fd_; }
+
+private:
+    int fd_ = -1;
+    std::string buffer_;  ///< bytes received past the last returned line
+};
+
+}  // namespace xnfv::net

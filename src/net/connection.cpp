@@ -1,0 +1,87 @@
+#include "net/connection.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+
+namespace xnfv::net {
+
+Connection::Connection(std::uint64_t id, int fd, std::size_t max_line_bytes)
+    : decoder(max_line_bytes),
+      last_activity(std::chrono::steady_clock::now()),
+      id_(id),
+      fd_(fd) {}
+
+Connection::~Connection() { close(); }
+
+void Connection::close() noexcept {
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+IoStatus Connection::read_some(std::vector<serve::Frame>& frames) {
+    std::array<char, 16 * 1024> chunk;
+    for (;;) {
+        const auto n = ::recv(fd_, chunk.data(), chunk.size(), 0);
+        if (n > 0) {
+            bytes_in += static_cast<std::uint64_t>(n);
+            last_activity = std::chrono::steady_clock::now();
+            decoder.feed(chunk.data(), static_cast<std::size_t>(n), frames);
+            if (static_cast<std::size_t>(n) < chunk.size()) return IoStatus::ok;
+            continue;
+        }
+        if (n == 0) return IoStatus::peer_closed;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return IoStatus::would_block;
+        if (errno == EINTR) continue;
+        return IoStatus::error;
+    }
+}
+
+void Connection::queue_output(const std::string& line) {
+    outbuf_.append(line);
+    outbuf_.push_back('\n');
+}
+
+IoStatus Connection::flush() {
+    while (out_off_ < outbuf_.size()) {
+        const auto n = ::send(fd_, outbuf_.data() + out_off_,
+                              outbuf_.size() - out_off_, MSG_NOSIGNAL);
+        if (n > 0) {
+            out_off_ += static_cast<std::size_t>(n);
+            bytes_out += static_cast<std::uint64_t>(n);
+            last_activity = std::chrono::steady_clock::now();
+            continue;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return IoStatus::would_block;
+        if (errno == EINTR) continue;
+        return errno == EPIPE || errno == ECONNRESET ? IoStatus::peer_closed
+                                                     : IoStatus::error;
+    }
+    outbuf_.clear();
+    out_off_ = 0;
+    return IoStatus::ok;
+}
+
+std::uint64_t Connection::push_slot(Slot::Kind kind) {
+    slots_.push_back(Slot{kind, false, {}});
+    return base_seq_ + slots_.size() - 1;
+}
+
+void Connection::fulfill(std::uint64_t seq, std::string line) {
+    if (seq < base_seq_) return;  // slot already popped (forced close path)
+    const auto index = seq - base_seq_;
+    if (index >= slots_.size()) return;
+    slots_[index].ready = true;
+    slots_[index].line = std::move(line);
+}
+
+void Connection::pop_front_slot() {
+    slots_.pop_front();
+    ++base_seq_;
+}
+
+}  // namespace xnfv::net

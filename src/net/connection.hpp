@@ -1,0 +1,113 @@
+// One accepted TCP connection of the explanation server.
+//
+// A Connection owns the fd, the incremental frame decoder, the outgoing byte
+// buffer, and — the part that makes pipelining safe — an *ordered slot
+// pipeline*: every decoded frame allocates one response slot in arrival
+// order, slots are fulfilled whenever their answer is ready (synchronously
+// for rejections, asynchronously for served explanations), and bytes leave
+// the connection strictly head-of-line.  That reproduces the stdin loop's
+// "responses are printed in request order" contract over a socket, including
+// its barrier semantics: a `stats` or `quit` frame is a barrier slot that
+// only resolves once everything before it has been answered and staged.
+//
+// All methods are event-loop-thread-only; completions from the service's
+// dispatcher thread are marshalled onto the loop by the server before they
+// touch a Connection.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "serve/ndjson.hpp"
+
+namespace xnfv::net {
+
+/// Outcome of a non-blocking read/write pass.
+enum class IoStatus : std::uint8_t {
+    ok,           ///< made progress; buffer state updated
+    would_block,  ///< kernel buffer empty/full; wait for the next event
+    peer_closed,  ///< orderly FIN from the peer
+    error,        ///< hard socket error; connection must be dropped
+};
+
+class Connection {
+public:
+    /// One pipeline entry.  `response` slots are fulfilled out of order and
+    /// drained in order; `stats` and `quit` are barriers resolved by the
+    /// server only when they reach the head of the line.
+    struct Slot {
+        enum class Kind : std::uint8_t { response, stats, quit };
+        Kind kind = Kind::response;
+        bool ready = false;
+        std::string line;  ///< rendered JSON, no trailing newline
+    };
+
+    Connection(std::uint64_t id, int fd, std::size_t max_line_bytes);
+    ~Connection();
+
+    Connection(const Connection&) = delete;
+    Connection& operator=(const Connection&) = delete;
+
+    [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
+    [[nodiscard]] int fd() const noexcept { return fd_; }
+
+    /// Reads until EAGAIN, feeding every chunk through the frame decoder.
+    /// Completed frames are appended to `frames`; byte counters and
+    /// last_activity are updated.
+    IoStatus read_some(std::vector<serve::Frame>& frames);
+
+    /// Appends one ready-to-send line (newline added here) to the output
+    /// buffer.  Does not write to the socket — the server flushes.
+    void queue_output(const std::string& line);
+
+    /// Writes buffered output until done or EAGAIN.
+    IoStatus flush();
+
+    [[nodiscard]] std::size_t output_bytes() const noexcept {
+        return outbuf_.size() - out_off_;
+    }
+    [[nodiscard]] bool output_empty() const noexcept {
+        return out_off_ == outbuf_.size();
+    }
+
+    /// Allocates the next pipeline slot; returns its sequence number.
+    std::uint64_t push_slot(Slot::Kind kind);
+    /// Marks slot `seq` ready with its rendered line.  Out-of-window seqs
+    /// (already popped — possible only after a forced close) are ignored.
+    void fulfill(std::uint64_t seq, std::string line);
+
+    [[nodiscard]] bool pipeline_empty() const noexcept { return slots_.empty(); }
+    /// Head of the pipeline, or nullptr when empty.
+    [[nodiscard]] Slot* front_slot() noexcept {
+        return slots_.empty() ? nullptr : &slots_.front();
+    }
+    void pop_front_slot();
+
+    void close() noexcept;
+    [[nodiscard]] bool closed() const noexcept { return fd_ < 0; }
+
+    // --- server-driven state -------------------------------------------
+    serve::LineDecoder decoder;
+    std::chrono::steady_clock::time_point last_activity{};
+    std::uint64_t bytes_in = 0;
+    std::uint64_t bytes_out = 0;
+    std::uint64_t requests = 0;        ///< frames answered on this connection
+    std::uint64_t next_request_id = 1; ///< default `id` counter (stdin parity)
+    bool saw_quit = false;             ///< frames after `quit` are ignored
+    bool close_after_flush = false;    ///< drop once the outbuf drains
+    bool peer_eof = false;             ///< peer half-closed; finish writes, then drop
+    std::uint32_t interest = 0;        ///< epoll mask currently registered
+
+private:
+    std::uint64_t id_;
+    int fd_;
+    std::deque<Slot> slots_;
+    std::uint64_t base_seq_ = 0;  ///< seq of slots_.front()
+    std::string outbuf_;
+    std::size_t out_off_ = 0;
+};
+
+}  // namespace xnfv::net

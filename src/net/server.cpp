@@ -1,0 +1,372 @@
+#include "net/server.hpp"
+
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <utility>
+
+namespace xnfv::net {
+
+namespace {
+
+/// Error responses reuse the exact rendering the stdin loop produces through
+/// render_response, so a TCP client sees the same bytes for the same fault.
+std::string render_error_line(std::uint64_t id, serve::ServeError code,
+                              const std::string& message) {
+    serve::ExplainResponse r;
+    r.id = id;
+    r.error_code = code;
+    r.error = message;
+    return serve::render_response(r);
+}
+
+}  // namespace
+
+ExplanationServer::ExplanationServer(serve::ExplanationService& service,
+                                     ServerConfig config)
+    : service_(service),
+      config_(std::move(config)),
+      channel_(std::make_shared<CompletionChannel>()) {
+    channel_->loop = &loop_;
+}
+
+ExplanationServer::~ExplanationServer() {
+    // Detach the completion channel: callbacks still in flight inside the
+    // service land in the (shared) channel but no longer touch the loop.
+    {
+        const std::lock_guard<std::mutex> lock(channel_->mutex);
+        channel_->loop = nullptr;
+    }
+    conns_.clear();
+    listener_.close();
+}
+
+bool ExplanationServer::start(std::string* error) {
+    if (!loop_.ok()) {
+        if (error) *error = "event loop initialization failed (epoll/eventfd)";
+        return false;
+    }
+    return listener_.listen(config_.host, config_.port, error);
+}
+
+void ExplanationServer::run() {
+    loop_.set_wake_handler([this] { on_wake(); });
+    loop_.set_tick(config_.tick, [this] { on_tick(); });
+    loop_.add(listener_.fd(), EPOLLIN, [this](std::uint32_t) { on_accept(); });
+    loop_.run();
+    // Whatever survives a stop (drain closes everything it waited for) is
+    // torn down here so run() leaves no sockets behind.
+    std::vector<std::uint64_t> ids;
+    ids.reserve(conns_.size());
+    for (const auto& [id, conn] : conns_) ids.push_back(id);
+    for (const auto id : ids) {
+        const auto it = conns_.find(id);
+        if (it != conns_.end()) close_conn(*it->second);
+    }
+    if (listener_.listening()) {
+        loop_.remove(listener_.fd());
+        listener_.close();
+    }
+}
+
+void ExplanationServer::request_drain() noexcept {
+    drain_requested_.store(true, std::memory_order_release);
+    loop_.notify();
+}
+
+void ExplanationServer::on_accept() {
+    for (;;) {
+        const int fd = listener_.accept();
+        if (fd < 0) return;
+        if (conns_.size() >= config_.max_connections) {
+            const auto line =
+                render_error_line(0, serve::ServeError::backpressure,
+                                  "connection limit reached") +
+                "\n";
+            [[maybe_unused]] const auto n =
+                ::send(fd, line.data(), line.size(), MSG_NOSIGNAL);
+            ::close(fd);
+            metrics_.rejected.inc();
+            continue;
+        }
+        if (config_.sndbuf > 0) {
+            ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &config_.sndbuf,
+                         sizeof(config_.sndbuf));
+        }
+        const auto id = next_conn_id_++;
+        auto conn = std::make_unique<Connection>(id, fd, config_.max_line_bytes);
+        conn->interest = EPOLLIN;
+        conns_.emplace(id, std::move(conn));
+        loop_.add(fd, EPOLLIN,
+                  [this, id](std::uint32_t events) { on_conn_event(id, events); });
+        metrics_.accepted.inc();
+        metrics_.active.set(conns_.size());
+    }
+}
+
+void ExplanationServer::on_conn_event(std::uint64_t conn_id, std::uint32_t events) {
+    const auto it = conns_.find(conn_id);
+    if (it == conns_.end()) return;
+    Connection& conn = *it->second;
+    if ((events & EPOLLERR) != 0) {
+        close_conn(conn);
+        return;
+    }
+    if ((events & EPOLLIN) != 0 && !conn.peer_eof) {
+        const auto before = conn.bytes_in;
+        frames_.clear();
+        const auto status = conn.read_some(frames_);
+        metrics_.bytes_in.inc(conn.bytes_in - before);
+        for (const auto& frame : frames_) handle_frame(conn, frame);
+        pump(conn);
+        if (status == IoStatus::error) {
+            close_conn(conn);
+            return;
+        }
+        if (status == IoStatus::peer_closed) conn.peer_eof = true;
+    } else if ((events & EPOLLHUP) != 0 && conn.output_empty() &&
+               conn.pipeline_empty()) {
+        close_conn(conn);
+        return;
+    }
+    flush_and_update(conn);  // may close; conn is dead afterwards
+}
+
+void ExplanationServer::on_wake() {
+    drain_completions();
+    if (drain_requested_.load(std::memory_order_acquire) && !draining_)
+        begin_drain();
+    check_drain_done();
+}
+
+void ExplanationServer::on_tick() {
+    drain_completions();
+    if (drain_requested_.load(std::memory_order_acquire) && !draining_)
+        begin_drain();
+    if (config_.idle_timeout.count() > 0 && !draining_) {
+        const auto now = std::chrono::steady_clock::now();
+        std::vector<std::uint64_t> idle;
+        for (const auto& [id, conn] : conns_) {
+            if (conn->pipeline_empty() && conn->output_empty() &&
+                now - conn->last_activity >= config_.idle_timeout)
+                idle.push_back(id);
+        }
+        for (const auto id : idle) {
+            const auto it = conns_.find(id);
+            if (it == conns_.end()) continue;
+            metrics_.closed_idle.inc();
+            close_conn(*it->second);
+        }
+    }
+    check_drain_done();
+}
+
+void ExplanationServer::handle_frame(Connection& conn, const serve::Frame& frame) {
+    if (conn.saw_quit) return;
+    const auto answer_error = [&conn](std::uint64_t id, serve::ServeError code,
+                                      const std::string& message) {
+        const auto seq = conn.push_slot(Connection::Slot::Kind::response);
+        conn.fulfill(seq, render_error_line(id, code, message));
+    };
+    if (frame.error != serve::ServeError::none) {
+        answer_error(0, frame.error, frame.message);
+        return;
+    }
+    serve::JsonValue req;
+    try {
+        req = serve::parse_json(frame.text);
+    } catch (const std::exception& e) {
+        answer_error(0, serve::ServeError::bad_request, e.what());
+        return;
+    }
+    const auto op = req.get_string("op", "explain");
+    if (op == "quit") {
+        // Session end for THIS connection: a barrier that, once every
+        // earlier answer has been staged, closes after the final flush.
+        conn.push_slot(Connection::Slot::Kind::quit);
+        conn.saw_quit = true;
+        return;
+    }
+    if (op == "stats") {
+        conn.push_slot(Connection::Slot::Kind::stats);
+        return;
+    }
+    if (op != "explain") {
+        answer_error(0, serve::ServeError::bad_request, "unknown op '" + op + "'");
+        return;
+    }
+
+    serve::ExplainRequest er;
+    er.id = static_cast<std::uint64_t>(
+        req.get_number("id", static_cast<double>(conn.next_request_id)));
+    ++conn.next_request_id;
+    er.method = req.get_string("method", "");
+    er.seed = static_cast<std::uint64_t>(req.get_number("seed", 0));
+    er.deadline_ms = static_cast<std::int64_t>(req.get_number("deadline_ms", -1));
+    if (req.has("features")) {
+        auto extracted =
+            serve::extract_features(req, service_.model().num_features());
+        if (extracted.error != serve::ServeError::none) {
+            answer_error(er.id, extracted.error, extracted.message);
+            return;
+        }
+        er.features = std::move(extracted.features);
+    } else if (req.has("row")) {
+        const auto row = static_cast<std::size_t>(req.get_number("row", 0));
+        if (!row_lookup_ || !row_lookup_(row, er.features)) {
+            answer_error(er.id, serve::ServeError::bad_request, "row out of range");
+            return;
+        }
+    } else {
+        answer_error(er.id, serve::ServeError::bad_request,
+                     "explain needs \"row\" or \"features\"");
+        return;
+    }
+
+    const std::uint64_t id = er.id;
+    const auto seq = conn.push_slot(Connection::Slot::Kind::response);
+    const auto rejected = service_.submit_async(
+        std::move(er),
+        // Dispatcher thread: render (pure) and marshal onto the loop.
+        [channel = channel_, conn_id = conn.id(), seq](serve::ExplainResponse r) {
+            auto line = serve::render_response(r);
+            const std::lock_guard<std::mutex> lock(channel->mutex);
+            channel->items.push_back({conn_id, seq, std::move(line)});
+            if (channel->loop != nullptr) channel->loop->notify();
+        });
+    if (rejected != serve::ServeError::none) {
+        conn.fulfill(seq, render_error_line(
+                              id, rejected,
+                              std::string("rejected: ") + to_string(rejected)));
+    }
+}
+
+void ExplanationServer::pump(Connection& conn) {
+    while (auto* slot = conn.front_slot()) {
+        switch (slot->kind) {
+            case Connection::Slot::Kind::response:
+                if (!slot->ready) return;
+                conn.queue_output(slot->line);
+                break;
+            case Connection::Slot::Kind::stats:
+                // Head of line: everything admitted before this frame has
+                // been answered, so the snapshot covers it — the TCP
+                // equivalent of the stdin loop's drain-before-stats.
+                conn.queue_output(serve::render_stats(stats()));
+                break;
+            case Connection::Slot::Kind::quit:
+                conn.pop_front_slot();
+                conn.close_after_flush = true;
+                return;
+        }
+        ++conn.requests;
+        metrics_.requests.inc();
+        conn.pop_front_slot();
+    }
+}
+
+void ExplanationServer::update_interest(Connection& conn) {
+    std::uint32_t mask = 0;
+    if (!draining_ && !conn.peer_eof && !conn.saw_quit) mask |= EPOLLIN;
+    if (!conn.output_empty()) mask |= EPOLLOUT;
+    if (mask != conn.interest) {
+        loop_.modify(conn.fd(), mask);
+        conn.interest = mask;
+    }
+}
+
+void ExplanationServer::flush_and_update(Connection& conn) {
+    auto before = conn.bytes_out;
+    auto status = conn.flush();
+    metrics_.bytes_out.inc(conn.bytes_out - before);
+    if (status == IoStatus::error || status == IoStatus::peer_closed) {
+        close_conn(conn);
+        return;
+    }
+    if (!conn.close_after_flush && conn.output_bytes() > config_.max_output_bytes) {
+        // The reader is too far behind to be healthy.  One structured error,
+        // one last flush attempt, then the connection is gone.
+        conn.queue_output(render_error_line(
+            0, serve::ServeError::backpressure,
+            "output buffer exceeded " + std::to_string(config_.max_output_bytes) +
+                " bytes"));
+        before = conn.bytes_out;
+        status = conn.flush();
+        metrics_.bytes_out.inc(conn.bytes_out - before);
+        metrics_.closed_backpressure.inc();
+        close_conn(conn);
+        return;
+    }
+    if (conn.output_empty() &&
+        (conn.close_after_flush || (conn.peer_eof && conn.pipeline_empty()))) {
+        close_conn(conn);
+        return;
+    }
+    update_interest(conn);
+}
+
+void ExplanationServer::close_conn(Connection& conn) {
+    metrics_.conn_requests.record(conn.requests);
+    loop_.remove(conn.fd());
+    conn.close();
+    conns_.erase(conn.id());  // destroys conn; the reference is dead here
+    metrics_.active.set(conns_.size());
+}
+
+void ExplanationServer::begin_drain() {
+    draining_ = true;
+    if (listener_.listening()) {
+        loop_.remove(listener_.fd());
+        listener_.close();
+    }
+    for (const auto& [id, conn] : conns_) update_interest(*conn);
+}
+
+void ExplanationServer::check_drain_done() {
+    if (!draining_) return;
+    for (const auto& [id, conn] : conns_)
+        if (!conn->pipeline_empty() || !conn->output_empty()) return;
+    loop_.stop();
+}
+
+void ExplanationServer::drain_completions() {
+    std::vector<Completion> batch;
+    {
+        const std::lock_guard<std::mutex> lock(channel_->mutex);
+        batch.swap(channel_->items);
+    }
+    for (auto& done : batch) {
+        const auto it = conns_.find(done.conn_id);
+        if (it == conns_.end()) continue;  // connection dropped mid-flight
+        it->second->fulfill(done.seq, std::move(done.line));
+    }
+    // Pump/flush once per touched connection (a batch often completes many
+    // slots of the same connection).
+    for (const auto& done : batch) {
+        const auto it = conns_.find(done.conn_id);
+        if (it == conns_.end()) continue;
+        pump(*it->second);
+        flush_and_update(*it->second);  // may close this connection
+    }
+}
+
+serve::ServiceStats ExplanationServer::stats() const {
+    auto s = service_.stats();
+    s.net_enabled = true;
+    s.connections_accepted = metrics_.accepted.value();
+    s.connections_active = metrics_.active.value();
+    s.connections_active_max = metrics_.active.max();
+    s.connections_rejected = metrics_.rejected.value();
+    s.connections_closed_idle = metrics_.closed_idle.value();
+    s.connections_closed_backpressure = metrics_.closed_backpressure.value();
+    s.net_bytes_in = metrics_.bytes_in.value();
+    s.net_bytes_out = metrics_.bytes_out.value();
+    s.net_requests = metrics_.requests.value();
+    s.conn_requests_p50 = metrics_.conn_requests.quantile(0.5);
+    s.conn_requests_mean = metrics_.conn_requests.mean();
+    s.conn_requests_max = metrics_.conn_requests.max();
+    return s;
+}
+
+}  // namespace xnfv::net

@@ -1,0 +1,172 @@
+// TCP front-end for the explanation service.
+//
+// ExplanationServer bridges accepted ND-JSON frames into the existing
+// queue -> micro-batcher -> cache pipeline (serve/service.hpp) and writes
+// responses back on write-ready events.  The wire format is exactly the
+// stdin loop's: serve::render_response / serve::render_stats produce the
+// bytes on both transports, and every request is still explained by a fresh
+// explainer seeded from the request's own seed — so a served-over-TCP
+// explanation is bitwise identical to the in-process (and one-shot CLI)
+// answer.  DESIGN.md section 12 describes the model in full.
+//
+// Threading: one event-loop thread owns all sockets and per-connection
+// state.  The service's dispatcher thread delivers completions through
+// submit_async callbacks, which render the response line (a pure function)
+// and hand (connection, slot, line) to the loop through a mutex-protected
+// channel plus an eventfd wake — the dispatcher never touches a socket.
+//
+// Overload and misbehavior policy:
+//   * connection limit     -> accept, answer one `backpressure` error, close;
+//   * slow/half-open reader-> when the per-connection output buffer exceeds
+//     its cap after a flush attempt, answer one `backpressure` error,
+//     attempt a final flush, force-close;
+//   * idle connections     -> closed after `idle_timeout` with no traffic
+//     and nothing in flight (0 disables);
+//   * graceful drain       -> request_drain() (async-signal-safe, wired to
+//     SIGTERM by the CLI) stops accepting and reading, flushes everything
+//     in flight, then returns from run().
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/connection.hpp"
+#include "net/event_loop.hpp"
+#include "net/socket.hpp"
+#include "serve/metrics.hpp"
+#include "serve/service.hpp"
+
+namespace xnfv::net {
+
+struct ServerConfig {
+    /// Numeric bind address; loopback by default (an explanation service is
+    /// an internal NOC component, not an internet-facing one).
+    std::string host = "127.0.0.1";
+    /// 0 picks an ephemeral port (readable via port() after start()).
+    std::uint16_t port = 0;
+    /// Accepted-connection ceiling; extra connections get one structured
+    /// `backpressure` error and are closed.
+    std::size_t max_connections = 256;
+    /// Per-line request cap enforced by the frame decoder.
+    std::size_t max_line_bytes = 1 << 20;
+    /// Per-connection output-buffer cap: a reader this far behind is slow or
+    /// half-open and is closed with a `backpressure` error.
+    std::size_t max_output_bytes = 8u << 20;
+    /// Close connections with no traffic and nothing in flight for this
+    /// long.  0 disables.
+    std::chrono::milliseconds idle_timeout{0};
+    /// Event-loop housekeeping period (idle scans, drain progress).
+    std::chrono::milliseconds tick{20};
+    /// When > 0, shrink each accepted socket's kernel send buffer
+    /// (SO_SNDBUF) — lets backpressure tests overflow the output cap
+    /// deterministically with small payloads.
+    int sndbuf = 0;
+};
+
+/// Connection-level metrics folded into ServiceStats (net_* fields).
+struct NetMetrics {
+    serve::Counter accepted;
+    serve::Counter rejected;             ///< over the connection limit
+    serve::Counter closed_idle;
+    serve::Counter closed_backpressure;  ///< output cap breaches
+    serve::Counter bytes_in;
+    serve::Counter bytes_out;
+    serve::Counter requests;             ///< frames answered over TCP
+    serve::Gauge active;
+    serve::Histogram conn_requests;      ///< requests per closed connection
+};
+
+class ExplanationServer {
+public:
+    /// Resolves `{"op":"explain","row":K}` requests to a feature vector;
+    /// returns false when the row does not exist.  Unset = all row requests
+    /// are answered "row out of range" (same wording as the stdin loop).
+    using RowLookup =
+        std::function<bool(std::size_t row, std::vector<double>& features)>;
+
+    /// The service must outlive the server and must not be stop()ped while
+    /// run() is serving (drain first).
+    ExplanationServer(serve::ExplanationService& service, ServerConfig config = {});
+    ~ExplanationServer();
+
+    ExplanationServer(const ExplanationServer&) = delete;
+    ExplanationServer& operator=(const ExplanationServer&) = delete;
+
+    void set_row_lookup(RowLookup lookup) { row_lookup_ = std::move(lookup); }
+
+    /// Binds and listens.  On failure returns false and stores why in
+    /// `error` (when non-null).
+    [[nodiscard]] bool start(std::string* error = nullptr);
+
+    /// Serves until drained; blocks the calling thread (tests and the CLI
+    /// run it on whichever thread suits them).  start() must have succeeded.
+    void run();
+
+    /// Begins a graceful drain: stop accepting and reading, flush every
+    /// in-flight response, then run() returns.  Async-signal-safe (an atomic
+    /// store and an eventfd write) — the CLI calls this from its SIGTERM
+    /// handler.  Idempotent.
+    void request_drain() noexcept;
+
+    [[nodiscard]] std::uint16_t port() const noexcept { return listener_.port(); }
+
+    /// Service stats with the net section populated (net_enabled = true).
+    [[nodiscard]] serve::ServiceStats stats() const;
+
+private:
+    /// One completed explanation travelling dispatcher -> loop thread.
+    struct Completion {
+        std::uint64_t conn_id = 0;
+        std::uint64_t seq = 0;
+        std::string line;
+    };
+    /// Shared with submit_async callbacks so a completion arriving after the
+    /// server object is gone lands in a detached (loop == nullptr) channel
+    /// instead of freed memory.
+    struct CompletionChannel {
+        std::mutex mutex;
+        std::vector<Completion> items;
+        EventLoop* loop = nullptr;  ///< null once the server detaches
+    };
+
+    void on_accept();
+    void on_conn_event(std::uint64_t conn_id, std::uint32_t events);
+    void on_wake();
+    void on_tick();
+    /// Parses one frame and either answers it synchronously (errors, quit)
+    /// or submits it and leaves a pending pipeline slot.
+    void handle_frame(Connection& conn, const serve::Frame& frame);
+    /// Moves every resolvable head-of-line slot into the output buffer.
+    void pump(Connection& conn);
+    /// Flushes, enforces the output cap, updates epoll interest, and closes
+    /// the connection when its end conditions hold.  The reference is dead
+    /// after a call that closes.
+    void flush_and_update(Connection& conn);
+    void update_interest(Connection& conn);
+    void close_conn(Connection& conn);
+    void begin_drain();
+    /// During a drain, stops the loop once nothing is left in flight.
+    void check_drain_done();
+    void drain_completions();
+
+    serve::ExplanationService& service_;
+    ServerConfig config_;
+    RowLookup row_lookup_;
+    EventLoop loop_;
+    TcpListener listener_;
+    std::unordered_map<std::uint64_t, std::unique_ptr<Connection>> conns_;
+    std::uint64_t next_conn_id_ = 1;
+    std::shared_ptr<CompletionChannel> channel_;
+    std::atomic<bool> drain_requested_{false};
+    bool draining_ = false;
+    mutable NetMetrics metrics_;
+    std::vector<serve::Frame> frames_;  ///< per-read scratch
+};
+
+}  // namespace xnfv::net

@@ -1,0 +1,96 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace xnfv::net {
+
+bool set_nonblocking(int fd) noexcept {
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0) return false;
+    return ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+void set_nodelay(int fd) noexcept {
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+TcpListener::~TcpListener() { close(); }
+
+bool TcpListener::listen(const std::string& host, std::uint16_t port,
+                         std::string* error) {
+    const auto fail = [this, error](const std::string& what) {
+        if (error) *error = what + ": " + std::strerror(errno);
+        close();
+        return false;
+    };
+    close();
+
+    // Try IPv4 first, then an IPv6 literal.
+    sockaddr_storage addr{};
+    socklen_t addr_len = 0;
+    if (auto* v4 = reinterpret_cast<sockaddr_in*>(&addr);
+        ::inet_pton(AF_INET, host.c_str(), &v4->sin_addr) == 1) {
+        v4->sin_family = AF_INET;
+        v4->sin_port = htons(port);
+        addr_len = sizeof(sockaddr_in);
+    } else if (auto* v6 = reinterpret_cast<sockaddr_in6*>(&addr);
+               ::inet_pton(AF_INET6, host.c_str(), &v6->sin6_addr) == 1) {
+        v6->sin6_family = AF_INET6;
+        v6->sin6_port = htons(port);
+        addr_len = sizeof(sockaddr_in6);
+    } else {
+        if (error) *error = "not a numeric address: '" + host + "'";
+        return false;
+    }
+
+    fd_ = ::socket(addr.ss_family, SOCK_STREAM, 0);
+    if (fd_ < 0) return fail("socket");
+    int one = 1;
+    ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), addr_len) != 0)
+        return fail("bind");
+    if (::listen(fd_, 128) != 0) return fail("listen");
+    if (!set_nonblocking(fd_)) return fail("fcntl");
+
+    // Recover the actual port for the port==0 (ephemeral) case.
+    sockaddr_storage bound{};
+    socklen_t bound_len = sizeof(bound);
+    if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len) == 0) {
+        port_ = bound.ss_family == AF_INET6
+                    ? ntohs(reinterpret_cast<sockaddr_in6*>(&bound)->sin6_port)
+                    : ntohs(reinterpret_cast<sockaddr_in*>(&bound)->sin_port);
+    } else {
+        port_ = port;
+    }
+    return true;
+}
+
+int TcpListener::accept() noexcept {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd < 0) return -1;
+    if (!set_nonblocking(fd)) {
+        ::close(fd);
+        return -1;
+    }
+    set_nodelay(fd);
+    return fd;
+}
+
+void TcpListener::close() noexcept {
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    port_ = 0;
+}
+
+}  // namespace xnfv::net

@@ -1,0 +1,53 @@
+// Thin POSIX TCP socket helpers for the explanation server's front door.
+//
+// Everything here is deliberately low-level and allocation-free: the
+// subsystem's policy (framing, backpressure, drain) lives in server.cpp; this
+// file only owns fds.  Addresses are numeric ("127.0.0.1", "0.0.0.0", or an
+// IPv6 literal) — a NOC front-end binds an address, it does not resolve
+// hostnames.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace xnfv::net {
+
+/// Sets O_NONBLOCK; returns false when fcntl fails.
+bool set_nonblocking(int fd) noexcept;
+
+/// Disables Nagle (TCP_NODELAY) — request/response framing over loopback is
+/// exactly the workload delayed ACK + Nagle interact badly with.
+void set_nodelay(int fd) noexcept;
+
+/// Non-blocking listening socket bound to a numeric local address.
+class TcpListener {
+public:
+    TcpListener() = default;
+    ~TcpListener();
+
+    TcpListener(const TcpListener&) = delete;
+    TcpListener& operator=(const TcpListener&) = delete;
+
+    /// Binds `host:port` (SO_REUSEADDR, backlog 128) and starts listening.
+    /// `port` 0 picks an ephemeral port, readable via port() afterwards.
+    /// On failure returns false and, when `error` is non-null, stores why.
+    [[nodiscard]] bool listen(const std::string& host, std::uint16_t port,
+                              std::string* error);
+
+    /// Accepts one pending connection; the returned fd is already
+    /// non-blocking with TCP_NODELAY set.  Returns -1 when no connection is
+    /// pending (or on a transient accept error) — errno tells them apart.
+    [[nodiscard]] int accept() noexcept;
+
+    void close() noexcept;
+
+    [[nodiscard]] int fd() const noexcept { return fd_; }
+    [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+    [[nodiscard]] bool listening() const noexcept { return fd_ >= 0; }
+
+private:
+    int fd_ = -1;
+    std::uint16_t port_ = 0;
+};
+
+}  // namespace xnfv::net

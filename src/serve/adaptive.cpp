@@ -1,0 +1,42 @@
+#include "serve/adaptive.hpp"
+
+#include <algorithm>
+
+namespace xnfv::serve {
+
+AdaptiveBatchPolicy::AdaptiveBatchPolicy(AdaptiveBatchConfig config)
+    : config_(config) {
+    if (config_.min_wait < std::chrono::microseconds{0})
+        config_.min_wait = std::chrono::microseconds{0};
+    if (config_.max_wait < config_.min_wait) config_.max_wait = config_.min_wait;
+    config_.shrink_start = std::clamp(config_.shrink_start, 0.01, 0.99);
+}
+
+double AdaptiveBatchPolicy::pressure(const Load& load) const noexcept {
+    double p = 0.0;
+    if (config_.slo_p99_us > 0.0) {
+        // Ramp from shrink_start * SLO (pressure 0) to the SLO (pressure 1).
+        const double start = config_.shrink_start * config_.slo_p99_us;
+        const double span = config_.slo_p99_us - start;
+        if (span > 0.0)
+            p = std::max(p, (load.service_p99_us - start) / span);
+    }
+    if (config_.queue_high != 0) {
+        p = std::max(p, static_cast<double>(load.queue_depth) /
+                            static_cast<double>(config_.queue_high));
+    }
+    return std::clamp(p, 0.0, 1.0);
+}
+
+std::chrono::microseconds AdaptiveBatchPolicy::effective_wait(
+    const Load& load) const noexcept {
+    if (!config_.enabled()) return config_.max_wait;
+    const double p = pressure(load);
+    const auto span =
+        static_cast<double>((config_.max_wait - config_.min_wait).count());
+    const auto wait = config_.min_wait.count() +
+                      static_cast<std::chrono::microseconds::rep>(span * (1.0 - p));
+    return std::chrono::microseconds{wait};
+}
+
+}  // namespace xnfv::serve

@@ -1,0 +1,77 @@
+// Adaptive micro-batching policy: shrink the flush timeout under pressure.
+//
+// The static max_wait trades a lone request's latency for the chance of
+// coalescing: at low load the wait costs little (the queue is empty anyway)
+// and at saturation flushes happen by size, so the timeout never fires.  The
+// painful regime is in between — enough traffic that the p99 creeps toward
+// the SLO, not enough that batches fill — where a fixed wait adds itself to
+// every request's tail latency.  This policy closes that gap: as the
+// observed service p99 approaches the configured SLO, or the queue-depth
+// gauge approaches its high-water threshold, the effective max_wait shrinks
+// linearly from the configured ceiling down to `min_wait`.
+//
+// Like DegradationPolicy next door, this is a *pure* object: it maps
+// observed load to a wait and never reads a clock, a queue, or a histogram
+// itself — the dispatcher (or a test with hand-built loads and injected
+// time points) feeds it.  Determinism note: the policy changes only *when*
+// a batch flushes, never what a request computes, so served bytes remain
+// bitwise identical under any wait schedule (DESIGN.md section 9).
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+
+namespace xnfv::serve {
+
+struct AdaptiveBatchConfig {
+    /// Ceiling: the configured micro-batch wait (what an unpressured service
+    /// uses).  Set by the service from ServiceConfig::max_wait.
+    std::chrono::microseconds max_wait{200};
+    /// Floor the wait shrinks to at full pressure (>= 0; 0 = flush
+    /// immediately when a request is pending).
+    std::chrono::microseconds min_wait{0};
+    /// Service-time p99 SLO in microseconds; the wait starts shrinking at
+    /// `shrink_start` of this and floors at the SLO itself.  0 disables the
+    /// latency term.
+    double slo_p99_us = 0.0;
+    /// Queue depth at which the wait floors (the depth term ramps from 0).
+    /// 0 disables the depth term.
+    std::size_t queue_high = 0;
+    /// Fraction of the SLO at which latency pressure begins, in (0, 1).
+    double shrink_start = 0.5;
+
+    [[nodiscard]] bool enabled() const noexcept {
+        return slo_p99_us > 0.0 || queue_high != 0;
+    }
+};
+
+/// Pure (load -> effective max_wait) map.
+class AdaptiveBatchPolicy {
+public:
+    AdaptiveBatchPolicy() = default;
+    explicit AdaptiveBatchPolicy(AdaptiveBatchConfig config);
+
+    struct Load {
+        std::size_t queue_depth = 0;  ///< current admission-queue depth
+        double service_p99_us = 0.0;  ///< current end-to-end p99
+    };
+
+    /// The wait the batcher should use right now: max_wait scaled down by
+    /// the strongest pressure signal, clamped to [min_wait, max_wait].
+    /// Monotone: more pressure never yields a longer wait.
+    [[nodiscard]] std::chrono::microseconds effective_wait(
+        const Load& load) const noexcept;
+
+    /// Pressure in [0, 1]: 0 = unloaded (full wait), 1 = floor the wait.
+    [[nodiscard]] double pressure(const Load& load) const noexcept;
+
+    [[nodiscard]] const AdaptiveBatchConfig& config() const noexcept {
+        return config_;
+    }
+    [[nodiscard]] bool enabled() const noexcept { return config_.enabled(); }
+
+private:
+    AdaptiveBatchConfig config_{};
+};
+
+}  // namespace xnfv::serve

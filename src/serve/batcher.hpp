@@ -60,6 +60,13 @@ public:
     /// timeout flush) and resets.
     [[nodiscard]] std::vector<Job> flush();
 
+    /// Live-tunes the flush timeout (the adaptive policy shrinks it under
+    /// load).  Applies to the pending batch too: due()/deadline() always use
+    /// the current value, so a shrink takes effect immediately.
+    void set_max_wait(std::chrono::microseconds wait) noexcept {
+        config_.max_wait = wait;
+    }
+
     [[nodiscard]] std::size_t pending() const noexcept { return pending_.size(); }
     [[nodiscard]] const BatcherConfig& config() const noexcept { return config_; }
 

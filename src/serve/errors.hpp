@@ -24,10 +24,11 @@ enum class ServeError : std::uint8_t {
     deadline_exceeded,   ///< request deadline passed before or during compute
     internal_error,      ///< explainer or model threw during computation
     fault_injected,      ///< failure produced by the chaos-testing injector
+    backpressure,        ///< slow/half-open consumer: output cap or conn limit
 };
 
 /// Number of enumerators (for per-reason counter arrays).
-inline constexpr std::size_t kNumServeErrors = 8;
+inline constexpr std::size_t kNumServeErrors = 9;
 
 [[nodiscard]] constexpr const char* to_string(ServeError error) noexcept {
     switch (error) {
@@ -39,6 +40,7 @@ inline constexpr std::size_t kNumServeErrors = 8;
         case ServeError::deadline_exceeded: return "deadline_exceeded";
         case ServeError::internal_error: return "internal_error";
         case ServeError::fault_injected: return "fault_injected";
+        case ServeError::backpressure: return "backpressure";
     }
     return "unknown";
 }

@@ -123,6 +123,34 @@ std::string ServiceStats::to_string() const {
                       probe_rows_mean, static_cast<unsigned long long>(probe_rows_max));
         out += buf;
     }
+    if (drift_checks != 0 || drift_flushes != 0 || cache_epoch != 0) {
+        std::snprintf(buf, sizeof(buf),
+                      "  drift       checks %llu  flushes %llu  cache-epoch %llu\n",
+                      static_cast<unsigned long long>(drift_checks),
+                      static_cast<unsigned long long>(drift_flushes),
+                      static_cast<unsigned long long>(cache_epoch));
+        out += buf;
+    }
+    if (net_enabled) {
+        std::snprintf(
+            buf, sizeof(buf),
+            "  net         conns accepted %llu  active %llu (max %llu)  "
+            "rejected %llu\n"
+            "              closed idle %llu  backpressure %llu\n"
+            "              bytes in %llu  out %llu  requests %llu  "
+            "reqs/conn p50 %.1f  max %llu\n",
+            static_cast<unsigned long long>(connections_accepted),
+            static_cast<unsigned long long>(connections_active),
+            static_cast<unsigned long long>(connections_active_max),
+            static_cast<unsigned long long>(connections_rejected),
+            static_cast<unsigned long long>(connections_closed_idle),
+            static_cast<unsigned long long>(connections_closed_backpressure),
+            static_cast<unsigned long long>(net_bytes_in),
+            static_cast<unsigned long long>(net_bytes_out),
+            static_cast<unsigned long long>(net_requests), conn_requests_p50,
+            static_cast<unsigned long long>(conn_requests_max));
+        out += buf;
+    }
     if (worker_respawns != 0 || worker_stalls != 0 || faults_injected != 0) {
         std::snprintf(buf, sizeof(buf),
                       "  faults      injected %llu  worker-respawns %llu  "

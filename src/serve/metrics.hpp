@@ -103,7 +103,10 @@ struct ServiceMetrics {
     Counter snapshot_records_loaded;
     Counter snapshot_records_skipped;  ///< corrupt/truncated records dropped
     Counter model_evals;         ///< model rows evaluated across all explainers
+    Counter drift_checks;        ///< attribution-drift window comparisons run
+    Counter drift_flushes;       ///< drift-triggered cache epoch bumps
     Gauge queue_depth;
+    Gauge adaptive_wait_us;      ///< effective micro-batch wait (adaptive policy)
     Histogram batch_size;        ///< requests per flushed batch
     Histogram service_time_us;   ///< enqueue -> response, per request
     Histogram compute_time_us;   ///< model/explainer time, per cache miss
@@ -150,6 +153,30 @@ struct ServiceStats {
     double probe_rows_p50 = 0.0;
     double probe_rows_mean = 0.0;
     std::uint64_t probe_rows_max = 0;
+    /// Drift-triggered invalidation: windows compared, epoch bumps, and the
+    /// current cache epoch (mixed into every cache key).
+    std::uint64_t drift_checks = 0;
+    std::uint64_t drift_flushes = 0;
+    std::uint64_t cache_epoch = 0;
+    /// Effective micro-batch max_wait chosen by the adaptive policy (equals
+    /// the configured wait when the policy is disabled or unpressured).
+    std::uint64_t adaptive_wait_us = 0;
+
+    /// TCP front-end section (src/net/); all-zero with `net_enabled` false
+    /// when the service runs in-process only.
+    bool net_enabled = false;
+    std::uint64_t connections_accepted = 0;
+    std::uint64_t connections_active = 0;
+    std::uint64_t connections_active_max = 0;
+    std::uint64_t connections_rejected = 0;
+    std::uint64_t connections_closed_idle = 0;
+    std::uint64_t connections_closed_backpressure = 0;
+    std::uint64_t net_bytes_in = 0;
+    std::uint64_t net_bytes_out = 0;
+    std::uint64_t net_requests = 0;  ///< frames answered over TCP
+    double conn_requests_p50 = 0.0;  ///< per-connection request count quantiles
+    double conn_requests_mean = 0.0;
+    std::uint64_t conn_requests_max = 0;
 
     /// Hit fraction in [0, 1]; 0 when no lookups happened yet.
     [[nodiscard]] double cache_hit_rate() const noexcept;

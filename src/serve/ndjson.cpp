@@ -1,5 +1,6 @@
 #include "serve/ndjson.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <cmath>
 #include <cstdio>
@@ -252,6 +253,140 @@ FeatureExtraction extract_features(const JsonValue& request, std::size_t expecte
         out.features.push_back(v.number);
     }
     return out;
+}
+
+LineDecoder::LineDecoder(std::size_t max_line)
+    : max_line_(std::max<std::size_t>(1, max_line)) {}
+
+void LineDecoder::complete_line(std::vector<Frame>& frames) {
+    // CRLF tolerance: the newline is never appended; strip one trailing CR.
+    if (!line_.empty() && line_.back() == '\r') line_.pop_back();
+    const bool skipped = skipping_;
+    const bool nul = has_nul_;
+    skipping_ = false;
+    has_nul_ = false;
+    if (skipped) {
+        line_.clear();
+        return;  // the oversize error frame was already emitted
+    }
+    if (nul) {
+        line_.clear();
+        frames.push_back(Frame{"", ServeError::bad_request,
+                               "embedded NUL byte in request line"});
+        return;
+    }
+    if (line_.find_first_not_of(" \t") == std::string::npos) {
+        line_.clear();  // blank line: skipped, matching the stdin loop
+        return;
+    }
+    Frame f;
+    f.text = std::move(line_);
+    line_.clear();
+    frames.push_back(std::move(f));
+}
+
+std::size_t LineDecoder::feed(const char* data, std::size_t n,
+                              std::vector<Frame>& frames) {
+    const std::size_t before = frames.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        const char c = data[i];
+        if (c == '\n') {
+            complete_line(frames);
+            continue;
+        }
+        if (skipping_) continue;  // discarding an oversized line's tail
+        if (c == '\0') has_nul_ = true;
+        line_.push_back(c);
+        if (line_.size() > max_line_) {
+            frames.push_back(
+                Frame{"", ServeError::bad_request,
+                      "request line exceeds " + std::to_string(max_line_) +
+                          " bytes"});
+            line_.clear();
+            has_nul_ = false;
+            skipping_ = true;
+        }
+    }
+    return frames.size() - before;
+}
+
+std::string render_response(const ExplainResponse& r) {
+    JsonWriter w;
+    w.field("id", r.id);
+    w.field("ok", r.ok);
+    if (r.ok) {
+        w.field("cache_hit", r.cache_hit);
+        w.field("degraded", r.degraded);
+        if (r.degraded) w.field("budget_used", r.budget_used);
+        w.field("method", r.explanation.method);
+        w.field("prediction", r.explanation.prediction);
+        w.field("base_value", r.explanation.base_value);
+        w.field_array("attributions", r.explanation.attributions);
+    } else {
+        w.field("error_code", to_string(r.error_code));
+        w.field("error", r.error);
+    }
+    return w.finish();
+}
+
+std::string render_stats(const ServiceStats& s) {
+    JsonWriter w;
+    w.field("ok", true);
+    w.field("op", "stats");
+    w.field("requests_accepted", s.requests_accepted);
+    w.field("requests_rejected", s.requests_rejected);
+    w.field("requests_completed", s.requests_completed);
+    w.field("requests_degraded", s.requests_degraded);
+    w.field("batches", s.batches);
+    w.field("batch_size_mean", s.batch_size_mean);
+    w.field("cache_hits", s.cache_hits);
+    w.field("cache_misses", s.cache_misses);
+    w.field("cache_hit_rate", s.cache_hit_rate());
+    w.field("cache_evictions", s.cache_evictions);
+    w.field("cache_epoch", s.cache_epoch);
+    w.field("drift_checks", s.drift_checks);
+    w.field("drift_flushes", s.drift_flushes);
+    w.field("adaptive_wait_us", s.adaptive_wait_us);
+    w.field("service_us_p50", s.service_us_p50);
+    w.field("service_us_p95", s.service_us_p95);
+    w.field("service_us_p99", s.service_us_p99);
+    w.field("model_evals", s.model_evals);
+    w.field("probe_rows_p50", s.probe_rows_p50);
+    w.field("probe_rows_mean", s.probe_rows_mean);
+    w.field("probe_rows_max", s.probe_rows_max);
+    w.field("worker_respawns", s.worker_respawns);
+    w.field("worker_stalls", s.worker_stalls);
+    w.field("faults_injected", s.faults_injected);
+    w.field("snapshot_writes", s.snapshot_writes);
+    w.field("snapshot_records_loaded", s.snapshot_records_loaded);
+    w.field("snapshot_records_skipped", s.snapshot_records_skipped);
+    if (s.net_enabled) {
+        w.field("connections_accepted", s.connections_accepted);
+        w.field("connections_active", s.connections_active);
+        w.field("connections_rejected", s.connections_rejected);
+        w.field("connections_closed_idle", s.connections_closed_idle);
+        w.field("connections_closed_backpressure", s.connections_closed_backpressure);
+        w.field("net_bytes_in", s.net_bytes_in);
+        w.field("net_bytes_out", s.net_bytes_out);
+        w.field("net_requests", s.net_requests);
+        w.field("conn_requests_p50", s.conn_requests_p50);
+        w.field("conn_requests_max", s.conn_requests_max);
+    }
+    {
+        // {"queue_full":2,...} — only reasons that occurred.
+        std::string by_reason = "{";
+        for (std::size_t i = 1; i < kNumServeErrors; ++i) {
+            if (s.errors_by_reason[i] == 0) continue;
+            if (by_reason.size() > 1) by_reason += ',';
+            by_reason += '"';
+            by_reason += to_string(static_cast<ServeError>(i));
+            by_reason += "\":" + std::to_string(s.errors_by_reason[i]);
+        }
+        by_reason += '}';
+        w.field_raw("errors_by_reason", by_reason);
+    }
+    w.field("report", s.to_string());
+    return w.finish();
 }
 
 std::string json_escape(const std::string& s) {

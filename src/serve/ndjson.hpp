@@ -16,6 +16,8 @@
 #include <vector>
 
 #include "serve/errors.hpp"
+#include "serve/metrics.hpp"
+#include "serve/request_queue.hpp"
 
 namespace xnfv::serve {
 
@@ -63,6 +65,62 @@ struct FeatureExtraction {
 /// `1e999` to Inf).  Never throws.
 [[nodiscard]] FeatureExtraction extract_features(const JsonValue& request,
                                                  std::size_t expected_dim);
+
+/// One decoded ND-JSON frame from the incremental wire path.  `error` is
+/// `none` for a well-formed line (whose bytes are in `text`, newline and any
+/// trailing CR stripped); otherwise it names what was wrong with the line
+/// (`bad_request`) and `message` carries the detail — the frame is then a
+/// poison pill the caller should answer with a structured error.
+struct Frame {
+    std::string text;
+    ServeError error = ServeError::none;
+    std::string message;
+};
+
+/// Incremental newline-delimited frame splitter for the non-blocking TCP
+/// path, where a read() may deliver half a line, three lines, or a line
+/// split anywhere — including mid-way through a multi-byte UTF-8 sequence
+/// (bytes are buffered verbatim until the newline, so splits can never
+/// corrupt a sequence).  Hardened per the serving wire contract:
+///   * CRLF tolerance: one trailing '\r' before the newline is stripped;
+///   * oversized lines: a line longer than `max_line` bytes yields exactly
+///     one bad_request frame and the rest of that line is discarded up to
+///     its newline (the connection survives, the request does not);
+///   * embedded NUL bytes: rejected as bad_request (a NUL inside JSON text
+///     is never valid and would truncate C-string handling downstream);
+///   * blank / whitespace-only lines are skipped, matching the stdin loop.
+/// Never throws; never allocates more than max_line + O(chunk) bytes.
+class LineDecoder {
+public:
+    explicit LineDecoder(std::size_t max_line = 1 << 20);
+
+    /// Consumes `n` bytes from the wire and appends every completed frame
+    /// to `frames`.  Returns the number of frames appended.
+    std::size_t feed(const char* data, std::size_t n, std::vector<Frame>& frames);
+
+    /// Bytes buffered waiting for a newline (a partial line at EOF is
+    /// dropped by design: a peer that closes mid-line never completed the
+    /// request).
+    [[nodiscard]] std::size_t buffered() const noexcept { return line_.size(); }
+    [[nodiscard]] std::size_t max_line() const noexcept { return max_line_; }
+
+private:
+    void complete_line(std::vector<Frame>& frames);
+
+    std::size_t max_line_;
+    std::string line_;
+    bool skipping_ = false;  ///< discarding the tail of an oversized line
+    bool has_nul_ = false;   ///< current line contains an embedded NUL
+};
+
+/// Renders one served response as a single flat JSON object (no newline).
+/// This is THE wire format: the stdin loop and the TCP front-end both call
+/// it, so a served explanation is byte-identical on either transport.
+[[nodiscard]] std::string render_response(const ExplainResponse& response);
+
+/// Renders a stats snapshot as the `{"op":"stats"}` response payload.  Net
+/// front-end fields are included only when `stats.net_enabled` is set.
+[[nodiscard]] std::string render_stats(const ServiceStats& stats);
 
 /// Escapes a string for embedding inside JSON quotes ("\n" -> "\\n", ...).
 [[nodiscard]] std::string json_escape(const std::string& s);

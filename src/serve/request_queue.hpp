@@ -13,6 +13,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <mutex>
 #include <optional>
@@ -66,6 +67,11 @@ struct ExplainResponse {
 struct Job {
     ExplainRequest request;
     std::promise<ExplainResponse> promise;
+    /// Optional push-style completion channel (the TCP front-end): when set,
+    /// the dispatcher invokes it with the response *instead of* fulfilling
+    /// `promise`.  Called exactly once, on the thread executing the batch,
+    /// in admission order; it must be fast and must not throw.
+    std::function<void(ExplainResponse)> on_complete;
     std::chrono::steady_clock::time_point enqueued_at;
     /// Absolute expiry derived from request.deadline_ms at admission;
     /// time_point::max() = no deadline.

@@ -173,9 +173,25 @@ ExplanationService::ExplanationService(std::shared_ptr<const ml::Model> model,
       queue_(config_.queue_depth),
       batcher_(BatcherConfig{config_.max_batch, config_.max_wait}),
       cache_(config_.cache_capacity, config_.cache_shards),
-      degrade_(config_.degradation) {
+      degrade_(config_.degradation),
+      adaptive_([this] {
+          // The policy's ceiling is always the configured wait; only the
+          // pressure terms come from the adaptive config.
+          AdaptiveBatchConfig a = config_.adaptive;
+          a.max_wait = config_.max_wait;
+          return AdaptiveBatchPolicy(a);
+      }()) {
     if (!known_method(config_.method))
         throw std::runtime_error("unknown method '" + config_.method + "'");
+    if (config_.drift_window > 0) {
+        const std::size_t d = model_->num_features();
+        drift_ref_abs_.assign(d, 0.0);
+        drift_ref_signed_.assign(d, 0.0);
+        drift_cur_abs_.assign(d, 0.0);
+        drift_cur_signed_.assign(d, 0.0);
+    }
+    metrics_.adaptive_wait_us.set(
+        static_cast<std::uint64_t>(config_.max_wait.count()));
     // Wrap the model in the predict_throw proxy only after fingerprinting,
     // so cache keys (and thus non-faulted results) are fault-invariant.
     if (config_.fault_injector &&
@@ -255,6 +271,40 @@ ExplanationService::Submission ExplanationService::submit(ExplainRequest request
     return out;
 }
 
+ServeError ExplanationService::submit_async(
+    ExplainRequest request, std::function<void(ExplainResponse)> on_complete) {
+    // Same validation as submit(); the callback rides in the Job so the
+    // batch executor completes it in place of the promise.
+    ServeError reject = ServeError::none;
+    if (request.features.size() != model_->num_features() ||
+        (!request.method.empty() && !known_method(request.method))) {
+        reject = ServeError::bad_request;
+    } else if (std::any_of(request.features.begin(), request.features.end(),
+                           [](double v) { return !std::isfinite(v); })) {
+        reject = ServeError::bad_features;
+    } else if (request.deadline_ms == 0) {
+        reject = ServeError::deadline_exceeded;
+    }
+    if (reject == ServeError::none) {
+        Job job;
+        job.request = std::move(request);
+        job.on_complete = std::move(on_complete);
+        job.enqueued_at = Clock::now();
+        if (job.request.deadline_ms > 0)
+            job.deadline =
+                job.enqueued_at + std::chrono::milliseconds(job.request.deadline_ms);
+        reject = queue_.try_push(std::move(job));
+    }
+    if (reject != ServeError::none) {
+        metrics_.requests_rejected.inc();
+        metrics_.count_error(reject);
+        return reject;
+    }
+    metrics_.requests_accepted.inc();
+    metrics_.queue_depth.set(queue_.size());
+    return ServeError::none;
+}
+
 ExplainResponse ExplanationService::explain_sync(ExplainRequest request) {
     const std::uint64_t id = request.id;
     Submission sub = submit(std::move(request));
@@ -281,6 +331,14 @@ void ExplanationService::dispatcher_loop() {
         }
         if (fault_fires(inj, FaultPoint::queue_stall))
             std::this_thread::sleep_for(config_.fault_stall);
+        if (adaptive_.enabled()) {
+            // Re-plan the flush timeout from the live load signals; the
+            // policy is pure, so this is just arithmetic on two gauges.
+            const auto wait = adaptive_.effective_wait(
+                {queue_.size(), metrics_.service_time_us.quantile(0.99)});
+            batcher_.set_max_wait(wait);
+            metrics_.adaptive_wait_us.set(static_cast<std::uint64_t>(wait.count()));
+        }
         const auto now = Clock::now();
         if (batcher_.due(now)) {
             execute_batch(batcher_.flush());
@@ -357,6 +415,9 @@ CacheKey ExplanationService::key_for(const ExplainRequest& request) const {
     context = fnv1a_u64(seed, context);
     context = fnv1a_u64(std::bit_cast<std::uint64_t>(config_.cache_quantum), context);
     context = fnv1a_u64(background_fingerprint_, context);
+    // Drift epoch: bumping it re-keys the whole cache, so stale entries age
+    // out through the LRU instead of being served after the traffic shifted.
+    context = fnv1a_u64(cache_epoch_.load(std::memory_order_relaxed), context);
     return CacheKey(request.features, config_.cache_quantum, context);
 }
 
@@ -498,8 +559,13 @@ void ExplanationService::execute_batch(std::vector<Job> batch) {
         metrics_.compute_time_us.record(compute_us[k]);
         metrics_.model_evals.inc(probe_rows[k]);
         if (responses[i].ok) metrics_.probe_rows.record(probe_rows[k]);
-        if (responses[i].ok && levels[i] == DegradeLevel::full)
+        if (responses[i].ok && levels[i] == DegradeLevel::full) {
             cache_.insert(keys[i], responses[i].explanation);
+            // Only freshly computed full-fidelity attributions feed the
+            // drift windows: cache hits would double-count the past, and
+            // degraded answers have a different budget.
+            observe_attributions(responses[i].explanation.attributions);
+        }
     }
     const auto done = Clock::now();
     for (std::size_t i = 0; i < batch.size(); ++i) {
@@ -510,8 +576,66 @@ void ExplanationService::execute_batch(std::vector<Job> batch) {
         } else {
             metrics_.count_error(responses[i].error_code);
         }
-        batch[i].promise.set_value(std::move(responses[i]));
+        if (batch[i].on_complete) {
+            try {
+                batch[i].on_complete(std::move(responses[i]));
+            } catch (...) {
+                // A completion channel must never take the dispatcher down.
+            }
+        } else {
+            batch[i].promise.set_value(std::move(responses[i]));
+        }
     }
+}
+
+void ExplanationService::observe_attributions(
+    const std::vector<double>& attributions) {
+    const std::size_t window = config_.drift_window;
+    if (window == 0 || attributions.size() != drift_ref_abs_.size()) return;
+    if (drift_ref_count_ < window) {
+        // Still sealing the reference: the first `window` full-fidelity
+        // explanations served define "normal".
+        for (std::size_t j = 0; j < attributions.size(); ++j) {
+            drift_ref_abs_[j] += std::abs(attributions[j]);
+            drift_ref_signed_[j] += attributions[j];
+        }
+        ++drift_ref_count_;
+        return;
+    }
+    for (std::size_t j = 0; j < attributions.size(); ++j) {
+        drift_cur_abs_[j] += std::abs(attributions[j]);
+        drift_cur_signed_[j] += attributions[j];
+    }
+    if (++drift_cur_count_ < window) return;
+
+    const auto mean_of = [](const std::vector<double>& sums, std::size_t n) {
+        std::vector<double> out = sums;
+        for (double& v : out) v /= static_cast<double>(n);
+        return out;
+    };
+    xai::GlobalAttribution reference;
+    reference.mean_abs = mean_of(drift_ref_abs_, drift_ref_count_);
+    reference.mean_signed = mean_of(drift_ref_signed_, drift_ref_count_);
+    reference.num_instances = drift_ref_count_;
+    xai::GlobalAttribution current;
+    current.mean_abs = mean_of(drift_cur_abs_, drift_cur_count_);
+    current.mean_signed = mean_of(drift_cur_signed_, drift_cur_count_);
+    current.num_instances = drift_cur_count_;
+
+    metrics_.drift_checks.inc();
+    try {
+        const auto report =
+            xai::attribution_drift(reference, current, config_.drift_thresholds);
+        if (report.drifted) {
+            cache_epoch_.fetch_add(1, std::memory_order_relaxed);
+            metrics_.drift_flushes.inc();
+        }
+    } catch (const std::exception&) {
+        // Degenerate windows (all-zero attributions) are not drift.
+    }
+    std::fill(drift_cur_abs_.begin(), drift_cur_abs_.end(), 0.0);
+    std::fill(drift_cur_signed_.begin(), drift_cur_signed_.end(), 0.0);
+    drift_cur_count_ = 0;
 }
 
 void ExplanationService::load_snapshot() {
@@ -590,6 +714,10 @@ ServiceStats ExplanationService::stats() const {
     s.probe_rows_p50 = metrics_.probe_rows.quantile(0.50);
     s.probe_rows_mean = metrics_.probe_rows.mean();
     s.probe_rows_max = metrics_.probe_rows.max();
+    s.drift_checks = metrics_.drift_checks.value();
+    s.drift_flushes = metrics_.drift_flushes.value();
+    s.cache_epoch = cache_epoch_.load(std::memory_order_relaxed);
+    s.adaptive_wait_us = metrics_.adaptive_wait_us.value();
     return s;
 }
 

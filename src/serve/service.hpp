@@ -45,8 +45,10 @@
 #include <vector>
 
 #include "core/budget.hpp"
+#include "core/drift.hpp"
 #include "core/explanation.hpp"
 #include "mlcore/model.hpp"
+#include "serve/adaptive.hpp"
 #include "serve/batcher.hpp"
 #include "serve/degradation.hpp"
 #include "serve/errors.hpp"
@@ -111,6 +113,20 @@ struct ServiceConfig {
     /// degradation entirely.
     DegradationConfig degradation;
 
+    /// Adaptive micro-batching: shrink max_wait as queue depth / service
+    /// p99 approach the SLO (serve/adaptive.hpp).  Disabled by default; the
+    /// policy's ceiling is overwritten with `max_wait` at construction so
+    /// the two knobs cannot disagree.
+    AdaptiveBatchConfig adaptive;
+
+    /// Drift-triggered cache invalidation: after `drift_window` reference
+    /// explanations are accumulated, every subsequent window of the same
+    /// size is compared against it (core/drift.hpp); crossing a threshold
+    /// bumps the cache epoch, so every key misses once and is recomputed
+    /// against the drifted traffic.  0 disables monitoring.
+    std::size_t drift_window = 0;
+    xnfv::xai::DriftThresholds drift_thresholds;
+
     /// Chaos-testing seam: null (the default) injects nothing and costs one
     /// pointer check per poll point.
     std::shared_ptr<FaultInjector> fault_injector;
@@ -161,6 +177,21 @@ public:
     /// submit() + wait.  A rejection is returned as an error response.
     [[nodiscard]] ExplainResponse explain_sync(ExplainRequest request);
 
+    /// Push-style submission for event-driven callers (the TCP front-end):
+    /// on acceptance, `on_complete` is invoked exactly once with the
+    /// response — on the dispatcher (or drain) thread, in admission order —
+    /// and no future is involved.  On rejection the returned error is
+    /// non-none and `on_complete` is never called (the caller already has
+    /// everything needed to answer synchronously).  `on_complete` must not
+    /// throw and must not call back into this service.
+    [[nodiscard]] ServeError submit_async(
+        ExplainRequest request, std::function<void(ExplainResponse)> on_complete);
+
+    /// Current cache epoch (bumped by drift-triggered invalidation).
+    [[nodiscard]] std::uint64_t cache_epoch() const noexcept {
+        return cache_epoch_.load(std::memory_order_relaxed);
+    }
+
     /// Snapshot of all counters/histograms plus cache occupancy.
     [[nodiscard]] ServiceStats stats() const;
 
@@ -189,6 +220,11 @@ private:
         std::chrono::steady_clock::time_point deadline,
         std::uint64_t& probe_rows) const;
     [[nodiscard]] CacheKey key_for(const ExplainRequest& request) const;
+    /// Feeds one full-fidelity computed attribution vector into the drift
+    /// windows; on a completed current window, compares it against the
+    /// reference and bumps the cache epoch when drifted.  Called only from
+    /// the single thread executing batches.
+    void observe_attributions(const std::vector<double>& attributions);
     /// Exports the cache to config_.snapshot_path (atomic write).
     void save_snapshot();
     /// Restores the cache from config_.snapshot_path if present/compatible.
@@ -209,7 +245,18 @@ private:
     MicroBatcher batcher_;
     ExplanationCache cache_;
     DegradationPolicy degrade_;
+    AdaptiveBatchPolicy adaptive_;
     mutable ServiceMetrics metrics_;
+
+    /// Drift monitor state: attribution-magnitude sums for the (sealed)
+    /// reference window and the rolling current window.  Touched only by
+    /// the batch-executing thread; the epoch itself is atomic because
+    /// key_for/stats read it concurrently.
+    std::atomic<std::uint64_t> cache_epoch_{0};
+    std::vector<double> drift_ref_abs_, drift_ref_signed_;
+    std::vector<double> drift_cur_abs_, drift_cur_signed_;
+    std::size_t drift_ref_count_ = 0;
+    std::size_t drift_cur_count_ = 0;
 
     std::thread dispatcher_;
     std::thread watchdog_;

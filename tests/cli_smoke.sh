@@ -72,6 +72,32 @@ sed 's/"cache_hit":[a-z]*/"cache_hit":_/' "$DIR/serve4.out" > "$DIR/serve4.norm"
 sed 's/"cache_hit":[a-z]*/"cache_hit":_/' "$DIR/serve5.out" > "$DIR/serve5.norm"
 cmp -s "$DIR/serve4.norm" "$DIR/serve5.norm"
 
+# Serving over TCP: background `serve --listen 0`, probe it with netprobe,
+# then SIGTERM for a graceful drain.  The TCP answer for the same request
+# must be byte-identical to the stdin-served one (modulo cache_hit).
+"$CLI" serve --model "$DIR/model.xnfv" --data "$DIR/data.csv" \
+    --listen 0 > "$DIR/tcp.out" 2>&1 &
+SRV=$!
+PORT=""
+i=0
+while [ $i -lt 100 ]; do
+  PORT=$(sed -n 's/^listening on .*:\([0-9][0-9]*\)$/\1/p' "$DIR/tcp.out")
+  [ -n "$PORT" ] && break
+  i=$((i + 1))
+  sleep 0.1
+done
+test -n "$PORT"
+"$CLI" netprobe --port "$PORT" --row 1 --count 2 --stats > "$DIR/probe.out"
+test "$(wc -l < "$DIR/probe.out")" -eq 3
+grep -q '"cache_hit":true' "$DIR/probe.out"
+grep -q '"net_requests"' "$DIR/probe.out"
+head -n 1 "$DIR/probe.out" | sed 's/"cache_hit":[a-z]*/"cache_hit":_/' > "$DIR/probe.norm"
+head -n 1 "$DIR/serve1.out" | sed 's/"cache_hit":[a-z]*/"cache_hit":_/' > "$DIR/stdin.norm"
+cmp -s "$DIR/probe.norm" "$DIR/stdin.norm"
+kill -TERM "$SRV"
+wait "$SRV"
+grep -q '^drained$' "$DIR/tcp.out"
+
 # Failure paths must fail loudly, not crash.
 if "$CLI" train --data /nonexistent.csv --out "$DIR/x" 2>/dev/null; then exit 1; fi
 if "$CLI" explain --model "$DIR/model.xnfv" --data "$DIR/data.csv" --row 99999 2>/dev/null; then exit 1; fi

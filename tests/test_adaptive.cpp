@@ -1,0 +1,149 @@
+// Adaptive micro-batching policy (serve/adaptive.hpp).
+//
+// The policy is pure — (load -> wait), no clock, no queue — so every case
+// here is a direct function check, and the batcher interaction is tested
+// with hand-injected time points exactly like test_service's batcher tests.
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "serve/adaptive.hpp"
+#include "serve/batcher.hpp"
+
+namespace serve = xnfv::serve;
+using std::chrono::microseconds;
+
+namespace {
+
+serve::AdaptiveBatchConfig base_config() {
+    serve::AdaptiveBatchConfig cfg;
+    cfg.max_wait = microseconds(200);
+    cfg.min_wait = microseconds(20);
+    cfg.slo_p99_us = 1000.0;  // shrink starts at 500us (shrink_start 0.5)
+    cfg.queue_high = 100;
+    return cfg;
+}
+
+TEST(AdaptiveBatchPolicy, DisabledByDefault) {
+    const serve::AdaptiveBatchPolicy policy;
+    EXPECT_FALSE(policy.enabled());
+    // An unconfigured policy reports the ceiling for any load.
+    EXPECT_EQ(policy.effective_wait({1000, 1e9}),
+              policy.config().max_wait);
+}
+
+TEST(AdaptiveBatchPolicy, UnpressuredKeepsFullWait) {
+    const serve::AdaptiveBatchPolicy policy(base_config());
+    ASSERT_TRUE(policy.enabled());
+    EXPECT_DOUBLE_EQ(policy.pressure({0, 0.0}), 0.0);
+    EXPECT_EQ(policy.effective_wait({0, 0.0}), microseconds(200));
+    // Below shrink_start * SLO there is still no latency pressure.
+    EXPECT_DOUBLE_EQ(policy.pressure({0, 499.0}), 0.0);
+    EXPECT_EQ(policy.effective_wait({0, 499.0}), microseconds(200));
+}
+
+TEST(AdaptiveBatchPolicy, FullPressureFloorsTheWait) {
+    const serve::AdaptiveBatchPolicy policy(base_config());
+    EXPECT_DOUBLE_EQ(policy.pressure({0, 1000.0}), 1.0);
+    EXPECT_EQ(policy.effective_wait({0, 1000.0}), microseconds(20));
+    // Beyond the SLO pressure clamps at 1 — never below min_wait.
+    EXPECT_DOUBLE_EQ(policy.pressure({0, 50000.0}), 1.0);
+    EXPECT_EQ(policy.effective_wait({0, 50000.0}), microseconds(20));
+}
+
+TEST(AdaptiveBatchPolicy, LatencyPressureRampsLinearly) {
+    const serve::AdaptiveBatchPolicy policy(base_config());
+    // Halfway through the [500, 1000] ramp: pressure 0.5, wait at midpoint
+    // of [20, 200].
+    EXPECT_DOUBLE_EQ(policy.pressure({0, 750.0}), 0.5);
+    EXPECT_EQ(policy.effective_wait({0, 750.0}), microseconds(110));
+}
+
+TEST(AdaptiveBatchPolicy, DepthPressureRampsToQueueHigh) {
+    const serve::AdaptiveBatchPolicy policy(base_config());
+    EXPECT_DOUBLE_EQ(policy.pressure({50, 0.0}), 0.5);
+    EXPECT_DOUBLE_EQ(policy.pressure({100, 0.0}), 1.0);
+    EXPECT_DOUBLE_EQ(policy.pressure({400, 0.0}), 1.0);  // clamped
+    EXPECT_EQ(policy.effective_wait({100, 0.0}), microseconds(20));
+}
+
+TEST(AdaptiveBatchPolicy, StrongestSignalWins) {
+    const serve::AdaptiveBatchPolicy policy(base_config());
+    // Depth says 0.25, latency says 0.75 -> 0.75.
+    EXPECT_DOUBLE_EQ(policy.pressure({25, 875.0}), 0.75);
+    // Depth says 1.0, latency says 0 -> 1.0.
+    EXPECT_DOUBLE_EQ(policy.pressure({100, 100.0}), 1.0);
+}
+
+TEST(AdaptiveBatchPolicy, MonotoneInBothSignals) {
+    const serve::AdaptiveBatchPolicy policy(base_config());
+    auto previous = policy.effective_wait({0, 0.0});
+    for (std::size_t depth = 0; depth <= 120; depth += 10) {
+        const auto wait = policy.effective_wait({depth, 0.0});
+        EXPECT_LE(wait, previous) << "depth " << depth;
+        previous = wait;
+    }
+    previous = policy.effective_wait({0, 0.0});
+    for (double p99 = 0.0; p99 <= 1200.0; p99 += 100.0) {
+        const auto wait = policy.effective_wait({0, p99});
+        EXPECT_LE(wait, previous) << "p99 " << p99;
+        previous = wait;
+    }
+}
+
+TEST(AdaptiveBatchPolicy, LatencyTermAloneWhenDepthDisabled) {
+    auto cfg = base_config();
+    cfg.queue_high = 0;  // disable depth term
+    const serve::AdaptiveBatchPolicy policy(cfg);
+    ASSERT_TRUE(policy.enabled());
+    EXPECT_DOUBLE_EQ(policy.pressure({100000, 0.0}), 0.0);
+    EXPECT_DOUBLE_EQ(policy.pressure({100000, 1000.0}), 1.0);
+}
+
+TEST(AdaptiveBatchPolicy, ConstructorClampsDegenerateConfig) {
+    serve::AdaptiveBatchConfig cfg;
+    cfg.max_wait = microseconds(50);
+    cfg.min_wait = microseconds(200);  // floor above ceiling
+    cfg.slo_p99_us = 1000.0;
+    cfg.shrink_start = 5.0;  // out of (0, 1)
+    const serve::AdaptiveBatchPolicy policy(cfg);
+    // Clamped: max_wait >= min_wait, and full pressure still well-defined.
+    EXPECT_GE(policy.config().max_wait, policy.config().min_wait);
+    const auto floor = policy.effective_wait({0, 1e9});
+    const auto ceiling = policy.effective_wait({0, 0.0});
+    EXPECT_LE(floor, ceiling);
+}
+
+// --- live-tuning the batcher -----------------------------------------
+
+serve::Job job_at(serve::MicroBatcher& batcher, serve::MicroBatcher::TimePoint t) {
+    serve::Job j;
+    j.enqueued_at = t;
+    [[maybe_unused]] const bool full = batcher.add(std::move(j), t);
+    return {};
+}
+
+TEST(MicroBatcherSetMaxWait, ShrinkAppliesToPendingBatch) {
+    serve::MicroBatcher batcher({.max_batch = 16, .max_wait = microseconds(500)});
+    const auto t0 = std::chrono::steady_clock::time_point{};
+    job_at(batcher, t0);
+    // Under the original wait the batch is not yet due at +200us...
+    EXPECT_FALSE(batcher.due(t0 + microseconds(200)));
+    // ...but after an adaptive shrink to 100us it already is: due() reads
+    // the current wait, so a shrink takes effect on the pending batch.
+    batcher.set_max_wait(microseconds(100));
+    EXPECT_TRUE(batcher.due(t0 + microseconds(200)));
+    ASSERT_TRUE(batcher.deadline().has_value());
+    EXPECT_EQ(*batcher.deadline(), t0 + microseconds(100));
+}
+
+TEST(MicroBatcherSetMaxWait, GrowAppliesToPendingBatch) {
+    serve::MicroBatcher batcher({.max_batch = 16, .max_wait = microseconds(100)});
+    const auto t0 = std::chrono::steady_clock::time_point{};
+    job_at(batcher, t0);
+    batcher.set_max_wait(microseconds(1000));  // pressure receded
+    EXPECT_FALSE(batcher.due(t0 + microseconds(500)));
+    EXPECT_TRUE(batcher.due(t0 + microseconds(1000)));
+}
+
+}  // namespace

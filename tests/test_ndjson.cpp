@@ -1,0 +1,173 @@
+// Incremental ND-JSON frame decoding for the TCP wire path.
+//
+// The stdin loop gets whole lines from getline(); the socket path gets
+// arbitrary byte chunks.  LineDecoder must therefore reassemble frames from
+// any split — including mid-UTF-8-sequence — and turn every malformed line
+// into a structured bad_request frame, never an exception and never a dead
+// connection.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "serve/errors.hpp"
+#include "serve/ndjson.hpp"
+
+namespace serve = xnfv::serve;
+
+namespace {
+
+using Frames = std::vector<serve::Frame>;
+
+Frames feed_all(serve::LineDecoder& decoder, const std::string& bytes) {
+    Frames frames;
+    decoder.feed(bytes.data(), bytes.size(), frames);
+    return frames;
+}
+
+/// Feeds one byte at a time — the worst split the kernel can produce.
+Frames feed_bytewise(serve::LineDecoder& decoder, const std::string& bytes) {
+    Frames frames;
+    for (const char c : bytes) decoder.feed(&c, 1, frames);
+    return frames;
+}
+
+TEST(LineDecoder, SingleLineOneFeed) {
+    serve::LineDecoder d;
+    const auto frames = feed_all(d, "{\"op\":\"stats\"}\n");
+    ASSERT_EQ(frames.size(), 1u);
+    EXPECT_EQ(frames[0].error, serve::ServeError::none);
+    EXPECT_EQ(frames[0].text, "{\"op\":\"stats\"}");
+    EXPECT_EQ(d.buffered(), 0u);
+}
+
+TEST(LineDecoder, MultipleLinesOneFeed) {
+    serve::LineDecoder d;
+    const auto frames = feed_all(d, "a\nb\nc\n");
+    ASSERT_EQ(frames.size(), 3u);
+    EXPECT_EQ(frames[0].text, "a");
+    EXPECT_EQ(frames[1].text, "b");
+    EXPECT_EQ(frames[2].text, "c");
+}
+
+TEST(LineDecoder, LineSplitAcrossFeeds) {
+    serve::LineDecoder d;
+    Frames frames;
+    const std::string part1 = "{\"op\":\"explain\",\"ro";
+    const std::string part2 = "w\":3}\n";
+    EXPECT_EQ(d.feed(part1.data(), part1.size(), frames), 0u);
+    EXPECT_EQ(d.buffered(), part1.size());
+    EXPECT_EQ(d.feed(part2.data(), part2.size(), frames), 1u);
+    ASSERT_EQ(frames.size(), 1u);
+    EXPECT_EQ(frames[0].text, "{\"op\":\"explain\",\"row\":3}");
+}
+
+TEST(LineDecoder, BytewiseFeedMatchesWholeFeed) {
+    const std::string wire = "{\"id\":1}\n\n  \n{\"id\":2}\r\n";
+    serve::LineDecoder whole;
+    serve::LineDecoder bytewise;
+    const auto a = feed_all(whole, wire);
+    const auto b = feed_bytewise(bytewise, wire);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].text, b[i].text);
+        EXPECT_EQ(a[i].error, b[i].error);
+    }
+}
+
+TEST(LineDecoder, CrlfToleranceStripsOneCarriageReturn) {
+    serve::LineDecoder d;
+    const auto frames = feed_all(d, "{\"op\":\"quit\"}\r\n");
+    ASSERT_EQ(frames.size(), 1u);
+    EXPECT_EQ(frames[0].text, "{\"op\":\"quit\"}");
+    // Only ONE trailing CR is wire framing; an inner CR is payload.
+    serve::LineDecoder d2;
+    const auto inner = feed_all(d2, "a\rb\r\r\n");
+    ASSERT_EQ(inner.size(), 1u);
+    EXPECT_EQ(inner[0].text, "a\rb\r");
+}
+
+TEST(LineDecoder, BlankAndWhitespaceLinesSkipped) {
+    serve::LineDecoder d;
+    const auto frames = feed_all(d, "\n \t \n\r\n{\"id\":9}\n");
+    ASSERT_EQ(frames.size(), 1u);
+    EXPECT_EQ(frames[0].text, "{\"id\":9}");
+}
+
+TEST(LineDecoder, Utf8SplitAcrossReadsReassembles) {
+    // "λ=π" — both λ (0xCE 0xBB) and π (0xCF 0x80) are two-byte sequences;
+    // split the stream in the middle of each.
+    const std::string line = "{\"note\":\"\xCE\xBB=\xCF\x80\"}\n";
+    for (std::size_t cut = 1; cut + 1 < line.size(); ++cut) {
+        serve::LineDecoder d;
+        Frames frames;
+        d.feed(line.data(), cut, frames);
+        d.feed(line.data() + cut, line.size() - cut, frames);
+        ASSERT_EQ(frames.size(), 1u) << "cut at " << cut;
+        EXPECT_EQ(frames[0].error, serve::ServeError::none);
+        EXPECT_EQ(frames[0].text, line.substr(0, line.size() - 1))
+            << "cut at " << cut;
+    }
+}
+
+TEST(LineDecoder, EmbeddedNulRejectedAsBadRequest) {
+    serve::LineDecoder d;
+    const std::string wire{"{\"a\":\0\"b\"}\nok\n", 14};
+    const auto frames = feed_all(d, wire);
+    ASSERT_EQ(frames.size(), 2u);
+    EXPECT_EQ(frames[0].error, serve::ServeError::bad_request);
+    EXPECT_EQ(frames[0].message, "embedded NUL byte in request line");
+    // The connection survives: the next line decodes normally.
+    EXPECT_EQ(frames[1].error, serve::ServeError::none);
+    EXPECT_EQ(frames[1].text, "ok");
+}
+
+TEST(LineDecoder, OversizedLineOneErrorThenRecovers) {
+    serve::LineDecoder d(16);
+    const std::string big(100, 'x');
+    Frames frames;
+    d.feed(big.data(), big.size(), frames);
+    // Exactly one error frame no matter how much tail follows the breach.
+    ASSERT_EQ(frames.size(), 1u);
+    EXPECT_EQ(frames[0].error, serve::ServeError::bad_request);
+    EXPECT_EQ(frames[0].message, "request line exceeds 16 bytes");
+    // Decoder is not holding the oversized payload.
+    EXPECT_EQ(d.buffered(), 0u);
+    // The rest of the oversized line is discarded up to its newline; the
+    // next line is decoded normally.
+    const auto after = feed_all(d, "still-the-big-line\n{\"id\":1}\n");
+    ASSERT_EQ(after.size(), 1u);
+    EXPECT_EQ(after[0].error, serve::ServeError::none);
+    EXPECT_EQ(after[0].text, "{\"id\":1}");
+}
+
+TEST(LineDecoder, OversizedLineSplitAcrossFeeds) {
+    serve::LineDecoder d(8);
+    Frames frames;
+    const std::string a(6, 'a');
+    const std::string b(6, 'b');
+    d.feed(a.data(), a.size(), frames);
+    EXPECT_TRUE(frames.empty());
+    d.feed(b.data(), b.size(), frames);  // breaches mid-second-chunk
+    ASSERT_EQ(frames.size(), 1u);
+    EXPECT_EQ(frames[0].error, serve::ServeError::bad_request);
+    const auto after = feed_all(d, "bbb\nnext\n");
+    ASSERT_EQ(after.size(), 1u);
+    EXPECT_EQ(after[0].text, "next");
+}
+
+TEST(LineDecoder, PartialLineAtEofStaysBuffered) {
+    serve::LineDecoder d;
+    const auto frames = feed_all(d, "half-a-request");
+    EXPECT_TRUE(frames.empty());
+    EXPECT_EQ(d.buffered(), 14u);
+}
+
+TEST(LineDecoder, MaxLineAccessor) {
+    serve::LineDecoder d(4096);
+    EXPECT_EQ(d.max_line(), 4096u);
+    serve::LineDecoder clamped(0);  // clamped to at least 1
+    EXPECT_EQ(clamped.max_line(), 1u);
+}
+
+}  // namespace

@@ -468,3 +468,139 @@ TEST(ExplanationService, DuplicateRequestsWithinOneBatchComputeOnce) {
                       responses[0].explanation.attributions[j]);
     }
 }
+
+// ------------------------------------------- async completion channel ---
+
+TEST(ExplanationService, SubmitAsyncDeliversInAdmissionOrder) {
+    serve::ServiceConfig cfg;
+    cfg.method = "occlusion";
+    cfg.max_batch = 8;
+    cfg.max_wait = microseconds(50000);  // coalesce all three into one batch
+    serve::ExplanationService service(sum_model(), tiny_background(), cfg);
+
+    std::mutex m;
+    std::condition_variable cv;
+    std::vector<serve::ExplainResponse> delivered;
+    for (std::uint64_t id = 1; id <= 3; ++id) {
+        const auto rejected = service.submit_async(
+            request_for(id, {static_cast<double>(id), 0.0, 1.0}),
+            [&](serve::ExplainResponse r) {
+                const std::lock_guard lock(m);
+                delivered.push_back(std::move(r));
+                cv.notify_one();
+            });
+        ASSERT_EQ(rejected, serve::ServeError::none);
+    }
+    std::unique_lock lock(m);
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(30),
+                            [&] { return delivered.size() == 3; }));
+    for (std::uint64_t id = 1; id <= 3; ++id) {
+        EXPECT_EQ(delivered[id - 1].id, id);
+        EXPECT_TRUE(delivered[id - 1].ok);
+    }
+}
+
+TEST(ExplanationService, SubmitAsyncRejectsWithoutInvokingCallback) {
+    serve::ExplanationService service(sum_model(), tiny_background(), {});
+    std::atomic<int> calls{0};
+    // Wrong arity: rejected at the door, callback never fires.
+    const auto rejected = service.submit_async(
+        request_for(1, {1.0}), [&](serve::ExplainResponse) { ++calls; });
+    EXPECT_EQ(rejected, serve::ServeError::bad_request);
+
+    serve::ExplainRequest expired = request_for(2, {1.0, 2.0, 3.0});
+    expired.deadline_ms = 0;
+    EXPECT_EQ(service.submit_async(std::move(expired),
+                                   [&](serve::ExplainResponse) { ++calls; }),
+              serve::ServeError::deadline_exceeded);
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    EXPECT_EQ(calls.load(), 0);
+}
+
+// ----------------------------------- drift-triggered cache invalidation ---
+
+namespace {
+
+serve::ServiceConfig drift_config() {
+    serve::ServiceConfig cfg;
+    cfg.method = "occlusion";
+    cfg.max_batch = 1;  // one request per batch: windows fill predictably
+    cfg.max_wait = microseconds(100);
+    cfg.drift_window = 2;
+    return cfg;
+}
+
+}  // namespace
+
+TEST(ExplanationService, DriftBumpsCacheEpochAndCountsFlush) {
+    serve::ExplanationService service(sum_model(), tiny_background(),
+                                      drift_config());
+    // Reference window: all attribution mass on feature 2.
+    ASSERT_TRUE(service.explain_sync(request_for(1, {0.0, 0.0, 50.0})).ok);
+    ASSERT_TRUE(service.explain_sync(request_for(2, {0.0, 0.0, 60.0})).ok);
+    EXPECT_EQ(service.cache_epoch(), 0u);
+    // Current window: mass moves to feature 0 — ranking flips, mass shifts.
+    ASSERT_TRUE(service.explain_sync(request_for(3, {50.0, 0.0, 0.0})).ok);
+    ASSERT_TRUE(service.explain_sync(request_for(4, {60.0, 0.0, 0.0})).ok);
+
+    const auto stats = service.stats();
+    EXPECT_EQ(stats.drift_checks, 1u);
+    EXPECT_EQ(stats.drift_flushes, 1u);
+    EXPECT_EQ(stats.cache_epoch, 1u);
+    EXPECT_EQ(service.cache_epoch(), 1u);
+
+    // The epoch is mixed into every cache key: a pre-drift repeat misses and
+    // is recomputed against the new epoch instead of returning stale bytes.
+    const auto repeat = service.explain_sync(request_for(5, {0.0, 0.0, 50.0}));
+    ASSERT_TRUE(repeat.ok);
+    EXPECT_FALSE(repeat.cache_hit);
+    EXPECT_EQ(service.stats().cache_misses, 5u);
+}
+
+TEST(ExplanationService, StableTrafficNeverFlushes) {
+    serve::ExplanationService service(sum_model(), tiny_background(),
+                                      drift_config());
+    // Four near-identical instances: same ranking, tiny mass shift.
+    ASSERT_TRUE(service.explain_sync(request_for(1, {1.0, 2.0, 3.0})).ok);
+    ASSERT_TRUE(service.explain_sync(request_for(2, {1.1, 2.1, 3.1})).ok);
+    ASSERT_TRUE(service.explain_sync(request_for(3, {0.9, 1.9, 2.9})).ok);
+    ASSERT_TRUE(service.explain_sync(request_for(4, {1.2, 2.2, 3.2})).ok);
+
+    const auto stats = service.stats();
+    EXPECT_EQ(stats.drift_checks, 1u);
+    EXPECT_EQ(stats.drift_flushes, 0u);
+    EXPECT_EQ(stats.cache_epoch, 0u);
+
+    // Cache behaves normally: an exact repeat still hits.
+    const auto repeat = service.explain_sync(request_for(5, {1.0, 2.0, 3.0}));
+    ASSERT_TRUE(repeat.ok);
+    EXPECT_TRUE(repeat.cache_hit);
+}
+
+TEST(ExplanationService, CacheHitsDoNotAdvanceDriftWindows) {
+    serve::ExplanationService service(sum_model(), tiny_background(),
+                                      drift_config());
+    ASSERT_TRUE(service.explain_sync(request_for(1, {0.0, 0.0, 50.0})).ok);
+    // Repeats are cache hits — not fresh computations — so the reference
+    // window must still be half-filled and no check can have run.
+    for (std::uint64_t id = 2; id <= 6; ++id)
+        ASSERT_TRUE(service.explain_sync(request_for(id, {0.0, 0.0, 50.0})).ok);
+    const auto stats = service.stats();
+    EXPECT_EQ(stats.cache_hits, 5u);
+    EXPECT_EQ(stats.drift_checks, 0u);
+    EXPECT_EQ(stats.cache_epoch, 0u);
+}
+
+// ----------------------------------------- adaptive wait instrumentation ---
+
+TEST(ExplanationService, AdaptiveWaitGaugeReportsCeilingWhenUnpressured) {
+    serve::ServiceConfig cfg;
+    cfg.method = "occlusion";
+    cfg.max_wait = microseconds(300);
+    cfg.adaptive.slo_p99_us = 1e9;  // enabled, but unreachable SLO
+    cfg.adaptive.min_wait = microseconds(10);
+    serve::ExplanationService service(sum_model(), tiny_background(), cfg);
+    ASSERT_TRUE(service.explain_sync(request_for(1, {1.0, 2.0, 3.0})).ok);
+    // No pressure: the effective wait equals the configured ceiling.
+    EXPECT_EQ(service.stats().adaptive_wait_us, 300u);
+}

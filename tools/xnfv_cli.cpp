@@ -10,6 +10,8 @@
 //   xnfv_cli serve    --model m.xnfv --data data.csv           # ND-JSON service
 //
 // Every command accepts --seed for reproducibility; see `xnfv_cli help`.
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <iostream>
 #include <map>
@@ -33,6 +35,8 @@
 #include "mlcore/preprocess.hpp"
 #include "mlcore/serialize.hpp"
 #include "mlcore/tree.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
 #include "serve/ndjson.hpp"
 #include "serve/service.hpp"
 #include "workload/dataset_builder.hpp"
@@ -108,12 +112,25 @@ int usage() {
         "            [--fault-seed S] [--fault-predict-rate R]\n"
         "            [--fault-stall-rate R] [--fault-worker-kill N]\n"
         "            deterministic chaos injection for fault-tolerance tests\n"
-        "            ND-JSON requests on stdin, one per line:\n"
+        "            [--slo-us U] [--min-wait-us U]   adaptive micro-batching:\n"
+        "            shrink the flush wait as the service p99 nears the SLO\n"
+        "            [--drift-window N]   drift-triggered cache invalidation\n"
+        "            [--listen PORT] [--host A] [--max-conns N]\n"
+        "            [--idle-timeout-ms M] [--max-output BYTES]   serve the\n"
+        "            same ND-JSON protocol over TCP (PORT 0 = ephemeral;\n"
+        "            first line printed is `listening on HOST:PORT`;\n"
+        "            SIGTERM drains gracefully)\n"
+        "            ND-JSON requests on stdin (or the socket), one per line:\n"
         "              {\"op\":\"explain\",\"row\":3}\n"
         "              {\"op\":\"explain\",\"features\":[...],\"method\":\"lime\"}\n"
         "              {\"op\":\"explain\",\"row\":3,\"deadline_ms\":50}\n"
         "              {\"op\":\"stats\"}   {\"op\":\"quit\"}\n"
         "            responses are printed in request order\n"
+        "  netprobe  --port P [--host A] [--row K | --features \"v1,v2,...\"]\n"
+        "            [--method M] [--seed S] [--deadline-ms D] [--count N]\n"
+        "            [--stats] [--quit] [--timeout-ms T]\n"
+        "            probe a running `serve --listen` instance and print the\n"
+        "            response lines\n"
         "  help\n\n"
         "common flags:\n"
         "  --seed S     deterministic RNG seed (per command defaults)\n"
@@ -263,73 +280,22 @@ int cmd_global(const Args& args) {
     return 0;
 }
 
-/// Renders one served response as a single JSON line.
-std::string render_response(const serve::ExplainResponse& r) {
-    serve::JsonWriter w;
-    w.field("id", r.id);
-    w.field("ok", r.ok);
-    if (r.ok) {
-        w.field("cache_hit", r.cache_hit);
-        w.field("degraded", r.degraded);
-        if (r.degraded) w.field("budget_used", r.budget_used);
-        w.field("method", r.explanation.method);
-        w.field("prediction", r.explanation.prediction);
-        w.field("base_value", r.explanation.base_value);
-        w.field_array("attributions", r.explanation.attributions);
-    } else {
-        w.field("error_code", to_string(r.error_code));
-        w.field("error", r.error);
-    }
-    return w.finish();
+// The serving wire format (render_response / render_stats) lives in
+// serve/ndjson.hpp, shared with the TCP front-end so both transports emit
+// byte-identical responses.
+
+/// The SIGTERM/SIGINT target when `serve --listen` is active: the handler
+/// may only call the async-signal-safe request_drain().
+std::atomic<xnfv::net::ExplanationServer*> g_drain_target{nullptr};
+
+extern "C" void serve_signal_handler(int) {
+    if (auto* server = g_drain_target.load()) server->request_drain();
 }
 
-std::string render_stats(const serve::ServiceStats& s) {
-    serve::JsonWriter w;
-    w.field("ok", true);
-    w.field("op", "stats");
-    w.field("requests_accepted", s.requests_accepted);
-    w.field("requests_rejected", s.requests_rejected);
-    w.field("requests_completed", s.requests_completed);
-    w.field("requests_degraded", s.requests_degraded);
-    w.field("batches", s.batches);
-    w.field("batch_size_mean", s.batch_size_mean);
-    w.field("cache_hits", s.cache_hits);
-    w.field("cache_misses", s.cache_misses);
-    w.field("cache_hit_rate", s.cache_hit_rate());
-    w.field("cache_evictions", s.cache_evictions);
-    w.field("service_us_p50", s.service_us_p50);
-    w.field("service_us_p95", s.service_us_p95);
-    w.field("service_us_p99", s.service_us_p99);
-    w.field("model_evals", s.model_evals);
-    w.field("probe_rows_p50", s.probe_rows_p50);
-    w.field("probe_rows_mean", s.probe_rows_mean);
-    w.field("probe_rows_max", s.probe_rows_max);
-    w.field("worker_respawns", s.worker_respawns);
-    w.field("worker_stalls", s.worker_stalls);
-    w.field("faults_injected", s.faults_injected);
-    w.field("snapshot_writes", s.snapshot_writes);
-    w.field("snapshot_records_loaded", s.snapshot_records_loaded);
-    w.field("snapshot_records_skipped", s.snapshot_records_skipped);
-    {
-        // {"queue_full":2,...} — only reasons that occurred.
-        std::string by_reason = "{";
-        for (std::size_t i = 1; i < serve::kNumServeErrors; ++i) {
-            if (s.errors_by_reason[i] == 0) continue;
-            if (by_reason.size() > 1) by_reason += ',';
-            by_reason += '"';
-            by_reason += to_string(static_cast<serve::ServeError>(i));
-            by_reason += "\":" + std::to_string(s.errors_by_reason[i]);
-        }
-        by_reason += '}';
-        w.field_raw("errors_by_reason", by_reason);
-    }
-    w.field("report", s.to_string());
-    return w.finish();
-}
-
-/// Newline-delimited-JSON request loop on stdin/stdout.  Explain requests
-/// are submitted asynchronously (so the micro-batcher can coalesce them) and
-/// answered in request order; `stats`/`quit` first drain everything pending.
+/// Newline-delimited-JSON request loop on stdin/stdout, or — with --listen —
+/// the same protocol served over TCP.  Explain requests are submitted
+/// asynchronously (so the micro-batcher can coalesce them) and answered in
+/// request order; `stats`/`quit` first drain everything pending.
 int cmd_serve(const Args& args) {
     const std::shared_ptr<const ml::Model> model =
         ml::load_model_file(args.require("model"));
@@ -352,6 +318,19 @@ int cmd_serve(const Args& args) {
         cfg.degradation.baseline_queue_depth = static_cast<std::size_t>(2 * degrade);
     }
     cfg.degradation.reduced_budget_scale = std::stod(args.get("degrade-scale", "0.25"));
+
+    // Adaptive micro-batching: --slo-us arms the latency term; the depth
+    // term floors the wait when the queue reaches half its capacity.
+    if (const auto slo = args.get_int("slo-us", 0); slo > 0) {
+        cfg.adaptive.slo_p99_us = static_cast<double>(slo);
+        cfg.adaptive.queue_high = cfg.queue_depth / 2;
+        cfg.adaptive.min_wait =
+            std::chrono::microseconds(args.get_int("min-wait-us", 0));
+    }
+
+    // Drift-triggered cache invalidation (core/drift.hpp): compare every
+    // --drift-window full-fidelity explanations against the first window.
+    cfg.drift_window = static_cast<std::size_t>(args.get_int("drift-window", 0));
 
     // Crash-safe cache snapshots.
     cfg.snapshot_path = args.get("snapshot", "");
@@ -378,9 +357,52 @@ int cmd_serve(const Args& args) {
 
     serve::ExplanationService service(model, xai::BackgroundData(data.x, 128), cfg);
 
+    // --listen: serve the same protocol over TCP instead of stdin/stdout.
+    if (args.has("listen")) {
+        xnfv::net::ServerConfig scfg;
+        scfg.host = args.get("host", "127.0.0.1");
+        scfg.port = static_cast<std::uint16_t>(args.get_int("listen", 0));
+        scfg.max_connections =
+            static_cast<std::size_t>(args.get_int("max-conns", 256));
+        scfg.idle_timeout =
+            std::chrono::milliseconds(args.get_int("idle-timeout-ms", 0));
+        scfg.max_output_bytes =
+            static_cast<std::size_t>(args.get_int("max-output", 8 << 20));
+
+        xnfv::net::ExplanationServer server(service, scfg);
+        server.set_row_lookup(
+            [&data](std::size_t row, std::vector<double>& features) {
+                if (row >= data.size()) return false;
+                const auto x = data.x.row(row);
+                features.assign(x.begin(), x.end());
+                return true;
+            });
+        std::string err;
+        if (!server.start(&err)) {
+            std::fprintf(stderr, "error: %s\n", err.c_str());
+            return 1;
+        }
+        g_drain_target.store(&server);
+        std::signal(SIGTERM, serve_signal_handler);
+        std::signal(SIGINT, serve_signal_handler);
+        // First stdout line is machine-readable so scripts can discover an
+        // ephemeral port (--listen 0).
+        std::printf("listening on %s:%u\n", scfg.host.c_str(),
+                    static_cast<unsigned>(server.port()));
+        std::fflush(stdout);
+        server.run();
+        g_drain_target.store(nullptr);
+        std::signal(SIGTERM, SIG_DFL);
+        std::signal(SIGINT, SIG_DFL);
+        service.stop();
+        std::printf("drained\n");
+        return 0;
+    }
+
     std::vector<std::future<serve::ExplainResponse>> pending;
     const auto drain = [&pending] {
-        for (auto& f : pending) std::printf("%s\n", render_response(f.get()).c_str());
+        for (auto& f : pending)
+            std::printf("%s\n", serve::render_response(f.get()).c_str());
         pending.clear();
         std::fflush(stdout);
     };
@@ -391,7 +413,7 @@ int cmd_serve(const Args& args) {
         r.id = id;
         r.error_code = code;
         r.error = message;
-        std::printf("%s\n", render_response(r).c_str());
+        std::printf("%s\n", serve::render_response(r).c_str());
         std::fflush(stdout);
     };
 
@@ -410,7 +432,7 @@ int cmd_serve(const Args& args) {
         if (op == "quit") break;
         if (op == "stats") {
             drain();  // complete in-flight requests so the snapshot covers them
-            std::printf("%s\n", render_stats(service.stats()).c_str());
+            std::printf("%s\n", serve::render_stats(service.stats()).c_str());
             std::fflush(stdout);
             continue;
         }
@@ -465,6 +487,64 @@ int cmd_serve(const Args& args) {
     return 0;
 }
 
+/// Minimal TCP client for a running `serve --listen` instance: sends a few
+/// ND-JSON requests and prints each response line to stdout.  Needs no model
+/// or dataset, which makes it the smoke-test probe for the TCP path.
+int cmd_netprobe(const Args& args) {
+    const auto host = args.get("host", "127.0.0.1");
+    const auto port = static_cast<std::uint16_t>(args.get_int("port", 0));
+    if (port == 0) throw std::runtime_error("missing --port");
+    const auto timeout =
+        std::chrono::milliseconds(args.get_int("timeout-ms", 10000));
+
+    xnfv::net::Client client;
+    std::string err;
+    if (!client.connect(host, port, &err))
+        throw std::runtime_error("connect failed: " + err);
+
+    // Build the explain request once; --count repeats it (cache-hit probe).
+    serve::JsonWriter w;
+    w.field("op", "explain");
+    if (args.has("features")) {
+        // Comma-separated literal features, passed through verbatim.
+        w.field_raw("features", "[" + args.get("features", "") + "]");
+    } else {
+        w.field("row", static_cast<double>(args.get_int("row", 0)));
+    }
+    if (args.has("method")) w.field("method", args.get("method", ""));
+    if (const auto seed = args.get_int("seed", 0); seed > 0)
+        w.field("seed", static_cast<std::uint64_t>(seed));
+    if (const auto dl = args.get_int("deadline-ms", -1); dl >= 0)
+        w.field("deadline_ms", static_cast<double>(dl));
+    const auto request = w.finish();
+
+    const auto count = static_cast<std::size_t>(args.get_int("count", 1));
+    std::size_t expected = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+        if (!client.send_line(request)) throw std::runtime_error("send failed");
+        ++expected;
+    }
+    if (args.has("stats")) {
+        if (!client.send_line(R"({"op":"stats"})"))
+            throw std::runtime_error("send failed");
+        ++expected;
+    }
+    if (args.has("quit")) {
+        if (!client.send_line(R"({"op":"quit"})"))
+            throw std::runtime_error("send failed");
+    }
+
+    std::string line;
+    for (std::size_t i = 0; i < expected; ++i) {
+        if (!client.recv_line(line, timeout))
+            throw std::runtime_error("timed out waiting for response " +
+                                     std::to_string(i + 1) + "/" +
+                                     std::to_string(expected));
+        std::printf("%s\n", line.c_str());
+    }
+    return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -481,6 +561,7 @@ int main(int argc, char** argv) {
         if (command == "explain") return cmd_explain(args);
         if (command == "global") return cmd_global(args);
         if (command == "serve") return cmd_serve(args);
+        if (command == "netprobe") return cmd_netprobe(args);
         if (command == "help") return usage();
         std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
         return usage();
