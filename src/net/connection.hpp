@@ -99,6 +99,7 @@ public:
     bool saw_quit = false;             ///< frames after `quit` are ignored
     bool close_after_flush = false;    ///< drop once the outbuf drains
     bool peer_eof = false;             ///< peer half-closed; finish writes, then drop
+    bool lingering = false;            ///< drain FIN sent; discard input until peer EOF
     std::uint32_t interest = 0;        ///< epoll mask currently registered
 
 private:

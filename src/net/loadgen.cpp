@@ -1,0 +1,268 @@
+#include "net/loadgen.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <deque>
+
+namespace xnfv::net {
+
+namespace {
+
+/// Cap on connections mid-handshake at once: a 10k-socket storm started all
+/// at once can overflow even a 4096 listen backlog; trickling the connects
+/// keeps the SYN queue bounded without serializing the test.
+constexpr std::size_t kConnectBurst = 512;
+
+struct Conn {
+    int fd = -1;
+    std::size_t index = 0;                        ///< script / report slot
+    const std::vector<std::string>* script = nullptr;
+    std::size_t next_line = 0;                    ///< next script line to stage
+    std::size_t outstanding = 0;                  ///< sent minus answered lines
+    std::string outbuf;                           ///< staged, unwritten bytes
+    bool connecting = false;
+    bool write_closed = false;                    ///< SHUT_WR sent or write died
+    bool done = false;
+    std::uint32_t interest = 0;
+    /// Stage times of in-flight lines (record_latency only), FIFO-matched to
+    /// responses — the sample includes client-side queueing, like a caller's
+    /// request clock would.
+    std::deque<std::chrono::steady_clock::time_point> staged_at;
+};
+
+struct Driver {
+    const LoadgenConfig& config;
+    const std::vector<std::vector<std::string>>& scripts;
+    LoadReport& report;
+    int epfd = -1;
+    std::vector<Conn> conns;
+    std::size_t next_to_start = 0;
+    std::size_t connecting = 0;
+    std::size_t active = 0;
+
+    void finish(Conn& conn) {
+        if (conn.done) return;
+        conn.done = true;
+        if (conn.connecting) --connecting;
+        if (conn.fd >= 0) {
+            ::epoll_ctl(epfd, EPOLL_CTL_DEL, conn.fd, nullptr);
+            ::close(conn.fd);
+            conn.fd = -1;
+        }
+        --active;
+    }
+
+    void update_interest(Conn& conn) {
+        std::uint32_t mask = EPOLLIN;
+        if (conn.connecting || (!conn.outbuf.empty() && !conn.write_closed))
+            mask |= EPOLLOUT;
+        if (mask == conn.interest) return;
+        epoll_event ev{};
+        ev.events = mask;
+        ev.data.ptr = &conn;
+        ::epoll_ctl(epfd, EPOLL_CTL_MOD, conn.fd, &ev);
+        conn.interest = mask;
+    }
+
+    /// Moves script lines into the output buffer while the window allows.
+    void stage(Conn& conn) {
+        auto& rep = report.conns[conn.index];
+        while (conn.next_line < conn.script->size() &&
+               conn.outstanding < config.window) {
+            conn.outbuf += (*conn.script)[conn.next_line];
+            conn.outbuf += '\n';
+            ++conn.next_line;
+            ++conn.outstanding;
+            ++rep.sent_lines;
+            if (config.record_latency)
+                conn.staged_at.push_back(std::chrono::steady_clock::now());
+        }
+    }
+
+    void write_some(Conn& conn) {
+        if (conn.write_closed) return;
+        while (!conn.outbuf.empty()) {
+            const auto n = ::send(conn.fd, conn.outbuf.data(), conn.outbuf.size(),
+                                  MSG_NOSIGNAL);
+            if (n > 0) {
+                conn.outbuf.erase(0, static_cast<std::size_t>(n));
+                continue;
+            }
+            if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+            // Write side died (reset, rejected-and-closed peer).  Keep
+            // reading: the server may have flushed a final error line.
+            conn.write_closed = true;
+            return;
+        }
+        if (conn.next_line == conn.script->size() && config.shutdown_writes) {
+            ::shutdown(conn.fd, SHUT_WR);
+            conn.write_closed = true;
+        }
+    }
+
+    void read_some(Conn& conn) {
+        auto& rep = report.conns[conn.index];
+        char buf[64 * 1024];
+        for (;;) {
+            const auto n = ::recv(conn.fd, buf, sizeof(buf), 0);
+            if (n > 0) {
+                rep.partial.append(buf, static_cast<std::size_t>(n));
+                std::size_t start = 0;
+                for (;;) {
+                    const auto nl = rep.partial.find('\n', start);
+                    if (nl == std::string::npos) break;
+                    rep.lines.push_back(rep.partial.substr(start, nl - start));
+                    start = nl + 1;
+                    if (conn.outstanding > 0) --conn.outstanding;
+                    if (config.record_latency && !conn.staged_at.empty()) {
+                        rep.latency_us.push_back(
+                            std::chrono::duration<double, std::micro>(
+                                std::chrono::steady_clock::now() -
+                                conn.staged_at.front())
+                                .count());
+                        conn.staged_at.pop_front();
+                    }
+                }
+                rep.partial.erase(0, start);
+                stage(conn);  // window may have opened
+                continue;
+            }
+            if (n == 0) {
+                rep.eof = true;
+                finish(conn);
+                return;
+            }
+            if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+            rep.io_error = true;
+            finish(conn);
+            return;
+        }
+    }
+
+    void start_one() {
+        const auto i = next_to_start++;
+        Conn& conn = conns[i];
+        conn.fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+        if (conn.fd < 0) {
+            report.conns[i].connect_failed = true;
+            finish(conn);
+            return;
+        }
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_port = htons(config.port);
+        if (::inet_pton(AF_INET, config.host.c_str(), &addr.sin_addr) != 1) {
+            report.conns[i].connect_failed = true;
+            finish(conn);
+            return;
+        }
+        const int rc =
+            ::connect(conn.fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+        if (rc != 0 && errno != EINPROGRESS) {
+            report.conns[i].connect_failed = true;
+            finish(conn);
+            return;
+        }
+        conn.connecting = rc != 0;
+        if (conn.connecting) ++connecting;
+        epoll_event ev{};
+        ev.events = conn.connecting ? (EPOLLIN | EPOLLOUT) : EPOLLIN;
+        ev.data.ptr = &conn;
+        conn.interest = ev.events;
+        if (::epoll_ctl(epfd, EPOLL_CTL_ADD, conn.fd, &ev) != 0) {
+            report.conns[i].connect_failed = true;
+            finish(conn);
+            return;
+        }
+        if (!conn.connecting) {
+            stage(conn);
+            write_some(conn);
+            update_interest(conn);
+        }
+    }
+
+    void on_event(Conn& conn, std::uint32_t events) {
+        if (conn.done) return;
+        if (conn.connecting) {
+            if ((events & (EPOLLOUT | EPOLLERR | EPOLLHUP)) == 0) return;
+            int err = 0;
+            socklen_t len = sizeof(err);
+            ::getsockopt(conn.fd, SOL_SOCKET, SO_ERROR, &err, &len);
+            if (err != 0) {
+                report.conns[conn.index].connect_failed = true;
+                finish(conn);
+                return;
+            }
+            conn.connecting = false;
+            --connecting;
+            stage(conn);
+        }
+        if ((events & (EPOLLIN | EPOLLHUP | EPOLLERR)) != 0) {
+            read_some(conn);
+            if (conn.done) return;
+        }
+        write_some(conn);
+        update_interest(conn);
+    }
+};
+
+}  // namespace
+
+LoadReport run_load(const LoadgenConfig& config,
+                    const std::vector<std::vector<std::string>>& scripts) {
+    LoadReport report;
+    report.conns.resize(scripts.size());
+    if (scripts.empty()) return report;
+
+    Driver d{config, scripts, report, -1, {}, 0, 0, 0};
+    d.epfd = ::epoll_create1(EPOLL_CLOEXEC);
+    if (d.epfd < 0) {
+        for (auto& conn : report.conns) conn.connect_failed = true;
+        return report;
+    }
+    d.conns.resize(scripts.size());
+    for (std::size_t i = 0; i < scripts.size(); ++i) {
+        d.conns[i].index = i;
+        d.conns[i].script = &scripts[i];
+    }
+    d.active = scripts.size();
+
+    const auto deadline = std::chrono::steady_clock::now() + config.timeout;
+    std::vector<epoll_event> events(1024);
+    while (d.active > 0) {
+        while (d.next_to_start < scripts.size() && d.connecting < kConnectBurst)
+            d.start_one();
+        if (d.active == 0) break;
+        const auto now = std::chrono::steady_clock::now();
+        if (now >= deadline) {
+            report.timed_out = true;
+            break;
+        }
+        const auto wait_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                                 deadline - now)
+                                 .count();
+        const int n = ::epoll_wait(d.epfd, events.data(),
+                                   static_cast<int>(events.size()),
+                                   static_cast<int>(std::min<long long>(wait_ms, 1000)));
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            break;
+        }
+        for (int i = 0; i < n; ++i)
+            d.on_event(*static_cast<Conn*>(events[static_cast<std::size_t>(i)].data.ptr),
+                       events[static_cast<std::size_t>(i)].events);
+    }
+    for (auto& conn : d.conns)
+        if (!conn.done) d.finish(conn);
+    ::close(d.epfd);
+    return report;
+}
+
+}  // namespace xnfv::net

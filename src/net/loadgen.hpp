@@ -1,0 +1,73 @@
+// Multiplexed ND-JSON load generator for the TCP front-end.
+//
+// One epoll loop drives every client connection, so a single test thread can
+// hold 10k+ concurrent loopback connections against the (sharded) server —
+// a thread-per-connection blocking Client cannot reach that scale.  Each
+// connection plays a caller-provided script (a list of request lines) with a
+// bounded pipelining window and records every response line verbatim, which
+// is what lets the soak and equivalence suites byte-compare full
+// per-connection response streams across shard counts.
+//
+// Reply accounting is line-for-line: every scripted line is expected to
+// produce exactly one response line, except a trailing `{"op":"quit"}`
+// (which produces none and makes the server close after flushing).  Scripts
+// should therefore end with either a quit frame or, with `shutdown_writes`,
+// a half-close — both make the server end the connection so run_load() can
+// read to EOF instead of guessing when a stream is done.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xnfv::net {
+
+struct LoadgenConfig {
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;
+    /// Max request lines in flight per connection before the next send waits
+    /// for a response (1 = strict request/response lock-step).
+    std::size_t window = 1;
+    /// After a connection's last scripted line is sent, shutdown(SHUT_WR) —
+    /// exercises the server's peer-EOF close path instead of quit.
+    bool shutdown_writes = false;
+    /// Whole-run deadline; on expiry surviving connections are abandoned and
+    /// LoadReport::timed_out is set.
+    std::chrono::milliseconds timeout{60000};
+    /// Record a per-response round-trip sample (staged-to-answered, FIFO
+    /// matched) into ConnReport::latency_us.
+    bool record_latency = false;
+};
+
+/// Everything one connection saw, in arrival order.
+struct ConnReport {
+    /// Complete response lines ('\n' stripped), exactly as received.
+    std::vector<std::string> lines;
+    std::size_t sent_lines = 0;   ///< scripted lines actually written
+    bool connect_failed = false;  ///< never established
+    bool io_error = false;        ///< reset / write-after-close mid-stream
+    bool eof = false;             ///< server closed the stream cleanly
+    /// Leftover bytes after the last newline (non-empty = truncated line).
+    std::string partial;
+    /// Round-trip micros per response line (when record_latency is set).
+    std::vector<double> latency_us;
+};
+
+struct LoadReport {
+    std::vector<ConnReport> conns;  ///< index-aligned with the scripts
+    bool timed_out = false;
+    [[nodiscard]] std::uint64_t total_lines() const noexcept {
+        std::uint64_t n = 0;
+        for (const auto& c : conns) n += c.lines.size();
+        return n;
+    }
+};
+
+/// Plays `scripts[i]` on connection i (lines need not be '\n'-terminated;
+/// one is added).  Blocks until every connection reached EOF, errored, or
+/// the deadline expired.
+[[nodiscard]] LoadReport run_load(const LoadgenConfig& config,
+                                  const std::vector<std::vector<std::string>>& scripts);
+
+}  // namespace xnfv::net

@@ -27,15 +27,21 @@ ExplanationServer::ExplanationServer(serve::ExplanationService& service,
                                      ServerConfig config)
     : service_(service),
       config_(std::move(config)),
-      channel_(std::make_shared<CompletionChannel>()) {
+      budget_(config_.budget
+                  ? config_.budget
+                  : std::make_shared<ConnectionBudget>(config_.max_connections)),
+      // In-flight completions are bounded by what the service has admitted,
+      // so a ring this size makes the overflow spill path cold.
+      channel_(std::make_shared<CompletionChannel>(
+          service.config().queue_depth + service.config().max_batch + 64)) {
     channel_->loop = &loop_;
 }
 
 ExplanationServer::~ExplanationServer() {
     // Detach the completion channel: callbacks still in flight inside the
-    // service land in the (shared) channel but no longer touch the loop.
+    // service land in the (shared) ring but no longer touch the loop.
     {
-        const std::lock_guard<std::mutex> lock(channel_->mutex);
+        const std::lock_guard<std::mutex> lock(channel_->notify_mutex);
         channel_->loop = nullptr;
     }
     conns_.clear();
@@ -47,7 +53,12 @@ bool ExplanationServer::start(std::string* error) {
         if (error) *error = "event loop initialization failed (epoll/eventfd)";
         return false;
     }
-    return listener_.listen(config_.host, config_.port, error);
+    return listener_.listen(config_.host, config_.port, error, config_.reuseport);
+}
+
+bool ExplanationServer::bind_port(std::uint16_t port, std::string* error) {
+    config_.port = port;
+    return start(error);
 }
 
 void ExplanationServer::run() {
@@ -79,7 +90,7 @@ void ExplanationServer::on_accept() {
     for (;;) {
         const int fd = listener_.accept();
         if (fd < 0) return;
-        if (conns_.size() >= config_.max_connections) {
+        if (!budget_->try_acquire()) {
             const auto line =
                 render_error_line(0, serve::ServeError::backpressure,
                                   "connection limit reached") +
@@ -112,6 +123,20 @@ void ExplanationServer::on_conn_event(std::uint64_t conn_id, std::uint32_t event
     if ((events & EPOLLERR) != 0) {
         close_conn(conn);
         return;
+    }
+    if (conn.lingering) {
+        // Drain half-close already sent the peer its full response stream
+        // plus FIN; whatever it still writes is discarded until its EOF.
+        char buf[4096];
+        for (;;) {
+            const auto n = ::recv(conn.fd(), buf, sizeof(buf), 0);
+            if (n > 0) continue;
+            if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK) &&
+                (events & EPOLLHUP) == 0)
+                return;
+            close_conn(conn);
+            return;
+        }
     }
     if ((events & EPOLLIN) != 0 && !conn.peer_eof) {
         const auto before = conn.bytes_in;
@@ -228,12 +253,10 @@ void ExplanationServer::handle_frame(Connection& conn, const serve::Frame& frame
     const auto seq = conn.push_slot(Connection::Slot::Kind::response);
     const auto rejected = service_.submit_async(
         std::move(er),
-        // Dispatcher thread: render (pure) and marshal onto the loop.
+        // Dispatcher thread: render (pure) and marshal onto the loop over
+        // the lock-free ring; the eventfd write is coalesced per drain.
         [channel = channel_, conn_id = conn.id(), seq](serve::ExplainResponse r) {
-            auto line = serve::render_response(r);
-            const std::lock_guard<std::mutex> lock(channel->mutex);
-            channel->items.push_back({conn_id, seq, std::move(line)});
-            if (channel->loop != nullptr) channel->loop->notify();
+            channel->push({conn_id, seq, serve::render_response(r)});
         });
     if (rejected != serve::ServeError::none) {
         conn.fulfill(seq, render_error_line(
@@ -252,8 +275,10 @@ void ExplanationServer::pump(Connection& conn) {
             case Connection::Slot::Kind::stats:
                 // Head of line: everything admitted before this frame has
                 // been answered, so the snapshot covers it — the TCP
-                // equivalent of the stdin loop's drain-before-stats.
-                conn.queue_output(serve::render_stats(stats()));
+                // equivalent of the stdin loop's drain-before-stats.  In a
+                // sharded server the provider reports the fleet aggregate.
+                conn.queue_output(serve::render_stats(
+                    stats_provider_ ? stats_provider_() : stats()));
                 break;
             case Connection::Slot::Kind::quit:
                 conn.pop_front_slot();
@@ -268,7 +293,8 @@ void ExplanationServer::pump(Connection& conn) {
 
 void ExplanationServer::update_interest(Connection& conn) {
     std::uint32_t mask = 0;
-    if (!draining_ && !conn.peer_eof && !conn.saw_quit) mask |= EPOLLIN;
+    if ((!draining_ && !conn.peer_eof && !conn.saw_quit) || conn.lingering)
+        mask |= EPOLLIN;
     if (!conn.output_empty()) mask |= EPOLLOUT;
     if (mask != conn.interest) {
         loop_.modify(conn.fd(), mask);
@@ -311,11 +337,14 @@ void ExplanationServer::close_conn(Connection& conn) {
     loop_.remove(conn.fd());
     conn.close();
     conns_.erase(conn.id());  // destroys conn; the reference is dead here
+    budget_->release();
     metrics_.active.set(conns_.size());
+    if (draining_ && conns_.empty()) loop_.stop();
 }
 
 void ExplanationServer::begin_drain() {
     draining_ = true;
+    drain_deadline_ = std::chrono::steady_clock::now() + config_.drain_linger;
     if (listener_.listening()) {
         loop_.remove(listener_.fd());
         listener_.close();
@@ -325,16 +354,45 @@ void ExplanationServer::begin_drain() {
 
 void ExplanationServer::check_drain_done() {
     if (!draining_) return;
-    for (const auto& [id, conn] : conns_)
-        if (!conn->pipeline_empty() || !conn->output_empty()) return;
-    loop_.stop();
+    const bool linger_expired =
+        std::chrono::steady_clock::now() >= drain_deadline_;
+    std::vector<std::uint64_t> to_close;
+    for (const auto& [id, conn] : conns_) {
+        if (!conn->pipeline_empty() || !conn->output_empty()) continue;
+        if (!conn->lingering) {
+            if (conn->peer_eof) {
+                to_close.push_back(id);
+                continue;
+            }
+            // Half-close: FIN is ordered after every flushed response, so
+            // the peer reads its complete stream and then a clean EOF.
+            // Closing outright here would RST past unread request bytes,
+            // which can destroy responses still queued in the peer's
+            // kernel buffer.
+            ::shutdown(conn->fd(), SHUT_WR);
+            conn->lingering = true;
+            update_interest(*conn);
+        }
+        if (linger_expired) to_close.push_back(id);
+    }
+    for (const auto id : to_close) {
+        const auto it = conns_.find(id);
+        if (it != conns_.end()) close_conn(*it->second);
+    }
+    if (conns_.empty()) loop_.stop();
 }
 
 void ExplanationServer::drain_completions() {
+    // Rearm BEFORE draining: a completion pushed mid-drain raises a fresh
+    // wake instead of vanishing into the one we are consuming.
+    channel_->wake.rearm();
     std::vector<Completion> batch;
+    Completion popped;
+    while (channel_->ring.try_pop(popped)) batch.push_back(std::move(popped));
     {
-        const std::lock_guard<std::mutex> lock(channel_->mutex);
-        batch.swap(channel_->items);
+        const std::lock_guard<std::mutex> lock(channel_->overflow_mutex);
+        for (auto& spilled : channel_->overflow) batch.push_back(std::move(spilled));
+        channel_->overflow.clear();
     }
     for (auto& done : batch) {
         const auto it = conns_.find(done.conn_id);
@@ -354,6 +412,7 @@ void ExplanationServer::drain_completions() {
 serve::ServiceStats ExplanationServer::stats() const {
     auto s = service_.stats();
     s.net_enabled = true;
+    s.net_shards = 1;
     s.connections_accepted = metrics_.accepted.value();
     s.connections_active = metrics_.active.value();
     s.connections_active_max = metrics_.active.max();

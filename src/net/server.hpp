@@ -12,8 +12,12 @@
 // Threading: one event-loop thread owns all sockets and per-connection
 // state.  The service's dispatcher thread delivers completions through
 // submit_async callbacks, which render the response line (a pure function)
-// and hand (connection, slot, line) to the loop through a mutex-protected
-// channel plus an eventfd wake — the dispatcher never touches a socket.
+// and hand (connection, slot, line) to the loop through a lock-free SPSC
+// completion ring (net/spsc_ring.hpp) plus a coalesced eventfd wake — the
+// dispatcher never touches a socket, and the data path never takes a lock.
+// One server is one shard of the thread-per-core ShardedServer
+// (net/sharded_server.hpp); run standalone it is the single-loop server of
+// DESIGN.md section 12.
 //
 // Overload and misbehavior policy:
 //   * connection limit     -> accept, answer one `backpressure` error, close;
@@ -39,10 +43,32 @@
 #include "net/connection.hpp"
 #include "net/event_loop.hpp"
 #include "net/socket.hpp"
+#include "net/spsc_ring.hpp"
 #include "serve/metrics.hpp"
 #include "serve/service.hpp"
 
 namespace xnfv::net {
+
+/// Connection-count admission shared across every acceptor that holds a
+/// reference — with N reuseport shards, one budget makes `max_connections`
+/// a fleet-wide limit the kernel's connection hashing cannot overshoot, and
+/// rejects stay exactly countable.
+struct ConnectionBudget {
+    explicit ConnectionBudget(std::size_t max_active) : limit(max_active) {}
+
+    [[nodiscard]] bool try_acquire() noexcept {
+        auto cur = active.load(std::memory_order_relaxed);
+        do {
+            if (cur >= limit) return false;
+        } while (!active.compare_exchange_weak(cur, cur + 1,
+                                               std::memory_order_relaxed));
+        return true;
+    }
+    void release() noexcept { active.fetch_sub(1, std::memory_order_relaxed); }
+
+    std::atomic<std::size_t> active{0};
+    std::size_t limit;
+};
 
 struct ServerConfig {
     /// Numeric bind address; loopback by default (an explanation service is
@@ -63,10 +89,21 @@ struct ServerConfig {
     std::chrono::milliseconds idle_timeout{0};
     /// Event-loop housekeeping period (idle scans, drain progress).
     std::chrono::milliseconds tick{20};
+    /// How long a drain lingers after half-closing each connection, waiting
+    /// for the peer to read its final responses and close.  Closing outright
+    /// would RST past unread request bytes and could destroy responses still
+    /// queued in the peer's kernel buffer.  Bounds SIGTERM exit time.
+    std::chrono::milliseconds drain_linger{5000};
     /// When > 0, shrink each accepted socket's kernel send buffer
     /// (SO_SNDBUF) — lets backpressure tests overflow the output cap
     /// deterministically with small payloads.
     int sndbuf = 0;
+    /// Bind with SO_REUSEPORT so sibling shard listeners can share the port.
+    bool reuseport = false;
+    /// Connection budget shared across shards; null makes the server create
+    /// a private one from `max_connections` (the standalone case).  When
+    /// set, `max_connections` is ignored in favor of the budget's limit.
+    std::shared_ptr<ConnectionBudget> budget;
 };
 
 /// Connection-level metrics folded into ServiceStats (net_* fields).
@@ -100,9 +137,23 @@ public:
 
     void set_row_lookup(RowLookup lookup) { row_lookup_ = std::move(lookup); }
 
+    /// Overrides what an `{"op":"stats"}` frame reports.  The sharded server
+    /// installs its cross-shard aggregate here so any connection sees fleet
+    /// totals; unset, a connection sees this server's own stats().  Called
+    /// on the loop thread; must be thread-safe against sibling shards.
+    using StatsProvider = std::function<serve::ServiceStats()>;
+    void set_stats_provider(StatsProvider provider) {
+        stats_provider_ = std::move(provider);
+    }
+
     /// Binds and listens.  On failure returns false and stores why in
     /// `error` (when non-null).
     [[nodiscard]] bool start(std::string* error = nullptr);
+
+    /// start() on a specific port, overriding the configured one.  Reuseport
+    /// siblings use this to join the group once the first shard has resolved
+    /// an ephemeral port.
+    [[nodiscard]] bool bind_port(std::uint16_t port, std::string* error = nullptr);
 
     /// Serves until drained; blocks the calling thread (tests and the CLI
     /// run it on whichever thread suits them).  start() must have succeeded.
@@ -128,11 +179,36 @@ private:
     };
     /// Shared with submit_async callbacks so a completion arriving after the
     /// server object is gone lands in a detached (loop == nullptr) channel
-    /// instead of freed memory.
+    /// instead of freed memory.  The data path is the lock-free SPSC ring
+    /// (producer: the service's dispatcher — one thread at a time, respawns
+    /// and the stop()-time drain are join-sequenced; consumer: the loop
+    /// thread).  `notify_mutex` guards only the loop pointer for the rare
+    /// detach race, never the payload, and `wake` coalesces a burst of
+    /// completions into one eventfd write.
     struct CompletionChannel {
-        std::mutex mutex;
-        std::vector<Completion> items;
+        explicit CompletionChannel(std::size_t capacity) : ring(capacity) {}
+
+        SpscRing<Completion> ring;
+        CoalescedWake wake;
+        std::mutex notify_mutex;
         EventLoop* loop = nullptr;  ///< null once the server detaches
+        /// Spill path for a full ring (possible only when the loop thread is
+        /// far behind, e.g. stalled in a test); bounded by in-flight work.
+        std::mutex overflow_mutex;
+        std::vector<Completion> overflow;
+
+        /// Producer side: ring first, overflow as the escape hatch, then at
+        /// most one eventfd write per consumer drain cycle.
+        void push(Completion&& done) {
+            if (!ring.try_push(std::move(done))) {
+                const std::lock_guard<std::mutex> lock(overflow_mutex);
+                overflow.push_back(std::move(done));
+            }
+            if (wake.raise()) {
+                const std::lock_guard<std::mutex> lock(notify_mutex);
+                if (loop != nullptr) loop->notify();
+            }
+        }
     };
 
     void on_accept();
@@ -151,13 +227,16 @@ private:
     void update_interest(Connection& conn);
     void close_conn(Connection& conn);
     void begin_drain();
-    /// During a drain, stops the loop once nothing is left in flight.
+    /// During a drain, half-closes each settled connection and stops the
+    /// loop once every connection has been torn down.
     void check_drain_done();
     void drain_completions();
 
     serve::ExplanationService& service_;
     ServerConfig config_;
     RowLookup row_lookup_;
+    StatsProvider stats_provider_;
+    std::shared_ptr<ConnectionBudget> budget_;
     EventLoop loop_;
     TcpListener listener_;
     std::unordered_map<std::uint64_t, std::unique_ptr<Connection>> conns_;
@@ -165,6 +244,7 @@ private:
     std::shared_ptr<CompletionChannel> channel_;
     std::atomic<bool> drain_requested_{false};
     bool draining_ = false;
+    std::chrono::steady_clock::time_point drain_deadline_{};
     mutable NetMetrics metrics_;
     std::vector<serve::Frame> frames_;  ///< per-read scratch
 };

@@ -1,0 +1,206 @@
+#include "net/sharded_server.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace xnfv::net {
+
+namespace {
+
+[[nodiscard]] std::size_t resolve_shards(std::size_t requested) {
+    if (requested > 0) return requested;
+    const auto hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+void pin_to_cpu([[maybe_unused]] std::thread& thread,
+                [[maybe_unused]] std::size_t cpu) {
+#ifdef __linux__
+    const auto ncpu = std::thread::hardware_concurrency();
+    if (ncpu == 0) return;
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    CPU_SET(cpu % ncpu, &set);
+    // Best-effort: a denied affinity call (cgroup cpuset, RT policy) just
+    // leaves the shard floating, which is still correct.
+    ::pthread_setaffinity_np(thread.native_handle(), sizeof(set), &set);
+#endif
+}
+
+/// mean over shards weighted by per-shard sample count.
+[[nodiscard]] double weighted_mean(double acc_mean, std::uint64_t acc_n,
+                                   double mean, std::uint64_t n) {
+    const auto total = acc_n + n;
+    if (total == 0) return 0.0;
+    return (acc_mean * static_cast<double>(acc_n) +
+            mean * static_cast<double>(n)) /
+           static_cast<double>(total);
+}
+
+}  // namespace
+
+ShardedServer::ShardedServer(std::shared_ptr<const xnfv::ml::Model> model,
+                             xnfv::xai::BackgroundData background,
+                             serve::ServiceConfig service_config,
+                             ShardedServerConfig config)
+    : config_(std::move(config)) {
+    const std::size_t n = resolve_shards(config_.shards);
+    config_.shards = n;
+    budget_ = config_.net.budget
+                  ? config_.net.budget
+                  : std::make_shared<ConnectionBudget>(config_.net.max_connections);
+
+    // Partition the cache: the fleet's total capacity stays what was asked
+    // for, spread over per-shard slices (each internally hash-sharded), and
+    // each slice carries its own drift epoch.
+    serve::ServiceConfig per_shard = std::move(service_config);
+    per_shard.cache_capacity =
+        std::max<std::size_t>(16, per_shard.cache_capacity / n);
+    const std::string snapshot_base = per_shard.snapshot_path;
+
+    shards_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        auto shard = std::make_unique<Shard>();
+        if (!snapshot_base.empty() && n > 1)
+            per_shard.snapshot_path = snapshot_base + ".shard" + std::to_string(i);
+        shard->service = std::make_unique<serve::ExplanationService>(
+            model, background, per_shard);
+
+        ServerConfig net = config_.net;
+        net.reuseport = n > 1;
+        net.budget = budget_;
+        shard->server = std::make_unique<ExplanationServer>(*shard->service,
+                                                            std::move(net));
+        shard->server->set_stats_provider([this] { return stats(); });
+        shards_.push_back(std::move(shard));
+    }
+}
+
+ShardedServer::~ShardedServer() { stop_services(); }
+
+void ShardedServer::set_row_lookup(RowLookup lookup) {
+    for (auto& shard : shards_) shard->server->set_row_lookup(lookup);
+}
+
+bool ShardedServer::start(std::string* error) {
+    // Shard 0 resolves an ephemeral port; siblings then join its reuseport
+    // group on the concrete port.  Anything bound before a failure is closed
+    // when the object is destroyed.
+    if (!shards_[0]->server->start(error)) return false;
+    const std::uint16_t port = shards_[0]->server->port();
+    for (std::size_t i = 1; i < shards_.size(); ++i) {
+        auto& server = *shards_[i]->server;
+        // Rebind the sibling's config onto the learned port.
+        if (!server.bind_port(port, error)) return false;
+    }
+    return true;
+}
+
+void ShardedServer::run() {
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+        auto& shard = *shards_[i];
+        shard.thread = std::thread([&shard] { shard.server->run(); });
+        if (config_.pin_threads && shards_.size() > 1)
+            pin_to_cpu(shard.thread, i);
+    }
+    for (auto& shard : shards_)
+        if (shard->thread.joinable()) shard->thread.join();
+}
+
+void ShardedServer::request_drain() noexcept {
+    for (auto& shard : shards_) shard->server->request_drain();
+}
+
+void ShardedServer::stop_services() {
+    if (services_stopped_.exchange(true)) return;
+    for (auto& shard : shards_) {
+        if (shard->thread.joinable()) {
+            // run() was abandoned mid-serve (exception on the caller's
+            // side); drain so the joins below cannot deadlock.
+            shard->server->request_drain();
+            shard->thread.join();
+        }
+        shard->service->stop();
+    }
+}
+
+std::uint16_t ShardedServer::port() const noexcept {
+    return shards_[0]->server->port();
+}
+
+serve::ServiceStats ShardedServer::stats() const {
+    serve::ServiceStats agg;
+    std::uint64_t batch_n = 0, svc_n = 0, compute_n = 0, probe_n = 0, conn_n = 0;
+    for (const auto& shard : shards_) {
+        const auto s = shard->server->stats();
+        agg.requests_accepted += s.requests_accepted;
+        agg.requests_rejected += s.requests_rejected;
+        agg.requests_completed += s.requests_completed;
+        agg.requests_degraded += s.requests_degraded;
+        agg.batches += s.batches;
+        agg.cache_hits += s.cache_hits;
+        agg.cache_misses += s.cache_misses;
+        agg.cache_evictions += s.cache_evictions;
+        agg.cache_entries += s.cache_entries;
+        for (std::size_t i = 0; i < serve::kNumServeErrors; ++i)
+            agg.errors_by_reason[i] += s.errors_by_reason[i];
+        agg.worker_respawns += s.worker_respawns;
+        agg.worker_stalls += s.worker_stalls;
+        agg.faults_injected += s.faults_injected;
+        agg.snapshot_writes += s.snapshot_writes;
+        agg.snapshot_records_loaded += s.snapshot_records_loaded;
+        agg.snapshot_records_skipped += s.snapshot_records_skipped;
+        agg.queue_depth += s.queue_depth;
+        agg.queue_depth_max += s.queue_depth_max;
+        agg.batch_size_mean =
+            weighted_mean(agg.batch_size_mean, batch_n, s.batch_size_mean, s.batches);
+        batch_n += s.batches;
+        agg.batch_size_max = std::max(agg.batch_size_max, s.batch_size_max);
+        // Latency quantiles cannot be merged exactly from snapshots; the
+        // worst shard is the conservative fleet answer.
+        agg.service_us_p50 = std::max(agg.service_us_p50, s.service_us_p50);
+        agg.service_us_p95 = std::max(agg.service_us_p95, s.service_us_p95);
+        agg.service_us_p99 = std::max(agg.service_us_p99, s.service_us_p99);
+        agg.service_us_mean = weighted_mean(agg.service_us_mean, svc_n,
+                                            s.service_us_mean, s.requests_completed);
+        svc_n += s.requests_completed;
+        agg.compute_us_mean = weighted_mean(agg.compute_us_mean, compute_n,
+                                            s.compute_us_mean, s.cache_misses);
+        compute_n += s.cache_misses;
+        agg.model_evals += s.model_evals;
+        agg.probe_rows_p50 = std::max(agg.probe_rows_p50, s.probe_rows_p50);
+        agg.probe_rows_mean = weighted_mean(agg.probe_rows_mean, probe_n,
+                                            s.probe_rows_mean, s.cache_misses);
+        probe_n += s.cache_misses;
+        agg.probe_rows_max = std::max(agg.probe_rows_max, s.probe_rows_max);
+        agg.drift_checks += s.drift_checks;
+        agg.drift_flushes += s.drift_flushes;
+        agg.cache_epoch = std::max(agg.cache_epoch, s.cache_epoch);
+        agg.adaptive_wait_us = std::max(agg.adaptive_wait_us, s.adaptive_wait_us);
+        agg.connections_accepted += s.connections_accepted;
+        agg.connections_active += s.connections_active;
+        agg.connections_active_max += s.connections_active_max;
+        agg.connections_rejected += s.connections_rejected;
+        agg.connections_closed_idle += s.connections_closed_idle;
+        agg.connections_closed_backpressure += s.connections_closed_backpressure;
+        agg.net_bytes_in += s.net_bytes_in;
+        agg.net_bytes_out += s.net_bytes_out;
+        agg.net_requests += s.net_requests;
+        agg.conn_requests_p50 = std::max(agg.conn_requests_p50, s.conn_requests_p50);
+        agg.conn_requests_mean =
+            weighted_mean(agg.conn_requests_mean, conn_n, s.conn_requests_mean,
+                          s.connections_accepted);
+        conn_n += s.connections_accepted;
+        agg.conn_requests_max = std::max(agg.conn_requests_max, s.conn_requests_max);
+    }
+    agg.net_enabled = true;
+    agg.net_shards = shards_.size();
+    return agg;
+}
+
+}  // namespace xnfv::net

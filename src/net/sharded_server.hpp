@@ -1,0 +1,123 @@
+// Thread-per-core sharded TCP serving: N independent (event loop + service)
+// shards behind one SO_REUSEPORT port.
+//
+// Scale-out model (DESIGN.md section 13):
+//
+//   * Accept sharding — every shard binds its own SO_REUSEPORT listener on
+//     the same port; the kernel hashes incoming connections across them, so
+//     there is no shared accept lock and no connection handoff.
+//   * Share-nothing serving — each shard owns a full ExplanationService
+//     (admission queue, micro-batcher, dispatcher thread, LRU cache slice
+//     with its own drift epoch) and a full ExplanationServer (epoll loop,
+//     connections, SPSC completion ring).  A connection lives and dies on
+//     the shard that accepted it, which is what keeps per-connection
+//     response bytes identical to the single-loop server: ordering is
+//     per-connection, and every request is explained by a fresh explainer
+//     seeded from the request itself.
+//   * Partitioned cache — the configured capacity is split evenly across
+//     shards; within a shard, keys spread over the existing hash-sharded
+//     LRU.  Drift epochs are per shard: each shard's monitor watches the
+//     traffic that shard actually served and re-keys only its own slice.
+//   * Fleet-wide invariants — the connection limit is one ConnectionBudget
+//     shared by all acceptors (rejects are exactly countable no matter how
+//     the kernel spreads the storm), and `{"op":"stats"}` on any connection
+//     reports the cross-shard aggregate.
+//
+// Lifecycle: construct (builds all shards' services), start() (binds all
+// listeners — shard 0 first to learn an ephemeral port), run() (spawns one
+// pinned thread per shard and blocks), request_drain() (async-signal-safe
+// fan-out; run() returns once every shard has flushed its in-flight work).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/server.hpp"
+#include "serve/service.hpp"
+
+namespace xnfv::net {
+
+struct ShardedServerConfig {
+    /// Per-shard front-end settings.  `max_connections` is the FLEET limit
+    /// (enforced via one shared budget); `port` 0 picks an ephemeral port
+    /// shared by every shard.
+    ServerConfig net;
+    /// Number of (event loop + service) shards; 0 = hardware concurrency.
+    std::size_t shards = 0;
+    /// Pin shard i's loop thread to CPU i mod hardware concurrency.
+    bool pin_threads = true;
+};
+
+/// N-way sharded explanation server.  Owns its services (one per shard),
+/// built from the same (model, background, config) triple so every shard
+/// serves byte-identical answers.
+class ShardedServer {
+public:
+    using RowLookup = ExplanationServer::RowLookup;
+
+    /// `service_config.cache_capacity` is divided across shards (floor 16
+    /// per shard); `snapshot_path`, when set, gets a ".shardK" suffix per
+    /// shard so snapshots stay self-describing and non-overlapping.
+    ShardedServer(std::shared_ptr<const xnfv::ml::Model> model,
+                  xnfv::xai::BackgroundData background,
+                  serve::ServiceConfig service_config,
+                  ShardedServerConfig config = {});
+    ~ShardedServer();
+
+    ShardedServer(const ShardedServer&) = delete;
+    ShardedServer& operator=(const ShardedServer&) = delete;
+
+    /// Installed on every shard (connections may land anywhere).
+    void set_row_lookup(RowLookup lookup);
+
+    /// Binds every shard's listener.  On failure returns false, stores why
+    /// in `error` (when non-null), and closes whatever was bound.
+    [[nodiscard]] bool start(std::string* error = nullptr);
+
+    /// Runs every shard on its own (optionally pinned) thread and blocks the
+    /// caller until all have drained.  start() must have succeeded.
+    void run();
+
+    /// Begins a graceful drain on every shard.  Async-signal-safe and
+    /// idempotent — wired to SIGTERM by the CLI.
+    void request_drain() noexcept;
+
+    /// Stops every shard's service (drains queued work, joins dispatchers,
+    /// writes final snapshots).  Idempotent; the destructor calls it.  Only
+    /// valid after run() has returned.
+    void stop_services();
+
+    [[nodiscard]] std::uint16_t port() const noexcept;
+    [[nodiscard]] std::size_t shards() const noexcept { return shards_.size(); }
+
+    /// Cross-shard aggregate: counters and gauges sum, latency quantiles
+    /// take the worst shard (conservative), means weight by request count,
+    /// and `cache_epoch` reports the highest shard epoch.
+    [[nodiscard]] serve::ServiceStats stats() const;
+
+    /// Shard internals, for tests and benchmarks.
+    [[nodiscard]] serve::ExplanationService& service(std::size_t shard) {
+        return *shards_[shard]->service;
+    }
+    [[nodiscard]] ExplanationServer& server(std::size_t shard) {
+        return *shards_[shard]->server;
+    }
+
+private:
+    struct Shard {
+        std::unique_ptr<serve::ExplanationService> service;
+        std::unique_ptr<ExplanationServer> server;
+        std::thread thread;
+    };
+
+    ShardedServerConfig config_;
+    std::shared_ptr<ConnectionBudget> budget_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+    std::atomic<bool> services_stopped_{false};
+};
+
+}  // namespace xnfv::net

@@ -26,7 +26,7 @@ void set_nodelay(int fd) noexcept {
 TcpListener::~TcpListener() { close(); }
 
 bool TcpListener::listen(const std::string& host, std::uint16_t port,
-                         std::string* error) {
+                         std::string* error, bool reuseport) {
     const auto fail = [this, error](const std::string& what) {
         if (error) *error = what + ": " + std::strerror(errno);
         close();
@@ -56,9 +56,14 @@ bool TcpListener::listen(const std::string& host, std::uint16_t port,
     if (fd_ < 0) return fail("socket");
     int one = 1;
     ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (reuseport &&
+        ::setsockopt(fd_, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) != 0)
+        return fail("setsockopt(SO_REUSEPORT)");
     if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), addr_len) != 0)
         return fail("bind");
-    if (::listen(fd_, 128) != 0) return fail("listen");
+    // Deep backlog: a 10k-connection storm must not shed SYNs just because
+    // the accept loop is a few milliseconds behind.
+    if (::listen(fd_, 4096) != 0) return fail("listen");
     if (!set_nonblocking(fd_)) return fail("fcntl");
 
     // Recover the actual port for the port==0 (ephemeral) case.

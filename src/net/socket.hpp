@@ -28,11 +28,15 @@ public:
     TcpListener(const TcpListener&) = delete;
     TcpListener& operator=(const TcpListener&) = delete;
 
-    /// Binds `host:port` (SO_REUSEADDR, backlog 128) and starts listening.
-    /// `port` 0 picks an ephemeral port, readable via port() afterwards.
-    /// On failure returns false and, when `error` is non-null, stores why.
+    /// Binds `host:port` (SO_REUSEADDR, backlog 4096 — the kernel clamps to
+    /// somaxconn) and starts listening.  `port` 0 picks an ephemeral port,
+    /// readable via port() afterwards.  With `reuseport` set the socket is
+    /// also SO_REUSEPORT, so N shard listeners can bind the same port and
+    /// have the kernel hash incoming connections across them — the
+    /// accept-side of thread-per-core serving.  On failure returns false
+    /// and, when `error` is non-null, stores why.
     [[nodiscard]] bool listen(const std::string& host, std::uint16_t port,
-                              std::string* error);
+                              std::string* error, bool reuseport = false);
 
     /// Accepts one pending connection; the returned fd is already
     /// non-blocking with TCP_NODELAY set.  Returns -1 when no connection is

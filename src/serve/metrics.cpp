@@ -134,11 +134,12 @@ std::string ServiceStats::to_string() const {
     if (net_enabled) {
         std::snprintf(
             buf, sizeof(buf),
-            "  net         conns accepted %llu  active %llu (max %llu)  "
-            "rejected %llu\n"
+            "  net         shards %llu  conns accepted %llu  active %llu "
+            "(max %llu)  rejected %llu\n"
             "              closed idle %llu  backpressure %llu\n"
             "              bytes in %llu  out %llu  requests %llu  "
             "reqs/conn p50 %.1f  max %llu\n",
+            static_cast<unsigned long long>(net_shards),
             static_cast<unsigned long long>(connections_accepted),
             static_cast<unsigned long long>(connections_active),
             static_cast<unsigned long long>(connections_active_max),

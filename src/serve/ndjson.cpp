@@ -361,6 +361,7 @@ std::string render_stats(const ServiceStats& s) {
     w.field("snapshot_records_loaded", s.snapshot_records_loaded);
     w.field("snapshot_records_skipped", s.snapshot_records_skipped);
     if (s.net_enabled) {
+        w.field("net_shards", s.net_shards);
         w.field("connections_accepted", s.connections_accepted);
         w.field("connections_active", s.connections_active);
         w.field("connections_rejected", s.connections_rejected);

@@ -98,6 +98,30 @@ kill -TERM "$SRV"
 wait "$SRV"
 grep -q '^drained$' "$DIR/tcp.out"
 
+# Sharded serving: same probe against a 2-shard server must produce the
+# same bytes as the single-loop answer, and the graceful drain still works.
+"$CLI" serve --model "$DIR/model.xnfv" --data "$DIR/data.csv" \
+    --listen 0 --shards 2 > "$DIR/tcp2.out" 2>&1 &
+SRV2=$!
+PORT2=""
+i=0
+while [ $i -lt 100 ]; do
+  PORT2=$(sed -n 's/^listening on .*:\([0-9][0-9]*\)$/\1/p' "$DIR/tcp2.out")
+  [ -n "$PORT2" ] && break
+  i=$((i + 1))
+  sleep 0.1
+done
+test -n "$PORT2"
+grep -q '^shards 2$' "$DIR/tcp2.out"
+"$CLI" netprobe --port "$PORT2" --row 1 --count 2 --stats > "$DIR/probe2.out"
+test "$(wc -l < "$DIR/probe2.out")" -eq 3
+grep -q '"net_shards":2' "$DIR/probe2.out"
+head -n 1 "$DIR/probe2.out" | sed 's/"cache_hit":[a-z]*/"cache_hit":_/' > "$DIR/probe2.norm"
+cmp -s "$DIR/probe2.norm" "$DIR/stdin.norm"
+kill -TERM "$SRV2"
+wait "$SRV2"
+grep -q '^drained$' "$DIR/tcp2.out"
+
 # Failure paths must fail loudly, not crash.
 if "$CLI" train --data /nonexistent.csv --out "$DIR/x" 2>/dev/null; then exit 1; fi
 if "$CLI" explain --model "$DIR/model.xnfv" --data "$DIR/data.csv" --row 99999 2>/dev/null; then exit 1; fi

@@ -7,6 +7,7 @@
 // connection.
 #include <gtest/gtest.h>
 
+#include <random>
 #include <string>
 #include <vector>
 
@@ -168,6 +169,142 @@ TEST(LineDecoder, MaxLineAccessor) {
     EXPECT_EQ(d.max_line(), 4096u);
     serve::LineDecoder clamped(0);  // clamped to at least 1
     EXPECT_EQ(clamped.max_line(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Property tests: the decoded frame sequence is a pure function of the byte
+// stream — independent of how the kernel splits it into reads.  Seeded
+// random schedules make the cases reproducible; any failure prints its seed.
+
+/// One seeded-random wire stream mixing everything the decoder must survive:
+/// valid JSON lines, malformed fragments, whitespace, CRLF endings, an
+/// embedded NUL, multi-byte UTF-8 runs, and lines past the size cap.
+std::string random_wire(std::mt19937_64& rng, std::size_t lines,
+                        std::size_t max_line) {
+    std::string wire;
+    for (std::size_t i = 0; i < lines; ++i) {
+        switch (rng() % 8) {
+            case 0:
+                wire += "{\"op\":\"explain\",\"row\":" + std::to_string(rng() % 100) +
+                        "}";
+                break;
+            case 1:  // malformed JSON — framing must still carry it whole
+                wire += "{\"op\":\"explain\",\"row\":";
+                break;
+            case 2:  // blank / whitespace-only (skipped by the decoder)
+                wire += (rng() % 2) ? "" : " \t ";
+                break;
+            case 3: {  // oversize: breaches the cap, must yield ONE error
+                wire += std::string(max_line + 1 + rng() % 40, 'x');
+                break;
+            }
+            case 4:  // multi-byte UTF-8 payload (2-, 3-, and 4-byte runs)
+                wire += "{\"note\":\"\xCE\xBB \xE2\x82\xAC \xF0\x9F\x9A\x80\"}";
+                break;
+            case 5:  // inner CR is payload, not framing
+                wire += "{\"a\":\"x\ry\"}";
+                break;
+            case 6:  // embedded NUL -> structured bad_request
+                wire += std::string("{\"z\":\0}", 7);
+                break;
+            default:
+                wire += "{\"id\":" + std::to_string(rng() % 1000) + "}";
+                break;
+        }
+        wire += (rng() % 4 == 0) ? "\r\n" : "\n";
+    }
+    return wire;
+}
+
+TEST(LineDecoderFuzz, FramesIndependentOfSplitSchedule) {
+    // 64 random streams x 8 random split schedules each, all compared to
+    // the whole-buffer reference decode of the same bytes.
+    for (std::uint64_t stream_seed = 1; stream_seed <= 64; ++stream_seed) {
+        std::mt19937_64 rng(0x5eed0000 + stream_seed);
+        const auto wire = random_wire(rng, 12 + rng() % 20, /*max_line=*/64);
+
+        serve::LineDecoder whole(64);
+        Frames reference;
+        whole.feed(wire.data(), wire.size(), reference);
+
+        for (std::uint64_t split_seed = 1; split_seed <= 8; ++split_seed) {
+            std::mt19937_64 split_rng(0xca11ab1e + split_seed * 7919);
+            serve::LineDecoder d(64);
+            Frames got;
+            std::size_t at = 0;
+            while (at < wire.size()) {
+                const std::size_t chunk =
+                    std::min<std::size_t>(wire.size() - at, split_rng() % 18);
+                d.feed(wire.data() + at, chunk, got);
+                at += chunk;
+            }
+            ASSERT_EQ(got.size(), reference.size())
+                << "stream " << stream_seed << " split " << split_seed;
+            for (std::size_t i = 0; i < got.size(); ++i) {
+                EXPECT_EQ(got[i].text, reference[i].text)
+                    << "stream " << stream_seed << " split " << split_seed
+                    << " frame " << i;
+                EXPECT_EQ(got[i].error, reference[i].error)
+                    << "stream " << stream_seed << " split " << split_seed
+                    << " frame " << i;
+                EXPECT_EQ(got[i].message, reference[i].message)
+                    << "stream " << stream_seed << " split " << split_seed
+                    << " frame " << i;
+            }
+            EXPECT_EQ(d.buffered(), whole.buffered())
+                << "stream " << stream_seed << " split " << split_seed;
+        }
+    }
+}
+
+TEST(LineDecoderFuzz, BytewiseEqualsWholeOnRandomStreams) {
+    // The pathological 1-byte-read schedule over the same random mixes.
+    for (std::uint64_t seed = 1; seed <= 32; ++seed) {
+        std::mt19937_64 rng(0xb17e0000 + seed);
+        const auto wire = random_wire(rng, 10 + rng() % 16, /*max_line=*/48);
+        serve::LineDecoder whole(48);
+        Frames reference;
+        whole.feed(wire.data(), wire.size(), reference);
+        serve::LineDecoder d(48);
+        Frames got;
+        for (const char c : wire) d.feed(&c, 1, got);
+        ASSERT_EQ(got.size(), reference.size()) << "seed " << seed;
+        for (std::size_t i = 0; i < got.size(); ++i) {
+            EXPECT_EQ(got[i].text, reference[i].text) << "seed " << seed;
+            EXPECT_EQ(got[i].error, reference[i].error) << "seed " << seed;
+        }
+    }
+}
+
+TEST(LineDecoderFuzz, RandomSplitsOfConcatenatedKnownStreamsNeverDesync) {
+    // Adversarial back-to-back recovery: oversize breach immediately
+    // followed by a valid frame, repeated, under random splits — the
+    // decoder must re-sync at every newline.
+    std::string wire;
+    for (int i = 0; i < 20; ++i) {
+        wire += std::string(100, 'y') + "\n";        // breach (cap is 32)
+        wire += "{\"ok\":" + std::to_string(i) + "}\n";  // must survive
+    }
+    serve::LineDecoder whole(32);
+    Frames reference;
+    whole.feed(wire.data(), wire.size(), reference);
+    ASSERT_EQ(reference.size(), 40u);  // 20 error frames + 20 valid frames
+    for (std::uint64_t seed = 1; seed <= 16; ++seed) {
+        std::mt19937_64 rng(0xdec0de00 + seed);
+        serve::LineDecoder d(32);
+        Frames got;
+        std::size_t at = 0;
+        while (at < wire.size()) {
+            const std::size_t chunk =
+                std::min<std::size_t>(wire.size() - at, 1 + rng() % 7);
+            d.feed(wire.data() + at, chunk, got);
+            at += chunk;
+        }
+        ASSERT_EQ(got.size(), reference.size()) << "seed " << seed;
+        for (std::size_t i = 0; i < got.size(); ++i)
+            EXPECT_EQ(got[i].text, reference[i].text)
+                << "seed " << seed << " frame " << i;
+    }
 }
 
 }  // namespace

@@ -1,0 +1,357 @@
+// Shard-equivalence suite for the thread-per-core TCP front-end
+// (net/sharded_server.hpp).
+//
+// The central claim: sharding is a pure scale-out transform.  A recorded
+// multi-connection request stream — explains by row and by features, cache
+// repeats, malformed JSON, unknown ops, bad feature vectors, dead-on-arrival
+// deadlines, stats probes, quit barriers and half-close endings — replayed
+// against a single-loop ExplanationServer and against 1/2/4/8-shard
+// ShardedServers must produce byte-identical per-connection response
+// streams, no matter which shard the kernel's SO_REUSEPORT hash lands each
+// connection on.  Stats frames are the one deliberate exception (they
+// report fleet aggregates, so net_shards and distribution-dependent fields
+// differ); they are checked semantically instead.
+//
+// Scripts keep per-connection row pools disjoint and run the client at
+// window 1, so every response byte — including cache_hit flags — is a pure
+// function of the connection's own request sequence, never of cross-
+// connection timing.  That is exactly the per-connection determinism the
+// sharded design promises (DESIGN.md section 13).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <random>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mlcore/forest.hpp"
+#include "net/loadgen.hpp"
+#include "net/server.hpp"
+#include "net/sharded_server.hpp"
+#include "serve/ndjson.hpp"
+#include "serve/service.hpp"
+#include "workload/dataset_builder.hpp"
+
+namespace ml = xnfv::ml;
+namespace net = xnfv::net;
+namespace serve = xnfv::serve;
+namespace wl = xnfv::wl;
+namespace xai = xnfv::xai;
+
+using namespace std::chrono_literals;
+
+namespace {
+
+constexpr std::uint64_t kSeed = 11;
+
+struct Scenario {
+    ml::Dataset data;
+    std::shared_ptr<ml::RandomForest> forest;
+    xai::BackgroundData background;
+};
+
+const Scenario& scenario() {
+    static const Scenario s = [] {
+        Scenario out;
+        ml::Rng rng(2020);
+        wl::BuildOptions opt;
+        opt.num_samples = 260;
+        out.data = wl::build_dataset(wl::standard_scenarios()[0], opt, rng).data;
+        out.forest = std::make_shared<ml::RandomForest>(
+            ml::RandomForest::Config{.num_trees = 8});
+        out.forest->fit(out.data, rng);
+        out.background = xai::BackgroundData(out.data.x, 32);
+        return out;
+    }();
+    return s;
+}
+
+net::ShardedServer::RowLookup row_lookup() {
+    return [](std::size_t row, std::vector<double>& features) {
+        const auto& sc = scenario();
+        if (row >= sc.data.size()) return false;
+        const auto x = sc.data.x.row(row);
+        features.assign(x.begin(), x.end());
+        return true;
+    };
+}
+
+serve::ServiceConfig service_config() {
+    serve::ServiceConfig cfg;
+    cfg.method = "tree_shap";
+    cfg.seed = kSeed;
+    cfg.queue_depth = 512;
+    cfg.max_batch = 8;
+    cfg.max_wait = std::chrono::microseconds(100);
+    cfg.cache_capacity = 4096;
+    return cfg;
+}
+
+/// What kind of line the server must emit for one scripted request.
+enum class Expect { response, stats };
+
+struct Recorded {
+    std::vector<std::vector<std::string>> scripts;   ///< per connection
+    std::vector<std::vector<Expect>> expects;        ///< per answered line
+    bool shutdown_writes = false;                    ///< EOF-ended scripts
+};
+
+std::string row_request(std::uint64_t id, std::size_t row,
+                        const std::string& method) {
+    serve::JsonWriter w;
+    w.field("op", "explain");
+    w.field("id", id);
+    w.field("row", static_cast<std::uint64_t>(row));
+    w.field("method", method);
+    w.field("seed", kSeed);
+    return w.finish();
+}
+
+std::string features_request(std::uint64_t id, std::size_t row,
+                             const std::string& method) {
+    const auto& s = scenario();
+    const auto x = s.data.x.row(row);
+    serve::JsonWriter w;
+    w.field("op", "explain");
+    w.field("id", id);
+    w.field("method", method);
+    w.field("seed", kSeed);
+    w.field_array("features", std::vector<double>(x.begin(), x.end()));
+    return w.finish();
+}
+
+/// The recorded stream: a seeded-random mix over every request shape the
+/// protocol has, with per-connection disjoint row pools (connection c owns
+/// rows {3c, 3c+1, 3c+2}) so cache hits depend only on the connection's own
+/// history.
+Recorded record_stream(std::size_t conns, std::uint64_t seed, bool quit_ended) {
+    Recorded rec;
+    rec.scripts.resize(conns);
+    rec.expects.resize(conns);
+    rec.shutdown_writes = !quit_ended;
+    std::mt19937_64 rng(seed);
+    const std::vector<std::string> methods{"tree_shap", "lime", "occlusion"};
+    for (std::size_t c = 0; c < conns; ++c) {
+        auto& script = rec.scripts[c];
+        auto& expects = rec.expects[c];
+        const std::size_t pool = 3 * c;
+        const auto rows = scenario().data.size();
+        const std::size_t len = 4 + rng() % 8;
+        std::uint64_t id = 1;
+        for (std::size_t i = 0; i < len; ++i) {
+            const auto& method = methods[rng() % methods.size()];
+            switch (rng() % 8) {
+                case 0:  // cache repeat: same row twice, back to back
+                    script.push_back(row_request(id++, (pool + 1) % rows, method));
+                    script.push_back(row_request(id++, (pool + 1) % rows, method));
+                    expects.push_back(Expect::response);
+                    expects.push_back(Expect::response);
+                    break;
+                case 1:
+                    script.push_back(
+                        features_request(id++, (pool + rng() % 3) % rows, method));
+                    expects.push_back(Expect::response);
+                    break;
+                case 2:  // malformed JSON -> synchronous bad_request
+                    script.push_back("{\"op\":\"explain\",\"row\":");
+                    expects.push_back(Expect::response);
+                    break;
+                case 3:  // unknown op
+                    script.push_back("{\"op\":\"frobnicate\",\"id\":7}");
+                    expects.push_back(Expect::response);
+                    break;
+                case 4: {  // wrong feature count -> bad_features
+                    serve::JsonWriter w;
+                    w.field("op", "explain");
+                    w.field("id", id++);
+                    w.field_array("features", std::vector<double>{1.0, 2.0});
+                    script.push_back(w.finish());
+                    expects.push_back(Expect::response);
+                    break;
+                }
+                case 5: {  // dead on arrival -> deadline_exceeded rejection
+                    serve::JsonWriter w;
+                    w.field("op", "explain");
+                    w.field("id", id++);
+                    w.field("row", static_cast<std::uint64_t>(pool % rows));
+                    w.field("deadline_ms", std::uint64_t{0});
+                    script.push_back(w.finish());
+                    expects.push_back(Expect::response);
+                    break;
+                }
+                case 6:  // nonexistent row
+                    script.push_back(row_request(id++, rows + 17, method));
+                    expects.push_back(Expect::response);
+                    break;
+                default:
+                    script.push_back(row_request(id++, (pool + rng() % 3) % rows,
+                                                 method));
+                    expects.push_back(Expect::response);
+                    break;
+            }
+        }
+        script.push_back("{\"op\":\"stats\"}");
+        expects.push_back(Expect::stats);
+        if (quit_ended) {
+            // The frame after the quit barrier must be ignored, not
+            // answered.  Both frames ride in one write (the window-1 client
+            // would otherwise wait forever for quit's nonexistent reply).
+            script.push_back("{\"op\":\"quit\"}\n" +
+                             row_request(id++, pool % rows, "tree_shap"));
+        }
+    }
+    return rec;
+}
+
+/// Plays the recorded stream and returns per-connection line streams.
+std::vector<std::vector<std::string>> replay(std::uint16_t port,
+                                             const Recorded& rec) {
+    net::LoadgenConfig lg;
+    lg.port = port;
+    lg.window = 1;  // strict order: responses depend only on own history
+    lg.shutdown_writes = rec.shutdown_writes;
+    lg.timeout = std::chrono::milliseconds(120000);
+    const auto report = net::run_load(lg, rec.scripts);
+    EXPECT_FALSE(report.timed_out);
+    std::vector<std::vector<std::string>> streams(rec.scripts.size());
+    for (std::size_t c = 0; c < report.conns.size(); ++c) {
+        const auto& conn = report.conns[c];
+        EXPECT_FALSE(conn.connect_failed) << "conn " << c;
+        EXPECT_FALSE(conn.io_error) << "conn " << c;
+        EXPECT_TRUE(conn.eof) << "conn " << c;
+        EXPECT_TRUE(conn.partial.empty()) << "conn " << c << " truncated line";
+        streams[c] = conn.lines;
+    }
+    return streams;
+}
+
+/// Single-loop reference server (the pre-sharding architecture).
+std::vector<std::vector<std::string>> run_single_loop(const Recorded& rec) {
+    const auto& s = scenario();
+    serve::ExplanationService service(s.forest, s.background, service_config());
+    net::ExplanationServer server(service);
+    server.set_row_lookup(row_lookup());
+    std::string error;
+    if (!server.start(&error)) throw std::runtime_error(error);
+    std::thread loop([&server] { server.run(); });
+    auto streams = replay(server.port(), rec);
+    server.request_drain();
+    loop.join();
+    service.stop();
+    return streams;
+}
+
+std::vector<std::vector<std::string>> run_sharded(const Recorded& rec,
+                                                  std::size_t shards,
+                                                  serve::ServiceStats* stats_out =
+                                                      nullptr) {
+    const auto& s = scenario();
+    net::ShardedServerConfig shcfg;
+    shcfg.shards = shards;
+    shcfg.net.max_connections = rec.scripts.size() + 16;
+    net::ShardedServer server(s.forest, s.background, service_config(), shcfg);
+    server.set_row_lookup(row_lookup());
+    std::string error;
+    if (!server.start(&error)) throw std::runtime_error(error);
+    std::thread loop([&server] { server.run(); });
+    auto streams = replay(server.port(), rec);
+    if (stats_out) *stats_out = server.stats();
+    server.request_drain();
+    loop.join();
+    server.stop_services();
+    return streams;
+}
+
+/// Byte-compares two replays: every non-stats line exactly, stats lines
+/// semantically (shape + shard count).
+void expect_equivalent(const std::vector<std::vector<std::string>>& got,
+                       const std::vector<std::vector<std::string>>& want,
+                       const Recorded& rec, std::size_t shards) {
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t c = 0; c < got.size(); ++c) {
+        ASSERT_EQ(got[c].size(), rec.expects[c].size())
+            << "conn " << c << " answered a different number of frames at "
+            << shards << " shards (quit barrier or drop bug)";
+        ASSERT_EQ(want[c].size(), rec.expects[c].size());
+        for (std::size_t i = 0; i < got[c].size(); ++i) {
+            if (rec.expects[c][i] == Expect::stats) {
+                const auto parsed = serve::parse_json(got[c][i]);
+                EXPECT_EQ(parsed.get_string("op", ""), "stats");
+                EXPECT_EQ(static_cast<std::size_t>(
+                              parsed.get_number("net_shards", 0)),
+                          shards)
+                    << "conn " << c;
+                continue;
+            }
+            EXPECT_EQ(got[c][i], want[c][i])
+                << "conn " << c << " line " << i << " diverged at " << shards
+                << " shards";
+        }
+    }
+}
+
+}  // namespace
+
+TEST(ShardedEquivalence, QuitEndedStreamsAreByteIdenticalAcrossShardCounts) {
+    const auto rec = record_stream(24, 0xfeed2020, /*quit_ended=*/true);
+    const auto reference = run_single_loop(rec);
+    for (const std::size_t shards : {std::size_t{1}, std::size_t{2},
+                                     std::size_t{4}, std::size_t{8}}) {
+        SCOPED_TRACE("shards=" + std::to_string(shards));
+        expect_equivalent(run_sharded(rec, shards), reference, rec, shards);
+    }
+}
+
+TEST(ShardedEquivalence, HalfCloseEndedStreamsAreByteIdenticalAcrossShardCounts) {
+    // Same claim for connections ended by client half-close (peer EOF) —
+    // the server must flush everything in flight, then close.
+    const auto rec = record_stream(16, 0xabba1972, /*quit_ended=*/false);
+    const auto reference = run_single_loop(rec);
+    for (const std::size_t shards : {std::size_t{1}, std::size_t{2},
+                                     std::size_t{4}, std::size_t{8}}) {
+        SCOPED_TRACE("shards=" + std::to_string(shards));
+        expect_equivalent(run_sharded(rec, shards), reference, rec, shards);
+    }
+}
+
+TEST(ShardedEquivalence, ServedLineMatchesOneShotExplainer) {
+    // Ties the whole suite to the determinism contract: the first explain
+    // answer of a recorded stream equals a fresh one-shot explainer rendered
+    // through the shared wire renderer, even at 8 shards.
+    Recorded rec;
+    rec.scripts = {{row_request(1, 5, "tree_shap"), "{\"op\":\"quit\"}"}};
+    rec.expects = {{Expect::response}};
+    const auto streams = run_sharded(rec, 8);
+    ASSERT_EQ(streams[0].size(), 1u);
+    const auto& s = scenario();
+    const auto explainer = serve::make_explainer("tree_shap", s.background, kSeed);
+    serve::ExplainResponse r;
+    r.id = 1;
+    r.ok = true;
+    r.cache_hit = false;
+    r.explanation = explainer->explain(*s.forest, s.data.x.row(5));
+    EXPECT_EQ(streams[0][0], serve::render_response(r));
+}
+
+TEST(ShardedEquivalence, StatsAggregateAcrossShards) {
+    // The fleet aggregate must add up exactly: every scripted explain is
+    // accepted-or-rejected on some shard, and stats() sums them all.
+    const auto rec = record_stream(12, 0xc0ffee, /*quit_ended=*/true);
+    serve::ServiceStats stats;
+    const auto streams = run_sharded(rec, 4, &stats);
+    std::uint64_t lines = 0;
+    for (const auto& s : streams) lines += s.size();
+    std::uint64_t expected_lines = 0;
+    for (const auto& e : rec.expects) expected_lines += e.size();
+    EXPECT_EQ(lines, expected_lines);
+    EXPECT_EQ(stats.net_shards, 4u);
+    EXPECT_EQ(stats.connections_accepted, 12u);
+    EXPECT_EQ(stats.connections_rejected, 0u);
+    EXPECT_EQ(stats.net_requests, expected_lines);
+    // Every admitted explain completed (no drops on the quit barrier path).
+    EXPECT_EQ(stats.requests_accepted, stats.requests_completed);
+}

@@ -37,6 +37,7 @@
 #include "mlcore/tree.hpp"
 #include "net/client.hpp"
 #include "net/server.hpp"
+#include "net/sharded_server.hpp"
 #include "serve/ndjson.hpp"
 #include "serve/service.hpp"
 #include "workload/dataset_builder.hpp"
@@ -120,6 +121,10 @@ int usage() {
         "            same ND-JSON protocol over TCP (PORT 0 = ephemeral;\n"
         "            first line printed is `listening on HOST:PORT`;\n"
         "            SIGTERM drains gracefully)\n"
+        "            [--shards N]   thread-per-core serving: N SO_REUSEPORT\n"
+        "            event-loop+service shards (0 = hardware concurrency;\n"
+        "            --max-conns stays a fleet-wide limit and responses are\n"
+        "            byte-identical at any shard count)\n"
         "            ND-JSON requests on stdin (or the socket), one per line:\n"
         "              {\"op\":\"explain\",\"row\":3}\n"
         "              {\"op\":\"explain\",\"features\":[...],\"method\":\"lime\"}\n"
@@ -286,7 +291,7 @@ int cmd_global(const Args& args) {
 
 /// The SIGTERM/SIGINT target when `serve --listen` is active: the handler
 /// may only call the async-signal-safe request_drain().
-std::atomic<xnfv::net::ExplanationServer*> g_drain_target{nullptr};
+std::atomic<xnfv::net::ShardedServer*> g_drain_target{nullptr};
 
 extern "C" void serve_signal_handler(int) {
     if (auto* server = g_drain_target.load()) server->request_drain();
@@ -355,21 +360,24 @@ int cmd_serve(const Args& args) {
         cfg.fault_injector = std::make_shared<serve::FaultInjector>(fi);
     }
 
-    serve::ExplanationService service(model, xai::BackgroundData(data.x, 128), cfg);
-
-    // --listen: serve the same protocol over TCP instead of stdin/stdout.
+    // --listen: serve the same protocol over TCP instead of stdin/stdout,
+    // thread-per-core sharded (--shards N, 0 = hardware concurrency).  The
+    // sharded server owns one service per shard, so the stdin-loop service
+    // below is only built for the stdin path.
     if (args.has("listen")) {
-        xnfv::net::ServerConfig scfg;
-        scfg.host = args.get("host", "127.0.0.1");
-        scfg.port = static_cast<std::uint16_t>(args.get_int("listen", 0));
-        scfg.max_connections =
+        xnfv::net::ShardedServerConfig shcfg;
+        shcfg.net.host = args.get("host", "127.0.0.1");
+        shcfg.net.port = static_cast<std::uint16_t>(args.get_int("listen", 0));
+        shcfg.net.max_connections =
             static_cast<std::size_t>(args.get_int("max-conns", 256));
-        scfg.idle_timeout =
+        shcfg.net.idle_timeout =
             std::chrono::milliseconds(args.get_int("idle-timeout-ms", 0));
-        scfg.max_output_bytes =
+        shcfg.net.max_output_bytes =
             static_cast<std::size_t>(args.get_int("max-output", 8 << 20));
+        shcfg.shards = static_cast<std::size_t>(args.get_int("shards", 0));
 
-        xnfv::net::ExplanationServer server(service, scfg);
+        xnfv::net::ShardedServer server(model, xai::BackgroundData(data.x, 128),
+                                        cfg, shcfg);
         server.set_row_lookup(
             [&data](std::size_t row, std::vector<double>& features) {
                 if (row >= data.size()) return false;
@@ -386,18 +394,21 @@ int cmd_serve(const Args& args) {
         std::signal(SIGTERM, serve_signal_handler);
         std::signal(SIGINT, serve_signal_handler);
         // First stdout line is machine-readable so scripts can discover an
-        // ephemeral port (--listen 0).
-        std::printf("listening on %s:%u\n", scfg.host.c_str(),
+        // ephemeral port (--listen 0); its format is load-bearing.
+        std::printf("listening on %s:%u\n", shcfg.net.host.c_str(),
                     static_cast<unsigned>(server.port()));
+        std::printf("shards %zu\n", server.shards());
         std::fflush(stdout);
         server.run();
         g_drain_target.store(nullptr);
         std::signal(SIGTERM, SIG_DFL);
         std::signal(SIGINT, SIG_DFL);
-        service.stop();
+        server.stop_services();
         std::printf("drained\n");
         return 0;
     }
+
+    serve::ExplanationService service(model, xai::BackgroundData(data.x, 128), cfg);
 
     std::vector<std::future<serve::ExplainResponse>> pending;
     const auto drain = [&pending] {
