@@ -96,6 +96,7 @@ public:
     std::uint64_t bytes_out = 0;
     std::uint64_t requests = 0;        ///< frames answered on this connection
     std::uint64_t next_request_id = 1; ///< default `id` counter (stdin parity)
+    std::string default_model;         ///< session default set by `use` ("" = service default)
     bool saw_quit = false;             ///< frames after `quit` are ignored
     bool close_after_flush = false;    ///< drop once the outbuf drains
     bool peer_eof = false;             ///< peer half-closed; finish writes, then drop

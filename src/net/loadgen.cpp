@@ -11,7 +11,25 @@
 #include <cstring>
 #include <deque>
 
+#include "serve/ndjson.hpp"
+
 namespace xnfv::net {
+
+std::string render_request_line(const RequestSpec& spec) {
+    serve::JsonWriter w;
+    w.field("op", "explain");
+    w.field("id", spec.id);
+    if (spec.row >= 0)
+        w.field("row", static_cast<std::uint64_t>(spec.row));
+    else
+        w.field_array("features", spec.features);
+    if (!spec.method.empty()) w.field("method", spec.method);
+    if (!spec.model.empty()) w.field("model", spec.model);
+    if (spec.seed != 0) w.field("seed", spec.seed);
+    if (spec.deadline_ms >= 0)
+        w.field("deadline_ms", static_cast<double>(spec.deadline_ms));
+    return w.finish();
+}
 
 namespace {
 

@@ -64,6 +64,25 @@ struct LoadReport {
     }
 };
 
+/// One explain request for script building.  Exactly one of `row` (>= 0) or
+/// `features` (non-empty) supplies the instance; optional fields are omitted
+/// from the rendered line when left at their defaults, so a spec without a
+/// model renders byte-identically to the pre-registry request lines.
+struct RequestSpec {
+    std::uint64_t id = 0;
+    long row = -1;
+    std::vector<double> features;
+    std::string method;
+    /// Registry model name for mixed-tenant workloads ("" = server default).
+    std::string model;
+    std::uint64_t seed = 0;
+    std::int64_t deadline_ms = -1;
+};
+
+/// Renders one `{"op":"explain",...}` request line (no trailing newline) —
+/// the single place tests, benches, and the CLI netprobe build request JSON.
+[[nodiscard]] std::string render_request_line(const RequestSpec& spec);
+
 /// Plays `scripts[i]` on connection i (lines need not be '\n'-terminated;
 /// one is added).  Blocks until every connection reached EOF, errored, or
 /// the deadline expired.

@@ -217,6 +217,36 @@ void ExplanationServer::handle_frame(Connection& conn, const serve::Frame& frame
         conn.push_slot(Connection::Slot::Kind::stats);
         return;
     }
+    if (op == "load" || op == "swap" || op == "retire" || op == "models") {
+        // Registry admin: applied immediately (not as a pipeline barrier) —
+        // requests already admitted keep the snapshot they pinned, exactly
+        // the RCU contract.  In a sharded server the provider fans the op
+        // out to every shard under the admin mutex.
+        const auto seq = conn.push_slot(Connection::Slot::Kind::response);
+        conn.fulfill(seq, admin_provider_
+                              ? admin_provider_(req)
+                              : serve::handle_model_admin(req, {&service_}));
+        return;
+    }
+    if (op == "use") {
+        // Session default: subsequent frames without a "model" field resolve
+        // to this name.  "" (or omitting "model") resets to the service
+        // default.
+        const auto name = req.get_string("model", "");
+        const auto seq = conn.push_slot(Connection::Slot::Kind::response);
+        if (!name.empty() && !service_.feature_dim(name)) {
+            conn.fulfill(seq, render_error_line(0, serve::ServeError::unknown_model,
+                                                "unknown model '" + name + "'"));
+            return;
+        }
+        conn.default_model = name;
+        serve::JsonWriter w;
+        w.field("ok", true);
+        w.field("op", "use");
+        w.field("model", name);
+        conn.fulfill(seq, w.finish());
+        return;
+    }
     if (op != "explain") {
         answer_error(0, serve::ServeError::bad_request, "unknown op '" + op + "'");
         return;
@@ -227,11 +257,19 @@ void ExplanationServer::handle_frame(Connection& conn, const serve::Frame& frame
         req.get_number("id", static_cast<double>(conn.next_request_id)));
     ++conn.next_request_id;
     er.method = req.get_string("method", "");
+    er.model = req.get_string("model", conn.default_model);
     er.seed = static_cast<std::uint64_t>(req.get_number("seed", 0));
     er.deadline_ms = static_cast<std::int64_t>(req.get_number("deadline_ms", -1));
+    // Feature arity is per-model now, so the model must resolve before the
+    // features member can be validated.
+    const auto dim = service_.feature_dim(er.model);
+    if (!dim) {
+        answer_error(er.id, serve::ServeError::unknown_model,
+                     "unknown model '" + er.model + "'");
+        return;
+    }
     if (req.has("features")) {
-        auto extracted =
-            serve::extract_features(req, service_.model().num_features());
+        auto extracted = serve::extract_features(req, *dim);
         if (extracted.error != serve::ServeError::none) {
             answer_error(er.id, extracted.error, extracted.message);
             return;

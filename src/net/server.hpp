@@ -146,6 +146,17 @@ public:
         stats_provider_ = std::move(provider);
     }
 
+    /// Overrides how `{"op":"load"/"swap"/"retire"/"models"}` admin frames
+    /// are handled; returns the rendered single-line response.  The sharded
+    /// server installs a fan-out here so an admin op reaching any shard
+    /// applies to every shard's service atomically (under its admin mutex);
+    /// unset, the op applies to this server's own service.  Called on the
+    /// loop thread; must be thread-safe against sibling shards.
+    using AdminProvider = std::function<std::string(const serve::JsonValue&)>;
+    void set_admin_provider(AdminProvider provider) {
+        admin_provider_ = std::move(provider);
+    }
+
     /// Binds and listens.  On failure returns false and stores why in
     /// `error` (when non-null).
     [[nodiscard]] bool start(std::string* error = nullptr);
@@ -236,6 +247,7 @@ private:
     ServerConfig config_;
     RowLookup row_lookup_;
     StatsProvider stats_provider_;
+    AdminProvider admin_provider_;
     std::shared_ptr<ConnectionBudget> budget_;
     EventLoop loop_;
     TcpListener listener_;

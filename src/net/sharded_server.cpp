@@ -61,13 +61,15 @@ ShardedServer::ShardedServer(std::shared_ptr<const xnfv::ml::Model> model,
     serve::ServiceConfig per_shard = std::move(service_config);
     per_shard.cache_capacity =
         std::max<std::size_t>(16, per_shard.cache_capacity / n);
-    const std::string snapshot_base = per_shard.snapshot_path;
 
     shards_.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
         auto shard = std::make_unique<Shard>();
-        if (!snapshot_base.empty() && n > 1)
-            per_shard.snapshot_path = snapshot_base + ".shard" + std::to_string(i);
+        // Every model's snapshot file gets the shard suffix (the service
+        // composes `<base>[.<fingerprint>].shardK`), keeping shard slices
+        // distinct per model without rewriting the base path.
+        if (!per_shard.snapshot_path.empty() && n > 1)
+            per_shard.snapshot_suffix = ".shard" + std::to_string(i);
         shard->service = std::make_unique<serve::ExplanationService>(
             model, background, per_shard);
 
@@ -77,6 +79,16 @@ ShardedServer::ShardedServer(std::shared_ptr<const xnfv::ml::Model> model,
         shard->server = std::make_unique<ExplanationServer>(*shard->service,
                                                             std::move(net));
         shard->server->set_stats_provider([this] { return stats(); });
+        // An admin op (load/swap/retire) reaching any shard must apply to
+        // every shard's service, serialized so two concurrent ops cannot
+        // interleave half-applied fleets.
+        shard->server->set_admin_provider([this](const serve::JsonValue& req) {
+            const std::lock_guard<std::mutex> lock(admin_mutex_);
+            std::vector<serve::ExplanationService*> services;
+            services.reserve(shards_.size());
+            for (const auto& s : shards_) services.push_back(s->service.get());
+            return serve::handle_model_admin(req, services);
+        });
         shards_.push_back(std::move(shard));
     }
 }
@@ -197,6 +209,33 @@ serve::ServiceStats ShardedServer::stats() const {
                           s.connections_accepted);
         conn_n += s.connections_accepted;
         agg.conn_requests_max = std::max(agg.conn_requests_max, s.conn_requests_max);
+
+        // Per-model merge by name: traffic counters sum across shards;
+        // registry-level facts (swaps, weight, quota, fingerprint) are
+        // replicated on every shard by the admin fan-out, so they take the
+        // max/first instead of a sum that would multiply them by the shard
+        // count.  Registration order is identical on every shard, so
+        // appending unseen names preserves it.
+        for (const auto& m : s.models) {
+            serve::ModelServiceStats* acc = nullptr;
+            for (auto& existing : agg.models)
+                if (existing.name == m.name) { acc = &existing; break; }
+            if (acc == nullptr) {
+                agg.models.push_back(m);
+                continue;
+            }
+            acc->admitted += m.admitted;
+            acc->rejected_quota += m.rejected_quota;
+            acc->evals += m.evals;
+            acc->completed += m.completed;
+            acc->cache_entries += m.cache_entries;
+            acc->cache_evictions += m.cache_evictions;
+            acc->queued += m.queued;
+            acc->swaps = std::max(acc->swaps, m.swaps);
+            acc->cache_epoch = std::max(acc->cache_epoch, m.cache_epoch);
+        }
+        agg.models_registered = std::max(agg.models_registered, s.models_registered);
+        agg.model_swaps = std::max(agg.model_swaps, s.model_swaps);
     }
     agg.net_enabled = true;
     agg.net_shards = shards_.size();

@@ -32,6 +32,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -117,6 +118,8 @@ private:
     ShardedServerConfig config_;
     std::shared_ptr<ConnectionBudget> budget_;
     std::vector<std::unique_ptr<Shard>> shards_;
+    /// Serializes admin ops (load/swap/retire fan-out across shards).
+    mutable std::mutex admin_mutex_;
     std::atomic<bool> services_stopped_{false};
 };
 

@@ -25,10 +25,12 @@ enum class ServeError : std::uint8_t {
     internal_error,      ///< explainer or model threw during computation
     fault_injected,      ///< failure produced by the chaos-testing injector
     backpressure,        ///< slow/half-open consumer: output cap or conn limit
+    unknown_model,       ///< request named a model the registry does not hold
+    quota_exceeded,      ///< per-model admission quota reached (tenant, not fleet)
 };
 
 /// Number of enumerators (for per-reason counter arrays).
-inline constexpr std::size_t kNumServeErrors = 9;
+inline constexpr std::size_t kNumServeErrors = 11;
 
 [[nodiscard]] constexpr const char* to_string(ServeError error) noexcept {
     switch (error) {
@@ -41,6 +43,8 @@ inline constexpr std::size_t kNumServeErrors = 9;
         case ServeError::internal_error: return "internal_error";
         case ServeError::fault_injected: return "fault_injected";
         case ServeError::backpressure: return "backpressure";
+        case ServeError::unknown_model: return "unknown_model";
+        case ServeError::quota_exceeded: return "quota_exceeded";
     }
     return "unknown";
 }

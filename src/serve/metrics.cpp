@@ -131,6 +131,28 @@ std::string ServiceStats::to_string() const {
                       static_cast<unsigned long long>(cache_epoch));
         out += buf;
     }
+    // Registry section only when the fleet is interesting (more than the
+    // single default model, or a swap has happened).
+    if (models_registered > 1 || model_swaps != 0) {
+        std::snprintf(buf, sizeof(buf), "  models      registered %llu  swaps %llu\n",
+                      static_cast<unsigned long long>(models_registered),
+                      static_cast<unsigned long long>(model_swaps));
+        out += buf;
+        for (const auto& m : models) {
+            std::snprintf(buf, sizeof(buf),
+                          "    %-16s fp %s  admitted %llu  quota-rejected %llu  "
+                          "swaps %llu  evals %llu  cache %llu  w %llu  q %llu\n",
+                          m.name.c_str(), m.fingerprint.c_str(),
+                          static_cast<unsigned long long>(m.admitted),
+                          static_cast<unsigned long long>(m.rejected_quota),
+                          static_cast<unsigned long long>(m.swaps),
+                          static_cast<unsigned long long>(m.evals),
+                          static_cast<unsigned long long>(m.cache_entries),
+                          static_cast<unsigned long long>(m.weight),
+                          static_cast<unsigned long long>(m.quota));
+            out += buf;
+        }
+    }
     if (net_enabled) {
         std::snprintf(
             buf, sizeof(buf),

@@ -14,6 +14,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "serve/errors.hpp"
 
@@ -118,6 +119,25 @@ struct ServiceMetrics {
     }
 };
 
+/// Per-model slice of a stats snapshot (one line of the "models" section;
+/// one element of the `models` array in the ND-JSON stats payload).
+struct ModelServiceStats {
+    std::string name;
+    std::string fingerprint;  ///< current version, lower-case hex
+    std::uint64_t admitted = 0;
+    std::uint64_t rejected_quota = 0;
+    std::uint64_t swaps = 0;
+    std::uint64_t evals = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t cache_entries = 0;
+    std::uint64_t cache_evictions = 0;
+    std::uint64_t cache_epoch = 0;
+    std::uint64_t queued = 0;  ///< jobs currently in this model's class FIFO
+    std::uint64_t weight = 1;
+    std::uint64_t quota = 0;
+    double base_value = 0.0;
+};
+
 /// Immutable snapshot of ServiceMetrics plus cache occupancy, renderable as
 /// the operator-facing text report (and as the `stats` request's payload).
 struct ServiceStats {
@@ -180,6 +200,12 @@ struct ServiceStats {
     double conn_requests_p50 = 0.0;  ///< per-connection request count quantiles
     double conn_requests_mean = 0.0;
     std::uint64_t conn_requests_max = 0;
+
+    /// Multi-model registry section: live entries in registration order.
+    /// A single-model service reports exactly one entry (its default model).
+    std::uint64_t models_registered = 0;
+    std::uint64_t model_swaps = 0;  ///< hot swaps applied across all models
+    std::vector<ModelServiceStats> models;
 
     /// Hit fraction in [0, 1]; 0 when no lookups happened yet.
     [[nodiscard]] double cache_hit_rate() const noexcept;

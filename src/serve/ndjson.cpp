@@ -386,6 +386,33 @@ std::string render_stats(const ServiceStats& s) {
         by_reason += '}';
         w.field_raw("errors_by_reason", by_reason);
     }
+    w.field("models_registered", s.models_registered);
+    w.field("model_swaps", s.model_swaps);
+    {
+        // Per-model registry slice, in registration order.
+        std::string models = "[";
+        for (const ModelServiceStats& m : s.models) {
+            if (models.size() > 1) models += ',';
+            JsonWriter mw;
+            mw.field("name", m.name);
+            mw.field("fingerprint", m.fingerprint);
+            mw.field("admitted", m.admitted);
+            mw.field("rejected_quota", m.rejected_quota);
+            mw.field("swaps", m.swaps);
+            mw.field("evals", m.evals);
+            mw.field("completed", m.completed);
+            mw.field("cache_entries", m.cache_entries);
+            mw.field("cache_evictions", m.cache_evictions);
+            mw.field("cache_epoch", m.cache_epoch);
+            mw.field("queued", m.queued);
+            mw.field("weight", m.weight);
+            mw.field("quota", m.quota);
+            mw.field("base_value", m.base_value);
+            models += mw.finish();
+        }
+        models += ']';
+        w.field_raw("models", models);
+    }
     w.field("report", s.to_string());
     return w.finish();
 }

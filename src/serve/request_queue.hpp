@@ -1,4 +1,5 @@
-// Bounded MPMC request queue with reject-on-full backpressure.
+// Bounded MPMC request queue with reject-on-full backpressure and
+// deficit-weighted-round-robin service across model classes.
 //
 // The admission edge of the explanation service: producers (CLI front-end,
 // tests, embedding applications) try_push() jobs; the dispatcher thread
@@ -6,6 +7,14 @@
 // overload policy of "grow forever" just converts overload into latency and
 // eventually OOM — a full queue instead rejects immediately with a reason the
 // caller can surface (HTTP 429 semantics, in-process).
+//
+// Multi-tenant fairness (DESIGN.md section 14): each job carries a model
+// class index; the queue keeps one FIFO per class, enforces an optional
+// per-class quota *under* the global depth bound (so one hot model cannot
+// occupy the whole queue), and pops in deficit-weighted round-robin order —
+// a backlogged class with weight W receives W pops per scheduling round.
+// With a single class the pop order degenerates to plain FIFO, which is what
+// keeps single-model serving byte-identical to the pre-registry service.
 #pragma once
 
 #include <chrono>
@@ -25,6 +34,9 @@
 
 namespace xnfv::serve {
 
+class ModelEntry;     // serve/registry.hpp
+struct ModelSnapshot; // serve/registry.hpp
+
 /// One explanation request.  `features` is the full telemetry vector of the
 /// instance to explain; `seed` makes the request self-describing so a served
 /// answer is reproducible by a one-shot CLI call with the same seed.
@@ -34,6 +46,9 @@ struct ExplainRequest {
     /// Explainer method ("tree_shap", "kernel_shap", "sampling", "lime",
     /// "occlusion"); empty selects the service default.
     std::string method;
+    /// Registry model name; empty selects the service's default model.  An
+    /// unregistered name is rejected with `unknown_model`.
+    std::string model;
     /// RNG seed for sampling-based explainers; 0 selects the service default.
     std::uint64_t seed = 0;
     /// Relative deadline in milliseconds from submission; -1 = none.  0 is
@@ -81,27 +96,56 @@ struct Job {
     /// policy classifies on (deterministically testable, unlike the depth at
     /// batch-execution time).
     std::size_t depth_at_enqueue = 0;
+    /// Registry entry the request resolved to at admission (owns the cache
+    /// slice, epoch, and per-model counters).  Shared ownership keeps a
+    /// retired model's state alive until its last in-flight job completes.
+    std::shared_ptr<ModelEntry> model_entry;
+    /// The model version pinned at admission: an atomic swap published after
+    /// this point does not touch this job — it finishes on the snapshot it
+    /// started with (RCU semantics).
+    std::shared_ptr<const ModelSnapshot> model_snapshot;
+    /// Scheduling class for the DWRR queue (the entry's class id).
+    std::size_t model_class = 0;
 };
 
-/// Bounded multi-producer / multi-consumer FIFO of Jobs.
+/// Admission/scheduling parameters of one model class.
+struct ClassConfig {
+    /// Max jobs of this class queued at once; 0 = no per-class cap (the
+    /// global depth bound still applies).  Exceeding it rejects with
+    /// `quota_exceeded`.
+    std::size_t quota = 0;
+    /// DWRR weight: pops per scheduling round while backlogged (clamped to
+    /// at least 1).
+    std::size_t weight = 1;
+};
+
+/// Bounded multi-producer / multi-consumer queue of Jobs with per-class
+/// quotas and deficit-weighted-round-robin pop order.
 ///
 /// try_push never blocks: a full or closed queue rejects with a reason.
 /// pop_wait blocks up to a deadline so the dispatcher can honor the
 /// micro-batcher's flush timer while parked on an empty queue.
 class RequestQueue {
 public:
-    /// `depth` is the backpressure limit (clamped to at least 1).
+    /// `depth` is the global backpressure limit (clamped to at least 1).
     explicit RequestQueue(std::size_t depth);
 
     RequestQueue(const RequestQueue&) = delete;
     RequestQueue& operator=(const RequestQueue&) = delete;
 
-    /// Admits `job` unless the queue is full or closed.  On admission the
-    /// job's depth_at_enqueue is stamped with the resulting queue depth.
+    /// Sets quota/weight for `model_class` (growing the class table as
+    /// needed).  Safe to call concurrently with push/pop — the registry
+    /// calls this on load/swap/retire while traffic is flowing.
+    void configure_class(std::size_t model_class, ClassConfig config);
+
+    /// Admits `job` (into its model_class's FIFO) unless the queue is full,
+    /// the class quota is reached, or the queue is closed.  On admission the
+    /// job's depth_at_enqueue is stamped with the resulting total depth.
     [[nodiscard]] ServeError try_push(Job job);
 
-    /// Pops the oldest job, waiting until one arrives, `deadline` passes, or
-    /// the queue is closed and drained.  nullopt = timed out or drained.
+    /// Pops the next job in DWRR order, waiting until one arrives,
+    /// `deadline` passes, or the queue is closed and drained.  nullopt =
+    /// timed out or drained.
     [[nodiscard]] std::optional<Job> pop_wait(
         std::chrono::steady_clock::time_point deadline);
 
@@ -114,13 +158,33 @@ public:
 
     [[nodiscard]] bool closed() const;
     [[nodiscard]] std::size_t size() const;
+    /// Jobs currently queued in one class (0 for an unknown class).
+    [[nodiscard]] std::size_t class_size(std::size_t model_class) const;
     [[nodiscard]] std::size_t depth() const noexcept { return depth_; }
 
 private:
+    /// One scheduling class: its FIFO, admission quota, and DWRR state.
+    struct ClassQueue {
+        std::deque<Job> jobs;
+        std::size_t quota = 0;
+        std::size_t weight = 1;
+        /// Pops this class may still take in the current round.
+        std::size_t deficit = 0;
+        bool in_round = false;  ///< queued on the active round-robin list
+    };
+
+    void ensure_class_locked(std::size_t model_class);
+    [[nodiscard]] Job pop_locked();
+
     const std::size_t depth_;
     mutable std::mutex mutex_;
     std::condition_variable not_empty_;
-    std::deque<Job> jobs_;
+    /// Deque, not vector: growth must never relocate (and thus copy/move)
+    /// a ClassQueue holding queued move-only Jobs.
+    std::deque<ClassQueue> classes_;
+    /// Round-robin order of classes with queued jobs (DWRR active list).
+    std::deque<std::size_t> active_;
+    std::size_t total_ = 0;
     bool closed_ = false;
 };
 

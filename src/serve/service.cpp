@@ -7,7 +7,6 @@
 #include <cmath>
 #include <cstdio>
 #include <exception>
-#include <sstream>
 #include <unordered_map>
 #include <utility>
 
@@ -17,7 +16,6 @@
 #include "core/parallel.hpp"
 #include "core/sampling_shapley.hpp"
 #include "core/tree_shap.hpp"
-#include "mlcore/serialize.hpp"
 #include "serve/snapshot.hpp"
 
 namespace xnfv::serve {
@@ -36,19 +34,6 @@ namespace {
 
 [[nodiscard]] std::uint64_t hash_string(const std::string& s, std::uint64_t seed) {
     return fnv1a({reinterpret_cast<const std::uint8_t*>(s.data()), s.size()}, seed);
-}
-
-/// Fingerprint of the model's inference state: hash of its serialized text,
-/// falling back to name/arity for unserializable models (LambdaModel).
-[[nodiscard]] std::uint64_t model_fingerprint(const ml::Model& model) {
-    try {
-        std::ostringstream os;
-        ml::save_model(model, os);
-        return hash_string(os.str(), 0xcbf29ce484222325ULL);
-    } catch (const std::exception&) {
-        return fnv1a_u64(model.num_features(),
-                         hash_string(model.name(), 0xcbf29ce484222325ULL));
-    }
 }
 
 [[nodiscard]] std::uint64_t background_fingerprint(const xai::BackgroundData& bg) {
@@ -164,15 +149,14 @@ bool known_method(const std::string& method) noexcept {
 ExplanationService::ExplanationService(std::shared_ptr<const ml::Model> model,
                                        xai::BackgroundData background,
                                        ServiceConfig config)
-    : model_(std::move(model)),
-      background_(std::move(background)),
+    : background_(std::move(background)),
       config_(std::move(config)),
-      model_fingerprint_(model_fingerprint(*model_)),
       background_fingerprint_(background_fingerprint(background_)),
-      serving_model_(model_),
+      registry_(RegistryConfig{config_.cache_capacity, config_.cache_shards,
+                              config_.fault_injector},
+                &background_),
       queue_(config_.queue_depth),
       batcher_(BatcherConfig{config_.max_batch, config_.max_wait}),
-      cache_(config_.cache_capacity, config_.cache_shards),
       degrade_(config_.degradation),
       adaptive_([this] {
           // The policy's ceiling is always the configured wait; only the
@@ -183,27 +167,52 @@ ExplanationService::ExplanationService(std::shared_ptr<const ml::Model> model,
       }()) {
     if (!known_method(config_.method))
         throw std::runtime_error("unknown method '" + config_.method + "'");
-    if (config_.drift_window > 0) {
-        const std::size_t d = model_->num_features();
-        drift_ref_abs_.assign(d, 0.0);
-        drift_ref_signed_.assign(d, 0.0);
-        drift_cur_abs_.assign(d, 0.0);
-        drift_cur_signed_.assign(d, 0.0);
-    }
     metrics_.adaptive_wait_us.set(
         static_cast<std::uint64_t>(config_.max_wait.count()));
-    // Wrap the model in the predict_throw proxy only after fingerprinting,
-    // so cache keys (and thus non-faulted results) are fault-invariant.
-    if (config_.fault_injector &&
-        config_.fault_injector->config()
-                .rate[static_cast<std::size_t>(FaultPoint::predict_throw)] > 0.0) {
-        serving_model_ = std::make_shared<FaultInjectingModel>(model_,
-                                                               config_.fault_injector);
+    // The constructor's model becomes the default (first-loaded) entry; any
+    // configured extra models follow, in order.  The registry wires each
+    // entry's DWRR class config into the queue as it is created.
+    std::string why;
+    const std::string default_name =
+        config_.default_model_name.empty() ? "default" : config_.default_model_name;
+    if (model_load(default_name, std::move(model), config_.default_weight,
+                   config_.default_quota, &why) != ServeError::none)
+        throw std::runtime_error("cannot register default model: " + why);
+    for (const ModelSpec& spec : config_.extra_models) {
+        if (model_load(spec.name, spec.model, spec.weight, spec.quota, &why) !=
+            ServeError::none)
+            throw std::runtime_error("cannot register model '" + spec.name +
+                                     "': " + why);
     }
     if (!config_.snapshot_path.empty()) load_snapshot();
     heartbeat();
     dispatcher_ = std::thread([this] { dispatcher_loop(); });
     watchdog_ = std::thread([this] { watchdog_loop(); });
+}
+
+ServeError ExplanationService::model_load(const std::string& name,
+                                          std::shared_ptr<const ml::Model> model,
+                                          std::size_t weight, std::size_t quota,
+                                          std::string* why) {
+    const ServeError err = registry_.load(name, std::move(model), weight, quota, why);
+    if (err != ServeError::none) return err;
+    const auto entry = registry_.resolve(name);
+    queue_.configure_class(
+        entry->class_id,
+        ClassConfig{static_cast<std::size_t>(entry->quota.load(std::memory_order_relaxed)),
+                    static_cast<std::size_t>(entry->weight.load(std::memory_order_relaxed))});
+    return ServeError::none;
+}
+
+ServeError ExplanationService::model_swap(const std::string& name,
+                                          std::shared_ptr<const ml::Model> model,
+                                          std::string* why) {
+    return registry_.swap(name, std::move(model), why);
+}
+
+ServeError ExplanationService::model_retire(const std::string& name,
+                                            std::string* why) {
+    return registry_.retire(name, why);
 }
 
 ExplanationService::~ExplanationService() { stop(); }
@@ -232,40 +241,53 @@ void ExplanationService::heartbeat() noexcept {
                         std::memory_order_relaxed);
 }
 
-ExplanationService::Submission ExplanationService::submit(ExplainRequest request) {
-    Submission out;
-    ServeError reject = ServeError::none;
-    if (request.features.size() != model_->num_features() ||
-        (!request.method.empty() && !known_method(request.method))) {
-        reject = ServeError::bad_request;
-    } else if (std::any_of(request.features.begin(), request.features.end(),
-                           [](double v) { return !std::isfinite(v); })) {
-        reject = ServeError::bad_features;
-    } else if (request.deadline_ms == 0) {
+ServeError ExplanationService::prepare_job(ExplainRequest request, Job& job) {
+    // Resolve the model first: an unknown name is its own failure class, not
+    // a malformed payload.  The snapshot pinned here is what the job will be
+    // explained against, no matter how many hot swaps land after this line.
+    std::shared_ptr<ModelEntry> entry = registry_.resolve(request.model);
+    if (!entry) return ServeError::unknown_model;
+    std::shared_ptr<const ModelSnapshot> snapshot = entry->current();
+    if (request.features.size() != snapshot->model->num_features() ||
+        (!request.method.empty() && !known_method(request.method)))
+        return ServeError::bad_request;
+    if (std::any_of(request.features.begin(), request.features.end(),
+                    [](double v) { return !std::isfinite(v); }))
+        return ServeError::bad_features;
+    if (request.deadline_ms == 0) {
         // Already expired at the door; a silent full computation would be a
         // worse bug than the rejection.
-        reject = ServeError::deadline_exceeded;
+        return ServeError::deadline_exceeded;
     }
-    if (reject != ServeError::none) {
-        out.rejected = reject;
-        metrics_.requests_rejected.inc();
-        metrics_.count_error(reject);
-        return out;
-    }
-    Job job;
     job.request = std::move(request);
+    job.model_entry = std::move(entry);
+    job.model_snapshot = std::move(snapshot);
+    job.model_class = job.model_entry->class_id;
     job.enqueued_at = Clock::now();
     if (job.request.deadline_ms > 0)
         job.deadline =
             job.enqueued_at + std::chrono::milliseconds(job.request.deadline_ms);
-    out.response = job.promise.get_future();
-    out.rejected = queue_.try_push(std::move(job));
-    if (out.rejected != ServeError::none) {
-        metrics_.requests_rejected.inc();
-        metrics_.count_error(out.rejected);
+    return ServeError::none;
+}
+
+ExplanationService::Submission ExplanationService::submit(ExplainRequest request) {
+    Submission out;
+    Job job;
+    ServeError reject = prepare_job(std::move(request), job);
+    const std::shared_ptr<ModelEntry> entry = job.model_entry;
+    if (reject == ServeError::none) {
+        out.response = job.promise.get_future();
+        reject = queue_.try_push(std::move(job));
+    }
+    if (reject != ServeError::none) {
+        out.rejected = reject;
         out.response = {};
+        metrics_.requests_rejected.inc();
+        metrics_.count_error(reject);
+        if (entry && reject == ServeError::quota_exceeded) entry->rejected_quota.inc();
         return out;
     }
+    entry->admitted.inc();
     metrics_.requests_accepted.inc();
     metrics_.queue_depth.set(queue_.size());
     return out;
@@ -275,31 +297,20 @@ ServeError ExplanationService::submit_async(
     ExplainRequest request, std::function<void(ExplainResponse)> on_complete) {
     // Same validation as submit(); the callback rides in the Job so the
     // batch executor completes it in place of the promise.
-    ServeError reject = ServeError::none;
-    if (request.features.size() != model_->num_features() ||
-        (!request.method.empty() && !known_method(request.method))) {
-        reject = ServeError::bad_request;
-    } else if (std::any_of(request.features.begin(), request.features.end(),
-                           [](double v) { return !std::isfinite(v); })) {
-        reject = ServeError::bad_features;
-    } else if (request.deadline_ms == 0) {
-        reject = ServeError::deadline_exceeded;
-    }
+    Job job;
+    ServeError reject = prepare_job(std::move(request), job);
+    const std::shared_ptr<ModelEntry> entry = job.model_entry;
     if (reject == ServeError::none) {
-        Job job;
-        job.request = std::move(request);
         job.on_complete = std::move(on_complete);
-        job.enqueued_at = Clock::now();
-        if (job.request.deadline_ms > 0)
-            job.deadline =
-                job.enqueued_at + std::chrono::milliseconds(job.request.deadline_ms);
         reject = queue_.try_push(std::move(job));
     }
     if (reject != ServeError::none) {
         metrics_.requests_rejected.inc();
         metrics_.count_error(reject);
+        if (entry && reject == ServeError::quota_exceeded) entry->rejected_quota.inc();
         return reject;
     }
+    entry->admitted.inc();
     metrics_.requests_accepted.inc();
     metrics_.queue_depth.set(queue_.size());
     return ServeError::none;
@@ -408,23 +419,28 @@ void ExplanationService::drain_inline() {
     if (batcher_.pending() > 0) execute_batch(batcher_.flush());
 }
 
-CacheKey ExplanationService::key_for(const ExplainRequest& request) const {
+CacheKey ExplanationService::key_for(const Job& job) const {
+    const ExplainRequest& request = job.request;
     const std::string& method = request.method.empty() ? config_.method : request.method;
     const std::uint64_t seed = request.seed == 0 ? config_.seed : request.seed;
-    std::uint64_t context = hash_string(method, model_fingerprint_);
+    // Seeded with the fingerprint the job *pinned*, so a request that raced
+    // a hot swap keys (and caches) against the version it was computed with.
+    std::uint64_t context = hash_string(method, job.model_snapshot->fingerprint);
     context = fnv1a_u64(seed, context);
     context = fnv1a_u64(std::bit_cast<std::uint64_t>(config_.cache_quantum), context);
     context = fnv1a_u64(background_fingerprint_, context);
-    // Drift epoch: bumping it re-keys the whole cache, so stale entries age
-    // out through the LRU instead of being served after the traffic shifted.
-    context = fnv1a_u64(cache_epoch_.load(std::memory_order_relaxed), context);
+    // Drift epoch: bumping it re-keys this model's cache slice, so stale
+    // entries age out through the LRU instead of being served after the
+    // traffic shifted.
+    context = fnv1a_u64(job.model_entry->epoch.load(std::memory_order_relaxed), context);
     return CacheKey(request.features, config_.cache_quantum, context);
 }
 
-ExplainResponse ExplanationService::run_request(const ExplainRequest& request,
+ExplainResponse ExplanationService::run_request(const Job& job,
                                                DegradeLevel level,
                                                Clock::time_point deadline,
                                                std::uint64_t& probe_rows) const {
+    const ExplainRequest& request = job.request;
     ExplainResponse r;
     r.id = request.id;
     std::string method = request.method.empty() ? config_.method : request.method;
@@ -444,10 +460,10 @@ ExplainResponse ExplanationService::run_request(const ExplainRequest& request,
     // TreeShap downcasts the model to walk its trees, so it must see the
     // real serving model; every other method probes through the counting
     // proxy (which forwards batches wholesale — results are unaffected).
-    const EvalCountingModel counting(*serving_model_);
+    const ml::Model& serving = *job.model_snapshot->serving;
+    const EvalCountingModel counting(serving);
     const ml::Model& probed =
-        method == "tree_shap" ? *serving_model_
-                              : static_cast<const ml::Model&>(counting);
+        method == "tree_shap" ? serving : static_cast<const ml::Model&>(counting);
     try {
         const auto explainer =
             make_explainer(method, background_, seed, config_.threads, limits);
@@ -497,7 +513,7 @@ void ExplanationService::execute_batch(std::vector<Job> batch) {
     };
     std::vector<CacheKey> keys;
     keys.reserve(batch.size());
-    for (const Job& job : batch) keys.push_back(key_for(job.request));
+    for (const Job& job : batch) keys.push_back(key_for(job));
 
     std::vector<ExplainResponse> responses(batch.size());
     std::vector<DegradeLevel> levels(batch.size(), DegradeLevel::full);
@@ -516,7 +532,7 @@ void ExplanationService::execute_batch(std::vector<Job> batch) {
         if (degrade_.enabled())
             levels[i] = degrade_.classify({batch[i].depth_at_enqueue, p99});
         auto& level_inflight = inflight[static_cast<std::size_t>(levels[i])];
-        if (auto cached = cache_.lookup(keys[i])) {
+        if (auto cached = batch[i].model_entry->cache.lookup(keys[i])) {
             responses[i].ok = true;
             responses[i].cache_hit = true;
             responses[i].explanation = std::move(*cached);
@@ -540,7 +556,7 @@ void ExplanationService::execute_batch(std::vector<Job> batch) {
         const std::size_t i = to_compute[k];
         const auto start = Clock::now();
         responses[i] =
-            run_request(batch[i].request, levels[i], batch[i].deadline, probe_rows[k]);
+            run_request(batch[i], levels[i], batch[i].deadline, probe_rows[k]);
         compute_us[k] = elapsed_us(start, Clock::now());
     });
 
@@ -558,19 +574,26 @@ void ExplanationService::execute_batch(std::vector<Job> batch) {
         const std::size_t i = to_compute[k];
         metrics_.compute_time_us.record(compute_us[k]);
         metrics_.model_evals.inc(probe_rows[k]);
+        batch[i].model_entry->evals.inc(probe_rows[k]);
         if (responses[i].ok) metrics_.probe_rows.record(probe_rows[k]);
         if (responses[i].ok && levels[i] == DegradeLevel::full) {
-            cache_.insert(keys[i], responses[i].explanation);
+            batch[i].model_entry->cache.insert(keys[i], responses[i].explanation);
             // Only freshly computed full-fidelity attributions feed the
             // drift windows: cache hits would double-count the past, and
             // degraded answers have a different budget.
-            observe_attributions(responses[i].explanation.attributions);
+            observe_attributions(*batch[i].model_entry,
+                                 responses[i].explanation.attributions,
+                                 batch[i].model_snapshot->fingerprint);
         }
     }
     const auto done = Clock::now();
     for (std::size_t i = 0; i < batch.size(); ++i) {
         metrics_.service_time_us.record(elapsed_us(batch[i].enqueued_at, done));
         metrics_.requests_completed.inc();
+        batch[i].model_entry->completed.inc();
+        if (responses[i].ok)
+            batch[i].model_snapshot->base_value.store(
+                responses[i].explanation.base_value, std::memory_order_relaxed);
         if (responses[i].ok) {
             if (responses[i].degraded) metrics_.requests_degraded.inc();
         } else {
@@ -589,24 +612,38 @@ void ExplanationService::execute_batch(std::vector<Job> batch) {
 }
 
 void ExplanationService::observe_attributions(
-    const std::vector<double>& attributions) {
+    ModelEntry& entry, const std::vector<double>& attributions,
+    std::uint64_t fingerprint) {
     const std::size_t window = config_.drift_window;
-    if (window == 0 || attributions.size() != drift_ref_abs_.size()) return;
-    if (drift_ref_count_ < window) {
+    if (window == 0 || attributions.empty()) return;
+    ModelEntry::DriftState& d = entry.drift;
+    if (d.fingerprint != fingerprint || d.ref_abs.size() != attributions.size()) {
+        // First observation, or the model version changed under a hot swap:
+        // attributions are not comparable across versions, so both windows
+        // restart against the new fingerprint.
+        d.fingerprint = fingerprint;
+        d.ref_abs.assign(attributions.size(), 0.0);
+        d.ref_signed.assign(attributions.size(), 0.0);
+        d.cur_abs.assign(attributions.size(), 0.0);
+        d.cur_signed.assign(attributions.size(), 0.0);
+        d.ref_count = 0;
+        d.cur_count = 0;
+    }
+    if (d.ref_count < window) {
         // Still sealing the reference: the first `window` full-fidelity
         // explanations served define "normal".
         for (std::size_t j = 0; j < attributions.size(); ++j) {
-            drift_ref_abs_[j] += std::abs(attributions[j]);
-            drift_ref_signed_[j] += attributions[j];
+            d.ref_abs[j] += std::abs(attributions[j]);
+            d.ref_signed[j] += attributions[j];
         }
-        ++drift_ref_count_;
+        ++d.ref_count;
         return;
     }
     for (std::size_t j = 0; j < attributions.size(); ++j) {
-        drift_cur_abs_[j] += std::abs(attributions[j]);
-        drift_cur_signed_[j] += attributions[j];
+        d.cur_abs[j] += std::abs(attributions[j]);
+        d.cur_signed[j] += attributions[j];
     }
-    if (++drift_cur_count_ < window) return;
+    if (++d.cur_count < window) return;
 
     const auto mean_of = [](const std::vector<double>& sums, std::size_t n) {
         std::vector<double> out = sums;
@@ -614,68 +651,90 @@ void ExplanationService::observe_attributions(
         return out;
     };
     xai::GlobalAttribution reference;
-    reference.mean_abs = mean_of(drift_ref_abs_, drift_ref_count_);
-    reference.mean_signed = mean_of(drift_ref_signed_, drift_ref_count_);
-    reference.num_instances = drift_ref_count_;
+    reference.mean_abs = mean_of(d.ref_abs, d.ref_count);
+    reference.mean_signed = mean_of(d.ref_signed, d.ref_count);
+    reference.num_instances = d.ref_count;
     xai::GlobalAttribution current;
-    current.mean_abs = mean_of(drift_cur_abs_, drift_cur_count_);
-    current.mean_signed = mean_of(drift_cur_signed_, drift_cur_count_);
-    current.num_instances = drift_cur_count_;
+    current.mean_abs = mean_of(d.cur_abs, d.cur_count);
+    current.mean_signed = mean_of(d.cur_signed, d.cur_count);
+    current.num_instances = d.cur_count;
 
     metrics_.drift_checks.inc();
     try {
         const auto report =
             xai::attribution_drift(reference, current, config_.drift_thresholds);
         if (report.drifted) {
-            cache_epoch_.fetch_add(1, std::memory_order_relaxed);
+            entry.epoch.fetch_add(1, std::memory_order_relaxed);
             metrics_.drift_flushes.inc();
         }
     } catch (const std::exception&) {
         // Degenerate windows (all-zero attributions) are not drift.
     }
-    std::fill(drift_cur_abs_.begin(), drift_cur_abs_.end(), 0.0);
-    std::fill(drift_cur_signed_.begin(), drift_cur_signed_.end(), 0.0);
-    drift_cur_count_ = 0;
+    std::fill(d.cur_abs.begin(), d.cur_abs.end(), 0.0);
+    std::fill(d.cur_signed.begin(), d.cur_signed.end(), 0.0);
+    d.cur_count = 0;
+}
+
+std::string ExplanationService::snapshot_path_for(const ModelEntry& entry,
+                                                  std::uint64_t fingerprint) const {
+    std::string path = config_.snapshot_path;
+    // The default model keeps the bare configured path (single-model layouts
+    // stay byte-compatible); every other model gets a fingerprint-qualified
+    // name so two models can never collide or cross-restore.
+    if (entry.name != registry_.default_name())
+        path += "." + fingerprint_hex(fingerprint);
+    return path + config_.snapshot_suffix;
 }
 
 void ExplanationService::load_snapshot() {
-    const SnapshotHeader expect{model_fingerprint_, background_fingerprint_,
-                                config_.cache_quantum};
-    SnapshotLoadResult result = read_snapshot(config_.snapshot_path, expect);
-    if (!result.loaded) return;
-    for (SnapshotRecord& rec : result.records)
-        cache_.insert(CacheKey(std::move(rec.key_words), rec.key_context),
-                      std::move(rec.explanation));
-    metrics_.snapshot_records_loaded.inc(result.records.size());
-    metrics_.snapshot_records_skipped.inc(result.skipped);
+    for (const auto& entry : registry_.entries()) {
+        const auto snap = entry->current();
+        const SnapshotHeader expect{snap->fingerprint, background_fingerprint_,
+                                    config_.cache_quantum};
+        SnapshotLoadResult result =
+            read_snapshot(snapshot_path_for(*entry, snap->fingerprint), expect);
+        // A missing file, or one whose header pins a fingerprint no longer
+        // registered here, just starts this model cold — it must never abort
+        // the restore of the other models.
+        if (!result.loaded) continue;
+        for (SnapshotRecord& rec : result.records)
+            entry->cache.insert(CacheKey(std::move(rec.key_words), rec.key_context),
+                                std::move(rec.explanation));
+        metrics_.snapshot_records_loaded.inc(result.records.size());
+        metrics_.snapshot_records_skipped.inc(result.skipped);
+    }
 }
 
 void ExplanationService::save_snapshot() {
-    auto entries = cache_.export_lru_oldest_first();
-    std::vector<SnapshotRecord> records;
-    records.reserve(entries.size());
-    for (auto& [key, explanation] : entries)
-        records.push_back(
-            SnapshotRecord{key.words(), key.context(), std::move(explanation)});
-    const SnapshotHeader header{model_fingerprint_, background_fingerprint_,
-                                config_.cache_quantum};
-    if (!write_snapshot(config_.snapshot_path, header, records)) return;
-    metrics_.snapshot_writes.inc();
-    // cache_corrupt fault: flip one byte mid-file, so the next startup must
-    // exercise the reader's skip-and-resync path for real.
-    if (fault_fires(config_.fault_injector.get(), FaultPoint::cache_corrupt)) {
-        if (std::FILE* f = std::fopen(config_.snapshot_path.c_str(), "r+b")) {
-            std::fseek(f, 0, SEEK_END);
-            const long size = std::ftell(f);
-            if (size > 0) {
-                std::fseek(f, size / 2, SEEK_SET);
-                const int c = std::fgetc(f);
-                if (c != EOF) {
+    for (const auto& entry : registry_.entries()) {
+        const auto snap = entry->current();
+        auto entries = entry->cache.export_lru_oldest_first();
+        std::vector<SnapshotRecord> records;
+        records.reserve(entries.size());
+        for (auto& [key, explanation] : entries)
+            records.push_back(
+                SnapshotRecord{key.words(), key.context(), std::move(explanation)});
+        const SnapshotHeader header{snap->fingerprint, background_fingerprint_,
+                                    config_.cache_quantum};
+        const std::string path = snapshot_path_for(*entry, snap->fingerprint);
+        if (!write_snapshot(path, header, records)) continue;
+        metrics_.snapshot_writes.inc();
+        // cache_corrupt fault: flip one byte mid-file, so the next startup
+        // must exercise the reader's skip-and-resync path for real.
+        if (fault_fires(config_.fault_injector.get(), FaultPoint::cache_corrupt)) {
+            if (std::FILE* f = std::fopen(path.c_str(), "r+b")) {
+                std::fseek(f, 0, SEEK_END);
+                const long size = std::ftell(f);
+                if (size > 0) {
                     std::fseek(f, size / 2, SEEK_SET);
-                    std::fputc(c ^ 0xFF, f);
+                    const int c = std::fgetc(f);
+                    if (c != EOF) {
+                        std::fseek(f, size / 2, SEEK_SET);
+                        std::fputc(c ^ 0xFF, f);
+                    }
                 }
+                std::fclose(f);
             }
-            std::fclose(f);
         }
     }
 }
@@ -689,9 +748,6 @@ ServiceStats ExplanationService::stats() const {
     s.batches = metrics_.batches.value();
     s.cache_hits = metrics_.cache_hits.value();
     s.cache_misses = metrics_.cache_misses.value();
-    const CacheStats cs = cache_.stats();
-    s.cache_evictions = cs.evictions;
-    s.cache_entries = cs.entries;
     for (std::size_t i = 0; i < kNumServeErrors; ++i)
         s.errors_by_reason[i] = metrics_.errors_by_reason[i].value();
     s.worker_respawns = metrics_.worker_respawns.value();
@@ -716,8 +772,38 @@ ServiceStats ExplanationService::stats() const {
     s.probe_rows_max = metrics_.probe_rows.max();
     s.drift_checks = metrics_.drift_checks.value();
     s.drift_flushes = metrics_.drift_flushes.value();
-    s.cache_epoch = cache_epoch_.load(std::memory_order_relaxed);
     s.adaptive_wait_us = metrics_.adaptive_wait_us.value();
+
+    // Registry section: per-model slices in registration order.  The
+    // top-level cache occupancy/epoch fields report fleet totals (epoch:
+    // the default model's, preserving their single-model meaning).
+    const auto entries = registry_.entries();
+    const std::string default_name = registry_.default_name();
+    s.models_registered = entries.size();
+    for (const auto& entry : entries) {
+        const auto snap = entry->current();
+        const CacheStats cs = entry->cache.stats();
+        ModelServiceStats m;
+        m.name = entry->name;
+        m.fingerprint = fingerprint_hex(snap->fingerprint);
+        m.admitted = entry->admitted.value();
+        m.rejected_quota = entry->rejected_quota.value();
+        m.swaps = entry->swaps.value();
+        m.evals = entry->evals.value();
+        m.completed = entry->completed.value();
+        m.cache_entries = cs.entries;
+        m.cache_evictions = cs.evictions;
+        m.cache_epoch = entry->epoch.load(std::memory_order_relaxed);
+        m.queued = queue_.class_size(entry->class_id);
+        m.weight = entry->weight.load(std::memory_order_relaxed);
+        m.quota = entry->quota.load(std::memory_order_relaxed);
+        m.base_value = snap->base_value.load(std::memory_order_relaxed);
+        s.cache_entries += m.cache_entries;
+        s.cache_evictions += m.cache_evictions;
+        s.model_swaps += m.swaps;
+        if (entry->name == default_name) s.cache_epoch = m.cache_epoch;
+        s.models.push_back(std::move(m));
+    }
     return s;
 }
 

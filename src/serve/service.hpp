@@ -40,6 +40,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -55,6 +56,7 @@
 #include "serve/explanation_cache.hpp"
 #include "serve/fault_injector.hpp"
 #include "serve/metrics.hpp"
+#include "serve/registry.hpp"
 #include "serve/request_queue.hpp"
 
 namespace xnfv::serve {
@@ -88,6 +90,15 @@ struct ExplainerLimits {
 
 /// True when `method` names a supported explainer.
 [[nodiscard]] bool known_method(const std::string& method) noexcept;
+
+/// One additional model to register at construction (beyond the default
+/// model the constructor takes directly).
+struct ModelSpec {
+    std::string name;
+    std::shared_ptr<const xnfv::ml::Model> model;
+    std::size_t weight = 1;  ///< DWRR weight of this model's queue class
+    std::size_t quota = 0;   ///< per-model admission quota; 0 = uncapped
+};
 
 struct ServiceConfig {
     /// Default explainer method for requests that leave `method` empty.
@@ -137,9 +148,25 @@ struct ServiceConfig {
 
     /// Cache snapshot file; empty disables persistence.  When set, the cache
     /// is restored from it at startup (if compatible) and written to it at
-    /// stop() — plus every snapshot_interval if nonzero.
+    /// stop() — plus every snapshot_interval if nonzero.  This is the path
+    /// of the *default* model's snapshot; every other model persists to
+    /// `<path>.<fingerprint-hex><snapshot_suffix>` so multi-model snapshots
+    /// can never collide or cross-restore (a file whose header fingerprint
+    /// matches no registered model is simply skipped at startup).
     std::string snapshot_path;
+    /// Appended to every snapshot filename (the sharded server sets
+    /// ".shardK" here so shard slices stay distinct per model).
+    std::string snapshot_suffix;
     std::chrono::milliseconds snapshot_interval{0};
+
+    /// Registry identity of the constructor's model (the default model:
+    /// requests that carry no "model" field resolve to it).
+    std::string default_model_name = "default";
+    std::size_t default_weight = 1;
+    std::size_t default_quota = 0;  ///< 0 = uncapped
+    /// Additional models registered before serving starts (same effect as
+    /// model_load() calls, minus the race with early traffic).
+    std::vector<ModelSpec> extra_models;
 
     /// Watchdog poll period, and the heartbeat staleness beyond which the
     /// dispatcher counts as stalled.
@@ -187,10 +214,30 @@ public:
     [[nodiscard]] ServeError submit_async(
         ExplainRequest request, std::function<void(ExplainResponse)> on_complete);
 
-    /// Current cache epoch (bumped by drift-triggered invalidation).
+    /// Current cache epoch of the *default* model (bumped by drift-triggered
+    /// invalidation; per-model epochs live in the registry entries).
     [[nodiscard]] std::uint64_t cache_epoch() const noexcept {
-        return cache_epoch_.load(std::memory_order_relaxed);
+        const auto entry = registry_.default_entry();
+        return entry ? entry->epoch.load(std::memory_order_relaxed) : 0;
     }
+
+    /// Registers a new model under `name` and wires its queue class
+    /// (first-load-is-default does not apply here — the constructor's model
+    /// is always the default).  Safe while traffic is flowing.
+    ServeError model_load(const std::string& name,
+                          std::shared_ptr<const xnfv::ml::Model> model,
+                          std::size_t weight = 1, std::size_t quota = 0,
+                          std::string* why = nullptr);
+    /// Atomically publishes a new version of `name` (""= default model).
+    /// In-flight requests finish on the snapshot they pinned at admission.
+    ServeError model_swap(const std::string& name,
+                          std::shared_ptr<const xnfv::ml::Model> model,
+                          std::string* why = nullptr);
+    /// Unregisters `name`; queued/in-flight jobs still complete.  The
+    /// default model cannot be retired.
+    ServeError model_retire(const std::string& name, std::string* why = nullptr);
+
+    [[nodiscard]] const ModelRegistry& registry() const noexcept { return registry_; }
 
     /// Snapshot of all counters/histograms plus cache occupancy.
     [[nodiscard]] ServiceStats stats() const;
@@ -201,7 +248,16 @@ public:
     void stop();
 
     [[nodiscard]] const ServiceConfig& config() const noexcept { return config_; }
-    [[nodiscard]] const xnfv::ml::Model& model() const noexcept { return *model_; }
+    /// The default model (the one the constructor was given).
+    [[nodiscard]] std::shared_ptr<const xnfv::ml::Model> default_model() const {
+        return registry_.default_entry()->current()->model;
+    }
+    /// Feature arity of `name` (""= default); nullopt for an unknown model.
+    [[nodiscard]] std::optional<std::size_t> feature_dim(const std::string& name) const {
+        const auto entry = registry_.resolve(name);
+        if (!entry) return std::nullopt;
+        return entry->current()->model->num_features();
+    }
 
 private:
     void dispatcher_loop();
@@ -210,53 +266,51 @@ private:
     /// Drains whatever is left in the queue/batcher on the calling thread —
     /// the shutdown path after both worker threads have been joined.
     void drain_inline();
+    /// Shared validation/resolution for submit()/submit_async(): resolves
+    /// the model name, validates the payload, and stamps `job` (entry,
+    /// pinned snapshot, class, timestamps).  Non-none = reject.
+    [[nodiscard]] ServeError prepare_job(ExplainRequest request, Job& job);
     /// Explains one request at the given degradation rung (fresh explainer,
-    /// one explain() call).  Any exception becomes an error response; the
-    /// deadline, if armed, aborts compute via a CancelToken.  `probe_rows`
-    /// receives the number of model rows the explainer evaluated (0 for
-    /// tree_shap, which walks the trees directly).
+    /// one explain() call) against the model snapshot the job pinned at
+    /// admission.  Any exception becomes an error response; the deadline, if
+    /// armed, aborts compute via a CancelToken.  `probe_rows` receives the
+    /// number of model rows the explainer evaluated (0 for tree_shap, which
+    /// walks the trees directly).
     [[nodiscard]] ExplainResponse run_request(
-        const ExplainRequest& request, DegradeLevel level,
+        const Job& job, DegradeLevel level,
         std::chrono::steady_clock::time_point deadline,
         std::uint64_t& probe_rows) const;
-    [[nodiscard]] CacheKey key_for(const ExplainRequest& request) const;
-    /// Feeds one full-fidelity computed attribution vector into the drift
-    /// windows; on a completed current window, compares it against the
-    /// reference and bumps the cache epoch when drifted.  Called only from
-    /// the single thread executing batches.
-    void observe_attributions(const std::vector<double>& attributions);
-    /// Exports the cache to config_.snapshot_path (atomic write).
+    [[nodiscard]] CacheKey key_for(const Job& job) const;
+    /// Feeds one full-fidelity computed attribution vector into `entry`'s
+    /// drift windows; on a completed current window, compares it against the
+    /// reference and bumps the entry's cache epoch when drifted.
+    /// `fingerprint` is the model version that produced the attributions — a
+    /// version change resets the windows (attributions are not comparable
+    /// across a hot swap).  Called only from the thread executing batches.
+    void observe_attributions(ModelEntry& entry,
+                              const std::vector<double>& attributions,
+                              std::uint64_t fingerprint);
+    /// Snapshot filename of one model (default model = the configured path
+    /// plus suffix; others add ".<fingerprint-hex>" before the suffix).
+    [[nodiscard]] std::string snapshot_path_for(const ModelEntry& entry,
+                                                std::uint64_t fingerprint) const;
+    /// Exports every model's cache slice to its snapshot file (atomic write).
     void save_snapshot();
-    /// Restores the cache from config_.snapshot_path if present/compatible.
+    /// Restores each model's cache from its snapshot file when present and
+    /// compatible; a missing or mismatched file starts that model cold.
     void load_snapshot();
     /// Stamps the dispatcher heartbeat with the current time.
     void heartbeat() noexcept;
 
-    std::shared_ptr<const xnfv::ml::Model> model_;
     xnfv::xai::BackgroundData background_;
     ServiceConfig config_;
-    std::uint64_t model_fingerprint_;
     std::uint64_t background_fingerprint_;
-    /// The model explainers actually call: `model_`, possibly wrapped in the
-    /// predict_throw fault proxy (wrapped *after* fingerprinting so cache
-    /// keys and non-faulted results are unaffected).
-    std::shared_ptr<const xnfv::ml::Model> serving_model_;
+    ModelRegistry registry_;
     RequestQueue queue_;
     MicroBatcher batcher_;
-    ExplanationCache cache_;
     DegradationPolicy degrade_;
     AdaptiveBatchPolicy adaptive_;
     mutable ServiceMetrics metrics_;
-
-    /// Drift monitor state: attribution-magnitude sums for the (sealed)
-    /// reference window and the rolling current window.  Touched only by
-    /// the batch-executing thread; the epoch itself is atomic because
-    /// key_for/stats read it concurrently.
-    std::atomic<std::uint64_t> cache_epoch_{0};
-    std::vector<double> drift_ref_abs_, drift_ref_signed_;
-    std::vector<double> drift_cur_abs_, drift_cur_signed_;
-    std::size_t drift_ref_count_ = 0;
-    std::size_t drift_cur_count_ = 0;
 
     std::thread dispatcher_;
     std::thread watchdog_;

@@ -13,6 +13,7 @@
 #include <atomic>
 #include <csignal>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
@@ -104,6 +105,12 @@ int usage() {
         "  global    --model model.xnfv --data data.csv [--rows N]\n"
         "            [--method tree_shap|kernel_shap|sampling|lime|occlusion]\n"
         "  serve     --model model.xnfv --data data.csv [--method M] [--seed S]\n"
+        "            [--models manifest.ndjson]   multi-model registry: one\n"
+        "            JSON object per line, {\"name\":\"a\",\"model\":\"a.xnfv\",\n"
+        "            \"weight\":2,\"quota\":64,\"default\":true}; the flagged\n"
+        "            (else first) entry is the default model and --model is\n"
+        "            then optional.  weight = DWRR share, quota = per-model\n"
+        "            admission cap (0 = uncapped)\n"
         "            [--batch N] [--wait-us U] [--queue N] [--cache N]\n"
         "            [--quantum Q]\n"
         "            [--degrade N] [--degrade-scale S]   overload ladder: at\n"
@@ -128,14 +135,24 @@ int usage() {
         "            ND-JSON requests on stdin (or the socket), one per line:\n"
         "              {\"op\":\"explain\",\"row\":3}\n"
         "              {\"op\":\"explain\",\"features\":[...],\"method\":\"lime\"}\n"
-        "              {\"op\":\"explain\",\"row\":3,\"deadline_ms\":50}\n"
+        "              {\"op\":\"explain\",\"row\":3,\"model\":\"canary\"}\n"
         "              {\"op\":\"stats\"}   {\"op\":\"quit\"}\n"
+        "            model admin / selection ops (applied to every shard):\n"
+        "              {\"op\":\"load\",\"name\":\"b\",\"model\":\"b.xnfv\",\n"
+        "               \"weight\":1,\"quota\":0}\n"
+        "              {\"op\":\"swap\",\"name\":\"b\",\"model\":\"b2.xnfv\"}\n"
+        "              {\"op\":\"retire\",\"name\":\"b\"}   {\"op\":\"models\"}\n"
+        "              {\"op\":\"use\",\"model\":\"b\"}   set this session's\n"
+        "              default model for later explain lines\n"
         "            responses are printed in request order\n"
         "  netprobe  --port P [--host A] [--row K | --features \"v1,v2,...\"]\n"
-        "            [--method M] [--seed S] [--deadline-ms D] [--count N]\n"
-        "            [--stats] [--quit] [--timeout-ms T]\n"
+        "            [--method M] [--model-name NAME] [--seed S]\n"
+        "            [--deadline-ms D] [--count N] [--stats] [--quit]\n"
+        "            [--timeout-ms T] [--line 'JSON']\n"
         "            probe a running `serve --listen` instance and print the\n"
-        "            response lines\n"
+        "            response lines; --line sends the given raw ND-JSON line\n"
+        "            instead of a built explain request (admin ops from the\n"
+        "            shell; must not be a quit frame — use --quit)\n"
         "  help\n\n"
         "common flags:\n"
         "  --seed S     deterministic RNG seed (per command defaults)\n"
@@ -302,8 +319,6 @@ extern "C" void serve_signal_handler(int) {
 /// asynchronously (so the micro-batcher can coalesce them) and answered in
 /// request order; `stats`/`quit` first drain everything pending.
 int cmd_serve(const Args& args) {
-    const std::shared_ptr<const ml::Model> model =
-        ml::load_model_file(args.require("model"));
     const auto data = ml::read_csv_file(args.require("data"), task_from(args, "clf"));
 
     serve::ServiceConfig cfg;
@@ -358,6 +373,66 @@ int cmd_serve(const Args& args) {
                 static_cast<std::uint64_t>(fault_kill);
         }
         cfg.fault_injector = std::make_shared<serve::FaultInjector>(fi);
+    }
+
+    // --models: multi-model registry manifest, one JSON object per line
+    // ({"name","model"[,"weight","quota","default"]}).  The flagged (else
+    // first) entry becomes the default model; the rest are registered as
+    // extra models before serving starts.
+    std::shared_ptr<const ml::Model> model;
+    if (args.has("models")) {
+        const auto manifest_path = args.get("models", "");
+        std::ifstream manifest_in(manifest_path);
+        if (!manifest_in)
+            throw std::runtime_error("cannot open --models manifest '" +
+                                     manifest_path + "'");
+        struct ManifestEntry {
+            serve::ModelSpec spec;
+            bool is_default = false;
+        };
+        std::vector<ManifestEntry> manifest;
+        std::string mline;
+        std::size_t lineno = 0;
+        while (std::getline(manifest_in, mline)) {
+            ++lineno;
+            if (mline.find_first_not_of(" \t\r") == std::string::npos) continue;
+            const auto at = manifest_path + ":" + std::to_string(lineno) + ": ";
+            serve::JsonValue entry;
+            try {
+                entry = serve::parse_json(mline);
+            } catch (const std::exception& e) {
+                throw std::runtime_error(at + e.what());
+            }
+            ManifestEntry m;
+            m.spec.name = entry.get_string("name", "");
+            const auto file = entry.get_string("model", "");
+            if (m.spec.name.empty() || file.empty())
+                throw std::runtime_error(
+                    at + "manifest lines need \"name\" and \"model\"");
+            m.spec.model = ml::load_model_file(file);
+            m.spec.weight =
+                static_cast<std::size_t>(entry.get_number("weight", 1));
+            m.spec.quota = static_cast<std::size_t>(entry.get_number("quota", 0));
+            const auto* def = entry.find("default");
+            m.is_default = def != nullptr &&
+                           def->type == serve::JsonValue::Type::boolean &&
+                           def->boolean;
+            manifest.push_back(std::move(m));
+        }
+        if (manifest.empty())
+            throw std::runtime_error("--models manifest '" + manifest_path +
+                                     "' has no entries");
+        std::size_t def = 0;
+        for (std::size_t i = 0; i < manifest.size(); ++i)
+            if (manifest[i].is_default) { def = i; break; }
+        model = manifest[def].spec.model;
+        cfg.default_model_name = manifest[def].spec.name;
+        cfg.default_weight = manifest[def].spec.weight;
+        cfg.default_quota = manifest[def].spec.quota;
+        for (std::size_t i = 0; i < manifest.size(); ++i)
+            if (i != def) cfg.extra_models.push_back(std::move(manifest[i].spec));
+    } else {
+        model = ml::load_model_file(args.require("model"));
     }
 
     // --listen: serve the same protocol over TCP instead of stdin/stdout,
@@ -429,6 +504,7 @@ int cmd_serve(const Args& args) {
     };
 
     std::uint64_t next_id = 1;
+    std::string session_model;  // set by {"op":"use"}; "" = server default
     std::string line;
     while (std::getline(std::cin, line)) {
         if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
@@ -447,6 +523,29 @@ int cmd_serve(const Args& args) {
             std::fflush(stdout);
             continue;
         }
+        if (op == "load" || op == "swap" || op == "retire" || op == "models") {
+            drain();  // admin lands after everything already admitted
+            std::printf("%s\n", serve::handle_model_admin(req, {&service}).c_str());
+            std::fflush(stdout);
+            continue;
+        }
+        if (op == "use") {
+            drain();  // keep responses in request order
+            const auto name = req.get_string("model", "");
+            if (!service.feature_dim(name)) {
+                print_error(0, serve::ServeError::unknown_model,
+                            "unknown model '" + name + "'");
+                continue;
+            }
+            session_model = name;
+            serve::JsonWriter w;
+            w.field("ok", true);
+            w.field("op", "use");
+            w.field("model", name);
+            std::printf("%s\n", w.finish().c_str());
+            std::fflush(stdout);
+            continue;
+        }
         if (op != "explain") {
             print_error(0, serve::ServeError::bad_request, "unknown op '" + op + "'");
             continue;
@@ -457,11 +556,17 @@ int cmd_serve(const Args& args) {
             req.get_number("id", static_cast<double>(next_id)));
         ++next_id;
         er.method = req.get_string("method", "");
+        er.model = req.get_string("model", session_model);
         er.seed = static_cast<std::uint64_t>(req.get_number("seed", 0));
         er.deadline_ms = static_cast<std::int64_t>(req.get_number("deadline_ms", -1));
+        const auto dim = service.feature_dim(er.model);
+        if (!dim) {
+            print_error(er.id, serve::ServeError::unknown_model,
+                        "unknown model '" + er.model + "'");
+            continue;
+        }
         if (req.has("features")) {
-            auto extracted =
-                serve::extract_features(req, model->num_features());
+            auto extracted = serve::extract_features(req, *dim);
             if (extracted.error != serve::ServeError::none) {
                 print_error(er.id, extracted.error, extracted.message);
                 continue;
@@ -514,20 +619,28 @@ int cmd_netprobe(const Args& args) {
         throw std::runtime_error("connect failed: " + err);
 
     // Build the explain request once; --count repeats it (cache-hit probe).
-    serve::JsonWriter w;
-    w.field("op", "explain");
-    if (args.has("features")) {
-        // Comma-separated literal features, passed through verbatim.
-        w.field_raw("features", "[" + args.get("features", "") + "]");
+    // --line overrides it with a caller-supplied raw ND-JSON frame (admin
+    // ops), still expected to produce one response per send.
+    std::string request;
+    if (args.has("line")) {
+        request = args.get("line", "");
     } else {
-        w.field("row", static_cast<double>(args.get_int("row", 0)));
+        serve::JsonWriter w;
+        w.field("op", "explain");
+        if (args.has("features")) {
+            // Comma-separated literal features, passed through verbatim.
+            w.field_raw("features", "[" + args.get("features", "") + "]");
+        } else {
+            w.field("row", static_cast<double>(args.get_int("row", 0)));
+        }
+        if (args.has("method")) w.field("method", args.get("method", ""));
+        if (args.has("model-name")) w.field("model", args.get("model-name", ""));
+        if (const auto seed = args.get_int("seed", 0); seed > 0)
+            w.field("seed", static_cast<std::uint64_t>(seed));
+        if (const auto dl = args.get_int("deadline-ms", -1); dl >= 0)
+            w.field("deadline_ms", static_cast<double>(dl));
+        request = w.finish();
     }
-    if (args.has("method")) w.field("method", args.get("method", ""));
-    if (const auto seed = args.get_int("seed", 0); seed > 0)
-        w.field("seed", static_cast<std::uint64_t>(seed));
-    if (const auto dl = args.get_int("deadline-ms", -1); dl >= 0)
-        w.field("deadline_ms", static_cast<double>(dl));
-    const auto request = w.finish();
 
     const auto count = static_cast<std::size_t>(args.get_int("count", 1));
     std::size_t expected = 0;
