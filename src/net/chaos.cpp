@@ -1,0 +1,48 @@
+#include "net/chaos.hpp"
+
+#include "serve/explanation_cache.hpp"  // fnv1a_u64
+
+namespace xnfv::net {
+
+bool NetFaultInjector::decide(std::size_t i, std::uint64_t k) noexcept {
+    const double rate = config_.rate[i];
+    if (rate <= 0.0) return false;
+    // Uniform in [0, 1) from the (seed, point, k) hash; fires when it lands
+    // under the configured rate — the k-th poll's verdict never changes.
+    const std::uint64_t h = serve::fnv1a_u64(
+        k, serve::fnv1a_u64(static_cast<std::uint64_t>(i),
+                            serve::fnv1a_u64(config_.seed, 0xcbf29ce484222325ULL)));
+    const double draw = static_cast<double>(h >> 11) * 0x1.0p-53;  // top 53 bits
+    if (draw >= rate) return false;
+    const std::uint64_t cap = config_.max_fires[i];
+    const std::uint64_t nth = fired_[i].fetch_add(1, std::memory_order_relaxed);
+    if (cap != 0 && nth >= cap) {
+        fired_[i].fetch_sub(1, std::memory_order_relaxed);
+        return false;
+    }
+    return true;
+}
+
+bool NetFaultInjector::should_fire(NetFaultPoint point, NetFaultCounters& local) noexcept {
+    const std::size_t i = index(point);
+    return decide(i, local.polls[i]++);
+}
+
+bool NetFaultInjector::should_fire(NetFaultPoint point) noexcept {
+    const std::size_t i = index(point);
+    return decide(i, global_polls_[i].fetch_add(1, std::memory_order_relaxed));
+}
+
+std::uint64_t NetFaultInjector::total_fired() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& f : fired_) total += f.load(std::memory_order_relaxed);
+    return total;
+}
+
+bool NetFaultInjector::armed() const noexcept {
+    for (const double r : config_.rate)
+        if (r > 0.0) return true;
+    return false;
+}
+
+}  // namespace xnfv::net

@@ -1,6 +1,7 @@
 #include "net/client.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -10,6 +11,8 @@
 #include <array>
 #include <cerrno>
 #include <cstring>
+
+#include "net/socket.hpp"
 
 namespace xnfv::net {
 
@@ -28,7 +31,8 @@ void Client::shutdown_write() noexcept {
 }
 
 bool Client::connect(const std::string& host, std::uint16_t port,
-                     std::string* error) {
+                     std::string* error,
+                     std::chrono::milliseconds connect_timeout) {
     close();
     sockaddr_storage addr{};
     socklen_t addr_len = 0;
@@ -51,7 +55,44 @@ bool Client::connect(const std::string& host, std::uint16_t port,
         if (error) *error = std::string("socket: ") + std::strerror(errno);
         return false;
     }
-    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), addr_len) != 0) {
+    if (connect_timeout.count() > 0) {
+        // Bounded handshake: connect non-blocking, poll for writability,
+        // read the result from SO_ERROR, then restore blocking mode.
+        const int flags = ::fcntl(fd_, F_GETFL, 0);
+        ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+        const int rc = retry_on_eintr([&] {
+            return ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), addr_len);
+        });
+        if (rc != 0 && errno != EINPROGRESS) {
+            if (error) *error = std::string("connect: ") + std::strerror(errno);
+            close();
+            return false;
+        }
+        if (rc != 0) {
+            pollfd pfd{fd_, POLLOUT, 0};
+            const int ready = retry_on_eintr([&] {
+                return ::poll(&pfd, 1, static_cast<int>(connect_timeout.count()));
+            });
+            if (ready <= 0) {
+                if (error)
+                    *error = ready == 0 ? "connect: timed out"
+                                        : std::string("poll: ") + std::strerror(errno);
+                close();
+                return false;
+            }
+            int so_error = 0;
+            socklen_t len = sizeof(so_error);
+            ::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &so_error, &len);
+            if (so_error != 0) {
+                if (error) *error = std::string("connect: ") + std::strerror(so_error);
+                close();
+                return false;
+            }
+        }
+        ::fcntl(fd_, F_SETFL, flags);
+    } else if (retry_on_eintr([&] {
+                   return ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), addr_len);
+               }) != 0) {
         if (error) *error = std::string("connect: ") + std::strerror(errno);
         close();
         return false;

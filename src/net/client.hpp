@@ -34,10 +34,15 @@ public:
         return *this;
     }
 
-    /// Connects to a numeric `host:port`.  On failure returns false and, when
-    /// `error` is non-null, stores why.
+    /// Connects to a numeric `host:port`.  `connect_timeout` bounds the TCP
+    /// handshake (non-blocking connect + poll; 0 = block indefinitely) — a
+    /// dead or blackholed server then fails fast instead of pinning the
+    /// caller for the kernel's SYN-retry minutes.  On failure returns false
+    /// and, when `error` is non-null, stores why.
     [[nodiscard]] bool connect(const std::string& host, std::uint16_t port,
-                               std::string* error = nullptr);
+                               std::string* error = nullptr,
+                               std::chrono::milliseconds connect_timeout =
+                                   std::chrono::milliseconds{0});
 
     /// Sends `line` plus a newline; blocks until fully written.
     [[nodiscard]] bool send_line(const std::string& line);

@@ -19,8 +19,10 @@
 #include <cstdint>
 #include <deque>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "net/chaos.hpp"
 #include "serve/ndjson.hpp"
 
 namespace xnfv::net {
@@ -43,6 +45,16 @@ public:
         Kind kind = Kind::response;
         bool ready = false;
         std::string line;  ///< rendered JSON, no trailing newline
+        /// Idempotent request id this slot's response is recorded under in
+        /// the dedup window when it completes (0 = no rid on the request).
+        std::uint64_t rid = 0;
+    };
+
+    /// Verdict of the per-connection retry-dedup window for an arriving rid.
+    enum class DedupVerdict : std::uint8_t {
+        fresh,     ///< first sighting; slot tagged, request must be computed
+        replayed,  ///< already completed; slot fulfilled from the record
+        attached,  ///< original still pending; slot fulfilled when it lands
     };
 
     Connection(std::uint64_t id, int fd, std::size_t max_line_bytes);
@@ -77,7 +89,14 @@ public:
     std::uint64_t push_slot(Slot::Kind kind);
     /// Marks slot `seq` ready with its rendered line.  Out-of-window seqs
     /// (already popped — possible only after a forced close) are ignored.
+    /// A slot carrying a rid records its line in the dedup window and
+    /// fulfills any duplicate slots attached while it was pending.
     void fulfill(std::uint64_t seq, std::string line);
+
+    /// Admits slot `seq` (already pushed) under idempotent id `rid`:
+    /// either tags it as the original, replays the recorded response, or
+    /// attaches it to the still-pending original.  rid 0 is always fresh.
+    DedupVerdict dedup_admit(std::uint64_t rid, std::uint64_t seq);
 
     [[nodiscard]] bool pipeline_empty() const noexcept { return slots_.empty(); }
     /// Head of the pipeline, or nullptr when empty.
@@ -103,13 +122,31 @@ public:
     bool lingering = false;            ///< drain FIN sent; discard input until peer EOF
     std::uint32_t interest = 0;        ///< epoll mask currently registered
 
+    /// Socket chaos seam: when set, read_some/flush poll the injector with
+    /// this connection's own counters (deterministic per-stream schedule).
+    NetFaultInjector* chaos = nullptr;
+    NetFaultCounters fault_counters;
+    /// Retry-dedup window capacity (completed rid records retained); 0
+    /// disables the window and every rid is treated as fresh.
+    std::size_t dedup_window = 0;
+
 private:
+    /// One remembered rid: the recorded response once done, or the list of
+    /// duplicate slots waiting for the original while it is pending.
+    struct DedupEntry {
+        bool done = false;
+        std::string line;
+        std::vector<std::uint64_t> waiting;
+    };
+
     std::uint64_t id_;
     int fd_;
     std::deque<Slot> slots_;
     std::uint64_t base_seq_ = 0;  ///< seq of slots_.front()
     std::string outbuf_;
     std::size_t out_off_ = 0;
+    std::unordered_map<std::uint64_t, DedupEntry> dedup_;
+    std::deque<std::uint64_t> dedup_order_;  ///< insertion order for eviction
 };
 
 }  // namespace xnfv::net

@@ -10,7 +10,9 @@
 #include <cerrno>
 #include <cstring>
 #include <deque>
+#include <unordered_map>
 
+#include "serve/explanation_cache.hpp"
 #include "serve/ndjson.hpp"
 
 namespace xnfv::net {
@@ -19,6 +21,7 @@ std::string render_request_line(const RequestSpec& spec) {
     serve::JsonWriter w;
     w.field("op", "explain");
     w.field("id", spec.id);
+    if (spec.rid != 0) w.field("rid", spec.rid);
     if (spec.row >= 0)
         w.field("row", static_cast<std::uint64_t>(spec.row));
     else
@@ -38,6 +41,26 @@ namespace {
 /// keeps the SYN queue bounded without serializing the test.
 constexpr std::size_t kConnectBurst = 512;
 
+using Clock = std::chrono::steady_clock;
+
+/// Pulls the numeric "id" field out of a request or response line (0 when
+/// absent) — retry mode's matching key, cheaper than a full JSON parse on
+/// the hot read path.
+[[nodiscard]] std::uint64_t extract_id(const std::string& line) {
+    const auto pos = line.find("\"id\":");
+    if (pos == std::string::npos) return 0;
+    std::size_t i = pos + 5;
+    while (i < line.size() && line[i] == ' ') ++i;
+    std::uint64_t v = 0;
+    bool any = false;
+    while (i < line.size() && line[i] >= '0' && line[i] <= '9') {
+        v = v * 10 + static_cast<std::uint64_t>(line[i] - '0');
+        ++i;
+        any = true;
+    }
+    return any ? v : 0;
+}
+
 struct Conn {
     int fd = -1;
     std::size_t index = 0;                        ///< script / report slot
@@ -53,6 +76,20 @@ struct Conn {
     /// responses — the sample includes client-side queueing, like a caller's
     /// request clock would.
     std::deque<std::chrono::steady_clock::time_point> staged_at;
+
+    // --- Retry mode ----------------------------------------------------
+    /// In-flight lines keyed by request id; erased when the matching
+    /// response id arrives (any order), re-sent when next_check passes.
+    struct Pending {
+        std::string line;
+        Clock::time_point next_check;
+        std::size_t attempts = 0;  ///< re-sends so far
+    };
+    std::unordered_map<std::uint64_t, Pending> pending;
+    std::size_t reconnects = 0;
+    bool waiting_reconnect = false;  ///< fd closed, backoff running
+    Clock::time_point reconnect_at{};
+    Clock::time_point connect_started{};
 };
 
 struct Driver {
@@ -77,6 +114,31 @@ struct Driver {
         --active;
     }
 
+    [[nodiscard]] bool retry() const noexcept { return config.retries_enabled(); }
+
+    /// Exponential backoff for attempt k with deterministic jitter: the
+    /// whole retry schedule is a pure function of (retry_seed, connection,
+    /// rid, attempt), so a chaos run replays identically.
+    [[nodiscard]] Clock::duration backoff_delay(const Conn& conn, std::uint64_t rid,
+                                                std::size_t attempt) const {
+        const auto base = static_cast<std::uint64_t>(
+            std::max<long long>(config.backoff_base.count(), 0));
+        const std::size_t expo = std::min<std::size_t>(attempt > 0 ? attempt - 1 : 0, 10);
+        const std::uint64_t h = serve::fnv1a_u64(
+            attempt,
+            serve::fnv1a_u64(
+                rid, serve::fnv1a_u64(conn.index,
+                                      serve::fnv1a_u64(config.retry_seed,
+                                                       0xcbf29ce484222325ULL))));
+        const std::uint64_t jitter = base == 0 ? 0 : h % (base + 1);
+        return std::chrono::milliseconds((base << expo) + jitter);
+    }
+
+    [[nodiscard]] Clock::time_point response_deadline(Clock::time_point now) const {
+        if (config.response_timeout.count() <= 0) return Clock::time_point::max();
+        return now + config.response_timeout;
+    }
+
     void update_interest(Conn& conn) {
         std::uint32_t mask = EPOLLIN;
         if (conn.connecting || (!conn.outbuf.empty() && !conn.write_closed))
@@ -94,13 +156,19 @@ struct Driver {
         auto& rep = report.conns[conn.index];
         while (conn.next_line < conn.script->size() &&
                conn.outstanding < config.window) {
-            conn.outbuf += (*conn.script)[conn.next_line];
+            const std::string& line = (*conn.script)[conn.next_line];
+            conn.outbuf += line;
             conn.outbuf += '\n';
             ++conn.next_line;
             ++conn.outstanding;
             ++rep.sent_lines;
             if (config.record_latency)
                 conn.staged_at.push_back(std::chrono::steady_clock::now());
+            if (retry()) {
+                if (const auto id = extract_id(line); id != 0)
+                    conn.pending.emplace(
+                        id, Conn::Pending{line, response_deadline(Clock::now()), 0});
+            }
         }
     }
 
@@ -119,7 +187,8 @@ struct Driver {
             conn.write_closed = true;
             return;
         }
-        if (conn.next_line == conn.script->size() && config.shutdown_writes) {
+        if (conn.next_line == conn.script->size() && config.shutdown_writes &&
+            !retry()) {
             ::shutdown(conn.fd, SHUT_WR);
             conn.write_closed = true;
         }
@@ -138,8 +207,22 @@ struct Driver {
                     if (nl == std::string::npos) break;
                     rep.lines.push_back(rep.partial.substr(start, nl - start));
                     start = nl + 1;
-                    if (conn.outstanding > 0) --conn.outstanding;
-                    if (config.record_latency && !conn.staged_at.empty()) {
+                    bool matched = true;
+                    if (retry()) {
+                        // Id-keyed matching: a response for a still-pending
+                        // id settles it; anything else is a duplicate (the
+                        // server answered both the original and a replay).
+                        const auto id = extract_id(rep.lines.back());
+                        const auto it = conn.pending.find(id);
+                        if (id != 0 && it != conn.pending.end()) {
+                            conn.pending.erase(it);
+                        } else {
+                            ++rep.duplicates;
+                            matched = false;
+                        }
+                    }
+                    if (matched && conn.outstanding > 0) --conn.outstanding;
+                    if (matched && config.record_latency && !conn.staged_at.empty()) {
                         rep.latency_us.push_back(
                             std::chrono::duration<double, std::micro>(
                                 std::chrono::steady_clock::now() -
@@ -150,84 +233,240 @@ struct Driver {
                 }
                 rep.partial.erase(0, start);
                 stage(conn);  // window may have opened
+                if (retry() && conn.pending.empty() &&
+                    conn.next_line == conn.script->size() && conn.outbuf.empty()) {
+                    // Every scripted line answered: retry mode closes
+                    // actively instead of waiting for the server.
+                    finish(conn);
+                    return;
+                }
                 continue;
             }
             if (n == 0) {
+                if (retry()) {
+                    conn_lost(conn, false);
+                    return;
+                }
                 rep.eof = true;
                 finish(conn);
                 return;
             }
             if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+            if (retry()) {
+                conn_lost(conn, true);
+                return;
+            }
             rep.io_error = true;
             finish(conn);
             return;
         }
     }
 
-    void start_one() {
-        const auto i = next_to_start++;
-        Conn& conn = conns[i];
-        conn.fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
-        if (conn.fd < 0) {
-            report.conns[i].connect_failed = true;
+    /// The transport died (EOF, reset, or write failure) in retry mode.
+    /// Benign when the script is fully answered; otherwise reconnect with
+    /// backoff, or give up once the retry budget is spent.
+    void conn_lost(Conn& conn, bool was_error) {
+        auto& rep = report.conns[conn.index];
+        if (conn.pending.empty() && conn.next_line == conn.script->size()) {
+            if (!was_error) rep.eof = true;
             finish(conn);
             return;
         }
+        if (conn.reconnects >= config.max_retries) {
+            rep.io_error = true;
+            finish(conn);
+            return;
+        }
+        schedule_reconnect(conn);
+    }
+
+    /// Tears the connection down and arms the reconnect backoff timer.
+    void schedule_reconnect(Conn& conn) {
+        auto& rep = report.conns[conn.index];
+        ++conn.reconnects;
+        ++rep.reconnects;
+        if (conn.connecting) {
+            --connecting;
+            conn.connecting = false;
+        }
+        if (conn.fd >= 0) {
+            ::epoll_ctl(epfd, EPOLL_CTL_DEL, conn.fd, nullptr);
+            ::close(conn.fd);
+            conn.fd = -1;
+        }
+        conn.interest = 0;
+        conn.outbuf.clear();
+        // A torn tail line belongs to the dead stream; its rid is still
+        // pending, so the replay re-delivers the whole line.
+        rep.partial.clear();
+        conn.staged_at.clear();
+        conn.write_closed = false;
+        conn.waiting_reconnect = true;
+        conn.reconnect_at = Clock::now() + backoff_delay(conn, 0, conn.reconnects);
+    }
+
+    /// Re-sends every still-pending line on a freshly established
+    /// connection (the new stream's dedup window has no record of them).
+    void resend_pending(Conn& conn) {
+        if (!retry() || conn.pending.empty()) return;
+        const auto now = Clock::now();
+        for (auto& [id, p] : conn.pending) {
+            conn.outbuf += p.line;
+            conn.outbuf += '\n';
+            p.next_check = response_deadline(now);
+        }
+    }
+
+    /// Opens conn's socket and begins the non-blocking handshake; false
+    /// means this attempt failed synchronously (fd, if any, already closed).
+    [[nodiscard]] bool open_socket(Conn& conn) {
+        conn.fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+        if (conn.fd < 0) return false;
         sockaddr_in addr{};
         addr.sin_family = AF_INET;
         addr.sin_port = htons(config.port);
         if (::inet_pton(AF_INET, config.host.c_str(), &addr.sin_addr) != 1) {
-            report.conns[i].connect_failed = true;
-            finish(conn);
-            return;
+            ::close(conn.fd);
+            conn.fd = -1;
+            return false;
         }
         const int rc =
             ::connect(conn.fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
         if (rc != 0 && errno != EINPROGRESS) {
-            report.conns[i].connect_failed = true;
-            finish(conn);
-            return;
+            ::close(conn.fd);
+            conn.fd = -1;
+            return false;
         }
         conn.connecting = rc != 0;
         if (conn.connecting) ++connecting;
+        conn.connect_started = Clock::now();
         epoll_event ev{};
         ev.events = conn.connecting ? (EPOLLIN | EPOLLOUT) : EPOLLIN;
         ev.data.ptr = &conn;
         conn.interest = ev.events;
         if (::epoll_ctl(epfd, EPOLL_CTL_ADD, conn.fd, &ev) != 0) {
-            report.conns[i].connect_failed = true;
-            finish(conn);
+            if (conn.connecting) {
+                --connecting;
+                conn.connecting = false;
+            }
+            ::close(conn.fd);
+            conn.fd = -1;
+            return false;
+        }
+        return true;
+    }
+
+    /// Handshake complete: replay pending lines (retry mode), stage, write.
+    void on_connected(Conn& conn) {
+        resend_pending(conn);
+        stage(conn);
+        write_some(conn);
+        update_interest(conn);
+    }
+
+    /// A (re)connect attempt failed before the handshake even started.
+    void connect_attempt_failed(Conn& conn) {
+        if (retry() && conn.reconnects < config.max_retries) {
+            schedule_reconnect(conn);
             return;
         }
-        if (!conn.connecting) {
-            stage(conn);
-            write_some(conn);
-            update_interest(conn);
+        report.conns[conn.index].connect_failed = true;
+        finish(conn);
+    }
+
+    void start_one() {
+        const auto i = next_to_start++;
+        Conn& conn = conns[i];
+        if (!open_socket(conn)) {
+            connect_attempt_failed(conn);
+            return;
         }
+        if (!conn.connecting) on_connected(conn);
     }
 
     void on_event(Conn& conn, std::uint32_t events) {
-        if (conn.done) return;
+        if (conn.done || conn.waiting_reconnect) return;
         if (conn.connecting) {
             if ((events & (EPOLLOUT | EPOLLERR | EPOLLHUP)) == 0) return;
             int err = 0;
             socklen_t len = sizeof(err);
             ::getsockopt(conn.fd, SOL_SOCKET, SO_ERROR, &err, &len);
             if (err != 0) {
-                report.conns[conn.index].connect_failed = true;
-                finish(conn);
+                connect_attempt_failed(conn);
                 return;
             }
             conn.connecting = false;
             --connecting;
+            resend_pending(conn);
             stage(conn);
         }
         if ((events & (EPOLLIN | EPOLLHUP | EPOLLERR)) != 0) {
             read_some(conn);
-            if (conn.done) return;
+            if (conn.done || conn.waiting_reconnect) return;
         }
         write_some(conn);
         update_interest(conn);
+    }
+
+    /// Retry mode's timer sweep: fires reconnect backoffs, bounds connect
+    /// handshakes, and re-sends response-timeout stragglers.
+    void check_timers(Clock::time_point now) {
+        if (!retry()) return;
+        for (auto& conn : conns) {
+            if (conn.done) continue;
+            auto& rep = report.conns[conn.index];
+            if (conn.waiting_reconnect) {
+                if (now < conn.reconnect_at) continue;
+                conn.waiting_reconnect = false;
+                if (!open_socket(conn)) {
+                    connect_attempt_failed(conn);
+                } else if (!conn.connecting) {
+                    on_connected(conn);
+                }
+                continue;
+            }
+            if (conn.connecting) {
+                if (config.connect_timeout.count() > 0 &&
+                    now - conn.connect_started >= config.connect_timeout) {
+                    ::epoll_ctl(epfd, EPOLL_CTL_DEL, conn.fd, nullptr);
+                    ::close(conn.fd);
+                    conn.fd = -1;
+                    --connecting;
+                    conn.connecting = false;
+                    connect_attempt_failed(conn);
+                }
+                continue;
+            }
+            if (conn.write_closed && !conn.pending.empty()) {
+                // The write side died mid-script; the read side may never
+                // deliver an EOF, so treat it as a lost connection now.
+                conn_lost(conn, true);
+                continue;
+            }
+            if (config.response_timeout.count() <= 0 || conn.pending.empty())
+                continue;
+            bool wrote = false;
+            for (auto& [id, p] : conn.pending) {
+                if (now < p.next_check) continue;
+                if (p.attempts >= config.max_retries) {
+                    rep.io_error = true;
+                    finish(conn);
+                    break;
+                }
+                ++p.attempts;
+                ++rep.retries;
+                conn.outbuf += p.line;
+                conn.outbuf += '\n';
+                p.next_check =
+                    now + config.response_timeout + backoff_delay(conn, id, p.attempts);
+                wrote = true;
+            }
+            if (conn.done) continue;
+            if (wrote) {
+                write_some(conn);
+                update_interest(conn);
+            }
+        }
     }
 };
 
@@ -266,9 +505,11 @@ LoadReport run_load(const LoadgenConfig& config,
         const auto wait_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
                                  deadline - now)
                                  .count();
+        // Retry mode needs a short tick to fire backoff/response timers.
+        const long long cap = config.retries_enabled() ? 5 : 1000;
         const int n = ::epoll_wait(d.epfd, events.data(),
                                    static_cast<int>(events.size()),
-                                   static_cast<int>(std::min<long long>(wait_ms, 1000)));
+                                   static_cast<int>(std::min<long long>(wait_ms, cap)));
         if (n < 0) {
             if (errno == EINTR) continue;
             break;
@@ -276,6 +517,7 @@ LoadReport run_load(const LoadgenConfig& config,
         for (int i = 0; i < n; ++i)
             d.on_event(*static_cast<Conn*>(events[static_cast<std::size_t>(i)].data.ptr),
                        events[static_cast<std::size_t>(i)].events);
+        d.check_timers(std::chrono::steady_clock::now());
     }
     for (auto& conn : d.conns)
         if (!conn.done) d.finish(conn);

@@ -38,6 +38,34 @@ struct LoadgenConfig {
     /// Record a per-response round-trip sample (staged-to-answered, FIFO
     /// matched) into ConnReport::latency_us.
     bool record_latency = false;
+
+    // --- Safe client retries (all off by default; max_retries > 0 turns
+    // --- the driver into retry mode).
+    //
+    // In retry mode every scripted line must be an explain request carrying
+    // a nonzero "id" (and, for same-connection dedup, a matching "rid");
+    // responses are matched by id instead of FIFO order, an unanswered line
+    // is re-sent with the same rid after `response_timeout` (the server's
+    // per-connection dedup window answers replays from the completed-
+    // response record instead of recomputing), and a dead connection is
+    // re-established with exponential backoff and its unanswered lines
+    // re-sent.  A connection completes when every scripted line has been
+    // answered — the driver closes it actively, so scripts must NOT end
+    // with a quit frame and `shutdown_writes` is ignored.
+    /// Re-sends per request / reconnects per connection before giving up.
+    std::size_t max_retries = 0;
+    /// Unanswered-for-this-long lines are re-sent (0 = only reconnects
+    /// re-send; response loss without connection death then waits forever).
+    std::chrono::milliseconds response_timeout{0};
+    /// Bound on each (re)connect handshake; 0 = kernel default.
+    std::chrono::milliseconds connect_timeout{0};
+    /// Backoff for attempt k is `backoff_base * 2^(k-1)` plus a
+    /// deterministic jitter in [0, backoff_base] derived from
+    /// (retry_seed, connection, rid, attempt) — no wall-clock randomness.
+    std::chrono::milliseconds backoff_base{10};
+    std::uint64_t retry_seed = 1;
+
+    [[nodiscard]] bool retries_enabled() const noexcept { return max_retries > 0; }
 };
 
 /// Everything one connection saw, in arrival order.
@@ -52,6 +80,10 @@ struct ConnReport {
     std::string partial;
     /// Round-trip micros per response line (when record_latency is set).
     std::vector<double> latency_us;
+    // Retry-mode accounting (zero outside retry mode).
+    std::size_t retries = 0;     ///< lines re-sent after a response timeout
+    std::size_t reconnects = 0;  ///< connection re-establishments attempted
+    std::size_t duplicates = 0;  ///< extra responses for an already-answered id
 };
 
 struct LoadReport {
@@ -70,6 +102,11 @@ struct LoadReport {
 /// model renders byte-identically to the pre-registry request lines.
 struct RequestSpec {
     std::uint64_t id = 0;
+    /// Idempotency key for safe retries: a nonzero rid enters the server's
+    /// per-connection dedup window, so a re-sent request is answered from
+    /// the completed-response record instead of recomputed.  0 omits the
+    /// field (byte-identical to pre-rid request lines).
+    std::uint64_t rid = 0;
     long row = -1;
     std::vector<double> features;
     std::string method;

@@ -79,6 +79,10 @@ void ExplanationServer::run() {
         loop_.remove(listener_.fd());
         listener_.close();
     }
+    // Publishes "every socket is closed and every budget slot released" to
+    // the shard supervisor; on a shard_death fault this is what makes the
+    // respawn safe to start.
+    finished_.store(true, std::memory_order_release);
 }
 
 void ExplanationServer::request_drain() noexcept {
@@ -108,6 +112,8 @@ void ExplanationServer::on_accept() {
         const auto id = next_conn_id_++;
         auto conn = std::make_unique<Connection>(id, fd, config_.max_line_bytes);
         conn->interest = EPOLLIN;
+        conn->chaos = config_.chaos.get();
+        conn->dedup_window = config_.dedup_window;
         conns_.emplace(id, std::move(conn));
         loop_.add(fd, EPOLLIN,
                   [this, id](std::uint32_t events) { on_conn_event(id, events); });
@@ -121,6 +127,15 @@ void ExplanationServer::on_conn_event(std::uint64_t conn_id, std::uint32_t event
     if (it == conns_.end()) return;
     Connection& conn = *it->second;
     if ((events & EPOLLERR) != 0) {
+        close_conn(conn);
+        return;
+    }
+    // Chaos: abort this connection with an RST (SO_LINGER 0 turns the close
+    // into a reset) — the client-retry path's hardest failure mode.
+    if (!conn.lingering &&
+        net_fault_fires(conn.chaos, NetFaultPoint::rst_close, conn.fault_counters)) {
+        const struct linger lg = {1, 0};
+        ::setsockopt(conn.fd(), SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
         close_conn(conn);
         return;
     }
@@ -166,6 +181,15 @@ void ExplanationServer::on_wake() {
 }
 
 void ExplanationServer::on_tick() {
+    heartbeat_.fetch_add(1, std::memory_order_relaxed);
+    // Chaos: shard death.  Stopping the loop makes run() tear down every
+    // connection and release every budget slot on its way out — exactly the
+    // crash the supervisor must recover from, minus undefined state.
+    if (!draining_ &&
+        net_fault_fires(config_.chaos.get(), NetFaultPoint::shard_death)) {
+        loop_.stop();
+        return;
+    }
     drain_completions();
     if (drain_requested_.load(std::memory_order_acquire) && !draining_)
         begin_drain();
@@ -260,35 +284,52 @@ void ExplanationServer::handle_frame(Connection& conn, const serve::Frame& frame
     er.model = req.get_string("model", conn.default_model);
     er.seed = static_cast<std::uint64_t>(req.get_number("seed", 0));
     er.deadline_ms = static_cast<std::int64_t>(req.get_number("deadline_ms", -1));
+
+    // The request's slot is allocated before validation so the idempotent
+    // retry window covers every outcome: a duplicate "rid" replays the
+    // recorded answer — explanation or error alike — without re-entering
+    // validation or compute.  (Retried requests should carry an explicit
+    // "id": the default-id counter has already advanced by the time a
+    // duplicate is recognized.)
+    const auto rid = static_cast<std::uint64_t>(req.get_number("rid", 0));
+    const auto seq = conn.push_slot(Connection::Slot::Kind::response);
+    if (conn.dedup_admit(rid, seq) != Connection::DedupVerdict::fresh) {
+        metrics_.retry_duplicates.inc();
+        return;
+    }
+    const auto fail = [&conn, seq](std::uint64_t id, serve::ServeError code,
+                                   const std::string& message) {
+        conn.fulfill(seq, render_error_line(id, code, message));
+    };
+
     // Feature arity is per-model now, so the model must resolve before the
     // features member can be validated.
     const auto dim = service_.feature_dim(er.model);
     if (!dim) {
-        answer_error(er.id, serve::ServeError::unknown_model,
-                     "unknown model '" + er.model + "'");
+        fail(er.id, serve::ServeError::unknown_model,
+             "unknown model '" + er.model + "'");
         return;
     }
     if (req.has("features")) {
         auto extracted = serve::extract_features(req, *dim);
         if (extracted.error != serve::ServeError::none) {
-            answer_error(er.id, extracted.error, extracted.message);
+            fail(er.id, extracted.error, extracted.message);
             return;
         }
         er.features = std::move(extracted.features);
     } else if (req.has("row")) {
         const auto row = static_cast<std::size_t>(req.get_number("row", 0));
         if (!row_lookup_ || !row_lookup_(row, er.features)) {
-            answer_error(er.id, serve::ServeError::bad_request, "row out of range");
+            fail(er.id, serve::ServeError::bad_request, "row out of range");
             return;
         }
     } else {
-        answer_error(er.id, serve::ServeError::bad_request,
-                     "explain needs \"row\" or \"features\"");
+        fail(er.id, serve::ServeError::bad_request,
+             "explain needs \"row\" or \"features\"");
         return;
     }
 
     const std::uint64_t id = er.id;
-    const auto seq = conn.push_slot(Connection::Slot::Kind::response);
     const auto rejected = service_.submit_async(
         std::move(er),
         // Dispatcher thread: render (pure) and marshal onto the loop over
@@ -463,6 +504,17 @@ serve::ServiceStats ExplanationServer::stats() const {
     s.conn_requests_p50 = metrics_.conn_requests.quantile(0.5);
     s.conn_requests_mean = metrics_.conn_requests.mean();
     s.conn_requests_max = metrics_.conn_requests.max();
+    s.net_retry_duplicates = metrics_.retry_duplicates.value();
+    s.errors_by_reason[static_cast<std::size_t>(serve::ServeError::retry_duplicate)] +=
+        s.net_retry_duplicates;
+    if (config_.chaos) {
+        // Injector counters are fleet-global; the sharded aggregate
+        // overwrites these after its merge so a shared injector is not
+        // counted once per shard.
+        s.net_faults_injected = config_.chaos->total_fired();
+        s.errors_by_reason[static_cast<std::size_t>(
+            serve::ServeError::net_fault_injected)] += s.net_faults_injected;
+    }
     return s;
 }
 

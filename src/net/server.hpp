@@ -40,6 +40,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "net/chaos.hpp"
 #include "net/connection.hpp"
 #include "net/event_loop.hpp"
 #include "net/socket.hpp"
@@ -104,6 +105,14 @@ struct ServerConfig {
     /// a private one from `max_connections` (the standalone case).  When
     /// set, `max_connections` is ignored in favor of the budget's limit.
     std::shared_ptr<ConnectionBudget> budget;
+    /// Socket chaos injector (net/chaos.hpp), shared across shards; null =
+    /// no faults.  Always compiled in — a null injector costs one pointer
+    /// check per I/O call.
+    std::shared_ptr<NetFaultInjector> chaos;
+    /// Per-connection retry-dedup window: completed responses remembered by
+    /// `"rid"` so a retried request replays its recorded answer instead of
+    /// recomputing.  0 disables.
+    std::size_t dedup_window = 1024;
 };
 
 /// Connection-level metrics folded into ServiceStats (net_* fields).
@@ -115,6 +124,7 @@ struct NetMetrics {
     serve::Counter bytes_in;
     serve::Counter bytes_out;
     serve::Counter requests;             ///< frames answered over TCP
+    serve::Counter retry_duplicates;     ///< rids answered from the dedup window
     serve::Gauge active;
     serve::Histogram conn_requests;      ///< requests per closed connection
 };
@@ -180,6 +190,18 @@ public:
 
     /// Service stats with the net section populated (net_enabled = true).
     [[nodiscard]] serve::ServiceStats stats() const;
+
+    /// Liveness epoch, bumped once per event-loop tick.  The shard
+    /// supervisor samples it to tell a serving loop from a wedged one.
+    [[nodiscard]] std::uint64_t heartbeat() const noexcept {
+        return heartbeat_.load(std::memory_order_relaxed);
+    }
+    /// True once run() has returned (loop stopped, sockets torn down, every
+    /// budget slot this server held released).  The supervisor's respawn
+    /// trigger: a finished server whose fleet is not draining died.
+    [[nodiscard]] bool finished() const noexcept {
+        return finished_.load(std::memory_order_acquire);
+    }
 
 private:
     /// One completed explanation travelling dispatcher -> loop thread.
@@ -255,6 +277,8 @@ private:
     std::uint64_t next_conn_id_ = 1;
     std::shared_ptr<CompletionChannel> channel_;
     std::atomic<bool> drain_requested_{false};
+    std::atomic<std::uint64_t> heartbeat_{0};
+    std::atomic<bool> finished_{false};
     bool draining_ = false;
     std::chrono::steady_clock::time_point drain_deadline_{};
     mutable NetMetrics metrics_;

@@ -80,7 +80,9 @@ bool TcpListener::listen(const std::string& host, std::uint16_t port,
 }
 
 int TcpListener::accept() noexcept {
-    const int fd = ::accept(fd_, nullptr, nullptr);
+    // EINTR here used to surface as "no connection pending", delaying the
+    // accept by a full event-loop round under signal storms.
+    const int fd = retry_on_eintr([this] { return ::accept(fd_, nullptr, nullptr); });
     if (fd < 0) return -1;
     if (!set_nonblocking(fd)) {
         ::close(fd);

@@ -7,10 +7,24 @@
 // hostnames.
 #pragma once
 
+#include <cerrno>
 #include <cstdint>
 #include <string>
 
 namespace xnfv::net {
+
+/// Runs a syscall-shaped callable, retrying while it fails with EINTR.
+/// The shared retry helper every read/write/accept/connect path uses, so a
+/// signal (or the chaos injector's EINTR storm) never surfaces as a bogus
+/// I/O error.  EAGAIN/EWOULDBLOCK are *not* retried — non-blocking callers
+/// must see them.
+template <typename Fn>
+[[nodiscard]] auto retry_on_eintr(Fn&& fn) noexcept -> decltype(fn()) {
+    for (;;) {
+        const auto r = fn();
+        if (r >= 0 || errno != EINTR) return r;
+    }
+}
 
 /// Sets O_NONBLOCK; returns false when fcntl fails.
 bool set_nonblocking(int fd) noexcept;

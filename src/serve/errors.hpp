@@ -27,10 +27,14 @@ enum class ServeError : std::uint8_t {
     backpressure,        ///< slow/half-open consumer: output cap or conn limit
     unknown_model,       ///< request named a model the registry does not hold
     quota_exceeded,      ///< per-model admission quota reached (tenant, not fleet)
+    retry_duplicate,     ///< retried rid answered from the dedup window (no recompute)
+    circuit_open,        ///< per-tenant circuit breaker rejected the request
+    shard_respawn,       ///< supervisor restarted a dead shard thread
+    net_fault_injected,  ///< socket-level chaos fault fired (counting, not a failure)
 };
 
 /// Number of enumerators (for per-reason counter arrays).
-inline constexpr std::size_t kNumServeErrors = 11;
+inline constexpr std::size_t kNumServeErrors = 15;
 
 [[nodiscard]] constexpr const char* to_string(ServeError error) noexcept {
     switch (error) {
@@ -45,6 +49,10 @@ inline constexpr std::size_t kNumServeErrors = 11;
         case ServeError::backpressure: return "backpressure";
         case ServeError::unknown_model: return "unknown_model";
         case ServeError::quota_exceeded: return "quota_exceeded";
+        case ServeError::retry_duplicate: return "retry_duplicate";
+        case ServeError::circuit_open: return "circuit_open";
+        case ServeError::shard_respawn: return "shard_respawn";
+        case ServeError::net_fault_injected: return "net_fault_injected";
     }
     return "unknown";
 }

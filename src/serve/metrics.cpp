@@ -151,6 +151,17 @@ std::string ServiceStats::to_string() const {
                           static_cast<unsigned long long>(m.weight),
                           static_cast<unsigned long long>(m.quota));
             out += buf;
+            if (m.breaker_state != 0 || m.breaker_opens != 0 ||
+                m.breaker_rejected != 0) {
+                const char* state = m.breaker_state == 1   ? "open"
+                                    : m.breaker_state == 2 ? "half-open"
+                                                           : "closed";
+                std::snprintf(buf, sizeof(buf),
+                              "      breaker %s  opens %llu  rejected %llu\n", state,
+                              static_cast<unsigned long long>(m.breaker_opens),
+                              static_cast<unsigned long long>(m.breaker_rejected));
+                out += buf;
+            }
         }
     }
     if (net_enabled) {
@@ -173,6 +184,16 @@ std::string ServiceStats::to_string() const {
             static_cast<unsigned long long>(net_requests), conn_requests_p50,
             static_cast<unsigned long long>(conn_requests_max));
         out += buf;
+        if (net_faults_injected != 0 || net_retry_duplicates != 0 ||
+            net_shard_respawns != 0) {
+            std::snprintf(buf, sizeof(buf),
+                          "              chaos faults %llu  retry-duplicates %llu  "
+                          "shard-respawns %llu\n",
+                          static_cast<unsigned long long>(net_faults_injected),
+                          static_cast<unsigned long long>(net_retry_duplicates),
+                          static_cast<unsigned long long>(net_shard_respawns));
+            out += buf;
+        }
     }
     if (worker_respawns != 0 || worker_stalls != 0 || faults_injected != 0) {
         std::snprintf(buf, sizeof(buf),

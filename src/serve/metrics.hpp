@@ -136,6 +136,11 @@ struct ModelServiceStats {
     std::uint64_t weight = 1;
     std::uint64_t quota = 0;
     double base_value = 0.0;
+    /// Circuit-breaker state (0 closed, 1 open, 2 half-open) and lifetime
+    /// open transitions / rejected admissions for this tenant.
+    std::uint64_t breaker_state = 0;
+    std::uint64_t breaker_opens = 0;
+    std::uint64_t breaker_rejected = 0;
 };
 
 /// Immutable snapshot of ServiceMetrics plus cache occupancy, renderable as
@@ -200,6 +205,12 @@ struct ServiceStats {
     double conn_requests_p50 = 0.0;  ///< per-connection request count quantiles
     double conn_requests_mean = 0.0;
     std::uint64_t conn_requests_max = 0;
+    /// Resilience layer: socket-level chaos faults fired, retried rids
+    /// answered from the per-connection dedup window, and shard threads
+    /// respawned by the supervisor.
+    std::uint64_t net_faults_injected = 0;
+    std::uint64_t net_retry_duplicates = 0;
+    std::uint64_t net_shard_respawns = 0;
 
     /// Multi-model registry section: live entries in registration order.
     /// A single-model service reports exactly one entry (its default model).

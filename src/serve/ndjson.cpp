@@ -372,6 +372,9 @@ std::string render_stats(const ServiceStats& s) {
         w.field("net_requests", s.net_requests);
         w.field("conn_requests_p50", s.conn_requests_p50);
         w.field("conn_requests_max", s.conn_requests_max);
+        w.field("net_faults_injected", s.net_faults_injected);
+        w.field("net_retry_duplicates", s.net_retry_duplicates);
+        w.field("net_shard_respawns", s.net_shard_respawns);
     }
     {
         // {"queue_full":2,...} — only reasons that occurred.
@@ -408,6 +411,9 @@ std::string render_stats(const ServiceStats& s) {
             mw.field("weight", m.weight);
             mw.field("quota", m.quota);
             mw.field("base_value", m.base_value);
+            mw.field("breaker_state", m.breaker_state);
+            mw.field("breaker_opens", m.breaker_opens);
+            mw.field("breaker_rejected", m.breaker_rejected);
             models += mw.finish();
         }
         models += ']';

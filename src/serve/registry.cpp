@@ -44,6 +44,81 @@ std::string fingerprint_hex(std::uint64_t fingerprint) {
     return buf;
 }
 
+bool ModelEntry::breaker_admit(const BreakerConfig& cfg,
+                               std::chrono::steady_clock::time_point now) {
+    if (cfg.error_threshold <= 0.0 || cfg.window == 0) return true;
+    std::lock_guard lock(breaker_mutex_);
+    switch (breaker_.state) {
+        case BreakerState::closed:
+            return true;
+        case BreakerState::open:
+            if (now - breaker_.opened_at >= cfg.cooldown) {
+                // Cooldown over: this request becomes the half-open probe.
+                breaker_.state = BreakerState::half_open;
+                breaker_.probe_inflight = true;
+                return true;
+            }
+            breaker_rejected.inc();
+            return false;
+        case BreakerState::half_open:
+            if (!breaker_.probe_inflight) {
+                breaker_.probe_inflight = true;
+                return true;
+            }
+            breaker_rejected.inc();
+            return false;
+    }
+    return true;  // unreachable
+}
+
+void ModelEntry::breaker_record(const BreakerConfig& cfg, bool ok) {
+    if (cfg.error_threshold <= 0.0 || cfg.window == 0) return;
+    std::lock_guard lock(breaker_mutex_);
+    if (breaker_.state == BreakerState::half_open) {
+        // The probe's outcome decides alone; the old window is history.
+        breaker_.probe_inflight = false;
+        if (ok) {
+            breaker_.state = BreakerState::closed;
+            breaker_.ring.clear();
+            breaker_.head = breaker_.filled = breaker_.errors = 0;
+        } else {
+            breaker_.state = BreakerState::open;
+            breaker_.opened_at = std::chrono::steady_clock::now();
+            breaker_opens.inc();
+        }
+        return;
+    }
+    if (breaker_.state == BreakerState::open) return;  // straggler from before
+    if (breaker_.ring.size() != cfg.window) {
+        // First outcome, or the window was reconfigured: start fresh.
+        breaker_.ring.assign(cfg.window, 0);
+        breaker_.head = breaker_.filled = breaker_.errors = 0;
+    }
+    breaker_.errors -= breaker_.ring[breaker_.head];
+    breaker_.ring[breaker_.head] = ok ? 0 : 1;
+    breaker_.errors += breaker_.ring[breaker_.head];
+    breaker_.head = (breaker_.head + 1) % cfg.window;
+    if (breaker_.filled < cfg.window) ++breaker_.filled;
+    if (breaker_.filled == cfg.window &&
+        static_cast<double>(breaker_.errors) >=
+            cfg.error_threshold * static_cast<double>(cfg.window)) {
+        breaker_.state = BreakerState::open;
+        breaker_.opened_at = std::chrono::steady_clock::now();
+        breaker_opens.inc();
+    }
+}
+
+void ModelEntry::breaker_abandon(const BreakerConfig& cfg) {
+    if (cfg.error_threshold <= 0.0 || cfg.window == 0) return;
+    std::lock_guard lock(breaker_mutex_);
+    if (breaker_.state == BreakerState::half_open) breaker_.probe_inflight = false;
+}
+
+int ModelEntry::breaker_state() const {
+    std::lock_guard lock(breaker_mutex_);
+    return breaker_.state;
+}
+
 ModelRegistry::ModelRegistry(RegistryConfig config,
                              const xai::BackgroundData* background)
     : config_(std::move(config)), background_(background) {}

@@ -26,6 +26,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -51,6 +52,21 @@ class JsonValue;           // serve/ndjson.hpp
 
 /// Lower-case hex rendering of a fingerprint (snapshot filenames, stats).
 [[nodiscard]] std::string fingerprint_hex(std::uint64_t fingerprint);
+
+/// Per-tenant circuit-breaker knobs (ServiceConfig embeds one; every
+/// ModelEntry runs its own instance).  Disabled while `error_threshold` is
+/// 0, which is the default — the breaker changes nothing unless asked for.
+struct BreakerConfig {
+    /// Compute outcomes per evaluation window; the breaker only trips on a
+    /// *full* window, so a single early failure can never open it.
+    std::size_t window = 32;
+    /// Open when errors/window >= this fraction over a full window.
+    /// 0 disables the breaker entirely.
+    double error_threshold = 0.0;
+    /// How long an open breaker rejects before admitting one half-open
+    /// probe request.
+    std::chrono::milliseconds cooldown{250};
+};
 
 /// One published model version.  Immutable once built: a swap replaces the
 /// whole snapshot, never mutates one.
@@ -110,6 +126,35 @@ public:
     Counter evals;
     Counter completed;
 
+    // --- Circuit breaker (DESIGN.md section 15) -------------------------
+    //
+    // A sliding window of this tenant's recent compute outcomes.  When the
+    // error fraction over a full window crosses the configured threshold
+    // the breaker opens: new requests for this model are rejected at
+    // admission with `circuit_open` (cheap — no queue slot, no compute)
+    // until the cooldown elapses, after which exactly one probe request is
+    // admitted (half-open).  A successful probe closes the breaker and
+    // resets the window; a failed probe re-opens it for another cooldown.
+    // One tenant's failure storm is thereby contained: its breaker sheds
+    // its own load while every other entry keeps serving.
+
+    /// Admission gate, called by the service after validation: true admits
+    /// the request (possibly as the half-open probe), false means reject
+    /// with `circuit_open` (breaker_rejected already counted).
+    [[nodiscard]] bool breaker_admit(const BreakerConfig& cfg,
+                                     std::chrono::steady_clock::time_point now);
+    /// Records one compute outcome (`ok` = served without a compute-path
+    /// error) and advances the state machine.  Called once per executed job.
+    void breaker_record(const BreakerConfig& cfg, bool ok);
+    /// Releases a half-open probe that was admitted but never executed
+    /// (queue rejection after admission) so the next request can probe.
+    void breaker_abandon(const BreakerConfig& cfg);
+    /// 0 closed / 1 open / 2 half-open (ServiceStats::models).
+    [[nodiscard]] int breaker_state() const;
+
+    Counter breaker_opens;     ///< closed/half-open -> open transitions
+    Counter breaker_rejected;  ///< requests shed while open
+
     /// Admission-quota / DWRR-weight knobs (mirrored into the queue's class
     /// config by the service whenever they change).
     std::atomic<std::uint64_t> weight{1};
@@ -128,6 +173,21 @@ public:
     DriftState drift;
 
 private:
+    /// Breaker state machine, guarded by breaker_mutex_ (admission runs on
+    /// connection threads, outcome recording on the dispatcher).
+    struct BreakerState {
+        enum { closed = 0, open = 1, half_open = 2 };
+        std::vector<std::uint8_t> ring;  ///< 1 = error, ring[head_] is oldest
+        std::size_t head = 0;
+        std::size_t filled = 0;
+        std::size_t errors = 0;
+        int state = closed;
+        std::chrono::steady_clock::time_point opened_at{};
+        bool probe_inflight = false;
+    };
+    mutable std::mutex breaker_mutex_;
+    BreakerState breaker_;
+
     mutable std::mutex mutex_;
     std::shared_ptr<const ModelSnapshot> current_;
 };

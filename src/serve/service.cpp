@@ -259,11 +259,17 @@ ServeError ExplanationService::prepare_job(ExplainRequest request, Job& job) {
         // worse bug than the rejection.
         return ServeError::deadline_exceeded;
     }
+    const Clock::time_point now = Clock::now();
+    // Breaker check comes last so an admitted half-open probe can only be
+    // lost to a queue rejection (which breaker_abandon() undoes), never to
+    // a validation failure.
+    if (!entry->breaker_admit(config_.breaker, now))
+        return ServeError::circuit_open;
     job.request = std::move(request);
     job.model_entry = std::move(entry);
     job.model_snapshot = std::move(snapshot);
     job.model_class = job.model_entry->class_id;
-    job.enqueued_at = Clock::now();
+    job.enqueued_at = now;
     if (job.request.deadline_ms > 0)
         job.deadline =
             job.enqueued_at + std::chrono::milliseconds(job.request.deadline_ms);
@@ -285,6 +291,9 @@ ExplanationService::Submission ExplanationService::submit(ExplainRequest request
         metrics_.requests_rejected.inc();
         metrics_.count_error(reject);
         if (entry && reject == ServeError::quota_exceeded) entry->rejected_quota.inc();
+        // prepare_job admitted (possibly as a half-open probe) but the
+        // queue refused: release the probe so the next request can retry it.
+        if (entry) entry->breaker_abandon(config_.breaker);
         return out;
     }
     entry->admitted.inc();
@@ -308,6 +317,7 @@ ServeError ExplanationService::submit_async(
         metrics_.requests_rejected.inc();
         metrics_.count_error(reject);
         if (entry && reject == ServeError::quota_exceeded) entry->rejected_quota.inc();
+        if (entry) entry->breaker_abandon(config_.breaker);
         return reject;
     }
     entry->admitted.inc();
@@ -591,6 +601,7 @@ void ExplanationService::execute_batch(std::vector<Job> batch) {
         metrics_.service_time_us.record(elapsed_us(batch[i].enqueued_at, done));
         metrics_.requests_completed.inc();
         batch[i].model_entry->completed.inc();
+        batch[i].model_entry->breaker_record(config_.breaker, responses[i].ok);
         if (responses[i].ok)
             batch[i].model_snapshot->base_value.store(
                 responses[i].explanation.base_value, std::memory_order_relaxed);
@@ -798,6 +809,9 @@ ServiceStats ExplanationService::stats() const {
         m.weight = entry->weight.load(std::memory_order_relaxed);
         m.quota = entry->quota.load(std::memory_order_relaxed);
         m.base_value = snap->base_value.load(std::memory_order_relaxed);
+        m.breaker_state = static_cast<std::uint64_t>(entry->breaker_state());
+        m.breaker_opens = entry->breaker_opens.value();
+        m.breaker_rejected = entry->breaker_rejected.value();
         s.cache_entries += m.cache_entries;
         s.cache_evictions += m.cache_evictions;
         s.model_swaps += m.swaps;

@@ -130,6 +130,13 @@ struct ServiceConfig {
     /// the two knobs cannot disagree.
     AdaptiveBatchConfig adaptive;
 
+    /// Per-tenant circuit breaker on the registry path (serve/registry.hpp):
+    /// each model entry trips open when its compute error rate over a full
+    /// window crosses the threshold, sheds its own requests with
+    /// `circuit_open` for the cooldown, then probes half-open.  Disabled by
+    /// default (threshold 0) so existing behavior is unchanged.
+    BreakerConfig breaker;
+
     /// Drift-triggered cache invalidation: after `drift_window` reference
     /// explanations are accumulated, every subsequent window of the same
     /// size is compared against it (core/drift.hpp); crossing a threshold

@@ -122,6 +122,49 @@ kill -TERM "$SRV2"
 wait "$SRV2"
 grep -q '^drained$' "$DIR/tcp2.out"
 
+# Chaos + self-healing: with every socket fault armed (RST kills capped at
+# 2, one shard death), a retrying load run must answer every request
+# exactly once, the dead shard must respawn, a plain probe must succeed
+# once the kill budget is spent, and SIGTERM must still drain.
+"$CLI" serve --model "$DIR/model.xnfv" --data "$DIR/data.csv" \
+    --listen 0 --shards 2 --heartbeat-ms 20 \
+    --net-fault-seed 7 \
+    --net-fault-partial-write-rate 0.2 --net-fault-torn-read-rate 0.2 \
+    --net-fault-eintr-rate 0.1 --net-fault-stall-rate 0.1 \
+    --net-fault-rst-rate 0.05 --net-fault-max-rst 2 \
+    --net-fault-shard-death-rate 1.0 --net-fault-max-deaths 1 \
+    > "$DIR/tcp3.out" 2>&1 &
+SRV3=$!
+PORT3=""
+i=0
+while [ $i -lt 100 ]; do
+  PORT3=$(sed -n 's/^listening on .*:\([0-9][0-9]*\)$/\1/p' "$DIR/tcp3.out")
+  [ -n "$PORT3" ] && break
+  i=$((i + 1))
+  sleep 0.1
+done
+test -n "$PORT3"
+"$CLI" loadgen --port "$PORT3" --conns 4 --requests 8 --rows 8 --window 2 \
+    --max-retries 16 --response-timeout-ms 2000 --connect-timeout-ms 2000 \
+    --backoff-ms 5 > "$DIR/loadgen.out"
+grep -q '"answered":32' "$DIR/loadgen.out"
+grep -q '"errors":0' "$DIR/loadgen.out"
+STATS=""
+i=0
+while [ $i -lt 50 ]; do
+  if STATS=$("$CLI" netprobe --port "$PORT3" --stats --timeout-ms 3000 2>/dev/null); then
+    break
+  fi
+  STATS=""
+  i=$((i + 1))
+  sleep 0.2
+done
+test -n "$STATS"
+echo "$STATS" | grep -q '"net_shard_respawns":1'
+kill -TERM "$SRV3"
+wait "$SRV3"
+grep -q '^drained$' "$DIR/tcp3.out"
+
 # Failure paths must fail loudly, not crash.
 if "$CLI" train --data /nonexistent.csv --out "$DIR/x" 2>/dev/null; then exit 1; fi
 if "$CLI" explain --model "$DIR/model.xnfv" --data "$DIR/data.csv" --row 99999 2>/dev/null; then exit 1; fi

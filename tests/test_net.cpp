@@ -357,6 +357,54 @@ TEST(NetServer, HalfCloseStillAnswersInFlight) {
     EXPECT_FALSE(client.recv_line(line, std::chrono::milliseconds(10000)));
 }
 
+TEST(NetServer, RetriedRidAnsweredFromDedupWindowByteIdentical) {
+    // Safe-retry contract: a request re-sent with the same "rid" is answered
+    // from the per-connection dedup window's completed-response record —
+    // byte-identical to the original answer, with no second compute.
+    Harness h;
+    auto client = h.connect();
+    const std::string request = R"({"op":"explain","id":9,"rid":9,"row":6})";
+
+    // In-flight duplicate: both frames ride one write, the second attaches
+    // to the pending original and both answers are the same bytes.
+    ASSERT_TRUE(client.send_line(request + "\n" + request));
+    const auto first = must_recv(client);
+    const auto attached = must_recv(client);
+    EXPECT_EQ(attached, first);
+
+    // Post-completion duplicate: answered from the recorded response.
+    ASSERT_TRUE(client.send_line(request));
+    const auto replayed = must_recv(client);
+    EXPECT_EQ(replayed, first);
+
+    const auto stats = h.server->stats();
+    EXPECT_EQ(stats.net_retry_duplicates, 2u);
+    // One compute for three wire answers — the service admitted exactly one.
+    EXPECT_EQ(stats.requests_accepted, 1u);
+    EXPECT_EQ(stats.requests_completed, 1u);
+    EXPECT_EQ(stats.net_requests, 3u);
+}
+
+TEST(NetServer, DedupWindowIsPerConnection) {
+    // A rid is only remembered on the connection that served it: a fresh
+    // connection re-sending the same rid recomputes (cache makes it cheap)
+    // and the answer is still byte-identical by the determinism contract.
+    Harness h;
+    const std::string request =
+        R"({"op":"explain","id":4,"rid":4,"row":8,"seed":11})";
+    auto a = h.connect();
+    ASSERT_TRUE(a.send_line(request));
+    const auto first = must_recv(a);
+    a.close();
+
+    auto b = h.connect();
+    ASSERT_TRUE(b.send_line(request));
+    const auto parsed = serve::parse_json(must_recv(b));
+    EXPECT_EQ(parsed.find("ok")->boolean, true);
+    EXPECT_EQ(h.server->stats().net_retry_duplicates, 0u);
+    EXPECT_EQ(h.server->stats().requests_accepted, 2u);
+}
+
 TEST(NetServer, TwoConnectionsHaveIndependentPipelines) {
     Harness h;
     auto a = h.connect();

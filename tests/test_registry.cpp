@@ -650,3 +650,75 @@ TEST(ModelAdmin, LoadSwapRetireModelsOverNdjson) {
     service.stop();
     std::remove(model_file.c_str());
 }
+
+TEST(CircuitBreaker, OpensOnErrorWindowRecoversViaHalfOpenProbe) {
+    // Per-tenant circuit breaker state machine (DESIGN.md section 15):
+    // closed -> open when a full window's error fraction reaches the
+    // threshold, open -> half-open single probe after the cooldown, probe
+    // outcome alone decides re-close vs re-open.  `now` is a parameter of
+    // admit, so the cooldown is simulated without sleeping.
+    serve::BreakerConfig cfg;
+    cfg.window = 4;
+    cfg.error_threshold = 0.5;
+    cfg.cooldown = std::chrono::milliseconds(250);
+    serve::ModelEntry entry("tenant", 0, 16, 1);
+    using Clock = std::chrono::steady_clock;
+    const auto t0 = Clock::now();
+    const auto after_cooldown = t0 + std::chrono::seconds(2);
+
+    // Closed admits freely; a full window of successes stays closed.
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_TRUE(entry.breaker_admit(cfg, t0));
+        entry.breaker_record(cfg, true);
+    }
+    EXPECT_EQ(entry.breaker_state(), 0);
+
+    // Two failures put the window at 2/4 errors == threshold: opens.
+    for (int i = 0; i < 2; ++i) {
+        EXPECT_TRUE(entry.breaker_admit(cfg, t0));
+        entry.breaker_record(cfg, false);
+    }
+    EXPECT_EQ(entry.breaker_state(), 1);
+    EXPECT_EQ(entry.breaker_opens.value(), 1u);
+
+    // Open rejects while the cooldown runs.
+    EXPECT_FALSE(entry.breaker_admit(cfg, t0));
+    EXPECT_EQ(entry.breaker_rejected.value(), 1u);
+
+    // Cooldown over: exactly one half-open probe; concurrent admits reject.
+    EXPECT_TRUE(entry.breaker_admit(cfg, after_cooldown));
+    EXPECT_EQ(entry.breaker_state(), 2);
+    EXPECT_FALSE(entry.breaker_admit(cfg, after_cooldown));
+    EXPECT_EQ(entry.breaker_rejected.value(), 2u);
+
+    // Failed probe re-opens...
+    entry.breaker_record(cfg, false);
+    EXPECT_EQ(entry.breaker_state(), 1);
+    EXPECT_EQ(entry.breaker_opens.value(), 2u);
+
+    // ...an admitted probe lost to a queue rejection is released by
+    // abandon (otherwise the breaker would wedge half-open forever)...
+    EXPECT_TRUE(entry.breaker_admit(cfg, after_cooldown + std::chrono::seconds(2)));
+    entry.breaker_abandon(cfg);
+    EXPECT_TRUE(entry.breaker_admit(cfg, after_cooldown + std::chrono::seconds(2)));
+
+    // ...and a successful probe closes with a fresh window: one further
+    // failure is 1/4, not enough to re-open.
+    entry.breaker_record(cfg, true);
+    EXPECT_EQ(entry.breaker_state(), 0);
+    EXPECT_TRUE(entry.breaker_admit(cfg, t0));
+    entry.breaker_record(cfg, false);
+    EXPECT_EQ(entry.breaker_state(), 0);
+}
+
+TEST(CircuitBreaker, DisabledByDefaultNeverRejects) {
+    serve::BreakerConfig off;  // error_threshold 0.0 = disabled
+    serve::ModelEntry entry("tenant", 0, 16, 1);
+    for (int i = 0; i < 64; ++i) {
+        EXPECT_TRUE(entry.breaker_admit(off, std::chrono::steady_clock::now()));
+        entry.breaker_record(off, false);
+    }
+    EXPECT_EQ(entry.breaker_state(), 0);
+    EXPECT_EQ(entry.breaker_opens.value(), 0u);
+    EXPECT_EQ(entry.breaker_rejected.value(), 0u);
+}

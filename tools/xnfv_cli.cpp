@@ -36,7 +36,9 @@
 #include "mlcore/preprocess.hpp"
 #include "mlcore/serialize.hpp"
 #include "mlcore/tree.hpp"
+#include "net/chaos.hpp"
 #include "net/client.hpp"
+#include "net/loadgen.hpp"
 #include "net/server.hpp"
 #include "net/sharded_server.hpp"
 #include "serve/ndjson.hpp"
@@ -132,6 +134,23 @@ int usage() {
         "            event-loop+service shards (0 = hardware concurrency;\n"
         "            --max-conns stays a fleet-wide limit and responses are\n"
         "            byte-identical at any shard count)\n"
+        "            [--heartbeat-ms M]   shard supervisor sampling period:\n"
+        "            a dead shard is respawned within one interval\n"
+        "            [--dedup-window N]   per-connection idempotent-retry\n"
+        "            window: a re-sent \"rid\" is answered from the recorded\n"
+        "            response instead of recomputed (0 disables)\n"
+        "            [--breaker-threshold R] [--breaker-window N]\n"
+        "            [--breaker-cooldown-ms M]   per-tenant circuit breaker:\n"
+        "            a model whose compute error rate over a full window\n"
+        "            reaches R is rejected with circuit_open until a\n"
+        "            half-open probe succeeds (R 0 disables)\n"
+        "            [--net-fault-seed S] [--net-fault-partial-write-rate R]\n"
+        "            [--net-fault-torn-read-rate R] [--net-fault-eintr-rate R]\n"
+        "            [--net-fault-stall-rate R] [--net-fault-rst-rate R]\n"
+        "            [--net-fault-shard-death-rate R] [--net-fault-max-deaths N]\n"
+        "            [--net-fault-max-rst N]\n"
+        "            deterministic socket-layer chaos (seeded; byte-stream\n"
+        "            shaping faults never change response bytes)\n"
         "            ND-JSON requests on stdin (or the socket), one per line:\n"
         "              {\"op\":\"explain\",\"row\":3}\n"
         "              {\"op\":\"explain\",\"features\":[...],\"method\":\"lime\"}\n"
@@ -148,11 +167,18 @@ int usage() {
         "  netprobe  --port P [--host A] [--row K | --features \"v1,v2,...\"]\n"
         "            [--method M] [--model-name NAME] [--seed S]\n"
         "            [--deadline-ms D] [--count N] [--stats] [--quit]\n"
-        "            [--timeout-ms T] [--line 'JSON']\n"
+        "            [--timeout-ms T] [--connect-timeout-ms T] [--line 'JSON']\n"
         "            probe a running `serve --listen` instance and print the\n"
         "            response lines; --line sends the given raw ND-JSON line\n"
         "            instead of a built explain request (admin ops from the\n"
         "            shell; must not be a quit frame — use --quit)\n"
+        "  loadgen   --port P [--host A] [--conns N] [--requests N] [--rows N]\n"
+        "            [--window W] [--method M] [--seed S] [--max-retries K]\n"
+        "            [--response-timeout-ms T] [--connect-timeout-ms T]\n"
+        "            [--backoff-ms B] [--retry-seed S] [--timeout-ms T]\n"
+        "            retry-storm load driver: idempotent rid-tagged requests,\n"
+        "            deterministic backoff, reconnect on reset; prints a JSON\n"
+        "            summary and exits 0 iff every request was answered\n"
         "  help\n\n"
         "common flags:\n"
         "  --seed S     deterministic RNG seed (per command defaults)\n"
@@ -352,6 +378,13 @@ int cmd_serve(const Args& args) {
     // --drift-window full-fidelity explanations against the first window.
     cfg.drift_window = static_cast<std::size_t>(args.get_int("drift-window", 0));
 
+    // Per-tenant circuit breaker: --breaker-threshold arms it (fraction of
+    // errors over a full outcome window that trips the model open).
+    cfg.breaker.error_threshold = std::stod(args.get("breaker-threshold", "0"));
+    cfg.breaker.window = static_cast<std::size_t>(args.get_int("breaker-window", 32));
+    cfg.breaker.cooldown =
+        std::chrono::milliseconds(args.get_int("breaker-cooldown-ms", 250));
+
     // Crash-safe cache snapshots.
     cfg.snapshot_path = args.get("snapshot", "");
     cfg.snapshot_interval =
@@ -450,6 +483,40 @@ int cmd_serve(const Args& args) {
         shcfg.net.max_output_bytes =
             static_cast<std::size_t>(args.get_int("max-output", 8 << 20));
         shcfg.shards = static_cast<std::size_t>(args.get_int("shards", 0));
+        shcfg.heartbeat_interval =
+            std::chrono::milliseconds(args.get_int("heartbeat-ms", 50));
+        shcfg.net.dedup_window =
+            static_cast<std::size_t>(args.get_int("dedup-window", 1024));
+
+        // Network-layer chaos: any nonzero rate arms a seeded socket fault
+        // injector shared by every shard (fires are fleet-global counters).
+        {
+            const auto point = [](xnfv::net::NetFaultPoint p) {
+                return static_cast<std::size_t>(p);
+            };
+            xnfv::net::NetFaultInjector::Config nf;
+            nf.seed = static_cast<std::uint64_t>(args.get_int("net-fault-seed", 1));
+            nf.rate[point(xnfv::net::NetFaultPoint::partial_write)] =
+                std::stod(args.get("net-fault-partial-write-rate", "0"));
+            nf.rate[point(xnfv::net::NetFaultPoint::torn_read)] =
+                std::stod(args.get("net-fault-torn-read-rate", "0"));
+            nf.rate[point(xnfv::net::NetFaultPoint::eintr_storm)] =
+                std::stod(args.get("net-fault-eintr-rate", "0"));
+            nf.rate[point(xnfv::net::NetFaultPoint::stalled_read)] =
+                std::stod(args.get("net-fault-stall-rate", "0"));
+            nf.rate[point(xnfv::net::NetFaultPoint::rst_close)] =
+                std::stod(args.get("net-fault-rst-rate", "0"));
+            nf.rate[point(xnfv::net::NetFaultPoint::shard_death)] =
+                std::stod(args.get("net-fault-shard-death-rate", "0"));
+            nf.max_fires[point(xnfv::net::NetFaultPoint::shard_death)] =
+                static_cast<std::uint64_t>(args.get_int("net-fault-max-deaths", 1));
+            nf.max_fires[point(xnfv::net::NetFaultPoint::rst_close)] =
+                static_cast<std::uint64_t>(args.get_int("net-fault-max-rst", 0));
+            bool armed = false;
+            for (const double r : nf.rate) armed = armed || r > 0.0;
+            if (armed)
+                shcfg.net.chaos = std::make_shared<xnfv::net::NetFaultInjector>(nf);
+        }
 
         xnfv::net::ShardedServer server(model, xai::BackgroundData(data.x, 128),
                                         cfg, shcfg);
@@ -612,10 +679,12 @@ int cmd_netprobe(const Args& args) {
     if (port == 0) throw std::runtime_error("missing --port");
     const auto timeout =
         std::chrono::milliseconds(args.get_int("timeout-ms", 10000));
+    const auto connect_timeout =
+        std::chrono::milliseconds(args.get_int("connect-timeout-ms", 0));
 
     xnfv::net::Client client;
     std::string err;
-    if (!client.connect(host, port, &err))
+    if (!client.connect(host, port, &err, connect_timeout))
         throw std::runtime_error("connect failed: " + err);
 
     // Build the explain request once; --count repeats it (cache-hit probe).
@@ -669,6 +738,75 @@ int cmd_netprobe(const Args& args) {
     return 0;
 }
 
+/// Retry-storm load driver against a running `serve --listen` instance:
+/// every request carries an idempotent rid, responses are matched by id,
+/// unanswered lines are re-sent with deterministic backoff, and dead
+/// connections are re-established — the client-side half of the resilience
+/// contract.  Prints a one-line JSON summary for scripts (the CI chaos
+/// smoke asserts answered == sent and errors == 0 from it).
+int cmd_loadgen(const Args& args) {
+    xnfv::net::LoadgenConfig cfg;
+    cfg.host = args.get("host", "127.0.0.1");
+    cfg.port = static_cast<std::uint16_t>(args.get_int("port", 0));
+    if (cfg.port == 0) throw std::runtime_error("missing --port");
+    cfg.window = static_cast<std::size_t>(args.get_int("window", 4));
+    cfg.timeout = std::chrono::milliseconds(args.get_int("timeout-ms", 60000));
+    cfg.max_retries = static_cast<std::size_t>(args.get_int("max-retries", 8));
+    cfg.response_timeout =
+        std::chrono::milliseconds(args.get_int("response-timeout-ms", 2000));
+    cfg.connect_timeout =
+        std::chrono::milliseconds(args.get_int("connect-timeout-ms", 2000));
+    cfg.backoff_base = std::chrono::milliseconds(args.get_int("backoff-ms", 10));
+    cfg.retry_seed = static_cast<std::uint64_t>(args.get_int("retry-seed", 1));
+
+    const auto conns = static_cast<std::size_t>(args.get_int("conns", 8));
+    const auto requests = static_cast<std::size_t>(args.get_int("requests", 16));
+    const auto rows = static_cast<std::size_t>(args.get_int("rows", 8));
+    const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 11));
+
+    std::vector<std::vector<std::string>> scripts(conns);
+    for (std::size_t c = 0; c < conns; ++c) {
+        scripts[c].reserve(requests);
+        for (std::size_t r = 0; r < requests; ++r) {
+            xnfv::net::RequestSpec spec;
+            spec.id = c * requests + r + 1;  // fleet-unique id == rid
+            spec.rid = spec.id;
+            spec.row = static_cast<long>(rows == 0 ? 0 : (c + r) % rows);
+            spec.seed = seed;
+            if (args.has("method")) spec.method = args.get("method", "");
+            scripts[c].push_back(xnfv::net::render_request_line(spec));
+        }
+    }
+
+    const auto report = xnfv::net::run_load(cfg, scripts);
+    std::size_t answered = 0, sent = 0, errors = 0, retries = 0, reconnects = 0,
+                duplicates = 0;
+    for (const auto& conn : report.conns) {
+        sent += conn.sent_lines;
+        retries += conn.retries;
+        reconnects += conn.reconnects;
+        duplicates += conn.duplicates;
+        if (conn.connect_failed || conn.io_error) ++errors;
+        // In retry mode answered = matched responses (duplicates excluded).
+        answered += conn.lines.size() - conn.duplicates;
+    }
+    serve::JsonWriter w;
+    w.field("conns", static_cast<std::uint64_t>(conns));
+    w.field("requests", static_cast<std::uint64_t>(conns * requests));
+    w.field("answered", static_cast<std::uint64_t>(answered));
+    w.field("sent_lines", static_cast<std::uint64_t>(sent));
+    w.field("errors", static_cast<std::uint64_t>(errors));
+    w.field("retries", static_cast<std::uint64_t>(retries));
+    w.field("reconnects", static_cast<std::uint64_t>(reconnects));
+    w.field("duplicates", static_cast<std::uint64_t>(duplicates));
+    w.field("timed_out", report.timed_out);
+    std::printf("%s\n", w.finish().c_str());
+    return errors == 0 && !report.timed_out &&
+                   answered == static_cast<std::size_t>(conns * requests)
+               ? 0
+               : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -686,6 +824,7 @@ int main(int argc, char** argv) {
         if (command == "global") return cmd_global(args);
         if (command == "serve") return cmd_serve(args);
         if (command == "netprobe") return cmd_netprobe(args);
+        if (command == "loadgen") return cmd_loadgen(args);
         if (command == "help") return usage();
         std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
         return usage();
