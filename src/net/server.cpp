@@ -6,6 +6,8 @@
 
 #include <utility>
 
+#include "serve/explainers.hpp"
+
 namespace xnfv::net {
 
 namespace {
@@ -308,6 +310,15 @@ void ExplanationServer::handle_frame(Connection& conn, const serve::Frame& frame
     if (!dim) {
         fail(er.id, serve::ServeError::unknown_model,
              "unknown model '" + er.model + "'");
+        return;
+    }
+    // Name the valid set in the error: the shared registry keeps this line,
+    // the CLI usage screen, and the service's own validation in lockstep.
+    if (!er.method.empty() && er.method != serve::kAutoMethod &&
+        !serve::known_explainer(er.method)) {
+        fail(er.id, serve::ServeError::bad_request,
+             "unknown method '" + er.method + "' (expected " +
+                 serve::explainer_list_with_auto() + ")");
         return;
     }
     if (req.has("features")) {

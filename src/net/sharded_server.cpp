@@ -295,6 +295,25 @@ serve::ServiceStats ShardedServer::stats() const {
                                             s.probe_rows_mean, s.cache_misses);
         probe_n += s.cache_misses;
         agg.probe_rows_max = std::max(agg.probe_rows_max, s.probe_rows_max);
+        agg.fast_path_hits += s.fast_path_hits;
+        // Per-explainer merge by name: counts sum; quantiles take the worst
+        // shard (same convention as the fleet latency quantiles above) and
+        // means weight by each shard's request count for that explainer.
+        for (const auto& e : s.explainers) {
+            serve::ExplainerSliceStats* acc = nullptr;
+            for (auto& existing : agg.explainers)
+                if (existing.name == e.name) { acc = &existing; break; }
+            if (acc == nullptr) {
+                agg.explainers.push_back(e);
+                continue;
+            }
+            acc->compute_us_mean = weighted_mean(acc->compute_us_mean, acc->requests,
+                                                 e.compute_us_mean, e.requests);
+            acc->requests += e.requests;
+            acc->fast_path_hits += e.fast_path_hits;
+            acc->compute_us_p50 = std::max(acc->compute_us_p50, e.compute_us_p50);
+            acc->compute_us_p99 = std::max(acc->compute_us_p99, e.compute_us_p99);
+        }
         agg.drift_checks += s.drift_checks;
         agg.drift_flushes += s.drift_flushes;
         agg.cache_epoch = std::max(agg.cache_epoch, s.cache_epoch);

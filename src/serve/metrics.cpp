@@ -123,6 +123,21 @@ std::string ServiceStats::to_string() const {
                       probe_rows_mean, static_cast<unsigned long long>(probe_rows_max));
         out += buf;
     }
+    if (fast_path_hits != 0 || !explainers.empty()) {
+        std::snprintf(buf, sizeof(buf), "  fast-path   hits %llu\n",
+                      static_cast<unsigned long long>(fast_path_hits));
+        out += buf;
+        for (const auto& e : explainers) {
+            std::snprintf(buf, sizeof(buf),
+                          "    %-20s requests %llu  fast %llu  compute-us "
+                          "p50 %.1f  p99 %.1f  mean %.1f\n",
+                          e.name.c_str(),
+                          static_cast<unsigned long long>(e.requests),
+                          static_cast<unsigned long long>(e.fast_path_hits),
+                          e.compute_us_p50, e.compute_us_p99, e.compute_us_mean);
+            out += buf;
+        }
+    }
     if (drift_checks != 0 || drift_flushes != 0 || cache_epoch != 0) {
         std::snprintf(buf, sizeof(buf),
                       "  drift       checks %llu  flushes %llu  cache-epoch %llu\n",

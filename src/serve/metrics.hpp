@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "serve/errors.hpp"
+#include "serve/explainers.hpp"
 
 namespace xnfv::serve {
 
@@ -106,6 +107,14 @@ struct ServiceMetrics {
     Counter model_evals;         ///< model rows evaluated across all explainers
     Counter drift_checks;        ///< attribution-drift window comparisons run
     Counter drift_flushes;       ///< drift-triggered cache epoch bumps
+    /// Computed explanations served by an exact fast path (flat-tree
+    /// TreeSHAP or analytic integrated gradients) instead of a probe loop.
+    Counter fast_path_hits;
+    /// Per-explainer slices, indexed like kExplainerNames: computed
+    /// explanations, fast-path subset, and the compute-latency histogram.
+    std::array<Counter, kNumExplainers> explainer_requests;
+    std::array<Counter, kNumExplainers> explainer_fast_hits;
+    std::array<Histogram, kNumExplainers> explainer_compute_us;
     Gauge queue_depth;
     Gauge adaptive_wait_us;      ///< effective micro-batch wait (adaptive policy)
     Histogram batch_size;        ///< requests per flushed batch
@@ -117,6 +126,22 @@ struct ServiceMetrics {
         const auto i = static_cast<std::size_t>(error);
         if (i != 0 && i < kNumServeErrors) errors_by_reason[i].inc();
     }
+};
+
+/// Per-explainer slice of a stats snapshot (only explainers that computed
+/// at least one explanation are reported): how many explanations each
+/// method computed, how many of those rode an exact fast path, and the
+/// method's compute-latency distribution — the observability half of the
+/// fast-path contract (a regression that silently drops tree traffic off
+/// the flat kernel shows up here as fast_path_hits diverging from
+/// requests).
+struct ExplainerSliceStats {
+    std::string name;
+    std::uint64_t requests = 0;        ///< computed explanations (cache misses)
+    std::uint64_t fast_path_hits = 0;  ///< subset served by an exact fast path
+    double compute_us_p50 = 0.0;
+    double compute_us_p99 = 0.0;
+    double compute_us_mean = 0.0;
 };
 
 /// Per-model slice of a stats snapshot (one line of the "models" section;
@@ -178,6 +203,10 @@ struct ServiceStats {
     double probe_rows_p50 = 0.0;
     double probe_rows_mean = 0.0;
     std::uint64_t probe_rows_max = 0;
+    /// Explanations computed on an exact fast path, and the per-explainer
+    /// breakdown (ExplainerSliceStats; empty until something computes).
+    std::uint64_t fast_path_hits = 0;
+    std::vector<ExplainerSliceStats> explainers;
     /// Drift-triggered invalidation: windows compared, epoch bumps, and the
     /// current cache epoch (mixed into every cache key).
     std::uint64_t drift_checks = 0;

@@ -354,6 +354,24 @@ std::string render_stats(const ServiceStats& s) {
     w.field("probe_rows_p50", s.probe_rows_p50);
     w.field("probe_rows_mean", s.probe_rows_mean);
     w.field("probe_rows_max", s.probe_rows_max);
+    w.field("fast_path_hits", s.fast_path_hits);
+    {
+        // Per-explainer slices, only explainers that computed something.
+        std::string explainers = "[";
+        for (const ExplainerSliceStats& e : s.explainers) {
+            if (explainers.size() > 1) explainers += ',';
+            JsonWriter ew;
+            ew.field("name", e.name);
+            ew.field("requests", e.requests);
+            ew.field("fast_path_hits", e.fast_path_hits);
+            ew.field("compute_us_p50", e.compute_us_p50);
+            ew.field("compute_us_p99", e.compute_us_p99);
+            ew.field("compute_us_mean", e.compute_us_mean);
+            explainers += ew.finish();
+        }
+        explainers += ']';
+        w.field_raw("explainers", explainers);
+    }
     w.field("worker_respawns", s.worker_respawns);
     w.field("worker_stalls", s.worker_stalls);
     w.field("faults_injected", s.faults_injected);

@@ -5,7 +5,9 @@
 #include <sstream>
 #include <utility>
 
+#include "core/flat_tree_shap.hpp"
 #include "mlcore/serialize.hpp"
+#include "serve/explainers.hpp"
 #include "serve/ndjson.hpp"
 #include "serve/service.hpp"
 
@@ -128,6 +130,19 @@ std::shared_ptr<const ModelSnapshot> ModelRegistry::make_snapshot(
     auto snap = std::make_shared<ModelSnapshot>();
     snap->fingerprint = fingerprint_model(*model);
     snap->version = version;
+    // Router stamp: classify once, resolve "auto" once, and prebuild the
+    // flat TreeSHAP state for tree ensembles.  Built from the *real* model
+    // (pre-wrap) so fast-path attributions are fault-invariant, like cache
+    // keys.  A builder rejection (unfitted ensemble) must not fail the
+    // load: the snapshot just serves without the fast path and the
+    // per-request explainer reports the error.
+    snap->kind = classify_model(*model);
+    snap->auto_method = route_explainer(kAutoMethod, snap->kind).method;
+    try {
+        snap->flat_shap = xai::FlatTreeShap::build(*model);
+    } catch (const std::exception&) {
+        snap->flat_shap = nullptr;
+    }
     snap->serving = model;
     if (config_.fault_injector &&
         config_.fault_injector->config()

@@ -40,6 +40,11 @@
 #include "serve/explanation_cache.hpp"
 #include "serve/fault_injector.hpp"
 #include "serve/metrics.hpp"
+#include "serve/router.hpp"
+
+namespace xnfv::xai {
+class FlatTreeShap;  // core/flat_tree_shap.hpp
+}
 
 namespace xnfv::serve {
 
@@ -86,6 +91,24 @@ struct ModelSnapshot {
     mutable std::atomic<double> base_value{0.0};
     /// 0 for the initially loaded version, +1 per swap.
     std::uint64_t version = 0;
+
+    // --- Router decision, stamped once at load/swap (DESIGN.md §16) -----
+    //
+    // Per-request routing must not pay a dynamic_cast, so the structural
+    // classification and the "auto" resolution are computed when the
+    // snapshot is built and pinned with it: a request that raced a hot swap
+    // routes (and caches) against the version it is explained on.
+
+    /// Structural family of `model` (tree / forest / gbt / mlp / other).
+    ModelKind kind = ModelKind::other;
+    /// The concrete explainer "auto" resolves to on this snapshot.
+    std::string auto_method;
+    /// Prebuilt flat-tree TreeSHAP state for tree-family models — the exact
+    /// fast path every tree_shap request against this version shares.  Null
+    /// for non-tree models and for ensembles the builder rejects (unfitted);
+    /// requests then fall back to the per-request explainer, which reports
+    /// the recursive walker's error text.
+    std::shared_ptr<const xnfv::xai::FlatTreeShap> flat_shap;
 };
 
 /// Everything the service keeps per registered model.

@@ -43,8 +43,10 @@ struct ModelSnapshot; // serve/registry.hpp
 struct ExplainRequest {
     std::uint64_t id = 0;
     std::vector<double> features;
-    /// Explainer method ("tree_shap", "kernel_shap", "sampling", "lime",
-    /// "occlusion"); empty selects the service default.
+    /// Explainer method — any serve/explainers.hpp registry name, or "auto"
+    /// to route to the pinned model's exact fast path (flat TreeSHAP on tree
+    /// ensembles, integrated gradients on MLPs, kernel SHAP otherwise);
+    /// empty selects the service default.
     std::string method;
     /// Registry model name; empty selects the service's default model.  An
     /// unregistered name is rejected with `unknown_model`.

@@ -1,0 +1,79 @@
+#include "serve/router.hpp"
+
+#include "mlcore/forest.hpp"
+#include "mlcore/gbt.hpp"
+#include "mlcore/mlp.hpp"
+#include "mlcore/tree.hpp"
+#include "serve/explainers.hpp"
+
+namespace xnfv::serve {
+
+namespace ml = xnfv::ml;
+
+const char* to_string(ModelKind kind) noexcept {
+    switch (kind) {
+        case ModelKind::tree: return "tree";
+        case ModelKind::forest: return "forest";
+        case ModelKind::gbt: return "gbt";
+        case ModelKind::mlp: return "mlp";
+        case ModelKind::other: return "other";
+    }
+    return "other";
+}
+
+ModelKind classify_model(const ml::Model& model) noexcept {
+    if (dynamic_cast<const ml::DecisionTree*>(&model) != nullptr)
+        return ModelKind::tree;
+    if (dynamic_cast<const ml::RandomForest*>(&model) != nullptr)
+        return ModelKind::forest;
+    if (dynamic_cast<const ml::GradientBoostedTrees*>(&model) != nullptr)
+        return ModelKind::gbt;
+    if (dynamic_cast<const ml::Mlp*>(&model) != nullptr) return ModelKind::mlp;
+    return ModelKind::other;
+}
+
+RouteDecision route_explainer(const std::string& requested, ModelKind kind) {
+    RouteDecision d;
+    if (requested == kAutoMethod) {
+        if (is_tree_kind(kind)) {
+            d.method = "tree_shap";
+            d.fast_path = true;
+        } else if (kind == ModelKind::mlp) {
+            d.method = "integrated_gradients";
+            d.fast_path = true;
+        } else {
+            d.method = "kernel_shap";  // black-box probe default
+        }
+        return d;
+    }
+    d.method = requested;
+    if (requested == "tree_shap") {
+        if (is_tree_kind(kind)) {
+            d.fast_path = true;
+        } else {
+            d.unsupported = true;
+            d.why = "explainer 'tree_shap' requires a tree ensemble, model kind is '" +
+                    std::string(to_string(kind)) +
+                    "'; use \"auto\" or one of " + explainer_list(", ");
+        }
+        return d;
+    }
+    if (requested == "integrated_gradients") {
+        if (kind == ModelKind::mlp) {
+            d.fast_path = true;
+        } else {
+            d.unsupported = true;
+            d.why =
+                "explainer 'integrated_gradients' requires an mlp model with "
+                "analytic gradients, model kind is '" +
+                std::string(to_string(kind)) + "'; use \"auto\" or one of " +
+                explainer_list(", ");
+        }
+        return d;
+    }
+    // Probe methods (kernel_shap, sampling, lime, occlusion) treat the model
+    // as a black box: any kind, no fast path.
+    return d;
+}
+
+}  // namespace xnfv::serve

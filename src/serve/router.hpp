@@ -1,0 +1,64 @@
+// Explainer routing: which method serves a (model, requested-method) pair,
+// and whether it runs on an exact fast path (DESIGN.md section 16).
+//
+// The request-level pseudo-method "auto" resolves per model *kind*:
+//
+//   kind            auto resolves to        fast path
+//   --------------  ----------------------  ------------------------------
+//   tree/forest/gbt tree_shap               flat-tree TreeSHAP (exact)
+//   mlp             integrated_gradients    analytic input gradients
+//   other           kernel_shap             none (sampling probe)
+//
+// An *explicit* exact method on a structurally incompatible model —
+// tree_shap on anything but a tree ensemble, integrated_gradients on
+// anything but an MLP — is refused with `unsupported_explainer` instead of
+// silently degrading: the caller asked for exactness the model cannot
+// provide.  Probe methods (kernel_shap, sampling, lime, occlusion) treat
+// the model as a black box and route to any kind unchanged.
+//
+// The decision is stamped onto every ModelSnapshot at load/swap time
+// (kind + resolved auto method + prebuilt FlatTreeShap), so per-request
+// routing is a table lookup, never a dynamic_cast.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "mlcore/model.hpp"
+
+namespace xnfv::serve {
+
+/// Structural family of a model, as the router sees it.
+enum class ModelKind : std::uint8_t { tree, forest, gbt, mlp, other };
+
+[[nodiscard]] const char* to_string(ModelKind kind) noexcept;
+
+/// Classifies by concrete type (DecisionTree / RandomForest /
+/// GradientBoostedTrees / Mlp); anything else — linear models, lambdas,
+/// wrappers — is `other`.
+[[nodiscard]] ModelKind classify_model(const xnfv::ml::Model& model) noexcept;
+
+/// True for the kinds the flat TreeSHAP fast path covers.
+[[nodiscard]] constexpr bool is_tree_kind(ModelKind kind) noexcept {
+    return kind == ModelKind::tree || kind == ModelKind::forest ||
+           kind == ModelKind::gbt;
+}
+
+/// Outcome of routing one requested method against one model kind.
+struct RouteDecision {
+    /// The concrete explainer to run ("auto" never survives routing).
+    std::string method;
+    /// True when `method` runs an exact fast path on this kind.
+    bool fast_path = false;
+    /// True when the caller *forced* an exact method the kind cannot run;
+    /// `method` then echoes the request and `why` says what to do instead.
+    bool unsupported = false;
+    std::string why;
+};
+
+/// Routes `requested` (a known explainer name, or kAutoMethod) against
+/// `kind`.  Pure table logic — no model access.
+[[nodiscard]] RouteDecision route_explainer(const std::string& requested,
+                                            ModelKind kind);
+
+}  // namespace xnfv::serve

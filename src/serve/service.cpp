@@ -10,12 +10,14 @@
 #include <unordered_map>
 #include <utility>
 
+#include "core/flat_tree_shap.hpp"
+#include "core/gradient.hpp"
 #include "core/kernel_shap.hpp"
 #include "core/lime.hpp"
 #include "core/occlusion.hpp"
 #include "core/parallel.hpp"
 #include "core/sampling_shapley.hpp"
-#include "core/tree_shap.hpp"
+#include "serve/router.hpp"
 #include "serve/snapshot.hpp"
 
 namespace xnfv::serve {
@@ -91,7 +93,8 @@ private:
 }  // namespace
 
 std::uint64_t effective_budget(const std::string& method, double budget_scale,
-                               const xai::BackgroundData& background) {
+                               const xai::BackgroundData& background,
+                               std::size_t ig_steps) {
     const double scale = clamp_scale(budget_scale);
     if (method == "kernel_shap")
         return scaled_budget(xai::KernelShap::Config{}.max_coalitions, scale, 16);
@@ -101,6 +104,7 @@ std::uint64_t effective_budget(const std::string& method, double budget_scale,
         return scaled_budget(xai::Lime::Config{}.num_samples, scale,
                              background.num_features() + 2);
     if (method == "occlusion") return background.num_features();
+    if (method == "integrated_gradients") return scaled_budget(ig_steps, scale, 8);
     return 0;  // tree_shap: exact, no sample budget
 }
 
@@ -109,7 +113,16 @@ std::unique_ptr<xai::Explainer> make_explainer(const std::string& method,
                                                std::uint64_t seed, std::size_t threads,
                                                const ExplainerLimits& limits) {
     const double scale = clamp_scale(limits.budget_scale);
-    if (method == "tree_shap") return std::make_unique<xai::TreeShap>();
+    // The flat kernel is the tree_shap implementation everywhere — one-shot
+    // and served paths alike — and is pinned bitwise-identical to the
+    // recursive walker by tests/test_fast_path.cpp.
+    if (method == "tree_shap")
+        return std::make_unique<xai::FlatTreeShapExplainer>(threads);
+    if (method == "integrated_gradients") {
+        xai::IntegratedGradients::Config cfg;
+        cfg.steps = scaled_budget(limits.ig_steps, scale, 8);
+        return std::make_unique<xai::IntegratedGradients>(background, cfg);
+    }
     if (method == "kernel_shap") {
         xai::KernelShap::Config cfg;
         cfg.max_coalitions = scaled_budget(cfg.max_coalitions, scale, 16);
@@ -138,12 +151,12 @@ std::unique_ptr<xai::Explainer> make_explainer(const std::string& method,
         cfg.cancel = limits.cancel;
         return std::make_unique<xai::Occlusion>(background, cfg);
     }
-    throw std::runtime_error("unknown method '" + method + "'");
+    throw std::runtime_error("unknown method '" + method + "' (expected " +
+                             explainer_list_with_auto() + ")");
 }
 
 bool known_method(const std::string& method) noexcept {
-    return method == "tree_shap" || method == "kernel_shap" || method == "sampling" ||
-           method == "lime" || method == "occlusion";
+    return known_explainer(method);
 }
 
 ExplanationService::ExplanationService(std::shared_ptr<const ml::Model> model,
@@ -165,8 +178,17 @@ ExplanationService::ExplanationService(std::shared_ptr<const ml::Model> model,
           a.max_wait = config_.max_wait;
           return AdaptiveBatchPolicy(a);
       }()) {
-    if (!known_method(config_.method))
-        throw std::runtime_error("unknown method '" + config_.method + "'");
+    if (config_.method != kAutoMethod && !known_method(config_.method))
+        throw std::runtime_error("unknown method '" + config_.method +
+                                 "' (expected " + explainer_list_with_auto() + ")");
+    // Cache-key fingerprints of the fast-path explainer configs: the
+    // tree_shap kernel variant tag, and the IG step count.  Probe methods
+    // keep a zero component, so their keys are byte-for-byte what this
+    // service has always produced.
+    explainer_config_fp_[explainer_index("tree_shap")] =
+        hash_string("flat_tree_shap_v1", 0xcbf29ce484222325ULL);
+    explainer_config_fp_[explainer_index("integrated_gradients")] = fnv1a_u64(
+        config_.ig_steps, hash_string("ig_steps", 0xcbf29ce484222325ULL));
     metrics_.adaptive_wait_us.set(
         static_cast<std::uint64_t>(config_.max_wait.count()));
     // The constructor's model becomes the default (first-loaded) entry; any
@@ -249,7 +271,8 @@ ServeError ExplanationService::prepare_job(ExplainRequest request, Job& job) {
     if (!entry) return ServeError::unknown_model;
     std::shared_ptr<const ModelSnapshot> snapshot = entry->current();
     if (request.features.size() != snapshot->model->num_features() ||
-        (!request.method.empty() && !known_method(request.method)))
+        (!request.method.empty() && request.method != kAutoMethod &&
+         !known_method(request.method)))
         return ServeError::bad_request;
     if (std::any_of(request.features.begin(), request.features.end(),
                     [](double v) { return !std::isfinite(v); }))
@@ -431,12 +454,25 @@ void ExplanationService::drain_inline() {
 
 CacheKey ExplanationService::key_for(const Job& job) const {
     const ExplainRequest& request = job.request;
-    const std::string& method = request.method.empty() ? config_.method : request.method;
+    const std::string& requested =
+        request.method.empty() ? config_.method : request.method;
+    // Keys hash the *resolved* method, so "auto" and an explicit request for
+    // the same explainer share cache entries.  Routing against the pinned
+    // snapshot keeps keys consistent across hot swaps that change the kind.
+    const std::string method =
+        requested == kAutoMethod ? job.model_snapshot->auto_method : requested;
     const std::uint64_t seed = request.seed == 0 ? config_.seed : request.seed;
     // Seeded with the fingerprint the job *pinned*, so a request that raced
     // a hot swap keys (and caches) against the version it was computed with.
     std::uint64_t context = hash_string(method, job.model_snapshot->fingerprint);
     context = fnv1a_u64(seed, context);
+    // Fast-path explainer config (kernel variant / IG steps): two services
+    // differing only in ig_steps must never cross-hit via snapshot restore.
+    // A zero fingerprint (probe methods) is skipped, keeping those keys
+    // byte-identical to what this service always produced.
+    if (const std::size_t ei = explainer_index(method);
+        ei < kNumExplainers && explainer_config_fp_[ei] != 0)
+        context = fnv1a_u64(explainer_config_fp_[ei], context);
     context = fnv1a_u64(std::bit_cast<std::uint64_t>(config_.cache_quantum), context);
     context = fnv1a_u64(background_fingerprint_, context);
     // Drift epoch: bumping it re-keys this model's cache slice, so stale
@@ -449,38 +485,72 @@ CacheKey ExplanationService::key_for(const Job& job) const {
 ExplainResponse ExplanationService::run_request(const Job& job,
                                                DegradeLevel level,
                                                Clock::time_point deadline,
-                                               std::uint64_t& probe_rows) const {
+                                               ComputeOutcome& outcome) const {
     const ExplainRequest& request = job.request;
+    const ModelSnapshot& snap = *job.model_snapshot;
     ExplainResponse r;
     r.id = request.id;
-    std::string method = request.method.empty() ? config_.method : request.method;
+    const std::string& requested =
+        request.method.empty() ? config_.method : request.method;
+    // Route against the pinned snapshot's kind (stamped at load/swap):
+    // "auto" resolves to the kind's exact fast path or the probe default; a
+    // forced exact method the kind cannot run is a structured failure, not
+    // a silent degradation.
+    const RouteDecision route = route_explainer(requested, snap.kind);
+    if (route.unsupported) {
+        r.ok = false;
+        r.error_code = ServeError::unsupported_explainer;
+        r.error = route.why;
+        return r;
+    }
+    std::string method = route.method;
+    bool fast_path = route.fast_path;
     const std::uint64_t seed = request.seed == 0 ? config_.seed : request.seed;
     double scale = 1.0;
-    if (level == DegradeLevel::reduced)
+    if (level == DegradeLevel::reduced) {
         scale = config_.degradation.reduced_budget_scale;
-    else if (level == DegradeLevel::baseline)
+    } else if (level == DegradeLevel::baseline) {
         method = "occlusion";  // cheapest rung: one evaluation per feature
+        fast_path = false;
+    }
     xai::CancelToken token;
     ExplainerLimits limits;
     limits.budget_scale = scale;
+    limits.ig_steps = config_.ig_steps;
     if (deadline != Clock::time_point::max()) {
         token.set_deadline(deadline);
         limits.cancel = &token;
     }
-    // TreeShap downcasts the model to walk its trees, so it must see the
-    // real serving model; every other method probes through the counting
-    // proxy (which forwards batches wholesale — results are unaffected).
-    const ml::Model& serving = *job.model_snapshot->serving;
+    // tree_shap walks the trees and integrated_gradients downcasts to the
+    // MLP's analytic gradient, so both must see the real serving model;
+    // every other method probes through the counting proxy (which forwards
+    // batches wholesale — results are unaffected).
+    const bool direct = method == "tree_shap" || method == "integrated_gradients";
+    const ml::Model& serving = *snap.serving;
     const EvalCountingModel counting(serving);
     const ml::Model& probed =
-        method == "tree_shap" ? serving : static_cast<const ml::Model&>(counting);
+        direct ? serving : static_cast<const ml::Model&>(counting);
     try {
-        const auto explainer =
-            make_explainer(method, background_, seed, config_.threads, limits);
-        r.explanation = explainer->explain(probed, request.features);
+        if (method == "tree_shap" && snap.flat_shap) {
+            // Exact tree fast path: the snapshot's prebuilt flat walker with
+            // per-thread scratch — zero allocations once warm, bitwise equal
+            // to the per-request explainer below.  The flat state bypasses
+            // the serving wrapper, so the predict_throw chaos point is
+            // polled explicitly (once per explain) to keep fault schedules
+            // composing with the fast path.
+            if (fault_fires(config_.fault_injector.get(), FaultPoint::predict_throw))
+                throw InjectedFault(FaultPoint::predict_throw);
+            thread_local xai::FlatShapScratch scratch;
+            r.explanation = snap.flat_shap->explain(request.features, scratch);
+        } else {
+            const auto explainer =
+                make_explainer(method, background_, seed, config_.threads, limits);
+            r.explanation = explainer->explain(probed, request.features);
+        }
         r.ok = true;
         r.degraded = level != DegradeLevel::full;
-        r.budget_used = effective_budget(method, scale, background_);
+        r.budget_used = effective_budget(method, scale, background_, config_.ig_steps);
+        outcome.fast_path = fast_path;
     } catch (const xai::BudgetExceeded&) {
         r.ok = false;
         r.error_code = ServeError::deadline_exceeded;
@@ -494,7 +564,8 @@ ExplainResponse ExplanationService::run_request(const Job& job,
         r.error_code = ServeError::internal_error;
         r.error = e.what();
     }
-    probe_rows = counting.evals();
+    outcome.probe_rows = counting.evals();
+    outcome.explainer = explainer_index(method);
     return r;
 }
 
@@ -561,12 +632,12 @@ void ExplanationService::execute_batch(std::vector<Job> batch) {
     // keyed by its own seed, so results do not depend on batch composition,
     // order, or thread count.
     std::vector<std::uint64_t> compute_us(to_compute.size(), 0);
-    std::vector<std::uint64_t> probe_rows(to_compute.size(), 0);
+    std::vector<ComputeOutcome> outcomes(to_compute.size());
     xnfv::parallel_for(to_compute.size(), config_.threads, [&](std::size_t k) {
         const std::size_t i = to_compute[k];
         const auto start = Clock::now();
         responses[i] =
-            run_request(batch[i], levels[i], batch[i].deadline, probe_rows[k]);
+            run_request(batch[i], levels[i], batch[i].deadline, outcomes[k]);
         compute_us[k] = elapsed_us(start, Clock::now());
     });
 
@@ -583,9 +654,18 @@ void ExplanationService::execute_batch(std::vector<Job> batch) {
     for (std::size_t k = 0; k < to_compute.size(); ++k) {
         const std::size_t i = to_compute[k];
         metrics_.compute_time_us.record(compute_us[k]);
-        metrics_.model_evals.inc(probe_rows[k]);
-        batch[i].model_entry->evals.inc(probe_rows[k]);
-        if (responses[i].ok) metrics_.probe_rows.record(probe_rows[k]);
+        metrics_.model_evals.inc(outcomes[k].probe_rows);
+        batch[i].model_entry->evals.inc(outcomes[k].probe_rows);
+        if (responses[i].ok) metrics_.probe_rows.record(outcomes[k].probe_rows);
+        if (const std::size_t ei = outcomes[k].explainer;
+            responses[i].ok && ei < kNumExplainers) {
+            metrics_.explainer_requests[ei].inc();
+            metrics_.explainer_compute_us[ei].record(compute_us[k]);
+            if (outcomes[k].fast_path) {
+                metrics_.fast_path_hits.inc();
+                metrics_.explainer_fast_hits[ei].inc();
+            }
+        }
         if (responses[i].ok && levels[i] == DegradeLevel::full) {
             batch[i].model_entry->cache.insert(keys[i], responses[i].explanation);
             // Only freshly computed full-fidelity attributions feed the
@@ -781,6 +861,19 @@ ServiceStats ExplanationService::stats() const {
     s.probe_rows_p50 = metrics_.probe_rows.quantile(0.50);
     s.probe_rows_mean = metrics_.probe_rows.mean();
     s.probe_rows_max = metrics_.probe_rows.max();
+    s.fast_path_hits = metrics_.fast_path_hits.value();
+    for (std::size_t i = 0; i < kNumExplainers; ++i) {
+        const std::uint64_t requests = metrics_.explainer_requests[i].value();
+        if (requests == 0) continue;
+        ExplainerSliceStats e;
+        e.name = kExplainerNames[i];
+        e.requests = requests;
+        e.fast_path_hits = metrics_.explainer_fast_hits[i].value();
+        e.compute_us_p50 = metrics_.explainer_compute_us[i].quantile(0.50);
+        e.compute_us_p99 = metrics_.explainer_compute_us[i].quantile(0.99);
+        e.compute_us_mean = metrics_.explainer_compute_us[i].mean();
+        s.explainers.push_back(std::move(e));
+    }
     s.drift_checks = metrics_.drift_checks.value();
     s.drift_flushes = metrics_.drift_flushes.value();
     s.adaptive_wait_us = metrics_.adaptive_wait_us.value();

@@ -33,6 +33,7 @@
 // above.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -53,6 +54,7 @@
 #include "serve/batcher.hpp"
 #include "serve/degradation.hpp"
 #include "serve/errors.hpp"
+#include "serve/explainers.hpp"
 #include "serve/explanation_cache.hpp"
 #include "serve/fault_injector.hpp"
 #include "serve/metrics.hpp"
@@ -71,24 +73,31 @@ struct ExplainerLimits {
     /// Optional cancellation token wired into the explainer config; must
     /// outlive the explain() call.  Null = never cancelled.
     const xnfv::xai::CancelToken* cancel = nullptr;
+    /// Integrated-gradients Riemann steps before budget scaling (floor 8).
+    /// Ignored by every other method.
+    std::size_t ig_steps = 50;
 };
 
 /// Builds the explainer a request resolves to; shared with the CLI so the
 /// served path and the one-shot path construct byte-identical explainers.
-/// Supported methods: tree_shap, kernel_shap, sampling, lime, occlusion.
-/// Throws std::runtime_error on an unknown method.
+/// Supported methods: exactly serve/explainers.hpp's kExplainerNames
+/// (tree_shap runs the flat fast-path kernel — bitwise identical to the
+/// recursive walker).  Throws std::runtime_error on an unknown method,
+/// with the registry's list in the message.
 [[nodiscard]] std::unique_ptr<xnfv::xai::Explainer> make_explainer(
     const std::string& method, const xnfv::xai::BackgroundData& background,
     std::uint64_t seed, std::size_t threads = 0, const ExplainerLimits& limits = {});
 
 /// The sample budget make_explainer gives `method` at `budget_scale`
-/// (coalitions, permutations, or neighborhood samples, with the same floors
-/// make_explainer applies).  0 for non-sampling methods.
+/// (coalitions, permutations, neighborhood samples, or IG steps, with the
+/// same floors make_explainer applies).  0 for tree_shap (exact).
 [[nodiscard]] std::uint64_t effective_budget(const std::string& method,
                                              double budget_scale,
-                                             const xnfv::xai::BackgroundData& background);
+                                             const xnfv::xai::BackgroundData& background,
+                                             std::size_t ig_steps = 50);
 
-/// True when `method` names a supported explainer.
+/// True when `method` names a supported explainer ("auto" is a routing
+/// pseudo-method, accepted at request validation but never here).
 [[nodiscard]] bool known_method(const std::string& method) noexcept;
 
 /// One additional model to register at construction (beyond the default
@@ -102,7 +111,14 @@ struct ModelSpec {
 
 struct ServiceConfig {
     /// Default explainer method for requests that leave `method` empty.
+    /// May be "auto": each request then routes per the pinned snapshot's
+    /// model kind (serve/router.hpp).
     std::string method = "tree_shap";
+    /// Integrated-gradients Riemann steps (the `steps` knob of
+    /// core/gradient.hpp's Config), hashed into cache keys so services
+    /// with different step counts can never cross-hit each other's
+    /// snapshot-restored entries.
+    std::size_t ig_steps = 50;
     /// Default RNG seed for requests that leave `seed` == 0 (matches the
     /// `xnfv_cli explain` default so served == one-shot out of the box).
     std::uint64_t seed = 11;
@@ -277,16 +293,27 @@ private:
     /// the model name, validates the payload, and stamps `job` (entry,
     /// pinned snapshot, class, timestamps).  Non-none = reject.
     [[nodiscard]] ServeError prepare_job(ExplainRequest request, Job& job);
-    /// Explains one request at the given degradation rung (fresh explainer,
-    /// one explain() call) against the model snapshot the job pinned at
-    /// admission.  Any exception becomes an error response; the deadline, if
-    /// armed, aborts compute via a CancelToken.  `probe_rows` receives the
-    /// number of model rows the explainer evaluated (0 for tree_shap, which
-    /// walks the trees directly).
+    /// What one computed explanation cost and which path served it, for the
+    /// per-explainer stats slices.
+    struct ComputeOutcome {
+        std::uint64_t probe_rows = 0;  ///< model rows evaluated (0 = direct walk)
+        bool fast_path = false;        ///< exact fast path (flat tree / analytic IG)
+        std::size_t explainer = kNumExplainers;  ///< kExplainerNames index
+    };
+    /// Explains one request at the given degradation rung against the model
+    /// snapshot the job pinned at admission.  The request's method (or the
+    /// config default) is routed per the snapshot's kind first: tree
+    /// ensembles take the prebuilt flat TreeSHAP (one shared immutable
+    /// walker, per-thread scratch, zero warm allocations), MLPs take
+    /// analytic integrated gradients, probe methods build a fresh explainer
+    /// per request exactly as before.  A forced exact method the kind
+    /// cannot run fails with `unsupported_explainer`.  Any exception
+    /// becomes an error response; the deadline, if armed, aborts probe
+    /// compute via a CancelToken.
     [[nodiscard]] ExplainResponse run_request(
         const Job& job, DegradeLevel level,
         std::chrono::steady_clock::time_point deadline,
-        std::uint64_t& probe_rows) const;
+        ComputeOutcome& outcome) const;
     [[nodiscard]] CacheKey key_for(const Job& job) const;
     /// Feeds one full-fidelity computed attribution vector into `entry`'s
     /// drift windows; on a completed current window, compares it against the
@@ -312,6 +339,12 @@ private:
     xnfv::xai::BackgroundData background_;
     ServiceConfig config_;
     std::uint64_t background_fingerprint_;
+    /// Per-explainer config fingerprint mixed into cache keys (indexed like
+    /// kExplainerNames): the tree_shap kernel variant tag and the IG step
+    /// count, so fast-path answers computed under one config can never be
+    /// served to a service configured differently (snapshot restore).
+    /// Probe methods contribute 0 — their keys are unchanged from before.
+    std::array<std::uint64_t, kNumExplainers> explainer_config_fp_{};
     ModelRegistry registry_;
     RequestQueue queue_;
     MicroBatcher batcher_;

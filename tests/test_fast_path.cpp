@@ -1,0 +1,259 @@
+// Fast-path explainer pins (DESIGN.md §16).
+//
+// 1. FlatTreeShap must be *bitwise identical* to the recursive
+//    core/tree_shap walker on DecisionTree / RandomForest / GBT — every
+//    attribution, base value and prediction compared with exact double
+//    equality, single-threaded and through the tree-major-blocked batch
+//    kernel at several thread counts.
+// 2. Integrated Gradients must satisfy the completeness axiom
+//    (sum phi = f(x) − f(baseline)): ulp-scaled on a linear-regime MLP
+//    (constant gradient ⇒ the midpoint Riemann sum is exact up to rounding)
+//    and at the discretization-limited tolerance on a trained nonlinear MLP.
+#include <gtest/gtest.h>
+
+#include <cfloat>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "core/flat_tree_shap.hpp"
+#include "core/gradient.hpp"
+#include "core/tree_shap.hpp"
+#include "mlcore/forest.hpp"
+#include "mlcore/gbt.hpp"
+#include "mlcore/mlp.hpp"
+#include "mlcore/model.hpp"
+#include "test_util.hpp"
+
+namespace ml = xnfv::ml;
+namespace xai = xnfv::xai;
+using xnfv::testutil::make_linear_dataset;
+using xnfv::testutil::make_xor_dataset;
+
+namespace {
+
+ml::Dataset nonlinear_dataset(std::size_t n, std::size_t d, ml::Rng& rng) {
+    ml::Dataset data;
+    data.task = ml::Task::regression;
+    std::vector<double> row(d);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (auto& v : row) v = rng.uniform(-1.0, 1.0);
+        double y = 3.0 * row[0];
+        if (d > 1) y += (row[0] > 0 ? 2.0 : -1.0) * row[1];
+        if (d > 2) y += std::abs(row[2]);
+        data.add(row, y);
+    }
+    return data;
+}
+
+ml::Matrix probe_points(std::size_t n, std::size_t d, ml::Rng& rng) {
+    ml::Matrix x(n, d);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < d; ++j) x(i, j) = rng.uniform(-1.0, 1.0);
+    return x;
+}
+
+void expect_bitwise(const xai::Explanation& flat, const xai::Explanation& ref,
+                    const char* what) {
+    EXPECT_EQ(flat.method, ref.method) << what;
+    EXPECT_EQ(flat.prediction, ref.prediction) << what;
+    EXPECT_EQ(flat.base_value, ref.base_value) << what;
+    ASSERT_EQ(flat.attributions.size(), ref.attributions.size()) << what;
+    for (std::size_t j = 0; j < ref.attributions.size(); ++j)
+        EXPECT_EQ(flat.attributions[j], ref.attributions[j])
+            << what << " feature " << j;
+}
+
+/// Pins flat == recursive per row, then batch(1 thread) == batch(8 threads)
+/// == per-row explain — all exact.
+void pin_flat_vs_recursive(const ml::Model& model, const ml::Matrix& points,
+                           const char* what) {
+    const auto flat = xai::FlatTreeShap::build(model);
+    ASSERT_NE(flat, nullptr) << what;
+    xai::TreeShap recursive;
+    xai::FlatShapScratch scratch;
+    std::vector<xai::Explanation> singles(points.rows());
+    for (std::size_t i = 0; i < points.rows(); ++i) {
+        singles[i] = flat->explain(points.row(i), scratch);
+        expect_bitwise(singles[i], recursive.explain(model, points.row(i)), what);
+    }
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+        const auto batch = flat->explain_batch(points, threads);
+        ASSERT_EQ(batch.size(), points.rows()) << what;
+        for (std::size_t i = 0; i < batch.size(); ++i)
+            expect_bitwise(batch[i], singles[i], what);
+    }
+}
+
+}  // namespace
+
+TEST(FlatTreeShap, BitwiseEqualsRecursiveOnDecisionTree) {
+    ml::Rng rng(21);
+    const auto data = nonlinear_dataset(1200, 4, rng);
+    ml::DecisionTree tree(ml::DecisionTree::Config{.max_depth = 8,
+                                                   .min_samples_leaf = 2,
+                                                   .min_samples_split = 4});
+    tree.fit(data);
+    pin_flat_vs_recursive(tree, probe_points(40, 4, rng), "tree");
+}
+
+TEST(FlatTreeShap, BitwiseEqualsRecursiveOnForest) {
+    ml::Rng rng(22);
+    const auto data = nonlinear_dataset(900, 5, rng);
+    ml::RandomForest forest(ml::RandomForest::Config{.num_trees = 17});
+    forest.fit(data, rng);
+    pin_flat_vs_recursive(forest, probe_points(40, 5, rng), "forest");
+}
+
+TEST(FlatTreeShap, BitwiseEqualsRecursiveOnGbtRegression) {
+    ml::Rng rng(23);
+    const auto data = nonlinear_dataset(900, 4, rng);
+    ml::GradientBoostedTrees gbt(ml::GradientBoostedTrees::Config{.num_rounds = 35});
+    gbt.fit(data, rng);
+    pin_flat_vs_recursive(gbt, probe_points(40, 4, rng), "gbt");
+}
+
+TEST(FlatTreeShap, BitwiseEqualsRecursiveOnGbtClassifierMarginSpace) {
+    ml::Rng rng(24);
+    const auto data = make_xor_dataset(1200, rng);
+    ml::GradientBoostedTrees gbt(ml::GradientBoostedTrees::Config{.num_rounds = 25});
+    gbt.fit(data, rng);
+    pin_flat_vs_recursive(gbt, probe_points(40, 2, rng), "gbt-classifier");
+}
+
+TEST(FlatTreeShap, StumpRootLeafMatchesRecursive) {
+    // Constant labels: no split clears min_impurity_decrease, so the fitted
+    // tree is a single root leaf (the m == 0 collapse path).
+    ml::Dataset data;
+    data.task = ml::Task::regression;
+    for (int i = 0; i < 50; ++i)
+        data.add(std::vector<double>{static_cast<double>(i), 1.0}, 7.5);
+    ml::DecisionTree stump;
+    stump.fit(data);
+    ASSERT_TRUE(stump.nodes().front().is_leaf());
+    ml::Rng rng(25);
+    pin_flat_vs_recursive(stump, probe_points(4, 2, rng), "stump");
+}
+
+TEST(FlatTreeShap, ScratchReusableAcrossModelsOfDifferentShape) {
+    ml::Rng rng(26);
+    const auto small_data = nonlinear_dataset(500, 2, rng);
+    const auto big_data = nonlinear_dataset(500, 6, rng);
+    ml::DecisionTree small_tree(ml::DecisionTree::Config{.max_depth = 3});
+    small_tree.fit(small_data);
+    ml::RandomForest big_forest(ml::RandomForest::Config{.num_trees = 9});
+    big_forest.fit(big_data, rng);
+    const auto small_flat = xai::FlatTreeShap::build(small_tree);
+    const auto big_flat = xai::FlatTreeShap::build(big_forest);
+    xai::TreeShap recursive;
+    xai::FlatShapScratch shared;  // alternates between both shapes
+    const auto small_x = probe_points(6, 2, rng);
+    const auto big_x = probe_points(6, 6, rng);
+    for (std::size_t i = 0; i < 6; ++i) {
+        expect_bitwise(small_flat->explain(small_x.row(i), shared),
+                       recursive.explain(small_tree, small_x.row(i)), "small");
+        expect_bitwise(big_flat->explain(big_x.row(i), shared),
+                       recursive.explain(big_forest, big_x.row(i)), "big");
+    }
+}
+
+TEST(FlatTreeShapExplainer, AdapterMatchesRecursiveAndKeepsName) {
+    ml::Rng rng(27);
+    const auto data = nonlinear_dataset(800, 3, rng);
+    ml::RandomForest forest(ml::RandomForest::Config{.num_trees = 11});
+    forest.fit(data, rng);
+    xai::FlatTreeShapExplainer fast;
+    xai::TreeShap recursive;
+    EXPECT_EQ(fast.name(), recursive.name());
+    const auto x = probe_points(8, 3, rng);
+    for (std::size_t i = 0; i < 8; ++i)
+        expect_bitwise(fast.explain(forest, x.row(i)),
+                       recursive.explain(forest, x.row(i)), "adapter");
+    const auto batch = fast.explain_batch(forest, x);
+    for (std::size_t i = 0; i < 8; ++i)
+        expect_bitwise(batch[i], recursive.explain(forest, x.row(i)), "adapter-batch");
+}
+
+TEST(FlatTreeShapExplainer, RejectsNonTreeModelsWithRecursiveErrorText) {
+    const ml::LambdaModel model(2, [](std::span<const double>) { return 0.0; });
+    xai::FlatTreeShapExplainer fast;
+    try {
+        (void)fast.explain(model, std::vector<double>{0, 0});
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+        EXPECT_STREQ(e.what(), "TreeShap: model 'lambda' is not a supported tree ensemble");
+    }
+    EXPECT_EQ(xai::FlatTreeShap::build(model), nullptr);
+    ml::DecisionTree unfitted;
+    EXPECT_THROW((void)fast.explain(unfitted, std::vector<double>{}),
+                 std::invalid_argument);
+}
+
+// --- Integrated Gradients completeness axiom -------------------------------
+
+namespace {
+
+/// tol = `ulps` units in the last place of the accumulated magnitude.
+void expect_complete(const xai::Explanation& e, double ulps_or_abs, bool ulp_scaled) {
+    double magnitude = std::abs(e.prediction) + std::abs(e.base_value);
+    for (double phi : e.attributions) magnitude += std::abs(phi);
+    const double tol =
+        ulp_scaled ? ulps_or_abs * DBL_EPSILON * magnitude : ulps_or_abs;
+    EXPECT_NEAR(e.additive_reconstruction(), e.prediction, tol);
+}
+
+}  // namespace
+
+TEST(IntegratedGradientsCompleteness, UlpScaledOnLinearRegimeMlp) {
+    // No hidden layers ⇒ the MLP is exactly linear, its analytic gradient is
+    // constant along the path, and the midpoint Riemann sum integrates it
+    // exactly — completeness must hold to rounding error, not just to the
+    // O(1/steps^2) discretization bound.
+    ml::Rng rng(31);
+    const std::vector<double> w{2.0, -3.0, 0.5};
+    const auto data = make_linear_dataset(w, 1.0, 300, rng);
+    ml::Mlp mlp(ml::Mlp::Config{.hidden_layers = {}, .epochs = 30});
+    mlp.fit(data, rng);
+    xai::IntegratedGradients ig{xai::BackgroundData(data.x, 64)};
+    for (int rep = 0; rep < 10; ++rep) {
+        std::vector<double> x(3);
+        for (auto& v : x) v = rng.uniform(-1.0, 1.0);
+        const auto e = ig.explain(mlp, x);
+        expect_complete(e, 256.0, /*ulp_scaled=*/true);
+    }
+}
+
+TEST(IntegratedGradientsCompleteness, DiscretizationBoundOnTrainedMlp) {
+    // tanh keeps the integrand smooth (midpoint error O(1/steps^2)); relu
+    // kinks would degrade that to O(1/steps) and need far more steps.
+    ml::Rng rng(32);
+    const auto data = make_xor_dataset(900, rng);
+    ml::Mlp mlp(ml::Mlp::Config{.hidden_layers = {16, 16},
+                                .activation = ml::Activation::tanh,
+                                .epochs = 60});
+    mlp.fit(data, rng);
+    xai::IntegratedGradients ig{xai::BackgroundData(data.x, 64),
+                                xai::IntegratedGradients::Config{.steps = 200}};
+    for (int rep = 0; rep < 5; ++rep) {
+        std::vector<double> x{rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+        expect_complete(ig.explain(mlp, x), 1e-3, /*ulp_scaled=*/false);
+    }
+}
+
+TEST(IntegratedGradientsCompleteness, MoreStepsTightenTheBound) {
+    ml::Rng rng(33);
+    const auto data = make_xor_dataset(900, rng);
+    ml::Mlp mlp(ml::Mlp::Config{.hidden_layers = {16}, .epochs = 60});
+    mlp.fit(data, rng);
+    const xai::BackgroundData background(data.x, 64);
+    const std::vector<double> x{0.6, -0.4};
+    auto gap = [&](std::size_t steps) {
+        xai::IntegratedGradients ig{background, xai::IntegratedGradients::Config{steps}};
+        const auto e = ig.explain(mlp, x);
+        return std::abs(e.additive_reconstruction() - e.prediction);
+    };
+    // Not strictly monotone per-point in general, but 4 → 256 steps must
+    // shrink the completeness gap (or both are already at rounding level).
+    const double coarse = gap(4), fine = gap(256);
+    EXPECT_LE(fine, coarse + 1e-12);
+}

@@ -41,7 +41,9 @@
 #include "net/loadgen.hpp"
 #include "net/server.hpp"
 #include "net/sharded_server.hpp"
+#include "serve/explainers.hpp"
 #include "serve/ndjson.hpp"
+#include "serve/router.hpp"
 #include "serve/service.hpp"
 #include "workload/dataset_builder.hpp"
 
@@ -91,6 +93,12 @@ private:
 };
 
 int usage() {
+    // The method lists come from the shared explainer registry
+    // (serve/explainers.hpp), so --help can never drift from what the
+    // service and the ND-JSON protocol actually accept.  "auto" routes to
+    // the model's exact fast path: flat TreeSHAP for tree ensembles,
+    // analytic integrated gradients for MLPs, kernel SHAP otherwise.
+    const std::string methods = xnfv::serve::explainer_list_with_auto();
     std::printf(
         "xnfv — explainable AI for NFV (see README.md)\n\n"
         "usage: xnfv_cli <command> [--key value ...]\n\n"
@@ -102,11 +110,13 @@ int usage() {
         "            logistic|mlp] [--task clf|reg] [--seed S]\n"
         "  evaluate  --model model.xnfv --data data.csv\n"
         "  explain   --model model.xnfv --data data.csv --row K\n"
-        "            [--method tree_shap|kernel_shap|sampling|lime|occlusion]\n"
+        "            [--method %s]\n"
+        "            [--ig-steps N]   integrated-gradients path resolution\n"
         "            [--counterfactual]\n"
         "  global    --model model.xnfv --data data.csv [--rows N]\n"
-        "            [--method tree_shap|kernel_shap|sampling|lime|occlusion]\n"
+        "            [--method %s]\n"
         "  serve     --model model.xnfv --data data.csv [--method M] [--seed S]\n"
+        "            [--ig-steps N]   integrated-gradients path resolution\n"
         "            [--models manifest.ndjson]   multi-model registry: one\n"
         "            JSON object per line, {\"name\":\"a\",\"model\":\"a.xnfv\",\n"
         "            \"weight\":2,\"quota\":64,\"default\":true}; the flagged\n"
@@ -184,7 +194,8 @@ int usage() {
         "  --seed S     deterministic RNG seed (per command defaults)\n"
         "  --threads N  worker threads for explanation/prediction hot paths\n"
         "               (default: hardware concurrency; results are identical\n"
-        "               for any N)\n");
+        "               for any N)\n",
+        methods.c_str(), methods.c_str());
     return 2;
 }
 
@@ -291,6 +302,24 @@ int cmd_evaluate(const Args& args) {
     return 0;
 }
 
+/// Resolves the --method flag against the loaded model exactly like the
+/// serving path does: "auto" routes to the model kind's exact fast path,
+/// and a forced exact method the kind cannot run fails with the router's
+/// message instead of a deeper explainer error.  Shared by explain/global
+/// so one-shot output stays byte-identical to a served response.
+std::string resolve_method(const Args& args, const ml::Model& model) {
+    const auto route = serve::route_explainer(args.get("method", "tree_shap"),
+                                              serve::classify_model(model));
+    if (route.unsupported) throw std::runtime_error(route.why);
+    return route.method;
+}
+
+serve::ExplainerLimits one_shot_limits(const Args& args) {
+    serve::ExplainerLimits limits;
+    limits.ig_steps = static_cast<std::size_t>(args.get_int("ig-steps", 50));
+    return limits;
+}
+
 int cmd_explain(const Args& args) {
     const auto model = ml::load_model_file(args.require("model"));
     const auto data = ml::read_csv_file(args.require("data"), task_from(args, "clf"));
@@ -299,8 +328,8 @@ int cmd_explain(const Args& args) {
 
     ml::Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 11)));
     const xai::BackgroundData background(data.x, 128);
-    const auto explainer =
-        make_explainer(args.get("method", "tree_shap"), background, 11);
+    const auto explainer = make_explainer(resolve_method(args, *model), background,
+                                          11, 0, one_shot_limits(args));
 
     xai::ReportOptions options;
     if (args.has("counterfactual")) options.counterfactual = xai::CounterfactualOptions{};
@@ -316,8 +345,8 @@ int cmd_global(const Args& args) {
     const auto n = std::min<std::size_t>(
         data.size(), static_cast<std::size_t>(args.get_int("rows", 100)));
     const xai::BackgroundData background(data.x, 128);
-    const auto explainer =
-        make_explainer(args.get("method", "tree_shap"), background, 13);
+    const auto explainer = make_explainer(resolve_method(args, *model), background,
+                                          13, 0, one_shot_limits(args));
 
     std::vector<std::size_t> rows(n);
     for (std::size_t i = 0; i < n; ++i) rows[i] = i;
@@ -349,6 +378,7 @@ int cmd_serve(const Args& args) {
 
     serve::ServiceConfig cfg;
     cfg.method = args.get("method", "tree_shap");
+    cfg.ig_steps = static_cast<std::size_t>(args.get_int("ig-steps", 50));
     cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 11));
     cfg.queue_depth = static_cast<std::size_t>(args.get_int("queue", 256));
     cfg.max_batch = static_cast<std::size_t>(args.get_int("batch", 16));
@@ -630,6 +660,13 @@ int cmd_serve(const Args& args) {
         if (!dim) {
             print_error(er.id, serve::ServeError::unknown_model,
                         "unknown model '" + er.model + "'");
+            continue;
+        }
+        if (!er.method.empty() && er.method != serve::kAutoMethod &&
+            !serve::known_explainer(er.method)) {
+            print_error(er.id, serve::ServeError::bad_request,
+                        "unknown method '" + er.method + "' (expected " +
+                            serve::explainer_list_with_auto() + ")");
             continue;
         }
         if (req.has("features")) {
