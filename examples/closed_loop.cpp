@@ -1,94 +1,108 @@
-// Closed-loop walkthrough: explain -> act -> re-simulate.
+// Closed-loop walkthrough: simulate -> serve -> explain -> act -> re-drive.
 //
-// One violating service chain, end to end: the simulator produces the
-// incident, TreeSHAP names the dominant telemetry driver, the driver is
-// mapped to a remediation action, the action is applied to the deployment,
-// and the same epoch is re-simulated to verify the SLA is met.  The
-// simulator — not the model — has the final word.
+// The full NOC loop through the scenario driver (src/scenario/), not a
+// hand-staged incident: a fleet of enterprise-edge deployments is sampled
+// and stepped live through three phases — baseline traffic, a 6x flash
+// crowd, and the same flash traffic after the served explanation's
+// remediation was applied back into the simulator.  Every simulated
+// chain-epoch's telemetry is replayed as concurrent ND-JSON `explain`
+// clients against a real 2-shard TCP server running in this process; the
+// worst violating chain's served attributions pick the action; the
+// simulator — not the model — then judges the fix in phase three.
 //
 // Build & run:  ./build/examples/closed_loop
 #include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
 
-#include "core/tree_shap.hpp"
 #include "mlcore/forest.hpp"
-#include "nfv/placement.hpp"
-#include "nfv/remediation.hpp"
-#include "nfv/simulator.hpp"
+#include "net/sharded_server.hpp"
+#include "scenario/driver.hpp"
+#include "serve/service.hpp"
 #include "workload/dataset_builder.hpp"
 
 namespace ml = xnfv::ml;
-namespace nfv = xnfv::nfv;
+namespace net = xnfv::net;
+namespace scn = xnfv::scenario;
+namespace serve = xnfv::serve;
 namespace wl = xnfv::wl;
 namespace xai = xnfv::xai;
 
 int main() {
-    // Train the violation model once, on the CPU-starvation family.
+    // Train the violation model once, on the same workload family the
+    // driver will replay.
     ml::Rng rng(31);
     wl::BuildOptions opt;
-    opt.num_samples = 4000;
-    const auto built =
-        wl::build_dataset(wl::fault_scenario(wl::FaultKind::cpu_starvation), opt, rng);
-    ml::RandomForest model(ml::RandomForest::Config{.num_trees = 80});
-    model.fit(built.data, rng);
+    opt.num_samples = 2000;
+    const auto built = wl::build_dataset(wl::standard_scenarios()[1], opt, rng);
+    auto model =
+        std::make_shared<ml::RandomForest>(ml::RandomForest::Config{.num_trees = 40});
+    model->fit(built.data, rng);
 
-    // Stage the incident: a secure-enterprise chain whose IDS is starved.
-    nfv::Infrastructure infra = nfv::Infrastructure::homogeneous_pop(2, nfv::Server{});
-    nfv::Deployment dep;
-    nfv::SlaSpec sla{.max_latency_s = 1.5e-3};
-    nfv::make_chain(dep, "secure_enterprise",
-                    {nfv::VnfType::firewall, nfv::VnfType::ids, nfv::VnfType::nat}, 2.0,
-                    sla, 2000);
-    dep.vnf(1).cpu_cores = 0.3;  // the misconfiguration
-    nfv::place(dep, infra, nfv::PlacementStrategy::first_fit, rng);
+    // A production-shaped server: 2 SO_REUSEPORT shards, degradation ladder
+    // and drift detection armed — the flash crowd will exercise both.
+    serve::ServiceConfig cfg;
+    cfg.method = "tree_shap";
+    cfg.seed = 11;
+    cfg.degradation.reduced_queue_depth = 32;
+    cfg.degradation.baseline_queue_depth = 64;
+    cfg.drift_window = 16;
+    net::ShardedServerConfig shcfg;
+    shcfg.shards = 2;
+    net::ShardedServer server(model, xai::BackgroundData(built.data.x, 64), cfg,
+                              shcfg);
+    std::string error;
+    if (!server.start(&error)) {
+        std::fprintf(stderr, "server start failed: %s\n", error.c_str());
+        return 1;
+    }
+    std::thread loop([&server] { server.run(); });
 
-    const std::vector<nfv::OfferedLoad> loads{
-        {.pps = 9e4, .avg_pkt_bytes = 700.0, .active_flows = 2e4, .burstiness_ca2 = 1.5}};
+    scn::DriverConfig dcfg;
+    dcfg.port = server.port();
+    dcfg.scenario = "enterprise_edge";
+    dcfg.seed = 2020;
+    dcfg.deployments = 2;
+    dcfg.epochs_per_phase = 4;
+    dcfg.connections = 16;
+    dcfg.interactions = 2;  // top-2 Friedman-H2 pairs ride each response
+    dcfg.flash_mult = 6.0;
+    const auto report = scn::run_scenario(dcfg);
 
-    const auto before = nfv::simulate_epoch(dep, infra, loads);
-    std::printf("== incident ==\n");
-    std::printf("latency %.2f ms against an SLA of %.2f ms -> violated=%s, "
-                "bottleneck vnf#%u (%s, util %.2f)\n\n",
-                before.chains[0].latency_s * 1e3, sla.max_latency_s * 1e3,
-                before.chains[0].sla_violated ? "yes" : "no",
-                before.chains[0].bottleneck_vnf,
-                std::string(nfv::to_string(dep.vnf(before.chains[0].bottleneck_vnf).type))
-                    .c_str(),
-                before.chains[0].bottleneck_utilization);
+    server.request_drain();
+    loop.join();
+    server.stop_services();
 
-    // Explain the model's view of this chain-epoch.
-    const auto features = nfv::extract_features(nfv::FeatureSet::full_telemetry, dep,
-                                                infra, loads, before, 0);
-    xai::TreeShap explainer;
-    auto e = explainer.explain(model, features);
-    e.feature_names = built.data.feature_names;
-    std::printf("== diagnosis (TreeSHAP) ==\npredicted violation prob %.2f\n%s\n",
-                e.prediction, e.to_string(5).c_str());
-
-    // Map the dominant driver to an action on the bottleneck.
-    const auto top = e.feature_names[e.top_k(1)[0]];
-    const std::uint32_t target = nfv::bottleneck_vnf(dep, dep.chains[0], before);
-    nfv::Action action{.kind = nfv::ActionKind::scale_up_cpu, .target_vnf = target,
-                       .magnitude = 3.0};
-    if (top == "max_cache_pressure" || top == "colocated_vnfs" || top == "max_server_mem")
-        action.kind = nfv::ActionKind::migrate_spread;
-    else if (top == "max_link_util" || top == "hop_count")
-        action.kind = nfv::ActionKind::migrate_colocate;
-    else if (top == "total_rules")
-        action = {.kind = nfv::ActionKind::reduce_rules, .target_vnf = target,
-                  .magnitude = 0.5};
-    std::printf("== action ==\n%s (driver: %s)\n\n", action.to_string(dep).c_str(),
-                top.c_str());
-
-    if (!nfv::apply_action(dep, infra, action)) {
-        std::printf("action infeasible on this deployment\n");
+    if (!report.transport_ok) {
+        std::fprintf(stderr, "transport failure: %s\n", report.error.c_str());
         return 1;
     }
 
-    const auto after = nfv::simulate_epoch(dep, infra, loads);
-    std::printf("== verification (re-simulated, same traffic) ==\n");
-    std::printf("latency %.2f ms -> violated=%s (was %.2f ms)\n",
-                after.chains[0].latency_s * 1e3,
-                after.chains[0].sla_violated ? "yes" : "no",
-                before.chains[0].latency_s * 1e3);
-    return after.chains[0].sla_violated ? 1 : 0;
+    std::printf("== closed loop (%s, seed %llu) ==\n", report.scenario.c_str(),
+                static_cast<unsigned long long>(report.seed));
+    for (const auto& p : report.phases)
+        std::printf(
+            "%-12s  %3zu reqs  p50 %7.1f us  p99 %7.1f us  degraded %3llu  "
+            "drift flushes %2llu  SLA violations %3llu\n",
+            p.name.c_str(), p.requests, p.latency_p50_us, p.latency_p99_us,
+            static_cast<unsigned long long>(p.degraded),
+            static_cast<unsigned long long>(p.drift_flushes),
+            static_cast<unsigned long long>(p.sla_violations));
+
+    std::printf("\n== remediation (chosen by the served explanation) ==\n");
+    if (report.action.empty()) {
+        std::printf("no chain violated its SLA during the flash crowd\n");
+    } else {
+        std::printf("%s (driver: %s, applied: %s)\n", report.action.c_str(),
+                    report.action_driver.c_str(),
+                    report.action_applied ? "yes" : "no");
+        const auto& flash = report.phases[1];
+        const auto& fixed = report.phases[2];
+        std::printf("flash_crowd had %llu SLA violations; remediated has %llu\n",
+                    static_cast<unsigned long long>(flash.sla_violations),
+                    static_cast<unsigned long long>(fixed.sla_violations));
+    }
+    std::printf("\nfull SLO report:\n%s\n", report.to_json().c_str());
+    return 0;
 }

@@ -13,6 +13,15 @@
 
 namespace xnfv::xai {
 
+/// One mutual feature-interaction pair (Friedman H² statistic, see
+/// core/interaction.hpp), carried alongside an attribution vector when the
+/// caller opted in (`"interactions": k` on the serving path).
+struct InteractionPair {
+    std::size_t i = 0;   ///< first feature index (i < j)
+    std::size_t j = 0;   ///< second feature index
+    double h2 = 0.0;     ///< normalized interaction strength in [0, 1]
+};
+
 /// A local feature-attribution explanation of one prediction.
 ///
 /// Additive semantics (SHAP-style methods):
@@ -26,6 +35,10 @@ struct Explanation {
     double base_value = 0.0;            ///< E[f] over the background
     std::vector<double> attributions;   ///< one signed value per feature
     std::vector<std::string> feature_names;
+    /// Top-k mutual interaction pairs, strongest H² first (empty unless the
+    /// request asked for interactions; rides the cache with the rest of the
+    /// explanation because the cache key covers the interaction config).
+    std::vector<InteractionPair> interactions;
 
     /// |attributions| (magnitude ranking used by deletion curves and top-k).
     [[nodiscard]] std::vector<double> abs_attributions() const;

@@ -31,6 +31,8 @@ std::string render_request_line(const RequestSpec& spec) {
     if (spec.seed != 0) w.field("seed", spec.seed);
     if (spec.deadline_ms >= 0)
         w.field("deadline_ms", static_cast<double>(spec.deadline_ms));
+    if (spec.interactions != 0)
+        w.field("interactions", static_cast<std::uint64_t>(spec.interactions));
     return w.finish();
 }
 

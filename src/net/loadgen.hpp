@@ -114,6 +114,9 @@ struct RequestSpec {
     std::string model;
     std::uint64_t seed = 0;
     std::int64_t deadline_ms = -1;
+    /// > 0 requests the top-k interaction pairs next to the attributions;
+    /// 0 omits the field (byte-identical to pre-interaction request lines).
+    std::size_t interactions = 0;
 };
 
 /// Renders one `{"op":"explain",...}` request line (no trailing newline) —

@@ -243,6 +243,25 @@ void ExplanationServer::handle_frame(Connection& conn, const serve::Frame& frame
         conn.push_slot(Connection::Slot::Kind::stats);
         return;
     }
+    if (op == "stats_reset") {
+        // Per-phase measurement: zero the service and net counters so the
+        // next stats snapshot covers only traffic after this frame.  Applied
+        // immediately (like admin ops) — in-flight requests land in the new
+        // window, which is exactly what a phase boundary wants.  In a sharded
+        // server the provider fans the reset out to every shard.
+        const auto seq = conn.push_slot(Connection::Slot::Kind::response);
+        if (admin_provider_) {
+            conn.fulfill(seq, admin_provider_(req));
+        } else {
+            service_.stats_reset();
+            reset_net_metrics();
+            serve::JsonWriter w;
+            w.field("ok", true);
+            w.field("op", "stats_reset");
+            conn.fulfill(seq, w.finish());
+        }
+        return;
+    }
     if (op == "load" || op == "swap" || op == "retire" || op == "models") {
         // Registry admin: applied immediately (not as a pipeline barrier) —
         // requests already admitted keep the snapshot they pinned, exactly
@@ -286,6 +305,10 @@ void ExplanationServer::handle_frame(Connection& conn, const serve::Frame& frame
     er.model = req.get_string("model", conn.default_model);
     er.seed = static_cast<std::uint64_t>(req.get_number("seed", 0));
     er.deadline_ms = static_cast<std::int64_t>(req.get_number("deadline_ms", -1));
+    // Opt-in interaction pairs; negative values clamp to 0 (= off) so a
+    // malformed count degrades to the plain response instead of an error.
+    if (const double k = req.get_number("interactions", 0); k > 0)
+        er.interactions = static_cast<std::size_t>(k);
 
     // The request's slot is allocated before validation so the idempotent
     // retry window covers every outcome: a duplicate "rid" replays the

@@ -127,6 +127,21 @@ struct NetMetrics {
     serve::Counter retry_duplicates;     ///< rids answered from the dedup window
     serve::Gauge active;
     serve::Histogram conn_requests;      ///< requests per closed connection
+
+    /// Zeroes every counter/histogram and restarts the active-connection
+    /// high-water mark (see ExplanationServer::reset_net_metrics).
+    void reset() noexcept {
+        accepted.reset();
+        rejected.reset();
+        closed_idle.reset();
+        closed_backpressure.reset();
+        bytes_in.reset();
+        bytes_out.reset();
+        requests.reset();
+        retry_duplicates.reset();
+        active.reset();
+        conn_requests.reset();
+    }
 };
 
 class ExplanationServer {
@@ -190,6 +205,12 @@ public:
 
     /// Service stats with the net section populated (net_enabled = true).
     [[nodiscard]] serve::ServiceStats stats() const;
+
+    /// Zeroes this server's connection-level counters/histograms and restarts
+    /// gauge high-water marks (the net half of op=stats_reset; the service
+    /// half is ExplanationService::stats_reset).  Live levels — active
+    /// connections — survive.  Safe from any thread: NetMetrics is atomics.
+    void reset_net_metrics() noexcept { metrics_.reset(); }
 
     /// Liveness epoch, bumped once per event-loop tick.  The shard
     /// supervisor samples it to tell a serving loop from a wedged one.

@@ -100,6 +100,20 @@ void ShardedServer::build_shard_locked(std::size_t index) {
     shard.server->set_admin_provider([this](const serve::JsonValue& req) {
         const std::lock_guard<std::mutex> admin_lock(admin_mutex_);
         const std::lock_guard<std::mutex> shards_lock(shards_mutex_);
+        if (req.get_string("op", "") == "stats_reset") {
+            // Fleet-wide measurement window: zero every shard's service and
+            // connection metrics under the same locks an admin op holds, so
+            // a reset can never interleave with a half-applied fleet.  Not
+            // logged — a respawned shard starts its metrics at zero anyway.
+            for (const auto& s : shards_) {
+                s->service->stats_reset();
+                s->server->reset_net_metrics();
+            }
+            serve::JsonWriter w;
+            w.field("ok", true);
+            w.field("op", "stats_reset");
+            return w.finish();
+        }
         std::vector<serve::ExplanationService*> services;
         services.reserve(shards_.size());
         for (const auto& s : shards_) services.push_back(s->service.get());

@@ -64,13 +64,58 @@ double Histogram::quantile(double q) const noexcept {
         if (in_bucket == 0) continue;
         if (seen + in_bucket >= rank) {
             const auto [lo, hi] = bucket_range(i);
+            // The final bucket also absorbs every sample past its nominal
+            // range (bucket_of clamps bit_width), so interpolating against
+            // the nominal bound under-reports heavy tails; the recorded max
+            // is the true upper edge.  Inner buckets clamp to max() too, so
+            // a quantile never exceeds any observed sample.
+            const double top = static_cast<double>(max());
+            const double hi_eff =
+                i == kBuckets - 1 ? top : std::min(hi, top);
             const double frac =
                 static_cast<double>(rank - seen) / static_cast<double>(in_bucket);
-            return lo + (hi - lo) * frac;
+            return lo + (hi_eff - lo) * frac;
         }
         seen += in_bucket;
     }
     return static_cast<double>(max());
+}
+
+void Histogram::reset() noexcept {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    min_.store(UINT64_MAX, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+}
+
+void ServiceMetrics::reset() noexcept {
+    requests_accepted.reset();
+    requests_rejected.reset();
+    requests_completed.reset();
+    requests_degraded.reset();
+    batches.reset();
+    cache_hits.reset();
+    cache_misses.reset();
+    for (auto& c : errors_by_reason) c.reset();
+    worker_respawns.reset();
+    worker_stalls.reset();
+    snapshot_writes.reset();
+    snapshot_records_loaded.reset();
+    snapshot_records_skipped.reset();
+    model_evals.reset();
+    drift_checks.reset();
+    drift_flushes.reset();
+    fast_path_hits.reset();
+    for (auto& c : explainer_requests) c.reset();
+    for (auto& c : explainer_fast_hits) c.reset();
+    for (auto& h : explainer_compute_us) h.reset();
+    queue_depth.reset();
+    adaptive_wait_us.reset();
+    batch_size.reset();
+    service_time_us.reset();
+    compute_time_us.reset();
+    probe_rows.reset();
 }
 
 double ServiceStats::cache_hit_rate() const noexcept {

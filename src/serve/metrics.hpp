@@ -28,6 +28,8 @@ public:
     [[nodiscard]] std::uint64_t value() const noexcept {
         return value_.load(std::memory_order_relaxed);
     }
+    /// Zeroes the tally (per-phase SLO measurement via op=stats_reset).
+    void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
 
 private:
     std::atomic<std::uint64_t> value_{0};
@@ -47,6 +49,11 @@ public:
     }
     [[nodiscard]] std::uint64_t max() const noexcept {
         return max_.load(std::memory_order_relaxed);
+    }
+    /// Restarts the high-water mark from the current level; the level itself
+    /// is live state (queue depth, open connections) and survives a reset.
+    void reset() noexcept {
+        max_.store(value_.load(std::memory_order_relaxed), std::memory_order_relaxed);
     }
 
 private:
@@ -77,6 +84,9 @@ public:
 
     /// Estimated q-quantile, q in [0, 1].  Returns 0 on an empty histogram.
     [[nodiscard]] double quantile(double q) const noexcept;
+
+    /// Forgets every recorded sample (per-phase SLO measurement).
+    void reset() noexcept;
 
 private:
     std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
@@ -126,6 +136,12 @@ struct ServiceMetrics {
         const auto i = static_cast<std::size_t>(error);
         if (i != 0 && i < kNumServeErrors) errors_by_reason[i].inc();
     }
+
+    /// Zeroes every counter and histogram and restarts gauge high-water
+    /// marks, so the next stats snapshot covers only what happened after the
+    /// reset (the op=stats_reset contract).  Live levels (queue depth) and
+    /// registry facts (model fingerprints, cache occupancy) are untouched.
+    void reset() noexcept;
 };
 
 /// Per-explainer slice of a stats snapshot (only explainers that computed

@@ -322,6 +322,22 @@ std::string render_response(const ExplainResponse& r) {
         w.field("prediction", r.explanation.prediction);
         w.field("base_value", r.explanation.base_value);
         w.field_array("attributions", r.explanation.attributions);
+        // Interaction pairs appear only when the request opted in
+        // ("interactions": k > 0), so the plain response stays byte-identical
+        // to the pre-interaction wire format.
+        if (!r.explanation.interactions.empty()) {
+            std::string pairs = "[";
+            for (const auto& p : r.explanation.interactions) {
+                if (pairs.size() > 1) pairs += ',';
+                JsonWriter pw;
+                pw.field("i", static_cast<std::uint64_t>(p.i));
+                pw.field("j", static_cast<std::uint64_t>(p.j));
+                pw.field("h2", p.h2);
+                pairs += pw.finish();
+            }
+            pairs += ']';
+            w.field_raw("interactions", pairs);
+        }
     } else {
         w.field("error_code", to_string(r.error_code));
         w.field("error", r.error);

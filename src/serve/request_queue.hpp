@@ -59,6 +59,11 @@ struct ExplainRequest {
     /// expiry check at batch execution and a cooperative cancellation token
     /// inside the explainer.
     std::int64_t deadline_ms = -1;
+    /// Opt-in interaction-aware explanation: > 0 returns the top-k mutual
+    /// feature-interaction pairs (Friedman H², core/interaction.hpp) next to
+    /// the attributions.  0 keeps the response — and the cache key — byte-
+    /// identical to the pre-interaction wire format.
+    std::size_t interactions = 0;
 };
 
 /// Completed answer for one request.

@@ -12,6 +12,7 @@
 
 #include "core/flat_tree_shap.hpp"
 #include "core/gradient.hpp"
+#include "core/interaction.hpp"
 #include "core/kernel_shap.hpp"
 #include "core/lime.hpp"
 #include "core/occlusion.hpp"
@@ -479,7 +480,47 @@ CacheKey ExplanationService::key_for(const Job& job) const {
     // entries age out through the LRU instead of being served after the
     // traffic shifted.
     context = fnv1a_u64(job.model_entry->epoch.load(std::memory_order_relaxed), context);
+    // Interaction-aware requests key separately: the cached Explanation then
+    // carries its top-k H² pairs, and a later plain request can never hit an
+    // interaction-carrying entry (or vice versa).  k == 0 skips all three
+    // mixes, so pre-interaction keys stay byte-identical.
+    if (request.interactions > 0) {
+        context = hash_string("interactions_v1", context);
+        context = fnv1a_u64(request.interactions, context);
+        context = fnv1a_u64(config_.interaction_points, context);
+    }
     return CacheKey(request.features, config_.cache_quantum, context);
+}
+
+std::shared_ptr<const std::vector<xai::InteractionPair>>
+ExplanationService::interaction_table(const ModelSnapshot& snapshot) const {
+    // The H² statistic is deterministic and feature-independent — it depends
+    // only on (model version, background, pair, max_points) — so the full
+    // pair table is computed once per model fingerprint and memoized.  The
+    // mutex is held across the computation deliberately: racing requests for
+    // a cold table would duplicate O(d² · points²) model probes, and one-time
+    // serialization is the cheaper failure mode.
+    std::lock_guard lock(interactions_mutex_);
+    if (const auto it = interaction_tables_.find(snapshot.fingerprint);
+        it != interaction_tables_.end())
+        return it->second;
+    const std::size_t d = background_.num_features();
+    auto table = std::make_shared<std::vector<xai::InteractionPair>>();
+    if (d >= 2) table->reserve(d * (d - 1) / 2);
+    const xai::InteractionOptions options{config_.interaction_points};
+    for (std::size_t j = 0; j + 1 < d; ++j)
+        for (std::size_t k = j + 1; k < d; ++k)
+            table->push_back(
+                {j, k, xai::friedman_h2(*snapshot.model, background_, j, k, options)});
+    // Strongest interaction first; (i, j) ascending on ties so the order —
+    // and therefore the served top-k slice — is fully deterministic.
+    std::sort(table->begin(), table->end(),
+              [](const xai::InteractionPair& a, const xai::InteractionPair& b) {
+                  if (a.h2 != b.h2) return a.h2 > b.h2;
+                  return a.i != b.i ? a.i < b.i : a.j < b.j;
+              });
+    interaction_tables_.emplace(snapshot.fingerprint, table);
+    return table;
 }
 
 ExplainResponse ExplanationService::run_request(const Job& job,
@@ -551,6 +592,17 @@ ExplainResponse ExplanationService::run_request(const Job& job,
         r.degraded = level != DegradeLevel::full;
         r.budget_used = effective_budget(method, scale, background_, config_.ig_steps);
         outcome.fast_path = fast_path;
+        // Opt-in interaction pairs ride the explanation at every fidelity
+        // level: the memoized table costs nothing after the first request per
+        // model version, and a degraded attribution next to exact H² pairs is
+        // still a coherent answer (the pairs never depend on the budget).
+        if (request.interactions > 0) {
+            const auto table = interaction_table(snap);
+            const auto take = std::min(request.interactions, table->size());
+            r.explanation.interactions.assign(
+                table->begin(),
+                table->begin() + static_cast<std::ptrdiff_t>(take));
+        }
     } catch (const xai::BudgetExceeded&) {
         r.ok = false;
         r.error_code = ServeError::deadline_exceeded;

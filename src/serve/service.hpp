@@ -44,6 +44,7 @@
 #include <optional>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "core/budget.hpp"
@@ -122,6 +123,11 @@ struct ServiceConfig {
     /// Default RNG seed for requests that leave `seed` == 0 (matches the
     /// `xnfv_cli explain` default so served == one-shot out of the box).
     std::uint64_t seed = 11;
+    /// Background rows the Friedman-H² partial dependence sweep uses for
+    /// served `"interactions": k` requests (core/interaction.hpp's
+    /// max_points).  Hashed into the cache key of interaction-carrying
+    /// requests only, so plain requests keep their pre-interaction keys.
+    std::size_t interaction_points = 64;
     /// Backpressure bound of the admission queue.
     std::size_t queue_depth = 256;
     /// Micro-batch flush thresholds (see serve/batcher.hpp).
@@ -265,6 +271,12 @@ public:
     /// Snapshot of all counters/histograms plus cache occupancy.
     [[nodiscard]] ServiceStats stats() const;
 
+    /// Zeroes every counter and histogram (ServiceMetrics::reset) so the
+    /// next stats() covers only traffic after this call — the per-phase SLO
+    /// measurement primitive behind the `stats_reset` ND-JSON op.  Registry
+    /// facts (models, fingerprints, cache contents, epochs) are untouched.
+    void stats_reset() noexcept { metrics_.reset(); }
+
     /// Closes admission, drains and serves everything already queued, joins
     /// the watchdog and dispatcher, and writes a final cache snapshot when
     /// persistence is configured.  Idempotent; the destructor calls it.
@@ -315,6 +327,15 @@ private:
         std::chrono::steady_clock::time_point deadline,
         ComputeOutcome& outcome) const;
     [[nodiscard]] CacheKey key_for(const Job& job) const;
+    /// The full Friedman-H² pair table of one model version (every j < k
+    /// pair over the service background at config_.interaction_points,
+    /// sorted strongest-first, ties by index).  H² is a pure function of
+    /// (model, background, points) — independent of the explained instance —
+    /// so the table is computed once per snapshot fingerprint and memoized;
+    /// serving `"interactions": k` is then a slice of this table, bitwise
+    /// identical to a one-shot core/interaction.hpp sweep.
+    [[nodiscard]] std::shared_ptr<const std::vector<xnfv::xai::InteractionPair>>
+    interaction_table(const ModelSnapshot& snapshot) const;
     /// Feeds one full-fidelity computed attribution vector into `entry`'s
     /// drift windows; on a completed current window, compares it against the
     /// reference and bumps the entry's cache epoch when drifted.
@@ -351,6 +372,15 @@ private:
     DegradationPolicy degrade_;
     AdaptiveBatchPolicy adaptive_;
     mutable ServiceMetrics metrics_;
+    /// Memoized interaction tables keyed by model-snapshot fingerprint (see
+    /// interaction_table()).  The mutex is held across the one-time compute:
+    /// the sweep is deterministic, so serializing concurrent first requests
+    /// is cheaper than computing the same table twice.
+    mutable std::mutex interactions_mutex_;
+    mutable std::unordered_map<
+        std::uint64_t,
+        std::shared_ptr<const std::vector<xnfv::xai::InteractionPair>>>
+        interaction_tables_;
 
     std::thread dispatcher_;
     std::thread watchdog_;

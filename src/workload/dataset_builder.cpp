@@ -15,17 +15,6 @@ using xnfv::nfv::OfferedLoad;
 using xnfv::nfv::Server;
 using xnfv::nfv::SlaSpec;
 
-namespace {
-
-/// One randomized deployment instance of a scenario: infrastructure, placed
-/// chains, per-chain traffic generators, and the fault actually injected.
-struct SampledDeployment {
-    Infrastructure infra;
-    Deployment dep;
-    std::vector<TrafficGenerator> traffic;
-    FaultKind injected = FaultKind::none;
-};
-
 SampledDeployment sample_deployment(const ScenarioSpec& spec, Rng& rng) {
     SampledDeployment s;
     Server proto;  // defaults: 16 cores @3 GHz, 64 GB, 32 MB LLC
@@ -97,8 +86,6 @@ SampledDeployment sample_deployment(const ScenarioSpec& spec, Rng& rng) {
     }
     return s;
 }
-
-}  // namespace
 
 BuiltDataset build_dataset(const ScenarioSpec& spec, const BuildOptions& options, Rng& rng) {
     return build_mixed_dataset({spec}, options, rng);

@@ -5,10 +5,32 @@
 
 #include "mlcore/dataset.hpp"
 #include "mlcore/rng.hpp"
+#include "nfv/chain.hpp"
+#include "nfv/infrastructure.hpp"
 #include "nfv/telemetry.hpp"
 #include "workload/scenario.hpp"
+#include "workload/traffic.hpp"
 
 namespace xnfv::wl {
+
+/// One randomized deployment instance of a scenario: infrastructure, placed
+/// chains, per-chain traffic generators, and the fault actually injected.
+/// Shared by the dataset builder and the closed-loop scenario driver
+/// (src/scenario/), which steps the same sampled fleet live instead of
+/// flattening it into rows.
+struct SampledDeployment {
+    xnfv::nfv::Infrastructure infra;
+    xnfv::nfv::Deployment dep;
+    std::vector<TrafficGenerator> traffic;
+    FaultKind injected = FaultKind::none;
+};
+
+/// Draws one deployment from `spec`: homogeneous PoP, randomized per-chain
+/// allocations/SLAs/rules, placement (first-server fallback on capacity
+/// exhaustion), per-chain traffic generators, and the scenario fault applied
+/// with `spec.fault_prob`.  Deterministic in `rng`.
+[[nodiscard]] SampledDeployment sample_deployment(const ScenarioSpec& spec,
+                                                  xnfv::ml::Rng& rng);
 
 struct BuildOptions {
     std::size_t num_samples = 2000;  ///< rows (chain-epochs) to produce

@@ -30,6 +30,7 @@
 
 #include "mlcore/forest.hpp"
 #include "net/chaos.hpp"
+#include "net/client.hpp"
 #include "net/loadgen.hpp"
 #include "net/server.hpp"
 #include "net/sharded_server.hpp"
@@ -432,4 +433,68 @@ TEST(ShardedEquivalence, StatsAggregateAcrossShards) {
     EXPECT_EQ(stats.net_requests, expected_lines);
     // Every admitted explain completed (no drops on the quit barrier path).
     EXPECT_EQ(stats.requests_accepted, stats.requests_completed);
+}
+
+TEST(ShardedAdmin, StatsResetZerosEveryShardOverTcp) {
+    const auto& s = scenario();
+    net::ShardedServerConfig shcfg;
+    shcfg.shards = 2;
+    net::ShardedServer server(s.forest, s.background, service_config(), shcfg);
+    server.set_row_lookup(row_lookup());
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+    std::thread loop([&server] { server.run(); });
+
+    // Several connections so the SO_REUSEPORT hash spreads traffic over both
+    // shards; the reset must still zero the fleet-wide aggregate, not just
+    // whichever shard the control connection landed on.
+    for (std::size_t c = 0; c < 6; ++c) {
+        net::Client client;
+        ASSERT_TRUE(client.connect("127.0.0.1", server.port(), &error)) << error;
+        for (std::size_t i = 0; i < 3; ++i) {
+            ASSERT_TRUE(
+                client.send_line(row_request(c * 3 + i + 1, c * 3 + i, "tree_shap")));
+            std::string reply;
+            ASSERT_TRUE(client.recv_line(reply, 30s));
+        }
+    }
+
+    {
+        net::Client control;
+        ASSERT_TRUE(control.connect("127.0.0.1", server.port(), &error)) << error;
+        std::string reply;
+        ASSERT_TRUE(control.send_line(R"({"op":"stats"})"));
+        ASSERT_TRUE(control.recv_line(reply, 30s));
+        const auto before = serve::parse_json(reply);
+        EXPECT_EQ(before.get_number("requests_completed", -1), 18.0);
+        EXPECT_GE(before.get_number("connections_accepted", -1), 7.0);
+
+        ASSERT_TRUE(control.send_line(R"({"op":"stats_reset"})"));
+        ASSERT_TRUE(control.recv_line(reply, 30s));
+        const auto ack = serve::parse_json(reply);
+        ASSERT_NE(ack.find("ok"), nullptr);
+        EXPECT_TRUE(ack.find("ok")->boolean);
+        EXPECT_EQ(ack.get_string("op", ""), "stats_reset");
+
+        ASSERT_TRUE(control.send_line(R"({"op":"stats"})"));
+        ASSERT_TRUE(control.recv_line(reply, 30s));
+        const auto after = serve::parse_json(reply);
+        EXPECT_EQ(after.get_number("requests_completed", -1), 0.0);
+        EXPECT_EQ(after.get_number("requests_accepted", -1), 0.0);
+        EXPECT_EQ(after.get_number("cache_hits", -1), 0.0);
+        EXPECT_EQ(after.get_number("connections_accepted", -1), 0.0);
+        // The reset is a measurement-window boundary, not a service restart:
+        // the fleet keeps serving and counting afresh.
+        ASSERT_TRUE(control.send_line(row_request(100, 1, "tree_shap")));
+        ASSERT_TRUE(control.recv_line(reply, 30s));
+        EXPECT_NE(reply.find("\"ok\":true"), std::string::npos);
+        ASSERT_TRUE(control.send_line(R"({"op":"stats"})"));
+        ASSERT_TRUE(control.recv_line(reply, 30s));
+        EXPECT_EQ(serve::parse_json(reply).get_number("requests_completed", -1),
+                  1.0);
+    }
+
+    server.request_drain();
+    loop.join();
+    server.stop_services();
 }

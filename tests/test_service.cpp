@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/interaction.hpp"
 #include "serve/batcher.hpp"
 #include "serve/explanation_cache.hpp"
 #include "serve/metrics.hpp"
@@ -603,4 +604,117 @@ TEST(ExplanationService, AdaptiveWaitGaugeReportsCeilingWhenUnpressured) {
     ASSERT_TRUE(service.explain_sync(request_for(1, {1.0, 2.0, 3.0})).ok);
     // No pressure: the effective wait equals the configured ceiling.
     EXPECT_EQ(service.stats().adaptive_wait_us, 300u);
+}
+
+// ------------------------------------------- interaction-aware serving ---
+
+TEST(ExplanationService, ServedInteractionsMatchOneShotFriedmanH2) {
+    serve::ServiceConfig cfg;
+    cfg.method = "occlusion";
+    serve::ExplanationService service(sum_model(), tiny_background(), cfg);
+
+    auto req = request_for(1, {1.0, 2.0, 3.0});
+    req.interactions = 2;
+    const auto r = service.explain_sync(std::move(req));
+    ASSERT_TRUE(r.ok);
+    ASSERT_EQ(r.explanation.interactions.size(), 2u);
+
+    // Every served pair must be bitwise what the one-shot API computes for
+    // the same (model, background, points) — the serving path may not add
+    // sampling, reordering, or precision differences.
+    const auto model = sum_model();
+    const auto background = tiny_background();
+    const xai::InteractionOptions opt{cfg.interaction_points};
+    for (const auto& p : r.explanation.interactions) {
+        ASSERT_LT(p.i, p.j);
+        EXPECT_EQ(p.h2, xai::friedman_h2(*model, background, p.i, p.j, opt))
+            << "pair (" << p.i << "," << p.j << ")";
+    }
+    // Strongest-first, and asking for more pairs than exist truncates.
+    EXPECT_GE(r.explanation.interactions[0].h2, r.explanation.interactions[1].h2);
+    auto req_all = request_for(2, {4.0, 5.0, 6.0});
+    req_all.interactions = 100;
+    const auto all = service.explain_sync(std::move(req_all));
+    ASSERT_TRUE(all.ok);
+    EXPECT_EQ(all.explanation.interactions.size(), 3u);  // C(3,2)
+}
+
+TEST(ExplanationService, InteractionRequestsHaveTheirOwnCacheKeys) {
+    serve::ServiceConfig cfg;
+    cfg.method = "occlusion";
+    serve::ExplanationService service(sum_model(), tiny_background(), cfg);
+
+    const auto plain = service.explain_sync(request_for(1, {1.0, 2.0, 3.0}));
+    ASSERT_TRUE(plain.ok);
+    EXPECT_TRUE(plain.explanation.interactions.empty());
+    const std::string plain_bytes = serve::render_response(plain);
+
+    // Same features with interactions on must MISS (different key) and
+    // carry the pairs.
+    auto with = request_for(1, {1.0, 2.0, 3.0});
+    with.interactions = 1;
+    const auto enriched = service.explain_sync(std::move(with));
+    ASSERT_TRUE(enriched.ok);
+    EXPECT_FALSE(enriched.cache_hit);
+    ASSERT_EQ(enriched.explanation.interactions.size(), 1u);
+    EXPECT_NE(serve::render_response(enriched).find("\"interactions\""),
+              std::string::npos);
+
+    // A later k=0 request hits the original entry and renders byte-identical
+    // to the first response — the regression pin that opting OUT of
+    // interactions leaves the pre-existing wire format and cache keys
+    // untouched.
+    const auto replay = service.explain_sync(request_for(1, {1.0, 2.0, 3.0}));
+    ASSERT_TRUE(replay.ok);
+    EXPECT_TRUE(replay.cache_hit);
+    serve::ExplainResponse replay_normalized = replay;
+    replay_normalized.cache_hit = false;
+    EXPECT_EQ(serve::render_response(replay_normalized), plain_bytes);
+    EXPECT_EQ(plain_bytes.find("\"interactions\""), std::string::npos);
+}
+
+// ------------------------------------------------------- stats_reset op ---
+
+TEST(ExplanationService, StatsResetZerosCountersButKeepsCacheEntries) {
+    serve::ServiceConfig cfg;
+    cfg.method = "occlusion";
+    serve::ExplanationService service(sum_model(), tiny_background(), cfg);
+    ASSERT_TRUE(service.explain_sync(request_for(1, {1.0, 2.0, 3.0})).ok);
+    ASSERT_TRUE(service.explain_sync(request_for(2, {1.0, 2.0, 3.0})).ok);
+
+    auto stats = service.stats();
+    EXPECT_EQ(stats.requests_completed, 2u);
+    EXPECT_EQ(stats.cache_hits, 1u);
+
+    service.stats_reset();
+    stats = service.stats();
+    EXPECT_EQ(stats.requests_accepted, 0u);
+    EXPECT_EQ(stats.requests_completed, 0u);
+    EXPECT_EQ(stats.cache_hits, 0u);
+    EXPECT_EQ(stats.cache_misses, 0u);
+    EXPECT_EQ(stats.batches, 0u);
+
+    // Counters are a measurement window; the cache itself is state and
+    // survives, so the next repeat still hits (and is counted afresh).
+    const auto after = service.explain_sync(request_for(3, {1.0, 2.0, 3.0}));
+    ASSERT_TRUE(after.ok);
+    EXPECT_TRUE(after.cache_hit);
+    EXPECT_EQ(service.stats().cache_hits, 1u);
+}
+
+// ------------------------------------------------- histogram tail fix ---
+
+TEST(Histogram, QuantileReachesObservedMaxAboveTopGeometricBucket) {
+    // bucket_of clamps bit_width to the last bucket, whose nominal range
+    // tops out at 2^63-1; samples beyond it used to be interpolated against
+    // that nominal bound, under-reporting heavy tails by up to 2x.  The
+    // recorded max is the true upper edge.
+    serve::Histogram h;
+    for (int i = 0; i < 100; ++i) h.record(UINT64_MAX);
+    EXPECT_EQ(h.max(), UINT64_MAX);
+    EXPECT_GE(h.quantile(0.99), 0.9 * static_cast<double>(UINT64_MAX));
+    // And no quantile may exceed an observed sample in inner buckets either.
+    serve::Histogram inner;
+    for (int i = 0; i < 10; ++i) inner.record(100);
+    EXPECT_LE(inner.quantile(0.99), 100.0);
 }

@@ -41,6 +41,7 @@
 #include "net/loadgen.hpp"
 #include "net/server.hpp"
 #include "net/sharded_server.hpp"
+#include "scenario/driver.hpp"
 #include "serve/explainers.hpp"
 #include "serve/ndjson.hpp"
 #include "serve/router.hpp"
@@ -135,6 +136,8 @@ int usage() {
         "            [--slo-us U] [--min-wait-us U]   adaptive micro-batching:\n"
         "            shrink the flush wait as the service p99 nears the SLO\n"
         "            [--drift-window N]   drift-triggered cache invalidation\n"
+        "            [--interaction-points N]   background rows sampled per\n"
+        "            Friedman-H2 pair for \"interactions\" requests\n"
         "            [--listen PORT] [--host A] [--max-conns N]\n"
         "            [--idle-timeout-ms M] [--max-output BYTES]   serve the\n"
         "            same ND-JSON protocol over TCP (PORT 0 = ephemeral;\n"
@@ -165,7 +168,9 @@ int usage() {
         "              {\"op\":\"explain\",\"row\":3}\n"
         "              {\"op\":\"explain\",\"features\":[...],\"method\":\"lime\"}\n"
         "              {\"op\":\"explain\",\"row\":3,\"model\":\"canary\"}\n"
-        "              {\"op\":\"stats\"}   {\"op\":\"quit\"}\n"
+        "              {\"op\":\"explain\",\"row\":3,\"interactions\":2}   adds\n"
+        "              the top-K Friedman-H2 interaction pairs to the response\n"
+        "              {\"op\":\"stats\"}   {\"op\":\"stats_reset\"}   {\"op\":\"quit\"}\n"
         "            model admin / selection ops (applied to every shard):\n"
         "              {\"op\":\"load\",\"name\":\"b\",\"model\":\"b.xnfv\",\n"
         "               \"weight\":1,\"quota\":0}\n"
@@ -182,6 +187,18 @@ int usage() {
         "            response lines; --line sends the given raw ND-JSON line\n"
         "            instead of a built explain request (admin ops from the\n"
         "            shell; must not be a quit frame — use --quit)\n"
+        "  scenario  --port P [--host A] [--scenario NAME] [--seed S]\n"
+        "            [--deployments N] [--connections N] [--epochs N]\n"
+        "            [--window W] [--method M] [--interactions K]\n"
+        "            [--flash-mult X] [--slo-us U] [--timeout-ms T]\n"
+        "            closed-loop NOC fleet driver against a running\n"
+        "            `serve --listen` instance: simulates a fleet live\n"
+        "            (baseline / flash_crowd / remediated phases), replays\n"
+        "            every chain-epoch's telemetry as concurrent explain\n"
+        "            clients, applies the explanation-chosen remediation\n"
+        "            between phases, and prints a JSON SLO report; exits 0\n"
+        "            when the SLO verdict holds, 2 when missed, 3 on\n"
+        "            transport failure\n"
         "  loadgen   --port P [--host A] [--conns N] [--requests N] [--rows N]\n"
         "            [--window W] [--method M] [--seed S] [--max-retries K]\n"
         "            [--response-timeout-ms T] [--connect-timeout-ms T]\n"
@@ -386,6 +403,8 @@ int cmd_serve(const Args& args) {
     cfg.cache_capacity = static_cast<std::size_t>(args.get_int("cache", 4096));
     cfg.cache_quantum = std::stod(args.get("quantum", "0"));
     cfg.threads = static_cast<std::size_t>(args.get_int("threads", 0));
+    cfg.interaction_points =
+        static_cast<std::size_t>(args.get_int("interaction-points", 64));
 
     // Degradation ladder: --degrade N arms the reduced rung at admission
     // depth N and the baseline rung at 2N.
@@ -620,6 +639,16 @@ int cmd_serve(const Args& args) {
             std::fflush(stdout);
             continue;
         }
+        if (op == "stats_reset") {
+            drain();  // reset after everything already admitted completed
+            service.stats_reset();
+            serve::JsonWriter w;
+            w.field("ok", true);
+            w.field("op", "stats_reset");
+            std::printf("%s\n", w.finish().c_str());
+            std::fflush(stdout);
+            continue;
+        }
         if (op == "load" || op == "swap" || op == "retire" || op == "models") {
             drain();  // admin lands after everything already admitted
             std::printf("%s\n", serve::handle_model_admin(req, {&service}).c_str());
@@ -656,6 +685,8 @@ int cmd_serve(const Args& args) {
         er.model = req.get_string("model", session_model);
         er.seed = static_cast<std::uint64_t>(req.get_number("seed", 0));
         er.deadline_ms = static_cast<std::int64_t>(req.get_number("deadline_ms", -1));
+        if (const double k = req.get_number("interactions", 0); k > 0)
+            er.interactions = static_cast<std::size_t>(k);
         const auto dim = service.feature_dim(er.model);
         if (!dim) {
             print_error(er.id, serve::ServeError::unknown_model,
@@ -705,6 +736,36 @@ int cmd_serve(const Args& args) {
     drain();
     service.stop();
     return 0;
+}
+
+/// Closed-loop NOC fleet driver (src/scenario/): simulate a fleet live,
+/// replay its telemetry as concurrent explain clients against a running
+/// server, remediate from the served explanation, and report per-phase SLOs.
+int cmd_scenario(const Args& args) {
+    xnfv::scenario::DriverConfig cfg;
+    cfg.host = args.get("host", "127.0.0.1");
+    cfg.port = static_cast<std::uint16_t>(args.get_int("port", 0));
+    if (cfg.port == 0) throw std::runtime_error("missing --port");
+    cfg.scenario = args.get("scenario", "enterprise_edge");
+    cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 2020));
+    cfg.deployments = static_cast<std::size_t>(args.get_int("deployments", 2));
+    cfg.connections = static_cast<std::size_t>(args.get_int("connections", 32));
+    cfg.epochs_per_phase = static_cast<std::size_t>(args.get_int("epochs", 4));
+    cfg.window = static_cast<std::size_t>(args.get_int("window", 4));
+    cfg.method = args.get("method", "tree_shap");
+    cfg.interactions = static_cast<std::size_t>(args.get_int("interactions", 0));
+    cfg.flash_mult = std::stod(args.get("flash-mult", "6"));
+    cfg.slo_us = std::stod(args.get("slo-us", "0"));
+    cfg.timeout = std::chrono::milliseconds(args.get_int("timeout-ms", 120000));
+
+    const auto report = xnfv::scenario::run_scenario(cfg);
+    std::printf("%s\n", report.to_json().c_str());
+    std::fflush(stdout);
+    if (!report.transport_ok) {
+        std::fprintf(stderr, "error: %s\n", report.error.c_str());
+        return 3;
+    }
+    return report.slo_met ? 0 : 2;
 }
 
 /// Minimal TCP client for a running `serve --listen` instance: sends a few
@@ -860,6 +921,7 @@ int main(int argc, char** argv) {
         if (command == "explain") return cmd_explain(args);
         if (command == "global") return cmd_global(args);
         if (command == "serve") return cmd_serve(args);
+        if (command == "scenario") return cmd_scenario(args);
         if (command == "netprobe") return cmd_netprobe(args);
         if (command == "loadgen") return cmd_loadgen(args);
         if (command == "help") return usage();
